@@ -1,0 +1,375 @@
+//! Writing AGD datasets: chunked column emission and manifest assembly.
+
+use persona_compress::codec::Codec;
+use persona_compress::deflate::CompressLevel;
+
+use crate::chunk::{ChunkData, RecordType};
+use crate::chunk_io::ChunkStore;
+use crate::manifest::{ChunkEntry, Manifest};
+use crate::{columns, Error, Result, DEFAULT_CHUNK_SIZE};
+
+/// Per-column writer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnConfig {
+    /// Compression codec for the column's chunks.
+    pub codec: Codec,
+    /// Record encoding.
+    pub record_type: RecordType,
+}
+
+/// Options controlling dataset writing.
+#[derive(Debug, Clone, Copy)]
+pub struct WriterOptions {
+    /// Records per chunk (the paper's default: 100,000).
+    pub chunk_size: usize,
+    /// Effort for gzip-compressed columns.
+    pub level: CompressLevel,
+    /// Codec for the bases column.
+    pub bases: ColumnConfig,
+    /// Codec for the quality column.
+    pub qual: ColumnConfig,
+    /// Codec for the metadata column.
+    pub metadata: ColumnConfig,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        WriterOptions {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            level: CompressLevel::Default,
+            bases: ColumnConfig { codec: Codec::Gzip, record_type: RecordType::CompactBases },
+            qual: ColumnConfig { codec: Codec::Gzip, record_type: RecordType::Text },
+            metadata: ColumnConfig { codec: Codec::Gzip, record_type: RecordType::Text },
+        }
+    }
+}
+
+/// Streams reads into an AGD dataset: the three raw-read columns
+/// (`bases`, `qual`, `metadata`) are written chunk by chunk.
+pub struct DatasetWriter {
+    manifest: Manifest,
+    options: WriterOptions,
+    // Current chunk accumulation (records owned until flush).
+    meta: Vec<Vec<u8>>,
+    bases: Vec<Vec<u8>>,
+    quals: Vec<Vec<u8>>,
+    next_chunk: u64,
+    first_record: u64,
+}
+
+impl DatasetWriter {
+    /// Creates a writer with a custom chunk size and default codecs.
+    pub fn new(name: &str, chunk_size: usize) -> Result<Self> {
+        Self::with_options(name, WriterOptions { chunk_size, ..WriterOptions::default() })
+    }
+
+    /// Creates a writer with full options.
+    pub fn with_options(name: &str, options: WriterOptions) -> Result<Self> {
+        if options.chunk_size == 0 {
+            return Err(Error::Format("chunk_size must be positive".into()));
+        }
+        let mut manifest = Manifest::new(name);
+        manifest.add_column(columns::BASES, options.bases.codec)?;
+        manifest.add_column(columns::QUAL, options.qual.codec)?;
+        manifest.add_column(columns::METADATA, options.metadata.codec)?;
+        manifest.row_groups = vec![vec![
+            columns::BASES.to_string(),
+            columns::QUAL.to_string(),
+            columns::METADATA.to_string(),
+        ]];
+        Ok(DatasetWriter {
+            manifest,
+            options,
+            meta: Vec::new(),
+            bases: Vec::new(),
+            quals: Vec::new(),
+            next_chunk: 0,
+            first_record: 0,
+        })
+    }
+
+    /// Appends one read; flushes a chunk to `store` when full.
+    pub fn append(
+        &mut self,
+        store: &dyn ChunkStore,
+        meta: &[u8],
+        bases: &[u8],
+        quals: &[u8],
+    ) -> Result<()> {
+        if bases.len() != quals.len() {
+            return Err(Error::Format("bases/quals length mismatch".into()));
+        }
+        self.meta.push(meta.to_vec());
+        self.bases.push(bases.to_vec());
+        self.quals.push(quals.to_vec());
+        if self.meta.len() >= self.options.chunk_size {
+            self.flush_chunk(store)?;
+        }
+        Ok(())
+    }
+
+    /// Number of records currently buffered (not yet flushed).
+    pub fn buffered(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn flush_chunk(&mut self, store: &dyn ChunkStore) -> Result<()> {
+        if self.meta.is_empty() {
+            return Ok(());
+        }
+        let stem = format!("{}-{}", self.manifest.name, self.next_chunk);
+        let n = self.meta.len() as u32;
+
+        let write = |col: &str,
+                     cfg: ColumnConfig,
+                     records: &[Vec<u8>],
+                     level: CompressLevel|
+         -> Result<()> {
+            let chunk =
+                ChunkData::from_records(cfg.record_type, records.iter().map(|r| r.as_slice()))?;
+            let encoded = chunk.encode(cfg.codec, level)?;
+            store.put(&Manifest::chunk_object_name(&stem, col), &encoded)?;
+            Ok(())
+        };
+        write(columns::BASES, self.options.bases, &self.bases, self.options.level)?;
+        write(columns::QUAL, self.options.qual, &self.quals, self.options.level)?;
+        write(columns::METADATA, self.options.metadata, &self.meta, self.options.level)?;
+
+        self.manifest.records.push(ChunkEntry {
+            path: stem,
+            first_record: self.first_record,
+            num_records: n,
+        });
+        self.first_record += n as u64;
+        self.manifest.total_records = self.first_record;
+        self.next_chunk += 1;
+        self.meta.clear();
+        self.bases.clear();
+        self.quals.clear();
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk, writes `manifest.json` to the
+    /// store, and returns the manifest.
+    pub fn finish(mut self, store: &dyn ChunkStore) -> Result<Manifest> {
+        self.flush_chunk(store)?;
+        self.manifest.validate()?;
+        store.put(&format!("{}.manifest.json", self.manifest.name), self.manifest.to_json()?.as_bytes())?;
+        Ok(self.manifest)
+    }
+}
+
+/// Appends a *new column* to an existing dataset, one chunk at a time —
+/// the paper's extension mechanism (§3). Chunks must be appended in
+/// dataset order and record counts must match the existing chunks
+/// exactly (the column joins the dataset's row group).
+pub struct ColumnAppender<'m> {
+    manifest: &'m mut Manifest,
+    column: String,
+    config: ColumnConfig,
+    level: CompressLevel,
+    next_chunk: usize,
+}
+
+impl<'m> ColumnAppender<'m> {
+    /// Starts appending `column` to `manifest`.
+    pub fn new(
+        manifest: &'m mut Manifest,
+        column: &str,
+        config: ColumnConfig,
+        level: CompressLevel,
+    ) -> Result<Self> {
+        manifest.add_column(column, config.codec)?;
+        Ok(ColumnAppender { manifest, column: column.to_string(), config, level, next_chunk: 0 })
+    }
+
+    /// Writes the next chunk's records for this column.
+    pub fn append_chunk<'a>(
+        &mut self,
+        store: &dyn ChunkStore,
+        records: impl ExactSizeIterator<Item = &'a [u8]>,
+    ) -> Result<()> {
+        let entry = self
+            .manifest
+            .records
+            .get(self.next_chunk)
+            .ok_or_else(|| Error::Format("more column chunks than dataset chunks".into()))?;
+        if records.len() != entry.num_records as usize {
+            return Err(Error::Format(format!(
+                "column chunk has {} records; dataset chunk {} has {}",
+                records.len(),
+                entry.path,
+                entry.num_records
+            )));
+        }
+        let chunk = ChunkData::from_records(self.config.record_type, records)?;
+        let encoded = chunk.encode(self.config.codec, self.level)?;
+        store.put(&Manifest::chunk_object_name(&entry.path, &self.column), &encoded)?;
+        self.next_chunk += 1;
+        Ok(())
+    }
+
+    /// Completes the append, rewriting the manifest object.
+    pub fn finish(self, store: &dyn ChunkStore) -> Result<()> {
+        if self.next_chunk != self.manifest.records.len() {
+            return Err(Error::Format(format!(
+                "column {} covers {} of {} chunks",
+                self.column,
+                self.next_chunk,
+                self.manifest.records.len()
+            )));
+        }
+        store.put(
+            &format!("{}.manifest.json", self.manifest.name),
+            self.manifest.to_json()?.as_bytes(),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk_io::MemStore;
+    use crate::dataset::Dataset;
+
+    fn reads(n: usize) -> Vec<(Vec<u8>, Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let meta = format!("read{i}").into_bytes();
+                let bases: Vec<u8> = (0..20).map(|j| b"ACGT"[(i + j) % 4]).collect();
+                let quals = vec![b'I'; 20];
+                (meta, bases, quals)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn writes_chunked_dataset() {
+        let store = MemStore::new();
+        let mut w = DatasetWriter::new("ds", 10).unwrap();
+        for (m, b, q) in reads(25) {
+            w.append(&store, &m, &b, &q).unwrap();
+        }
+        let manifest = w.finish(&store).unwrap();
+        assert_eq!(manifest.total_records, 25);
+        assert_eq!(manifest.records.len(), 3); // 10 + 10 + 5.
+        assert_eq!(manifest.records[2].num_records, 5);
+        // Chunk objects exist per Figure 2 naming.
+        assert!(store.exists("ds-0.bases"));
+        assert!(store.exists("ds-1.qual"));
+        assert!(store.exists("ds-2.metadata"));
+        assert!(store.exists("ds.manifest.json"));
+    }
+
+    #[test]
+    fn roundtrip_through_dataset_reader() {
+        let store = MemStore::new();
+        let mut w = DatasetWriter::new("ds", 7).unwrap();
+        let rs = reads(20);
+        for (m, b, q) in &rs {
+            w.append(&store, m, b, q).unwrap();
+        }
+        let manifest = w.finish(&store).unwrap();
+        let ds = Dataset::new(manifest);
+        let mut i = 0usize;
+        for c in 0..ds.manifest().records.len() {
+            let bases = ds.read_column_chunk(&store, c, columns::BASES).unwrap();
+            let meta = ds.read_column_chunk(&store, c, columns::METADATA).unwrap();
+            for r in 0..bases.len() {
+                assert_eq!(bases.record(r), rs[i].1.as_slice());
+                assert_eq!(meta.record(r), rs[i].0.as_slice());
+                i += 1;
+            }
+        }
+        assert_eq!(i, 20);
+    }
+
+    #[test]
+    fn rejects_mismatched_quals() {
+        let store = MemStore::new();
+        let mut w = DatasetWriter::new("ds", 10).unwrap();
+        assert!(w.append(&store, b"m", b"ACGT", b"II").is_err());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let store = MemStore::new();
+        let w = DatasetWriter::new("empty", 10).unwrap();
+        let manifest = w.finish(&store).unwrap();
+        assert_eq!(manifest.total_records, 0);
+        assert!(manifest.records.is_empty());
+    }
+
+    #[test]
+    fn column_appender_adds_results() {
+        let store = MemStore::new();
+        let mut w = DatasetWriter::new("ds", 10).unwrap();
+        for (m, b, q) in reads(15) {
+            w.append(&store, &m, &b, &q).unwrap();
+        }
+        let mut manifest = w.finish(&store).unwrap();
+
+        let cfg = ColumnConfig { codec: Codec::Gzip, record_type: RecordType::Results };
+        let mut appender =
+            ColumnAppender::new(&mut manifest, columns::RESULTS, cfg, CompressLevel::Default)
+                .unwrap();
+        let counts: Vec<u32> = vec![10, 5];
+        let mut payloads = Vec::new();
+        for &n in &counts {
+            let recs: Vec<Vec<u8>> = (0..n)
+                .map(|i| crate::results::AlignmentResult {
+                    location: i as i64 * 100,
+                    ..crate::results::AlignmentResult::unmapped()
+                }
+                .encode())
+                .collect();
+            payloads.push(recs);
+        }
+        for p in &payloads {
+            appender.append_chunk(&store, p.iter().map(|r| r.as_slice())).unwrap();
+        }
+        appender.finish(&store).unwrap();
+        assert!(manifest.has_column(columns::RESULTS));
+        assert!(store.exists("ds-0.results"));
+        assert!(store.exists("ds-1.results"));
+
+        // Reload the manifest from the store and check it knows the column.
+        let reloaded =
+            Manifest::from_json(std::str::from_utf8(&store.get("ds.manifest.json").unwrap()).unwrap())
+                .unwrap();
+        assert!(reloaded.has_column(columns::RESULTS));
+    }
+
+    #[test]
+    fn column_appender_rejects_wrong_counts() {
+        let store = MemStore::new();
+        let mut w = DatasetWriter::new("ds", 10).unwrap();
+        for (m, b, q) in reads(10) {
+            w.append(&store, &m, &b, &q).unwrap();
+        }
+        let mut manifest = w.finish(&store).unwrap();
+        let cfg = ColumnConfig { codec: Codec::None, record_type: RecordType::Text };
+        let mut appender =
+            ColumnAppender::new(&mut manifest, "notes", cfg, CompressLevel::Default).unwrap();
+        let recs: Vec<&[u8]> = vec![b"x"; 3]; // Should be 10.
+        assert!(appender.append_chunk(&store, recs.into_iter()).is_err());
+    }
+
+    #[test]
+    fn incomplete_column_append_rejected() {
+        let store = MemStore::new();
+        let mut w = DatasetWriter::new("ds", 5).unwrap();
+        for (m, b, q) in reads(10) {
+            w.append(&store, &m, &b, &q).unwrap();
+        }
+        let mut manifest = w.finish(&store).unwrap();
+        let cfg = ColumnConfig { codec: Codec::None, record_type: RecordType::Text };
+        let mut appender =
+            ColumnAppender::new(&mut manifest, "notes", cfg, CompressLevel::Default).unwrap();
+        let recs: Vec<&[u8]> = vec![b"x"; 5];
+        appender.append_chunk(&store, recs.into_iter()).unwrap();
+        // Only 1 of 2 chunks appended.
+        assert!(appender.finish(&store).is_err());
+    }
+}

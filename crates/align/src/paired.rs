@@ -1,0 +1,244 @@
+//! Paired-end alignment support.
+//!
+//! BWA-MEM "incorporates a single-threaded step over sets of reads to
+//! infer information about the data" (paper §4.3) — that step is
+//! [`infer_insert_stats`]: estimating the fragment-length distribution
+//! from a batch of independently aligned pairs. [`pair_results`] then
+//! stamps SAM-style pair flags, mate positions and template lengths, and
+//! classifies pairs as *proper* when they are FR-oriented within the
+//! inferred insert window.
+
+use persona_agd::results::{flags, AlignmentResult};
+
+use crate::Aligner;
+
+/// Fragment-length statistics inferred from a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsertStats {
+    /// Mean insert size.
+    pub mean: f64,
+    /// Standard deviation.
+    pub sd: f64,
+    /// Number of pairs used for the estimate.
+    pub n: usize,
+}
+
+impl InsertStats {
+    /// A permissive default when no pairs were usable.
+    pub fn fallback() -> Self {
+        InsertStats { mean: 400.0, sd: 100.0, n: 0 }
+    }
+
+    /// Window of plausible inserts: mean ± 4σ (BWA's default shape).
+    pub fn window(&self) -> (i64, i64) {
+        let lo = (self.mean - 4.0 * self.sd).max(0.0) as i64;
+        let hi = (self.mean + 4.0 * self.sd) as i64;
+        (lo, hi)
+    }
+}
+
+/// Observed insert size of a mapped FR pair, if well-formed.
+fn observed_insert(r1: &AlignmentResult, r2: &AlignmentResult) -> Option<i64> {
+    if r1.is_unmapped() || r2.is_unmapped() {
+        return None;
+    }
+    if r1.is_reverse() == r2.is_reverse() {
+        return None; // Same strand: not FR.
+    }
+    let (fwd, rev) = if r1.is_reverse() { (r2, r1) } else { (r1, r2) };
+    if fwd.location > rev.location {
+        return None; // RF orientation (facing outward).
+    }
+    let insert = rev.location + rev.reference_span() as i64 - fwd.location;
+    (insert > 0).then_some(insert)
+}
+
+/// The single-threaded inference step: estimates the insert-size
+/// distribution from a batch of independently aligned mate results.
+///
+/// Pairs that are unmapped, same-strand, RF-oriented, or wildly long
+/// (beyond `max_insert`) are excluded, mirroring BWA-MEM's outlier
+/// trimming.
+pub fn infer_insert_stats(
+    pairs: &[(AlignmentResult, AlignmentResult)],
+    max_insert: i64,
+) -> InsertStats {
+    let inserts: Vec<f64> = pairs
+        .iter()
+        .filter_map(|(a, b)| observed_insert(a, b))
+        .filter(|&i| i <= max_insert)
+        .map(|i| i as f64)
+        .collect();
+    if inserts.len() < 4 {
+        return InsertStats::fallback();
+    }
+    let n = inserts.len() as f64;
+    let mean = inserts.iter().sum::<f64>() / n;
+    let var = inserts.iter().map(|i| (i - mean) * (i - mean)).sum::<f64>() / n;
+    InsertStats { mean, sd: var.sqrt().max(1.0), n: inserts.len() }
+}
+
+/// Stamps pair flags, mate locations and template length onto two mate
+/// results, classifying proper pairs against `stats`.
+pub fn pair_results(
+    r1: &mut AlignmentResult,
+    r2: &mut AlignmentResult,
+    stats: &InsertStats,
+) {
+    r1.flags |= flags::PAIRED | flags::FIRST_IN_PAIR;
+    r2.flags |= flags::PAIRED | flags::SECOND_IN_PAIR;
+    if r2.is_unmapped() {
+        r1.flags |= flags::MATE_UNMAPPED;
+    }
+    if r1.is_unmapped() {
+        r2.flags |= flags::MATE_UNMAPPED;
+    }
+    if r2.is_reverse() {
+        r1.flags |= flags::MATE_REVERSE;
+    }
+    if r1.is_reverse() {
+        r2.flags |= flags::MATE_REVERSE;
+    }
+    r1.mate_location = r2.location;
+    r2.mate_location = r1.location;
+
+    if let Some(insert) = observed_insert(r1, r2) {
+        let (lo, hi) = stats.window();
+        let proper = insert >= lo && insert <= hi;
+        if proper {
+            r1.flags |= flags::PROPER_PAIR;
+            r2.flags |= flags::PROPER_PAIR;
+        }
+        // SAM TLEN: positive for the leftmost segment, negative for the
+        // rightmost.
+        if r1.location <= r2.location {
+            r1.template_len = insert as i32;
+            r2.template_len = -(insert as i32);
+        } else {
+            r1.template_len = -(insert as i32);
+            r2.template_len = insert as i32;
+        }
+    }
+}
+
+/// Aligns batches of read pairs: align each mate independently, run the
+/// single-threaded inference step, then stamp pair information.
+///
+/// This mirrors Persona's BWA paired subgraph structure: the parallel
+/// per-read work dominates, with one serial pass per batch.
+pub fn align_pair_batch(
+    aligner: &dyn Aligner,
+    pairs: &[(Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>)], // (bases1, quals1, bases2, quals2)
+) -> (Vec<(AlignmentResult, AlignmentResult)>, InsertStats) {
+    let mut results: Vec<(AlignmentResult, AlignmentResult)> = pairs
+        .iter()
+        .map(|(b1, q1, b2, q2)| (aligner.align_read(b1, q1), aligner.align_read(b2, q2)))
+        .collect();
+    let stats = infer_insert_stats(&results, 10_000);
+    for (r1, r2) in results.iter_mut() {
+        pair_results(r1, r2, &stats);
+    }
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::results::{CigarKind, CigarOp};
+
+    fn mapped(location: i64, reverse: bool, span: u32) -> AlignmentResult {
+        AlignmentResult {
+            location,
+            mate_location: -1,
+            template_len: 0,
+            flags: if reverse { flags::REVERSE } else { 0 },
+            mapq: 60,
+            cigar: vec![CigarOp { kind: CigarKind::Match, len: span }],
+        }
+    }
+
+    #[test]
+    fn insert_stats_from_clean_pairs() {
+        let pairs: Vec<_> = (0..20)
+            .map(|i| {
+                let start = 1000 + i * 50;
+                (mapped(start, false, 100), mapped(start + 300, true, 100))
+            })
+            .collect();
+        let stats = infer_insert_stats(&pairs, 10_000);
+        assert_eq!(stats.n, 20);
+        assert!((stats.mean - 400.0).abs() < 1e-9); // 300 offset + 100 span.
+        assert!(stats.sd >= 1.0);
+    }
+
+    #[test]
+    fn outliers_and_bad_orientations_excluded() {
+        let mut pairs: Vec<_> = (0..10)
+            .map(|i| (mapped(1000 + i * 10, false, 100), mapped(1300 + i * 10, true, 100)))
+            .collect();
+        // Same-strand pair.
+        pairs.push((mapped(5000, false, 100), mapped(5300, false, 100)));
+        // RF pair (rev before fwd).
+        pairs.push((mapped(7000, true, 100), mapped(7300, false, 100)));
+        // Absurd insert.
+        pairs.push((mapped(10_000, false, 100), mapped(900_000, true, 100)));
+        // Unmapped mate.
+        pairs.push((mapped(1000, false, 100), AlignmentResult::unmapped()));
+        let stats = infer_insert_stats(&pairs, 10_000);
+        assert_eq!(stats.n, 10);
+    }
+
+    #[test]
+    fn too_few_pairs_falls_back() {
+        let pairs = vec![(mapped(0, false, 100), mapped(300, true, 100))];
+        let stats = infer_insert_stats(&pairs, 10_000);
+        assert_eq!(stats, InsertStats::fallback());
+    }
+
+    #[test]
+    fn proper_pair_flagging_and_tlen() {
+        let stats = InsertStats { mean: 400.0, sd: 30.0, n: 50 };
+        let mut r1 = mapped(1000, false, 100);
+        let mut r2 = mapped(1300, true, 100);
+        pair_results(&mut r1, &mut r2, &stats);
+        assert!(r1.flags & flags::PAIRED != 0);
+        assert!(r1.flags & flags::FIRST_IN_PAIR != 0);
+        assert!(r2.flags & flags::SECOND_IN_PAIR != 0);
+        assert!(r1.flags & flags::PROPER_PAIR != 0);
+        assert!(r2.flags & flags::PROPER_PAIR != 0);
+        assert!(r1.flags & flags::MATE_REVERSE != 0);
+        assert!(r2.flags & flags::MATE_REVERSE == 0);
+        assert_eq!(r1.mate_location, 1300);
+        assert_eq!(r2.mate_location, 1000);
+        assert_eq!(r1.template_len, 400);
+        assert_eq!(r2.template_len, -400);
+    }
+
+    #[test]
+    fn improper_when_insert_out_of_window() {
+        let stats = InsertStats { mean: 400.0, sd: 10.0, n: 50 };
+        let mut r1 = mapped(1000, false, 100);
+        let mut r2 = mapped(3000, true, 100); // Insert 2100: way out.
+        pair_results(&mut r1, &mut r2, &stats);
+        assert!(r1.flags & flags::PROPER_PAIR == 0);
+    }
+
+    #[test]
+    fn unmapped_mate_flags() {
+        let stats = InsertStats::fallback();
+        let mut r1 = mapped(1000, false, 100);
+        let mut r2 = AlignmentResult::unmapped();
+        pair_results(&mut r1, &mut r2, &stats);
+        assert!(r1.flags & flags::MATE_UNMAPPED != 0);
+        assert!(r2.flags & flags::PAIRED != 0);
+        assert!(r1.flags & flags::PROPER_PAIR == 0);
+    }
+
+    #[test]
+    fn window_never_negative() {
+        let stats = InsertStats { mean: 50.0, sd: 100.0, n: 5 };
+        let (lo, hi) = stats.window();
+        assert!(lo >= 0);
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,437 @@
+//! Smith-Waterman local alignment with affine gap penalties and
+//! traceback, plus a banded global variant used to produce CIGARs.
+//!
+//! Scoring defaults follow BWA-MEM: match +1, mismatch -4, gap open -6,
+//! gap extend -1 (scaled ×2 for a little headroom).
+
+use persona_agd::results::{CigarKind, CigarOp};
+
+/// Alignment scoring parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Scoring {
+    /// Score for a matching base (positive).
+    pub match_score: i32,
+    /// Penalty for a mismatch (negative).
+    pub mismatch: i32,
+    /// Penalty to open a gap (negative, charged on the first gap base).
+    pub gap_open: i32,
+    /// Penalty to extend a gap by one base (negative).
+    pub gap_extend: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring { match_score: 2, mismatch: -8, gap_open: -12, gap_extend: -2 }
+    }
+}
+
+/// The outcome of a local alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Optimal local score.
+    pub score: i32,
+    /// Start of the aligned region in the reference (inclusive).
+    pub ref_start: usize,
+    /// End in the reference (exclusive).
+    pub ref_end: usize,
+    /// Start of the aligned region in the query (inclusive).
+    pub query_start: usize,
+    /// End in the query (exclusive).
+    pub query_end: usize,
+    /// CIGAR of the aligned region (M/I/D only; soft clips added by
+    /// [`LocalAlignment::cigar_with_clips`]).
+    pub cigar: Vec<CigarOp>,
+}
+
+impl LocalAlignment {
+    /// Full-read CIGAR: soft-clips the unaligned query head and tail.
+    pub fn cigar_with_clips(&self, query_len: usize) -> Vec<CigarOp> {
+        let mut out = Vec::with_capacity(self.cigar.len() + 2);
+        if self.query_start > 0 {
+            out.push(CigarOp { kind: CigarKind::SoftClip, len: self.query_start as u32 });
+        }
+        out.extend_from_slice(&self.cigar);
+        if self.query_end < query_len {
+            out.push(CigarOp { kind: CigarKind::SoftClip, len: (query_len - self.query_end) as u32 });
+        }
+        out
+    }
+}
+
+/// Direction tags for the traceback matrices.
+#[derive(Clone, Copy, PartialEq)]
+enum Tb {
+    Stop,
+    Diag,
+    Up,   // Gap in reference (insertion to ref: consumes query).
+    Left, // Gap in query (deletion from query view: consumes reference).
+}
+
+/// Full Smith-Waterman with affine gaps and traceback.
+///
+/// O(n·m) time and O(n·m) traceback memory — used for short sequences
+/// (read-length extensions); the paper's aligners never run SW on more
+/// than a few hundred bases at a time.
+pub fn smith_waterman(reference: &[u8], query: &[u8], sc: Scoring) -> LocalAlignment {
+    let n = reference.len();
+    let m = query.len();
+    if n == 0 || m == 0 {
+        return LocalAlignment {
+            score: 0,
+            ref_start: 0,
+            ref_end: 0,
+            query_start: 0,
+            query_end: 0,
+            cigar: Vec::new(),
+        };
+    }
+
+    // H: best score ending at (i,j); E: gap-in-query (left), F: gap-in-ref (up).
+    let w = m + 1;
+    let mut h = vec![0i32; (n + 1) * w];
+    let mut e = vec![i32::MIN / 2; (n + 1) * w];
+    let mut f = vec![i32::MIN / 2; (n + 1) * w];
+    let mut tb = vec![Tb::Stop; (n + 1) * w];
+
+    let mut best = 0i32;
+    let mut best_ij = (0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let idx = i * w + j;
+            e[idx] = (e[idx - 1] + sc.gap_extend).max(h[idx - 1] + sc.gap_open);
+            f[idx] = (f[idx - w] + sc.gap_extend).max(h[idx - w] + sc.gap_open);
+            let sub = if reference[i - 1] == query[j - 1] { sc.match_score } else { sc.mismatch };
+            let diag = h[idx - w - 1] + sub;
+            let mut val = diag;
+            let mut dir = Tb::Diag;
+            if e[idx] > val {
+                val = e[idx];
+                dir = Tb::Left;
+            }
+            if f[idx] > val {
+                val = f[idx];
+                dir = Tb::Up;
+            }
+            if val <= 0 {
+                val = 0;
+                dir = Tb::Stop;
+            }
+            h[idx] = val;
+            tb[idx] = dir;
+            if val > best {
+                best = val;
+                best_ij = (i, j);
+            }
+        }
+    }
+
+    // Traceback from the best cell.
+    let (mut i, mut j) = best_ij;
+    let (ref_end, query_end) = (i, j);
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let push = |kind: CigarKind, ops: &mut Vec<CigarOp>| {
+        if let Some(last) = ops.last_mut() {
+            if last.kind == kind {
+                last.len += 1;
+                return;
+            }
+        }
+        ops.push(CigarOp { kind, len: 1 });
+    };
+    while i > 0 && j > 0 {
+        match tb[i * w + j] {
+            Tb::Stop => break,
+            Tb::Diag => {
+                push(CigarKind::Match, &mut ops_rev);
+                i -= 1;
+                j -= 1;
+            }
+            Tb::Left => {
+                // Gap in reference direction: consumes query only (I).
+                push(CigarKind::Ins, &mut ops_rev);
+                j -= 1;
+            }
+            Tb::Up => {
+                // Consumes reference only (D).
+                push(CigarKind::Del, &mut ops_rev);
+                i -= 1;
+            }
+        }
+    }
+    ops_rev.reverse();
+    LocalAlignment {
+        score: best,
+        ref_start: i,
+        ref_end,
+        query_start: j,
+        query_end,
+        cigar: ops_rev,
+    }
+}
+
+/// Banded *global* alignment of `query` against a window of `reference`,
+/// producing a CIGAR that consumes the entire query. Used by the
+/// SNAP-style aligner to emit a CIGAR once a candidate location has been
+/// verified (band width = max edits).
+///
+/// Returns `None` if no alignment fits in the band.
+pub fn banded_global_cigar(
+    reference: &[u8],
+    query: &[u8],
+    band: usize,
+) -> Option<(u32, Vec<CigarOp>)> {
+    let n = query.len();
+    if n == 0 {
+        return Some((0, Vec::new()));
+    }
+    let b = band;
+    let m = reference.len().min(n + b);
+    // dp[i][j] = edit distance pattern[0..i] vs text[0..j], |j - i| <= b.
+    // Stored densely with traceback for the banded region.
+    let w = 2 * b + 1;
+    let big = u32::MAX / 2;
+    let mut dp = vec![big; (n + 1) * w];
+    let mut tb: Vec<u8> = vec![0; (n + 1) * w]; // 1=diag,2=up(del query? ),3=left
+    let col = |i: usize, j: usize| -> Option<usize> {
+        // j in [i-b, i+b].
+        let lo = i as isize - b as isize;
+        let off = j as isize - lo;
+        if off < 0 || off >= w as isize {
+            None
+        } else {
+            Some(i * w + off as usize)
+        }
+    };
+    // Row 0: aligning empty query to text prefix j costs j (deletions).
+    for j in 0..=b.min(m) {
+        if let Some(c) = col(0, j) {
+            dp[c] = j as u32;
+            tb[c] = 3;
+        }
+    }
+    for i in 1..=n {
+        let jlo = i.saturating_sub(b);
+        let jhi = (i + b).min(m);
+        for j in jlo..=jhi {
+            let c = col(i, j).unwrap();
+            let mut best = big;
+            let mut dir = 0u8;
+            if j > 0 {
+                if let Some(cd) = col(i - 1, j - 1) {
+                    let cost = if query[i - 1] == reference[j - 1] { 0 } else { 1 };
+                    if dp[cd] + cost < best {
+                        best = dp[cd] + cost;
+                        dir = 1;
+                    }
+                }
+            }
+            if let Some(cu) = col(i - 1, j) {
+                if dp[cu] + 1 < best {
+                    best = dp[cu] + 1;
+                    dir = 2; // Insertion (query consumed, ref not).
+                }
+            }
+            if j > 0 {
+                if let Some(cl) = col(i, j - 1) {
+                    if dp[cl] + 1 < best {
+                        best = dp[cl] + 1;
+                        dir = 3; // Deletion (ref consumed).
+                    }
+                }
+            }
+            dp[c] = best;
+            tb[c] = dir;
+        }
+    }
+    // Pick the best end column in the last row (free text tail).
+    let jlo = n.saturating_sub(b);
+    let jhi = (n + b).min(m);
+    let (mut bj, mut bcost) = (jlo, big);
+    for j in jlo..=jhi {
+        if let Some(c) = col(n, j) {
+            if dp[c] < bcost {
+                bcost = dp[c];
+                bj = j;
+            }
+        }
+    }
+    if bcost >= big {
+        return None;
+    }
+    // Traceback.
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let push = |kind: CigarKind, ops: &mut Vec<CigarOp>| {
+        if let Some(last) = ops.last_mut() {
+            if last.kind == kind {
+                last.len += 1;
+                return;
+            }
+        }
+        ops.push(CigarOp { kind, len: 1 });
+    };
+    let (mut i, mut j) = (n, bj);
+    while i > 0 || j > 0 {
+        let c = match col(i, j) {
+            Some(c) => c,
+            None => break,
+        };
+        match tb[c] {
+            1 => {
+                push(CigarKind::Match, &mut ops_rev);
+                i -= 1;
+                j -= 1;
+            }
+            2 => {
+                push(CigarKind::Ins, &mut ops_rev);
+                i -= 1;
+            }
+            3 => {
+                if i == 0 {
+                    // Leading reference consumption before the query
+                    // starts is not part of the read's CIGAR.
+                    break;
+                }
+                push(CigarKind::Del, &mut ops_rev);
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    ops_rev.reverse();
+    Some((bcost, ops_rev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cigar_str(ops: &[CigarOp]) -> String {
+        ops.iter().map(|op| format!("{}{}", op.len, op.kind.to_char())).collect()
+    }
+
+    #[test]
+    fn exact_local_match() {
+        let a = smith_waterman(b"AAACGTACGTAAA", b"CGTACGT", Scoring::default());
+        assert_eq!(a.ref_start, 3);
+        assert_eq!(a.ref_end, 10);
+        assert_eq!(a.query_start, 0);
+        assert_eq!(a.query_end, 7);
+        assert_eq!(cigar_str(&a.cigar), "7M");
+        assert_eq!(a.score, 14);
+    }
+
+    #[test]
+    fn mismatch_in_middle() {
+        let a = smith_waterman(b"ACGTACGTACGT", b"ACGTTCGTACGT", Scoring::default());
+        // One mismatch: aligning through scores 11·2 - 8 = 14; clipping
+        // to the 7-match suffix also scores 14. Either optimum is fine.
+        assert_eq!(a.score, 14);
+        assert_eq!(a.query_end, 12);
+    }
+
+    #[test]
+    fn gap_alignment() {
+        // Query is reference with a 2-base deletion.
+        let reference = b"ACGTACGGGTACGT";
+        let query = b"ACGTACTACGT"; // Missing "GGG" -> wait, missing GG.
+        let a = smith_waterman(reference, query, Scoring::default());
+        let has_del = a.cigar.iter().any(|op| op.kind == CigarKind::Del);
+        assert!(has_del || a.query_end - a.query_start < query.len(), "{}", cigar_str(&a.cigar));
+    }
+
+    #[test]
+    fn soft_clips() {
+        // Query head garbage, tail garbage.
+        let a = smith_waterman(b"ACGTACGTACGTACGTACGT", b"TTTTTACGTACGTTTTT", Scoring::default());
+        let full = a.cigar_with_clips(17);
+        assert_eq!(full.first().unwrap().kind, CigarKind::SoftClip);
+        assert_eq!(full.last().unwrap().kind, CigarKind::SoftClip);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = smith_waterman(b"", b"ACGT", Scoring::default());
+        assert_eq!(a.score, 0);
+        let a = smith_waterman(b"ACGT", b"", Scoring::default());
+        assert_eq!(a.score, 0);
+    }
+
+    #[test]
+    fn local_score_is_never_negative() {
+        let a = smith_waterman(b"AAAA", b"TTTT", Scoring::default());
+        assert_eq!(a.score, 0);
+        assert!(a.cigar.is_empty());
+    }
+
+    #[test]
+    fn banded_exact() {
+        let (cost, cigar) = banded_global_cigar(b"ACGTACGT", b"ACGTACGT", 3).unwrap();
+        assert_eq!(cost, 0);
+        assert_eq!(cigar_str(&cigar), "8M");
+    }
+
+    #[test]
+    fn banded_substitution() {
+        let (cost, cigar) = banded_global_cigar(b"ACGTACGT", b"ACCTACGT", 3).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(cigar_str(&cigar), "8M");
+    }
+
+    #[test]
+    fn banded_insertion_and_deletion() {
+        // Query has extra base.
+        let (cost, cigar) = banded_global_cigar(b"ACGTACGT", b"ACGGTACGT", 3).unwrap();
+        assert_eq!(cost, 1);
+        assert!(cigar.iter().any(|op| op.kind == CigarKind::Ins), "{}", cigar_str(&cigar));
+        let qlen: u32 = cigar.iter().filter(|o| o.kind.consumes_query()).map(|o| o.len).sum();
+        assert_eq!(qlen, 9);
+
+        // Query missing a base.
+        let (cost, cigar) = banded_global_cigar(b"ACGTACGT", b"ACTACGT", 3).unwrap();
+        assert_eq!(cost, 1);
+        assert!(cigar.iter().any(|op| op.kind == CigarKind::Del), "{}", cigar_str(&cigar));
+        let qlen: u32 = cigar.iter().filter(|o| o.kind.consumes_query()).map(|o| o.len).sum();
+        assert_eq!(qlen, 7);
+    }
+
+    #[test]
+    fn banded_cigar_consumes_whole_query() {
+        let cases: Vec<(&[u8], &[u8])> = vec![
+            (b"ACGTACGTACGTACGT", b"ACGTACGTACGTACGT"),
+            (b"ACGTACGTACGTACGT", b"ACGTACGTACGAACGT"),
+            (b"ACGTACGTACGTACGTTT", b"ACGTCGTACGTACGT"),
+        ];
+        for (r, q) in cases {
+            let (_, cigar) = banded_global_cigar(r, q, 4).unwrap();
+            let qlen: u32 = cigar.iter().filter(|o| o.kind.consumes_query()).map(|o| o.len).sum();
+            assert_eq!(qlen as usize, q.len(), "query not fully consumed");
+        }
+    }
+
+    #[test]
+    fn banded_cost_matches_dp() {
+        use crate::edit::edit_distance_dp;
+        fn rb(x: &mut u64) -> u8 {
+            *x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            b"ACGT"[(*x >> 62) as usize]
+        }
+        let mut x = 31u64;
+        for trial in 0..100 {
+            let n = 20 + trial % 30;
+            let reference: Vec<u8> = (0..n + 8).map(|_| rb(&mut x)).collect();
+            let mut query = reference[..n].to_vec();
+            for _ in 0..trial % 3 {
+                let i = (x as usize) % query.len();
+                query[i] = rb(&mut x);
+            }
+            let dp = edit_distance_dp(&reference, &query);
+            if let Some((cost, _)) = banded_global_cigar(&reference, &query, 6) {
+                if dp <= 6 {
+                    assert_eq!(cost, dp, "trial {trial}");
+                }
+            } else {
+                assert!(dp > 6, "band missed a distance-{dp} alignment");
+            }
+        }
+    }
+}

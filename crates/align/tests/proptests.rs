@@ -1,0 +1,102 @@
+//! Property-based tests for the alignment kernels.
+
+use persona_align::edit::{edit_distance_dp, landau_vishkin};
+use persona_align::sw::{banded_global_cigar, smith_waterman, Scoring};
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Landau-Vishkin agrees with the textbook DP whenever the distance
+    /// fits the budget, and correctly reports None otherwise.
+    #[test]
+    fn lv_matches_dp(
+        text in dna(1..80),
+        pattern in dna(1..60),
+        k in 0u32..10,
+    ) {
+        let expected = edit_distance_dp(&text, &pattern);
+        match landau_vishkin(&text, &pattern, k) {
+            Some(d) => {
+                prop_assert_eq!(d, expected);
+                prop_assert!(d <= k);
+            }
+            None => prop_assert!(expected > k, "LV gave up at {expected} <= {k}"),
+        }
+    }
+
+    /// LV is exact-zero on any text/prefix pair.
+    #[test]
+    fn lv_zero_on_exact_prefix(text in dna(10..120), cut in 1usize..9) {
+        let plen = text.len() / cut.max(1);
+        if plen > 0 {
+            prop_assert_eq!(landau_vishkin(&text, &text[..plen], 3), Some(0));
+        }
+    }
+
+    /// The banded global CIGAR always consumes the whole query, and its
+    /// cost matches the DP distance when within the band.
+    #[test]
+    fn banded_cigar_consumes_query(
+        reference in dna(20..100),
+        pattern_len in 10usize..60,
+        band in 1usize..8,
+    ) {
+        let plen = pattern_len.min(reference.len());
+        let pattern = &reference[..plen];
+        if let Some((cost, cigar)) = banded_global_cigar(&reference, pattern, band) {
+            let qlen: u32 = cigar
+                .iter()
+                .filter(|op| op.kind.consumes_query())
+                .map(|op| op.len)
+                .sum();
+            prop_assert_eq!(qlen as usize, plen);
+            prop_assert_eq!(cost, 0, "exact prefix must cost 0");
+        } else {
+            prop_assert!(false, "exact prefix must fit any band");
+        }
+    }
+
+    /// Smith-Waterman scores are non-negative, bounded by perfect match,
+    /// and the reported regions are consistent with the CIGAR.
+    #[test]
+    fn sw_invariants(reference in dna(1..80), query in dna(1..60)) {
+        let sc = Scoring::default();
+        let a = smith_waterman(&reference, &query, sc);
+        prop_assert!(a.score >= 0);
+        prop_assert!(a.score <= query.len() as i32 * sc.match_score);
+        prop_assert!(a.ref_start <= a.ref_end && a.ref_end <= reference.len());
+        prop_assert!(a.query_start <= a.query_end && a.query_end <= query.len());
+        let q_consumed: u32 =
+            a.cigar.iter().filter(|op| op.kind.consumes_query()).map(|op| op.len).sum();
+        let r_consumed: u32 =
+            a.cigar.iter().filter(|op| op.kind.consumes_reference()).map(|op| op.len).sum();
+        prop_assert_eq!(q_consumed as usize, a.query_end - a.query_start);
+        prop_assert_eq!(r_consumed as usize, a.ref_end - a.ref_start);
+    }
+
+    /// A query equal to a slice of the reference scores a perfect local
+    /// alignment covering the whole query.
+    #[test]
+    fn sw_finds_planted_substring(
+        reference in dna(30..120),
+        start_frac in 0.0f64..0.5,
+        len_frac in 0.2f64..0.5,
+    ) {
+        let start = (reference.len() as f64 * start_frac) as usize;
+        let len = ((reference.len() as f64 * len_frac) as usize).max(5);
+        let end = (start + len).min(reference.len());
+        let query = &reference[start..end];
+        let sc = Scoring::default();
+        let a = smith_waterman(&reference, query, sc);
+        prop_assert_eq!(a.score, query.len() as i32 * sc.match_score);
+        prop_assert_eq!(a.query_end - a.query_start, query.len());
+    }
+}

@@ -1,0 +1,52 @@
+//! Row-oriented baseline tools, reimplemented for the paper's
+//! comparisons (§5): a standalone SNAP-style aligner (gzipped FASTQ in,
+//! SAM out), samtools-style and Picard-style BAM sorting, and a
+//! Samblaster-style SAM-stream duplicate marker.
+//!
+//! These are *honest* baselines: they use the same alignment and
+//! compression kernels as Persona, so every measured difference comes
+//! from what the paper attributes it to — row-oriented monolithic
+//! formats, full-record decode/encode, and ad-hoc threading — not from
+//! weaker implementations.
+
+pub mod samblaster;
+pub mod sort;
+pub mod standalone;
+
+/// Errors from baseline tools.
+#[derive(Debug)]
+pub enum Error {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Format failure.
+    Format(persona_formats::Error),
+    /// Tool-level failure.
+    Tool(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io: {e}"),
+            Error::Format(e) => write!(f, "format: {e}"),
+            Error::Tool(what) => write!(f, "tool: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<persona_formats::Error> for Error {
+    fn from(e: persona_formats::Error) -> Self {
+        Error::Format(e)
+    }
+}
+
+/// Result alias for baseline tools.
+pub type Result<T> = std::result::Result<T, Error>;

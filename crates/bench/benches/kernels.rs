@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the compute kernels: aligners,
+//! edit-distance/SW, FM-index, codecs, base compaction, chunk codec,
+//! and the dataflow framework primitives (queue/pool/executor), whose
+//! overhead underpins the paper's "≤1% framework overhead" claim.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use persona_agd::chunk::{ChunkData, RecordType};
+use persona_align::edit::landau_vishkin;
+use persona_align::sw::{smith_waterman, Scoring};
+use persona_align::Aligner;
+use persona_bench::World;
+use persona_compress::codec::Codec;
+use persona_dataflow::{Executor, ObjectPool, QueueHandle};
+
+fn bench_aligners(c: &mut Criterion) {
+    let world = World::build(200_000, 400, 101);
+    let snap = world.snap_aligner();
+    let bwa = world.bwa_aligner();
+    let mut g = c.benchmark_group("aligners");
+    g.measurement_time(Duration::from_secs(4));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(world.total_bases()));
+    for (name, aligner) in [("snap", &snap), ("bwa", &bwa)] {
+        g.bench_function(BenchmarkId::new("bases_per_sec", name), |b| {
+            b.iter(|| {
+                for r in &world.reads {
+                    std::hint::black_box(aligner.align_read(&r.bases, &r.quals));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let world = World::build(50_000, 1, 103);
+    let text = &world.genome.contig(0).seq[1000..1140];
+    let pattern = &world.genome.contig(0).seq[1000..1101];
+    let mut g = c.benchmark_group("kernels");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+    g.bench_function("landau_vishkin_101bp", |b| {
+        b.iter(|| std::hint::black_box(landau_vishkin(text, pattern, 12)))
+    });
+    g.bench_function("smith_waterman_101bp", |b| {
+        b.iter(|| std::hint::black_box(smith_waterman(text, pattern, Scoring::default())))
+    });
+    let fm = persona_index::FmIndex::build(&world.genome);
+    g.bench_function("fm_index_count_25bp", |b| {
+        b.iter(|| std::hint::black_box(fm.count(&pattern[..25])))
+    });
+    let seed_idx = persona_index::SeedIndex::build(&world.genome, 16);
+    g.bench_function("seed_index_lookup", |b| {
+        b.iter(|| std::hint::black_box(seed_idx.lookup(&pattern[..16])))
+    });
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let world = World::build(50_000, 500, 107);
+    let bases: Vec<u8> = world.reads.iter().flat_map(|r| r.bases.clone()).collect();
+    let mut g = c.benchmark_group("codecs");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bases.len() as u64));
+    for codec in [Codec::Gzip, Codec::Range] {
+        let packed = codec.compress(&bases);
+        g.bench_function(BenchmarkId::new("compress", codec.name()), |b| {
+            b.iter(|| std::hint::black_box(codec.compress(&bases)))
+        });
+        g.bench_function(BenchmarkId::new("decompress", codec.name()), |b| {
+            b.iter(|| std::hint::black_box(codec.decompress(&packed).unwrap()))
+        });
+    }
+    g.bench_function("base_compaction_pack", |b| {
+        b.iter(|| std::hint::black_box(persona_agd::compaction::pack(&bases).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_chunks(c: &mut Criterion) {
+    let world = World::build(50_000, 2_000, 109);
+    let chunk = ChunkData::from_records(
+        RecordType::CompactBases,
+        world.reads.iter().map(|r| r.bases.as_slice()),
+    )
+    .unwrap();
+    let encoded = chunk.encode(Codec::Gzip, persona_compress::deflate::CompressLevel::Fast).unwrap();
+    let mut g = c.benchmark_group("agd_chunks");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(chunk.data.len() as u64));
+    g.bench_function("encode_2k_reads", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                chunk.encode(Codec::Gzip, persona_compress::deflate::CompressLevel::Fast).unwrap(),
+            )
+        })
+    });
+    g.bench_function("decode_2k_reads", |b| {
+        b.iter(|| std::hint::black_box(ChunkData::decode(&encoded).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_framework(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework_overhead");
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(20);
+    // Queue round-trip cost per message (the coarse-grain edge cost).
+    g.bench_function("queue_push_pop", |b| {
+        let q: QueueHandle<u64> = QueueHandle::new("bench", 1024);
+        let _p = q.producer();
+        b.iter(|| {
+            q.push(42).unwrap();
+            std::hint::black_box(q.pop().unwrap());
+        })
+    });
+    // Pool acquire/release per buffer.
+    g.bench_function("pool_acquire_release", |b| {
+        let pool = ObjectPool::with_reset(8, || Vec::<u8>::with_capacity(4096), |v| v.clear());
+        b.iter(|| {
+            let mut buf = pool.acquire();
+            buf.push(1);
+            std::hint::black_box(buf.len());
+        })
+    });
+    // Executor batch dispatch (fine-grain task cost, Fig. 4).
+    let ex = Arc::new(Executor::new(2));
+    g.bench_function("executor_batch_of_16", |b| {
+        b.iter(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+                .map(|i| Box::new(move || {
+                    std::hint::black_box(i * 2);
+                }) as Box<dyn FnOnce() + Send>)
+                .collect();
+            ex.submit_batch(tasks).wait();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aligners, bench_kernels, bench_codecs, bench_chunks, bench_framework);
+criterion_main!(benches);

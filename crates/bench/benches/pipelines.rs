@@ -1,0 +1,153 @@
+//! Criterion benches of the full Persona pipelines (align, sort,
+//! dupmark, import) plus ablations DESIGN.md calls out: chunk size,
+//! subchunk size, queue capacity, and codec choice.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use persona::config::PersonaConfig;
+use persona::pipeline::align::{align_dataset, AlignInputs};
+use persona::pipeline::dupmark::mark_duplicates;
+use persona::pipeline::import::import_fastq;
+use persona::pipeline::sort::{sort_dataset, SortKey};
+use persona_bench::{mem_store, World};
+use persona_compress::codec::Codec;
+use persona_formats::fastq;
+
+fn bench_align_pipeline(c: &mut Criterion) {
+    let world = World::build(150_000, 3_000, 201);
+    let aligner = world.snap_aligner();
+    let mut g = c.benchmark_group("pipeline_align");
+    g.measurement_time(Duration::from_secs(8));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(world.total_bases()));
+    // Ablation: executor subchunk size (Fig. 4 motivation).
+    for subchunk in [64usize, 512, 3_000] {
+        g.bench_function(BenchmarkId::new("subchunk", subchunk), |b| {
+            b.iter_with_setup(
+                || {
+                    let store = mem_store();
+                    let manifest = world.write_agd(store.as_ref(), "b", 1_000);
+                    (store, manifest)
+                },
+                |(store, manifest)| {
+                    align_dataset(AlignInputs {
+                        store,
+                        manifest: &manifest,
+                        aligner: aligner.clone(),
+                        config: PersonaConfig {
+                            subchunk_size: subchunk,
+                            ..PersonaConfig::default()
+                        },
+                    })
+                    .unwrap()
+                },
+            )
+        });
+    }
+    // Ablation: chunk size (paper §3's bandwidth/latency tradeoff).
+    for chunk in [250usize, 1_000, 3_000] {
+        g.bench_function(BenchmarkId::new("chunk_size", chunk), |b| {
+            b.iter_with_setup(
+                || {
+                    let store = mem_store();
+                    let manifest = world.write_agd(store.as_ref(), "b", chunk);
+                    (store, manifest)
+                },
+                |(store, manifest)| {
+                    align_dataset(AlignInputs {
+                        store,
+                        manifest: &manifest,
+                        aligner: aligner.clone(),
+                        config: PersonaConfig::default(),
+                    })
+                    .unwrap()
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_and_dupmark(c: &mut Criterion) {
+    let world = World::build(150_000, 6_000, 203);
+    let store = mem_store();
+    let manifest = world.write_aligned_agd(&store, "sd", 1_000);
+    let mut g = c.benchmark_group("pipeline_sort_dupmark");
+    g.measurement_time(Duration::from_secs(6));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(manifest.total_records));
+    g.bench_function("sort_coordinate", |b| {
+        b.iter(|| {
+            sort_dataset(&store, &manifest, SortKey::Coordinate, "out", &PersonaConfig::default())
+                .unwrap()
+        })
+    });
+    g.bench_function("mark_duplicates", |b| {
+        b.iter(|| mark_duplicates(&store, &manifest).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_import(c: &mut Criterion) {
+    let world = World::build(150_000, 6_000, 205);
+    let bytes = fastq::to_bytes(&world.reads);
+    let mut g = c.benchmark_group("pipeline_import");
+    g.measurement_time(Duration::from_secs(6));
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("fastq_to_agd", |b| {
+        b.iter(|| {
+            let store = mem_store();
+            import_fastq(
+                std::io::Cursor::new(bytes.clone()),
+                &store,
+                "imp",
+                1_000,
+                &PersonaConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec_ablation(c: &mut Criterion) {
+    // Per-column codec choice: encode the quality column each way.
+    let world = World::build(100_000, 4_000, 207);
+    let quals: Vec<&[u8]> = world.reads.iter().map(|r| r.quals.as_slice()).collect();
+    let chunk = persona_agd::chunk::ChunkData::from_records(
+        persona_agd::chunk::RecordType::Text,
+        quals.iter().copied(),
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("codec_ablation_qual_column");
+    g.measurement_time(Duration::from_secs(5));
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(chunk.data.len() as u64));
+    for codec in [Codec::None, Codec::Gzip, Codec::Range] {
+        let size = chunk
+            .encode(codec, persona_compress::deflate::CompressLevel::Default)
+            .unwrap()
+            .len();
+        g.bench_function(BenchmarkId::new(codec.name(), format!("{size}B")), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    chunk
+                        .encode(codec, persona_compress::deflate::CompressLevel::Default)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_align_pipeline,
+    bench_sort_and_dupmark,
+    bench_import,
+    bench_codec_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! §5.7 — conversion throughput: FASTQ→AGD import and AGD→BAM export.
+//!
+//! Run: `cargo run -p persona-bench --release --bin convert`
+
+use persona::config::PersonaConfig;
+use persona::pipeline::export::export_bam;
+use persona::pipeline::import::import_fastq;
+use persona_bench::{mem_store, print_header, scale, World};
+use persona_compress::deflate::CompressLevel;
+use persona_formats::fastq;
+
+fn main() {
+    let sc = scale();
+    let world = World::build((400_000.0 * sc) as usize, (60_000.0 * sc) as usize, 31);
+    let fastq_bytes = fastq::to_bytes(&world.reads);
+
+    let store = mem_store();
+    let (manifest, import_rep) = import_fastq(
+        std::io::Cursor::new(fastq_bytes.clone()),
+        &store,
+        "cv",
+        5_000,
+        &PersonaConfig::default(),
+    )
+    .unwrap();
+
+    // Alignment results are required for BAM export.
+    let manifest = {
+        let _ = manifest;
+        world.write_aligned_agd(&store, "cv2", 5_000)
+    };
+    let mut bam = Vec::new();
+    let export_rep = export_bam(&store, &manifest, &mut bam, CompressLevel::Fast).unwrap();
+
+    print_header(
+        "§5.7: Conversion throughput",
+        &["direction", "bytes", "time (s)", "MB/s", "paper MB/s"],
+    );
+    println!(
+        "FASTQ -> AGD\t{:.1} MB\t{:.2}\t{:.1}\t360",
+        import_rep.input_bytes as f64 / 1e6,
+        import_rep.elapsed.as_secs_f64(),
+        import_rep.mb_per_sec()
+    );
+    println!(
+        "AGD -> BAM\t{:.1} MB\t{:.2}\t{:.1}\t82",
+        export_rep.output_bytes as f64 / 1e6,
+        export_rep.elapsed.as_secs_f64(),
+        export_rep.mb_per_sec()
+    );
+    println!("\npaper shape: import is several times faster than BAM export (BGZF recompression).");
+}

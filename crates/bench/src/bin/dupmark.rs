@@ -1,0 +1,47 @@
+//! §5.6 — duplicate marking: Persona (results column only) vs the
+//! Samblaster-style SAM-stream baseline.
+//!
+//! Run: `cargo run -p persona-bench --release --bin dupmark`
+
+use persona::config::PersonaConfig;
+use persona::pipeline::dupmark::mark_duplicates;
+use persona_baseline::samblaster::mark_duplicates_sam;
+use persona_bench::{mem_store, print_header, scale, World};
+
+fn main() {
+    let sc = scale();
+    let world = World::build((400_000.0 * sc) as usize, (60_000.0 * sc) as usize, 29);
+    let store = mem_store();
+    let manifest = world.write_aligned_agd(&store, "dm", 5_000);
+
+    // SAM stream for the baseline (excluded from its timing).
+    let mut sam = Vec::new();
+    persona::pipeline::export::export_sam(&store, &manifest, &mut sam, &PersonaConfig::default())
+        .unwrap();
+    let refs = persona_formats::sam::RefMap::new(&manifest.reference);
+
+    let baseline = mark_duplicates_sam(&sam, &refs).unwrap().1;
+    let persona_rep = mark_duplicates(&store, &manifest).unwrap();
+
+    print_header(
+        "§5.6: Duplicate marking throughput",
+        &["tool", "reads", "dups", "reads/s", "paper reads/s"],
+    );
+    println!(
+        "Samblaster (SAM stream)\t{}\t{}\t{:.0}\t364,963",
+        baseline.reads,
+        baseline.duplicates,
+        baseline.reads_per_sec()
+    );
+    println!(
+        "Persona (results column)\t{}\t{}\t{:.0}\t1,360,000",
+        persona_rep.reads,
+        persona_rep.duplicates,
+        persona_rep.reads_per_sec()
+    );
+    println!(
+        "\nspeedup: {:.2}x (paper: ~3.7x); duplicate counts agree: {}",
+        persona_rep.reads_per_sec() / baseline.reads_per_sec(),
+        baseline.duplicates == persona_rep.duplicates
+    );
+}

@@ -1,0 +1,113 @@
+//! Fig. 6 — alignment-rate scaling across threads: standalone vs
+//! Persona, SNAP and BWA, plus perfect-scaling lines.
+//!
+//! Real measurements run up to the machine's hardware threads; the
+//! 48-thread server of the paper is then modeled with the measured
+//! per-thread rate and the paper's hyperthread/contention parameters
+//! (see DESIGN.md, substitution table).
+//!
+//! Run: `cargo run -p persona-bench --release --bin fig6`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use persona::config::PersonaConfig;
+use persona::pipeline::align::{align_dataset, AlignInputs};
+use persona_align::Aligner;
+use persona_bench::{mem_store, print_header, scale, World};
+use persona_cluster::scaling::ThreadModel;
+
+/// Measures raw aligner throughput with `threads` ad-hoc threads
+/// (standalone style: static batch split).
+fn measure_standalone(world: &World, aligner: &Arc<dyn Aligner>, threads: usize) -> f64 {
+    let t0 = Instant::now();
+    let chunk = world.reads.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for part in world.reads.chunks(chunk) {
+            let aligner = aligner.clone();
+            s.spawn(move || {
+                for r in part {
+                    std::hint::black_box(aligner.align_read(&r.bases, &r.quals));
+                }
+            });
+        }
+    });
+    world.total_bases() as f64 / 1e6 / t0.elapsed().as_secs_f64()
+}
+
+/// Measures Persona pipeline throughput with `threads` executor threads.
+fn measure_persona(world: &World, aligner: &Arc<dyn Aligner>, threads: usize) -> f64 {
+    let store = mem_store();
+    let manifest = world.write_agd(store.as_ref(), "f6", 2_000);
+    let config = PersonaConfig {
+        compute_threads: threads,
+        aligner_kernels: threads.min(4).max(1),
+        ..PersonaConfig::default()
+    };
+    let report = align_dataset(AlignInputs {
+        store,
+        manifest: &manifest,
+        aligner: aligner.clone(),
+        config,
+    })
+    .unwrap();
+    report.mbases_per_sec()
+}
+
+fn main() {
+    let sc = scale();
+    let world = World::build((400_000.0 * sc) as usize, (20_000.0 * sc) as usize, 17);
+    let snap = world.snap_aligner();
+    let bwa_world = World::build((150_000.0 * sc) as usize, (6_000.0 * sc) as usize, 18);
+    let bwa = bwa_world.bwa_aligner();
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let mut points: Vec<usize> = vec![1, 2, 4];
+    let mut t = 8;
+    while t < hw {
+        points.push(t);
+        t *= 2;
+    }
+    points.push(hw);
+    points.dedup();
+
+    print_header(
+        "Fig. 6 (measured): alignment rate vs threads (Mbases/s)",
+        &["threads", "SNAP", "Persona SNAP", "BWA", "Persona BWA"],
+    );
+    let mut snap_1t = 0.0;
+    let mut bwa_1t = 0.0;
+    for &t in &points {
+        let s_sa = measure_standalone(&world, &snap, t);
+        let s_pe = measure_persona(&world, &snap, t);
+        let b_sa = measure_standalone(&bwa_world, &bwa, t);
+        let b_pe = measure_persona(&bwa_world, &bwa, t);
+        if t == 1 {
+            snap_1t = s_sa;
+            bwa_1t = b_sa;
+        }
+        println!("{t}\t{s_sa:.1}\t{s_pe:.1}\t{b_sa:.1}\t{b_pe:.1}");
+    }
+
+    // Modeled extension to the paper's 48-thread server.
+    let models = [
+        ("SNAP", ThreadModel::snap_standalone(snap_1t)),
+        ("Persona SNAP", ThreadModel::snap_persona(snap_1t)),
+        ("BWA", ThreadModel::bwa_standalone(bwa_1t)),
+        ("Persona BWA", ThreadModel::bwa_persona(bwa_1t)),
+    ];
+    print_header(
+        "Fig. 6 (modeled, 48-thread server): Mbases/s",
+        &["threads", "SNAP", "Persona SNAP", "BWA", "Persona BWA", "SNAP perfect", "BWA perfect"],
+    );
+    for t in [1usize, 6, 12, 18, 24, 30, 36, 42, 47, 48] {
+        print!("{t}");
+        for (_, m) in &models {
+            print!("\t{:.1}", m.rate_at(t));
+        }
+        println!("\t{:.1}\t{:.1}", models[0].1.perfect(t), models[2].1.perfect(t));
+    }
+    println!("\nPaper shapes: near-linear to 24 cores; 2nd hyperthread adds ~32%;");
+    println!("standalone SNAP dips at 48 threads (I/O contention) while Persona does not;");
+    println!("BWA flattens past 24 threads (memory contention), Persona-BWA slightly better.");
+}

@@ -1,0 +1,68 @@
+//! Fig. 8 — workload analysis: phase-resolved profiles of both aligners
+//! (core-bound vs memory-bound) next to SPEC reference anchors.
+//!
+//! Run: `cargo run -p persona-bench --release --bin fig8`
+
+use persona_align::profile::PhaseProfile;
+use persona_align::Aligner;
+use persona_bench::{print_header, scale, World};
+use persona_cluster::fig8::{spec_reference_rows, Fig8Row};
+
+fn main() {
+    let sc = scale();
+    let world = World::build((300_000.0 * sc) as usize, (8_000.0 * sc) as usize, 37);
+    let snap = world.snap_aligner();
+    let bwa_world = World::build((120_000.0 * sc) as usize, (3_000.0 * sc) as usize, 38);
+    let bwa = bwa_world.bwa_aligner();
+
+    let profile_of = |world: &World, aligner: &std::sync::Arc<dyn Aligner>| -> PhaseProfile {
+        let mut prof = PhaseProfile::default();
+        for r in &world.reads {
+            std::hint::black_box(aligner.align_read_profiled(&r.bases, &r.quals, &mut prof));
+        }
+        prof
+    };
+
+    let snap_prof = profile_of(&world, &snap);
+    let bwa_prof = profile_of(&bwa_world, &bwa);
+
+    print_header(
+        "Fig. 8: workload analysis (backend-bound split)",
+        &["workload", "backend-bound", "core-bound", "memory-bound"],
+    );
+    let mut rows = vec![
+        Fig8Row::from_profile("Persona SNAP", &snap_prof),
+        Fig8Row::from_profile("Persona BWA-MEM", &bwa_prof),
+    ];
+    rows.extend(spec_reference_rows());
+    for row in &rows {
+        println!(
+            "{}\t{:.0}%\t{:.0}%\t{:.0}%",
+            row.name,
+            row.backend_bound * 100.0,
+            row.core_bound * 100.0,
+            row.memory_bound * 100.0
+        );
+    }
+
+    println!("\nphase detail:");
+    println!(
+        "  SNAP: seed {:.0} ms / verify {:.0} ms, {} index probes, {} candidates",
+        snap_prof.seed_time.as_millis(),
+        snap_prof.verify_time.as_millis(),
+        snap_prof.index_ops,
+        snap_prof.candidates
+    );
+    println!(
+        "  BWA:  seed {:.0} ms / extend {:.0} ms, {} FM-index ops, {} chains",
+        bwa_prof.seed_time.as_millis(),
+        bwa_prof.verify_time.as_millis(),
+        bwa_prof.index_ops,
+        bwa_prof.candidates
+    );
+    println!("\npaper finding: both backend-bound; SNAP core-bound (edit-distance ALU chains),");
+    println!("BWA memory-bound (FM-index occ walks: cache and DTLB misses).");
+    println!("\nNOTE (scale artifact): at this synthetic scale the reference indexes fit in");
+    println!("cache (the paper's hg19 index is multi-GB), so the seed phase loses its DRAM-");
+    println!("miss character and phase balances shift; see EXPERIMENTS.md for discussion.");
+}

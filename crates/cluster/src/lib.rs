@@ -1,0 +1,19 @@
+//! Cluster-scale evaluation models for Persona.
+//!
+//! The paper's testbed — 32 compute servers, a 7-node Ceph cluster and a
+//! 40 GbE fabric — is simulated here, using the same methodology the
+//! paper itself uses beyond its 32 physical nodes (§5.5: stub aligners +
+//! storage model, the "Simulation" line of Fig. 7):
+//!
+//! * [`des`] — a discrete-event simulation of the distributed alignment
+//!   pipeline (chunk fetch → compute → result write over shared storage).
+//! * [`scaling`] — Fig. 7 (node scaling to 100 servers) and the Fig. 6
+//!   thread-scaling model (hyperthread uplift, BWA memory contention).
+//! * [`tco`] — the Table 3 / §6.1 total-cost-of-ownership model.
+//! * [`fig8`] — the workload-analysis breakdown with SPEC reference
+//!   points for context.
+
+pub mod des;
+pub mod fig8;
+pub mod scaling;
+pub mod tco;

@@ -1,0 +1,177 @@
+//! Scaling studies: Fig. 7 (cluster) and Fig. 6 (threads).
+
+use crate::des::{simulate, SimParams, SimResult};
+
+/// One Fig. 7 data point.
+#[derive(Debug, Clone, Copy)]
+pub struct NodePoint {
+    /// Compute node count.
+    pub nodes: usize,
+    /// Aggregate throughput, gigabases/second.
+    pub gbases_per_sec: f64,
+    /// Whole-genome completion time, seconds.
+    pub completion_s: f64,
+}
+
+/// Sweeps node counts through the DES (the paper's Fig. 7 "Simulation"
+/// methodology), returning one point per entry in `node_counts`.
+pub fn node_scaling(node_counts: &[usize]) -> Vec<NodePoint> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let r: SimResult = simulate(SimParams::paper(nodes));
+            NodePoint { nodes, gbases_per_sec: r.gbases_per_sec, completion_s: r.completion_s }
+        })
+        .collect()
+}
+
+/// Thread-scaling model parameters (Fig. 6 shapes).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadModel {
+    /// Alignment rate of one thread, megabases/second.
+    pub per_thread_mbases: f64,
+    /// Physical cores (the paper's server: 24).
+    pub physical_cores: usize,
+    /// Rate uplift of the second hyperthread on a busy core (the paper
+    /// measures 32% for SNAP).
+    pub ht_uplift: f64,
+    /// Throughput loss per extra thread beyond the physical cores from
+    /// memory contention (BWA's behaviour; 0 for SNAP).
+    pub contention_per_thread: f64,
+    /// Drop applied at full subscription from I/O-thread interference
+    /// (standalone SNAP at 48 threads; 0 under Persona's queues).
+    pub full_subscription_penalty: f64,
+}
+
+impl ThreadModel {
+    /// Standalone SNAP on the paper's 48-thread server.
+    pub fn snap_standalone(per_thread_mbases: f64) -> Self {
+        ThreadModel {
+            per_thread_mbases,
+            physical_cores: 24,
+            ht_uplift: 0.32,
+            contention_per_thread: 0.0,
+            full_subscription_penalty: 0.12,
+        }
+    }
+
+    /// Persona-SNAP: queue-based scheduling avoids the full-subscription
+    /// drop (§5.4: "Persona is less sensitive to operating system kernel
+    /// thread scheduling decisions").
+    pub fn snap_persona(per_thread_mbases: f64) -> Self {
+        ThreadModel { full_subscription_penalty: 0.0, ..Self::snap_standalone(per_thread_mbases) }
+    }
+
+    /// Standalone BWA: memory contention beyond the physical cores.
+    pub fn bwa_standalone(per_thread_mbases: f64) -> Self {
+        ThreadModel {
+            per_thread_mbases,
+            physical_cores: 24,
+            ht_uplift: 0.20,
+            contention_per_thread: 0.012,
+            full_subscription_penalty: 0.0,
+        }
+    }
+
+    /// Persona-BWA: thread pinning through the executor reduces (but
+    /// does not remove) the contention slope (§6: "by restricting
+    /// primary functions to sets of cores, we reduce thread
+    /// interference in the memory hierarchy").
+    pub fn bwa_persona(per_thread_mbases: f64) -> Self {
+        ThreadModel { contention_per_thread: 0.006, ..Self::bwa_standalone(per_thread_mbases) }
+    }
+
+    /// Modeled aggregate rate at `threads` provisioned threads,
+    /// megabases/second.
+    pub fn rate_at(&self, threads: usize) -> f64 {
+        if threads == 0 {
+            return 0.0;
+        }
+        let t = threads as f64;
+        let p = self.physical_cores as f64;
+        let base = if threads <= self.physical_cores {
+            // Near-linear on physical cores.
+            self.per_thread_mbases * t
+        } else {
+            // Second hyperthreads add `ht_uplift` of a core each.
+            let extra = t - p;
+            self.per_thread_mbases * (p + extra * self.ht_uplift)
+        };
+        // Memory contention: multiplicative decay per oversubscribed
+        // thread.
+        let contention = if threads > self.physical_cores {
+            let extra = t - p;
+            (1.0 - self.contention_per_thread).powf(extra)
+        } else {
+            1.0
+        };
+        // Full-subscription penalty at 2×cores (I/O threads starve).
+        let penalty = if threads >= 2 * self.physical_cores {
+            1.0 - self.full_subscription_penalty
+        } else {
+            1.0
+        };
+        base * contention * penalty
+    }
+
+    /// The perfect-scaling reference line at `threads`.
+    pub fn perfect(&self, threads: usize) -> f64 {
+        self.per_thread_mbases * threads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_scaling_is_monotone_then_flat() {
+        let points = node_scaling(&[1, 8, 16, 32, 60, 100]);
+        for w in points.windows(2) {
+            assert!(w[1].gbases_per_sec >= w[0].gbases_per_sec * 0.98, "regression at {} nodes", w[1].nodes);
+        }
+        let p32 = points.iter().find(|p| p.nodes == 32).unwrap();
+        let p100 = points.iter().find(|p| p.nodes == 100).unwrap();
+        assert!(p32.gbases_per_sec > 1.1);
+        assert!(p100.gbases_per_sec < p32.gbases_per_sec * 2.5, "no saturation");
+    }
+
+    #[test]
+    fn snap_model_shapes() {
+        let m = ThreadModel::snap_standalone(1.0);
+        // Linear to 24.
+        assert!((m.rate_at(24) - 24.0).abs() < 1e-9);
+        assert!((m.rate_at(12) - 12.0).abs() < 1e-9);
+        // HT uplift: 25th thread adds ~0.32.
+        let uplift = m.rate_at(25) - m.rate_at(24);
+        assert!((uplift - 0.32).abs() < 0.01, "uplift {uplift}");
+        // Standalone drops at 48; Persona does not.
+        let persona = ThreadModel::snap_persona(1.0);
+        assert!(m.rate_at(48) < m.rate_at(47));
+        assert!(persona.rate_at(48) >= persona.rate_at(47));
+    }
+
+    #[test]
+    fn bwa_contention_bends_the_curve() {
+        let standalone = ThreadModel::bwa_standalone(0.8);
+        let persona = ThreadModel::bwa_persona(0.8);
+        // Past 24 threads Persona-BWA scales better (§5.4).
+        assert!(persona.rate_at(48) > standalone.rate_at(48));
+        // Contention never makes more threads worse than 24 by much at 32.
+        assert!(standalone.rate_at(32) > standalone.rate_at(24) * 0.95);
+    }
+
+    #[test]
+    fn perfect_line_dominates() {
+        for m in [
+            ThreadModel::snap_standalone(1.0),
+            ThreadModel::snap_persona(1.0),
+            ThreadModel::bwa_standalone(1.0),
+            ThreadModel::bwa_persona(1.0),
+        ] {
+            for t in 1..=48 {
+                assert!(m.rate_at(t) <= m.perfect(t) + 1e-9, "model above perfect at {t}");
+            }
+        }
+    }
+}

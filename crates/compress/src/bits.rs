@@ -1,0 +1,226 @@
+//! LSB-first bit-level readers and writers used by the DEFLATE codec.
+
+use crate::{Error, Result};
+
+/// Reads bits LSB-first from a byte slice, as required by RFC 1951.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index to refill from.
+    pos: usize,
+    /// Bit accumulator; the low `nbits` bits are valid.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Ensures at least `n` bits (n <= 56) are buffered, if input remains.
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Returns the next `n` bits without consuming them, zero-padded past
+    /// the end of input.
+    #[inline]
+    pub fn peek(&mut self, n: u32) -> u32 {
+        debug_assert!(n <= 32);
+        if self.nbits < n {
+            self.refill();
+        }
+        (self.acc & ((1u64 << n) - 1)) as u32
+    }
+
+    /// Consumes `n` bits that were previously peeked.
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(self.nbits >= n);
+        self.acc >>= n;
+        self.nbits -= n;
+    }
+
+    /// Reads and consumes `n` bits (n <= 32), LSB-first.
+    #[inline]
+    pub fn bits(&mut self, n: u32) -> Result<u32> {
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(Error::UnexpectedEof);
+            }
+        }
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
+        self.consume(n);
+        Ok(v)
+    }
+
+    /// Discards buffered bits up to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Reads `buf.len()` whole bytes; the reader must be byte-aligned.
+    pub fn read_bytes(&mut self, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(self.nbits % 8, 0, "read_bytes requires byte alignment");
+        let mut i = 0;
+        // Drain the accumulator first.
+        while self.nbits >= 8 && i < buf.len() {
+            buf[i] = (self.acc & 0xFF) as u8;
+            self.acc >>= 8;
+            self.nbits -= 8;
+            i += 1;
+        }
+        let rest = buf.len() - i;
+        if self.data.len() - self.pos < rest {
+            return Err(Error::UnexpectedEof);
+        }
+        buf[i..].copy_from_slice(&self.data[self.pos..self.pos + rest]);
+        self.pos += rest;
+        Ok(())
+    }
+
+    /// Returns the number of whole bytes consumed from the input so far,
+    /// counting buffered-but-unconsumed bits as not yet consumed.
+    pub fn bytes_consumed(&self) -> usize {
+        self.pos - (self.nbits as usize) / 8
+    }
+}
+
+/// Writes bits LSB-first into a growing byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer that appends to an existing buffer.
+    pub fn with_buffer(out: Vec<u8>) -> Self {
+        BitWriter { out, acc: 0, nbits: 0 }
+    }
+
+    /// Appends the low `n` bits of `v`, LSB-first.
+    #[inline]
+    pub fn write_bits(&mut self, v: u32, n: u32) {
+        debug_assert!(n <= 32);
+        debug_assert!(n == 32 || v < (1u32 << n), "value {v} does not fit in {n} bits");
+        self.acc |= (v as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends whole bytes; the writer must be byte-aligned.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.nbits, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Flushes any partial byte and returns the underlying buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.out
+    }
+
+    /// Number of complete bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty() && self.nbits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let values = [(0b1u32, 1u32), (0b10, 2), (0b101, 3), (0x7F, 7), (0xFFFF, 16), (0, 5), (1, 1)];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn eof_detection() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.bits(8).unwrap(), 0xAB);
+        assert_eq!(r.bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_to_byte();
+        w.write_bytes(b"xyz");
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 4);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(2).unwrap(), 0b11);
+        r.align_to_byte();
+        let mut buf = [0u8; 3];
+        r.read_bytes(&mut buf).unwrap();
+        assert_eq!(&buf, b"xyz");
+    }
+
+    #[test]
+    fn peek_consume() {
+        let mut r = BitReader::new(&[0b1010_1100, 0xFF]);
+        assert_eq!(r.peek(4), 0b1100);
+        r.consume(2);
+        assert_eq!(r.peek(4), 0b1011);
+        r.consume(4);
+        assert_eq!(r.bits(2).unwrap(), 0b10);
+        assert_eq!(r.bytes_consumed(), 1);
+    }
+
+    #[test]
+    fn peek_past_end_is_zero_padded() {
+        let mut r = BitReader::new(&[0x01]);
+        assert_eq!(r.peek(16), 0x0001);
+    }
+}

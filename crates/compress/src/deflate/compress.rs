@@ -1,0 +1,398 @@
+//! The DEFLATE compressor: tokenize with LZ77, then emit each block as
+//! whichever of stored / fixed-Huffman / dynamic-Huffman is smallest.
+
+use super::huffman::{limited_code_lengths, Encoder};
+use super::inflate::fixed_litlen_lengths;
+use super::lz77::{tokenize, MatcherParams, Token};
+use super::{
+    dist_code, length_code, CLEN_ORDER, DIST_EXTRA, LENGTH_EXTRA, MAX_CLEN_LEN, MAX_CODE_LEN,
+    NUM_DIST, NUM_LITLEN,
+};
+use crate::bits::BitWriter;
+
+/// Compression effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressLevel {
+    /// Stored blocks only (no compression).
+    Store,
+    /// Fast: shallow hash chains, greedy parsing.
+    Fast,
+    /// Default: zlib-6-like effort. Used by AGD chunk compression.
+    Default,
+    /// Best: deep chains, lazy matching.
+    Best,
+}
+
+impl CompressLevel {
+    fn matcher(self) -> MatcherParams {
+        match self {
+            CompressLevel::Store => MatcherParams::for_level(0),
+            CompressLevel::Fast => MatcherParams::for_level(1),
+            CompressLevel::Default => MatcherParams::for_level(6),
+            CompressLevel::Best => MatcherParams::for_level(9),
+        }
+    }
+}
+
+/// Maximum number of tokens accumulated before a block is flushed.
+const BLOCK_TOKENS: usize = 65_536;
+
+/// Compresses `data` into a complete DEFLATE stream at default effort.
+pub fn deflate(data: &[u8]) -> Vec<u8> {
+    deflate_level(data, CompressLevel::Default)
+}
+
+/// Compresses `data` into a complete DEFLATE stream.
+///
+/// # Examples
+///
+/// ```
+/// use persona_compress::deflate::{deflate_level, inflate, CompressLevel};
+///
+/// let data = vec![42u8; 1000];
+/// let packed = deflate_level(&data, CompressLevel::Best);
+/// assert!(packed.len() < 50);
+/// assert_eq!(inflate(&packed).unwrap(), data);
+/// ```
+pub fn deflate_level(data: &[u8], level: CompressLevel) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if data.is_empty() {
+        emit_stored(&mut w, data, true);
+        return w.finish();
+    }
+    if level == CompressLevel::Store {
+        emit_stored(&mut w, data, true);
+        return w.finish();
+    }
+
+    // Tokenize the whole input, flushing a block every BLOCK_TOKENS
+    // tokens. Tokens never straddle blocks, so each block covers a
+    // contiguous input range usable for stored fallback.
+    let mut tokens: Vec<Token> = Vec::with_capacity(BLOCK_TOKENS);
+    let mut block_start = 0usize; // Input offset covered by `tokens`.
+    let mut covered = 0usize; // Input bytes covered so far by `tokens`.
+
+    tokenize(data, level.matcher(), |t| {
+        covered += if t.is_match() { t.len() } else { 1 };
+        tokens.push(t);
+        if tokens.len() >= BLOCK_TOKENS {
+            let end = block_start + block_len(&tokens);
+            emit_block(&mut w, &tokens, &data[block_start..end], false);
+            block_start = end;
+            tokens.clear();
+        }
+    });
+    debug_assert_eq!(covered, data.len());
+    let end = block_start + block_len(&tokens);
+    debug_assert_eq!(end, data.len());
+    emit_block(&mut w, &tokens, &data[block_start..end], true);
+    w.finish()
+}
+
+/// Total input bytes covered by a token slice.
+fn block_len(tokens: &[Token]) -> usize {
+    tokens.iter().map(|t| if t.is_match() { t.len() } else { 1 }).sum()
+}
+
+/// Emits one block choosing the cheapest encoding.
+fn emit_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], final_block: bool) {
+    // Histogram over literal/length and distance alphabets.
+    let mut lit_freq = [0u64; NUM_LITLEN];
+    let mut dist_freq = [0u64; NUM_DIST];
+    for &t in tokens {
+        if t.is_match() {
+            lit_freq[257 + length_code(t.len())] += 1;
+            dist_freq[dist_code(t.dist())] += 1;
+        } else {
+            lit_freq[t.byte() as usize] += 1;
+        }
+    }
+    lit_freq[256] += 1; // End-of-block symbol.
+
+    let dyn_lit_lens = limited_code_lengths(&lit_freq, MAX_CODE_LEN);
+    let dyn_dist_lens = limited_code_lengths(&dist_freq, MAX_CODE_LEN);
+    let (clen_tokens, clen_lens, hclen) = code_length_encoding(&dyn_lit_lens, &dyn_dist_lens);
+
+    let fixed_lens = fixed_litlen_lengths();
+    let fixed_dist = [5u8; 30];
+
+    let body_bits = |lits: &[u8], dists: &[u8]| -> u64 {
+        let mut bits = 0u64;
+        for (sym, &f) in lit_freq.iter().enumerate() {
+            if f > 0 {
+                let extra = if sym >= 257 { LENGTH_EXTRA[sym - 257] as u64 } else { 0 };
+                bits += f * (lits[sym] as u64 + extra);
+            }
+        }
+        for (sym, &f) in dist_freq.iter().enumerate() {
+            if f > 0 {
+                bits += f * (dists[sym] as u64 + DIST_EXTRA[sym] as u64);
+            }
+        }
+        bits
+    };
+
+    let dynamic_header_bits = {
+        let mut bits = 5 + 5 + 4 + 3 * hclen as u64;
+        for &(sym, _extra_val, extra_bits) in &clen_tokens {
+            bits += clen_lens[sym as usize] as u64 + extra_bits as u64;
+        }
+        bits
+    };
+    let dynamic_bits = dynamic_header_bits + body_bits(&dyn_lit_lens, &dyn_dist_lens);
+    let fixed_bits = body_bits(&fixed_lens, &fixed_dist);
+    // Stored cost: align + 4-byte header per 65535-byte piece.
+    let stored_bits = {
+        let pieces = raw.len() / 65_535 + 1;
+        (pieces * 5 * 8) as u64 + (raw.len() as u64) * 8 + 7
+    };
+
+    if stored_bits <= dynamic_bits && stored_bits <= fixed_bits {
+        emit_stored(w, raw, final_block);
+    } else if fixed_bits <= dynamic_bits {
+        w.write_bits(final_block as u32, 1);
+        w.write_bits(1, 2);
+        let lit_enc = Encoder::from_lengths(&fixed_lens);
+        let dist_enc = Encoder::from_lengths(&fixed_dist);
+        emit_tokens(w, tokens, &lit_enc, &dist_enc);
+    } else {
+        w.write_bits(final_block as u32, 1);
+        w.write_bits(2, 2);
+        emit_dynamic_header(w, &dyn_lit_lens, &dyn_dist_lens, &clen_tokens, &clen_lens, hclen);
+        let lit_enc = Encoder::from_lengths(&dyn_lit_lens);
+        let dist_enc = Encoder::from_lengths(&dyn_dist_lens);
+        emit_tokens(w, tokens, &lit_enc, &dist_enc);
+    }
+}
+
+/// Emits stored (type 0) blocks covering `raw`, splitting at 65535 bytes.
+fn emit_stored(w: &mut BitWriter, raw: &[u8], final_block: bool) {
+    let mut pieces: Vec<&[u8]> = raw.chunks(65_535).collect();
+    if pieces.is_empty() {
+        pieces.push(&[]);
+    }
+    let last = pieces.len() - 1;
+    for (k, piece) in pieces.iter().enumerate() {
+        let f = final_block && k == last;
+        w.write_bits(f as u32, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        w.write_bytes(&(piece.len() as u16).to_le_bytes());
+        w.write_bytes(&(!(piece.len() as u16)).to_le_bytes());
+        w.write_bytes(piece);
+    }
+}
+
+/// Emits the token stream plus end-of-block under the given encoders.
+fn emit_tokens(w: &mut BitWriter, tokens: &[Token], lit: &Encoder, dist: &Encoder) {
+    for &t in tokens {
+        if t.is_match() {
+            let (len, d) = (t.len(), t.dist());
+            let lc = length_code(len);
+            let sym = 257 + lc;
+            w.write_bits(lit.codes[sym], lit.lens[sym] as u32);
+            let extra = LENGTH_EXTRA[lc] as u32;
+            if extra > 0 {
+                w.write_bits((len - super::LENGTH_BASE[lc] as usize) as u32, extra);
+            }
+            let dc = dist_code(d);
+            w.write_bits(dist.codes[dc], dist.lens[dc] as u32);
+            let dextra = DIST_EXTRA[dc] as u32;
+            if dextra > 0 {
+                w.write_bits((d - super::DIST_BASE[dc] as usize) as u32, dextra);
+            }
+        } else {
+            let sym = t.byte() as usize;
+            w.write_bits(lit.codes[sym], lit.lens[sym] as u32);
+        }
+    }
+    w.write_bits(lit.codes[256], lit.lens[256] as u32);
+}
+
+/// RLE-encodes the concatenated litlen+dist code lengths per RFC 1951
+/// §3.2.7. Returns (tokens of (symbol, extra_value, extra_bits), code
+/// lengths for the code-length alphabet, HCLEN count).
+#[allow(clippy::type_complexity)]
+fn code_length_encoding(
+    lit_lens: &[u8],
+    dist_lens: &[u8],
+) -> (Vec<(u8, u8, u8)>, Vec<u8>, usize) {
+    // HLIT/HDIST are fixed at the full alphabet sizes; trailing zeros
+    // compress to almost nothing through symbol 18 anyway.
+    let mut all: Vec<u8> = Vec::with_capacity(NUM_LITLEN + NUM_DIST);
+    all.extend_from_slice(lit_lens);
+    all.resize(NUM_LITLEN, 0);
+    all.extend_from_slice(dist_lens);
+    all.resize(NUM_LITLEN + NUM_DIST, 0);
+
+    let mut tokens: Vec<(u8, u8, u8)> = Vec::new();
+    let mut i = 0usize;
+    while i < all.len() {
+        let v = all[i];
+        let mut run = 1usize;
+        while i + run < all.len() && all[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                tokens.push((18, (take - 11) as u8, 7));
+                left -= take;
+            }
+            if left >= 3 {
+                tokens.push((17, (left - 3) as u8, 3));
+                left = 0;
+            }
+            for _ in 0..left {
+                tokens.push((0, 0, 0));
+            }
+        } else {
+            tokens.push((v, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                tokens.push((16, (take - 3) as u8, 2));
+                left -= take;
+            }
+            for _ in 0..left {
+                tokens.push((v, 0, 0));
+            }
+        }
+        i += run;
+    }
+
+    // Huffman code over the code-length alphabet.
+    let mut freq = [0u64; 19];
+    for &(sym, _, _) in &tokens {
+        freq[sym as usize] += 1;
+    }
+    let clen_lens = limited_code_lengths(&freq, MAX_CLEN_LEN);
+
+    // HCLEN: number of code-length code lengths transmitted, in the
+    // peculiar CLEN_ORDER, minimum 4.
+    let mut hclen = 19;
+    while hclen > 4 && clen_lens[CLEN_ORDER[hclen - 1]] == 0 {
+        hclen -= 1;
+    }
+    (tokens, clen_lens, hclen)
+}
+
+/// Writes the dynamic block header (HLIT, HDIST, HCLEN, the code-length
+/// code, and the RLE-coded lengths).
+fn emit_dynamic_header(
+    w: &mut BitWriter,
+    _lit_lens: &[u8],
+    _dist_lens: &[u8],
+    clen_tokens: &[(u8, u8, u8)],
+    clen_lens: &[u8],
+    hclen: usize,
+) {
+    w.write_bits((NUM_LITLEN - 257) as u32, 5);
+    w.write_bits((NUM_DIST - 1) as u32, 5);
+    w.write_bits((hclen - 4) as u32, 4);
+    for &pos in CLEN_ORDER.iter().take(hclen) {
+        w.write_bits(clen_lens[pos] as u32, 3);
+    }
+    let clen_enc = Encoder::from_lengths(clen_lens);
+    for &(sym, extra_val, extra_bits) in clen_tokens {
+        w.write_bits(clen_enc.codes[sym as usize], clen_enc.lens[sym as usize] as u32);
+        if extra_bits > 0 {
+            w.write_bits(extra_val as u32, extra_bits as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::inflate::inflate;
+    use super::*;
+
+    fn roundtrip(data: &[u8], level: CompressLevel) -> usize {
+        let packed = deflate_level(data, level);
+        assert_eq!(inflate(&packed).unwrap(), data, "level {level:?}");
+        packed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        for level in [CompressLevel::Store, CompressLevel::Fast, CompressLevel::Default] {
+            roundtrip(b"", level);
+            roundtrip(b"x", level);
+            roundtrip(b"ab", level);
+            roundtrip(b"abc", level);
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let data = b"TATTAGGACCA".repeat(2000);
+        let n = roundtrip(&data, CompressLevel::Default);
+        assert!(n < data.len() / 10, "{} of {}", n, data.len());
+    }
+
+    #[test]
+    fn handles_incompressible_data() {
+        // Pseudo-random bytes: should fall back near stored size.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let n = roundtrip(&data, CompressLevel::Default);
+        assert!(n <= data.len() + data.len() / 100 + 64);
+    }
+
+    #[test]
+    fn store_level_is_stored() {
+        let data = b"abcdef".repeat(10);
+        let packed = deflate_level(&data, CompressLevel::Store);
+        // 1 stored block: 5 bytes overhead.
+        assert_eq!(packed.len(), data.len() + 5);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        // Enough tokens to force several blocks.
+        let mut data = Vec::new();
+        for i in 0..300_000u32 {
+            data.push((i % 251) as u8);
+            if i % 97 == 0 {
+                data.extend_from_slice(b"REPEATREPEAT");
+            }
+        }
+        roundtrip(&data, CompressLevel::Fast);
+        roundtrip(&data, CompressLevel::Default);
+    }
+
+    #[test]
+    fn genomic_like_text_ratio() {
+        // 4-letter alphabet text should compress well below 3 bits/char.
+        let mut x = 99u64;
+        let data: Vec<u8> = (0..200_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b"ACGT"[(x >> 60) as usize & 3]
+            })
+            .collect();
+        let n = roundtrip(&data, CompressLevel::Default);
+        assert!((n as f64) < data.len() as f64 * 0.40, "ratio {}", n as f64 / data.len() as f64);
+    }
+
+    #[test]
+    fn levels_are_ordered_in_effort() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(400);
+        let fast = deflate_level(&data, CompressLevel::Fast).len();
+        let best = deflate_level(&data, CompressLevel::Best).len();
+        assert!(best <= fast, "best {best} > fast {fast}");
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        roundtrip(&data, CompressLevel::Default);
+    }
+}

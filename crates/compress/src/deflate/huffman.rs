@@ -1,0 +1,383 @@
+//! Canonical Huffman coding: decoder tables, code assignment and
+//! length-limited code construction (package-merge).
+
+use crate::bits::BitReader;
+use crate::{Error, Result};
+
+/// Width of the one-level fast lookup table, in bits.
+const FAST_BITS: u32 = 10;
+
+/// A canonical Huffman decoder built from code lengths.
+///
+/// Decoding uses a `2^10`-entry fast table for codes of length <= 10 and
+/// a counts/offsets scan (as in zlib's `puff`) for longer codes.
+pub struct Decoder {
+    /// Fast table entry: `(symbol << 4) | code_len`, or 0 when the prefix
+    /// belongs to a code longer than [`FAST_BITS`] (or is unused).
+    fast: Vec<u16>,
+    /// `counts[len]` = number of codes of each length 0..=15.
+    counts: [u16; 16],
+    /// Symbols sorted by (code length, symbol value).
+    symbols: Vec<u16>,
+    /// Whether the table contains at least one symbol.
+    nonempty: bool,
+}
+
+impl Decoder {
+    /// Builds a decoder from per-symbol code lengths (0 = unused).
+    ///
+    /// Returns an error if the lengths oversubscribe the code space. An
+    /// *incomplete* code (undersubscribed) is accepted, matching zlib's
+    /// handling of degenerate distance trees; decoding a gap then fails.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l as usize > super::MAX_CODE_LEN {
+                return Err(Error::Corrupt("code length exceeds 15"));
+            }
+            counts[l as usize] += 1;
+        }
+        let nonempty = (counts[0] as usize) < lengths.len();
+        if !nonempty {
+            return Ok(Decoder { fast: vec![0; 1 << FAST_BITS], counts, symbols: Vec::new(), nonempty });
+        }
+
+        // Check for an over-subscribed code.
+        let mut left: i32 = 1;
+        for len in 1..=super::MAX_CODE_LEN {
+            left <<= 1;
+            left -= counts[len] as i32;
+            if left < 0 {
+                return Err(Error::Corrupt("over-subscribed Huffman code"));
+            }
+        }
+
+        // Offsets of the first symbol of each length in `symbols`.
+        let mut offsets = [0usize; 16];
+        for len in 1..super::MAX_CODE_LEN {
+            offsets[len + 1] = offsets[len] + counts[len] as usize;
+        }
+        let mut symbols = vec![0u16; lengths.len() - counts[0] as usize];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbols[offsets[l as usize]] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+
+        // Canonical code values, MSB-first, then bit-reversed into the
+        // LSB-first fast table.
+        let mut fast = vec![0u16; 1 << FAST_BITS];
+        let mut code = 0u32;
+        let mut idx = 0usize;
+        for len in 1..=super::MAX_CODE_LEN as u32 {
+            for _ in 0..counts[len as usize] {
+                let sym = symbols[idx];
+                idx += 1;
+                if len <= FAST_BITS {
+                    let rev = reverse_bits(code, len);
+                    let entry = (sym << 4) | len as u16;
+                    let step = 1usize << len;
+                    let mut i = rev as usize;
+                    while i < (1 << FAST_BITS) {
+                        fast[i] = entry;
+                        i += step;
+                    }
+                }
+                code += 1;
+            }
+            code <<= 1;
+        }
+
+        Ok(Decoder { fast, counts, symbols, nonempty })
+    }
+
+    /// Decodes one symbol from the bit reader.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        if !self.nonempty {
+            return Err(Error::Corrupt("decode with empty Huffman table"));
+        }
+        let look = r.peek(FAST_BITS);
+        let entry = self.fast[look as usize];
+        if entry != 0 {
+            let len = (entry & 0xF) as u32;
+            // `peek` zero-pads past end of input; `bits` re-checks that
+            // the matched code is backed by real input and errors if the
+            // match only existed because of the padding.
+            r.bits(len)?;
+            return Ok(entry >> 4);
+        }
+        // Slow path: walk lengths beyond the fast table incrementally.
+        let mut code = 0usize;
+        let mut first = 0usize;
+        let mut index = 0usize;
+        for len in 1..=super::MAX_CODE_LEN {
+            code |= r.bits(1)? as usize;
+            let count = self.counts[len] as usize;
+            if code < first + count {
+                return Ok(self.symbols[index + (code - first)]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(Error::Corrupt("invalid Huffman code"))
+    }
+
+    /// Whether this decoder has any symbols at all.
+    pub fn is_empty(&self) -> bool {
+        !self.nonempty
+    }
+}
+
+/// Reverses the low `n` bits of `v`.
+#[inline]
+pub fn reverse_bits(v: u32, n: u32) -> u32 {
+    v.reverse_bits() >> (32 - n)
+}
+
+/// A canonical Huffman encoder: code value and length per symbol.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    /// `codes[sym]` = bit-reversed (LSB-first ready) code value.
+    pub codes: Vec<u32>,
+    /// `lens[sym]` = code length in bits (0 = unused).
+    pub lens: Vec<u8>,
+}
+
+impl Encoder {
+    /// Builds LSB-first-ready canonical codes from code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let mut counts = [0u32; 16];
+        for &l in lengths {
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        let mut next_code = [0u32; 16];
+        let mut code = 0u32;
+        for len in 1..=super::MAX_CODE_LEN {
+            code = (code + counts[len - 1]) << 1;
+            next_code[len] = code;
+        }
+        let mut codes = vec![0u32; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                codes[sym] = reverse_bits(next_code[l as usize], l as u32);
+                next_code[l as usize] += 1;
+            }
+        }
+        Encoder { codes, lens: lengths.to_vec() }
+    }
+}
+
+/// Computes length-limited Huffman code lengths for the given symbol
+/// frequencies using the package-merge algorithm.
+///
+/// Symbols with zero frequency get length 0. If only one symbol has a
+/// nonzero frequency it is assigned length 1 (DEFLATE requires at least
+/// one bit per coded symbol).
+pub fn limited_code_lengths(freqs: &[u64], max_len: usize) -> Vec<u8> {
+    let n = freqs.len();
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u8; n];
+    match active.len() {
+        0 => return lens,
+        1 => {
+            lens[active[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+    assert!(
+        (1usize << max_len) >= active.len(),
+        "alphabet of {} does not fit in {}-bit codes",
+        active.len(),
+        max_len
+    );
+
+    // Package-merge. Items are (weight, set-of-leaf-symbols) where the
+    // leaf sets are tracked as per-symbol counts of how many times each
+    // leaf appears in chosen packages; that count is the code length.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        /// Indices into `active` of the leaves merged into this item.
+        leaves: Vec<u32>,
+    }
+
+    let mut sorted = active.clone();
+    sorted.sort_by_key(|&i| freqs[i]);
+    let leaves: Vec<Item> = sorted
+        .iter()
+        .enumerate()
+        .map(|(k, &sym)| Item { weight: freqs[sym], leaves: vec![k as u32] })
+        .collect();
+
+    // Repeatedly package pairs and merge with the leaf list, max_len times.
+    let mut prev: Vec<Item> = leaves.clone();
+    for _ in 1..max_len {
+        let mut packages: Vec<Item> = Vec::with_capacity(prev.len() / 2);
+        let mut it = prev.chunks_exact(2);
+        for pair in &mut it {
+            let mut merged_leaves = pair[0].leaves.clone();
+            merged_leaves.extend_from_slice(&pair[1].leaves);
+            packages.push(Item { weight: pair[0].weight + pair[1].weight, leaves: merged_leaves });
+        }
+        // Merge packages with the original leaves, keeping sorted order.
+        let mut merged = Vec::with_capacity(leaves.len() + packages.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < leaves.len() || b < packages.len() {
+            let take_leaf = b >= packages.len()
+                || (a < leaves.len() && leaves[a].weight <= packages[b].weight);
+            if take_leaf {
+                merged.push(leaves[a].clone());
+                a += 1;
+            } else {
+                merged.push(packages[b].clone());
+                b += 1;
+            }
+        }
+        prev = merged;
+    }
+
+    // Select the first 2n-2 items; each appearance of a leaf adds 1 to
+    // its code length.
+    let mut depth = vec![0u32; active.len()];
+    for item in prev.iter().take(2 * active.len() - 2) {
+        for &leaf in &item.leaves {
+            depth[leaf as usize] += 1;
+        }
+    }
+    for (k, &sym) in sorted.iter().enumerate() {
+        debug_assert!(depth[k] >= 1 && depth[k] as usize <= max_len);
+        lens[sym] = depth[k] as u8;
+    }
+    lens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    fn roundtrip_symbols(lengths: &[u8], syms: &[u16]) {
+        let enc = Encoder::from_lengths(lengths);
+        let mut w = BitWriter::new();
+        for &s in syms {
+            let l = enc.lens[s as usize];
+            assert!(l > 0, "symbol {s} has no code");
+            w.write_bits(enc.codes[s as usize], l as u32);
+        }
+        let bytes = w.finish();
+        let dec = Decoder::from_lengths(lengths).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in syms {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn simple_code_roundtrip() {
+        // Lengths: a=1, b=2, c=3, d=3 — a complete code.
+        let lengths = [1u8, 2, 3, 3];
+        roundtrip_symbols(&lengths, &[0, 1, 2, 3, 3, 2, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn long_codes_use_slow_path() {
+        // A skewed tree with codes longer than the 10-bit fast table.
+        let mut lengths = vec![0u8; 16];
+        for (i, len) in (1..=15).enumerate() {
+            lengths[i] = len as u8;
+        }
+        lengths[15] = 15; // Complete the code: two 15-bit codes.
+        let syms: Vec<u16> = (0..16).collect();
+        roundtrip_symbols(&lengths, &syms);
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(Decoder::from_lengths(&[1, 2, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn incomplete_accepted_but_gap_fails() {
+        // Single symbol of length 2: incomplete but legal for DEFLATE
+        // distance trees.
+        let dec = Decoder::from_lengths(&[2]).unwrap();
+        let mut w = BitWriter::new();
+        w.write_bits(0b00, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), 0);
+
+        // A code value outside the assigned space must fail.
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_bits(0, 14);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn empty_decoder() {
+        let dec = Decoder::from_lengths(&[0, 0, 0]).unwrap();
+        assert!(dec.is_empty());
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(dec.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn package_merge_kraft_and_optimality_smoke() {
+        let freqs = [5u64, 9, 12, 13, 16, 45];
+        let lens = limited_code_lengths(&freqs, 15);
+        // Kraft equality for a complete code.
+        let kraft: f64 = lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!((kraft - 1.0).abs() < 1e-9);
+        // The classic example's optimal cost is 224.
+        let cost: u64 = freqs.iter().zip(&lens).map(|(&f, &l)| f * l as u64).sum();
+        assert_eq!(cost, 224);
+    }
+
+    #[test]
+    fn package_merge_respects_limit() {
+        // Fibonacci-like frequencies force deep unlimited trees.
+        let mut freqs = vec![0u64; 32];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        for limit in [5usize, 7, 15] {
+            let lens = limited_code_lengths(&freqs, limit);
+            assert!(lens.iter().all(|&l| (l as usize) <= limit));
+            let kraft: f64 =
+                lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+            assert!(kraft <= 1.0 + 1e-9, "limit {limit}: kraft {kraft}");
+        }
+    }
+
+    #[test]
+    fn package_merge_degenerate_cases() {
+        assert_eq!(limited_code_lengths(&[], 15), Vec::<u8>::new());
+        assert_eq!(limited_code_lengths(&[0, 0], 15), vec![0, 0]);
+        assert_eq!(limited_code_lengths(&[0, 7], 15), vec![0, 1]);
+        let lens = limited_code_lengths(&[3, 0, 5], 15);
+        assert_eq!(lens[1], 0);
+        assert!(lens[0] >= 1 && lens[2] >= 1);
+    }
+
+    #[test]
+    fn encoder_decoder_agree_under_random_lengths() {
+        // Build a few valid length vectors from frequencies and check
+        // encode/decode agreement over all symbols.
+        let freqs: Vec<u64> = (1..=60u64).map(|i| i * i % 47 + 1).collect();
+        let lens = limited_code_lengths(&freqs, 15);
+        let syms: Vec<u16> = (0..freqs.len() as u16).collect();
+        roundtrip_symbols(&lens, &syms);
+    }
+}

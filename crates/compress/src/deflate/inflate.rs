@@ -1,0 +1,352 @@
+//! The DEFLATE decompressor (RFC 1951).
+
+use std::sync::OnceLock;
+
+use super::huffman::Decoder;
+use super::{CLEN_ORDER, DIST_BASE, DIST_EXTRA, LENGTH_BASE, LENGTH_EXTRA};
+use crate::bits::BitReader;
+use crate::{Error, Result};
+
+/// Decompresses a complete DEFLATE stream.
+///
+/// # Examples
+///
+/// ```
+/// use persona_compress::deflate::{deflate, inflate};
+///
+/// let data = b"hello hello hello hello";
+/// assert_eq!(inflate(&deflate(data)).unwrap(), data);
+/// ```
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>> {
+    inflate_with_capacity(data, data.len().saturating_mul(3))
+}
+
+/// Decompresses a complete DEFLATE stream, pre-allocating `capacity_hint`
+/// bytes of output.
+pub fn inflate_with_capacity(data: &[u8], capacity_hint: usize) -> Result<Vec<u8>> {
+    let (out, _consumed) = inflate_from(data, capacity_hint)?;
+    Ok(out)
+}
+
+/// Decompresses one DEFLATE stream from the start of `data`, returning
+/// the output and the number of input bytes consumed.
+///
+/// The consumed count includes the final partial byte of the stream
+/// rounded up to a whole byte, which is how DEFLATE streams embedded in
+/// containers (gzip members, BGZF blocks) are delimited.
+pub fn inflate_from(data: &[u8], capacity_hint: usize) -> Result<(Vec<u8>, usize)> {
+    let mut r = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::with_capacity(capacity_hint.min(1 << 30));
+    loop {
+        let bfinal = r.bits(1)?;
+        let btype = r.bits(2)?;
+        match btype {
+            0 => inflate_stored(&mut r, &mut out)?,
+            1 => {
+                let (lit, dist) = fixed_tables();
+                inflate_block(&mut r, &mut out, lit, dist)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(Error::Corrupt("reserved block type 3")),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    r.align_to_byte();
+    Ok((out, r.bytes_consumed()))
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<()> {
+    r.align_to_byte();
+    let mut hdr = [0u8; 4];
+    r.read_bytes(&mut hdr)?;
+    let len = u16::from_le_bytes([hdr[0], hdr[1]]);
+    let nlen = u16::from_le_bytes([hdr[2], hdr[3]]);
+    if len != !nlen {
+        return Err(Error::Corrupt("stored block LEN/NLEN mismatch"));
+    }
+    let start = out.len();
+    out.resize(start + len as usize, 0);
+    r.read_bytes(&mut out[start..])?;
+    Ok(())
+}
+
+/// Decodes litlen/dist symbols until end-of-block.
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: &Decoder,
+) -> Result<()> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let len =
+                    LENGTH_BASE[idx] as usize + r.bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                let dsym = dist.decode(r)?;
+                if dsym as usize >= DIST_BASE.len() {
+                    return Err(Error::Corrupt("invalid distance symbol"));
+                }
+                let didx = dsym as usize;
+                let distance =
+                    DIST_BASE[didx] as usize + r.bits(DIST_EXTRA[didx] as u32)? as usize;
+                if distance > out.len() {
+                    return Err(Error::Corrupt("match distance before start of output"));
+                }
+                copy_match(out, distance, len);
+            }
+            _ => return Err(Error::Corrupt("invalid literal/length symbol")),
+        }
+    }
+}
+
+/// Appends `len` bytes copied from `distance` bytes back, handling the
+/// overlapping (RLE-style) case.
+#[inline]
+fn copy_match(out: &mut Vec<u8>, distance: usize, len: usize) {
+    let start = out.len() - distance;
+    if distance >= len {
+        // Non-overlapping: copy within one buffer via split reborrow.
+        out.reserve(len);
+        let old_len = out.len();
+        // Extend then copy_within avoids per-byte bounds checks.
+        out.resize(old_len + len, 0);
+        out.copy_within(start..start + len, old_len);
+    } else {
+        out.reserve(len);
+        for i in 0..len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+}
+
+/// Reads the dynamic Huffman table definitions of a type-2 block.
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Decoder, Decoder)> {
+    let hlit = r.bits(5)? as usize + 257;
+    let hdist = r.bits(5)? as usize + 1;
+    let hclen = r.bits(4)? as usize + 4;
+    if hlit > 286 {
+        return Err(Error::Corrupt("HLIT > 286"));
+    }
+    if hdist > 30 {
+        return Err(Error::Corrupt("HDIST > 30"));
+    }
+
+    let mut clen_lengths = [0u8; 19];
+    for &pos in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[pos] = r.bits(3)? as u8;
+    }
+    let clen_dec = Decoder::from_lengths(&clen_lengths)?;
+
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let sym = clen_dec.decode(r)?;
+        match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err(Error::Corrupt("repeat code with no previous length"));
+                }
+                let prev = lengths[i - 1];
+                let rep = 3 + r.bits(2)? as usize;
+                if i + rep > lengths.len() {
+                    return Err(Error::Corrupt("length repeat overruns table"));
+                }
+                for _ in 0..rep {
+                    lengths[i] = prev;
+                    i += 1;
+                }
+            }
+            17 => {
+                let rep = 3 + r.bits(3)? as usize;
+                if i + rep > lengths.len() {
+                    return Err(Error::Corrupt("zero repeat overruns table"));
+                }
+                i += rep;
+            }
+            18 => {
+                let rep = 11 + r.bits(7)? as usize;
+                if i + rep > lengths.len() {
+                    return Err(Error::Corrupt("zero repeat overruns table"));
+                }
+                i += rep;
+            }
+            _ => return Err(Error::Corrupt("invalid code-length symbol")),
+        }
+    }
+
+    let lit = Decoder::from_lengths(&lengths[..hlit])?;
+    if lit.is_empty() {
+        return Err(Error::Corrupt("empty literal/length table"));
+    }
+    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+/// Returns the fixed-Huffman decoders of RFC 1951 §3.2.6 (built once).
+fn fixed_tables() -> (&'static Decoder, &'static Decoder) {
+    static TABLES: OnceLock<(Decoder, Decoder)> = OnceLock::new();
+    let (lit, dist) = TABLES.get_or_init(|| {
+        let lit = Decoder::from_lengths(&fixed_litlen_lengths()).expect("fixed litlen table");
+        let dist = Decoder::from_lengths(&[5u8; 30]).expect("fixed dist table");
+        (lit, dist)
+    });
+    (lit, dist)
+}
+
+/// Code lengths of the fixed literal/length alphabet.
+pub fn fixed_litlen_lengths() -> [u8; 288] {
+    let mut lens = [0u8; 288];
+    for (i, l) in lens.iter_mut().enumerate() {
+        *l = match i {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    lens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+
+    /// A hand-rolled stored block: BFINAL=1, BTYPE=00.
+    #[test]
+    fn stored_block() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        let payload = b"persona";
+        w.write_bytes(&(payload.len() as u16).to_le_bytes());
+        w.write_bytes(&(!(payload.len() as u16)).to_le_bytes());
+        w.write_bytes(payload);
+        let enc = w.finish();
+        assert_eq!(inflate(&enc).unwrap(), payload);
+    }
+
+    #[test]
+    fn stored_block_bad_nlen() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        w.write_bytes(&3u16.to_le_bytes());
+        w.write_bytes(&3u16.to_le_bytes()); // Should be !3.
+        w.write_bytes(b"abc");
+        assert!(matches!(inflate(&w.finish()), Err(Error::Corrupt(_))));
+    }
+
+    /// Fixed-Huffman block containing "abcabc..." with a match, written
+    /// symbol by symbol.
+    #[test]
+    fn fixed_block_with_match() {
+        use super::super::huffman::Encoder;
+        let enc = Encoder::from_lengths(&fixed_litlen_lengths());
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(1, 2); // BTYPE=01 fixed
+        for &b in b"abc" {
+            w.write_bits(enc.codes[b as usize], enc.lens[b as usize] as u32);
+        }
+        // Match: length 6 (code 260, no extra), distance 3 (code 2, 5 bits).
+        w.write_bits(enc.codes[260], enc.lens[260] as u32);
+        w.write_bits(super::super::huffman::reverse_bits(2, 5), 5);
+        // End of block.
+        w.write_bits(enc.codes[256], enc.lens[256] as u32);
+        let out = inflate(&w.finish()).unwrap();
+        assert_eq!(out, b"abcabcabc");
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(3, 2);
+        assert!(matches!(inflate(&w.finish()), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn distance_too_far_rejected() {
+        use super::super::huffman::Encoder;
+        let enc = Encoder::from_lengths(&fixed_litlen_lengths());
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        w.write_bits(enc.codes[b'x' as usize], enc.lens[b'x' as usize] as u32);
+        // Length 3 at distance 4 with only 1 byte of history.
+        w.write_bits(enc.codes[257], enc.lens[257] as u32);
+        w.write_bits(super::super::huffman::reverse_bits(3, 5), 5);
+        w.write_bits(enc.codes[256], enc.lens[256] as u32);
+        assert!(matches!(inflate(&w.finish()), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_stream() {
+        assert!(matches!(inflate(&[]), Err(Error::UnexpectedEof)));
+        assert!(matches!(inflate(&[0x01]), Err(Error::UnexpectedEof)));
+    }
+
+    #[test]
+    fn empty_fixed_block() {
+        use super::super::huffman::Encoder;
+        let enc = Encoder::from_lengths(&fixed_litlen_lengths());
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        w.write_bits(enc.codes[256], enc.lens[256] as u32);
+        assert_eq!(inflate(&w.finish()).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn multiple_blocks() {
+        let mut w = BitWriter::new();
+        // Non-final stored block.
+        w.write_bits(0, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        w.write_bytes(&2u16.to_le_bytes());
+        w.write_bytes(&(!2u16).to_le_bytes());
+        w.write_bytes(b"ab");
+        // Final stored block.
+        w.write_bits(1, 1);
+        w.write_bits(0, 2);
+        w.align_to_byte();
+        w.write_bytes(&2u16.to_le_bytes());
+        w.write_bytes(&(!2u16).to_le_bytes());
+        w.write_bytes(b"cd");
+        assert_eq!(inflate(&w.finish()).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn overlapping_copy_rle() {
+        use super::super::huffman::Encoder;
+        let enc = Encoder::from_lengths(&fixed_litlen_lengths());
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(1, 2);
+        w.write_bits(enc.codes[b'z' as usize], enc.lens[b'z' as usize] as u32);
+        // Length 10 at distance 1: 'z' repeated.
+        // Length 10 = code 264 (base 10, 0 extra).
+        w.write_bits(enc.codes[264], enc.lens[264] as u32);
+        w.write_bits(super::super::huffman::reverse_bits(0, 5), 5);
+        w.write_bits(enc.codes[256], enc.lens[256] as u32);
+        assert_eq!(inflate(&w.finish()).unwrap(), b"zzzzzzzzzzz");
+    }
+}

@@ -1,0 +1,299 @@
+//! Hash-chain LZ77 match finding for the DEFLATE compressor.
+
+use super::{MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const NONE: u32 = u32::MAX;
+
+/// An LZ77 token: either a literal byte or a back-reference.
+///
+/// Packed into a `u32`: bit 31 set for matches, with `len - 3` in bits
+/// 16..24 and `dist - 1` in bits 0..16; literals store the byte value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token(u32);
+
+impl Token {
+    /// Creates a literal token.
+    #[inline]
+    pub fn literal(byte: u8) -> Self {
+        Token(byte as u32)
+    }
+
+    /// Creates a match token for `len` in 3..=258 and `dist` in 1..=32768.
+    #[inline]
+    pub fn matching(len: usize, dist: usize) -> Self {
+        debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+        debug_assert!((1..=WINDOW_SIZE).contains(&dist));
+        Token(0x8000_0000 | (((len - MIN_MATCH) as u32) << 16) | ((dist - 1) as u32))
+    }
+
+    /// Whether this token is a back-reference.
+    #[inline]
+    pub fn is_match(self) -> bool {
+        self.0 & 0x8000_0000 != 0
+    }
+
+    /// The literal byte (only valid for literal tokens).
+    #[inline]
+    pub fn byte(self) -> u8 {
+        debug_assert!(!self.is_match());
+        self.0 as u8
+    }
+
+    /// The match length (only valid for match tokens).
+    #[inline]
+    pub fn len(self) -> usize {
+        debug_assert!(self.is_match());
+        ((self.0 >> 16) & 0xFF) as usize + MIN_MATCH
+    }
+
+    /// The match distance (only valid for match tokens).
+    #[inline]
+    pub fn dist(self) -> usize {
+        debug_assert!(self.is_match());
+        (self.0 & 0xFFFF) as usize + 1
+    }
+}
+
+/// Tuning parameters for the matcher, indexed by compression level.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherParams {
+    /// Maximum hash-chain entries to examine per position.
+    pub max_chain: usize,
+    /// Match length at which the search stops early.
+    pub good_enough: usize,
+    /// Use one-step lazy matching.
+    pub lazy: bool,
+}
+
+impl MatcherParams {
+    /// Parameters roughly corresponding to zlib levels 1, 6 and 9.
+    pub fn for_level(level: u8) -> Self {
+        match level {
+            0..=1 => MatcherParams { max_chain: 8, good_enough: 16, lazy: false },
+            2..=5 => MatcherParams { max_chain: 32, good_enough: 32, lazy: true },
+            6..=7 => MatcherParams { max_chain: 128, good_enough: 128, lazy: true },
+            _ => MatcherParams { max_chain: 1024, good_enough: MAX_MATCH, lazy: true },
+        }
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// [`MAX_MATCH`].
+#[inline]
+fn match_length(data: &[u8], a: usize, b: usize) -> usize {
+    let max = MAX_MATCH.min(data.len() - b);
+    let mut n = 0;
+    // Compare 8 bytes at a time.
+    while n + 8 <= max {
+        let x = u64::from_le_bytes(data[a + n..a + n + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + n..b + n + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return n + (diff.trailing_zeros() / 8) as usize;
+        }
+        n += 8;
+    }
+    while n < max && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Runs LZ77 over `data`, invoking `emit` for each token in order.
+///
+/// Uses greedy parsing with optional one-step lazy evaluation, mirroring
+/// the classic zlib algorithm.
+pub fn tokenize(data: &[u8], params: MatcherParams, mut emit: impl FnMut(Token)) {
+    let n = data.len();
+    if n < MIN_MATCH + 1 {
+        for &b in data {
+            emit(Token::literal(b));
+        }
+        return;
+    }
+
+    let mut head = vec![NONE; HASH_SIZE];
+    let mut prev = vec![NONE; n];
+
+    // Finds the longest match ending the chain walk early when
+    // `good_enough` is reached.
+    let find = |head: &[u32], prev: &[u32], i: usize| -> Option<(usize, usize)> {
+        if i + MIN_MATCH > n {
+            return None;
+        }
+        let mut cand = head[hash3(data, i)];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = params.max_chain;
+        while cand != NONE && chain > 0 {
+            let c = cand as usize;
+            debug_assert!(c < i);
+            if i - c > WINDOW_SIZE {
+                break;
+            }
+            // Quick reject: check the byte that would extend the best.
+            if c + best_len < n && i + best_len < n && data[c + best_len] == data[i + best_len] {
+                let len = match_length(data, c, i);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - c;
+                    if len >= params.good_enough {
+                        break;
+                    }
+                }
+            }
+            cand = prev[c];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let insert = |head: &mut [u32], prev: &mut [u32], i: usize| {
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            prev[i] = head[h];
+            head[h] = i as u32;
+        }
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        let cur = find(&head, &prev, i);
+        match cur {
+            None => {
+                emit(Token::literal(data[i]));
+                insert(&mut head, &mut prev, i);
+                i += 1;
+            }
+            Some((len, dist)) => {
+                let mut take = (len, dist);
+                let mut lit_first = false;
+                if params.lazy && len < params.good_enough && i + 1 < n {
+                    insert(&mut head, &mut prev, i);
+                    if let Some((len2, dist2)) = find(&head, &prev, i + 1) {
+                        if len2 > len {
+                            // Emit the current byte as a literal, take the
+                            // longer match at i+1.
+                            take = (len2, dist2);
+                            lit_first = true;
+                        }
+                    }
+                    if lit_first {
+                        emit(Token::literal(data[i]));
+                        i += 1;
+                        // `i` was already inserted above.
+                    }
+                    let (tlen, tdist) = take;
+                    emit(Token::matching(tlen, tdist));
+                    // Insert positions covered by the match.
+                    if !lit_first {
+                        // Position i was inserted before the lazy probe.
+                        for k in i + 1..(i + tlen).min(n) {
+                            insert(&mut head, &mut prev, k);
+                        }
+                    } else {
+                        for k in i..(i + tlen).min(n) {
+                            insert(&mut head, &mut prev, k);
+                        }
+                    }
+                    i += tlen;
+                } else {
+                    emit(Token::matching(len, dist));
+                    for k in i..(i + len).min(n) {
+                        insert(&mut head, &mut prev, k);
+                    }
+                    i += len;
+                }
+            }
+        }
+    }
+}
+
+/// Reconstructs the original bytes from a token stream (test helper and
+/// reference semantics for the token format).
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        if t.is_match() {
+            let (len, dist) = (t.len(), t.dist());
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(t.byte());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], level: u8) {
+        let mut tokens = Vec::new();
+        tokenize(data, MatcherParams::for_level(level), |t| tokens.push(t));
+        assert_eq!(detokenize(&tokens), data, "level {level}");
+    }
+
+    #[test]
+    fn token_packing() {
+        let t = Token::literal(0xAB);
+        assert!(!t.is_match());
+        assert_eq!(t.byte(), 0xAB);
+        for (len, dist) in [(3, 1), (258, 32768), (100, 5000)] {
+            let t = Token::matching(len, dist);
+            assert!(t.is_match());
+            assert_eq!(t.len(), len);
+            assert_eq!(t.dist(), dist);
+        }
+    }
+
+    #[test]
+    fn tokenize_roundtrips() {
+        roundtrip(b"", 6);
+        roundtrip(b"a", 6);
+        roundtrip(b"ab", 6);
+        roundtrip(b"abc", 6);
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaa", 6);
+        roundtrip(b"abcabcabcabcabcabcabc", 6);
+        let mixed: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        roundtrip(&mixed, 1);
+        roundtrip(&mixed, 6);
+        roundtrip(&mixed, 9);
+        let repetitive = b"ACGTACGTACGT".repeat(500);
+        roundtrip(&repetitive, 6);
+    }
+
+    #[test]
+    fn finds_long_matches() {
+        let data = b"0123456789".repeat(30);
+        let mut tokens = Vec::new();
+        tokenize(&data, MatcherParams::for_level(6), |t| tokens.push(t));
+        let match_bytes: usize = tokens.iter().filter(|t| t.is_match()).map(|t| t.len()).sum();
+        assert!(match_bytes > data.len() * 9 / 10, "only {match_bytes} of {} matched", data.len());
+    }
+
+    #[test]
+    fn long_runs_capped_at_max_match() {
+        let data = vec![7u8; 1000];
+        let mut tokens = Vec::new();
+        tokenize(&data, MatcherParams::for_level(9), |t| tokens.push(t));
+        assert!(tokens.iter().filter(|t| t.is_match()).all(|t| t.len() <= MAX_MATCH));
+        assert_eq!(detokenize(&tokens), data);
+    }
+}

@@ -1,0 +1,282 @@
+//! An order-1 adaptive binary range coder.
+//!
+//! This is the stand-in for the paper's "LZMA for the metadata column"
+//! option (§3): a codec that is slower than gzip but denser on text-like
+//! columns. It uses the classic carry-aware 32-bit range coder (as in
+//! LZMA's literal coder) with an order-1 context model: each byte is
+//! coded bit by bit down a 256-node binary tree whose probabilities are
+//! conditioned on the previous byte.
+
+/// Number of probability bits (probabilities live in 0..2^11).
+const PROB_BITS: u32 = 11;
+const PROB_ONE: u16 = 1 << PROB_BITS;
+const PROB_INIT: u16 = PROB_ONE / 2;
+/// Adaptation shift: higher adapts slower.
+const ADAPT_SHIFT: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// The order-1 bitwise probability model: 256 contexts × 256 tree nodes.
+struct Model {
+    probs: Vec<u16>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { probs: vec![PROB_INIT; 256 * 256] }
+    }
+
+    #[inline]
+    fn slot(&mut self, ctx: u8, node: usize) -> &mut u16 {
+        &mut self.probs[(ctx as usize) << 8 | node]
+    }
+}
+
+struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl RangeEncoder {
+    fn new() -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        // Bits 24..32 were either flushed into `cache` above or are
+        // pending 0xFF carries counted by `cache_size`; drop them.
+        self.low = (self.low & 0x00FF_FFFF) << 8;
+    }
+
+    #[inline]
+    fn encode_bit(&mut self, prob: &mut u16, bit: u32) {
+        let bound = (self.range >> PROB_BITS) * (*prob as u32);
+        if bit == 0 {
+            self.range = bound;
+            *prob += (PROB_ONE - *prob) >> ADAPT_SHIFT;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+            *prob -= *prob >> ADAPT_SHIFT;
+        }
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    fn new(input: &'a [u8]) -> Self {
+        let mut d = RangeDecoder { code: 0, range: u32::MAX, input, pos: 0 };
+        // The first output byte of the encoder is always 0; consume 5
+        // bytes to fill the 32-bit code register.
+        for _ in 0..5 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    #[inline]
+    fn decode_bit(&mut self, prob: &mut u16) -> u32 {
+        let bound = (self.range >> PROB_BITS) * (*prob as u32);
+        let bit;
+        if self.code < bound {
+            self.range = bound;
+            *prob += (PROB_ONE - *prob) >> ADAPT_SHIFT;
+            bit = 0;
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            *prob -= *prob >> ADAPT_SHIFT;
+            bit = 1;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bit
+    }
+}
+
+/// Compresses `data` with the order-1 range coder.
+///
+/// The output embeds the original length as an 8-byte little-endian
+/// prefix so decompression knows when to stop.
+///
+/// # Examples
+///
+/// ```
+/// use persona_compress::range;
+///
+/// let data = b"read_1/1 read_2/1 read_3/1".repeat(8);
+/// let packed = range::compress(&data);
+/// assert_eq!(range::decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut model = Model::new();
+    let mut enc = RangeEncoder::new();
+    let mut ctx = 0u8;
+    for &byte in data {
+        let mut node = 1usize;
+        for i in (0..8).rev() {
+            let bit = ((byte >> i) & 1) as u32;
+            enc.encode_bit(model.slot(ctx, node), bit);
+            node = (node << 1) | bit as usize;
+        }
+        ctx = byte;
+    }
+    let body = enc.finish();
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> crate::Result<Vec<u8>> {
+    if data.len() < 8 {
+        return Err(crate::Error::UnexpectedEof);
+    }
+    let n = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
+    // A range-coded byte costs at least ~1 bit in the worst-case model;
+    // reject absurd length claims early to avoid OOM on corrupt input.
+    if n > data.len().saturating_mul(64).saturating_add(1024) {
+        return Err(crate::Error::Corrupt("implausible declared length"));
+    }
+    let mut model = Model::new();
+    let mut dec = RangeDecoder::new(&data[8..]);
+    let mut out = Vec::with_capacity(n);
+    let mut ctx = 0u8;
+    for _ in 0..n {
+        let mut node = 1usize;
+        for _ in 0..8 {
+            let bit = dec.decode_bit(model.slot(ctx, node));
+            node = (node << 1) | bit as usize;
+        }
+        let byte = (node - 256) as u8;
+        out.push(byte);
+        ctx = byte;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let packed = compress(data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+        packed.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(&[0u8]);
+        roundtrip(&[255u8; 3]);
+    }
+
+    #[test]
+    fn repetitive_compresses_hard() {
+        let data = b"chr1_read_000001 ".repeat(1000);
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 8, "{n} of {}", data.len());
+    }
+
+    #[test]
+    fn metadata_like_beats_nothing() {
+        // Simulated FASTQ read names: shared prefix + counter.
+        let mut data = Vec::new();
+        for i in 0..5000 {
+            data.extend_from_slice(format!("ERR174324.{i} HS25_09827:2:1105\n").as_bytes());
+        }
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 3);
+    }
+
+    #[test]
+    fn random_bytes_roundtrip() {
+        let mut x = 7u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            })
+            .collect();
+        let n = roundtrip(&data);
+        // Random data should cost roughly 8 bits/byte, not explode.
+        assert!(n < data.len() + data.len() / 16 + 64);
+    }
+
+    #[test]
+    fn all_byte_values_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert!(decompress(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut packed = compress(b"abc");
+        packed[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn carry_propagation_stress() {
+        // Data engineered to exercise low/carry paths: long runs then
+        // transitions.
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.extend(std::iter::repeat(0xFFu8).take(i % 17 + 1));
+            data.push(i as u8);
+        }
+        roundtrip(&data);
+    }
+}

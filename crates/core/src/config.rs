@@ -1,0 +1,88 @@
+//! Pipeline configuration.
+//!
+//! Defaults follow the paper: queue capacities default to the
+//! parallelism of the consuming stage (§4.5: "default queue lengths are
+//! set to the number of parallel downstream nodes they feed"), AGD
+//! chunks hold 100,000 records (§5.2), and the executor owns all
+//! remaining hardware threads.
+
+/// Tuning knobs for Persona pipelines on one server.
+#[derive(Debug, Clone, Copy)]
+pub struct PersonaConfig {
+    /// Threads owned by the compute executor (the paper's best single-
+    /// node configuration uses 47 aligner threads on a 48-thread box,
+    /// leaving one for I/O).
+    pub compute_threads: usize,
+    /// Parallel aligner kernels feeding the executor.
+    pub aligner_kernels: usize,
+    /// Parallel reader node workers.
+    pub reader_parallelism: usize,
+    /// Parallel parser node workers.
+    pub parser_parallelism: usize,
+    /// Parallel writer node workers.
+    pub writer_parallelism: usize,
+    /// Reads per executor subchunk task (Fig. 4: the fine-grain unit).
+    pub subchunk_size: usize,
+    /// Override for queue capacity; `None` = downstream parallelism.
+    pub queue_capacity: Option<usize>,
+    /// Utilization sampling interval in milliseconds (0 = off).
+    pub sample_ms: u64,
+}
+
+impl Default for PersonaConfig {
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+        PersonaConfig {
+            compute_threads: (hw - 1).max(1),
+            aligner_kernels: 4,
+            reader_parallelism: 2,
+            parser_parallelism: 2,
+            writer_parallelism: 2,
+            subchunk_size: 512,
+            queue_capacity: None,
+            sample_ms: 0,
+        }
+    }
+}
+
+impl PersonaConfig {
+    /// A configuration sized for tests: few threads, tiny subchunks.
+    pub fn small() -> Self {
+        PersonaConfig {
+            compute_threads: 2,
+            aligner_kernels: 2,
+            reader_parallelism: 1,
+            parser_parallelism: 1,
+            writer_parallelism: 1,
+            subchunk_size: 64,
+            queue_capacity: None,
+            sample_ms: 0,
+        }
+    }
+
+    /// Queue capacity ahead of a stage with `downstream` workers.
+    pub fn capacity_for(&self, downstream: usize) -> usize {
+        self.queue_capacity.unwrap_or_else(|| downstream.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_most_threads() {
+        let c = PersonaConfig::default();
+        assert!(c.compute_threads >= 1);
+        assert!(c.subchunk_size > 0);
+    }
+
+    #[test]
+    fn queue_capacity_defaults_to_downstream_parallelism() {
+        let c = PersonaConfig::default();
+        assert_eq!(c.capacity_for(4), 4);
+        assert_eq!(c.capacity_for(0), 1);
+        let c = PersonaConfig { queue_capacity: Some(7), ..PersonaConfig::default() };
+        assert_eq!(c.capacity_for(4), 7);
+    }
+}

@@ -1,0 +1,81 @@
+//! **Persona** — a high-performance bioinformatics framework.
+//!
+//! This crate is the top layer of the Persona reproduction (USENIX ATC
+//! '17): it stitches the dataflow engine, the AGD format, the storage
+//! models and the aligners into the subgraphs and pipelines the paper
+//! describes (§4.1): "a set of dataflow operators that read, parse,
+//! write, and operate on AGD chunks, and a thin library that stitches
+//! these nodes together into optimized subgraphs for common I/O patterns
+//! and bioinformatics functions".
+//!
+//! Pipelines:
+//!
+//! * [`pipeline::align`] — the I/O input subgraph (reader → parser), the
+//!   process subgraph (aligner kernels over a shared executor, Fig. 4)
+//!   and the output subgraph (writer), connected by bounded queues.
+//! * [`pipeline::sort`] — external merge sort over AGD chunks with
+//!   temporary "superchunks" (§4.3).
+//! * [`pipeline::dupmark`] — Samblaster-style duplicate marking over the
+//!   `results` column only (§4.3, §5.6).
+//! * [`pipeline::import`] / [`pipeline::export`] — FASTQ import and
+//!   SAM/BAM export (§5.7).
+//!
+//! The [`manifest_server`] hands out chunk names to any number of
+//! "servers" (§5.2), which is how multi-node runs are coordinated.
+
+pub mod config;
+pub mod manifest_server;
+pub mod pipeline;
+
+/// Errors from Persona pipelines.
+#[derive(Debug)]
+pub enum Error {
+    /// AGD format or I/O failure.
+    Agd(persona_agd::Error),
+    /// Dataflow execution failure.
+    Dataflow(persona_dataflow::DataflowError),
+    /// Interchange format failure.
+    Format(persona_formats::Error),
+    /// Pipeline-level invariant violation.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Agd(e) => write!(f, "agd: {e}"),
+            Error::Dataflow(e) => write!(f, "dataflow: {e}"),
+            Error::Format(e) => write!(f, "format: {e}"),
+            Error::Pipeline(what) => write!(f, "pipeline: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<persona_agd::Error> for Error {
+    fn from(e: persona_agd::Error) -> Self {
+        Error::Agd(e)
+    }
+}
+
+impl From<persona_dataflow::DataflowError> for Error {
+    fn from(e: persona_dataflow::DataflowError) -> Self {
+        Error::Dataflow(e)
+    }
+}
+
+impl From<persona_formats::Error> for Error {
+    fn from(e: persona_formats::Error) -> Self {
+        Error::Format(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Agd(persona_agd::Error::Io(e))
+    }
+}
+
+/// Result alias for Persona operations.
+pub type Result<T> = std::result::Result<T, Error>;

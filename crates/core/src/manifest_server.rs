@@ -1,0 +1,119 @@
+//! The manifest server: a simple message queue of chunk work items.
+//!
+//! Paper §5.2: "Within each server, the first stage in the graph fetches
+//! a chunk name from the manifest server; the latter is implemented as a
+//! simple message queue." Sharing one `ManifestServer` across several
+//! per-server pipelines is what load-balances a multi-node run and, by
+//! pull-based dispatch, avoids stragglers.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use persona_agd::manifest::Manifest;
+
+/// One unit of dispatchable work: a chunk of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkTask {
+    /// Chunk index in the manifest.
+    pub chunk_idx: usize,
+    /// Object-name stem (column objects are `{stem}.{column}`).
+    pub stem: String,
+    /// Records in the chunk.
+    pub num_records: u32,
+}
+
+/// A shared pull-based queue of chunk tasks.
+#[derive(Clone)]
+pub struct ManifestServer {
+    queue: Arc<Mutex<VecDeque<ChunkTask>>>,
+    total: usize,
+}
+
+impl ManifestServer {
+    /// Creates a server dispensing every chunk of `manifest`, in order.
+    pub fn new(manifest: &Manifest) -> Self {
+        let queue: VecDeque<ChunkTask> = manifest
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ChunkTask {
+                chunk_idx: i,
+                stem: e.path.clone(),
+                num_records: e.num_records,
+            })
+            .collect();
+        let total = queue.len();
+        ManifestServer { queue: Arc::new(Mutex::new(queue)), total }
+    }
+
+    /// Fetches the next chunk task; `None` once the dataset is drained.
+    pub fn fetch(&self) -> Option<ChunkTask> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Chunks not yet dispatched.
+    pub fn remaining(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Total chunks this server was created with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::manifest::ChunkEntry;
+
+    fn manifest(chunks: usize) -> Manifest {
+        let mut m = Manifest::new("t");
+        let mut first = 0u64;
+        for i in 0..chunks {
+            m.records.push(ChunkEntry {
+                path: format!("t-{i}"),
+                first_record: first,
+                num_records: 10,
+            });
+            first += 10;
+        }
+        m.total_records = first;
+        m
+    }
+
+    #[test]
+    fn dispenses_in_order_then_empty() {
+        let server = ManifestServer::new(&manifest(3));
+        assert_eq!(server.total(), 3);
+        assert_eq!(server.fetch().unwrap().stem, "t-0");
+        assert_eq!(server.fetch().unwrap().stem, "t-1");
+        assert_eq!(server.remaining(), 1);
+        assert_eq!(server.fetch().unwrap().stem, "t-2");
+        assert_eq!(server.fetch(), None);
+    }
+
+    #[test]
+    fn shared_across_workers_no_duplicates() {
+        let server = ManifestServer::new(&manifest(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = server.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(task) = s.fetch() {
+                    got.push(task.chunk_idx);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort();
+        let expected: Vec<usize> = (0..1000).collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,261 @@
+//! Duplicate marking (paper §4.3, §5.6).
+//!
+//! "Duplicate marking is a process of marking reads that map to the
+//! exact same location on the reference genome … Persona duplicate
+//! marking uses an efficient hashing technique based on the approach
+//! used by Samblaster", with one columnar twist the paper calls out in
+//! §5.6: "Persona also uses less I/O since only the results column needs
+//! to be read/written from the AGD dataset."
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use persona_agd::chunk::{ChunkData, RecordType};
+use persona_agd::chunk_io::ChunkStore;
+use persona_agd::columns;
+use persona_agd::manifest::Manifest;
+use persona_agd::results::{flags, AlignmentResult, CigarKind};
+use persona_compress::codec::Codec;
+use persona_compress::deflate::CompressLevel;
+
+use crate::Result;
+
+/// Outcome of a duplicate-marking run.
+#[derive(Debug)]
+pub struct DupmarkReport {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Records examined.
+    pub reads: u64,
+    /// Records newly marked as duplicates.
+    pub duplicates: u64,
+}
+
+impl DupmarkReport {
+    /// Reads processed per second (the §5.6 comparison unit).
+    pub fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// The Samblaster-style signature of one alignment: unclipped 5'
+/// position + orientation (+ mate signature bits for pairs).
+fn signature(r: &AlignmentResult) -> Option<(i64, bool, i64)> {
+    if r.is_unmapped() {
+        return None;
+    }
+    let leading_clip = r
+        .cigar
+        .first()
+        .filter(|op| op.kind == CigarKind::SoftClip)
+        .map(|op| op.len as i64)
+        .unwrap_or(0);
+    let trailing_clip = r
+        .cigar
+        .last()
+        .filter(|op| op.kind == CigarKind::SoftClip)
+        .map(|op| op.len as i64)
+        .unwrap_or(0);
+    // Unclipped 5' coordinate: forward reads use start - leading clip;
+    // reverse reads use end + trailing clip (their 5' end is the right).
+    let pos = if r.is_reverse() {
+        r.location + r.reference_span() as i64 + trailing_clip
+    } else {
+        r.location - leading_clip
+    };
+    // Pairs additionally key on the mate's position so only whole-
+    // fragment duplicates collapse.
+    let mate = if r.flags & flags::PAIRED != 0 { r.mate_location } else { -2 };
+    Some((pos, r.is_reverse(), mate))
+}
+
+/// Marks duplicates in a dataset's `results` column, rewriting the
+/// column chunks in place (no other column is touched).
+pub fn mark_duplicates(
+    store: &Arc<dyn ChunkStore>,
+    manifest: &Manifest,
+) -> Result<DupmarkReport> {
+    let started = Instant::now();
+    let mut seen: HashSet<(i64, bool, i64)> = HashSet::new();
+    let mut reads = 0u64;
+    let mut duplicates = 0u64;
+
+    for entry in &manifest.records {
+        let name = Manifest::chunk_object_name(&entry.path, columns::RESULTS);
+        let raw = store.get(&name)?;
+        let chunk = ChunkData::decode(&raw)?;
+        let mut results: Vec<AlignmentResult> = Vec::with_capacity(chunk.len());
+        for rec in chunk.iter() {
+            results.push(AlignmentResult::decode(rec)?);
+        }
+        let mut changed = false;
+        for r in results.iter_mut() {
+            reads += 1;
+            if let Some(sig) = signature(r) {
+                if !seen.insert(sig) && !r.is_duplicate() {
+                    r.flags |= flags::DUPLICATE;
+                    duplicates += 1;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            let encoded: Vec<Vec<u8>> = results.iter().map(|r| r.encode()).collect();
+            let data = ChunkData::from_records(
+                RecordType::Results,
+                encoded.iter().map(|r| r.as_slice()),
+            )?;
+            store.put(&name, &data.encode(Codec::Gzip, CompressLevel::Fast)?)?;
+        }
+    }
+
+    Ok(DupmarkReport { elapsed: started.elapsed(), reads, duplicates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::builder::{ColumnAppender, ColumnConfig, DatasetWriter};
+    use persona_agd::chunk_io::MemStore;
+    use persona_agd::dataset::Dataset;
+    use persona_agd::results::CigarOp;
+
+    fn result(loc: i64, reverse: bool) -> AlignmentResult {
+        AlignmentResult {
+            location: loc,
+            mate_location: -1,
+            template_len: 0,
+            flags: if reverse { flags::REVERSE } else { 0 },
+            mapq: 60,
+            cigar: vec![CigarOp { kind: CigarKind::Match, len: 50 }],
+        }
+    }
+
+    fn world(results: Vec<AlignmentResult>, chunk: usize) -> (Arc<dyn ChunkStore>, Manifest) {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let mut w = DatasetWriter::new("d", chunk).unwrap();
+        for i in 0..results.len() {
+            let meta = format!("r{i}");
+            w.append(store.as_ref(), meta.as_bytes(), b"ACGTACGT", b"IIIIIIII").unwrap();
+        }
+        let mut manifest = w.finish(store.as_ref()).unwrap();
+        let cfg = ColumnConfig { codec: Codec::Gzip, record_type: RecordType::Results };
+        let sizes: Vec<u32> = manifest.records.iter().map(|e| e.num_records).collect();
+        let mut app =
+            ColumnAppender::new(&mut manifest, columns::RESULTS, cfg, CompressLevel::Fast).unwrap();
+        let mut k = 0usize;
+        for &sz in &sizes {
+            let recs: Vec<Vec<u8>> = (0..sz)
+                .map(|_| {
+                    let r = results[k].encode();
+                    k += 1;
+                    r
+                })
+                .collect();
+            app.append_chunk(store.as_ref(), recs.iter().map(|r| r.as_slice())).unwrap();
+        }
+        app.finish(store.as_ref()).unwrap();
+        (store, manifest)
+    }
+
+    fn flags_of(store: &Arc<dyn ChunkStore>, m: &Manifest) -> Vec<bool> {
+        let ds = Dataset::new(m.clone());
+        let mut out = Vec::new();
+        for c in 0..ds.num_chunks() {
+            for r in ds.read_results_chunk(store.as_ref(), c).unwrap() {
+                out.push(r.is_duplicate());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn marks_exact_position_duplicates() {
+        let results = vec![
+            result(100, false),
+            result(200, false),
+            result(100, false), // Duplicate of record 0.
+            result(100, true),  // Same position, other strand: not a dup.
+            result(100, false), // Another duplicate.
+        ];
+        let (store, manifest) = world(results, 3);
+        let report = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(report.reads, 5);
+        assert_eq!(report.duplicates, 2);
+        assert_eq!(flags_of(&store, &manifest), vec![false, false, true, false, true]);
+    }
+
+    #[test]
+    fn soft_clips_do_not_hide_duplicates() {
+        // Same fragment, one copy soft-clipped at the 5' end: unclipped
+        // positions agree -> duplicate.
+        let clean = result(100, false);
+        let mut clipped = result(103, false);
+        clipped.cigar = vec![
+            CigarOp { kind: CigarKind::SoftClip, len: 3 },
+            CigarOp { kind: CigarKind::Match, len: 47 },
+        ];
+        let (store, manifest) = world(vec![clean, clipped], 10);
+        let report = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(flags_of(&store, &manifest), vec![false, true]);
+    }
+
+    #[test]
+    fn reverse_reads_key_on_unclipped_end() {
+        // Two reverse reads whose 3'-start differs but whose 5' (right)
+        // unclipped ends coincide are duplicates.
+        let a = result(100, true); // Span 50: 5' end at 150.
+        let mut b = result(110, true); // Span 40 -> end 150.
+        b.cigar = vec![CigarOp { kind: CigarKind::Match, len: 40 }];
+        let (store, manifest) = world(vec![a, b], 10);
+        let report = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(report.duplicates, 1);
+    }
+
+    #[test]
+    fn unmapped_reads_never_marked() {
+        let results = vec![AlignmentResult::unmapped(), AlignmentResult::unmapped()];
+        let (store, manifest) = world(results, 10);
+        let report = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(report.duplicates, 0);
+    }
+
+    #[test]
+    fn paired_reads_require_matching_mate() {
+        let mut a = result(100, false);
+        a.flags |= flags::PAIRED;
+        a.mate_location = 400;
+        let mut b = result(100, false);
+        b.flags |= flags::PAIRED;
+        b.mate_location = 500; // Different fragment.
+        let mut c = result(100, false);
+        c.flags |= flags::PAIRED;
+        c.mate_location = 400; // True duplicate of a.
+        let (store, manifest) = world(vec![a, b, c], 10);
+        let report = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(flags_of(&store, &manifest), vec![false, false, true]);
+    }
+
+    #[test]
+    fn idempotent() {
+        let results = vec![result(1, false), result(1, false), result(1, false)];
+        let (store, manifest) = world(results, 10);
+        let first = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(first.duplicates, 2);
+        let second = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(second.duplicates, 0, "re-run must not re-mark");
+        assert_eq!(flags_of(&store, &manifest), vec![false, true, true]);
+    }
+
+    #[test]
+    fn spans_chunk_boundaries() {
+        // Duplicates in different chunks must still be found.
+        let results: Vec<AlignmentResult> = (0..20).map(|i| result(i as i64 % 4, false)).collect();
+        let (store, manifest) = world(results, 5);
+        let report = mark_duplicates(&store, &manifest).unwrap();
+        assert_eq!(report.duplicates, 16); // 4 firsts, 16 dups.
+    }
+}

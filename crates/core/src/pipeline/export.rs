@@ -1,0 +1,277 @@
+//! SAM/BAM export (paper §4.4, §5.7).
+//!
+//! "Persona also implements an output subgraph for the common SAM/BAM
+//! format for compatibility with tools that have not been integrated or
+//! do not yet support AGD." SAM formatting is parallel per chunk with an
+//! ordered single writer; BAM goes through the BGZF encoder.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use persona_agd::chunk_io::ChunkStore;
+use persona_agd::columns;
+use persona_agd::manifest::Manifest;
+use persona_agd::results::AlignmentResult;
+use persona_compress::deflate::CompressLevel;
+use persona_dataflow::graph::GraphBuilder;
+use persona_formats::sam::{RefMap, SamRecord};
+
+use crate::config::PersonaConfig;
+use crate::manifest_server::ManifestServer;
+use crate::{Error, Result};
+
+/// Outcome of an export run.
+#[derive(Debug)]
+pub struct ExportReport {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Records exported.
+    pub records: u64,
+    /// Output bytes produced.
+    pub output_bytes: u64,
+}
+
+impl ExportReport {
+    /// Output megabytes per second (the §5.7 unit).
+    pub fn mb_per_sec(&self) -> f64 {
+        self.output_bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+}
+
+struct FormattedChunk {
+    idx: usize,
+    text: Vec<u8>,
+    records: u64,
+}
+
+/// Exports an aligned dataset as SAM text with parallel formatting.
+pub fn export_sam(
+    store: &Arc<dyn ChunkStore>,
+    manifest: &Manifest,
+    out: &mut (impl Write + Send),
+    config: &PersonaConfig,
+) -> Result<ExportReport> {
+    let refs = Arc::new(RefMap::new(&manifest.reference));
+    let mut header = Vec::new();
+    persona_formats::sam::write_header(
+        &mut header,
+        &refs,
+        manifest.sort_order == persona_agd::manifest::SortOrder::Coordinate,
+    )?;
+    out.write_all(&header)?;
+
+    let server = ManifestServer::new(manifest);
+    let formatters = config.parser_parallelism.max(2);
+    let records_total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let bytes_total = Arc::new(std::sync::atomic::AtomicU64::new(header.len() as u64));
+
+    let mut g = GraphBuilder::new("export-sam");
+    let q_formatted = g.queue::<FormattedChunk>("formatted", config.capacity_for(1));
+
+    {
+        let server = server.clone();
+        let store = store.clone();
+        let refs = refs.clone();
+        let qf = q_formatted.clone();
+        g.node("formatter", formatters, [q_formatted.produces()], move |ctx| {
+            while let Some(task) = server.fetch() {
+                let load = |col: &str| -> std::result::Result<persona_agd::chunk::ChunkData, String> {
+                    let raw = ctx_get(&*store, &task.stem, col)?;
+                    persona_agd::chunk::ChunkData::decode(&raw).map_err(|e| e.to_string())
+                };
+                let meta = load(columns::METADATA)?;
+                let bases = load(columns::BASES)?;
+                let quals = load(columns::QUAL)?;
+                let results = load(columns::RESULTS)?;
+                let mut text = Vec::with_capacity(bases.data.len() * 3);
+                for i in 0..meta.len() {
+                    let r = AlignmentResult::decode(results.record(i)).map_err(|e| e.to_string())?;
+                    let rec = SamRecord::from_result(
+                        &refs,
+                        meta.record(i),
+                        bases.record(i),
+                        quals.record(i),
+                        &r,
+                    );
+                    text.extend_from_slice(&rec.to_line(&refs));
+                    text.push(b'\n');
+                }
+                ctx.add_items(meta.len() as u64);
+                ctx.push(
+                    &qf,
+                    FormattedChunk { idx: task.chunk_idx, text, records: meta.len() as u64 },
+                )?;
+            }
+            Ok(())
+        });
+    }
+
+    // Ordered writer: reorders chunks by index before writing.
+    let writer_out = Arc::new(parking_lot::Mutex::new(OutSink { buf: Vec::new() }));
+    {
+        let qf = q_formatted.clone();
+        let writer_out = writer_out.clone();
+        let records_total = records_total.clone();
+        let bytes_total = bytes_total.clone();
+        g.node("writer", 1, [], move |ctx| {
+            let mut pending: std::collections::BTreeMap<usize, FormattedChunk> =
+                std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            while let Some(chunk) = ctx.pop(&qf) {
+                pending.insert(chunk.idx, chunk);
+                while let Some(c) = pending.remove(&next) {
+                    bytes_total.fetch_add(c.text.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                    records_total.fetch_add(c.records, std::sync::atomic::Ordering::Relaxed);
+                    writer_out.lock().buf.extend_from_slice(&c.text);
+                    ctx.add_items(1);
+                    next += 1;
+                }
+            }
+            if !pending.is_empty() {
+                return Err("export writer finished with gaps in chunk order".into());
+            }
+            Ok(())
+        });
+    }
+
+    let run = g.run().map_err(|(e, _)| Error::Dataflow(e))?;
+    let sink = writer_out.lock();
+    out.write_all(&sink.buf)?;
+    Ok(ExportReport {
+        elapsed: run.elapsed,
+        records: records_total.load(std::sync::atomic::Ordering::Relaxed),
+        output_bytes: bytes_total.load(std::sync::atomic::Ordering::Relaxed),
+    })
+}
+
+/// Exports an aligned dataset as BAM (single-threaded BGZF after
+/// record assembly; the compatibility path of §4.4).
+pub fn export_bam(
+    store: &Arc<dyn ChunkStore>,
+    manifest: &Manifest,
+    out: &mut impl Write,
+    level: CompressLevel,
+) -> Result<ExportReport> {
+    let started = std::time::Instant::now();
+    let ds = persona_agd::dataset::Dataset::new(manifest.clone());
+    let mut counting = CountingWriter { inner: out, written: 0 };
+    let n = persona_formats::convert::agd_to_bam(&ds, store.as_ref(), &mut counting, level)?;
+    Ok(ExportReport {
+        elapsed: started.elapsed(),
+        records: n,
+        output_bytes: counting.written,
+    })
+}
+
+struct OutSink {
+    buf: Vec<u8>,
+}
+
+struct CountingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Fetches one column object, mapping errors to node error strings.
+fn ctx_get(store: &dyn ChunkStore, stem: &str, col: &str) -> std::result::Result<Vec<u8>, String> {
+    store
+        .get(&Manifest::chunk_object_name(stem, col))
+        .map_err(|e| format!("read {stem}.{col}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::builder::{ColumnAppender, ColumnConfig, DatasetWriter};
+    use persona_agd::chunk::RecordType;
+    use persona_agd::chunk_io::MemStore;
+    use persona_agd::results::{CigarKind, CigarOp};
+    use persona_compress::codec::Codec;
+
+    fn world(n: usize, chunk: usize) -> (Arc<dyn ChunkStore>, Manifest) {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let mut w = DatasetWriter::new("x", chunk).unwrap();
+        for i in 0..n {
+            let meta = format!("r{i:04}");
+            let bases: Vec<u8> = (0..40).map(|j| b"ACGT"[(i + j) % 4]).collect();
+            w.append(store.as_ref(), meta.as_bytes(), &bases, &vec![b'E'; 40]).unwrap();
+        }
+        let mut manifest = w.finish(store.as_ref()).unwrap();
+        persona_formats::convert::set_reference(&mut manifest, &[("chr1".to_string(), 100_000)]);
+        let cfg = ColumnConfig { codec: Codec::Gzip, record_type: RecordType::Results };
+        let sizes: Vec<u32> = manifest.records.iter().map(|e| e.num_records).collect();
+        let mut app =
+            ColumnAppender::new(&mut manifest, columns::RESULTS, cfg, CompressLevel::Fast).unwrap();
+        let mut k = 0i64;
+        for &sz in &sizes {
+            let recs: Vec<Vec<u8>> = (0..sz)
+                .map(|_| {
+                    let r = AlignmentResult {
+                        location: (k * 13) % 90_000,
+                        mate_location: -1,
+                        template_len: 0,
+                        flags: 0,
+                        mapq: 42,
+                        cigar: vec![CigarOp { kind: CigarKind::Match, len: 40 }],
+                    };
+                    k += 1;
+                    r.encode()
+                })
+                .collect();
+            app.append_chunk(store.as_ref(), recs.iter().map(|r| r.as_slice())).unwrap();
+        }
+        app.finish(store.as_ref()).unwrap();
+        (store, manifest)
+    }
+
+    #[test]
+    fn sam_export_is_ordered_and_complete() {
+        let (store, manifest) = world(200, 32);
+        let mut out = Vec::new();
+        let report =
+            export_sam(&store, &manifest, &mut out, &PersonaConfig::small()).unwrap();
+        assert_eq!(report.records, 200);
+        let text = String::from_utf8(out).unwrap();
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('@')).collect();
+        assert_eq!(body.len(), 200);
+        // Records appear in dataset order: qnames r0000, r0001, ...
+        for (i, line) in body.iter().enumerate() {
+            assert!(line.starts_with(&format!("r{i:04}\t")), "line {i}: {line}");
+        }
+        assert!(report.output_bytes as usize >= text.len());
+    }
+
+    #[test]
+    fn bam_export_roundtrips() {
+        let (store, manifest) = world(120, 50);
+        let mut out = Vec::new();
+        let report = export_bam(&store, &manifest, &mut out, CompressLevel::Fast).unwrap();
+        assert_eq!(report.records, 120);
+        assert_eq!(report.output_bytes as usize, out.len());
+        let bam = persona_formats::bam::read_bam(&out).unwrap();
+        assert_eq!(bam.records.len(), 120);
+    }
+
+    #[test]
+    fn export_without_results_fails() {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let mut w = DatasetWriter::new("nores", 10).unwrap();
+        w.append(store.as_ref(), b"m", b"ACGT", b"IIII").unwrap();
+        let manifest = w.finish(store.as_ref()).unwrap();
+        let mut out = Vec::new();
+        assert!(export_sam(&store, &manifest, &mut out, &PersonaConfig::small()).is_err());
+    }
+}

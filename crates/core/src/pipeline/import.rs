@@ -1,0 +1,287 @@
+//! FASTQ import (paper §5.7: "FASTQ is imported to AGD at 360 MB/s").
+//!
+//! The import pipeline parses FASTQ serially (framing is inherently
+//! sequential) but compresses and writes column chunks in parallel:
+//!
+//! ```text
+//! parser ─► [read batches] ─► encoder(s) ─► writer
+//! ```
+
+use std::io::BufRead;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use persona_agd::chunk::{ChunkData, RecordType};
+use persona_agd::chunk_io::ChunkStore;
+use persona_agd::columns;
+use persona_agd::manifest::{ChunkEntry, Manifest};
+use persona_compress::deflate::CompressLevel;
+use persona_dataflow::graph::GraphBuilder;
+use persona_seq::Read;
+
+use crate::config::PersonaConfig;
+use crate::{Error, Result};
+
+/// Outcome of an import run.
+#[derive(Debug)]
+pub struct ImportReport {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Uncompressed FASTQ bytes consumed.
+    pub input_bytes: u64,
+    /// Reads imported.
+    pub reads: u64,
+    /// Chunks written.
+    pub chunks: u64,
+}
+
+impl ImportReport {
+    /// Input megabytes per second (the §5.7 unit).
+    pub fn mb_per_sec(&self) -> f64 {
+        self.input_bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+}
+
+struct Batch {
+    idx: u64,
+    reads: Vec<Read>,
+}
+
+struct EncodedChunk {
+    idx: u64,
+    num_records: u32,
+    bases_obj: Vec<u8>,
+    qual_obj: Vec<u8>,
+    meta_obj: Vec<u8>,
+}
+
+/// Imports FASTQ into a new AGD dataset named `name`, with parallel
+/// chunk encoding. Returns the manifest and throughput report.
+pub fn import_fastq(
+    input: impl BufRead + Send + 'static,
+    store: &Arc<dyn ChunkStore>,
+    name: &str,
+    chunk_size: usize,
+    config: &PersonaConfig,
+) -> Result<(Manifest, ImportReport)> {
+    if chunk_size == 0 {
+        return Err(Error::Pipeline("chunk_size must be positive".into()));
+    }
+    let mut manifest = Manifest::new(name);
+    manifest.add_column(columns::BASES, Default::default())?;
+    manifest.add_column(columns::QUAL, Default::default())?;
+    manifest.add_column(columns::METADATA, Default::default())?;
+    manifest.row_groups = vec![vec![
+        columns::BASES.to_string(),
+        columns::QUAL.to_string(),
+        columns::METADATA.to_string(),
+    ]];
+
+    let input_bytes = Arc::new(AtomicU64::new(0));
+    let reads_ctr = Arc::new(AtomicU64::new(0));
+    let entries: Arc<Mutex<Vec<(u64, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // The FASTQ reader is consumed by one source node; wrap it so the
+    // closure (Fn) can take it despite being called once per worker.
+    let reader_cell = Arc::new(Mutex::new(Some(input)));
+
+    let encoders = config.parser_parallelism.max(2);
+    let mut g = GraphBuilder::new("import");
+    let q_batches = g.queue::<Batch>("batches", config.capacity_for(encoders));
+    let q_encoded = g.queue::<EncodedChunk>("encoded", config.capacity_for(1));
+
+    {
+        let qb = q_batches.clone();
+        let reader_cell = reader_cell.clone();
+        let input_bytes = input_bytes.clone();
+        let reads_ctr = reads_ctr.clone();
+        g.source("fastq-parser", [q_batches.produces()], move |ctx| {
+            let mut input = reader_cell.lock().take().ok_or("parser ran twice")?;
+            let mut reader = persona_formats::fastq::FastqReader::new(&mut input);
+            let mut idx = 0u64;
+            let mut batch = Vec::with_capacity(chunk_size);
+            loop {
+                match reader.next() {
+                    Ok(Some(read)) => {
+                        // FASTQ framing: 4 lines ≈ meta + bases + quals + 3
+                        // separators and newlines.
+                        input_bytes.fetch_add(
+                            (read.meta.len() + read.bases.len() + read.quals.len() + 7) as u64,
+                            Ordering::Relaxed,
+                        );
+                        reads_ctr.fetch_add(1, Ordering::Relaxed);
+                        batch.push(read);
+                        if batch.len() >= chunk_size {
+                            ctx.add_items(batch.len() as u64);
+                            ctx.push(&qb, Batch { idx, reads: std::mem::take(&mut batch) })?;
+                            idx += 1;
+                            batch = Vec::with_capacity(chunk_size);
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => return Err(format!("fastq: {e}").into()),
+                }
+            }
+            if !batch.is_empty() {
+                ctx.add_items(batch.len() as u64);
+                ctx.push(&qb, Batch { idx, reads: batch })?;
+            }
+            Ok(())
+        });
+    }
+
+    {
+        let (qi, qo) = (q_batches.clone(), q_encoded.clone());
+        let m = manifest.clone();
+        g.node("encoder", encoders, [q_encoded.produces()], move |ctx| {
+            while let Some(batch) = ctx.pop(&qi) {
+                let n = batch.reads.len() as u32;
+                let enc = |rt: RecordType, col: &str, get: &dyn Fn(&Read) -> &[u8]| -> std::result::Result<Vec<u8>, String> {
+                    let chunk = ChunkData::from_records(rt, batch.reads.iter().map(get))
+                        .map_err(|e| e.to_string())?;
+                    chunk
+                        .encode(m.column_codec(col).map_err(|e| e.to_string())?, CompressLevel::Fast)
+                        .map_err(|e| e.to_string())
+                };
+                let bases_obj = enc(RecordType::CompactBases, columns::BASES, &|r| &r.bases)?;
+                let qual_obj = enc(RecordType::Text, columns::QUAL, &|r| &r.quals)?;
+                let meta_obj = enc(RecordType::Text, columns::METADATA, &|r| &r.meta)?;
+                ctx.add_items(n as u64);
+                ctx.push(
+                    &qo,
+                    EncodedChunk { idx: batch.idx, num_records: n, bases_obj, qual_obj, meta_obj },
+                )?;
+            }
+            Ok(())
+        });
+    }
+
+    {
+        let qi = q_encoded.clone();
+        let store = store.clone();
+        let name = name.to_string();
+        let entries = entries.clone();
+        g.node("writer", 1, [], move |ctx| {
+            while let Some(chunk) = ctx.pop(&qi) {
+                let stem = format!("{}-{}", name, chunk.idx);
+                ctx.wait_external(|| -> std::io::Result<()> {
+                    store.put(&format!("{stem}.{}", columns::BASES), &chunk.bases_obj)?;
+                    store.put(&format!("{stem}.{}", columns::QUAL), &chunk.qual_obj)?;
+                    store.put(&format!("{stem}.{}", columns::METADATA), &chunk.meta_obj)?;
+                    Ok(())
+                })
+                .map_err(|e| format!("write chunk {}: {e}", chunk.idx))?;
+                entries.lock().push((chunk.idx, chunk.num_records));
+                ctx.add_items(1);
+            }
+            Ok(())
+        });
+    }
+
+    let run = g.run().map_err(|(e, _)| Error::Dataflow(e))?;
+
+    // Assemble the manifest in chunk order.
+    let mut entry_list = entries.lock().clone();
+    entry_list.sort_unstable_by_key(|&(idx, _)| idx);
+    let mut first = 0u64;
+    for (idx, n) in &entry_list {
+        manifest.records.push(ChunkEntry {
+            path: format!("{name}-{idx}"),
+            first_record: first,
+            num_records: *n,
+        });
+        first += *n as u64;
+    }
+    manifest.total_records = first;
+    manifest.validate()?;
+    store.put(&format!("{name}.manifest.json"), manifest.to_json()?.as_bytes())?;
+
+    Ok((
+        manifest,
+        ImportReport {
+            elapsed: run.elapsed,
+            input_bytes: input_bytes.load(Ordering::Relaxed),
+            reads: reads_ctr.load(Ordering::Relaxed),
+            chunks: entry_list.len() as u64,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::chunk_io::MemStore;
+    use persona_agd::dataset::Dataset;
+    use persona_formats::fastq;
+    use persona_seq::simulate::{ReadSimulator, SimParams};
+    use persona_seq::Genome;
+
+    fn fastq_bytes(n: usize) -> (Vec<u8>, Vec<Read>) {
+        let genome = Genome::random_with_seed(66, &[("chr1", 30_000)]);
+        let mut sim = ReadSimulator::new(&genome, SimParams { seed: 6, ..SimParams::default() });
+        let reads = sim.take_single(n);
+        (fastq::to_bytes(&reads), reads)
+    }
+
+    #[test]
+    fn imports_and_preserves_order() {
+        let (bytes, reads) = fastq_bytes(300);
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let (manifest, report) = import_fastq(
+            std::io::Cursor::new(bytes),
+            &store,
+            "imp",
+            64,
+            &PersonaConfig::small(),
+        )
+        .unwrap();
+        assert_eq!(report.reads, 300);
+        assert_eq!(report.chunks, 5);
+        assert_eq!(manifest.total_records, 300);
+        assert!(report.input_bytes > 0);
+
+        let ds = Dataset::new(manifest);
+        let mut i = 0usize;
+        for c in 0..ds.num_chunks() {
+            let meta = ds.read_column_chunk(store.as_ref(), c, columns::METADATA).unwrap();
+            let bases = ds.read_column_chunk(store.as_ref(), c, columns::BASES).unwrap();
+            for r in 0..meta.len() {
+                assert_eq!(meta.record(r), reads[i].meta.as_slice(), "record {i}");
+                assert_eq!(bases.record(r), reads[i].bases.as_slice(), "record {i}");
+                i += 1;
+            }
+        }
+        assert_eq!(i, 300);
+    }
+
+    #[test]
+    fn malformed_fastq_fails() {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let bad = b"@r1\nACGT\nOOPS\nIIII\n";
+        let err = import_fastq(
+            std::io::Cursor::new(&bad[..]),
+            &store,
+            "bad",
+            10,
+            &PersonaConfig::small(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_input_empty_dataset() {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let (manifest, report) = import_fastq(
+            std::io::Cursor::new(&b""[..]),
+            &store,
+            "empty",
+            10,
+            &PersonaConfig::small(),
+        )
+        .unwrap();
+        assert_eq!(report.reads, 0);
+        assert_eq!(manifest.total_records, 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Persona's optimized subgraphs and pipelines (paper §4.1-§4.4).
+
+pub mod align;
+pub mod dupmark;
+pub mod export;
+pub mod import;
+pub mod sort;

@@ -1,0 +1,521 @@
+//! Full-dataset external merge sort (paper §4.3).
+//!
+//! "The sort implementation is a simple external merge sort, where
+//! several chunks at a time are sorted and merged into temporary file
+//! 'superchunks'. A final merge stage merges superchunks into the final
+//! sorted dataset."
+//!
+//! Sorting an AGD dataset reorders *all* row-grouped columns by the key
+//! (aligned location or read metadata). Unlike row-oriented SAM/BAM
+//! sorting, records never need re-parsing: columns are permuted as
+//! opaque byte slices, with only the key column decoded.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use persona_agd::chunk::{ChunkData, RecordType};
+use persona_agd::chunk_io::ChunkStore;
+use persona_agd::columns;
+use persona_agd::manifest::{ChunkEntry, Manifest, SortOrder};
+use persona_agd::results::AlignmentResult;
+use persona_compress::codec::Codec;
+use persona_compress::deflate::CompressLevel;
+
+use crate::config::PersonaConfig;
+use crate::{Error, Result};
+
+/// The sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortKey {
+    /// By aligned reference location (requires a `results` column).
+    Coordinate,
+    /// By read metadata (query name).
+    QueryName,
+}
+
+/// Outcome of a sort run.
+#[derive(Debug)]
+pub struct SortReport {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Records sorted.
+    pub records: u64,
+    /// Number of first-phase sorted runs.
+    pub runs: usize,
+    /// Number of intermediate superchunks (0 if a single merge sufficed).
+    pub superchunks: usize,
+}
+
+/// All columns of one loaded (or merged) run, as parallel record arrays.
+struct Run {
+    keys: Vec<Key>,
+    meta: Vec<Vec<u8>>,
+    bases: Vec<Vec<u8>>,
+    quals: Vec<Vec<u8>>,
+    results: Vec<Vec<u8>>,
+}
+
+/// A sort key: either a location or a name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Key {
+    Location(i64),
+    Name(Vec<u8>),
+}
+
+impl Run {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Sorts a dataset into a new dataset `out_name`, returning the new
+/// manifest. Unmapped records (location -1) sort first, matching the
+/// convention that they carry no coordinate.
+pub fn sort_dataset(
+    store: &Arc<dyn ChunkStore>,
+    manifest: &Manifest,
+    key: SortKey,
+    out_name: &str,
+    config: &PersonaConfig,
+) -> Result<(Manifest, SortReport)> {
+    let started = Instant::now();
+    if key == SortKey::Coordinate && !manifest.has_column(columns::RESULTS) {
+        return Err(Error::Pipeline("coordinate sort requires a results column".into()));
+    }
+    let has_results = manifest.has_column(columns::RESULTS);
+
+    // Phase 1: sort each chunk into a run (in parallel).
+    let chunk_count = manifest.records.len();
+    let mut runs: Vec<Run> = Vec::with_capacity(chunk_count);
+    {
+        let slots: parking_lot::Mutex<Vec<Option<Run>>> =
+            parking_lot::Mutex::new((0..chunk_count).map(|_| None).collect());
+        let workers = config.compute_threads.max(1).min(chunk_count.max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let err = parking_lot::Mutex::new(None::<Error>);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= chunk_count {
+                        return;
+                    }
+                    match load_sorted_run(store.as_ref(), manifest, idx, key, has_results) {
+                        Ok(run) => {
+                            slots.lock()[idx] = Some(run);
+                        }
+                        Err(e) => {
+                            *err.lock() = Some(e);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = err.into_inner() {
+            return Err(e);
+        }
+        for slot in slots.into_inner() {
+            runs.push(slot.ok_or_else(|| Error::Pipeline("missing sorted run".into()))?);
+        }
+    }
+    let n_runs = runs.len();
+
+    // Phase 2: merge groups of runs into superchunks until few enough
+    // remain, then a final merge writes the output dataset.
+    let fanin = 8usize;
+    let mut superchunks = 0usize;
+    while runs.len() > fanin {
+        let mut merged: Vec<Run> = Vec::new();
+        for group in runs.chunks_mut(fanin) {
+            let group: Vec<Run> = group.iter_mut().map(std::mem::take).collect();
+            merged.push(merge_runs(group));
+            superchunks += 1;
+        }
+        runs = merged;
+    }
+    let final_run = merge_runs(runs);
+    let records = final_run.len() as u64;
+
+    // Write the output dataset chunk by chunk.
+    let out_manifest = write_sorted_dataset(
+        store.as_ref(),
+        out_name,
+        manifest,
+        final_run,
+        key,
+        has_results,
+        config,
+    )?;
+
+    Ok((
+        out_manifest,
+        SortReport { elapsed: started.elapsed(), records, runs: n_runs, superchunks },
+    ))
+}
+
+impl Default for Run {
+    fn default() -> Self {
+        Run { keys: Vec::new(), meta: Vec::new(), bases: Vec::new(), quals: Vec::new(), results: Vec::new() }
+    }
+}
+
+/// Loads one chunk's columns and sorts them by key.
+fn load_sorted_run(
+    store: &dyn ChunkStore,
+    manifest: &Manifest,
+    chunk_idx: usize,
+    key: SortKey,
+    has_results: bool,
+) -> Result<Run> {
+    let entry = &manifest.records[chunk_idx];
+    let load = |col: &str| -> Result<ChunkData> {
+        let raw = store.get(&Manifest::chunk_object_name(&entry.path, col))?;
+        Ok(ChunkData::decode(&raw)?)
+    };
+    let meta = load(columns::METADATA)?;
+    let bases = load(columns::BASES)?;
+    let quals = load(columns::QUAL)?;
+    let results = if has_results { Some(load(columns::RESULTS)?) } else { None };
+
+    let n = meta.len();
+    let mut keys: Vec<Key> = Vec::with_capacity(n);
+    for i in 0..n {
+        keys.push(match key {
+            SortKey::Coordinate => {
+                let r = AlignmentResult::decode(
+                    results.as_ref().expect("results checked above").record(i),
+                )?;
+                Key::Location(r.location)
+            }
+            SortKey::QueryName => Key::Name(meta.record(i).to_vec()),
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+
+    Ok(Run {
+        keys: order.iter().map(|&i| keys[i].clone()).collect(),
+        meta: order.iter().map(|&i| meta.record(i).to_vec()).collect(),
+        bases: order.iter().map(|&i| bases.record(i).to_vec()).collect(),
+        quals: order.iter().map(|&i| quals.record(i).to_vec()).collect(),
+        results: match results {
+            Some(r) => order.iter().map(|&i| r.record(i).to_vec()).collect(),
+            None => Vec::new(),
+        },
+    })
+}
+
+/// K-way merges sorted runs into one (stable within equal keys by run
+/// order, then record order).
+fn merge_runs(mut runs: Vec<Run>) -> Run {
+    runs.retain(|r| r.len() > 0);
+    if runs.len() == 1 {
+        return runs.pop().unwrap();
+    }
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Run {
+        keys: Vec::with_capacity(total),
+        meta: Vec::with_capacity(total),
+        bases: Vec::with_capacity(total),
+        quals: Vec::with_capacity(total),
+        results: Vec::with_capacity(total),
+    };
+    let has_results = runs.iter().any(|r| !r.results.is_empty());
+    let mut cursors = vec![0usize; runs.len()];
+    // Binary heap of (key, run) — invert ordering for a min-heap.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+    for (r, run) in runs.iter().enumerate() {
+        if run.len() > 0 {
+            heap.push(Reverse((run.keys[0].clone(), r)));
+        }
+    }
+    while let Some(Reverse((_, r))) = heap.pop() {
+        let i = cursors[r];
+        let run = &mut runs[r];
+        out.keys.push(run.keys[i].clone());
+        out.meta.push(std::mem::take(&mut run.meta[i]));
+        out.bases.push(std::mem::take(&mut run.bases[i]));
+        out.quals.push(std::mem::take(&mut run.quals[i]));
+        if has_results && !run.results.is_empty() {
+            out.results.push(std::mem::take(&mut run.results[i]));
+        }
+        cursors[r] += 1;
+        if cursors[r] < run.len() {
+            heap.push(Reverse((run.keys[cursors[r]].clone(), r)));
+        }
+    }
+    out
+}
+
+/// Looks up a column codec on a shared manifest reference.
+fn manifest_codec(m: &Manifest, col: &str) -> Result<persona_compress::codec::Codec> {
+    Ok(m.column_codec(col)?)
+}
+
+/// Writes the merged run as a fresh AGD dataset.
+fn write_sorted_dataset(
+    store: &dyn ChunkStore,
+    out_name: &str,
+    src: &Manifest,
+    run: Run,
+    key: SortKey,
+    has_results: bool,
+    config: &PersonaConfig,
+) -> Result<Manifest> {
+    let chunk_size = src
+        .records
+        .first()
+        .map(|e| e.num_records as usize)
+        .unwrap_or(persona_agd::DEFAULT_CHUNK_SIZE)
+        .max(1);
+    let _ = config;
+
+    let mut manifest = Manifest::new(out_name);
+    manifest.add_column(columns::BASES, src.column_codec(columns::BASES)?)?;
+    manifest.add_column(columns::QUAL, src.column_codec(columns::QUAL)?)?;
+    manifest.add_column(columns::METADATA, src.column_codec(columns::METADATA)?)?;
+    if has_results {
+        manifest.add_column(columns::RESULTS, Codec::Gzip)?;
+    }
+    manifest.reference = src.reference.clone();
+    manifest.sort_order = match key {
+        SortKey::Coordinate => SortOrder::Coordinate,
+        SortKey::QueryName => SortOrder::QueryName,
+    };
+    manifest.row_groups = src.row_groups.clone();
+
+    let n = run.len();
+    // Encode and write output chunks in parallel (column chunks are
+    // independent objects), then record entries in order.
+    let ranges: Vec<(usize, usize)> = {
+        let mut v = Vec::new();
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + chunk_size).min(n);
+            v.push((lo, hi));
+            lo = hi;
+        }
+        v
+    };
+    {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let err = parking_lot::Mutex::new(None::<Error>);
+        let workers = config.compute_threads.max(1).min(ranges.len().max(1));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= ranges.len() {
+                        return;
+                    }
+                    let (lo, hi) = ranges[k];
+                    let stem = format!("{out_name}-{k}");
+                    let write = |col: &str, rt: RecordType, records: &[Vec<u8>]| -> Result<()> {
+                        let data = ChunkData::from_records(
+                            rt,
+                            records[lo..hi].iter().map(|r| r.as_slice()),
+                        )?;
+                        let obj = data.encode(manifest_codec(&manifest, col)?, CompressLevel::Fast)?;
+                        store.put(&Manifest::chunk_object_name(&stem, col), &obj)?;
+                        Ok(())
+                    };
+                    let res = write(columns::METADATA, RecordType::Text, &run.meta)
+                        .and_then(|()| write(columns::BASES, RecordType::CompactBases, &run.bases))
+                        .and_then(|()| write(columns::QUAL, RecordType::Text, &run.quals))
+                        .and_then(|()| {
+                            if has_results {
+                                write(columns::RESULTS, RecordType::Results, &run.results)
+                            } else {
+                                Ok(())
+                            }
+                        });
+                    if let Err(e) = res {
+                        *err.lock() = Some(e);
+                        return;
+                    }
+                });
+            }
+        });
+        if let Some(e) = err.into_inner() {
+            return Err(e);
+        }
+    }
+    let mut first = 0u64;
+    for (k, &(lo, hi)) in ranges.iter().enumerate() {
+        manifest.records.push(ChunkEntry {
+            path: format!("{out_name}-{k}"),
+            first_record: first,
+            num_records: (hi - lo) as u32,
+        });
+        first += (hi - lo) as u64;
+    }
+    manifest.total_records = first;
+    manifest.validate()?;
+    store.put(&format!("{out_name}.manifest.json"), manifest.to_json()?.as_bytes())?;
+    Ok(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::builder::{ColumnAppender, ColumnConfig, DatasetWriter};
+    use persona_agd::chunk_io::MemStore;
+    use persona_agd::dataset::Dataset;
+    use persona_agd::results::flags;
+
+    /// Builds an unsorted aligned dataset with known (shuffled) keys.
+    fn world(n: usize, chunk: usize) -> (Arc<dyn ChunkStore>, Manifest) {
+        let store = Arc::new(MemStore::new());
+        let mut w = DatasetWriter::new("u", chunk).unwrap();
+        // Locations are a deterministic shuffle of 0..n.
+        let locs: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % n as u64).collect();
+        for (i, &loc) in locs.iter().enumerate() {
+            let meta = format!("read-{:06}", (n - i) % n);
+            let bases: Vec<u8> = (0..24).map(|j| b"ACGT"[(i + j) % 4]).collect();
+            w.append(store.as_ref(), meta.as_bytes(), &bases, &vec![b'F'; 24]).unwrap();
+        }
+        let mut manifest = w.finish(store.as_ref()).unwrap();
+        let cfg = ColumnConfig { codec: Codec::Gzip, record_type: RecordType::Results };
+        let sizes: Vec<u32> = manifest.records.iter().map(|e| e.num_records).collect();
+        let mut app =
+            ColumnAppender::new(&mut manifest, columns::RESULTS, cfg, CompressLevel::Fast).unwrap();
+        let mut k = 0usize;
+        for &sz in &sizes {
+            let recs: Vec<Vec<u8>> = (0..sz)
+                .map(|_| {
+                    let r = AlignmentResult {
+                        location: locs[k] as i64,
+                        mate_location: -1,
+                        template_len: 0,
+                        flags: if k % 9 == 0 { flags::REVERSE } else { 0 },
+                        mapq: 60,
+                        cigar: vec![],
+                    };
+                    k += 1;
+                    r.encode()
+                })
+                .collect();
+            app.append_chunk(store.as_ref(), recs.iter().map(|r| r.as_slice())).unwrap();
+        }
+        app.finish(store.as_ref()).unwrap();
+        (store, manifest)
+    }
+
+    fn locations_of(store: &Arc<dyn ChunkStore>, m: &Manifest) -> Vec<i64> {
+        let ds = Dataset::new(m.clone());
+        let mut locs = Vec::new();
+        for c in 0..ds.num_chunks() {
+            for r in ds.read_results_chunk(store.as_ref(), c).unwrap() {
+                locs.push(r.location);
+            }
+        }
+        locs
+    }
+
+    #[test]
+    fn coordinate_sort_orders_dataset() {
+        let (store, manifest) = world(500, 64);
+        let (sorted, report) =
+            sort_dataset(&store, &manifest, SortKey::Coordinate, "s", &PersonaConfig::small())
+                .unwrap();
+        assert_eq!(report.records, 500);
+        assert_eq!(report.runs, manifest.records.len());
+        assert_eq!(sorted.sort_order, SortOrder::Coordinate);
+        assert_eq!(sorted.total_records, 500);
+        let locs = locations_of(&store, &sorted);
+        assert!(locs.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+        // All original locations survive.
+        let mut expected: Vec<i64> = (0..500).map(|i| ((i * 7919) % 500) as i64).collect();
+        expected.sort();
+        assert_eq!(locs, expected);
+    }
+
+    #[test]
+    fn columns_stay_row_aligned_after_sort() {
+        let (store, manifest) = world(300, 50);
+        let (sorted, _) =
+            sort_dataset(&store, &manifest, SortKey::Coordinate, "s2", &PersonaConfig::small())
+                .unwrap();
+        // For every record, metadata still identifies the original row:
+        // rebuild the original mapping meta -> location and verify.
+        let src = Dataset::new(manifest.clone());
+        let mut truth = std::collections::HashMap::new();
+        for c in 0..src.num_chunks() {
+            let meta = src.read_column_chunk(store.as_ref(), c, columns::METADATA).unwrap();
+            let res = src.read_results_chunk(store.as_ref(), c).unwrap();
+            for i in 0..meta.len() {
+                truth.insert(meta.record(i).to_vec(), res[i].location);
+            }
+        }
+        let out = Dataset::new(sorted);
+        for c in 0..out.num_chunks() {
+            let meta = out.read_column_chunk(store.as_ref(), c, columns::METADATA).unwrap();
+            let res = out.read_results_chunk(store.as_ref(), c).unwrap();
+            for i in 0..meta.len() {
+                assert_eq!(truth[&meta.record(i).to_vec()], res[i].location, "row torn apart");
+            }
+        }
+    }
+
+    #[test]
+    fn queryname_sort() {
+        let (store, manifest) = world(200, 32);
+        let (sorted, _) =
+            sort_dataset(&store, &manifest, SortKey::QueryName, "q", &PersonaConfig::small())
+                .unwrap();
+        assert_eq!(sorted.sort_order, SortOrder::QueryName);
+        let ds = Dataset::new(sorted);
+        let mut names: Vec<Vec<u8>> = Vec::new();
+        for c in 0..ds.num_chunks() {
+            let meta = ds.read_column_chunk(store.as_ref(), c, columns::METADATA).unwrap();
+            names.extend(meta.iter().map(|r| r.to_vec()));
+        }
+        assert!(names.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn superchunk_phase_engages_on_many_chunks() {
+        // 20 chunks > fanin 8 -> at least one superchunk round.
+        let (store, manifest) = world(400, 20);
+        let (_, report) =
+            sort_dataset(&store, &manifest, SortKey::Coordinate, "sc", &PersonaConfig::small())
+                .unwrap();
+        assert_eq!(report.runs, 20);
+        assert!(report.superchunks >= 3, "superchunks {}", report.superchunks);
+        let (store2, manifest2) = world(400, 20);
+        let (sorted2, _) =
+            sort_dataset(&store2, &manifest2, SortKey::Coordinate, "sc2", &PersonaConfig::small())
+                .unwrap();
+        let locs = locations_of(&store2, &sorted2);
+        assert!(locs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn coordinate_sort_without_results_errors() {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let mut w = DatasetWriter::new("nr", 10).unwrap();
+        w.append(store.as_ref(), b"m", b"ACGT", b"IIII").unwrap();
+        let manifest = w.finish(store.as_ref()).unwrap();
+        assert!(sort_dataset(&store, &manifest, SortKey::Coordinate, "x", &PersonaConfig::small())
+            .is_err());
+        // Query-name sort still works without results.
+        let (sorted, _) =
+            sort_dataset(&store, &manifest, SortKey::QueryName, "y", &PersonaConfig::small())
+                .unwrap();
+        assert_eq!(sorted.total_records, 1);
+    }
+
+    #[test]
+    fn empty_dataset_sorts_to_empty() {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let manifest = DatasetWriter::new("e", 10).unwrap().finish(store.as_ref()).unwrap();
+        let (sorted, report) =
+            sort_dataset(&store, &manifest, SortKey::QueryName, "se", &PersonaConfig::small())
+                .unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(sorted.total_records, 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Recyclable object pools: the zero-copy buffer architecture of §4.5.
+//!
+//! Large payloads (chunk buffers, result buffers, decompression scratch)
+//! are never freed and reallocated per item. A bounded pool hands out
+//! objects; guards return them on drop. When the pool is exhausted,
+//! `acquire` blocks — which, together with bounded queues, caps total
+//! memory: "The total quantity of objects is the sum of the queue
+//! lengths and the number of dataflow nodes that use an object."
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Pool counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Total successful acquisitions.
+    pub acquires: u64,
+    /// Objects constructed by the factory (never exceeds capacity).
+    pub created: usize,
+}
+
+struct Inner<T> {
+    available: Mutex<Vec<T>>,
+    cv: Condvar,
+    capacity: usize,
+    created: AtomicUsize,
+    acquires: AtomicU64,
+    factory: Box<dyn Fn() -> T + Send + Sync>,
+    reset: Option<Box<dyn Fn(&mut T) + Send + Sync>>,
+}
+
+/// A bounded pool of recyclable objects.
+pub struct ObjectPool<T: Send + 'static> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Send + 'static> Clone for ObjectPool<T> {
+    fn clone(&self) -> Self {
+        ObjectPool { inner: self.inner.clone() }
+    }
+}
+
+impl<T: Send + 'static> ObjectPool<T> {
+    /// Creates a pool of at most `capacity` objects built by `factory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, factory: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        ObjectPool {
+            inner: Arc::new(Inner {
+                available: Mutex::new(Vec::with_capacity(capacity)),
+                cv: Condvar::new(),
+                capacity,
+                created: AtomicUsize::new(0),
+                acquires: AtomicU64::new(0),
+                factory: Box::new(factory),
+                reset: None,
+            }),
+        }
+    }
+
+    /// Creates a pool whose objects are reset by `reset` each time they
+    /// return (e.g. `Vec::clear`, which keeps the allocation).
+    pub fn with_reset(
+        capacity: usize,
+        factory: impl Fn() -> T + Send + Sync + 'static,
+        reset: impl Fn(&mut T) + Send + Sync + 'static,
+    ) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        ObjectPool {
+            inner: Arc::new(Inner {
+                available: Mutex::new(Vec::with_capacity(capacity)),
+                cv: Condvar::new(),
+                capacity,
+                created: AtomicUsize::new(0),
+                acquires: AtomicU64::new(0),
+                factory: Box::new(factory),
+                reset: Some(Box::new(reset)),
+            }),
+        }
+    }
+
+    /// Acquires an object, blocking until one is available (backpressure).
+    pub fn acquire(&self) -> Pooled<T> {
+        let mut available = self.inner.available.lock();
+        loop {
+            if let Some(obj) = available.pop() {
+                drop(available);
+                self.inner.acquires.fetch_add(1, Ordering::Relaxed);
+                return Pooled { obj: Some(obj), pool: self.inner.clone() };
+            }
+            // Lazily construct up to capacity.
+            let created = self.inner.created.load(Ordering::Relaxed);
+            if created < self.inner.capacity {
+                self.inner.created.store(created + 1, Ordering::Relaxed);
+                drop(available);
+                let obj = (self.inner.factory)();
+                self.inner.acquires.fetch_add(1, Ordering::Relaxed);
+                return Pooled { obj: Some(obj), pool: self.inner.clone() };
+            }
+            self.inner.cv.wait(&mut available);
+        }
+    }
+
+    /// Attempts to acquire without blocking.
+    pub fn try_acquire(&self) -> Option<Pooled<T>> {
+        let mut available = self.inner.available.lock();
+        if let Some(obj) = available.pop() {
+            drop(available);
+            self.inner.acquires.fetch_add(1, Ordering::Relaxed);
+            return Some(Pooled { obj: Some(obj), pool: self.inner.clone() });
+        }
+        let created = self.inner.created.load(Ordering::Relaxed);
+        if created < self.inner.capacity {
+            self.inner.created.store(created + 1, Ordering::Relaxed);
+            drop(available);
+            let obj = (self.inner.factory)();
+            self.inner.acquires.fetch_add(1, Ordering::Relaxed);
+            return Some(Pooled { obj: Some(obj), pool: self.inner.clone() });
+        }
+        None
+    }
+
+    /// Maximum number of live objects.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            acquires: self.inner.acquires.load(Ordering::Relaxed),
+            created: self.inner.created.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A pooled object; returns to its pool when dropped.
+pub struct Pooled<T: Send + 'static> {
+    obj: Option<T>,
+    pool: Arc<Inner<T>>,
+}
+
+impl<T: Send + 'static> Pooled<T> {
+    /// Permanently removes the object from pool circulation. The pool
+    /// slot is *not* released (total live objects stays bounded).
+    pub fn detach(mut self) -> T {
+        self.obj.take().expect("object already taken")
+    }
+}
+
+impl<T: Send + 'static> std::ops::Deref for Pooled<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.obj.as_ref().expect("object taken")
+    }
+}
+
+impl<T: Send + 'static> std::ops::DerefMut for Pooled<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.obj.as_mut().expect("object taken")
+    }
+}
+
+impl<T: Send + 'static> Drop for Pooled<T> {
+    fn drop(&mut self) {
+        if let Some(mut obj) = self.obj.take() {
+            if let Some(reset) = &self.pool.reset {
+                reset(&mut obj);
+            }
+            let mut available = self.pool.available.lock();
+            available.push(obj);
+            drop(available);
+            self.pool.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn objects_are_recycled_not_recreated() {
+        let pool = ObjectPool::new(2, || Vec::<u8>::with_capacity(1024));
+        for _ in 0..100 {
+            let mut a = pool.acquire();
+            a.push(1);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, 100);
+        assert!(stats.created <= 2, "created {} objects", stats.created);
+    }
+
+    #[test]
+    fn reset_hook_runs_on_return() {
+        let pool = ObjectPool::with_reset(1, Vec::<u8>::new, |v| v.clear());
+        {
+            let mut g = pool.acquire();
+            g.extend_from_slice(b"dirty");
+        }
+        let g = pool.acquire();
+        assert!(g.is_empty(), "buffer not reset");
+    }
+
+    #[test]
+    fn reset_keeps_allocation() {
+        let pool = ObjectPool::with_reset(1, || Vec::<u8>::with_capacity(4096), |v| v.clear());
+        {
+            let mut g = pool.acquire();
+            g.extend_from_slice(&[0u8; 2000]);
+        }
+        let g = pool.acquire();
+        assert!(g.capacity() >= 4096);
+    }
+
+    #[test]
+    fn exhaustion_blocks_until_return() {
+        let pool = ObjectPool::new(1, || 0u32);
+        let held = pool.acquire();
+        assert!(pool.try_acquire().is_none());
+        let p2 = pool.clone();
+        let h = thread::spawn(move || {
+            let _g = p2.acquire(); // Blocks until `held` drops.
+            42
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished());
+        drop(held);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn detach_removes_from_circulation() {
+        let pool = ObjectPool::new(2, || vec![0u8; 8]);
+        let a = pool.acquire();
+        let _owned = a.detach();
+        // One slot is gone for good; the second still works.
+        let _b = pool.acquire();
+        assert!(pool.try_acquire().is_none());
+    }
+
+    #[test]
+    fn concurrent_acquire_release() {
+        let pool = ObjectPool::with_reset(4, Vec::<u64>::new, |v| v.clear());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let p = pool.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..200u64 {
+                    let mut g = p.acquire();
+                    assert!(g.is_empty());
+                    g.push(t * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.stats().created <= 4);
+        assert_eq!(pool.stats().acquires, 1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = ObjectPool::new(0, || 0u8);
+    }
+}

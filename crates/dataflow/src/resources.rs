@@ -1,0 +1,101 @@
+//! Shared resource registry: Persona's stand-in for TensorFlow session
+//! resources (§4.5).
+//!
+//! "We pass tensors of handles, which are identifiers for resources
+//! stored in the TensorFlow Session" — here, heavyweight shared objects
+//! (reference indexes, executors, pools) are registered once by name and
+//! fetched by handle from any node, so no data is copied through edges.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A typed, named registry of shared objects.
+#[derive(Default)]
+pub struct Resources {
+    map: RwLock<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Resources {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `value` under `name`, replacing any previous entry.
+    pub fn insert<T: Send + Sync + 'static>(&self, name: &str, value: Arc<T>) {
+        self.map.write().insert(name.to_string(), value);
+    }
+
+    /// Fetches the resource registered under `name`, if present and of
+    /// type `T`.
+    pub fn get<T: Send + Sync + 'static>(&self, name: &str) -> Option<Arc<T>> {
+        let map = self.map.read();
+        map.get(name).cloned().and_then(|a| a.downcast::<T>().ok())
+    }
+
+    /// Fetches a resource, panicking with a clear message when missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource is absent or of the wrong type.
+    pub fn expect<T: Send + Sync + 'static>(&self, name: &str) -> Arc<T> {
+        self.get(name).unwrap_or_else(|| panic!("resource {name} missing or wrong type"))
+    }
+
+    /// Removes a resource; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.map.write().remove(name).is_some()
+    }
+
+    /// Registered resource names.
+    pub fn names(&self) -> Vec<String> {
+        self.map.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let r = Resources::new();
+        r.insert("threads", Arc::new(42usize));
+        assert_eq!(*r.expect::<usize>("threads"), 42);
+        assert!(r.get::<String>("threads").is_none(), "wrong type must not downcast");
+        assert!(r.get::<usize>("missing").is_none());
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let r = Resources::new();
+        r.insert("x", Arc::new(1u32));
+        r.insert("x", Arc::new(2u32));
+        assert_eq!(*r.expect::<u32>("x"), 2);
+        assert!(r.remove("x"));
+        assert!(!r.remove("x"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let r = Arc::new(Resources::new());
+        r.insert("big", Arc::new(vec![7u8; 1024]));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || r.expect::<Vec<u8>>("big").len()));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1024);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing or wrong type")]
+    fn expect_panics_when_absent() {
+        Resources::new().expect::<u8>("nope");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the dataflow engine: delivery guarantees,
+//! pool bounds, and graph-shape invariants under randomized structure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use persona_dataflow::graph::GraphBuilder;
+use persona_dataflow::{ObjectPool, QueueHandle};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every produced item is delivered exactly once, for arbitrary
+    /// queue capacities, producer counts and consumer counts.
+    #[test]
+    fn queue_delivers_exactly_once(
+        capacity in 1usize..32,
+        producers in 1usize..5,
+        consumers in 1usize..5,
+        per_producer in 0usize..200,
+    ) {
+        let q: QueueHandle<u64> = QueueHandle::new("pt", capacity);
+        let regs: Vec<_> = (0..producers).map(|_| q.producer()).collect();
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for (p, reg) in regs.into_iter().enumerate() {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        q.push((p * 1_000_000 + i) as u64).unwrap();
+                    }
+                    drop(reg);
+                });
+            }
+            for _ in 0..consumers {
+                let q = q.clone();
+                let sum = sum.clone();
+                let count = count.clone();
+                s.spawn(move || {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let expected_count = (producers * per_producer) as u64;
+        let expected_sum: u64 = (0..producers)
+            .flat_map(|p| (0..per_producer).map(move |i| (p * 1_000_000 + i) as u64))
+            .sum();
+        prop_assert_eq!(count.load(Ordering::Relaxed), expected_count);
+        prop_assert_eq!(sum.load(Ordering::Relaxed), expected_sum);
+    }
+
+    /// Pools never construct more than `capacity` objects regardless of
+    /// contention pattern.
+    #[test]
+    fn pool_never_exceeds_capacity(
+        capacity in 1usize..8,
+        threads in 1usize..6,
+        iters in 1usize..300,
+    ) {
+        let pool = ObjectPool::with_reset(capacity, Vec::<u8>::new, |v| v.clear());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..iters {
+                        let mut g = pool.acquire();
+                        g.push(i as u8);
+                    }
+                });
+            }
+        });
+        prop_assert!(pool.stats().created <= capacity);
+        prop_assert_eq!(pool.stats().acquires, (threads * iters) as u64);
+    }
+
+    /// A randomized linear pipeline of 1-4 stages with arbitrary
+    /// parallelism per stage delivers all items and counts them
+    /// consistently at every stage.
+    #[test]
+    fn linear_graph_conserves_items(
+        stages in 1usize..4,
+        parallelism in proptest::collection::vec(1usize..4, 4),
+        items in 0u64..300,
+        capacity in 1usize..8,
+    ) {
+        let mut g = GraphBuilder::new("pt");
+        let mut queues: Vec<QueueHandle<u64>> = Vec::new();
+        for k in 0..=stages {
+            queues.push(g.queue(&format!("q{k}"), capacity));
+        }
+        let q0 = queues[0].clone();
+        g.source("src", [queues[0].produces()], move |ctx| {
+            for i in 0..items {
+                ctx.push(&q0, i)?;
+            }
+            Ok(())
+        });
+        for k in 0..stages {
+            let qi = queues[k].clone();
+            let qo = queues[k + 1].clone();
+            g.node(&format!("stage{k}"), parallelism[k], [queues[k + 1].produces()], move |ctx| {
+                while let Some(v) = ctx.pop(&qi) {
+                    ctx.add_items(1);
+                    ctx.push(&qo, v + 1)?;
+                }
+                Ok(())
+            });
+        }
+        let sink_count = Arc::new(AtomicU64::new(0));
+        let sink_sum = Arc::new(AtomicU64::new(0));
+        let (sc, ss) = (sink_count.clone(), sink_sum.clone());
+        let qlast = queues[stages].clone();
+        g.node("sink", 1, [], move |ctx| {
+            while let Some(v) = ctx.pop(&qlast) {
+                sc.fetch_add(1, Ordering::Relaxed);
+                ss.fetch_add(v, Ordering::Relaxed);
+            }
+            Ok(())
+        });
+        let report = g.run().map_err(|(e, _)| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(sink_count.load(Ordering::Relaxed), items);
+        // Each stage added +1 to every item.
+        let base: u64 = (0..items).sum();
+        prop_assert_eq!(sink_sum.load(Ordering::Relaxed), base + items * stages as u64);
+        for k in 0..stages {
+            prop_assert_eq!(report.node(&format!("stage{k}")).unwrap().items, items);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! BAM: the binary, BGZF-compressed form of SAM.
+//!
+//! BGZF is a sequence of gzip members, each with a `BC` extra subfield
+//! carrying the compressed block size, capped at 64 KiB of payload, and
+//! terminated by a fixed 28-byte empty block. Built entirely on this
+//! repository's own DEFLATE/gzip implementation.
+
+use std::io::Write;
+
+use persona_compress::deflate::CompressLevel;
+use persona_compress::gzip;
+
+use crate::sam::{RefMap, SamRecord};
+use crate::{Error, Result};
+
+/// Maximum BGZF payload per block.
+pub const BGZF_BLOCK_SIZE: usize = 0xFF00;
+
+/// The standard BGZF end-of-file marker block.
+pub const BGZF_EOF: [u8; 28] = [
+    0x1f, 0x8b, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff, 0x06, 0x00, 0x42, 0x43, 0x02,
+    0x00, 0x1b, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+];
+
+/// Compresses `data` into a BGZF stream (without EOF marker).
+pub fn bgzf_compress(data: &[u8], level: CompressLevel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    if data.is_empty() {
+        out.extend_from_slice(&bgzf_block(&[], level));
+        return out;
+    }
+    for block in data.chunks(BGZF_BLOCK_SIZE) {
+        out.extend_from_slice(&bgzf_block(block, level));
+    }
+    out
+}
+
+/// Builds one BGZF block for a payload <= [`BGZF_BLOCK_SIZE`].
+fn bgzf_block(payload: &[u8], level: CompressLevel) -> Vec<u8> {
+    debug_assert!(payload.len() <= BGZF_BLOCK_SIZE);
+    // First pass with a placeholder BSIZE, then patch. The extra field
+    // is "BC" + subfield length 2 + BSIZE(u16) = total block size - 1.
+    let extra = [b'B', b'C', 2, 0, 0, 0];
+    let mut member = gzip::compress_with_extra(payload, level, Some(&extra));
+    let bsize = member.len() - 1;
+    assert!(bsize <= u16::MAX as usize, "BGZF block too large");
+    // Patch BSIZE: it sits at offset 16..18 (10 header + XLEN(2) + "BC" + len(2)).
+    member[16..18].copy_from_slice(&(bsize as u16).to_le_bytes());
+    member
+}
+
+/// Compresses `data` into a BGZF stream using `threads` worker threads
+/// (BGZF blocks are independent, which is exactly how `samtools -@`
+/// parallelizes BAM writing).
+pub fn bgzf_compress_parallel(data: &[u8], level: CompressLevel, threads: usize) -> Vec<u8> {
+    if data.is_empty() || threads <= 1 {
+        return bgzf_compress(data, level);
+    }
+    let chunks: Vec<&[u8]> = data.chunks(BGZF_BLOCK_SIZE).collect();
+    let mut blocks: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = parking_lot_free_slots(&mut blocks);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= chunks.len() {
+                    return;
+                }
+                let out = bgzf_block(chunks[i], level);
+                // SAFETY-free: each index is claimed exactly once via the
+                // atomic counter, so no two threads share a slot.
+                slots[i].store(out);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    for slot in slots {
+        out.extend_from_slice(&slot.take());
+    }
+    out
+}
+
+/// One single-writer cell per output block (claimed by atomic index).
+struct BlockSlot {
+    cell: std::sync::Mutex<Vec<u8>>,
+}
+
+impl BlockSlot {
+    fn store(&self, v: Vec<u8>) {
+        *self.cell.lock().unwrap() = v;
+    }
+
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut self.cell.lock().unwrap())
+    }
+}
+
+fn parking_lot_free_slots(blocks: &mut [Vec<u8>]) -> Vec<BlockSlot> {
+    (0..blocks.len()).map(|_| BlockSlot { cell: std::sync::Mutex::new(Vec::new()) }).collect()
+}
+
+/// Decompresses a BGZF stream (EOF marker tolerated, not required).
+pub fn bgzf_decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 3);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let member = gzip::decompress_member(&data[pos..])?;
+        if member.extra.as_deref().map(|x| x.len() >= 4 && &x[..2] == b"BC") != Some(true) {
+            return Err(Error::Parse { record: 0, what: "gzip member without BGZF BC subfield".into() });
+        }
+        out.extend_from_slice(&member.data);
+        pos += member.compressed_size;
+    }
+    Ok(out)
+}
+
+/// Encodes one BAM record body (without the leading block_size u32).
+fn encode_bam_record(rec: &SamRecord) -> Vec<u8> {
+    let name_len = rec.qname.len() + 1;
+    let n_cigar = rec.cigar.len();
+    let l_seq = rec.seq.len();
+    let mut out = Vec::with_capacity(32 + name_len + 4 * n_cigar + l_seq);
+    let ref_id: i32 = rec.rname.map_or(-1, |c| c as i32);
+    let next_ref: i32 = rec.rnext.map_or(-1, |c| c as i32);
+    out.extend_from_slice(&ref_id.to_le_bytes());
+    out.extend_from_slice(&(rec.pos as i32).to_le_bytes());
+    out.push(name_len as u8);
+    out.push(rec.mapq);
+    out.extend_from_slice(&0u16.to_le_bytes()); // bin: unused here.
+    out.extend_from_slice(&(n_cigar as u16).to_le_bytes());
+    out.extend_from_slice(&rec.flag.to_le_bytes());
+    out.extend_from_slice(&(l_seq as u32).to_le_bytes());
+    out.extend_from_slice(&next_ref.to_le_bytes());
+    out.extend_from_slice(&(rec.pnext as i32).to_le_bytes());
+    out.extend_from_slice(&rec.tlen.to_le_bytes());
+    out.extend_from_slice(&rec.qname);
+    out.push(0);
+    for op in &rec.cigar {
+        out.extend_from_slice(&((op.len << 4) | op.kind as u32).to_le_bytes());
+    }
+    // 4-bit packed sequence: =ACMGRSVTWYHKDBN -> indexes 0..16.
+    let mut nib = Vec::with_capacity(l_seq.div_ceil(2));
+    for pair in rec.seq.chunks(2) {
+        let hi = base_nibble(pair[0]);
+        let lo = if pair.len() > 1 { base_nibble(pair[1]) } else { 0 };
+        nib.push((hi << 4) | lo);
+    }
+    out.extend_from_slice(&nib);
+    // Qualities: phred (no +33) in BAM.
+    out.extend(rec.qual.iter().map(|&q| q.saturating_sub(b'!')));
+    out
+}
+
+fn base_nibble(b: u8) -> u8 {
+    match b {
+        b'=' => 0,
+        b'A' => 1,
+        b'C' => 2,
+        b'M' => 3,
+        b'G' => 4,
+        b'R' => 5,
+        b'S' => 6,
+        b'V' => 7,
+        b'T' => 8,
+        b'W' => 9,
+        b'Y' => 10,
+        b'H' => 11,
+        b'K' => 12,
+        b'D' => 13,
+        b'B' => 14,
+        _ => 15, // N.
+    }
+}
+
+fn nibble_base(n: u8) -> u8 {
+    b"=ACMGRSVTWYHKDBN"[n as usize & 0xF]
+}
+
+/// Serializes a full BAM file (header + records + EOF marker).
+pub fn write_bam(
+    out: &mut impl Write,
+    refs: &RefMap,
+    records: impl IntoIterator<Item = SamRecord>,
+    level: CompressLevel,
+) -> Result<u64> {
+    // Uncompressed BAM payload, then BGZF it.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"BAM\x01");
+    let mut text = Vec::new();
+    crate::sam::write_header(&mut text, refs, false)?;
+    payload.extend_from_slice(&(text.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&text);
+    payload.extend_from_slice(&(refs.contigs().len() as u32).to_le_bytes());
+    for c in refs.contigs() {
+        payload.extend_from_slice(&((c.name.len() + 1) as u32).to_le_bytes());
+        payload.extend_from_slice(c.name.as_bytes());
+        payload.push(0);
+        payload.extend_from_slice(&(c.length as u32).to_le_bytes());
+    }
+    let mut n = 0u64;
+    for rec in records {
+        let body = encode_bam_record(&rec);
+        payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&body);
+        n += 1;
+    }
+    let bgzf = bgzf_compress(&payload, level);
+    out.write_all(&bgzf)?;
+    out.write_all(&BGZF_EOF)?;
+    Ok(n)
+}
+
+/// A parsed BAM file.
+#[derive(Debug)]
+pub struct BamFile {
+    /// SAM header text.
+    pub header_text: String,
+    /// Reference contigs, in BAM order.
+    pub refs: RefMap,
+    /// Alignment records.
+    pub records: Vec<SamRecord>,
+}
+
+/// Parses a complete BAM byte buffer.
+pub fn read_bam(data: &[u8]) -> Result<BamFile> {
+    let payload = bgzf_decompress(data)?;
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+        if *pos + n > payload.len() {
+            return Err(Error::Parse { record: 0, what: "BAM truncated".into() });
+        }
+        let s = &payload[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != b"BAM\x01" {
+        return Err(Error::Parse { record: 0, what: "bad BAM magic".into() });
+    }
+    let l_text = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let header_text = String::from_utf8_lossy(take(&mut pos, l_text)?).into_owned();
+    let n_ref = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let mut contigs = Vec::with_capacity(n_ref);
+    for _ in 0..n_ref {
+        let l_name = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let name_bytes = take(&mut pos, l_name)?;
+        let name = String::from_utf8_lossy(&name_bytes[..l_name.saturating_sub(1)]).into_owned();
+        let l_ref = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as u64;
+        contigs.push(persona_agd::manifest::RefContig { name, length: l_ref });
+    }
+    let refs = RefMap::new(&contigs);
+
+    let mut records = Vec::new();
+    let mut rec_idx = 0u64;
+    while pos < payload.len() {
+        let block_size = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let body = take(&mut pos, block_size)?;
+        records.push(decode_bam_record(body, rec_idx)?);
+        rec_idx += 1;
+    }
+    Ok(BamFile { header_text, refs, records })
+}
+
+fn decode_bam_record(body: &[u8], record: u64) -> Result<SamRecord> {
+    if body.len() < 32 {
+        return Err(Error::Parse { record, what: "BAM record shorter than fixed part".into() });
+    }
+    let ref_id = i32::from_le_bytes(body[0..4].try_into().unwrap());
+    let pos = i32::from_le_bytes(body[4..8].try_into().unwrap()) as i64;
+    let l_read_name = body[8] as usize;
+    let mapq = body[9];
+    let n_cigar = u16::from_le_bytes(body[12..14].try_into().unwrap()) as usize;
+    let flag = u16::from_le_bytes(body[14..16].try_into().unwrap());
+    let l_seq = u32::from_le_bytes(body[16..20].try_into().unwrap()) as usize;
+    let next_ref = i32::from_le_bytes(body[20..24].try_into().unwrap());
+    let pnext = i32::from_le_bytes(body[24..28].try_into().unwrap()) as i64;
+    let tlen = i32::from_le_bytes(body[28..32].try_into().unwrap());
+    let mut p = 32usize;
+    let need = l_read_name + 4 * n_cigar + l_seq.div_ceil(2) + l_seq;
+    if body.len() < p + need {
+        return Err(Error::Parse { record, what: "BAM record truncated".into() });
+    }
+    let qname = body[p..p + l_read_name.saturating_sub(1)].to_vec();
+    p += l_read_name;
+    let mut cigar = Vec::with_capacity(n_cigar);
+    for _ in 0..n_cigar {
+        let word = u32::from_le_bytes(body[p..p + 4].try_into().unwrap());
+        cigar.push(persona_agd::results::CigarOp {
+            kind: persona_agd::results::CigarKind::from_code((word & 0xF) as u8)
+                .map_err(|e| Error::Parse { record, what: e.to_string() })?,
+            len: word >> 4,
+        });
+        p += 4;
+    }
+    let mut seq = Vec::with_capacity(l_seq);
+    for i in 0..l_seq {
+        let byte = body[p + i / 2];
+        let nib = if i % 2 == 0 { byte >> 4 } else { byte & 0xF };
+        seq.push(nibble_base(nib));
+    }
+    p += l_seq.div_ceil(2);
+    let qual: Vec<u8> = body[p..p + l_seq].iter().map(|&q| q + b'!').collect();
+    Ok(SamRecord {
+        qname,
+        flag,
+        rname: (ref_id >= 0).then_some(ref_id as u32),
+        pos,
+        mapq,
+        cigar,
+        rnext: (next_ref >= 0).then_some(next_ref as u32),
+        pnext,
+        tlen,
+        seq,
+        qual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::manifest::RefContig;
+    use persona_agd::results::{flags, CigarKind, CigarOp};
+
+    fn refs() -> RefMap {
+        RefMap::new(&[
+            RefContig { name: "chr1".into(), length: 100_000 },
+            RefContig { name: "chr2".into(), length: 50_000 },
+        ])
+    }
+
+    fn records() -> Vec<SamRecord> {
+        (0..50)
+            .map(|i| SamRecord {
+                qname: format!("read{i}").into_bytes(),
+                flag: if i % 3 == 0 { flags::REVERSE } else { 0 },
+                rname: Some((i % 2) as u32),
+                pos: (i * 137) as i64,
+                mapq: (i % 61) as u8,
+                cigar: vec![CigarOp { kind: CigarKind::Match, len: 100 }],
+                rnext: None,
+                pnext: -1,
+                tlen: 0,
+                seq: (0..100).map(|j| b"ACGT"[(i + j) % 4]).collect(),
+                qual: vec![b'I'; 100],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bgzf_roundtrip() {
+        for size in [0usize, 1, 100, BGZF_BLOCK_SIZE, BGZF_BLOCK_SIZE + 1, 200_000] {
+            let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+            let packed = bgzf_compress(&data, CompressLevel::Fast);
+            assert_eq!(bgzf_decompress(&packed).unwrap(), data, "size {size}");
+        }
+    }
+
+    #[test]
+    fn bgzf_eof_marker_is_valid_empty_block() {
+        assert_eq!(bgzf_decompress(&BGZF_EOF).unwrap(), b"");
+    }
+
+    #[test]
+    fn bgzf_rejects_plain_gzip() {
+        let plain = persona_compress::gzip::compress(b"not bgzf");
+        assert!(bgzf_decompress(&plain).is_err());
+    }
+
+    #[test]
+    fn bam_roundtrip() {
+        let refs = refs();
+        let recs = records();
+        let mut buf = Vec::new();
+        let n = write_bam(&mut buf, &refs, recs.clone(), CompressLevel::Fast).unwrap();
+        assert_eq!(n, 50);
+        let parsed = read_bam(&buf).unwrap();
+        assert_eq!(parsed.records, recs);
+        assert_eq!(parsed.refs.contigs().len(), 2);
+        assert_eq!(parsed.refs.contigs()[1].name, "chr2");
+        assert!(parsed.header_text.contains("@SQ\tSN:chr1"));
+    }
+
+    #[test]
+    fn bam_empty_file() {
+        let refs = refs();
+        let mut buf = Vec::new();
+        write_bam(&mut buf, &refs, Vec::new(), CompressLevel::Fast).unwrap();
+        let parsed = read_bam(&buf).unwrap();
+        assert!(parsed.records.is_empty());
+    }
+
+    #[test]
+    fn bam_unmapped_record() {
+        let refs = refs();
+        let rec = SamRecord {
+            qname: b"u1".to_vec(),
+            flag: flags::UNMAPPED,
+            rname: None,
+            pos: -1,
+            mapq: 0,
+            cigar: Vec::new(),
+            rnext: None,
+            pnext: -1,
+            tlen: 0,
+            seq: b"ACGT".to_vec(),
+            qual: b"IIII".to_vec(),
+        };
+        let mut buf = Vec::new();
+        write_bam(&mut buf, &refs, vec![rec.clone()], CompressLevel::Fast).unwrap();
+        let parsed = read_bam(&buf).unwrap();
+        assert_eq!(parsed.records[0], rec);
+    }
+
+    #[test]
+    fn bam_detects_corruption() {
+        let refs = refs();
+        let mut buf = Vec::new();
+        write_bam(&mut buf, &refs, records(), CompressLevel::Fast).unwrap();
+        buf[40] ^= 0xFF;
+        assert!(read_bam(&buf).is_err());
+    }
+
+    #[test]
+    fn odd_length_sequence() {
+        let refs = refs();
+        let rec = SamRecord {
+            qname: b"odd".to_vec(),
+            flag: 0,
+            rname: Some(0),
+            pos: 5,
+            mapq: 10,
+            cigar: vec![CigarOp { kind: CigarKind::Match, len: 5 }],
+            rnext: None,
+            pnext: -1,
+            tlen: 0,
+            seq: b"ACGTN".to_vec(),
+            qual: b"IJKLM".to_vec(),
+        };
+        let mut buf = Vec::new();
+        write_bam(&mut buf, &refs, vec![rec.clone()], CompressLevel::Fast).unwrap();
+        assert_eq!(read_bam(&buf).unwrap().records[0], rec);
+    }
+}

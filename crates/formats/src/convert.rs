@@ -1,0 +1,120 @@
+//! Conversions between AGD and the interchange formats (paper §5.7:
+//! "Persona can import FASTQ and export BAM formats at high throughput").
+
+use std::io::{BufRead, Write};
+
+use persona_agd::builder::{DatasetWriter, WriterOptions};
+use persona_agd::chunk_io::ChunkStore;
+use persona_agd::dataset::Dataset;
+use persona_agd::manifest::{Manifest, RefContig};
+use persona_agd::results::AlignmentResult;
+use persona_agd::columns;
+use persona_compress::deflate::CompressLevel;
+use persona_seq::Read;
+
+use crate::fastq::FastqReader;
+use crate::sam::{write_header, RefMap, SamRecord};
+use crate::{bam, Result};
+
+/// Imports FASTQ into a new AGD dataset, returning the manifest.
+pub fn fastq_to_agd(
+    input: impl BufRead,
+    store: &dyn ChunkStore,
+    name: &str,
+    options: WriterOptions,
+) -> Result<Manifest> {
+    let mut reader = FastqReader::new(input);
+    let mut writer = DatasetWriter::with_options(name, options)?;
+    while let Some(read) = reader.next()? {
+        writer.append(store, &read.meta, &read.bases, &read.quals)?;
+    }
+    Ok(writer.finish(store)?)
+}
+
+/// Exports an AGD dataset's raw-read columns back to FASTQ.
+pub fn agd_to_fastq(ds: &Dataset, store: &dyn ChunkStore, out: &mut impl Write) -> Result<u64> {
+    let mut n = 0u64;
+    ds.for_each_chunk(store, &[columns::METADATA, columns::BASES, columns::QUAL], |_, cols| {
+        for i in 0..cols[0].len() {
+            let read = Read {
+                meta: cols[0].record(i).to_vec(),
+                bases: cols[1].record(i).to_vec(),
+                quals: cols[2].record(i).to_vec(),
+            };
+            crate::fastq::write_record(out, &read).map_err(to_agd_err)?;
+            n += 1;
+        }
+        Ok(())
+    })?;
+    Ok(n)
+}
+
+fn to_agd_err(e: crate::Error) -> persona_agd::Error {
+    persona_agd::Error::Format(e.to_string())
+}
+
+/// Builds the [`RefMap`] recorded in a dataset's manifest.
+pub fn refmap_of(ds: &Dataset) -> RefMap {
+    RefMap::new(&ds.manifest().reference)
+}
+
+/// Iterates an aligned dataset's records as SAM records.
+fn for_each_sam_record(
+    ds: &Dataset,
+    store: &dyn ChunkStore,
+    refs: &RefMap,
+    mut f: impl FnMut(SamRecord) -> Result<()>,
+) -> Result<u64> {
+    let mut n = 0u64;
+    let cols = [columns::METADATA, columns::BASES, columns::QUAL, columns::RESULTS];
+    ds.for_each_chunk(store, &cols, |_, chunks| {
+        for i in 0..chunks[0].len() {
+            let result = AlignmentResult::decode(chunks[3].record(i))?;
+            let rec = SamRecord::from_result(
+                refs,
+                chunks[0].record(i),
+                chunks[1].record(i),
+                chunks[2].record(i),
+                &result,
+            );
+            f(rec).map_err(|e| persona_agd::Error::Format(e.to_string()))?;
+            n += 1;
+        }
+        Ok(())
+    })?;
+    Ok(n)
+}
+
+/// Exports an aligned AGD dataset as SAM text.
+pub fn agd_to_sam(ds: &Dataset, store: &dyn ChunkStore, out: &mut impl Write) -> Result<u64> {
+    let refs = refmap_of(ds);
+    write_header(out, &refs, ds.manifest().sort_order == persona_agd::manifest::SortOrder::Coordinate)?;
+    for_each_sam_record(ds, store, &refs, |rec| {
+        out.write_all(&rec.to_line(&refs))?;
+        out.write_all(b"\n")?;
+        Ok(())
+    })
+}
+
+/// Exports an aligned AGD dataset as BAM.
+pub fn agd_to_bam(
+    ds: &Dataset,
+    store: &dyn ChunkStore,
+    out: &mut impl Write,
+    level: CompressLevel,
+) -> Result<u64> {
+    let refs = refmap_of(ds);
+    let mut records = Vec::new();
+    for_each_sam_record(ds, store, &refs, |rec| {
+        records.push(rec);
+        Ok(())
+    })?;
+    bam::write_bam(out, &refs, records, level)
+}
+
+/// Records the reference contigs in a dataset manifest (done when an
+/// alignment column is added, so SAM/BAM export knows contig names).
+pub fn set_reference(manifest: &mut Manifest, contigs: &[(String, u64)]) {
+    manifest.reference =
+        contigs.iter().map(|(name, length)| RefContig { name: name.clone(), length: *length }).collect();
+}

@@ -1,0 +1,418 @@
+//! The SAM text format: records, header, reference mapping.
+//!
+//! SAM is the row-oriented de-facto standard the paper contrasts AGD
+//! against (§2.2): every record carries all fields on one line, so
+//! selective field access requires parsing everything.
+
+use std::io::Write;
+
+use persona_agd::manifest::RefContig;
+use persona_agd::results::{AlignmentResult, CigarKind, CigarOp};
+
+use crate::{Error, Result};
+
+/// Maps between global linear positions and (contig, offset) pairs,
+/// built from manifest reference metadata.
+#[derive(Debug, Clone)]
+pub struct RefMap {
+    contigs: Vec<RefContig>,
+    starts: Vec<u64>,
+}
+
+impl RefMap {
+    /// Builds a map from contig metadata.
+    pub fn new(contigs: &[RefContig]) -> Self {
+        let mut starts = Vec::with_capacity(contigs.len());
+        let mut total = 0u64;
+        for c in contigs {
+            starts.push(total);
+            total += c.length;
+        }
+        RefMap { contigs: contigs.to_vec(), starts }
+    }
+
+    /// The contig list.
+    pub fn contigs(&self) -> &[RefContig] {
+        &self.contigs
+    }
+
+    /// Resolves a linear position to (contig index, 0-based offset).
+    pub fn resolve(&self, pos: i64) -> Option<(usize, u64)> {
+        if pos < 0 {
+            return None;
+        }
+        let pos = pos as u64;
+        let idx = self.starts.partition_point(|&s| s <= pos).checked_sub(1)?;
+        let off = pos - self.starts[idx];
+        (off < self.contigs[idx].length).then_some((idx, off))
+    }
+
+    /// Converts (contig index, offset) back to a linear position.
+    pub fn to_linear(&self, contig: usize, off: u64) -> u64 {
+        self.starts[contig] + off
+    }
+
+    /// Finds a contig index by name.
+    pub fn contig_index(&self, name: &str) -> Option<usize> {
+        self.contigs.iter().position(|c| c.name == name)
+    }
+}
+
+/// One SAM alignment line, owned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamRecord {
+    /// Query (read) name.
+    pub qname: Vec<u8>,
+    /// SAM flags.
+    pub flag: u16,
+    /// Reference contig index, or `None` for `*`.
+    pub rname: Option<u32>,
+    /// 0-based leftmost position (SAM text is 1-based; conversion is
+    /// applied at (de)serialization).
+    pub pos: i64,
+    /// Mapping quality.
+    pub mapq: u8,
+    /// CIGAR operations (empty renders as `*`).
+    pub cigar: Vec<CigarOp>,
+    /// Mate contig index, or `None` for `*`.
+    pub rnext: Option<u32>,
+    /// Mate 0-based position (-1 when absent).
+    pub pnext: i64,
+    /// Template length.
+    pub tlen: i32,
+    /// Read bases.
+    pub seq: Vec<u8>,
+    /// ASCII qualities.
+    pub qual: Vec<u8>,
+}
+
+impl SamRecord {
+    /// Builds a SAM record from an AGD alignment result plus the read's
+    /// raw columns.
+    pub fn from_result(
+        refs: &RefMap,
+        meta: &[u8],
+        bases: &[u8],
+        quals: &[u8],
+        result: &AlignmentResult,
+    ) -> Self {
+        let (rname, pos) = match refs.resolve(result.location) {
+            Some((c, off)) => (Some(c as u32), off as i64),
+            None => (None, -1),
+        };
+        let (rnext, pnext) = match refs.resolve(result.mate_location) {
+            Some((c, off)) => (Some(c as u32), off as i64),
+            None => (None, -1),
+        };
+        // SAM stores reverse-strand reads as the reference-forward
+        // sequence; Persona's results column keeps read orientation in
+        // the flag and the raw read in the bases column, so export
+        // reverse-complements here.
+        let (seq, qual) = if result.is_reverse() {
+            let mut q = quals.to_vec();
+            q.reverse();
+            (persona_seq::dna::revcomp(bases), q)
+        } else {
+            (bases.to_vec(), quals.to_vec())
+        };
+        SamRecord {
+            qname: meta.to_vec(),
+            flag: result.flags,
+            rname,
+            pos,
+            mapq: result.mapq,
+            cigar: result.cigar.clone(),
+            rnext,
+            pnext,
+            tlen: result.template_len,
+            seq,
+            qual,
+        }
+    }
+
+    /// Serializes as one SAM text line (without trailing newline).
+    pub fn to_line(&self, refs: &RefMap) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.seq.len() * 2 + 64);
+        out.extend_from_slice(&self.qname);
+        let rname = match self.rname {
+            Some(c) => refs.contigs()[c as usize].name.clone(),
+            None => "*".to_string(),
+        };
+        let rnext = match self.rnext {
+            Some(_) if self.rnext == self.rname => "=".to_string(),
+            Some(c) => refs.contigs()[c as usize].name.clone(),
+            None => "*".to_string(),
+        };
+        let cigar = if self.cigar.is_empty() {
+            "*".to_string()
+        } else {
+            self.cigar.iter().map(|op| format!("{}{}", op.len, op.kind.to_char())).collect()
+        };
+        let fields = format!(
+            "\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t",
+            self.flag,
+            rname,
+            self.pos + 1,
+            self.mapq,
+            cigar,
+            rnext,
+            self.pnext + 1,
+            self.tlen,
+        );
+        out.extend_from_slice(fields.as_bytes());
+        out.extend_from_slice(if self.seq.is_empty() { b"*" } else { &self.seq });
+        out.push(b'\t');
+        out.extend_from_slice(if self.qual.is_empty() { b"*" } else { &self.qual });
+        out
+    }
+
+    /// Parses one SAM text line.
+    pub fn parse_line(refs: &RefMap, line: &str, record: u64) -> Result<Self> {
+        let mut f = line.split('\t');
+        let mut field = |what: &str| {
+            f.next().ok_or_else(|| Error::Parse { record, what: format!("missing field {what}") })
+        };
+        let qname = field("qname")?.as_bytes().to_vec();
+        let flag: u16 = field("flag")?
+            .parse()
+            .map_err(|e| Error::Parse { record, what: format!("flag: {e}") })?;
+        let rname_s = field("rname")?;
+        let rname = if rname_s == "*" {
+            None
+        } else {
+            Some(refs.contig_index(rname_s).ok_or_else(|| Error::Parse {
+                record,
+                what: format!("unknown contig {rname_s}"),
+            })? as u32)
+        };
+        let pos: i64 = field("pos")?
+            .parse::<i64>()
+            .map_err(|e| Error::Parse { record, what: format!("pos: {e}") })?
+            - 1;
+        let mapq: u8 = field("mapq")?
+            .parse()
+            .map_err(|e| Error::Parse { record, what: format!("mapq: {e}") })?;
+        let cigar_s = field("cigar")?;
+        let cigar = if cigar_s == "*" { Vec::new() } else { parse_cigar(cigar_s, record)? };
+        let rnext_s = field("rnext")?;
+        let rnext = match rnext_s {
+            "*" => None,
+            "=" => rname,
+            name => Some(refs.contig_index(name).ok_or_else(|| Error::Parse {
+                record,
+                what: format!("unknown mate contig {name}"),
+            })? as u32),
+        };
+        let pnext: i64 = field("pnext")?
+            .parse::<i64>()
+            .map_err(|e| Error::Parse { record, what: format!("pnext: {e}") })?
+            - 1;
+        let tlen: i32 = field("tlen")?
+            .parse()
+            .map_err(|e| Error::Parse { record, what: format!("tlen: {e}") })?;
+        let seq_s = field("seq")?;
+        let seq = if seq_s == "*" { Vec::new() } else { seq_s.as_bytes().to_vec() };
+        let qual_s = field("qual")?;
+        let qual = if qual_s == "*" { Vec::new() } else { qual_s.as_bytes().to_vec() };
+        Ok(SamRecord { qname, flag, rname, pos, mapq, cigar, rnext, pnext, tlen, seq, qual })
+    }
+
+    /// Converts back to an AGD alignment result (for AGD import of SAM).
+    pub fn to_result(&self, refs: &RefMap) -> AlignmentResult {
+        let location = match self.rname {
+            Some(c) if self.pos >= 0 => refs.to_linear(c as usize, self.pos as u64) as i64,
+            _ => -1,
+        };
+        let mate_location = match self.rnext {
+            Some(c) if self.pnext >= 0 => refs.to_linear(c as usize, self.pnext as u64) as i64,
+            _ => -1,
+        };
+        AlignmentResult {
+            location,
+            mate_location,
+            template_len: self.tlen,
+            flags: self.flag,
+            mapq: self.mapq,
+            cigar: self.cigar.clone(),
+        }
+    }
+}
+
+fn parse_cigar(s: &str, record: u64) -> Result<Vec<CigarOp>> {
+    let mut ops = Vec::new();
+    let mut len = 0u32;
+    let mut saw_digit = false;
+    for ch in s.chars() {
+        if let Some(d) = ch.to_digit(10) {
+            len = len * 10 + d;
+            saw_digit = true;
+        } else {
+            if !saw_digit {
+                return Err(Error::Parse { record, what: format!("CIGAR op without length in {s}") });
+            }
+            let kind = match ch {
+                'M' => CigarKind::Match,
+                'I' => CigarKind::Ins,
+                'D' => CigarKind::Del,
+                'N' => CigarKind::Skip,
+                'S' => CigarKind::SoftClip,
+                'H' => CigarKind::HardClip,
+                'P' => CigarKind::Pad,
+                '=' => CigarKind::Eq,
+                'X' => CigarKind::Diff,
+                _ => return Err(Error::Parse { record, what: format!("bad CIGAR op {ch}") }),
+            };
+            ops.push(CigarOp { kind, len });
+            len = 0;
+            saw_digit = false;
+        }
+    }
+    if saw_digit {
+        return Err(Error::Parse { record, what: format!("trailing CIGAR length in {s}") });
+    }
+    Ok(ops)
+}
+
+/// Writes the SAM header (`@HD` + one `@SQ` per contig).
+pub fn write_header(out: &mut impl Write, refs: &RefMap, sorted: bool) -> Result<()> {
+    let so = if sorted { "coordinate" } else { "unsorted" };
+    writeln!(out, "@HD\tVN:1.6\tSO:{so}")?;
+    for c in refs.contigs() {
+        writeln!(out, "@SQ\tSN:{}\tLN:{}", c.name, c.length)?;
+    }
+    writeln!(out, "@PG\tID:persona\tPN:persona")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::results::flags;
+
+    fn refs() -> RefMap {
+        RefMap::new(&[
+            RefContig { name: "chr1".into(), length: 1000 },
+            RefContig { name: "chr2".into(), length: 500 },
+        ])
+    }
+
+    fn record() -> SamRecord {
+        SamRecord {
+            qname: b"read1".to_vec(),
+            flag: flags::PAIRED | flags::FIRST_IN_PAIR,
+            rname: Some(1),
+            pos: 42,
+            mapq: 60,
+            cigar: vec![CigarOp { kind: CigarKind::Match, len: 10 }],
+            rnext: Some(1),
+            pnext: 142,
+            tlen: 110,
+            seq: b"ACGTACGTAC".to_vec(),
+            qual: b"IIIIIIIIII".to_vec(),
+        }
+    }
+
+    #[test]
+    fn refmap_resolution() {
+        let r = refs();
+        assert_eq!(r.resolve(0), Some((0, 0)));
+        assert_eq!(r.resolve(999), Some((0, 999)));
+        assert_eq!(r.resolve(1000), Some((1, 0)));
+        assert_eq!(r.resolve(1499), Some((1, 499)));
+        assert_eq!(r.resolve(1500), None);
+        assert_eq!(r.resolve(-1), None);
+        assert_eq!(r.to_linear(1, 10), 1010);
+        assert_eq!(r.contig_index("chr2"), Some(1));
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let r = refs();
+        let rec = record();
+        let line = String::from_utf8(rec.to_line(&r)).unwrap();
+        assert!(line.contains("\tchr2\t43\t")); // 1-based position.
+        assert!(line.contains("\t=\t143\t")); // Same-contig mate as '='.
+        let parsed = SamRecord::parse_line(&r, &line, 0).unwrap();
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn unmapped_renders_stars() {
+        let r = refs();
+        let rec = SamRecord {
+            rname: None,
+            pos: -1,
+            cigar: Vec::new(),
+            rnext: None,
+            pnext: -1,
+            ..record()
+        };
+        let line = String::from_utf8(rec.to_line(&r)).unwrap();
+        assert!(line.contains("\t*\t0\t"));
+        assert!(line.contains("\t*\t*\t0\t") || line.contains("\t*\t"));
+        let parsed = SamRecord::parse_line(&r, &line, 0).unwrap();
+        assert_eq!(parsed.rname, None);
+        assert_eq!(parsed.pos, -1);
+    }
+
+    #[test]
+    fn result_conversion_roundtrip() {
+        let r = refs();
+        let result = AlignmentResult {
+            location: 1042, // chr2:42.
+            mate_location: 1142,
+            template_len: 110,
+            flags: flags::PAIRED,
+            mapq: 37,
+            cigar: vec![CigarOp { kind: CigarKind::Match, len: 10 }],
+        };
+        let rec = SamRecord::from_result(&r, b"q", b"ACGTACGTAC", b"IIIIIIIIII", &result);
+        assert_eq!(rec.rname, Some(1));
+        assert_eq!(rec.pos, 42);
+        let back = rec.to_result(&r);
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn reverse_strand_export_revcomps() {
+        let r = refs();
+        let result = AlignmentResult {
+            location: 5,
+            mate_location: -1,
+            template_len: 0,
+            flags: flags::REVERSE,
+            mapq: 60,
+            cigar: vec![CigarOp { kind: CigarKind::Match, len: 4 }],
+        };
+        let rec = SamRecord::from_result(&r, b"q", b"ACGT", b"ABCD", &result);
+        assert_eq!(rec.seq, persona_seq::dna::revcomp(b"ACGT"));
+        assert_eq!(rec.qual, b"DCBA");
+    }
+
+    #[test]
+    fn cigar_parsing() {
+        assert_eq!(parse_cigar("101M", 0).unwrap().len(), 1);
+        assert_eq!(parse_cigar("5S90M2I4M", 0).unwrap().len(), 4);
+        assert!(parse_cigar("M", 0).is_err());
+        assert!(parse_cigar("10", 0).is_err());
+        assert!(parse_cigar("10Q", 0).is_err());
+    }
+
+    #[test]
+    fn header_contains_contigs() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, &refs(), true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("SO:coordinate"));
+        assert!(text.contains("@SQ\tSN:chr1\tLN:1000"));
+        assert!(text.contains("@SQ\tSN:chr2\tLN:500"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        let r = refs();
+        assert!(SamRecord::parse_line(&r, "only\ttwo", 3).is_err());
+        assert!(SamRecord::parse_line(&r, "q\tBAD\t*\t0\t0\t*\t*\t0\t0\t*\t*", 3).is_err());
+        assert!(SamRecord::parse_line(&r, "q\t0\tchrX\t1\t0\t*\t*\t0\t0\t*\t*", 3).is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! The FM-index: BWT + occurrence checkpoints + sampled positions.
+//!
+//! Supports backward search (`count`), interval extension (the primitive
+//! under BWA-MEM's SMEM seeding) and `locate`. The occurrence table is
+//! checkpointed every [`OCC_BLOCK`] rows with a linear scan inside a
+//! block — the cache-unfriendly random walks this produces are exactly
+//! the "memory bound … cache misses and DTLB misses" behaviour the paper
+//! measures for BWA-MEM in Fig. 8.
+
+use std::collections::HashMap;
+
+use persona_seq::Genome;
+
+use crate::bwt::{base_code, Bwt, ALPHABET};
+use crate::sa::suffix_array;
+
+/// Rows between occurrence checkpoints.
+pub const OCC_BLOCK: usize = 64;
+/// Text-position sampling rate for locate.
+pub const SA_SAMPLE: usize = 32;
+
+/// An FM-index over a genome's linear concatenation.
+pub struct FmIndex {
+    bwt: Bwt,
+    /// Checkpointed counts: `occ[block][c]` = occurrences of `c` in
+    /// `bwt[..block * OCC_BLOCK]`.
+    occ: Vec<[u32; ALPHABET]>,
+    /// row -> text position, for rows whose suffix position is a
+    /// multiple of [`SA_SAMPLE`].
+    sampled: HashMap<u32, u32>,
+    text_len: usize,
+}
+
+/// A half-open BWT row interval `[lo, hi)` representing all suffixes
+/// prefixed by some query pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First row.
+    pub lo: u32,
+    /// One-past-last row.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// Number of matches in the interval.
+    pub fn count(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+impl FmIndex {
+    /// Builds an FM-index over a genome's concatenated contigs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome exceeds `u32::MAX - 2` bases.
+    pub fn build(genome: &Genome) -> Self {
+        let text: Vec<u8> = genome.linear_iter().map(base_code).collect();
+        Self::build_from_codes(text)
+    }
+
+    /// Builds an FM-index from raw text codes (1..=4).
+    pub fn build_from_codes(text: Vec<u8>) -> Self {
+        let sa = suffix_array(&text);
+        let bwt = Bwt::from_sa(&text, &sa);
+
+        // Occurrence checkpoints.
+        let n = bwt.len();
+        let blocks = n / OCC_BLOCK + 1;
+        let mut occ = Vec::with_capacity(blocks);
+        let mut counts = [0u32; ALPHABET];
+        for (i, &c) in bwt.data.iter().enumerate() {
+            if i % OCC_BLOCK == 0 {
+                occ.push(counts);
+            }
+            counts[c as usize] += 1;
+        }
+        if n % OCC_BLOCK == 0 {
+            occ.push(counts);
+        }
+
+        // Position-sampled SA. Conceptual row r corresponds to suffix
+        // sa'[r] where sa' = [n-1 sentinel suffix] ++ sa.
+        let mut sampled = HashMap::new();
+        // Row 0 is the empty (sentinel) suffix at position text_len.
+        for (k, &pos) in sa.iter().enumerate() {
+            if pos as usize % SA_SAMPLE == 0 {
+                sampled.insert((k + 1) as u32, pos);
+            }
+        }
+        FmIndex { bwt, occ, sampled, text_len: text.len() }
+    }
+
+    /// Length of the indexed text.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Occurrences of code `c` in `bwt[..row]`.
+    #[inline]
+    fn occ_rank(&self, c: u8, row: u32) -> u32 {
+        let block = row as usize / OCC_BLOCK;
+        let mut count = self.occ[block][c as usize];
+        let start = block * OCC_BLOCK;
+        for &b in &self.bwt.data[start..row as usize] {
+            count += (b == c) as u32;
+        }
+        count
+    }
+
+    /// The all-suffixes interval.
+    pub fn full_interval(&self) -> Interval {
+        Interval { lo: 0, hi: self.bwt.len() as u32 }
+    }
+
+    /// Extends a pattern interval by prepending code `c` (backward
+    /// search step).
+    #[inline]
+    pub fn extend(&self, c: u8, iv: Interval) -> Interval {
+        debug_assert!(c >= 1 && (c as usize) < ALPHABET);
+        let base = self.bwt.c_array[c as usize] as u32;
+        Interval {
+            lo: base + self.occ_rank(c, iv.lo),
+            hi: base + self.occ_rank(c, iv.hi),
+        }
+    }
+
+    /// Backward-searches an ASCII pattern; returns the matching interval.
+    ///
+    /// Patterns containing `N` never match (mirrors exact seeding).
+    pub fn search(&self, pattern: &[u8]) -> Interval {
+        let mut iv = self.full_interval();
+        for &b in pattern.iter().rev() {
+            if !b.is_ascii_uppercase() || b == b'N' {
+                return Interval { lo: 0, hi: 0 };
+            }
+            let c = base_code(b);
+            iv = self.extend(c, iv);
+            if iv.is_empty() {
+                return iv;
+            }
+        }
+        iv
+    }
+
+    /// Number of occurrences of `pattern` in the text.
+    pub fn count(&self, pattern: &[u8]) -> u32 {
+        self.search(pattern).count()
+    }
+
+    /// One LF-mapping step: the row of the suffix one position earlier.
+    #[inline]
+    fn lf(&self, row: u32) -> Option<u32> {
+        let c = self.bwt.data[row as usize];
+        if c == 0 {
+            return None; // Reached the text start.
+        }
+        Some(self.bwt.c_array[c as usize] as u32 + self.occ_rank(c, row))
+    }
+
+    /// Resolves one BWT row to its text position.
+    pub fn locate_row(&self, mut row: u32) -> u32 {
+        let mut steps = 0u32;
+        loop {
+            if let Some(&pos) = self.sampled.get(&row) {
+                return pos + steps;
+            }
+            match self.lf(row) {
+                Some(next) => {
+                    row = next;
+                    steps += 1;
+                }
+                // The sentinel row's suffix starts at position `steps`
+                // ... i.e. walking hit text position 0.
+                None => return steps,
+            }
+        }
+    }
+
+    /// Locates up to `limit` occurrences of the pattern interval.
+    pub fn locate(&self, iv: Interval, limit: usize) -> Vec<u32> {
+        (iv.lo..iv.hi).take(limit).map(|row| self.locate_row(row)).collect()
+    }
+
+    /// Approximate index memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bwt.data.len() + self.occ.len() * ALPHABET * 4 + self.sampled.len() * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_count(text: &[u8], pattern: &[u8]) -> u32 {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return if pattern.is_empty() { text.len() as u32 + 1 } else { 0 };
+        }
+        text.windows(pattern.len()).filter(|w| *w == pattern).count() as u32
+    }
+
+    fn naive_positions(text: &[u8], pattern: &[u8]) -> Vec<u32> {
+        text.windows(pattern.len())
+            .enumerate()
+            .filter(|(_, w)| *w == pattern)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn build_from_ascii(s: &[u8]) -> FmIndex {
+        FmIndex::build_from_codes(s.iter().map(|&b| base_code(b)).collect())
+    }
+
+    #[test]
+    fn count_matches_naive() {
+        let text = b"ACGTACGTTACGACGT";
+        let fm = build_from_ascii(text);
+        for pat in [&b"ACG"[..], b"ACGT", b"T", b"TT", b"GACG", b"CGTA", b"AAAA", b"ACGTACGTTACGACGT"] {
+            assert_eq!(fm.count(pat), naive_count(text, pat), "pattern {:?}", std::str::from_utf8(pat));
+        }
+    }
+
+    #[test]
+    fn count_on_genome() {
+        let g = Genome::random_with_seed(3, &[("c", 20_000)]);
+        let fm = FmIndex::build(&g);
+        let text: Vec<u8> = g.linear_iter().collect();
+        for start in (0..19_000).step_by(1717) {
+            let pat = &text[start..start + 25];
+            assert_eq!(fm.count(pat), naive_count(&text, pat));
+        }
+    }
+
+    #[test]
+    fn locate_finds_all_positions() {
+        let text = b"ACGTACGTTACGACGTACGA";
+        let fm = build_from_ascii(text);
+        for pat in [&b"ACG"[..], b"CGT", b"A", b"GA"] {
+            let iv = fm.search(pat);
+            let mut got = fm.locate(iv, usize::MAX);
+            got.sort();
+            assert_eq!(got, naive_positions(text, pat), "pattern {:?}", std::str::from_utf8(pat));
+        }
+    }
+
+    #[test]
+    fn locate_on_larger_text() {
+        let g = Genome::random_with_seed(9, &[("c", 8_000)]);
+        let fm = FmIndex::build(&g);
+        let text: Vec<u8> = g.linear_iter().collect();
+        for start in (0..7_900).step_by(631) {
+            let pat = &text[start..start + 30];
+            let iv = fm.search(pat);
+            let got = fm.locate(iv, usize::MAX);
+            assert!(got.contains(&(start as u32)), "position {start} missing");
+        }
+    }
+
+    #[test]
+    fn absent_pattern_is_empty() {
+        let fm = build_from_ascii(b"AAAACCCCGGGG");
+        assert_eq!(fm.count(b"T"), 0);
+        assert_eq!(fm.count(b"GA"), 0);
+        assert!(fm.search(b"ACGN").is_empty(), "N must not match");
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let fm = build_from_ascii(b"ACGT");
+        assert_eq!(fm.count(b""), 5); // n + 1 rows.
+    }
+
+    #[test]
+    fn extend_composes_like_search() {
+        let fm = build_from_ascii(b"ACGTACGTT");
+        // Search "GT" via two manual extensions: T then G.
+        let iv = fm.extend(base_code(b'T'), fm.full_interval());
+        let iv = fm.extend(base_code(b'G'), iv);
+        assert_eq!(iv, fm.search(b"GT"));
+        assert_eq!(iv.count(), 2);
+    }
+
+    #[test]
+    fn locate_limit_respected() {
+        let fm = build_from_ascii(&b"AC".repeat(100));
+        let iv = fm.search(b"AC");
+        assert_eq!(fm.locate(iv, 5).len(), 5);
+    }
+
+    #[test]
+    fn repetitive_text_locate() {
+        let text = b"ACGT".repeat(64);
+        let fm = build_from_ascii(&text);
+        let iv = fm.search(b"GTAC");
+        let mut got = fm.locate(iv, usize::MAX);
+        got.sort();
+        assert_eq!(got, naive_positions(&text, b"GTAC"));
+    }
+}

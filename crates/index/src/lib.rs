@@ -1,0 +1,34 @@
+//! Reference-genome indexes for Persona's aligners.
+//!
+//! Two index families, matching the two aligner classes the paper
+//! integrates (§2.1, §4.3):
+//!
+//! * [`seed`] — a hash-based seed index ("SNAP uses hash-based indexing
+//!   of the reference and is designed for multicore scalability").
+//! * [`sa`] / [`bwt`] / [`fm`] — suffix array, Burrows-Wheeler transform
+//!   and FM-index with occurrence checkpoints ("BWA-MEM uses the
+//!   Burrows-Wheeler transform to efficiently find candidate alignment
+//!   positions").
+//!
+//! Both index the *linear* concatenation of the genome's contigs (see
+//! `persona_seq::genome::Genome::to_linear`).
+//!
+//! # Examples
+//!
+//! ```
+//! use persona_seq::Genome;
+//! use persona_index::seed::SeedIndex;
+//!
+//! let genome = Genome::random_with_seed(1, &[("chr1", 20_000)]);
+//! let index = SeedIndex::build(&genome, 16);
+//! let probe = genome.slice_linear(500, 16).unwrap();
+//! assert!(index.lookup(probe).unwrap().contains(&500));
+//! ```
+
+pub mod bwt;
+pub mod fm;
+pub mod sa;
+pub mod seed;
+
+pub use fm::FmIndex;
+pub use seed::SeedIndex;

@@ -1,0 +1,128 @@
+//! Suffix array construction by prefix doubling.
+//!
+//! `O(n log² n)` Manber-Myers style construction: simple, allocation-
+//! light, and fast enough for the multi-megabyte synthetic references
+//! used in the evaluation (the paper's hg19-scale indexes are built
+//! offline once and shared, so construction speed is not on the
+//! critical path of any experiment).
+
+/// Builds the suffix array of `text` (positions of sorted suffixes).
+///
+/// The text must not contain byte 0; a virtual sentinel smaller than
+/// every byte is implied at the end (so the array has `text.len()`
+/// entries, one per real suffix).
+///
+/// # Examples
+///
+/// ```
+/// let sa = persona_index::sa::suffix_array(b"banana");
+/// assert_eq!(sa, vec![5, 3, 1, 0, 4, 2]); // a, ana, anana, banana, na, nana
+/// ```
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let n = text.len();
+    assert!(n <= u32::MAX as usize - 2, "text too large");
+    if n == 0 {
+        return Vec::new();
+    }
+    debug_assert!(!text.contains(&0), "text must not contain NUL");
+
+    // rank[i]: current rank of suffix i; sentinel handled via length
+    // comparisons (shorter suffix sorts first on ties).
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<i64> = text.iter().map(|&b| b as i64).collect();
+    let mut tmp: Vec<i64> = vec![0; n];
+
+    let mut k = 1usize;
+    while k < n {
+        let key = |i: u32| -> (i64, i64) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] } else { -1 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + if key(prev) == key(cur) { 0 } else { 1 };
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break; // All ranks distinct: fully sorted.
+        }
+        k <<= 1;
+    }
+    sa
+}
+
+/// Verifies that `sa` is the suffix array of `text` (test helper;
+/// O(n² log n) worst case, intended for small inputs).
+pub fn is_suffix_array(text: &[u8], sa: &[u32]) -> bool {
+    if sa.len() != text.len() {
+        return false;
+    }
+    let mut seen = vec![false; text.len()];
+    for &i in sa {
+        if (i as usize) >= text.len() || seen[i as usize] {
+            return false;
+        }
+        seen[i as usize] = true;
+    }
+    sa.windows(2).all(|w| text[w[0] as usize..] < text[w[1] as usize..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_cases() {
+        assert_eq!(suffix_array(b""), Vec::<u32>::new());
+        assert_eq!(suffix_array(b"a"), vec![0]);
+        assert_eq!(suffix_array(b"aa"), vec![1, 0]);
+        assert_eq!(suffix_array(b"ab"), vec![0, 1]);
+        assert_eq!(suffix_array(b"ba"), vec![1, 0]);
+    }
+
+    #[test]
+    fn known_banana() {
+        assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn mississippi() {
+        let sa = suffix_array(b"mississippi");
+        assert!(is_suffix_array(b"mississippi", &sa));
+    }
+
+    #[test]
+    fn repetitive_and_random_verify() {
+        let cases: Vec<Vec<u8>> = vec![
+            b"ACGT".repeat(50),
+            b"AAAAAAAAAA".to_vec(),
+            b"ACGTACGAACGTTACG".repeat(13),
+            {
+                let mut x = 1234u64;
+                (0..2000)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        b"ACGT"[(x >> 62) as usize]
+                    })
+                    .collect()
+            },
+        ];
+        for text in cases {
+            let sa = suffix_array(&text);
+            assert!(is_suffix_array(&text, &sa), "failed for len {}", text.len());
+        }
+    }
+
+    #[test]
+    fn detects_invalid_sa() {
+        assert!(!is_suffix_array(b"banana", &[0, 1, 2, 3, 4, 5]));
+        assert!(!is_suffix_array(b"banana", &[5, 3, 1, 0, 4]));
+        assert!(!is_suffix_array(b"banana", &[5, 3, 1, 0, 4, 4]));
+    }
+}

@@ -1,0 +1,250 @@
+//! The SNAP-style hash seed index.
+//!
+//! Every position in the reference contributes one fixed-length seed
+//! (if it contains no `N` and does not cross a contig boundary). Seeds
+//! are 2-bit packed into a `u64` key and stored in a compact CSR layout:
+//! a hash table maps each distinct seed to a slice of positions. This is
+//! the "multi-gigabyte reference index" shared by all aligner kernels
+//! through a resource handle (paper Fig. 3: "Genome Index — Seed →
+//! Ref. Loc").
+
+use std::collections::HashMap;
+
+use persona_seq::dna::base_to_code;
+use persona_seq::Genome;
+
+/// A hash index from fixed-length seeds to reference positions.
+pub struct SeedIndex {
+    seed_len: usize,
+    /// seed key -> (start, len) into `positions`.
+    table: HashMap<u64, (u32, u32)>,
+    /// Position lists, grouped by seed.
+    positions: Vec<u32>,
+    /// Seeds occurring more often than this were truncated.
+    max_hits: u32,
+    /// Number of seeds whose position lists were truncated.
+    overflowed: usize,
+}
+
+impl SeedIndex {
+    /// Default cap on positions stored per seed (mirrors SNAP's handling
+    /// of overrepresented seeds in repetitive genomes).
+    pub const DEFAULT_MAX_HITS: u32 = 300;
+
+    /// Builds an index with the default hit cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed_len` is 0 or > 31, or if the genome exceeds
+    /// `u32::MAX` bases.
+    pub fn build(genome: &Genome, seed_len: usize) -> Self {
+        Self::build_with_max_hits(genome, seed_len, Self::DEFAULT_MAX_HITS)
+    }
+
+    /// Builds an index, keeping at most `max_hits` positions per seed.
+    pub fn build_with_max_hits(genome: &Genome, seed_len: usize, max_hits: u32) -> Self {
+        assert!(seed_len > 0 && seed_len <= 31, "seed length must be in 1..=31");
+        assert!(genome.total_len() <= u32::MAX as u64, "genome too large for u32 positions");
+
+        // Pass 1: count occurrences per seed key.
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for_each_seed(genome, seed_len, |key, _pos| {
+            *counts.entry(key).or_insert(0) += 1;
+        });
+
+        // Allocate CSR slots (capped).
+        let mut table: HashMap<u64, (u32, u32)> = HashMap::with_capacity(counts.len());
+        let mut total = 0u32;
+        let mut overflowed = 0usize;
+        for (&key, &count) in &counts {
+            let kept = count.min(max_hits);
+            if count > max_hits {
+                overflowed += 1;
+            }
+            table.insert(key, (total, kept));
+            total += kept;
+        }
+        let mut positions = vec![0u32; total as usize];
+        // Pass 2: fill, reusing `counts` as per-seed write cursors.
+        let mut cursors: HashMap<u64, u32> = counts;
+        for c in cursors.values_mut() {
+            *c = 0;
+        }
+        for_each_seed(genome, seed_len, |key, pos| {
+            let (start, kept) = table[&key];
+            let cur = cursors.get_mut(&key).expect("seed counted in pass 1");
+            if *cur < kept {
+                positions[(start + *cur) as usize] = pos;
+                *cur += 1;
+            }
+        });
+
+        SeedIndex { seed_len, table, positions, max_hits, overflowed }
+    }
+
+    /// The seed length this index was built with.
+    pub fn seed_len(&self) -> usize {
+        self.seed_len
+    }
+
+    /// The per-seed position cap.
+    pub fn max_hits(&self) -> u32 {
+        self.max_hits
+    }
+
+    /// Number of distinct seeds whose lists were truncated by the cap.
+    pub fn overflowed_seeds(&self) -> usize {
+        self.overflowed
+    }
+
+    /// Number of distinct seeds in the index.
+    pub fn distinct_seeds(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Approximate index memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.positions.len() * 4 + self.table.len() * 24
+    }
+
+    /// Looks up the positions of `seed` (must be exactly `seed_len`
+    /// ASCII bases; returns `None` on `N` or unknown characters too).
+    pub fn lookup(&self, seed: &[u8]) -> Option<&[u32]> {
+        let key = pack_seed(seed)?;
+        self.lookup_key(key)
+    }
+
+    /// Looks up a pre-packed seed key.
+    pub fn lookup_key(&self, key: u64) -> Option<&[u32]> {
+        let &(start, len) = self.table.get(&key)?;
+        Some(&self.positions[start as usize..(start + len) as usize])
+    }
+
+    /// Packs `seed` into a key if it is clean (correct length, no `N`).
+    pub fn pack(&self, seed: &[u8]) -> Option<u64> {
+        if seed.len() != self.seed_len {
+            return None;
+        }
+        pack_seed(seed)
+    }
+}
+
+/// 2-bit packs an arbitrary-length seed (≤31 bases); `None` if any base
+/// is not `A,C,G,T`.
+fn pack_seed(seed: &[u8]) -> Option<u64> {
+    let mut key = 0u64;
+    for &b in seed {
+        let code = base_to_code(b);
+        if code >= 4 {
+            return None;
+        }
+        key = (key << 2) | code as u64;
+    }
+    Some(key)
+}
+
+/// Invokes `f(key, position)` for every clean seed in the genome.
+fn for_each_seed(genome: &Genome, seed_len: usize, mut f: impl FnMut(u64, u32)) {
+    let mask = if seed_len == 32 { u64::MAX } else { (1u64 << (2 * seed_len)) - 1 };
+    for (ci, contig) in genome.contigs().iter().enumerate() {
+        let seq = &contig.seq;
+        if seq.len() < seed_len {
+            continue;
+        }
+        let base_offset = genome.to_linear(ci, 0);
+        let mut key = 0u64;
+        let mut valid = 0usize; // Clean bases accumulated in `key`.
+        for (i, &b) in seq.iter().enumerate() {
+            let code = base_to_code(b);
+            if code >= 4 {
+                valid = 0;
+                key = 0;
+                continue;
+            }
+            key = ((key << 2) | code as u64) & mask;
+            valid += 1;
+            if valid >= seed_len {
+                let pos = base_offset + (i + 1 - seed_len) as u64;
+                f(key, pos as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genome() -> Genome {
+        Genome::random_with_seed(7, &[("chr1", 30_000), ("chr2", 10_000)])
+    }
+
+    #[test]
+    fn finds_every_planted_position() {
+        let g = genome();
+        let idx = SeedIndex::build(&g, 16);
+        for pos in (0..g.total_len() - 16).step_by(997) {
+            if let Some(seed) = g.slice_linear(pos, 16) {
+                let hits = idx.lookup(seed).unwrap_or_else(|| panic!("seed at {pos} missing"));
+                assert!(hits.contains(&(pos as u32)), "position {pos} not in hits");
+            }
+        }
+    }
+
+    #[test]
+    fn no_seed_crosses_contig_boundary() {
+        let g = Genome::new(vec![
+            ("a".into(), b"AAAAAAAACC".to_vec()),
+            ("b".into(), b"GGTTTTTTTT".to_vec()),
+        ]);
+        let idx = SeedIndex::build(&g, 8);
+        // The boundary-crossing 8-mer "AACCGGTT" must not be indexed at
+        // position 6 (it spans contigs a and b).
+        if let Some(hits) = idx.lookup(b"AACCGGTT") {
+            assert!(!hits.contains(&6), "boundary seed indexed");
+        }
+    }
+
+    #[test]
+    fn lookup_rejects_bad_seeds() {
+        let g = genome();
+        let idx = SeedIndex::build(&g, 16);
+        assert!(idx.lookup(b"ACGTNACGTACGTACG").is_none(), "N must not pack");
+        assert!(idx.pack(b"ACG").is_none(), "wrong length");
+    }
+
+    #[test]
+    fn skips_n_bases() {
+        let g = Genome::new(vec![("a".into(), b"ACGTNACGTACGTACGT".to_vec())]);
+        let idx = SeedIndex::build(&g, 4);
+        // Seeds overlapping the N at position 4 are absent.
+        let hits = idx.lookup(b"CGTA").unwrap();
+        assert!(hits.contains(&(5 + 1)), "post-N seed missing");
+        assert!(!hits.contains(&1), "seed spanning N (pos 1..5) was indexed");
+    }
+
+    #[test]
+    fn max_hits_caps_repetitive_seeds() {
+        let g = Genome::new(vec![("rep".into(), b"ACGT".repeat(1000))]);
+        let idx = SeedIndex::build_with_max_hits(&g, 8, 10);
+        let hits = idx.lookup(b"ACGTACGT").unwrap();
+        assert_eq!(hits.len(), 10);
+        assert!(idx.overflowed_seeds() > 0);
+    }
+
+    #[test]
+    fn distinct_seed_count_sane() {
+        let g = genome();
+        let idx = SeedIndex::build(&g, 16);
+        // Random 40 kb genome: most 16-mers distinct (planted repeats
+        // reduce the count somewhat).
+        assert!(idx.distinct_seeds() > 25_000, "distinct {}", idx.distinct_seeds());
+        assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed length")]
+    fn zero_seed_len_panics() {
+        SeedIndex::build(&genome(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Storage subsystem models for Persona's I/O experiments.
+//!
+//! The paper evaluates three storage configurations (§5.1, §5.3): a
+//! single local disk, a 6-disk RAID0 array, and a 7-node Ceph object
+//! store reached over 10 GbE. None of that hardware is assumed here;
+//! instead, every configuration is modeled *with real bytes* flowing
+//! through token-bucket bandwidth meters:
+//!
+//! * [`bandwidth`] — blocking token buckets.
+//! * [`local`] — throttled disk stores, including a writeback-cache
+//!   model that reproduces the read/write interference of Fig. 5a
+//!   ("the operating system's buffer cache writeback policy competes
+//!   with the application-driven data reads").
+//! * [`ceph`] — a replicated multi-node object store with a
+//!   `rados bench`-style throughput probe (§5.1 measures 6 GB/s peak).
+//! * [`stats`] — byte/op accounting shared by all stores (Table 1's
+//!   "Data Read / Data Written" rows).
+//!
+//! All stores implement [`persona_agd::chunk_io::ChunkStore`], so any
+//! AGD dataset can be placed on any modeled subsystem.
+
+pub mod bandwidth;
+pub mod ceph;
+pub mod local;
+pub mod stats;
+
+pub use bandwidth::TokenBucket;
+pub use ceph::CephStore;
+pub use local::{DiskConfig, ThrottledStore, WritebackDisk};
+pub use stats::StoreStats;

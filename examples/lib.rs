@@ -1,0 +1,58 @@
+//! Shared helpers for the Persona examples: a small synthetic world so
+//! every example runs instantly with no external data.
+
+use std::sync::Arc;
+
+use persona_agd::chunk_io::ChunkStore;
+use persona_align::snap::{SnapAligner, SnapParams};
+use persona_align::Aligner;
+use persona_index::SeedIndex;
+use persona_seq::simulate::{ReadSimulator, SimParams};
+use persona_seq::{Genome, Read};
+
+/// A tiny demo world: 200 kb genome, simulated reads, SNAP aligner.
+pub struct DemoWorld {
+    /// The reference genome.
+    pub genome: Arc<Genome>,
+    /// Simulated reads with planted origins in their metadata.
+    pub reads: Vec<Read>,
+    /// A ready SNAP-style aligner.
+    pub aligner: Arc<dyn Aligner>,
+    /// Contig metadata for export.
+    pub reference: Vec<(String, u64)>,
+}
+
+impl DemoWorld {
+    /// Builds the demo world (deterministic).
+    pub fn new(n_reads: usize) -> DemoWorld {
+        let genome = Arc::new(Genome::random_with_seed(2024, &[("chr1", 150_000), ("chr2", 50_000)]));
+        let mut sim = ReadSimulator::new(
+            &genome,
+            SimParams { error_rate: 0.005, seed: 7, ..SimParams::default() },
+        );
+        let reads = sim.take_single(n_reads);
+        let index = Arc::new(SeedIndex::build(&genome, 16));
+        let aligner: Arc<dyn Aligner> =
+            Arc::new(SnapAligner::new(genome.clone(), index, SnapParams::default()));
+        let reference = genome
+            .contigs()
+            .iter()
+            .map(|c| (c.name.clone(), c.seq.len() as u64))
+            .collect();
+        DemoWorld { genome, reads, aligner, reference }
+    }
+
+    /// Writes the reads into an AGD dataset on `store`.
+    pub fn write_dataset(
+        &self,
+        store: &dyn ChunkStore,
+        name: &str,
+        chunk_size: usize,
+    ) -> persona_agd::manifest::Manifest {
+        let mut w = persona_agd::builder::DatasetWriter::new(name, chunk_size).expect("writer");
+        for r in &self.reads {
+            w.append(store, &r.meta, &r.bases, &r.quals).expect("append");
+        }
+        w.finish(store).expect("finish")
+    }
+}

@@ -1,0 +1,73 @@
+//! Columnar sort + duplicate marking vs the row-oriented baselines on
+//! the same data (Table 2 / §5.6 in miniature).
+//!
+//! Run: `cargo run -p persona-examples --release --bin sort_dedup`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use persona::config::PersonaConfig;
+use persona::pipeline::align::{align_dataset, finalize_manifest, AlignInputs};
+use persona::pipeline::dupmark::mark_duplicates;
+use persona::pipeline::export::{export_bam, export_sam};
+use persona::pipeline::sort::{sort_dataset, SortKey};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_baseline::samblaster::mark_duplicates_sam;
+use persona_baseline::sort::{picard_sort, samtools_sort};
+use persona_compress::deflate::CompressLevel;
+use persona_examples::DemoWorld;
+
+fn main() {
+    let world = DemoWorld::new(6_000);
+    let config = PersonaConfig::default();
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let mut manifest = world.write_dataset(store.as_ref(), "sd", 1_000);
+    align_dataset(AlignInputs {
+        store: store.clone(),
+        manifest: &manifest,
+        aligner: world.aligner.clone(),
+        config,
+    })
+    .expect("align");
+    finalize_manifest(store.as_ref(), &mut manifest, &world.reference).expect("finalize");
+
+    // Row-oriented copies for the baselines.
+    let mut bam = Vec::new();
+    export_bam(&store, &manifest, &mut bam, CompressLevel::Fast).expect("bam");
+    let mut sam = Vec::new();
+    export_sam(&store, &manifest, &mut sam, &config).expect("sam");
+    let refs = persona_formats::sam::RefMap::new(&manifest.reference);
+
+    println!("--- sorting {} records ---", manifest.total_records);
+    let t = Instant::now();
+    let (sorted, _) =
+        sort_dataset(&store, &manifest, SortKey::Coordinate, "sd.sorted", &config).expect("sort");
+    let persona_t = t.elapsed();
+    println!("Persona columnar sort: {persona_t:?}");
+
+    let t = Instant::now();
+    samtools_sort(&bam, config.compute_threads).expect("samtools");
+    println!("samtools-like BAM sort: {:?} ({:.2}x)", t.elapsed(), t.elapsed().as_secs_f64() / persona_t.as_secs_f64());
+
+    let t = Instant::now();
+    picard_sort(&bam).expect("picard");
+    println!("Picard-like BAM sort:   {:?} ({:.2}x)", t.elapsed(), t.elapsed().as_secs_f64() / persona_t.as_secs_f64());
+
+    println!("\n--- duplicate marking ---");
+    let t = Instant::now();
+    let rep = mark_duplicates(&store, &sorted).expect("dupmark");
+    println!(
+        "Persona (results column): {:?} -> {} dups at {:.0} reads/s",
+        t.elapsed(),
+        rep.duplicates,
+        rep.reads_per_sec()
+    );
+    let t = Instant::now();
+    let (_, base_rep) = mark_duplicates_sam(&sam, &refs).expect("samblaster");
+    println!(
+        "Samblaster-like (SAM):    {:?} -> {} dups at {:.0} reads/s",
+        t.elapsed(),
+        base_rep.duplicates,
+        base_rep.reads_per_sec()
+    );
+}

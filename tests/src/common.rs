@@ -1,0 +1,55 @@
+//! Shared fixtures for cross-crate integration tests.
+
+use std::sync::Arc;
+
+use persona_agd::chunk_io::ChunkStore;
+use persona_align::snap::{SnapAligner, SnapParams};
+use persona_align::Aligner;
+use persona_index::SeedIndex;
+use persona_seq::simulate::{ReadSimulator, SimParams};
+use persona_seq::{Genome, Read};
+
+/// A deterministic end-to-end fixture.
+pub struct Fixture {
+    /// Reference genome.
+    pub genome: Arc<Genome>,
+    /// Simulated reads.
+    pub reads: Vec<Read>,
+    /// SNAP-style aligner over the genome.
+    pub aligner: Arc<dyn Aligner>,
+    /// (name, length) per contig.
+    pub reference: Vec<(String, u64)>,
+}
+
+impl Fixture {
+    /// Builds a fixture with `n_reads` reads over a 100 kb genome.
+    pub fn new(seed: u64, n_reads: usize) -> Fixture {
+        let genome =
+            Arc::new(Genome::random_with_seed(seed, &[("chr1", 80_000), ("chr2", 20_000)]));
+        let mut sim = ReadSimulator::new(
+            &genome,
+            SimParams { error_rate: 0.005, seed: seed ^ 99, ..SimParams::default() },
+        );
+        let reads = sim.take_single(n_reads);
+        let index = Arc::new(SeedIndex::build(&genome, 16));
+        let aligner: Arc<dyn Aligner> =
+            Arc::new(SnapAligner::new(genome.clone(), index, SnapParams::default()));
+        let reference =
+            genome.contigs().iter().map(|c| (c.name.clone(), c.seq.len() as u64)).collect();
+        Fixture { genome, reads, aligner, reference }
+    }
+
+    /// Writes the reads to a store as an AGD dataset.
+    pub fn write_dataset(
+        &self,
+        store: &dyn ChunkStore,
+        name: &str,
+        chunk_size: usize,
+    ) -> persona_agd::manifest::Manifest {
+        let mut w = persona_agd::builder::DatasetWriter::new(name, chunk_size).unwrap();
+        for r in &self.reads {
+            w.append(store, &r.meta, &r.bases, &r.quals).unwrap();
+        }
+        w.finish(store).unwrap()
+    }
+}

@@ -1,0 +1,3 @@
+//! Shared fixtures for Persona's cross-crate integration tests.
+
+pub mod common;

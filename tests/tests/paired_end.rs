@@ -1,0 +1,78 @@
+//! Paired-end integration: batch alignment, the single-threaded insert
+//! inference step, and SAM flag composition (paper §4.3's BWA paired
+//! discussion; the data model of §2.1).
+
+use persona_agd::results::flags;
+use persona_align::paired::{align_pair_batch, infer_insert_stats};
+use persona_integration_tests::common::Fixture;
+use persona_seq::simulate::{ReadSimulator, SimParams};
+
+#[test]
+fn paired_batch_alignment_recovers_fragments() {
+    let fx = Fixture::new(3001, 1);
+    let mut sim = ReadSimulator::new(
+        &fx.genome,
+        SimParams { error_rate: 0.003, seed: 42, insert_mean: 320.0, insert_sd: 25.0, ..SimParams::default() },
+    );
+    let pairs: Vec<_> = sim
+        .take_pairs(120)
+        .into_iter()
+        .map(|p| (p.r1.bases, p.r1.quals, p.r2.bases, p.r2.quals))
+        .collect();
+
+    let (results, stats) = align_pair_batch(fx.aligner.as_ref(), &pairs);
+    assert_eq!(results.len(), 120);
+
+    // The inference step should recover the simulated insert
+    // distribution.
+    assert!(stats.n >= 80, "only {} usable pairs", stats.n);
+    assert!(
+        (stats.mean - 320.0).abs() < 40.0,
+        "inferred mean {:.1} far from simulated 320",
+        stats.mean
+    );
+    assert!(stats.sd < 80.0, "inferred sd {:.1}", stats.sd);
+
+    // Flags: every record is paired, mates point at each other, and
+    // most pairs are proper FR pairs within the window.
+    let mut proper = 0;
+    for (r1, r2) in &results {
+        assert!(r1.flags & flags::PAIRED != 0);
+        assert!(r1.flags & flags::FIRST_IN_PAIR != 0);
+        assert!(r2.flags & flags::SECOND_IN_PAIR != 0);
+        if !r1.is_unmapped() && !r2.is_unmapped() {
+            assert_eq!(r1.mate_location, r2.location);
+            assert_eq!(r2.mate_location, r1.location);
+        }
+        if r1.flags & flags::PROPER_PAIR != 0 {
+            proper += 1;
+            // TLEN signs: leftmost positive, rightmost negative.
+            assert_eq!(r1.template_len, -r2.template_len);
+            assert_ne!(r1.template_len, 0);
+        }
+    }
+    assert!(proper >= 90, "only {proper}/120 proper pairs");
+}
+
+#[test]
+fn insert_inference_excludes_cross_contig_artifacts() {
+    // Pairs whose mates land on the same coordinates but opposite
+    // strands in the wrong order (RF) must not pollute the estimate.
+    let fx = Fixture::new(3003, 1);
+    let mut sim = ReadSimulator::new(
+        &fx.genome,
+        SimParams { error_rate: 0.0, seed: 43, ..SimParams::default() },
+    );
+    let pairs: Vec<_> = sim
+        .take_pairs(60)
+        .into_iter()
+        .map(|p| (p.r1.bases, p.r1.quals, p.r2.bases, p.r2.quals))
+        .collect();
+    let (results, _) = align_pair_batch(fx.aligner.as_ref(), &pairs);
+    // BWA trims outliers before fitting; model that with a tight cap
+    // (without it, a handful of repeat-copy mis-pairings at multi-kb
+    // distances dominate the mean of a 60-pair sample).
+    let stats = infer_insert_stats(&results, 800);
+    // Simulated default: mean 350, sd 35.
+    assert!((stats.mean - 350.0).abs() < 50.0, "mean {:.1}", stats.mean);
+}
