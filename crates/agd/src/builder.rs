@@ -154,7 +154,10 @@ impl DatasetWriter {
     pub fn finish(mut self, store: &dyn ChunkStore) -> Result<Manifest> {
         self.flush_chunk(store)?;
         self.manifest.validate()?;
-        store.put(&format!("{}.manifest.json", self.manifest.name), self.manifest.to_json()?.as_bytes())?;
+        store.put(
+            &format!("{}.manifest.json", self.manifest.name),
+            self.manifest.to_json()?.as_bytes(),
+        )?;
         Ok(self.manifest)
     }
 }
@@ -318,11 +321,13 @@ mod tests {
         let mut payloads = Vec::new();
         for &n in &counts {
             let recs: Vec<Vec<u8>> = (0..n)
-                .map(|i| crate::results::AlignmentResult {
-                    location: i as i64 * 100,
-                    ..crate::results::AlignmentResult::unmapped()
-                }
-                .encode())
+                .map(|i| {
+                    crate::results::AlignmentResult {
+                        location: i as i64 * 100,
+                        ..crate::results::AlignmentResult::unmapped()
+                    }
+                    .encode()
+                })
                 .collect();
             payloads.push(recs);
         }
@@ -335,9 +340,10 @@ mod tests {
         assert!(store.exists("ds-1.results"));
 
         // Reload the manifest from the store and check it knows the column.
-        let reloaded =
-            Manifest::from_json(std::str::from_utf8(&store.get("ds.manifest.json").unwrap()).unwrap())
-                .unwrap();
+        let reloaded = Manifest::from_json(
+            std::str::from_utf8(&store.get("ds.manifest.json").unwrap()).unwrap(),
+        )
+        .unwrap();
         assert!(reloaded.has_column(columns::RESULTS));
     }
 

@@ -319,9 +319,8 @@ mod tests {
     #[test]
     fn header_rejects_garbage() {
         assert!(ChunkHeader::decode(b"nope").is_err());
-        let mut h = sample_chunk(RecordType::Text)
-            .encode(Codec::None, CompressLevel::Default)
-            .unwrap();
+        let mut h =
+            sample_chunk(RecordType::Text).encode(Codec::None, CompressLevel::Default).unwrap();
         h[0] = b'X';
         assert!(ChunkData::decode(&h).is_err());
     }
@@ -381,9 +380,7 @@ mod tests {
     #[test]
     fn compacted_chunk_is_smaller_than_text() {
         let reads: Vec<Vec<u8>> = (0..500)
-            .map(|i| {
-                (0..101u8).map(|j| b"ACGT"[((i * 7 + j as usize) % 4)]).collect::<Vec<u8>>()
-            })
+            .map(|i| (0..101u8).map(|j| b"ACGT"[(i * 7 + j as usize) % 4]).collect::<Vec<u8>>())
             .collect();
         let refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
         let compact = ChunkData::from_records(RecordType::CompactBases, refs.iter().copied())

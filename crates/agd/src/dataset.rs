@@ -25,8 +25,8 @@ impl Dataset {
     /// Loads `"<name>.manifest.json"` from a store.
     pub fn open(store: &dyn ChunkStore, name: &str) -> Result<Self> {
         let raw = store.get(&format!("{name}.manifest.json"))?;
-        let json = std::str::from_utf8(&raw)
-            .map_err(|_| Error::Format("manifest is not UTF-8".into()))?;
+        let json =
+            std::str::from_utf8(&raw).map_err(|_| Error::Format("manifest is not UTF-8".into()))?;
         Ok(Dataset { manifest: Manifest::from_json(json)? })
     }
 

@@ -4,12 +4,12 @@
 //! sizes of contiguous reference sequences … implemented as a simple
 //! JSON file" (paper §3).
 
-use serde::{Deserialize, Serialize};
+use serde::{field, Deserialize, Serialize, Value};
 
 use crate::{Error, Result};
 
 /// One column's schema entry.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnSpec {
     /// Column name (e.g. `bases`).
     pub name: String,
@@ -18,7 +18,7 @@ pub struct ColumnSpec {
 }
 
 /// One chunk's entry in the record index.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkEntry {
     /// Object-name stem; column objects are `{path}.{column}`.
     pub path: String,
@@ -29,7 +29,7 @@ pub struct ChunkEntry {
 }
 
 /// A reference contig the dataset was (or will be) aligned against.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RefContig {
     /// Contig name (e.g. `chr1`).
     pub name: String,
@@ -38,8 +38,8 @@ pub struct RefContig {
 }
 
 /// Dataset-level sort order, mirroring SAM's `@HD SO:` values.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq, Default)]
-#[serde(rename_all = "snake_case")]
+/// Serialized snake_case (`unsorted` / `coordinate` / `query_name`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SortOrder {
     /// No ordering guarantee (as produced by the sequencer).
     #[default]
@@ -51,7 +51,7 @@ pub enum SortOrder {
 }
 
 /// The dataset manifest (`manifest.json`).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
     /// Dataset name; chunk stems derive from it.
     pub name: String,
@@ -64,14 +64,11 @@ pub struct Manifest {
     /// Total records across chunks.
     pub total_records: u64,
     /// Sort order of the dataset.
-    #[serde(default)]
     pub sort_order: SortOrder,
     /// Reference contigs (empty until alignment).
-    #[serde(default)]
     pub reference: Vec<RefContig>,
     /// Columns whose record indices align (row groups). Every column in
     /// a group has identical record boundaries per chunk.
-    #[serde(default)]
     pub row_groups: Vec<Vec<String>>,
 }
 
@@ -128,7 +125,9 @@ impl Manifest {
         for group in &self.row_groups {
             for col in group {
                 if !self.columns.iter().any(|c| &c.name == col) {
-                    return Err(Error::Format(format!("row group references unknown column {col}")));
+                    return Err(Error::Format(format!(
+                        "row group references unknown column {col}"
+                    )));
                 }
             }
         }
@@ -165,7 +164,10 @@ impl Manifest {
             if existing.codec == codec.name() {
                 return Ok(());
             }
-            return Err(Error::Format(format!("column {name} exists with codec {}", existing.codec)));
+            return Err(Error::Format(format!(
+                "column {name} exists with codec {}",
+                existing.codec
+            )));
         }
         self.columns.push(ColumnSpec { name: name.to_string(), codec: codec.name().to_string() });
         Ok(())
@@ -180,6 +182,123 @@ impl Manifest {
         let chunk = self.records.partition_point(|e| e.first_record + e.num_records as u64 <= idx);
         let entry = &self.records[chunk];
         Some((chunk, (idx - entry.first_record) as u32))
+    }
+}
+
+// Hand-written (de)serialization over the vendored serde data model
+// (the offline build has no derive macros). Field names and the
+// snake_case enum encoding match what `#[derive]` + `#[serde(...)]`
+// would have produced, so on-disk manifests are stable.
+
+impl Serialize for ColumnSpec {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.serialize()),
+            ("codec".into(), self.codec.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ColumnSpec {
+    fn deserialize(v: &Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(ColumnSpec { name: field::required(v, "name")?, codec: field::required(v, "codec")? })
+    }
+}
+
+impl Serialize for ChunkEntry {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("path".into(), self.path.serialize()),
+            ("first_record".into(), self.first_record.serialize()),
+            ("num_records".into(), self.num_records.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ChunkEntry {
+    fn deserialize(v: &Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(ChunkEntry {
+            path: field::required(v, "path")?,
+            first_record: field::required(v, "first_record")?,
+            num_records: field::required(v, "num_records")?,
+        })
+    }
+}
+
+impl Serialize for RefContig {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.serialize()),
+            ("length".into(), self.length.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for RefContig {
+    fn deserialize(v: &Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(RefContig { name: field::required(v, "name")?, length: field::required(v, "length")? })
+    }
+}
+
+impl SortOrder {
+    /// The snake_case wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SortOrder::Unsorted => "unsorted",
+            SortOrder::Coordinate => "coordinate",
+            SortOrder::QueryName => "query_name",
+        }
+    }
+}
+
+impl Serialize for SortOrder {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for SortOrder {
+    fn deserialize(v: &Value) -> std::result::Result<Self, serde::DeError> {
+        match v {
+            Value::String(s) => match s.as_str() {
+                "unsorted" => Ok(SortOrder::Unsorted),
+                "coordinate" => Ok(SortOrder::Coordinate),
+                "query_name" => Ok(SortOrder::QueryName),
+                other => Err(serde::DeError::new(format!("unknown sort_order `{other}`"))),
+            },
+            other => Err(serde::DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Manifest {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.serialize()),
+            ("version".into(), self.version.serialize()),
+            ("columns".into(), self.columns.serialize()),
+            ("records".into(), self.records.serialize()),
+            ("total_records".into(), self.total_records.serialize()),
+            ("sort_order".into(), self.sort_order.serialize()),
+            ("reference".into(), self.reference.serialize()),
+            ("row_groups".into(), self.row_groups.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Manifest {
+    fn deserialize(v: &Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(Manifest {
+            name: field::required(v, "name")?,
+            version: field::required(v, "version")?,
+            columns: field::required(v, "columns")?,
+            records: field::required(v, "records")?,
+            total_records: field::required(v, "total_records")?,
+            // `#[serde(default)]` fields: absent means default.
+            sort_order: field::defaulted(v, "sort_order")?,
+            reference: field::defaulted(v, "reference")?,
+            row_groups: field::defaulted(v, "row_groups")?,
+        })
     }
 }
 

@@ -114,12 +114,22 @@ impl CigarKind {
 
     /// Whether the op consumes query bases (SAM spec table).
     pub fn consumes_query(self) -> bool {
-        matches!(self, CigarKind::Match | CigarKind::Ins | CigarKind::SoftClip | CigarKind::Eq | CigarKind::Diff)
+        matches!(
+            self,
+            CigarKind::Match
+                | CigarKind::Ins
+                | CigarKind::SoftClip
+                | CigarKind::Eq
+                | CigarKind::Diff
+        )
     }
 
     /// Whether the op consumes reference bases.
     pub fn consumes_reference(self) -> bool {
-        matches!(self, CigarKind::Match | CigarKind::Del | CigarKind::Skip | CigarKind::Eq | CigarKind::Diff)
+        matches!(
+            self,
+            CigarKind::Match | CigarKind::Del | CigarKind::Skip | CigarKind::Eq | CigarKind::Diff
+        )
     }
 }
 

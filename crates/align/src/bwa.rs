@@ -12,8 +12,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use persona_agd::results::{flags, AlignmentResult};
-use persona_index::fm::{FmIndex, Interval};
 use persona_index::bwt::base_code;
+use persona_index::fm::{FmIndex, Interval};
 use persona_seq::dna::revcomp;
 use persona_seq::Genome;
 
@@ -229,18 +229,19 @@ impl Aligner for BwaMemAligner {
         prof.verify_time += total.mul_f64(1.0 - frac_seed);
 
         all.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.location.cmp(&b.1.location)));
-        let min_score =
-            (bases.len() as f64 * self.params.scoring.match_score as f64 * self.params.min_score_frac)
-                as i32;
+        let min_score = (bases.len() as f64
+            * self.params.scoring.match_score as f64
+            * self.params.min_score_frac) as i32;
         let Some(&(best_score, ref best)) = all.first() else {
             return AlignmentResult::unmapped();
         };
         if best_score < min_score {
             return AlignmentResult::unmapped();
         }
-        let ties = all.iter().filter(|(s, r)| *s == best_score && r.location != best.location).count()
-            as u32
-            + 1;
+        let ties =
+            all.iter().filter(|(s, r)| *s == best_score && r.location != best.location).count()
+                as u32
+                + 1;
         let second = all
             .iter()
             .find(|(s, r)| *s < best_score || r.location != best.location)

@@ -114,10 +114,12 @@ pub fn landau_vishkin(text: &[u8], pattern: &[u8], max_k: u32) -> Option<u32> {
 /// for tests; the pattern must be fully consumed, text consumed freely).
 pub fn edit_distance_dp(text: &[u8], pattern: &[u8]) -> u32 {
     let n = pattern.len();
-    let m = text.len().min(n + n); // Cap text window for semi-global.
+    // Cap text window for semi-global.
+    let m = text.len().min(n + n);
     // dp[j] over text prefix for current pattern row; semi-global means
     // cost of unused text suffix is free (take min over final row).
-    let mut prev: Vec<u32> = (0..=m as u32).collect(); // Row for empty pattern: deleting text costs? No: semi-global start anchored at text[0].
+    // Row for empty pattern: semi-global start anchored at text[0].
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
     let mut cur = vec![0u32; m + 1];
     // Anchored start: aligning pattern[0..i] against text[0..j].
     // prev[j] for i=0: j deletions of text = j (we must consume text

@@ -91,12 +91,7 @@ mod tests {
         for best in 0..10 {
             for second in best..12 {
                 for ties in 1..5 {
-                    let q = mapq(MapqInput {
-                        best,
-                        second_best: Some(second),
-                        ties,
-                        max_k: 10,
-                    });
+                    let q = mapq(MapqInput { best, second_best: Some(second), ties, max_k: 10 });
                     assert!(q <= 60);
                 }
             }

@@ -80,11 +80,7 @@ pub fn infer_insert_stats(
 
 /// Stamps pair flags, mate locations and template length onto two mate
 /// results, classifying proper pairs against `stats`.
-pub fn pair_results(
-    r1: &mut AlignmentResult,
-    r2: &mut AlignmentResult,
-    stats: &InsertStats,
-) {
+pub fn pair_results(r1: &mut AlignmentResult, r2: &mut AlignmentResult, stats: &InsertStats) {
     r1.flags |= flags::PAIRED | flags::FIRST_IN_PAIR;
     r2.flags |= flags::PAIRED | flags::SECOND_IN_PAIR;
     if r2.is_unmapped() {

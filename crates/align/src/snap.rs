@@ -45,7 +45,13 @@ pub struct SnapParams {
 
 impl Default for SnapParams {
     fn default() -> Self {
-        SnapParams { max_seeds: 10, max_k: 12, max_candidates: 24, max_hits_per_seed: 200, margin: 3 }
+        SnapParams {
+            max_seeds: 10,
+            max_k: 12,
+            max_candidates: 24,
+            max_hits_per_seed: 200,
+            margin: 3,
+        }
     }
 }
 
@@ -193,9 +199,7 @@ impl Aligner for SnapAligner {
         let text = self.ref_window(loc, window_len).expect("winning window vanished");
         let pattern: &[u8] = if reverse { &rc } else { bases };
         let band = (dist.max(1) as usize) + 1;
-        let cigar = banded_global_cigar(text, pattern, band)
-            .map(|(_, c)| c)
-            .unwrap_or_default();
+        let cigar = banded_global_cigar(text, pattern, band).map(|(_, c)| c).unwrap_or_default();
 
         let q = mapq(MapqInput { best: dist, second_best: second, ties, max_k: p.max_k });
         AlignmentResult {
@@ -250,7 +254,10 @@ mod tests {
                 ambiguous += 1;
             }
         }
-        assert!(correct + ambiguous >= n * 97 / 100, "{correct} correct + {ambiguous} ambiguous of {n}");
+        assert!(
+            correct + ambiguous >= n * 97 / 100,
+            "{correct} correct + {ambiguous} ambiguous of {n}"
+        );
         assert!(correct >= n * 90 / 100, "only {correct}/{n} correct");
     }
 

@@ -52,7 +52,10 @@ impl LocalAlignment {
         }
         out.extend_from_slice(&self.cigar);
         if self.query_end < query_len {
-            out.push(CigarOp { kind: CigarKind::SoftClip, len: (query_len - self.query_end) as u32 });
+            out.push(CigarOp {
+                kind: CigarKind::SoftClip,
+                len: (query_len - self.query_end) as u32,
+            });
         }
         out
     }
@@ -159,14 +162,7 @@ pub fn smith_waterman(reference: &[u8], query: &[u8], sc: Scoring) -> LocalAlign
         }
     }
     ops_rev.reverse();
-    LocalAlignment {
-        score: best,
-        ref_start: i,
-        ref_end,
-        query_start: j,
-        query_end,
-        cigar: ops_rev,
-    }
+    LocalAlignment { score: best, ref_start: i, ref_end, query_start: j, query_end, cigar: ops_rev }
 }
 
 /// Banded *global* alignment of `query` against a window of `reference`,

@@ -5,10 +5,7 @@ use persona_align::sw::{banded_global_cigar, smith_waterman, Scoring};
 use proptest::prelude::*;
 
 fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(
-        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
-        len,
-    )
+    proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], len)
 }
 
 proptest! {

@@ -52,12 +52,8 @@ fn signature(rec: &SamRecord) -> Option<(u32, i64, bool, i64)> {
         .filter(|op| op.kind == CigarKind::SoftClip)
         .map(|op| op.len as i64)
         .unwrap_or(0);
-    let span: i64 = rec
-        .cigar
-        .iter()
-        .filter(|op| op.kind.consumes_reference())
-        .map(|op| op.len as i64)
-        .sum();
+    let span: i64 =
+        rec.cigar.iter().filter(|op| op.kind.consumes_reference()).map(|op| op.len as i64).sum();
     let reverse = rec.flag & flags::REVERSE != 0;
     let pos = if reverse { rec.pos + span + trailing } else { rec.pos - leading };
     let mate = if rec.flag & flags::PAIRED != 0 { rec.pnext } else { -2 };
@@ -117,7 +113,7 @@ mod tests {
             "@HD\tVN:1.6\n{}\n{}\n{}\n{}\n",
             sam_line("a", 0, 101, "10M"),
             sam_line("b", 0, 201, "10M"),
-            sam_line("c", 0, 101, "10M"), // Dup of a.
+            sam_line("c", 0, 101, "10M"),  // Dup of a.
             sam_line("d", 16, 101, "10M"), // Reverse: not a dup of a.
         );
         let (out, report) = mark_duplicates_sam(sam.as_bytes(), &refs).unwrap();

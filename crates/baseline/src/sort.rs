@@ -159,10 +159,10 @@ mod tests {
     fn assert_sorted(bam: &[u8], expect_n: usize) {
         let file = read_bam(bam).unwrap();
         assert_eq!(file.records.len(), expect_n);
-        assert!(file
-            .records
-            .windows(2)
-            .all(|w| key_of(&w[0]) <= key_of(&w[1])), "not coordinate sorted");
+        assert!(
+            file.records.windows(2).all(|w| key_of(&w[0]) <= key_of(&w[1])),
+            "not coordinate sorted"
+        );
     }
 
     #[test]

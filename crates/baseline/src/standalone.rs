@@ -101,8 +101,13 @@ pub fn run_standalone(
                 for read in &reads[lo..hi] {
                     let result = aligner.align_read(&read.bases, &read.quals);
                     bases.fetch_add(read.bases.len() as u64, Ordering::Relaxed);
-                    let rec =
-                        SamRecord::from_result(&refs, &read.meta, &read.bases, &read.quals, &result);
+                    let rec = SamRecord::from_result(
+                        &refs,
+                        &read.meta,
+                        &read.bases,
+                        &read.quals,
+                        &result,
+                    );
                     sam.extend_from_slice(&rec.to_line(&refs));
                     sam.push(b'\n');
                 }
@@ -129,11 +134,7 @@ pub fn run_standalone(
 }
 
 /// Writes a gzipped-FASTQ object for standalone input (test/bench prep).
-pub fn write_gzipped_fastq(
-    store: &dyn ChunkStore,
-    object: &str,
-    reads: &[Read],
-) -> Result<u64> {
+pub fn write_gzipped_fastq(store: &dyn ChunkStore, object: &str, reads: &[Read]) -> Result<u64> {
     let mut raw = Vec::new();
     for r in reads {
         fastq::write_record(&mut raw, r)?;
@@ -150,11 +151,8 @@ pub fn write_gzipped_fastq(
 /// Collects the SAM text a standalone run produced (concatenating the
 /// streamed segments in order).
 pub fn collect_sam_output(store: &dyn ChunkStore, output_object: &str) -> Result<Vec<u8>> {
-    let mut names: Vec<String> = store
-        .list()?
-        .into_iter()
-        .filter(|n| n.starts_with(&format!("{output_object}.")))
-        .collect();
+    let mut names: Vec<String> =
+        store.list()?.into_iter().filter(|n| n.starts_with(&format!("{output_object}."))).collect();
     names.sort();
     let mut out = Vec::new();
     for n in names {
@@ -181,8 +179,8 @@ pub fn sam_header(reference: &[(String, u64)]) -> Vec<u8> {
 mod tests {
     use super::*;
     use persona_agd::chunk_io::MemStore;
-    use persona_index::SeedIndex;
     use persona_align::snap::{SnapAligner, SnapParams};
+    use persona_index::SeedIndex;
     use persona_seq::read::Origin;
     use persona_seq::simulate::{ReadSimulator, SimParams};
     use persona_seq::Genome;

@@ -10,7 +10,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use persona_agd::chunk::{ChunkData, RecordType};
 use persona_align::edit::landau_vishkin;
 use persona_align::sw::{smith_waterman, Scoring};
-use persona_align::Aligner;
 use persona_bench::World;
 use persona_compress::codec::Codec;
 use persona_dataflow::{Executor, ObjectPool, QueueHandle};
@@ -88,7 +87,8 @@ fn bench_chunks(c: &mut Criterion) {
         world.reads.iter().map(|r| r.bases.as_slice()),
     )
     .unwrap();
-    let encoded = chunk.encode(Codec::Gzip, persona_compress::deflate::CompressLevel::Fast).unwrap();
+    let encoded =
+        chunk.encode(Codec::Gzip, persona_compress::deflate::CompressLevel::Fast).unwrap();
     let mut g = c.benchmark_group("agd_chunks");
     g.measurement_time(Duration::from_secs(3));
     g.sample_size(10);
@@ -133,9 +133,11 @@ fn bench_framework(c: &mut Criterion) {
     g.bench_function("executor_batch_of_16", |b| {
         b.iter(|| {
             let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
-                .map(|i| Box::new(move || {
-                    std::hint::black_box(i * 2);
-                }) as Box<dyn FnOnce() + Send>)
+                .map(|i| {
+                    Box::new(move || {
+                        std::hint::black_box(i * 2);
+                    }) as Box<dyn FnOnce() + Send>
+                })
                 .collect();
             ex.submit_batch(tasks).wait();
         })
@@ -143,5 +145,12 @@ fn bench_framework(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_aligners, bench_kernels, bench_codecs, bench_chunks, bench_framework);
+criterion_group!(
+    benches,
+    bench_aligners,
+    bench_kernels,
+    bench_codecs,
+    bench_chunks,
+    bench_framework
+);
 criterion_main!(benches);

@@ -83,9 +83,7 @@ fn bench_sort_and_dupmark(c: &mut Criterion) {
                 .unwrap()
         })
     });
-    g.bench_function("mark_duplicates", |b| {
-        b.iter(|| mark_duplicates(&store, &manifest).unwrap())
-    });
+    g.bench_function("mark_duplicates", |b| b.iter(|| mark_duplicates(&store, &manifest).unwrap()));
     g.finish();
 }
 
@@ -126,16 +124,12 @@ fn bench_codec_ablation(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(chunk.data.len() as u64));
     for codec in [Codec::None, Codec::Gzip, Codec::Range] {
-        let size = chunk
-            .encode(codec, persona_compress::deflate::CompressLevel::Default)
-            .unwrap()
-            .len();
+        let size =
+            chunk.encode(codec, persona_compress::deflate::CompressLevel::Default).unwrap().len();
         g.bench_function(BenchmarkId::new(codec.name(), format!("{size}B")), |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    chunk
-                        .encode(codec, persona_compress::deflate::CompressLevel::Default)
-                        .unwrap(),
+                    chunk.encode(codec, persona_compress::deflate::CompressLevel::Default).unwrap(),
                 )
             })
         });

@@ -26,8 +26,10 @@ fn main() {
         // Persona run with utilization sampling.
         let disk_store = Arc::new(WritebackDisk::new(MemStore::new(), disk, 48 << 20));
         world.write_agd(disk_store.as_ref(), "ds", 2_000);
-        let manifest =
-            persona_agd::dataset::Dataset::open(disk_store.as_ref(), "ds").unwrap().manifest().clone();
+        let manifest = persona_agd::dataset::Dataset::open(disk_store.as_ref(), "ds")
+            .unwrap()
+            .manifest()
+            .clone();
         let dyn_store: Arc<dyn ChunkStore> = disk_store.clone();
         let config = PersonaConfig { sample_ms: 100, ..PersonaConfig::default() };
         let report = align_dataset(AlignInputs {
@@ -60,8 +62,9 @@ fn main() {
         let dyn_store: Arc<dyn ChunkStore> = disk_store.clone();
         let threads = PersonaConfig::default().compute_threads;
         let t0 = Instant::now();
-        let rep = run_standalone(&dyn_store, "in.gz", "out.sam", &world.reference, &aligner, threads)
-            .unwrap();
+        let rep =
+            run_standalone(&dyn_store, "in.gz", "out.sam", &world.reference, &aligner, threads)
+                .unwrap();
         disk_store.sync();
         let wall = t0.elapsed().as_secs_f64();
         // Compute-only reference: the same alignment with no I/O at all.
@@ -78,6 +81,10 @@ fn main() {
         println!(
             "  (paper Fig. 5a: SNAP shows cyclical writeback stalls on a single disk; 5b: both ~100% on RAID0)"
         );
-        println!("  I/O: read {:.1} MB, wrote {:.1} MB (SAM)", rep.input_bytes as f64 / 1e6, rep.output_bytes as f64 / 1e6);
+        println!(
+            "  I/O: read {:.1} MB, wrote {:.1} MB (SAM)",
+            rep.input_bytes as f64 / 1e6,
+            rep.output_bytes as f64 / 1e6
+        );
     }
 }

@@ -44,13 +44,9 @@ fn measure_persona(world: &World, aligner: &Arc<dyn Aligner>, threads: usize) ->
         aligner_kernels: threads.min(4).max(1),
         ..PersonaConfig::default()
     };
-    let report = align_dataset(AlignInputs {
-        store,
-        manifest: &manifest,
-        aligner: aligner.clone(),
-        config,
-    })
-    .unwrap();
+    let report =
+        align_dataset(AlignInputs { store, manifest: &manifest, aligner: aligner.clone(), config })
+            .unwrap();
     report.mbases_per_sec()
 }
 

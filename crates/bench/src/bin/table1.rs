@@ -64,8 +64,10 @@ fn main() {
         let disk_store = Arc::new(WritebackDisk::new(MemStore::new(), disk, 64 << 20));
         world.write_agd(disk_store.as_ref(), "ds", 2_000);
         let dyn_store: Arc<dyn ChunkStore> = disk_store.clone();
-        let manifest =
-            persona_agd::dataset::Dataset::open(disk_store.as_ref(), "ds").unwrap().manifest().clone();
+        let manifest = persona_agd::dataset::Dataset::open(disk_store.as_ref(), "ds")
+            .unwrap()
+            .manifest()
+            .clone();
         let stats_before = disk_store.stats().snapshot();
         let t0 = Instant::now();
         align_dataset(AlignInputs {

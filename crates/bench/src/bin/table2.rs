@@ -49,9 +49,7 @@ fn main() {
     assert_eq!(rep2.records, manifest.total_records);
 
     // samtools w/ conversion: SAM → BAM first.
-    let refs = persona_formats::sam::RefMap::new(
-        &manifest.reference,
-    );
+    let refs = persona_formats::sam::RefMap::new(&manifest.reference);
     let t0 = Instant::now();
     let converted = sam_to_bam(&sam, &refs).unwrap();
     let (_out, _) = samtools_sort(&converted, threads).unwrap();
@@ -70,5 +68,7 @@ fn main() {
     println!("Samtools\t{samtools_s:.2}\t{:.2}x\t1.54x", samtools_s / persona_s);
     println!("Samtools w/ conversion\t{conversion_s:.2}\t{:.2}x\t2.32x", conversion_s / persona_s);
     println!("Picard\t{picard_s:.2}\t{:.2}x\t5.15x", picard_s / persona_s);
-    println!("\npaper absolute: Persona 556 s, Samtools 856 s, w/ conversion 1289 s, Picard 2866 s");
+    println!(
+        "\npaper absolute: Persona 556 s, Samtools 856 s, w/ conversion 1289 s, Picard 2866 s"
+    );
 }

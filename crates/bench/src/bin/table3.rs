@@ -8,9 +8,22 @@ use persona_cluster::tco::{paper_table3, ClusterCosts, StorageEconomics};
 
 fn main() {
     let c = ClusterCosts::paper();
-    print_header("Table 3: Cluster TCO and alignment costs", &["item", "unit cost", "units", "total"]);
-    println!("Compute Server\t${:.0}\t{}\t${:.0}K", c.compute_unit, c.compute_units, c.compute_total() / 1e3);
-    println!("Storage server\t${:.0}\t{}\t${:.0}K", c.storage_unit, c.storage_units, c.storage_total() / 1e3);
+    print_header(
+        "Table 3: Cluster TCO and alignment costs",
+        &["item", "unit cost", "units", "total"],
+    );
+    println!(
+        "Compute Server\t${:.0}\t{}\t${:.0}K",
+        c.compute_unit,
+        c.compute_units,
+        c.compute_total() / 1e3
+    );
+    println!(
+        "Storage server\t${:.0}\t{}\t${:.0}K",
+        c.storage_unit,
+        c.storage_units,
+        c.storage_total() / 1e3
+    );
     println!("Fabric ports\t${:.0}\t{}\t${:.0}K", c.port_unit, c.ports, c.fabric_total() / 1e3);
     println!("Total\t\t\t${:.0}K   (paper: $613K)", c.capital_total() / 1e3);
     println!("TCO (5yr)\t\t\t${:.0}K   (paper: $943K)", c.tco_5yr() / 1e3);
@@ -23,10 +36,7 @@ fn main() {
     print_header("§6.1: storage economics", &["metric", "value", "paper"]);
     println!("usable capacity\t{:.0} TB\t126 TB", s.usable_tb);
     println!("genomes held (1 day of sequencing)\t{:.0}\t~6,000", s.genomes_capacity());
-    println!(
-        "hot storage $/genome\t${:.2}\t$8.83",
-        s.hot_cost_per_genome(c.storage_total())
-    );
+    println!("hot storage $/genome\t${:.2}\t$8.83", s.hot_cost_per_genome(c.storage_total()));
     println!("Glacier 5-yr $/genome\t${:.2}\t$6.72", s.cold_cost_per_genome(5.0));
     println!(
         "\nstorage dominates: ${:.2}/genome stored vs {:.1}¢/alignment computed",

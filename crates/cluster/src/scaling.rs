@@ -128,7 +128,11 @@ mod tests {
     fn node_scaling_is_monotone_then_flat() {
         let points = node_scaling(&[1, 8, 16, 32, 60, 100]);
         for w in points.windows(2) {
-            assert!(w[1].gbases_per_sec >= w[0].gbases_per_sec * 0.98, "regression at {} nodes", w[1].nodes);
+            assert!(
+                w[1].gbases_per_sec >= w[0].gbases_per_sec * 0.98,
+                "regression at {} nodes",
+                w[1].nodes
+            );
         }
         let p32 = points.iter().find(|p| p.nodes == 32).unwrap();
         let p100 = points.iter().find(|p| p.nodes == 100).unwrap();

@@ -172,7 +172,8 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         let mut w = BitWriter::new();
-        let values = [(0b1u32, 1u32), (0b10, 2), (0b101, 3), (0x7F, 7), (0xFFFF, 16), (0, 5), (1, 1)];
+        let values =
+            [(0b1u32, 1u32), (0b10, 2), (0b101, 3), (0x7F, 7), (0xFFFF, 16), (0, 5), (1, 1)];
         for &(v, n) in &values {
             w.write_bits(v, n);
         }

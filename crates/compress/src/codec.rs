@@ -113,7 +113,8 @@ mod tests {
 
     #[test]
     fn all_codecs_roundtrip_data() {
-        let data = b"AGCTTTTCATTCTGACTGCAACGGGCAATATGTCTCTGTGTGGATTAAAAAAAGAGTGTCTGATAGCAGC".repeat(20);
+        let data =
+            b"AGCTTTTCATTCTGACTGCAACGGGCAATATGTCTCTGTGTGGATTAAAAAAAGAGTGTCTGATAGCAGC".repeat(20);
         for codec in [Codec::None, Codec::Gzip, Codec::Range] {
             let packed = codec.compress(&data);
             assert_eq!(codec.decompress(&packed).unwrap(), data, "{codec}");

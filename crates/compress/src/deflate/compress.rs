@@ -213,10 +213,7 @@ fn emit_tokens(w: &mut BitWriter, tokens: &[Token], lit: &Encoder, dist: &Encode
 /// §3.2.7. Returns (tokens of (symbol, extra_value, extra_bits), code
 /// lengths for the code-length alphabet, HCLEN count).
 #[allow(clippy::type_complexity)]
-fn code_length_encoding(
-    lit_lens: &[u8],
-    dist_lens: &[u8],
-) -> (Vec<(u8, u8, u8)>, Vec<u8>, usize) {
+fn code_length_encoding(lit_lens: &[u8], dist_lens: &[u8]) -> (Vec<(u8, u8, u8)>, Vec<u8>, usize) {
     // HLIT/HDIST are fixed at the full alphabet sizes; trailing zeros
     // compress to almost nothing through symbol 18 anyway.
     let mut all: Vec<u8> = Vec::with_capacity(NUM_LITLEN + NUM_DIST);

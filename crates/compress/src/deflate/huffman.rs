@@ -39,7 +39,12 @@ impl Decoder {
         }
         let nonempty = (counts[0] as usize) < lengths.len();
         if !nonempty {
-            return Ok(Decoder { fast: vec![0; 1 << FAST_BITS], counts, symbols: Vec::new(), nonempty });
+            return Ok(Decoder {
+                fast: vec![0; 1 << FAST_BITS],
+                counts,
+                symbols: Vec::new(),
+                nonempty,
+            });
         }
 
         // Check for an over-subscribed code.
@@ -227,8 +232,8 @@ pub fn limited_code_lengths(freqs: &[u64], max_len: usize) -> Vec<u8> {
         let mut merged = Vec::with_capacity(leaves.len() + packages.len());
         let (mut a, mut b) = (0usize, 0usize);
         while a < leaves.len() || b < packages.len() {
-            let take_leaf = b >= packages.len()
-                || (a < leaves.len() && leaves[a].weight <= packages[b].weight);
+            let take_leaf =
+                b >= packages.len() || (a < leaves.len() && leaves[a].weight <= packages[b].weight);
             if take_leaf {
                 merged.push(leaves[a].clone());
                 a += 1;
@@ -355,8 +360,7 @@ mod tests {
         for limit in [5usize, 7, 15] {
             let lens = limited_code_lengths(&freqs, limit);
             assert!(lens.iter().all(|&l| (l as usize) <= limit));
-            let kraft: f64 =
-                lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+            let kraft: f64 = lens.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
             assert!(kraft <= 1.0 + 1e-9, "limit {limit}: kraft {kraft}");
         }
     }

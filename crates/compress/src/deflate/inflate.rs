@@ -89,15 +89,13 @@ fn inflate_block(
             256 => return Ok(()),
             257..=285 => {
                 let idx = (sym - 257) as usize;
-                let len =
-                    LENGTH_BASE[idx] as usize + r.bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                let len = LENGTH_BASE[idx] as usize + r.bits(LENGTH_EXTRA[idx] as u32)? as usize;
                 let dsym = dist.decode(r)?;
                 if dsym as usize >= DIST_BASE.len() {
                     return Err(Error::Corrupt("invalid distance symbol"));
                 }
                 let didx = dsym as usize;
-                let distance =
-                    DIST_BASE[didx] as usize + r.bits(DIST_EXTRA[didx] as u32)? as usize;
+                let distance = DIST_BASE[didx] as usize + r.bits(DIST_EXTRA[didx] as u32)? as usize;
                 if distance > out.len() {
                     return Err(Error::Corrupt("match distance before start of output"));
                 }

@@ -271,7 +271,8 @@ mod tests {
         roundtrip(b"abc", 6);
         roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaaaa", 6);
         roundtrip(b"abcabcabcabcabcabcabc", 6);
-        let mixed: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let mixed: Vec<u8> =
+            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
         roundtrip(&mixed, 1);
         roundtrip(&mixed, 6);
         roundtrip(&mixed, 9);

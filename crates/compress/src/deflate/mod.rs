@@ -35,9 +35,8 @@ pub const LENGTH_BASE: [u16; 29] = [
 ];
 
 /// Extra bits for each length code 257..=285.
-pub const LENGTH_EXTRA: [u8; 29] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
-];
+pub const LENGTH_EXTRA: [u8; 29] =
+    [0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0];
 
 /// Base distance for each distance code 0..=29.
 pub const DIST_BASE: [u16; 30] = [
@@ -52,7 +51,8 @@ pub const DIST_EXTRA: [u8; 30] = [
 ];
 
 /// Transmission order of code lengths for the code-length alphabet.
-pub const CLEN_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+pub const CLEN_ORDER: [usize; 19] =
+    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
 
 /// Maps a match length (3..=258) to its length code index (0..=28).
 #[inline]

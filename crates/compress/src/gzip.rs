@@ -93,10 +93,7 @@ pub fn decompress_member(data: &[u8]) -> Result<Member> {
     }
     for flag in [FNAME, FCOMMENT] {
         if flg & flag != 0 {
-            let nul = data[pos..]
-                .iter()
-                .position(|&b| b == 0)
-                .ok_or(Error::UnexpectedEof)?;
+            let nul = data[pos..].iter().position(|&b| b == 0).ok_or(Error::UnexpectedEof)?;
             pos += nul + 1;
         }
     }
@@ -172,7 +169,8 @@ mod tests {
 
     #[test]
     fn extra_field_roundtrip() {
-        let packed = compress_with_extra(b"payload", CompressLevel::Default, Some(b"BC\x02\x00\x99\x00"));
+        let packed =
+            compress_with_extra(b"payload", CompressLevel::Default, Some(b"BC\x02\x00\x99\x00"));
         let member = decompress_member(&packed).unwrap();
         assert_eq!(member.data, b"payload");
         assert_eq!(member.extra.as_deref(), Some(&b"BC\x02\x00\x99\x00"[..]));

@@ -20,12 +20,12 @@ use persona_agd::chunk_io::ChunkStore;
 use persona_agd::columns;
 use persona_agd::manifest::Manifest;
 use persona_agd::results::AlignmentResult;
+use persona_align::profile::PhaseProfile;
+use persona_align::Aligner;
 use persona_compress::codec::Codec;
 use persona_compress::deflate::CompressLevel;
 use persona_dataflow::graph::{GraphBuilder, RunReport};
 use persona_dataflow::Executor;
-use persona_align::profile::PhaseProfile;
-use persona_align::Aligner;
 
 use crate::config::PersonaConfig;
 use crate::manifest_server::{ChunkTask, ManifestServer};
@@ -121,7 +121,8 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
 
     let q_raw = g.queue::<RawChunk>("raw-chunks", cfg.capacity_for(cfg.parser_parallelism));
     let q_parsed = g.queue::<ParsedChunk>("parsed-chunks", cfg.capacity_for(cfg.aligner_kernels));
-    let q_results = g.queue::<ResultChunk>("result-chunks", cfg.capacity_for(cfg.writer_parallelism));
+    let q_results =
+        g.queue::<ResultChunk>("result-chunks", cfg.capacity_for(cfg.writer_parallelism));
 
     // Input subgraph: readers fetch chunk names from the manifest server
     // and pull the two needed column objects from storage.
@@ -222,8 +223,7 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
                 for (_, part) in parts {
                     results.extend(part);
                 }
-                let total_bases: u64 =
-                    (0..n).map(|i| parsed.bases.record(i).len() as u64).sum();
+                let total_bases: u64 = (0..n).map(|i| parsed.bases.record(i).len() as u64).sum();
                 reads_ctr.fetch_add(n as u64, Ordering::Relaxed);
                 bases_ctr.fetch_add(total_bases, Ordering::Relaxed);
                 mapped_ctr.fetch_add(
@@ -244,8 +244,7 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
         let chunks_ctr = chunks_ctr.clone();
         g.node("writer", cfg.writer_parallelism, [], move |ctx| {
             while let Some(chunk) = ctx.pop(&qi) {
-                let encoded: Vec<Vec<u8>> =
-                    chunk.results.iter().map(|r| r.encode()).collect();
+                let encoded: Vec<Vec<u8>> = chunk.results.iter().map(|r| r.encode()).collect();
                 let data = ChunkData::from_records(
                     RecordType::Results,
                     encoded.iter().map(|r| r.as_slice()),
@@ -287,10 +286,7 @@ pub fn finalize_manifest(
 ) -> Result<()> {
     manifest.add_column(columns::RESULTS, Codec::Gzip)?;
     persona_formats::convert::set_reference(manifest, reference);
-    store.put(
-        &format!("{}.manifest.json", manifest.name),
-        manifest.to_json()?.as_bytes(),
-    )?;
+    store.put(&format!("{}.manifest.json", manifest.name), manifest.to_json()?.as_bytes())?;
     Ok(())
 }
 
@@ -300,8 +296,8 @@ mod tests {
     use persona_agd::builder::DatasetWriter;
     use persona_agd::chunk_io::MemStore;
     use persona_agd::dataset::Dataset;
-    use persona_index::SeedIndex;
     use persona_align::snap::{SnapAligner, SnapParams};
+    use persona_index::SeedIndex;
     use persona_seq::read::Origin;
     use persona_seq::simulate::{ReadSimulator, SimParams};
     use persona_seq::Genome;

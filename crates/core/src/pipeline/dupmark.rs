@@ -72,10 +72,7 @@ fn signature(r: &AlignmentResult) -> Option<(i64, bool, i64)> {
 
 /// Marks duplicates in a dataset's `results` column, rewriting the
 /// column chunks in place (no other column is touched).
-pub fn mark_duplicates(
-    store: &Arc<dyn ChunkStore>,
-    manifest: &Manifest,
-) -> Result<DupmarkReport> {
+pub fn mark_duplicates(store: &Arc<dyn ChunkStore>, manifest: &Manifest) -> Result<DupmarkReport> {
     let started = Instant::now();
     let mut seen: HashSet<(i64, bool, i64)> = HashSet::new();
     let mut reads = 0u64;
@@ -102,10 +99,8 @@ pub fn mark_duplicates(
         }
         if changed {
             let encoded: Vec<Vec<u8>> = results.iter().map(|r| r.encode()).collect();
-            let data = ChunkData::from_records(
-                RecordType::Results,
-                encoded.iter().map(|r| r.as_slice()),
-            )?;
+            let data =
+                ChunkData::from_records(RecordType::Results, encoded.iter().map(|r| r.as_slice()))?;
             store.put(&name, &data.encode(Codec::Gzip, CompressLevel::Fast)?)?;
         }
     }

@@ -76,17 +76,19 @@ pub fn export_sam(
         let qf = q_formatted.clone();
         g.node("formatter", formatters, [q_formatted.produces()], move |ctx| {
             while let Some(task) = server.fetch() {
-                let load = |col: &str| -> std::result::Result<persona_agd::chunk::ChunkData, String> {
-                    let raw = ctx_get(&*store, &task.stem, col)?;
-                    persona_agd::chunk::ChunkData::decode(&raw).map_err(|e| e.to_string())
-                };
+                let load =
+                    |col: &str| -> std::result::Result<persona_agd::chunk::ChunkData, String> {
+                        let raw = ctx_get(&*store, &task.stem, col)?;
+                        persona_agd::chunk::ChunkData::decode(&raw).map_err(|e| e.to_string())
+                    };
                 let meta = load(columns::METADATA)?;
                 let bases = load(columns::BASES)?;
                 let quals = load(columns::QUAL)?;
                 let results = load(columns::RESULTS)?;
                 let mut text = Vec::with_capacity(bases.data.len() * 3);
                 for i in 0..meta.len() {
-                    let r = AlignmentResult::decode(results.record(i)).map_err(|e| e.to_string())?;
+                    let r =
+                        AlignmentResult::decode(results.record(i)).map_err(|e| e.to_string())?;
                     let rec = SamRecord::from_result(
                         &refs,
                         meta.record(i),
@@ -121,7 +123,8 @@ pub fn export_sam(
             while let Some(chunk) = ctx.pop(&qf) {
                 pending.insert(chunk.idx, chunk);
                 while let Some(c) = pending.remove(&next) {
-                    bytes_total.fetch_add(c.text.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                    bytes_total
+                        .fetch_add(c.text.len() as u64, std::sync::atomic::Ordering::Relaxed);
                     records_total.fetch_add(c.records, std::sync::atomic::Ordering::Relaxed);
                     writer_out.lock().buf.extend_from_slice(&c.text);
                     ctx.add_items(1);
@@ -157,11 +160,7 @@ pub fn export_bam(
     let ds = persona_agd::dataset::Dataset::new(manifest.clone());
     let mut counting = CountingWriter { inner: out, written: 0 };
     let n = persona_formats::convert::agd_to_bam(&ds, store.as_ref(), &mut counting, level)?;
-    Ok(ExportReport {
-        elapsed: started.elapsed(),
-        records: n,
-        output_bytes: counting.written,
-    })
+    Ok(ExportReport { elapsed: started.elapsed(), records: n, output_bytes: counting.written })
 }
 
 struct OutSink {
@@ -241,8 +240,7 @@ mod tests {
     fn sam_export_is_ordered_and_complete() {
         let (store, manifest) = world(200, 32);
         let mut out = Vec::new();
-        let report =
-            export_sam(&store, &manifest, &mut out, &PersonaConfig::small()).unwrap();
+        let report = export_sam(&store, &manifest, &mut out, &PersonaConfig::small()).unwrap();
         assert_eq!(report.records, 200);
         let text = String::from_utf8(out).unwrap();
         let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('@')).collect();

@@ -138,11 +138,17 @@ pub fn import_fastq(
         g.node("encoder", encoders, [q_encoded.produces()], move |ctx| {
             while let Some(batch) = ctx.pop(&qi) {
                 let n = batch.reads.len() as u32;
-                let enc = |rt: RecordType, col: &str, get: &dyn Fn(&Read) -> &[u8]| -> std::result::Result<Vec<u8>, String> {
+                let enc = |rt: RecordType,
+                           col: &str,
+                           get: &dyn Fn(&Read) -> &[u8]|
+                 -> std::result::Result<Vec<u8>, String> {
                     let chunk = ChunkData::from_records(rt, batch.reads.iter().map(get))
                         .map_err(|e| e.to_string())?;
                     chunk
-                        .encode(m.column_codec(col).map_err(|e| e.to_string())?, CompressLevel::Fast)
+                        .encode(
+                            m.column_codec(col).map_err(|e| e.to_string())?,
+                            CompressLevel::Fast,
+                        )
                         .map_err(|e| e.to_string())
                 };
                 let bases_obj = enc(RecordType::CompactBases, columns::BASES, &|r| &r.bases)?;
@@ -229,14 +235,9 @@ mod tests {
     fn imports_and_preserves_order() {
         let (bytes, reads) = fastq_bytes(300);
         let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
-        let (manifest, report) = import_fastq(
-            std::io::Cursor::new(bytes),
-            &store,
-            "imp",
-            64,
-            &PersonaConfig::small(),
-        )
-        .unwrap();
+        let (manifest, report) =
+            import_fastq(std::io::Cursor::new(bytes), &store, "imp", 64, &PersonaConfig::small())
+                .unwrap();
         assert_eq!(report.reads, 300);
         assert_eq!(report.chunks, 5);
         assert_eq!(manifest.total_records, 300);

@@ -156,7 +156,13 @@ pub fn sort_dataset(
 
 impl Default for Run {
     fn default() -> Self {
-        Run { keys: Vec::new(), meta: Vec::new(), bases: Vec::new(), quals: Vec::new(), results: Vec::new() }
+        Run {
+            keys: Vec::new(),
+            meta: Vec::new(),
+            bases: Vec::new(),
+            quals: Vec::new(),
+            results: Vec::new(),
+        }
     }
 }
 
@@ -318,7 +324,8 @@ fn write_sorted_dataset(
                             rt,
                             records[lo..hi].iter().map(|r| r.as_slice()),
                         )?;
-                        let obj = data.encode(manifest_codec(&manifest, col)?, CompressLevel::Fast)?;
+                        let obj =
+                            data.encode(manifest_codec(&manifest, col)?, CompressLevel::Fast)?;
                         store.put(&Manifest::chunk_object_name(&stem, col), &obj)?;
                         Ok(())
                     };
@@ -372,7 +379,7 @@ mod tests {
         let mut w = DatasetWriter::new("u", chunk).unwrap();
         // Locations are a deterministic shuffle of 0..n.
         let locs: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % n as u64).collect();
-        for (i, &loc) in locs.iter().enumerate() {
+        for i in 0..locs.len() {
             let meta = format!("read-{:06}", (n - i) % n);
             let bases: Vec<u8> = (0..24).map(|j| b"ACGT"[(i + j) % 4]).collect();
             w.append(store.as_ref(), meta.as_bytes(), &bases, &vec![b'F'; 24]).unwrap();

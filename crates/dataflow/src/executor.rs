@@ -186,10 +186,7 @@ fn worker_loop(shared: Arc<ExecShared>) {
         let (task, latch) = task;
         let start = Instant::now();
         task();
-        shared
-            .counters
-            .busy_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.counters.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.counters.items.fetch_add(1, Ordering::Relaxed);
         latch.count_down();
     }

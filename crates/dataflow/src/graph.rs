@@ -70,7 +70,9 @@ impl NodeCtx {
         let start = self.mark_busy();
         let r = f();
         let now = Instant::now();
-        self.counters.wait_ns.fetch_add(now.duration_since(start).as_nanos() as u64, Ordering::Relaxed);
+        self.counters
+            .wait_ns
+            .fetch_add(now.duration_since(start).as_nanos() as u64, Ordering::Relaxed);
         self.last_event = now;
         r
     }
@@ -318,9 +320,7 @@ impl GraphBuilder {
                 }
             })
             .collect();
-        let errors = Arc::try_unwrap(errors)
-            .map(|m| m.into_inner())
-            .unwrap_or_default();
+        let errors = Arc::try_unwrap(errors).map(|m| m.into_inner()).unwrap_or_default();
         let report = RunReport { elapsed: started.elapsed(), nodes, timeline, errors };
         if report.errors.is_empty() {
             Ok(report)

@@ -96,33 +96,26 @@ pub struct Sampler {
 
 impl Sampler {
     /// Starts sampling `nodes` every `interval`.
-    pub fn start(
-        nodes: Vec<Arc<NodeCounters>>,
-        total_workers: usize,
-        interval: Duration,
-    ) -> Self {
+    pub fn start(nodes: Vec<Arc<NodeCounters>>, total_workers: usize, interval: Duration) -> Self {
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = stop.clone();
         let handle = std::thread::Builder::new()
             .name("df-sampler".to_string())
             .spawn(move || {
                 let started = Instant::now();
-                let mut timeline =
-                    UtilizationTimeline { samples: Vec::new(), total_workers };
+                let mut timeline = UtilizationTimeline { samples: Vec::new(), total_workers };
                 let mut last_busy = 0u64;
                 let mut last_t = Instant::now();
                 while !stop2.load(Ordering::Relaxed) {
                     std::thread::sleep(interval);
                     let now = Instant::now();
-                    let busy: u64 =
-                        nodes.iter().map(|n| n.busy_ns.load(Ordering::Relaxed)).sum();
+                    let busy: u64 = nodes.iter().map(|n| n.busy_ns.load(Ordering::Relaxed)).sum();
                     let dt = now.duration_since(last_t).as_nanos() as f64;
                     if dt > 0.0 {
                         let d_busy = busy.saturating_sub(last_busy) as f64;
-                        timeline.samples.push(UtilSample {
-                            at: started.elapsed(),
-                            busy_threads: d_busy / dt,
-                        });
+                        timeline
+                            .samples
+                            .push(UtilSample { at: started.elapsed(), busy_threads: d_busy / dt });
                     }
                     last_busy = busy;
                     last_t = now;
@@ -175,7 +168,9 @@ mod tests {
         while start.elapsed() < Duration::from_millis(120) {
             std::thread::sleep(Duration::from_millis(5));
             let now = Instant::now();
-            counters.busy_ns.fetch_add(now.duration_since(last).as_nanos() as u64, Ordering::Relaxed);
+            counters
+                .busy_ns
+                .fetch_add(now.duration_since(last).as_nanos() as u64, Ordering::Relaxed);
             last = now;
         }
         let timeline = sampler.finish();

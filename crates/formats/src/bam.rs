@@ -18,8 +18,8 @@ pub const BGZF_BLOCK_SIZE: usize = 0xFF00;
 
 /// The standard BGZF end-of-file marker block.
 pub const BGZF_EOF: [u8; 28] = [
-    0x1f, 0x8b, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff, 0x06, 0x00, 0x42, 0x43, 0x02,
-    0x00, 0x1b, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x1f, 0x8b, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff, 0x06, 0x00, 0x42, 0x43, 0x02, 0x00,
+    0x1b, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
 ];
 
 /// Compresses `data` into a BGZF stream (without EOF marker).
@@ -107,7 +107,10 @@ pub fn bgzf_decompress(data: &[u8]) -> Result<Vec<u8>> {
     while pos < data.len() {
         let member = gzip::decompress_member(&data[pos..])?;
         if member.extra.as_deref().map(|x| x.len() >= 4 && &x[..2] == b"BC") != Some(true) {
-            return Err(Error::Parse { record: 0, what: "gzip member without BGZF BC subfield".into() });
+            return Err(Error::Parse {
+                record: 0,
+                what: "gzip member without BGZF BC subfield".into(),
+            });
         }
         out.extend_from_slice(&member.data);
         pos += member.compressed_size;

@@ -5,10 +5,10 @@ use std::io::{BufRead, Write};
 
 use persona_agd::builder::{DatasetWriter, WriterOptions};
 use persona_agd::chunk_io::ChunkStore;
+use persona_agd::columns;
 use persona_agd::dataset::Dataset;
 use persona_agd::manifest::{Manifest, RefContig};
 use persona_agd::results::AlignmentResult;
-use persona_agd::columns;
 use persona_compress::deflate::CompressLevel;
 use persona_seq::Read;
 
@@ -88,7 +88,11 @@ fn for_each_sam_record(
 /// Exports an aligned AGD dataset as SAM text.
 pub fn agd_to_sam(ds: &Dataset, store: &dyn ChunkStore, out: &mut impl Write) -> Result<u64> {
     let refs = refmap_of(ds);
-    write_header(out, &refs, ds.manifest().sort_order == persona_agd::manifest::SortOrder::Coordinate)?;
+    write_header(
+        out,
+        &refs,
+        ds.manifest().sort_order == persona_agd::manifest::SortOrder::Coordinate,
+    )?;
     for_each_sam_record(ds, store, &refs, |rec| {
         out.write_all(&rec.to_line(&refs))?;
         out.write_all(b"\n")?;
@@ -115,6 +119,8 @@ pub fn agd_to_bam(
 /// Records the reference contigs in a dataset manifest (done when an
 /// alignment column is added, so SAM/BAM export knows contig names).
 pub fn set_reference(manifest: &mut Manifest, contigs: &[(String, u64)]) {
-    manifest.reference =
-        contigs.iter().map(|(name, length)| RefContig { name: name.clone(), length: *length }).collect();
+    manifest.reference = contigs
+        .iter()
+        .map(|(name, length)| RefContig { name: name.clone(), length: *length })
+        .collect();
 }

@@ -73,7 +73,11 @@ impl<R: BufRead> FastqReader<R> {
         if bases.len() != quals.len() {
             return Err(Error::Parse {
                 record: rec,
-                what: format!("bases ({}) and qualities ({}) differ in length", bases.len(), quals.len()),
+                what: format!(
+                    "bases ({}) and qualities ({}) differ in length",
+                    bases.len(),
+                    quals.len()
+                ),
             });
         }
         self.record += 1;
@@ -159,10 +163,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_at() {
-        assert!(matches!(
-            from_bytes(b"r1\nACGT\n+\nIIII\n"),
-            Err(Error::Parse { record: 0, .. })
-        ));
+        assert!(matches!(from_bytes(b"r1\nACGT\n+\nIIII\n"), Err(Error::Parse { record: 0, .. })));
     }
 
     #[test]

@@ -177,14 +177,15 @@ impl SamRecord {
             .parse()
             .map_err(|e| Error::Parse { record, what: format!("flag: {e}") })?;
         let rname_s = field("rname")?;
-        let rname = if rname_s == "*" {
-            None
-        } else {
-            Some(refs.contig_index(rname_s).ok_or_else(|| Error::Parse {
-                record,
-                what: format!("unknown contig {rname_s}"),
-            })? as u32)
-        };
+        let rname =
+            if rname_s == "*" {
+                None
+            } else {
+                Some(refs.contig_index(rname_s).ok_or_else(|| Error::Parse {
+                    record,
+                    what: format!("unknown contig {rname_s}"),
+                })? as u32)
+            };
         let pos: i64 = field("pos")?
             .parse::<i64>()
             .map_err(|e| Error::Parse { record, what: format!("pos: {e}") })?
@@ -248,7 +249,10 @@ fn parse_cigar(s: &str, record: u64) -> Result<Vec<CigarOp>> {
             saw_digit = true;
         } else {
             if !saw_digit {
-                return Err(Error::Parse { record, what: format!("CIGAR op without length in {s}") });
+                return Err(Error::Parse {
+                    record,
+                    what: format!("CIGAR op without length in {s}"),
+                });
             }
             let kind = match ch {
                 'M' => CigarKind::Match,

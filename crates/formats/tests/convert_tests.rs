@@ -1,6 +1,6 @@
 //! Integration tests for FASTQ/AGD/SAM/BAM conversion (paper §5.7).
 
-use persona_agd::builder::{ColumnConfig, ColumnAppender, WriterOptions};
+use persona_agd::builder::{ColumnAppender, ColumnConfig, WriterOptions};
 use persona_agd::chunk::RecordType;
 use persona_agd::chunk_io::{ChunkStore, MemStore};
 use persona_agd::columns;
@@ -24,8 +24,7 @@ fn fastq_agd_fastq_roundtrip() {
     let input = make_fastq(250);
     let store = MemStore::new();
     let opts = WriterOptions { chunk_size: 64, ..WriterOptions::default() };
-    let manifest =
-        convert::fastq_to_agd(std::io::Cursor::new(&input), &store, "rt", opts).unwrap();
+    let manifest = convert::fastq_to_agd(std::io::Cursor::new(&input), &store, "rt", opts).unwrap();
     assert_eq!(manifest.total_records, 250);
     assert_eq!(manifest.records.len(), 4); // 64+64+64+58.
 
@@ -126,8 +125,7 @@ fn import_throughput_accounting() {
     let input = make_fastq(500);
     let store = MemStore::new();
     let opts = WriterOptions { chunk_size: 100, ..WriterOptions::default() };
-    let manifest =
-        convert::fastq_to_agd(std::io::Cursor::new(&input), &store, "tp", opts).unwrap();
+    let manifest = convert::fastq_to_agd(std::io::Cursor::new(&input), &store, "tp", opts).unwrap();
     assert_eq!(manifest.records.len(), 5);
     let names = store.list().unwrap();
     // 5 chunks × 3 columns + manifest.

@@ -161,12 +161,7 @@ mod tests {
 
     #[test]
     fn inversion_roundtrip_various() {
-        for s in [
-            &b"ACGTACGTACGT"[..],
-            b"AAAAAAA",
-            b"GATTACA",
-            b"TTTTGGGGCCCCAAAA",
-        ] {
+        for s in [&b"ACGTACGTACGT"[..], b"AAAAAAA", b"GATTACA", b"TTTTGGGGCCCCAAAA"] {
             let text = encode(s);
             assert_eq!(Bwt::build(&text).invert(), text, "text {:?}", s);
         }

@@ -124,10 +124,7 @@ impl FmIndex {
     pub fn extend(&self, c: u8, iv: Interval) -> Interval {
         debug_assert!(c >= 1 && (c as usize) < ALPHABET);
         let base = self.bwt.c_array[c as usize] as u32;
-        Interval {
-            lo: base + self.occ_rank(c, iv.lo),
-            hi: base + self.occ_rank(c, iv.hi),
-        }
+        Interval { lo: base + self.occ_rank(c, iv.lo), hi: base + self.occ_rank(c, iv.hi) }
     }
 
     /// Backward-searches an ASCII pattern; returns the matching interval.
@@ -220,8 +217,15 @@ mod tests {
     fn count_matches_naive() {
         let text = b"ACGTACGTTACGACGT";
         let fm = build_from_ascii(text);
-        for pat in [&b"ACG"[..], b"ACGT", b"T", b"TT", b"GACG", b"CGTA", b"AAAA", b"ACGTACGTTACGACGT"] {
-            assert_eq!(fm.count(pat), naive_count(text, pat), "pattern {:?}", std::str::from_utf8(pat));
+        for pat in
+            [&b"ACG"[..], b"ACGT", b"T", b"TT", b"GACG", b"CGTA", b"AAAA", b"ACGTACGTTACGACGT"]
+        {
+            assert_eq!(
+                fm.count(pat),
+                naive_count(text, pat),
+                "pattern {:?}",
+                std::str::from_utf8(pat)
+            );
         }
     }
 

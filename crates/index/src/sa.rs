@@ -45,8 +45,7 @@ pub fn suffix_array(text: &[u8]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + if key(prev) == key(cur) { 0 } else { 1 };
+            tmp[cur as usize] = tmp[prev as usize] + if key(prev) == key(cur) { 0 } else { 1 };
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -99,11 +98,8 @@ mod tests {
 
     #[test]
     fn repetitive_and_random_verify() {
-        let cases: Vec<Vec<u8>> = vec![
-            b"ACGT".repeat(50),
-            b"AAAAAAAAAA".to_vec(),
-            b"ACGTACGAACGTTACG".repeat(13),
-            {
+        let cases: Vec<Vec<u8>> =
+            vec![b"ACGT".repeat(50), b"AAAAAAAAAA".to_vec(), b"ACGTACGAACGTTACG".repeat(13), {
                 let mut x = 1234u64;
                 (0..2000)
                     .map(|_| {
@@ -111,8 +107,7 @@ mod tests {
                         b"ACGT"[(x >> 62) as usize]
                     })
                     .collect()
-            },
-        ];
+            }];
         for text in cases {
             let sa = suffix_array(&text);
             assert!(is_suffix_array(&text, &sa), "failed for len {}", text.len());

@@ -8,7 +8,6 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-
 /// A single reference sequence (chromosome / contig).
 #[derive(Debug, Clone)]
 pub struct Contig {
@@ -71,7 +70,7 @@ impl Genome {
                 // rate is per emitted segment (~375 bases each), tuned so
                 // that roughly 5-10% of the genome is repeat-covered.
                 if seq.len() > 2000 && rng.random_range(0..10_000) < 2 {
-                    let rep_len = rng.random_range(150..600).min(len - seq.len());
+                    let rep_len = rng.random_range(150..600usize).min(len - seq.len());
                     let src = rng.random_range(0..seq.len() - rep_len.min(seq.len() - 1));
                     let copy: Vec<u8> = seq[src..src + rep_len].to_vec();
                     seq.extend_from_slice(&copy);
@@ -208,10 +207,7 @@ mod tests {
 
     #[test]
     fn slice_linear_boundaries() {
-        let g = Genome::new(vec![
-            ("a".into(), b"AAAA".to_vec()),
-            ("b".into(), b"CCCC".to_vec()),
-        ]);
+        let g = Genome::new(vec![("a".into(), b"AAAA".to_vec()), ("b".into(), b"CCCC".to_vec())]);
         assert_eq!(g.slice_linear(0, 4), Some(&b"AAAA"[..]));
         assert_eq!(g.slice_linear(4, 4), Some(&b"CCCC"[..]));
         assert_eq!(g.slice_linear(2, 4), None); // Crosses boundary.

@@ -69,7 +69,13 @@ impl<'g> ReadSimulator<'g> {
             }
         }
         assert!(!eligible.is_empty(), "no contig is >= read_len bases long");
-        ReadSimulator { genome, params, rng: StdRng::seed_from_u64(params.seed), serial: 0, eligible }
+        ReadSimulator {
+            genome,
+            params,
+            rng: StdRng::seed_from_u64(params.seed),
+            serial: 0,
+            eligible,
+        }
     }
 
     /// Total weight for uniform position sampling.
@@ -106,7 +112,7 @@ impl<'g> ReadSimulator<'g> {
             if self.rng.random::<f64>() < self.params.error_rate {
                 let cur = *b;
                 loop {
-                    let alt = BASES[self.rng.random_range(0..4)];
+                    let alt = BASES[self.rng.random_range(0..4usize)];
                     if alt != cur {
                         *b = alt;
                         break;
@@ -209,13 +215,9 @@ mod tests {
         for _ in 0..200 {
             let r = sim.next_single();
             let o = Origin::parse(&r.meta).unwrap();
-            let refseq = &g.contig(o.contig as usize).seq
-                [o.pos as usize..o.pos as usize + r.bases.len()];
-            let expected = if o.reverse {
-                crate::dna::revcomp(refseq)
-            } else {
-                refseq.to_vec()
-            };
+            let refseq =
+                &g.contig(o.contig as usize).seq[o.pos as usize..o.pos as usize + r.bases.len()];
+            let expected = if o.reverse { crate::dna::revcomp(refseq) } else { refseq.to_vec() };
             assert_eq!(r.bases, expected);
         }
     }

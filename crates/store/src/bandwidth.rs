@@ -75,7 +75,8 @@ impl TokenBucket {
     pub fn try_consume(&self, n: usize) -> usize {
         let mut b = self.inner.lock();
         let now = Instant::now();
-        b.tokens = (b.tokens + now.duration_since(b.last).as_secs_f64() * self.rate).min(self.burst);
+        b.tokens =
+            (b.tokens + now.duration_since(b.last).as_secs_f64() * self.rate).min(self.burst);
         b.last = now;
         let granted = (n as f64).min(b.tokens.max(0.0));
         b.tokens -= granted;

@@ -113,7 +113,12 @@ impl CephCluster {
     /// A `rados bench`-style read throughput probe: `threads` parallel
     /// readers fetch `obj_size` objects for `duration`; returns measured
     /// bytes/second.
-    pub fn rados_bench(self: &Arc<Self>, duration: Duration, obj_size: usize, threads: usize) -> f64 {
+    pub fn rados_bench(
+        self: &Arc<Self>,
+        duration: Duration,
+        obj_size: usize,
+        threads: usize,
+    ) -> f64 {
         // Preload objects spread across nodes.
         let objects: Vec<String> = (0..threads * 4).map(|i| format!("bench-{i}")).collect();
         let payload = vec![0u8; obj_size];

@@ -33,7 +33,11 @@ impl DiskConfig {
 
     /// A 6-disk hardware RAID0 array (the paper's configuration).
     pub fn raid0(scale: f64) -> Self {
-        DiskConfig { read_bw: 6.0 * 160.0e6 * scale, write_bw: 6.0 * 150.0e6 * scale, shared: false }
+        DiskConfig {
+            read_bw: 6.0 * 160.0e6 * scale,
+            write_bw: 6.0 * 150.0e6 * scale,
+            shared: false,
+        }
     }
 }
 
@@ -315,11 +319,10 @@ mod tests {
 
     #[test]
     fn throttled_reads_respect_bandwidth() {
-        let store = ThrottledStore::new(MemStore::new(), DiskConfig {
-            read_bw: 1_000_000.0,
-            write_bw: 1_000_000.0,
-            shared: false,
-        });
+        let store = ThrottledStore::new(
+            MemStore::new(),
+            DiskConfig { read_bw: 1_000_000.0, write_bw: 1_000_000.0, shared: false },
+        );
         store.put("x", &vec![0u8; 200_000]).unwrap();
         let start = Instant::now();
         store.get("x").unwrap();
@@ -333,11 +336,10 @@ mod tests {
 
     #[test]
     fn shared_disk_makes_writes_compete_with_reads() {
-        let shared = ThrottledStore::new(MemStore::new(), DiskConfig {
-            read_bw: 2_000_000.0,
-            write_bw: 2_000_000.0,
-            shared: true,
-        });
+        let shared = ThrottledStore::new(
+            MemStore::new(),
+            DiskConfig { read_bw: 2_000_000.0, write_bw: 2_000_000.0, shared: true },
+        );
         shared.put("a", &vec![1u8; 100_000]).unwrap();
         let start = Instant::now();
         for _ in 0..3 {
@@ -346,11 +348,10 @@ mod tests {
         }
         let shared_time = start.elapsed();
 
-        let split = ThrottledStore::new(MemStore::new(), DiskConfig {
-            read_bw: 2_000_000.0,
-            write_bw: 2_000_000.0,
-            shared: false,
-        });
+        let split = ThrottledStore::new(
+            MemStore::new(),
+            DiskConfig { read_bw: 2_000_000.0, write_bw: 2_000_000.0, shared: false },
+        );
         split.put("a", &vec![1u8; 100_000]).unwrap();
         let start = Instant::now();
         for _ in 0..3 {

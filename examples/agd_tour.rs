@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run -p persona-examples --release --bin agd_tour`
 
-use persona_agd::builder::{DatasetWriter, WriterOptions, ColumnConfig};
+use persona_agd::builder::{ColumnConfig, DatasetWriter, WriterOptions};
 use persona_agd::chunk::RecordType;
 use persona_agd::chunk_io::{ChunkStore, MemStore};
 use persona_agd::dataset::Dataset;

@@ -8,7 +8,10 @@ use persona_cluster::tco::{AlignmentEconomics, ClusterCosts};
 
 fn main() {
     println!("Persona cluster simulator — paper parameters (§5.1/§5.2)\n");
-    println!("{:<8}{:>12}{:>16}{:>14}{:>14}", "nodes", "Gbases/s", "genome time(s)", "CPU util", "write util");
+    println!(
+        "{:<8}{:>12}{:>16}{:>14}{:>14}",
+        "nodes", "Gbases/s", "genome time(s)", "CPU util", "write util"
+    );
     for nodes in [1usize, 4, 8, 16, 32, 48, 60, 80, 100] {
         let r = simulate(SimParams::paper(nodes));
         println!(

@@ -25,7 +25,8 @@ pub struct DemoWorld {
 impl DemoWorld {
     /// Builds the demo world (deterministic).
     pub fn new(n_reads: usize) -> DemoWorld {
-        let genome = Arc::new(Genome::random_with_seed(2024, &[("chr1", 150_000), ("chr2", 50_000)]));
+        let genome =
+            Arc::new(Genome::random_with_seed(2024, &[("chr1", 150_000), ("chr2", 50_000)]));
         let mut sim = ReadSimulator::new(
             &genome,
             SimParams { error_rate: 0.005, seed: 7, ..SimParams::default() },
@@ -34,11 +35,8 @@ impl DemoWorld {
         let index = Arc::new(SeedIndex::build(&genome, 16));
         let aligner: Arc<dyn Aligner> =
             Arc::new(SnapAligner::new(genome.clone(), index, SnapParams::default()));
-        let reference = genome
-            .contigs()
-            .iter()
-            .map(|c| (c.name.clone(), c.seq.len() as u64))
-            .collect();
+        let reference =
+            genome.contigs().iter().map(|c| (c.name.clone(), c.seq.len() as u64)).collect();
         DemoWorld { genome, reads, aligner, reference }
     }
 

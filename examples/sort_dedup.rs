@@ -47,11 +47,19 @@ fn main() {
 
     let t = Instant::now();
     samtools_sort(&bam, config.compute_threads).expect("samtools");
-    println!("samtools-like BAM sort: {:?} ({:.2}x)", t.elapsed(), t.elapsed().as_secs_f64() / persona_t.as_secs_f64());
+    println!(
+        "samtools-like BAM sort: {:?} ({:.2}x)",
+        t.elapsed(),
+        t.elapsed().as_secs_f64() / persona_t.as_secs_f64()
+    );
 
     let t = Instant::now();
     picard_sort(&bam).expect("picard");
-    println!("Picard-like BAM sort:   {:?} ({:.2}x)", t.elapsed(), t.elapsed().as_secs_f64() / persona_t.as_secs_f64());
+    println!(
+        "Picard-like BAM sort:   {:?} ({:.2}x)",
+        t.elapsed(),
+        t.elapsed().as_secs_f64() / persona_t.as_secs_f64()
+    );
 
     println!("\n--- duplicate marking ---");
     let t = Instant::now();

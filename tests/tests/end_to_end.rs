@@ -115,12 +115,7 @@ fn multi_server_alignment_partitions_work() {
             let aligner = fx.aligner.clone();
             handles.push(s.spawn(move || {
                 persona::pipeline::align::align_with_server(
-                    AlignInputs {
-                        store,
-                        manifest,
-                        aligner,
-                        config: PersonaConfig::small(),
-                    },
+                    AlignInputs { store, manifest, aligner, config: PersonaConfig::small() },
                     server,
                 )
                 .unwrap()

@@ -12,7 +12,13 @@ fn paired_batch_alignment_recovers_fragments() {
     let fx = Fixture::new(3001, 1);
     let mut sim = ReadSimulator::new(
         &fx.genome,
-        SimParams { error_rate: 0.003, seed: 42, insert_mean: 320.0, insert_sd: 25.0, ..SimParams::default() },
+        SimParams {
+            error_rate: 0.003,
+            seed: 42,
+            insert_mean: 320.0,
+            insert_sd: 25.0,
+            ..SimParams::default()
+        },
     );
     let pairs: Vec<_> = sim
         .take_pairs(120)

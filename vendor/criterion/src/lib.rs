@@ -1,0 +1,303 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the subset Persona's benches use: `Criterion`,
+//! `benchmark_group` with `measurement_time` / `sample_size` /
+//! `throughput`, `bench_function` with `Bencher::iter` /
+//! `iter_with_setup`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple monotonic-clock sampler that reports median time per
+//! iteration plus derived throughput — adequate for relative
+//! comparisons, with none of criterion's statistics machinery.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-exported for bench code that spells `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Work-per-iteration annotation used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark name (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"{function}/{parameter}"`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{function}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Drives the timing loop for one benchmark function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_sample_count: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records per-iteration samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.samples.clear();
+        // Warm-up.
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.target_sample_count {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.time_budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the samples.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        self.samples.clear();
+        black_box(routine(setup()));
+        let started = Instant::now();
+        for _ in 0..self.target_sample_count {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.time_budget {
+                break;
+            }
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the wall-clock budget for each benchmark in the group
+    /// (ignored in quick/test mode, which stays at one cheap sample).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        if !self.quick {
+            self.measurement_time = time;
+        }
+        self
+    }
+
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !self.quick {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    /// Annotates work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its result line.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_sample_count: self.sample_size,
+            time_budget: self.measurement_time,
+        };
+        f(&mut bencher);
+        let median = bencher.median();
+        let mut line =
+            format!("{}/{:<40} {:>14} /iter", self.name, id.full, format_duration(median));
+        if let Some(tp) = self.throughput {
+            let per_sec = |units: u64| {
+                if median.is_zero() {
+                    f64::INFINITY
+                } else {
+                    units as f64 / median.as_secs_f64()
+                }
+            };
+            match tp {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "   {:>12} elem/s", format_rate(per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "   {:>12}B/s", format_rate(per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (prints a separator for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(r: f64) -> String {
+    if !r.is_finite() {
+        "inf".to_string()
+    } else if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} k", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` passes `--test`; run a single cheap
+        // sample there so benches double as smoke tests.
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            name: name.into(),
+            quick,
+            sample_size: if quick { 1 } else { 30 },
+            measurement_time: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_secs(5)
+            },
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_sample_count: 5,
+            time_budget: Duration::from_secs(1),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert!(!b.samples.is_empty());
+        assert!(count >= b.samples.len() as u64);
+        b.iter_with_setup(|| vec![1u8; 64], |v| v.len());
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2).measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.bench_function(BenchmarkId::new("param", 3), |b| b.iter(|| 2 * 2));
+        g.finish();
+        assert!(ran);
+    }
+}

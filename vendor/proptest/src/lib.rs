@@ -1,0 +1,503 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset Persona's property suites use: the
+//! [`Strategy`] trait, range / `any` / `Just` / tuple / vec / oneof
+//! strategies, `ProptestConfig::with_cases`, `prop_assert*!` macros,
+//! and the [`proptest!`] harness macro. Cases are generated from a
+//! deterministic per-test RNG (test-name hash + case index), so runs
+//! are reproducible. There is no shrinking: a failing case reports its
+//! full inputs instead.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+pub use rand::Random;
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one test case, derived from a stable name hash.
+    pub fn for_case(name_hash: u64, case: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Stable FNV-1a hash used to derive per-test seeds.
+pub fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy producing a constant value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy sampling the full domain of `T` (floats from `[0, 1)`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Returns the full-domain strategy for `T`.
+pub fn any<T: Random>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Random> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::random_from(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rand::SampleRange::sample_from(self.clone(), rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(A.0, B.1, C.2, D.3, E.4));
+
+/// Uniform choice among boxed alternatives (see [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from generator closures. Panics if empty.
+    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+        (self.arms[idx])(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngCore;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for a `Vec` of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold; the message explains why.
+    Fail(String),
+    /// The inputs were rejected (counts as a skip, not a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runs one case body, converting panics into failures so the harness
+/// can report the generated inputs.
+pub fn run_case(body: impl FnOnce() -> Result<(), TestCaseError>) -> Result<(), TestCaseError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            };
+            Err(TestCaseError::fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniformly picks one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new({
+            // One shared inference variable for the value type, so
+            // untyped arms unify with typed ones.
+            let mut arms: ::std::vec::Vec<::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>> =
+                ::std::vec::Vec::new();
+            $({
+                let s = $strat;
+                arms.push(::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&s, rng)
+                }));
+            })+
+            arms
+        })
+    };
+}
+
+/// Declares property tests. Each `fn` runs `cases` times over freshly
+/// generated inputs; failures report the inputs that broke it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @harness ($cfg) $($rest)* }
+    };
+    (@harness ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __hash = $crate::name_hash(concat!(module_path!(), "::", stringify!($name)));
+                $(let $arg = $strat;)+
+                for __case in 0..__config.cases as u64 {
+                    let mut __rng = $crate::TestRng::for_case(__hash, __case);
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+                    let __arg_dump: Vec<(&'static str, String)> = vec![
+                        $((stringify!($arg), format!("{:?}", &$arg))),+
+                    ];
+                    let __result = $crate::run_case(move || {
+                        #[allow(unreachable_code)]
+                        {
+                            $body
+                            ::std::result::Result::Ok(())
+                        }
+                    });
+                    match __result {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            let mut __report = format!(
+                                "property `{}` failed at case {}/{}:\n{}\ninputs:\n",
+                                stringify!($name), __case + 1, __config.cases, msg
+                            );
+                            for (name, value) in &__arg_dump {
+                                let shown: &str = if value.len() > 4_096 { &value[..4_096] } else { value };
+                                __report.push_str(&format!("  {name} = {shown}\n"));
+                            }
+                            panic!("{}", __report);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @harness ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Everything a property test module typically imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        for _ in 0..200 {
+            let v = (0usize..10).generate(&mut rng);
+            assert!(v < 10);
+            let f = (0.5f64..1.0).generate(&mut rng);
+            assert!((0.5..1.0).contains(&f));
+            let x = prop_oneof![Just(1u8), Just(2), Just(3)].generate(&mut rng);
+            assert!((1..=3).contains(&x));
+            let xs = collection::vec(0u8..4, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&b| b < 4));
+            let fixed = collection::vec(any::<u8>(), 3).generate(&mut rng);
+            assert_eq!(fixed.len(), 3);
+            let (a, b) = (0u8..4, 10u32..14).generate(&mut rng);
+            assert!(a < 4 && (10..14).contains(&b));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u8> = {
+            let mut rng = TestRng::for_case(99, 7);
+            collection::vec(any::<u8>(), 16).generate(&mut rng)
+        };
+        let b: Vec<u8> = {
+            let mut rng = TestRng::for_case(99, 7);
+            collection::vec(any::<u8>(), 16).generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_and_passes(xs in collection::vec(0u8..100, 0..20), k in 1usize..5) {
+            let doubled: Vec<u16> = xs.iter().map(|&x| x as u16 * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert!(k >= 1 && k < 5);
+            for (d, x) in doubled.iter().zip(&xs) {
+                prop_assert_eq!(*d, *x as u16 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                fn always_fails(x in 0u8..4) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("x ="), "got: {msg}");
+    }
+
+    #[test]
+    fn panicking_body_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(2))]
+                fn panics(v in 5u8..6) {
+                    let _ = v;
+                    panic!("boom");
+                }
+            }
+            panics();
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("boom"), "got: {msg}");
+        assert!(msg.contains("v = 5"), "got: {msg}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! Because the build environment has no crates.io access (and no
+//! `syn`/`quote` for derive macros), this vendored serde models
+//! serialization directly over a JSON-like [`Value`] tree and types
+//! hand-implement [`Serialize`] / [`Deserialize`]. The companion
+//! `serde_json` vendor crate provides parsing and printing.
+
+use std::fmt;
+
+/// A JSON value tree — the data model all (de)serialization goes
+/// through. Integers are held as `i128` so every `u64`/`i64` round
+/// trips exactly; floats are `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON integer (no fractional part or exponent).
+    Int(i128),
+    /// JSON number with fractional part or exponent.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialize error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the JSON data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from the JSON data model.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::new(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError::new(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+/// Helpers for hand-written struct impls: read a required or defaulted
+/// object field.
+pub mod field {
+    use super::{DeError, Deserialize, Value};
+
+    /// Reads a required field from an object value.
+    pub fn required<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+        match v.get(key) {
+            Some(field) => {
+                T::deserialize(field).map_err(|e| DeError::new(format!("field `{key}`: {e}")))
+            }
+            None => Err(DeError::new(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Reads an optional field, substituting `T::default()` when the
+    /// key is absent or null (serde's `#[serde(default)]` semantics).
+    pub fn defaulted<T: Deserialize + Default>(v: &Value, key: &str) -> Result<T, DeError> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(T::default()),
+            Some(field) => {
+                T::deserialize(field).map_err(|e| DeError::new(format!("field `{key}`: {e}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()), Ok("hi".to_string()));
+        assert_eq!(Vec::<u32>::deserialize(&vec![1u32, 2].serialize()), Ok(vec![1, 2]));
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+        assert!(String::deserialize(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn field_helpers() {
+        let obj = Value::Object(vec![("a".into(), Value::Int(5))]);
+        assert_eq!(field::required::<u32>(&obj, "a"), Ok(5));
+        assert!(field::required::<u32>(&obj, "b").is_err());
+        assert_eq!(field::defaulted::<u32>(&obj, "b"), Ok(0));
+    }
+}
