@@ -1,0 +1,97 @@
+//! Fused end-to-end runtime benchmark: `run_pipeline` (all five stages
+//! on one shared executor, import‖align and dupmark‖export overlapped)
+//! vs the same five stages run back to back, each on a private runtime.
+//!
+//! The paper's Fig. 4 argument is that one executor owning all compute
+//! threads keeps the cores busy across concurrent kernels; the fused
+//! run should therefore match or beat the sequential run while
+//! producing byte-identical output.
+//!
+//! Run: `cargo run -p persona-bench --release --bin fused`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use persona::config::PersonaConfig;
+use persona::pipeline::align::{align_dataset, finalize_manifest, AlignInputs};
+use persona::pipeline::dupmark::mark_duplicates;
+use persona::pipeline::export::export_sam;
+use persona::pipeline::import::import_fastq;
+use persona::pipeline::sort::{sort_dataset, SortKey};
+use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona_agd::chunk_io::ChunkStore;
+use persona_bench::{mem_store, print_header, scale, World};
+use persona_formats::fastq;
+
+fn main() {
+    let sc = scale();
+    let world = World::build((300_000.0 * sc) as usize, (30_000.0 * sc) as usize, 31);
+    let aligner = world.snap_aligner();
+    let config = PersonaConfig::default();
+    let fastq_bytes = fastq::to_bytes(&world.reads);
+    let input_mb = fastq_bytes.len() as f64 / 1e6;
+    let chunk = 2_000;
+    println!(
+        "dataset: {} reads | {:.1} MB FASTQ | {} compute threads",
+        world.reads.len(),
+        input_mb,
+        config.compute_threads
+    );
+
+    // Sequential: five stages back to back, each on a private runtime.
+    let store = mem_store();
+    let t0 = Instant::now();
+    let (mut manifest, _) =
+        import_fastq(std::io::Cursor::new(fastq_bytes.clone()), &store, "seq", chunk, &config)
+            .unwrap();
+    align_dataset(AlignInputs {
+        store: store.clone(),
+        manifest: &manifest,
+        aligner: aligner.clone(),
+        config,
+    })
+    .unwrap();
+    finalize_manifest(store.as_ref(), &mut manifest, &world.reference).unwrap();
+    let (sorted, _) =
+        sort_dataset(&store, &manifest, SortKey::Coordinate, "seq.sorted", &config).unwrap();
+    mark_duplicates(&store, &sorted).unwrap();
+    let mut seq_sam = Vec::new();
+    export_sam(&store, &sorted, &mut seq_sam, &config).unwrap();
+    let sequential_s = t0.elapsed().as_secs_f64();
+
+    // Fused: one shared runtime, stages overlapped through bounded
+    // chunk queues.
+    let fused_store: Arc<dyn ChunkStore> = mem_store();
+    let rt = PersonaRuntime::new(fused_store, config).unwrap();
+    let mut fused_sam = Vec::new();
+    let t0 = Instant::now();
+    let report = run_pipeline(
+        &rt,
+        std::io::Cursor::new(fastq_bytes),
+        "seq",
+        chunk,
+        aligner,
+        &world.reference,
+        &mut fused_sam,
+    )
+    .unwrap();
+    let fused_s = t0.elapsed().as_secs_f64();
+    assert_eq!(fused_sam, seq_sam, "fused output must be byte-identical");
+
+    print_header(
+        "Fused end-to-end pipeline (shared executor)",
+        &["stage", "elapsed (s)", "executor busy %"],
+    );
+    for (stage, elapsed, busy) in report.stage_rows() {
+        println!("{stage}\t{:.2}\t{:.1}", elapsed.as_secs_f64(), busy * 100.0);
+    }
+    println!(
+        "\nsequential stages: {sequential_s:.2} s | fused: {fused_s:.2} s ({:.2}x) | {:.1} MB/s end to end",
+        sequential_s / fused_s,
+        input_mb / fused_s
+    );
+    println!(
+        "records: {} in = {} out (byte-identical SAM)",
+        report.import.reads, report.export.records
+    );
+}

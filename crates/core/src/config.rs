@@ -64,6 +64,28 @@ impl PersonaConfig {
     pub fn capacity_for(&self, downstream: usize) -> usize {
         self.queue_capacity.unwrap_or_else(|| downstream.max(1))
     }
+
+    /// Checks that the configuration can actually run a pipeline.
+    ///
+    /// A zero `compute_threads` (or zero kernel/worker parallelism)
+    /// would deadlock or panic deep inside the dataflow layer, so the
+    /// runtime rejects it up front with a clear message.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        let check = |n: usize, what: &str| {
+            if n == 0 {
+                Err(format!("{what} must be at least 1 (got 0)"))
+            } else {
+                Ok(())
+            }
+        };
+        check(self.compute_threads, "compute_threads")?;
+        check(self.aligner_kernels, "aligner_kernels")?;
+        check(self.reader_parallelism, "reader_parallelism")?;
+        check(self.parser_parallelism, "parser_parallelism")?;
+        check(self.writer_parallelism, "writer_parallelism")?;
+        check(self.subchunk_size, "subchunk_size")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +97,15 @@ mod tests {
         let c = PersonaConfig::default();
         assert!(c.compute_threads >= 1);
         assert!(c.subchunk_size > 0);
+    }
+
+    #[test]
+    fn validate_rejects_zero_compute_threads() {
+        let c = PersonaConfig { compute_threads: 0, ..PersonaConfig::default() };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("compute_threads"), "{err}");
+        assert!(PersonaConfig::default().validate().is_ok());
+        assert!(PersonaConfig::small().validate().is_ok());
     }
 
     #[test]

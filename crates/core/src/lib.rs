@@ -22,10 +22,16 @@
 //!
 //! The [`manifest_server`] hands out chunk names to any number of
 //! "servers" (§5.2), which is how multi-node runs are coordinated.
+//!
+//! The [`runtime`] module ties it together: a [`runtime::PersonaRuntime`]
+//! owns the one shared executor every stage schedules compute on, and
+//! [`runtime::run_pipeline`] chains all five stages end to end with
+//! import‖align and dupmark‖export overlapped on the same cores.
 
 pub mod config;
 pub mod manifest_server;
 pub mod pipeline;
+pub mod runtime;
 
 /// Errors from Persona pipelines.
 #[derive(Debug)]

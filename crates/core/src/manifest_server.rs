@@ -5,12 +5,23 @@
 //! simple message queue." Sharing one `ManifestServer` across several
 //! per-server pipelines is what load-balances a multi-node run and, by
 //! pull-based dispatch, avoids stragglers.
+//!
+//! Two construction modes exist:
+//!
+//! * [`ManifestServer::new`] — pre-filled from a manifest, for running a
+//!   stage over a finished dataset. `fetch` drains the queue and then
+//!   returns `None`.
+//! * [`ManifestServer::streaming`] — fed incrementally through a
+//!   [`ChunkFeeder`] by an upstream stage, which is how the fused
+//!   pipeline chains stages: chunk names flow through this bounded
+//!   queue while both stages share the compute executor. `fetch` blocks
+//!   until a task arrives or the feeder is dropped.
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use persona_agd::manifest::Manifest;
+use persona_dataflow::queue::{Producer, QueueHandle};
 
 /// One unit of dispatchable work: a chunk of a dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,40 +37,82 @@ pub struct ChunkTask {
 /// A shared pull-based queue of chunk tasks.
 #[derive(Clone)]
 pub struct ManifestServer {
-    queue: Arc<Mutex<VecDeque<ChunkTask>>>,
-    total: usize,
+    queue: QueueHandle<ChunkTask>,
+    total: Arc<AtomicUsize>,
 }
 
 impl ManifestServer {
     /// Creates a server dispensing every chunk of `manifest`, in order.
     pub fn new(manifest: &Manifest) -> Self {
-        let queue: VecDeque<ChunkTask> = manifest
-            .records
-            .iter()
-            .enumerate()
-            .map(|(i, e)| ChunkTask {
-                chunk_idx: i,
-                stem: e.path.clone(),
-                num_records: e.num_records,
-            })
-            .collect();
-        let total = queue.len();
-        ManifestServer { queue: Arc::new(Mutex::new(queue)), total }
+        let n = manifest.records.len();
+        let queue = QueueHandle::new("manifest-server", n.max(1));
+        let producer = queue.producer();
+        for (i, e) in manifest.records.iter().enumerate() {
+            queue
+                .push(ChunkTask { chunk_idx: i, stem: e.path.clone(), num_records: e.num_records })
+                .ok()
+                .expect("prefilled manifest queue cannot be closed");
+        }
+        // Dropping the only producer closes the queue: fetch drains the
+        // prefilled tasks and then reports end-of-dataset.
+        drop(producer);
+        ManifestServer { queue, total: Arc::new(AtomicUsize::new(n)) }
+    }
+
+    /// Creates an initially empty server together with the feeder that
+    /// fills it. `capacity` bounds how many undispatched chunks may be
+    /// queued (the fused pipeline's flow control between stages).
+    pub fn streaming(capacity: usize) -> (ManifestServer, ChunkFeeder) {
+        let queue = QueueHandle::new("manifest-server", capacity.max(1));
+        let total = Arc::new(AtomicUsize::new(0));
+        let feeder =
+            ChunkFeeder { _producer: queue.producer(), queue: queue.clone(), total: total.clone() };
+        (ManifestServer { queue, total }, feeder)
     }
 
     /// Fetches the next chunk task; `None` once the dataset is drained.
+    ///
+    /// On a streaming server this blocks while the feeder is alive and
+    /// the queue is empty.
     pub fn fetch(&self) -> Option<ChunkTask> {
-        self.queue.lock().pop_front()
+        self.queue.pop()
     }
 
-    /// Chunks not yet dispatched.
+    /// Chunks queued but not yet dispatched.
     pub fn remaining(&self) -> usize {
-        self.queue.lock().len()
+        self.queue.len()
     }
 
-    /// Total chunks this server was created with.
+    /// Force-closes the queue: fetchers drain what is left and then see
+    /// `None`, and feeder pushes fail. Used to cancel the upstream
+    /// stage of a fused pair when the downstream stage dies.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Total chunks ever enqueued (grows while a feeder is pushing).
     pub fn total(&self) -> usize {
-        self.total
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// The producing end of a streaming [`ManifestServer`]. Dropping it
+/// closes the queue, signalling end-of-dataset to every fetcher.
+pub struct ChunkFeeder {
+    queue: QueueHandle<ChunkTask>,
+    total: Arc<AtomicUsize>,
+    _producer: Producer<ChunkTask>,
+}
+
+impl ChunkFeeder {
+    /// Enqueues one chunk task, blocking while the queue is at
+    /// capacity. Returns `false` if the queue was force-closed.
+    pub fn push(&self, task: ChunkTask) -> bool {
+        let delivered = self.queue.push(task).is_ok();
+        if delivered {
+            self.total.fetch_add(1, Ordering::Relaxed);
+        }
+        delivered
     }
 }
 
@@ -115,5 +168,47 @@ mod tests {
         all.sort();
         let expected: Vec<usize> = (0..1000).collect();
         assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn streaming_fetch_blocks_until_fed_then_drains() {
+        let (server, feeder) = ManifestServer::streaming(4);
+        let consumer = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(task) = server.fetch() {
+                    got.push(task.chunk_idx);
+                }
+                got
+            })
+        };
+        for i in 0..20 {
+            assert!(feeder.push(ChunkTask {
+                chunk_idx: i,
+                stem: format!("s-{i}"),
+                num_records: 5,
+            }));
+        }
+        assert_eq!(server.total(), 20);
+        drop(feeder); // End of dataset: consumer sees None and exits.
+        assert_eq!(consumer.join().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streaming_capacity_applies_backpressure() {
+        let (server, feeder) = ManifestServer::streaming(2);
+        assert!(feeder.push(ChunkTask { chunk_idx: 0, stem: "a".into(), num_records: 1 }));
+        assert!(feeder.push(ChunkTask { chunk_idx: 1, stem: "b".into(), num_records: 1 }));
+        // A third push must block until a fetch frees a slot.
+        let blocked = std::thread::spawn(move || {
+            feeder.push(ChunkTask { chunk_idx: 2, stem: "c".into(), num_records: 1 })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(server.remaining(), 2);
+        assert_eq!(server.fetch().unwrap().stem, "a");
+        assert!(blocked.join().unwrap());
+        assert_eq!(server.fetch().unwrap().stem, "b");
+        assert_eq!(server.fetch().unwrap().stem, "c");
     }
 }

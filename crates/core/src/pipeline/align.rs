@@ -25,10 +25,11 @@ use persona_align::Aligner;
 use persona_compress::codec::Codec;
 use persona_compress::deflate::CompressLevel;
 use persona_dataflow::graph::{GraphBuilder, RunReport};
-use persona_dataflow::Executor;
 
 use crate::config::PersonaConfig;
 use crate::manifest_server::{ChunkTask, ManifestServer};
+use crate::pipeline::StageReport;
+use crate::runtime::PersonaRuntime;
 use crate::{Error, Result};
 
 /// Inputs to [`align_dataset`].
@@ -60,14 +61,24 @@ pub struct AlignReport {
     pub run: RunReport,
     /// Merged aligner phase profile (Fig. 8 inputs).
     pub profile: PhaseProfile,
-    /// Executor busy fraction over the run.
-    pub executor_utilization: f64,
+    /// The stage's share of shared-executor worker time.
+    pub busy_fraction: f64,
 }
 
 impl AlignReport {
     /// Megabases aligned per second (paper Fig. 6 unit).
     pub fn mbases_per_sec(&self) -> f64 {
         self.bases as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl StageReport for AlignReport {
+    fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn busy_fraction(&self) -> f64 {
+        self.busy_fraction
     }
 }
 
@@ -93,8 +104,9 @@ struct ResultChunk {
 }
 
 /// Aligns every read of a dataset, writing a `results` column, using a
-/// private manifest server. Returns the run report; the manifest gains
-/// the results column (callers persist it via [`finalize_manifest`]).
+/// private manifest server and a transient runtime. Returns the run
+/// report; the manifest gains the results column (callers persist it
+/// via [`finalize_manifest`]).
 pub fn align_dataset(inputs: AlignInputs<'_>) -> Result<AlignReport> {
     let server = ManifestServer::new(inputs.manifest);
     align_with_server(inputs, &server)
@@ -104,9 +116,23 @@ pub fn align_dataset(inputs: AlignInputs<'_>) -> Result<AlignReport> {
 /// the multi-server deployment path (§5.2): each "server" runs this
 /// function over the same `ManifestServer`.
 pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Result<AlignReport> {
-    let cfg = inputs.config;
-    let store = inputs.store.clone();
-    let executor = Arc::new(Executor::new(cfg.compute_threads));
+    let rt = PersonaRuntime::new(inputs.store.clone(), inputs.config)?;
+    align_with_runtime(&rt, server, inputs.aligner.clone())
+}
+
+/// Aligns chunks from `server` on a shared runtime: kernels split each
+/// chunk into subchunks and submit them as tagged task batches on the
+/// runtime's executor (Fig. 4). With a streaming server, alignment
+/// overlaps whatever stage is feeding it.
+pub fn align_with_runtime(
+    rt: &PersonaRuntime,
+    server: &ManifestServer,
+    aligner: Arc<dyn Aligner>,
+) -> Result<AlignReport> {
+    let cfg = *rt.config();
+    let store = rt.store().clone();
+    let executor = rt.executor().clone();
+    let timer = rt.stage_timer();
     let reads_ctr = Arc::new(AtomicU64::new(0));
     let bases_ctr = Arc::new(AtomicU64::new(0));
     let mapped_ctr = Arc::new(AtomicU64::new(0));
@@ -117,7 +143,7 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
     if cfg.sample_ms > 0 {
         g.sample_every(Duration::from_millis(cfg.sample_ms));
     }
-    g.track_external("executor", executor.counters(), cfg.compute_threads);
+    g.track_external("executor", executor.counters(), executor.threads());
 
     let q_raw = g.queue::<RawChunk>("raw-chunks", cfg.capacity_for(cfg.parser_parallelism));
     let q_parsed = g.queue::<ParsedChunk>("parsed-chunks", cfg.capacity_for(cfg.aligner_kernels));
@@ -178,7 +204,8 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
     {
         let (qi, qo) = (q_parsed.clone(), q_results.clone());
         let executor = executor.clone();
-        let aligner = inputs.aligner.clone();
+        let tag = timer.tag();
+        let aligner = aligner.clone();
         let (reads_ctr, bases_ctr, mapped_ctr, profile) =
             (reads_ctr.clone(), bases_ctr.clone(), mapped_ctr.clone(), profile.clone());
         let subchunk = cfg.subchunk_size.max(1);
@@ -188,9 +215,7 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
                 let slots: Arc<Mutex<Vec<(usize, Vec<AlignmentResult>)>>> =
                     Arc::new(Mutex::new(Vec::with_capacity(n / subchunk + 1)));
                 let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
-                let mut lo = 0usize;
-                while lo < n {
-                    let hi = (lo + subchunk).min(n);
+                for (lo, hi) in crate::pipeline::subchunk_ranges(n, subchunk) {
                     let bases = parsed.bases.clone();
                     let quals = parsed.quals.clone();
                     let aligner = aligner.clone();
@@ -209,9 +234,8 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
                         profile.lock().merge(&prof);
                         slots.lock().push((lo, out));
                     }));
-                    lo = hi;
                 }
-                let batch = executor.submit_batch(tasks);
+                let batch = executor.submit_batch_tagged(tasks, Some(tag.clone()));
                 ctx.wait_external(|| batch.wait());
 
                 let mut parts = match Arc::try_unwrap(slots) {
@@ -263,7 +287,7 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
     }
 
     let run = g.run().map_err(|(e, _report)| Error::Dataflow(e))?;
-    let executor_utilization = executor.utilization();
+    let busy_fraction = timer.finish().busy_fraction;
     let merged_profile = *profile.lock();
     Ok(AlignReport {
         elapsed: run.elapsed,
@@ -273,7 +297,7 @@ pub fn align_with_server(inputs: AlignInputs<'_>, server: &ManifestServer) -> Re
         chunks: chunks_ctr.load(Ordering::Relaxed),
         run,
         profile: merged_profile,
-        executor_utilization,
+        busy_fraction,
     })
 }
 
@@ -395,36 +419,21 @@ mod tests {
     fn shared_manifest_server_splits_work() {
         let (_genome, store, manifest, aligner) = build_world(400, 50);
         let server = ManifestServer::new(&manifest);
-        // Two "servers" race on the same manifest queue.
-        let r1 = std::thread::scope(|s| {
-            let h1 = s.spawn(|| {
-                align_with_server(
-                    AlignInputs {
-                        store: store.clone(),
-                        manifest: &manifest,
-                        aligner: aligner.clone(),
-                        config: PersonaConfig::small(),
-                    },
-                    &server,
-                )
-                .unwrap()
-            });
-            let h2 = s.spawn(|| {
-                align_with_server(
-                    AlignInputs {
-                        store: store.clone(),
-                        manifest: &manifest,
-                        aligner: aligner.clone(),
-                        config: PersonaConfig::small(),
-                    },
-                    &server,
-                )
-                .unwrap()
-            });
-            let (a, b) = (h1.join().unwrap(), h2.join().unwrap());
-            a.reads + b.reads
-        });
-        assert_eq!(r1, 400);
+        let store_dyn: Arc<dyn persona_agd::chunk_io::ChunkStore> = store.clone();
+        let rt = PersonaRuntime::new(store_dyn, PersonaConfig::small()).unwrap();
+        // Two "servers" race on the same manifest queue, sharing one
+        // runtime (and therefore one executor).
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let rt = rt.clone();
+            let server = server.clone();
+            let aligner = aligner.clone();
+            handles.push(std::thread::spawn(move || {
+                align_with_runtime(&rt, &server, aligner).unwrap().reads
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 400);
         assert_eq!(server.remaining(), 0);
         // Every chunk's results object exists exactly once.
         for e in &manifest.records {

@@ -6,11 +6,18 @@
 //! used by Samblaster", with one columnar twist the paper calls out in
 //! §5.6: "Persona also uses less I/O since only the results column needs
 //! to be read/written from the AGD dataset."
+//!
+//! The signature scan itself is a sequential hash pass (duplicates can
+//! span chunks), but chunk decode and the re-encode+write of changed
+//! chunks run as tagged task batches on the shared executor, and each
+//! finished chunk can be streamed to a downstream stage (SAM export in
+//! the fused pipeline) while later chunks are still being rewritten.
 
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use parking_lot::Mutex;
 use persona_agd::chunk::{ChunkData, RecordType};
 use persona_agd::chunk_io::ChunkStore;
 use persona_agd::columns;
@@ -18,8 +25,13 @@ use persona_agd::manifest::Manifest;
 use persona_agd::results::{flags, AlignmentResult, CigarKind};
 use persona_compress::codec::Codec;
 use persona_compress::deflate::CompressLevel;
+use persona_dataflow::executor::Batch;
 
-use crate::Result;
+use crate::config::PersonaConfig;
+use crate::manifest_server::{ChunkFeeder, ChunkTask};
+use crate::pipeline::StageReport;
+use crate::runtime::PersonaRuntime;
+use crate::{Error, Result};
 
 /// Outcome of a duplicate-marking run.
 #[derive(Debug)]
@@ -30,12 +42,24 @@ pub struct DupmarkReport {
     pub reads: u64,
     /// Records newly marked as duplicates.
     pub duplicates: u64,
+    /// The stage's share of shared-executor worker time.
+    pub busy_fraction: f64,
 }
 
 impl DupmarkReport {
     /// Reads processed per second (the §5.6 comparison unit).
     pub fn reads_per_sec(&self) -> f64 {
         self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl StageReport for DupmarkReport {
+    fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn busy_fraction(&self) -> f64 {
+        self.busy_fraction
     }
 }
 
@@ -70,25 +94,127 @@ fn signature(r: &AlignmentResult) -> Option<(i64, bool, i64)> {
     Some((pos, r.is_reverse(), mate))
 }
 
-/// Marks duplicates in a dataset's `results` column, rewriting the
-/// column chunks in place (no other column is touched).
+/// Marks duplicates in a dataset's `results` column on a transient
+/// private runtime, rewriting the column chunks in place.
 pub fn mark_duplicates(store: &Arc<dyn ChunkStore>, manifest: &Manifest) -> Result<DupmarkReport> {
-    let started = Instant::now();
-    let mut seen: HashSet<(i64, bool, i64)> = HashSet::new();
-    let mut reads = 0u64;
-    let mut duplicates = 0u64;
+    let rt = PersonaRuntime::new(store.clone(), PersonaConfig::default())?;
+    mark_duplicates_rt(&rt, manifest, None)
+}
 
-    for entry in &manifest.records {
-        let name = Manifest::chunk_object_name(&entry.path, columns::RESULTS);
-        let raw = store.get(&name)?;
-        let chunk = ChunkData::decode(&raw)?;
-        let mut results: Vec<AlignmentResult> = Vec::with_capacity(chunk.len());
-        for rec in chunk.iter() {
-            results.push(AlignmentResult::decode(rec)?);
+/// Marks duplicates on a shared runtime (no other column is touched).
+///
+/// When `feeder` is given, every chunk is pushed to it as soon as its
+/// final results are durable in the store — unchanged chunks right
+/// after the scan, rewritten chunks once their executor write task
+/// lands — so a downstream consumer can overlap with the tail of the
+/// marking pass.
+pub fn mark_duplicates_rt(
+    rt: &PersonaRuntime,
+    manifest: &Manifest,
+    feeder: Option<ChunkFeeder>,
+) -> Result<DupmarkReport> {
+    let timer = rt.stage_timer();
+    let store = rt.store();
+    let executor = rt.executor();
+    let mut seen: HashSet<(i64, bool, i64)> = HashSet::new();
+    let mut duplicates = 0u64;
+    let mut reads = 0u64;
+
+    let chunk_names: Vec<String> = manifest
+        .records
+        .iter()
+        .map(|e| Manifest::chunk_object_name(&e.path, columns::RESULTS))
+        .collect();
+    let n = chunk_names.len();
+    // Bounded lookahead: only this many chunks are decoded (or being
+    // rewritten) at once, so memory stays O(window), not O(dataset),
+    // while the executor still sees parallel work.
+    let window = executor.threads() * 2 + 2;
+    let write_err: Arc<Mutex<Option<Error>>> = Arc::new(Mutex::new(None));
+
+    // Per-chunk decode output, filled by an executor task.
+    type DecodeSlot = Arc<Mutex<Option<Result<Vec<AlignmentResult>>>>>;
+    let mut decodes: std::collections::VecDeque<(Batch, DecodeSlot)> =
+        std::collections::VecDeque::new();
+    let mut next_decode = 0usize;
+    // Chunks scanned but whose rewrite (if any) may still be in flight,
+    // in chunk order; drained to the feeder as their writes land.
+    let mut inflight: std::collections::VecDeque<(usize, Option<Batch>)> =
+        std::collections::VecDeque::new();
+    // Executor tasks never touch the feeder themselves — a blocked
+    // chunk-queue push on an executor thread could starve the very
+    // downstream tasks that would drain it.
+    let drain_one = |inflight: &mut std::collections::VecDeque<(usize, Option<Batch>)>| {
+        if let Some((idx, batch)) = inflight.pop_front() {
+            if let Some(batch) = batch {
+                batch.wait();
+            }
+            // Once any rewrite has failed, stop handing chunks
+            // downstream: the contract is that a pushed chunk's final
+            // results are durable, and the run is about to error out.
+            if write_err.lock().is_some() {
+                return;
+            }
+            if let Some(feeder) = &feeder {
+                feeder.push(ChunkTask {
+                    chunk_idx: idx,
+                    stem: manifest.records[idx].path.clone(),
+                    num_records: manifest.records[idx].num_records,
+                });
+            }
         }
+    };
+
+    // Sequential signature scan (chunk order defines which record of a
+    // duplicate set keeps its flag clear), with decode running `window`
+    // chunks ahead on the executor and rewrites of changed chunks
+    // trailing behind on it.
+    for idx in 0..n {
+        while next_decode < n && next_decode < idx + window {
+            let name = chunk_names[next_decode].clone();
+            let store = store.clone();
+            let slot: DecodeSlot = Arc::new(Mutex::new(None));
+            let out = slot.clone();
+            let batch = executor.submit_tagged(
+                move || {
+                    let decode = || -> Result<Vec<AlignmentResult>> {
+                        let chunk = ChunkData::decode(&store.get(&name)?)?;
+                        let mut results = Vec::with_capacity(chunk.len());
+                        for rec in chunk.iter() {
+                            results.push(AlignmentResult::decode(rec)?);
+                        }
+                        Ok(results)
+                    };
+                    *out.lock() = Some(decode());
+                },
+                timer.tag(),
+            );
+            decodes.push_back((batch, slot));
+            next_decode += 1;
+        }
+        let (batch, slot) = decodes.pop_front().expect("decode scheduled ahead of scan");
+        batch.wait();
+        let mut results = match slot.lock().take().expect("decode slot filled") {
+            Ok(r) => r,
+            Err(e) => {
+                // Settle in-flight rewrites AND lookahead decodes before
+                // reporting failure, so no stray executor task touches
+                // the store after this function has returned an error.
+                while let Some((_, write)) = inflight.pop_front() {
+                    if let Some(write) = write {
+                        write.wait();
+                    }
+                }
+                while let Some((decode, _)) = decodes.pop_front() {
+                    decode.wait();
+                }
+                return Err(e);
+            }
+        };
+        reads += results.len() as u64;
+
         let mut changed = false;
         for r in results.iter_mut() {
-            reads += 1;
             if let Some(sig) = signature(r) {
                 if !seen.insert(sig) && !r.is_duplicate() {
                     r.flags |= flags::DUPLICATE;
@@ -97,15 +223,56 @@ pub fn mark_duplicates(store: &Arc<dyn ChunkStore>, manifest: &Manifest) -> Resu
                 }
             }
         }
-        if changed {
-            let encoded: Vec<Vec<u8>> = results.iter().map(|r| r.encode()).collect();
-            let data =
-                ChunkData::from_records(RecordType::Results, encoded.iter().map(|r| r.as_slice()))?;
-            store.put(&name, &data.encode(Codec::Gzip, CompressLevel::Fast)?)?;
+        let write_batch = if changed {
+            let name = chunk_names[idx].clone();
+            let store = store.clone();
+            let write_err = write_err.clone();
+            Some(executor.submit_tagged(
+                move || {
+                    let write = || -> Result<()> {
+                        let encoded: Vec<Vec<u8>> = results.iter().map(|r| r.encode()).collect();
+                        let data = ChunkData::from_records(
+                            RecordType::Results,
+                            encoded.iter().map(|r| r.as_slice()),
+                        )?;
+                        store.put(&name, &data.encode(Codec::Gzip, CompressLevel::Fast)?)?;
+                        Ok(())
+                    };
+                    if let Err(e) = write() {
+                        let mut slot = write_err.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                },
+                timer.tag(),
+            ))
+        } else {
+            None
+        };
+        inflight.push_back((idx, write_batch));
+        // Stream finished chunks downstream in order, each once its
+        // final results are durable, keeping at most `window` rewrites
+        // (and their record buffers) alive.
+        while inflight.len() > window {
+            drain_one(&mut inflight);
         }
     }
+    while !inflight.is_empty() {
+        drain_one(&mut inflight);
+    }
+    drop(feeder); // Closes the downstream chunk stream.
+    if let Some(e) = write_err.lock().take() {
+        return Err(e);
+    }
 
-    Ok(DupmarkReport { elapsed: started.elapsed(), reads, duplicates })
+    let stage = timer.finish();
+    Ok(DupmarkReport {
+        elapsed: stage.elapsed,
+        reads,
+        duplicates,
+        busy_fraction: stage.busy_fraction,
+    })
 }
 
 #[cfg(test)]
@@ -252,5 +419,28 @@ mod tests {
         let (store, manifest) = world(results, 5);
         let report = mark_duplicates(&store, &manifest).unwrap();
         assert_eq!(report.duplicates, 16); // 4 firsts, 16 dups.
+    }
+
+    #[test]
+    fn streams_every_chunk_exactly_once() {
+        let results: Vec<AlignmentResult> = (0..30).map(|i| result(i as i64 % 6, false)).collect();
+        let (store, manifest) = world(results, 5);
+        let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+        let (server, feeder) = crate::manifest_server::ManifestServer::streaming(4);
+        let collector = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut idxs = Vec::new();
+                while let Some(task) = server.fetch() {
+                    idxs.push(task.chunk_idx);
+                }
+                idxs
+            })
+        };
+        let report = mark_duplicates_rt(&rt, &manifest, Some(feeder)).unwrap();
+        assert_eq!(report.duplicates, 24);
+        let mut idxs = collector.join().unwrap();
+        idxs.sort();
+        assert_eq!(idxs, (0..manifest.records.len()).collect::<Vec<_>>());
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! "Persona also implements an output subgraph for the common SAM/BAM
 //! format for compatibility with tools that have not been integrated or
-//! do not yet support AGD." SAM formatting is parallel per chunk with an
-//! ordered single writer; BAM goes through the BGZF encoder.
+//! do not yet support AGD." SAM formatting runs as subchunk task
+//! batches on the shared executor with an ordered single writer; BAM
+//! compresses its BGZF blocks the same way.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -15,10 +16,13 @@ use persona_agd::manifest::Manifest;
 use persona_agd::results::AlignmentResult;
 use persona_compress::deflate::CompressLevel;
 use persona_dataflow::graph::GraphBuilder;
+use persona_formats::bam::{bgzf_block, bgzf_block_ranges};
 use persona_formats::sam::{RefMap, SamRecord};
 
 use crate::config::PersonaConfig;
 use crate::manifest_server::ManifestServer;
+use crate::pipeline::StageReport;
+use crate::runtime::PersonaRuntime;
 use crate::{Error, Result};
 
 /// Outcome of an export run.
@@ -30,6 +34,8 @@ pub struct ExportReport {
     pub records: u64,
     /// Output bytes produced.
     pub output_bytes: u64,
+    /// The stage's share of shared-executor worker time.
+    pub busy_fraction: f64,
 }
 
 impl ExportReport {
@@ -39,19 +45,48 @@ impl ExportReport {
     }
 }
 
+impl StageReport for ExportReport {
+    fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn busy_fraction(&self) -> f64 {
+        self.busy_fraction
+    }
+}
+
 struct FormattedChunk {
     idx: usize,
     text: Vec<u8>,
     records: u64,
 }
 
-/// Exports an aligned dataset as SAM text with parallel formatting.
+/// Exports an aligned dataset as SAM text on a transient private
+/// runtime with a prefilled manifest server.
 pub fn export_sam(
     store: &Arc<dyn ChunkStore>,
     manifest: &Manifest,
     out: &mut (impl Write + Send),
     config: &PersonaConfig,
 ) -> Result<ExportReport> {
+    let rt = PersonaRuntime::new(store.clone(), *config)?;
+    let server = ManifestServer::new(manifest);
+    export_sam_rt(&rt, manifest, &server, out)
+}
+
+/// Exports chunks handed out by `server` as SAM text on a shared
+/// runtime. Formatting runs as subchunk task batches on the executor;
+/// the writer reassembles chunks in dataset order. With a streaming
+/// server this overlaps whatever stage is feeding it (duplicate
+/// marking in the fused pipeline).
+pub fn export_sam_rt(
+    rt: &PersonaRuntime,
+    manifest: &Manifest,
+    server: &ManifestServer,
+    out: &mut (impl Write + Send),
+) -> Result<ExportReport> {
+    let config = *rt.config();
+    let timer = rt.stage_timer();
     let refs = Arc::new(RefMap::new(&manifest.reference));
     let mut header = Vec::new();
     persona_formats::sam::write_header(
@@ -61,49 +96,63 @@ pub fn export_sam(
     )?;
     out.write_all(&header)?;
 
-    let server = ManifestServer::new(manifest);
     let formatters = config.parser_parallelism.max(2);
     let records_total = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let bytes_total = Arc::new(std::sync::atomic::AtomicU64::new(header.len() as u64));
 
     let mut g = GraphBuilder::new("export-sam");
+    g.track_external("executor", rt.executor().counters(), rt.executor().threads());
     let q_formatted = g.queue::<FormattedChunk>("formatted", config.capacity_for(1));
 
     {
         let server = server.clone();
-        let store = store.clone();
+        let store = rt.store().clone();
+        let executor = rt.executor().clone();
+        let tag = timer.tag();
         let refs = refs.clone();
         let qf = q_formatted.clone();
+        let subchunk = config.subchunk_size.max(1);
         g.node("formatter", formatters, [q_formatted.produces()], move |ctx| {
             while let Some(task) = server.fetch() {
-                let load =
+                let mut load =
                     |col: &str| -> std::result::Result<persona_agd::chunk::ChunkData, String> {
-                        let raw = ctx_get(&*store, &task.stem, col)?;
+                        let raw = ctx.wait_external(|| ctx_get(&*store, &task.stem, col))?;
                         persona_agd::chunk::ChunkData::decode(&raw).map_err(|e| e.to_string())
                     };
-                let meta = load(columns::METADATA)?;
-                let bases = load(columns::BASES)?;
-                let quals = load(columns::QUAL)?;
-                let results = load(columns::RESULTS)?;
-                let mut text = Vec::with_capacity(bases.data.len() * 3);
-                for i in 0..meta.len() {
-                    let r =
-                        AlignmentResult::decode(results.record(i)).map_err(|e| e.to_string())?;
-                    let rec = SamRecord::from_result(
-                        &refs,
-                        meta.record(i),
-                        bases.record(i),
-                        quals.record(i),
-                        &r,
-                    );
-                    text.extend_from_slice(&rec.to_line(&refs));
-                    text.push(b'\n');
+                let meta = Arc::new(load(columns::METADATA)?);
+                let bases = Arc::new(load(columns::BASES)?);
+                let quals = Arc::new(load(columns::QUAL)?);
+                let results = Arc::new(load(columns::RESULTS)?);
+                let n = meta.len();
+                // Format subchunks as parallel executor tasks, in order.
+                let ranges = crate::pipeline::subchunk_ranges(n, subchunk);
+                let (m, b, q, r, rf) =
+                    (meta.clone(), bases.clone(), quals.clone(), results.clone(), refs.clone());
+                let pieces = ctx.wait_external(|| {
+                    executor.map_batch(ranges, Some(tag.clone()), move |_, (lo, hi)| {
+                        let mut text = Vec::with_capacity((hi - lo) * 96);
+                        for i in lo..hi {
+                            let res =
+                                AlignmentResult::decode(r.record(i)).map_err(|e| e.to_string())?;
+                            let rec = SamRecord::from_result(
+                                &rf,
+                                m.record(i),
+                                b.record(i),
+                                q.record(i),
+                                &res,
+                            );
+                            text.extend_from_slice(&rec.to_line(&rf));
+                            text.push(b'\n');
+                        }
+                        Ok::<Vec<u8>, String>(text)
+                    })
+                });
+                let mut text = Vec::new();
+                for piece in pieces {
+                    text.extend_from_slice(&piece?);
                 }
-                ctx.add_items(meta.len() as u64);
-                ctx.push(
-                    &qf,
-                    FormattedChunk { idx: task.chunk_idx, text, records: meta.len() as u64 },
-                )?;
+                ctx.add_items(n as u64);
+                ctx.push(&qf, FormattedChunk { idx: task.chunk_idx, text, records: n as u64 })?;
             }
             Ok(())
         });
@@ -139,17 +188,19 @@ pub fn export_sam(
     }
 
     let run = g.run().map_err(|(e, _)| Error::Dataflow(e))?;
+    let stage = timer.finish();
     let sink = writer_out.lock();
     out.write_all(&sink.buf)?;
     Ok(ExportReport {
         elapsed: run.elapsed,
         records: records_total.load(std::sync::atomic::Ordering::Relaxed),
         output_bytes: bytes_total.load(std::sync::atomic::Ordering::Relaxed),
+        busy_fraction: stage.busy_fraction,
     })
 }
 
-/// Exports an aligned dataset as BAM (single-threaded BGZF after
-/// record assembly; the compatibility path of §4.4).
+/// Exports an aligned dataset as BAM with single-threaded BGZF (the
+/// compatibility path of §4.4).
 pub fn export_bam(
     store: &Arc<dyn ChunkStore>,
     manifest: &Manifest,
@@ -160,7 +211,53 @@ pub fn export_bam(
     let ds = persona_agd::dataset::Dataset::new(manifest.clone());
     let mut counting = CountingWriter { inner: out, written: 0 };
     let n = persona_formats::convert::agd_to_bam(&ds, store.as_ref(), &mut counting, level)?;
-    Ok(ExportReport { elapsed: started.elapsed(), records: n, output_bytes: counting.written })
+    Ok(ExportReport {
+        elapsed: started.elapsed(),
+        records: n,
+        output_bytes: counting.written,
+        busy_fraction: 0.0,
+    })
+}
+
+/// Exports an aligned dataset as BAM on a shared runtime: independent
+/// BGZF blocks compress as one executor task batch (how `samtools -@`
+/// parallelizes BAM writing, on Persona's scheduler).
+pub fn export_bam_rt(
+    rt: &PersonaRuntime,
+    manifest: &Manifest,
+    out: &mut impl Write,
+    level: CompressLevel,
+) -> Result<ExportReport> {
+    let timer = rt.stage_timer();
+    let ds = persona_agd::dataset::Dataset::new(manifest.clone());
+    let mut counting = CountingWriter { inner: out, written: 0 };
+    let executor = rt.executor().clone();
+    let tag = timer.tag();
+    let n = persona_formats::convert::agd_to_bam_with(
+        &ds,
+        rt.store().as_ref(),
+        &mut counting,
+        level,
+        move |payload, level| {
+            // Share the payload; each task compresses one block range,
+            // so nothing is copied before dispatch. Block boundaries
+            // come from the format crate's single source of truth.
+            let ranges = bgzf_block_ranges(payload.len());
+            let payload = Arc::new(payload);
+            executor
+                .map_batch(ranges, Some(tag), move |_, (lo, hi)| {
+                    bgzf_block(&payload[lo..hi], level)
+                })
+                .concat()
+        },
+    )?;
+    let stage = timer.finish();
+    Ok(ExportReport {
+        elapsed: stage.elapsed,
+        records: n,
+        output_bytes: counting.written,
+        busy_fraction: stage.busy_fraction,
+    })
 }
 
 struct OutSink {
@@ -242,6 +339,7 @@ mod tests {
         let mut out = Vec::new();
         let report = export_sam(&store, &manifest, &mut out, &PersonaConfig::small()).unwrap();
         assert_eq!(report.records, 200);
+        assert!(report.busy_fraction > 0.0, "formatting must run on the executor");
         let text = String::from_utf8(out).unwrap();
         let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('@')).collect();
         assert_eq!(body.len(), 200);
@@ -261,6 +359,18 @@ mod tests {
         assert_eq!(report.output_bytes as usize, out.len());
         let bam = persona_formats::bam::read_bam(&out).unwrap();
         assert_eq!(bam.records.len(), 120);
+    }
+
+    #[test]
+    fn bam_export_on_runtime_matches_single_threaded() {
+        let (store, manifest) = world(300, 64);
+        let mut serial = Vec::new();
+        export_bam(&store, &manifest, &mut serial, CompressLevel::Fast).unwrap();
+        let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+        let mut parallel = Vec::new();
+        let report = export_bam_rt(&rt, &manifest, &mut parallel, CompressLevel::Fast).unwrap();
+        assert_eq!(report.records, 300);
+        assert_eq!(serial, parallel, "executor BGZF must be byte-identical");
     }
 
     #[test]

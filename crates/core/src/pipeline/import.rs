@@ -1,10 +1,12 @@
 //! FASTQ import (paper §5.7: "FASTQ is imported to AGD at 360 MB/s").
 //!
 //! The import pipeline parses FASTQ serially (framing is inherently
-//! sequential) but compresses and writes column chunks in parallel:
+//! sequential) but encodes and compresses column chunks on the shared
+//! executor, with a single writer landing objects in storage:
 //!
 //! ```text
-//! parser ─► [read batches] ─► encoder(s) ─► writer
+//! parser ─► [read batches] ─► encoder(s) ─► writer ─► (chunk feeder)
+//!                               │ executor: per-column encode tasks
 //! ```
 
 use std::io::BufRead;
@@ -17,11 +19,15 @@ use persona_agd::chunk::{ChunkData, RecordType};
 use persona_agd::chunk_io::ChunkStore;
 use persona_agd::columns;
 use persona_agd::manifest::{ChunkEntry, Manifest};
+use persona_compress::codec::Codec;
 use persona_compress::deflate::CompressLevel;
 use persona_dataflow::graph::GraphBuilder;
 use persona_seq::Read;
 
 use crate::config::PersonaConfig;
+use crate::manifest_server::{ChunkFeeder, ChunkTask};
+use crate::pipeline::StageReport;
+use crate::runtime::PersonaRuntime;
 use crate::{Error, Result};
 
 /// Outcome of an import run.
@@ -35,12 +41,24 @@ pub struct ImportReport {
     pub reads: u64,
     /// Chunks written.
     pub chunks: u64,
+    /// The stage's share of shared-executor worker time.
+    pub busy_fraction: f64,
 }
 
 impl ImportReport {
     /// Input megabytes per second (the §5.7 unit).
     pub fn mb_per_sec(&self) -> f64 {
         self.input_bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl StageReport for ImportReport {
+    fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn busy_fraction(&self) -> f64 {
+        self.busy_fraction
     }
 }
 
@@ -57,8 +75,16 @@ struct EncodedChunk {
     meta_obj: Vec<u8>,
 }
 
-/// Imports FASTQ into a new AGD dataset named `name`, with parallel
-/// chunk encoding. Returns the manifest and throughput report.
+/// Which read column an encode task produces.
+#[derive(Clone, Copy)]
+enum Column {
+    Bases,
+    Qual,
+    Meta,
+}
+
+/// Imports FASTQ into a new AGD dataset named `name` on a transient
+/// private runtime. Returns the manifest and throughput report.
 pub fn import_fastq(
     input: impl BufRead + Send + 'static,
     store: &Arc<dyn ChunkStore>,
@@ -66,9 +92,25 @@ pub fn import_fastq(
     chunk_size: usize,
     config: &PersonaConfig,
 ) -> Result<(Manifest, ImportReport)> {
+    let rt = PersonaRuntime::new(store.clone(), *config)?;
+    import_fastq_rt(&rt, input, name, chunk_size, None)
+}
+
+/// Imports FASTQ on a shared runtime, encoding columns as executor task
+/// batches. When `feeder` is given, every written chunk is also pushed
+/// to it (the fused pipeline's import → align edge) and the feeder is
+/// closed when the import graph finishes.
+pub fn import_fastq_rt(
+    rt: &PersonaRuntime,
+    input: impl BufRead + Send + 'static,
+    name: &str,
+    chunk_size: usize,
+    feeder: Option<ChunkFeeder>,
+) -> Result<(Manifest, ImportReport)> {
     if chunk_size == 0 {
         return Err(Error::Pipeline("chunk_size must be positive".into()));
     }
+    let config = *rt.config();
     let mut manifest = Manifest::new(name);
     manifest.add_column(columns::BASES, Default::default())?;
     manifest.add_column(columns::QUAL, Default::default())?;
@@ -78,7 +120,11 @@ pub fn import_fastq(
         columns::QUAL.to_string(),
         columns::METADATA.to_string(),
     ]];
+    let bases_codec = manifest.column_codec(columns::BASES)?;
+    let qual_codec = manifest.column_codec(columns::QUAL)?;
+    let meta_codec = manifest.column_codec(columns::METADATA)?;
 
+    let timer = rt.stage_timer();
     let input_bytes = Arc::new(AtomicU64::new(0));
     let reads_ctr = Arc::new(AtomicU64::new(0));
     let entries: Arc<Mutex<Vec<(u64, u32)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -89,6 +135,7 @@ pub fn import_fastq(
 
     let encoders = config.parser_parallelism.max(2);
     let mut g = GraphBuilder::new("import");
+    g.track_external("executor", rt.executor().counters(), rt.executor().threads());
     let q_batches = g.queue::<Batch>("batches", config.capacity_for(encoders));
     let q_encoded = g.queue::<EncodedChunk>("encoded", config.capacity_for(1));
 
@@ -132,28 +179,37 @@ pub fn import_fastq(
         });
     }
 
+    // Encoder node: per-column encode+compress runs as a task batch on
+    // the shared executor; the node itself only marshals the results.
     {
         let (qi, qo) = (q_batches.clone(), q_encoded.clone());
-        let m = manifest.clone();
+        let executor = rt.executor().clone();
+        let tag = timer.tag();
         g.node("encoder", encoders, [q_encoded.produces()], move |ctx| {
             while let Some(batch) = ctx.pop(&qi) {
                 let n = batch.reads.len() as u32;
-                let enc = |rt: RecordType,
-                           col: &str,
-                           get: &dyn Fn(&Read) -> &[u8]|
-                 -> std::result::Result<Vec<u8>, String> {
-                    let chunk = ChunkData::from_records(rt, batch.reads.iter().map(get))
-                        .map_err(|e| e.to_string())?;
-                    chunk
-                        .encode(
-                            m.column_codec(col).map_err(|e| e.to_string())?,
-                            CompressLevel::Fast,
-                        )
-                        .map_err(|e| e.to_string())
-                };
-                let bases_obj = enc(RecordType::CompactBases, columns::BASES, &|r| &r.bases)?;
-                let qual_obj = enc(RecordType::Text, columns::QUAL, &|r| &r.quals)?;
-                let meta_obj = enc(RecordType::Text, columns::METADATA, &|r| &r.meta)?;
+                let reads = Arc::new(batch.reads);
+                let jobs: Vec<(Column, RecordType, Codec)> = vec![
+                    (Column::Bases, RecordType::CompactBases, bases_codec),
+                    (Column::Qual, RecordType::Text, qual_codec),
+                    (Column::Meta, RecordType::Text, meta_codec),
+                ];
+                let r = reads.clone();
+                let mut objs = ctx.wait_external(|| {
+                    executor.map_batch(jobs, Some(tag.clone()), move |_, (col, rtype, codec)| {
+                        let records = r.iter().map(|read| match col {
+                            Column::Bases => read.bases.as_slice(),
+                            Column::Qual => read.quals.as_slice(),
+                            Column::Meta => read.meta.as_slice(),
+                        });
+                        ChunkData::from_records(rtype, records)
+                            .and_then(|chunk| chunk.encode(codec, CompressLevel::Fast))
+                            .map_err(|e| e.to_string())
+                    })
+                });
+                let meta_obj = objs.pop().expect("meta encode result")?;
+                let qual_obj = objs.pop().expect("qual encode result")?;
+                let bases_obj = objs.pop().expect("bases encode result")?;
                 ctx.add_items(n as u64);
                 ctx.push(
                     &qo,
@@ -166,7 +222,7 @@ pub fn import_fastq(
 
     {
         let qi = q_encoded.clone();
-        let store = store.clone();
+        let store = rt.store().clone();
         let name = name.to_string();
         let entries = entries.clone();
         g.node("writer", 1, [], move |ctx| {
@@ -180,6 +236,16 @@ pub fn import_fastq(
                 })
                 .map_err(|e| format!("write chunk {}: {e}", chunk.idx))?;
                 entries.lock().push((chunk.idx, chunk.num_records));
+                if let Some(feeder) = &feeder {
+                    let task = ChunkTask {
+                        chunk_idx: chunk.idx as usize,
+                        stem,
+                        num_records: chunk.num_records,
+                    };
+                    if !ctx.wait_external(|| feeder.push(task)) {
+                        return Err("downstream stage closed the chunk stream".into());
+                    }
+                }
                 ctx.add_items(1);
             }
             Ok(())
@@ -187,6 +253,7 @@ pub fn import_fastq(
     }
 
     let run = g.run().map_err(|(e, _)| Error::Dataflow(e))?;
+    let stage = timer.finish();
 
     // Assemble the manifest in chunk order.
     let mut entry_list = entries.lock().clone();
@@ -202,7 +269,7 @@ pub fn import_fastq(
     }
     manifest.total_records = first;
     manifest.validate()?;
-    store.put(&format!("{name}.manifest.json"), manifest.to_json()?.as_bytes())?;
+    rt.store().put(&format!("{name}.manifest.json"), manifest.to_json()?.as_bytes())?;
 
     Ok((
         manifest,
@@ -211,6 +278,7 @@ pub fn import_fastq(
             input_bytes: input_bytes.load(Ordering::Relaxed),
             reads: reads_ctr.load(Ordering::Relaxed),
             chunks: entry_list.len() as u64,
+            busy_fraction: stage.busy_fraction,
         },
     ))
 }
@@ -242,6 +310,7 @@ mod tests {
         assert_eq!(report.chunks, 5);
         assert_eq!(manifest.total_records, 300);
         assert!(report.input_bytes > 0);
+        assert!(report.busy_fraction > 0.0, "encoding must run on the executor");
 
         let ds = Dataset::new(manifest);
         let mut i = 0usize;
@@ -255,6 +324,35 @@ mod tests {
             }
         }
         assert_eq!(i, 300);
+    }
+
+    #[test]
+    fn streams_chunk_tasks_to_a_feeder() {
+        let (bytes, _) = fastq_bytes(250);
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+        let (server, feeder) = crate::manifest_server::ManifestServer::streaming(4);
+        let collector = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut stems = Vec::new();
+                while let Some(task) = server.fetch() {
+                    stems.push((task.chunk_idx, task.stem, task.num_records));
+                }
+                stems
+            })
+        };
+        let (manifest, report) =
+            import_fastq_rt(&rt, std::io::Cursor::new(bytes), "st", 100, Some(feeder)).unwrap();
+        let mut got = collector.join().unwrap();
+        got.sort();
+        assert_eq!(got.len(), manifest.records.len());
+        assert_eq!(report.chunks, got.len() as u64);
+        for (i, (idx, stem, n)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(stem, &manifest.records[i].path);
+            assert_eq!(*n, manifest.records[i].num_records);
+        }
     }
 
     #[test]

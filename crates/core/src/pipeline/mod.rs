@@ -1,7 +1,53 @@
 //! Persona's optimized subgraphs and pipelines (paper §4.1-§4.4).
+//!
+//! Every stage schedules its compute — FASTQ encoding, subchunk
+//! alignment, chunk sort/merge, duplicate re-encoding, SAM formatting,
+//! BGZF compression — as fine-grain task batches on the runtime's
+//! shared executor ([`crate::runtime::PersonaRuntime`]), and every
+//! stage's report exposes the same [`StageReport`] utilization view.
+
+use std::time::Duration;
 
 pub mod align;
 pub mod dupmark;
 pub mod export;
 pub mod import;
 pub mod sort;
+
+/// The uniform per-stage utilization surface: wall clock plus the
+/// stage's share of the shared executor's worker time.
+pub trait StageReport {
+    /// Wall-clock duration of the stage.
+    fn elapsed(&self) -> Duration;
+    /// Fraction of executor worker time this stage's tasks consumed
+    /// during its run (0 when the stage scheduled no executor work).
+    fn busy_fraction(&self) -> f64;
+}
+
+/// Splits `0..n` into contiguous `(lo, hi)` ranges of at most `size`
+/// elements — the fine-grain task unit stages fan out on the executor.
+pub(crate) fn subchunk_ranges(n: usize, size: usize) -> Vec<(usize, usize)> {
+    let size = size.max(1);
+    let mut ranges = Vec::with_capacity(n / size + 1);
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + size).min(n);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subchunk_ranges_cover_exactly_once() {
+        assert_eq!(subchunk_ranges(0, 4), vec![]);
+        assert_eq!(subchunk_ranges(3, 4), vec![(0, 3)]);
+        assert_eq!(subchunk_ranges(8, 4), vec![(0, 4), (4, 8)]);
+        assert_eq!(subchunk_ranges(9, 4), vec![(0, 4), (4, 8), (8, 9)]);
+        assert_eq!(subchunk_ranges(5, 0), vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+}

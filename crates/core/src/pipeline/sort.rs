@@ -9,9 +9,13 @@
 //! (aligned location or read metadata). Unlike row-oriented SAM/BAM
 //! sorting, records never need re-parsing: columns are permuted as
 //! opaque byte slices, with only the key column decoded.
+//!
+//! Every compute phase — per-chunk load+sort, superchunk merges, output
+//! chunk encode+write — runs as tagged task batches on the runtime's
+//! shared executor; the sort stage owns no threads of its own.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use persona_agd::chunk::{ChunkData, RecordType};
 use persona_agd::chunk_io::ChunkStore;
@@ -22,6 +26,8 @@ use persona_compress::codec::Codec;
 use persona_compress::deflate::CompressLevel;
 
 use crate::config::PersonaConfig;
+use crate::pipeline::StageReport;
+use crate::runtime::PersonaRuntime;
 use crate::{Error, Result};
 
 /// The sort key.
@@ -44,6 +50,18 @@ pub struct SortReport {
     pub runs: usize,
     /// Number of intermediate superchunks (0 if a single merge sufficed).
     pub superchunks: usize,
+    /// The stage's share of shared-executor worker time.
+    pub busy_fraction: f64,
+}
+
+impl StageReport for SortReport {
+    fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    fn busy_fraction(&self) -> f64 {
+        self.busy_fraction
+    }
 }
 
 /// All columns of one loaded (or merged) run, as parallel record arrays.
@@ -68,9 +86,8 @@ impl Run {
     }
 }
 
-/// Sorts a dataset into a new dataset `out_name`, returning the new
-/// manifest. Unmapped records (location -1) sort first, matching the
-/// convention that they carry no coordinate.
+/// Sorts a dataset into a new dataset `out_name` on a transient private
+/// runtime, returning the new manifest.
 pub fn sort_dataset(
     store: &Arc<dyn ChunkStore>,
     manifest: &Manifest,
@@ -78,79 +95,74 @@ pub fn sort_dataset(
     out_name: &str,
     config: &PersonaConfig,
 ) -> Result<(Manifest, SortReport)> {
-    let started = Instant::now();
+    let rt = PersonaRuntime::new(store.clone(), *config)?;
+    sort_dataset_rt(&rt, manifest, key, out_name)
+}
+
+/// Sorts a dataset on a shared runtime. Unmapped records (location -1)
+/// sort first, matching the convention that they carry no coordinate.
+pub fn sort_dataset_rt(
+    rt: &PersonaRuntime,
+    manifest: &Manifest,
+    key: SortKey,
+    out_name: &str,
+) -> Result<(Manifest, SortReport)> {
+    let timer = rt.stage_timer();
     if key == SortKey::Coordinate && !manifest.has_column(columns::RESULTS) {
         return Err(Error::Pipeline("coordinate sort requires a results column".into()));
     }
     let has_results = manifest.has_column(columns::RESULTS);
+    let executor = rt.executor();
 
-    // Phase 1: sort each chunk into a run (in parallel).
+    // Phase 1: sort each chunk into a run (an executor task per chunk).
     let chunk_count = manifest.records.len();
-    let mut runs: Vec<Run> = Vec::with_capacity(chunk_count);
-    {
-        let slots: parking_lot::Mutex<Vec<Option<Run>>> =
-            parking_lot::Mutex::new((0..chunk_count).map(|_| None).collect());
-        let workers = config.compute_threads.max(1).min(chunk_count.max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let err = parking_lot::Mutex::new(None::<Error>);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= chunk_count {
-                        return;
-                    }
-                    match load_sorted_run(store.as_ref(), manifest, idx, key, has_results) {
-                        Ok(run) => {
-                            slots.lock()[idx] = Some(run);
-                        }
-                        Err(e) => {
-                            *err.lock() = Some(e);
-                            return;
-                        }
-                    }
-                });
-            }
-        });
-        if let Some(e) = err.into_inner() {
-            return Err(e);
-        }
-        for slot in slots.into_inner() {
-            runs.push(slot.ok_or_else(|| Error::Pipeline("missing sorted run".into()))?);
-        }
-    }
+    let shared_manifest = Arc::new(manifest.clone());
+    let mut runs: Vec<Run> = {
+        let store = rt.store().clone();
+        let m = shared_manifest.clone();
+        executor
+            .map_batch((0..chunk_count).collect(), Some(timer.tag()), move |_, idx| {
+                load_sorted_run(store.as_ref(), &m, idx, key, has_results)
+            })
+            .into_iter()
+            .collect::<Result<_>>()?
+    };
     let n_runs = runs.len();
 
     // Phase 2: merge groups of runs into superchunks until few enough
-    // remain, then a final merge writes the output dataset.
+    // remain (each group merge is one executor task), then a final
+    // merge produces the output order.
     let fanin = 8usize;
     let mut superchunks = 0usize;
     while runs.len() > fanin {
-        let mut merged: Vec<Run> = Vec::new();
-        for group in runs.chunks_mut(fanin) {
-            let group: Vec<Run> = group.iter_mut().map(std::mem::take).collect();
-            merged.push(merge_runs(group));
-            superchunks += 1;
+        let mut groups: Vec<Vec<Run>> = Vec::new();
+        while !runs.is_empty() {
+            let take = runs.len().min(fanin);
+            groups.push(runs.drain(..take).collect());
         }
-        runs = merged;
+        superchunks += groups.len();
+        runs = executor.map_batch(groups, Some(timer.tag()), |_, group| merge_runs(group));
     }
-    let final_run = merge_runs(runs);
+    let final_run = executor
+        .map_batch(vec![runs], Some(timer.tag()), |_, runs| merge_runs(runs))
+        .pop()
+        .expect("final merge result");
     let records = final_run.len() as u64;
 
-    // Write the output dataset chunk by chunk.
-    let out_manifest = write_sorted_dataset(
-        store.as_ref(),
-        out_name,
-        manifest,
-        final_run,
-        key,
-        has_results,
-        config,
-    )?;
+    // Phase 3: encode and write the output dataset chunk by chunk.
+    let out_manifest =
+        write_sorted_dataset(rt, &timer, out_name, manifest, final_run, key, has_results)?;
 
+    let stage = timer.finish();
     Ok((
         out_manifest,
-        SortReport { elapsed: started.elapsed(), records, runs: n_runs, superchunks },
+        SortReport {
+            elapsed: stage.elapsed,
+            records,
+            runs: n_runs,
+            superchunks,
+            busy_fraction: stage.busy_fraction,
+        },
     ))
 }
 
@@ -256,20 +268,16 @@ fn merge_runs(mut runs: Vec<Run>) -> Run {
     out
 }
 
-/// Looks up a column codec on a shared manifest reference.
-fn manifest_codec(m: &Manifest, col: &str) -> Result<persona_compress::codec::Codec> {
-    Ok(m.column_codec(col)?)
-}
-
-/// Writes the merged run as a fresh AGD dataset.
+/// Writes the merged run as a fresh AGD dataset, one executor task per
+/// output chunk.
 fn write_sorted_dataset(
-    store: &dyn ChunkStore,
+    rt: &PersonaRuntime,
+    timer: &crate::runtime::StageTimer,
     out_name: &str,
     src: &Manifest,
     run: Run,
     key: SortKey,
     has_results: bool,
-    config: &PersonaConfig,
 ) -> Result<Manifest> {
     let chunk_size = src
         .records
@@ -277,7 +285,6 @@ fn write_sorted_dataset(
         .map(|e| e.num_records as usize)
         .unwrap_or(persona_agd::DEFAULT_CHUNK_SIZE)
         .max(1);
-    let _ = config;
 
     let mut manifest = Manifest::new(out_name);
     manifest.add_column(columns::BASES, src.column_codec(columns::BASES)?)?;
@@ -294,61 +301,47 @@ fn write_sorted_dataset(
     manifest.row_groups = src.row_groups.clone();
 
     let n = run.len();
-    // Encode and write output chunks in parallel (column chunks are
-    // independent objects), then record entries in order.
-    let ranges: Vec<(usize, usize)> = {
-        let mut v = Vec::new();
-        let mut lo = 0usize;
-        while lo < n {
-            let hi = (lo + chunk_size).min(n);
-            v.push((lo, hi));
-            lo = hi;
-        }
-        v
-    };
+    let ranges = crate::pipeline::subchunk_ranges(n, chunk_size);
     {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let err = parking_lot::Mutex::new(None::<Error>);
-        let workers = config.compute_threads.max(1).min(ranges.len().max(1));
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if k >= ranges.len() {
-                        return;
-                    }
-                    let (lo, hi) = ranges[k];
-                    let stem = format!("{out_name}-{k}");
-                    let write = |col: &str, rt: RecordType, records: &[Vec<u8>]| -> Result<()> {
-                        let data = ChunkData::from_records(
-                            rt,
-                            records[lo..hi].iter().map(|r| r.as_slice()),
-                        )?;
-                        let obj =
-                            data.encode(manifest_codec(&manifest, col)?, CompressLevel::Fast)?;
-                        store.put(&Manifest::chunk_object_name(&stem, col), &obj)?;
-                        Ok(())
-                    };
-                    let res = write(columns::METADATA, RecordType::Text, &run.meta)
-                        .and_then(|()| write(columns::BASES, RecordType::CompactBases, &run.bases))
-                        .and_then(|()| write(columns::QUAL, RecordType::Text, &run.quals))
-                        .and_then(|()| {
-                            if has_results {
-                                write(columns::RESULTS, RecordType::Results, &run.results)
-                            } else {
-                                Ok(())
-                            }
-                        });
-                    if let Err(e) = res {
-                        *err.lock() = Some(e);
-                        return;
-                    }
-                });
+        let columns_spec: Vec<(&'static str, RecordType, Codec)> = {
+            let mut v = vec![
+                (columns::METADATA, RecordType::Text, manifest.column_codec(columns::METADATA)?),
+                (columns::BASES, RecordType::CompactBases, manifest.column_codec(columns::BASES)?),
+                (columns::QUAL, RecordType::Text, manifest.column_codec(columns::QUAL)?),
+            ];
+            if has_results {
+                v.push((
+                    columns::RESULTS,
+                    RecordType::Results,
+                    manifest.column_codec(columns::RESULTS)?,
+                ));
             }
-        });
-        if let Some(e) = err.into_inner() {
-            return Err(e);
-        }
+            v
+        };
+        let run = Arc::new(run);
+        let store = rt.store().clone();
+        let out_name = out_name.to_string();
+        rt.executor()
+            .map_batch(ranges.clone(), Some(timer.tag()), move |k, (lo, hi)| -> Result<()> {
+                let stem = format!("{out_name}-{k}");
+                for &(col, rtype, codec) in &columns_spec {
+                    let records: &[Vec<u8>] = match col {
+                        columns::METADATA => &run.meta,
+                        columns::BASES => &run.bases,
+                        columns::QUAL => &run.quals,
+                        _ => &run.results,
+                    };
+                    let data = ChunkData::from_records(
+                        rtype,
+                        records[lo..hi].iter().map(|r| r.as_slice()),
+                    )?;
+                    let obj = data.encode(codec, CompressLevel::Fast)?;
+                    store.put(&Manifest::chunk_object_name(&stem, col), &obj)?;
+                }
+                Ok(())
+            })
+            .into_iter()
+            .collect::<Result<Vec<()>>>()?;
     }
     let mut first = 0u64;
     for (k, &(lo, hi)) in ranges.iter().enumerate() {
@@ -361,7 +354,7 @@ fn write_sorted_dataset(
     }
     manifest.total_records = first;
     manifest.validate()?;
-    store.put(&format!("{out_name}.manifest.json"), manifest.to_json()?.as_bytes())?;
+    rt.store().put(&format!("{out_name}.manifest.json"), manifest.to_json()?.as_bytes())?;
     Ok(manifest)
 }
 
@@ -430,6 +423,7 @@ mod tests {
                 .unwrap();
         assert_eq!(report.records, 500);
         assert_eq!(report.runs, manifest.records.len());
+        assert!(report.busy_fraction > 0.0, "sort compute must run on the executor");
         assert_eq!(sorted.sort_order, SortOrder::Coordinate);
         assert_eq!(sorted.total_records, 500);
         let locs = locations_of(&store, &sorted);

@@ -1,0 +1,256 @@
+//! The Persona runtime: one executor owns every compute thread, and all
+//! pipeline stages schedule their compute on it (paper §4.3, Fig. 4).
+//!
+//! The paper's core scheduling claim is that concurrent kernels share a
+//! single thread-owning executor so "all cores in the system are kept
+//! running continuously doing meaningful work" — chunk-granular stage
+//! threads would create stragglers, and per-stage thread pools would
+//! fight each other for cores. [`PersonaRuntime`] is that arrangement
+//! reified: it owns the shared [`Executor`], the [`ChunkStore`] and the
+//! [`PersonaConfig`], and every stage (`import`, `align`, `sort`,
+//! `dupmark`, `export`) submits fine-grain task batches to it instead of
+//! spawning private workers.
+//!
+//! [`run_pipeline`] chains all five stages end to end. Stage pairs that
+//! can overlap are connected by bounded chunk queues (streaming
+//! [`ManifestServer`]s): alignment consumes chunks while import is still
+//! encoding later ones, and SAM formatting consumes chunks as duplicate
+//! marking finishes them — the Fig. 4 scenario of multiple kernels
+//! feeding one executor at once.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use persona_agd::chunk_io::ChunkStore;
+use persona_agd::manifest::Manifest;
+use persona_align::Aligner;
+use persona_dataflow::metrics::NodeCounters;
+use persona_dataflow::Executor;
+
+use crate::config::PersonaConfig;
+use crate::manifest_server::ManifestServer;
+use crate::pipeline::align::{self, AlignReport};
+use crate::pipeline::dupmark::{self, DupmarkReport};
+use crate::pipeline::export::{self, ExportReport};
+use crate::pipeline::import::{self, ImportReport};
+use crate::pipeline::sort::{self, SortKey, SortReport};
+use crate::pipeline::StageReport;
+use crate::{Error, Result};
+
+/// The shared execution context for Persona pipelines on one server.
+pub struct PersonaRuntime {
+    executor: Arc<Executor>,
+    store: Arc<dyn ChunkStore>,
+    config: PersonaConfig,
+}
+
+impl PersonaRuntime {
+    /// Creates a runtime owning `config.compute_threads` executor
+    /// threads over `store`. Rejects configurations that could not run
+    /// a pipeline (e.g. `compute_threads == 0`).
+    pub fn new(store: Arc<dyn ChunkStore>, config: PersonaConfig) -> Result<Arc<Self>> {
+        config.validate().map_err(Error::Pipeline)?;
+        let executor = Arc::new(Executor::new(config.compute_threads));
+        Ok(Arc::new(PersonaRuntime { executor, store, config }))
+    }
+
+    /// The shared compute executor.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// The chunk store all stages read and write.
+    pub fn store(&self) -> &Arc<dyn ChunkStore> {
+        &self.store
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PersonaConfig {
+        &self.config
+    }
+
+    /// Starts a per-stage measurement window. Tasks submitted with the
+    /// timer's tag are attributed to this stage, so its busy fraction is
+    /// meaningful even while other stages share the executor.
+    pub fn stage_timer(&self) -> StageTimer {
+        StageTimer {
+            counters: Arc::new(NodeCounters::default()),
+            workers: self.executor.threads(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// Measures one stage's use of the shared executor.
+pub struct StageTimer {
+    counters: Arc<NodeCounters>,
+    workers: usize,
+    started: Instant,
+}
+
+/// What a stage did with the executor during its window.
+#[derive(Debug, Clone, Copy)]
+pub struct StageStats {
+    /// Wall-clock duration of the stage.
+    pub elapsed: Duration,
+    /// Fraction of total executor worker time this stage's tasks used.
+    pub busy_fraction: f64,
+    /// Executor tasks the stage ran.
+    pub tasks: u64,
+}
+
+impl StageTimer {
+    /// The counter set to pass as the tag of this stage's batches.
+    pub fn tag(&self) -> Arc<NodeCounters> {
+        self.counters.clone()
+    }
+
+    /// Closes the window and computes the stage's executor share.
+    pub fn finish(&self) -> StageStats {
+        let elapsed = self.started.elapsed();
+        let snap = self.counters.snapshot();
+        let denom = elapsed.as_nanos() as f64 * self.workers as f64;
+        let busy_fraction = if denom > 0.0 { (snap.busy_ns as f64 / denom).min(1.0) } else { 0.0 };
+        StageStats { elapsed, busy_fraction, tasks: snap.items }
+    }
+}
+
+/// Per-stage reports and totals from one fused [`run_pipeline`] run.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// FASTQ import stage.
+    pub import: ImportReport,
+    /// Alignment stage (overlapped with import).
+    pub align: AlignReport,
+    /// Coordinate sort stage.
+    pub sort: SortReport,
+    /// Duplicate-marking stage (overlapped with export).
+    pub dupmark: DupmarkReport,
+    /// SAM export stage.
+    pub export: ExportReport,
+    /// The aligned (unsorted) dataset manifest.
+    pub manifest: Manifest,
+    /// The sorted, duplicate-marked dataset manifest.
+    pub sorted: Manifest,
+    /// End-to-end wall clock.
+    pub elapsed: Duration,
+}
+
+impl PipelineReport {
+    /// `(stage name, elapsed, executor busy fraction)` rows, in
+    /// pipeline order — the uniform utilization view every stage now
+    /// reports.
+    pub fn stage_rows(&self) -> Vec<(&'static str, Duration, f64)> {
+        vec![
+            ("import", self.import.elapsed(), self.import.busy_fraction()),
+            ("align", self.align.elapsed(), self.align.busy_fraction()),
+            ("sort", self.sort.elapsed(), self.sort.busy_fraction()),
+            ("dupmark", self.dupmark.elapsed(), self.dupmark.busy_fraction()),
+            ("export", self.export.elapsed(), self.export.busy_fraction()),
+        ]
+    }
+}
+
+/// Runs the paper's whole processing chain — FASTQ import → align →
+/// coordinate sort → duplicate marking → SAM export — on one shared
+/// runtime, overlapping import with alignment and duplicate marking
+/// with export through bounded chunk queues.
+///
+/// The output is identical to running the five stages separately; only
+/// the scheduling differs.
+pub fn run_pipeline(
+    rt: &PersonaRuntime,
+    input: impl BufRead + Send + 'static,
+    name: &str,
+    chunk_size: usize,
+    aligner: Arc<dyn Aligner>,
+    reference: &[(String, u64)],
+    sam_out: &mut (impl Write + Send),
+) -> Result<PipelineReport> {
+    let started = Instant::now();
+    let queue_cap = rt.config().capacity_for(rt.config().aligner_kernels).max(2);
+
+    // Stage 1+2 overlapped: import feeds chunk names to alignment
+    // through a bounded streaming queue while both stages' compute
+    // (FASTQ encoding, subchunk alignment) shares the executor.
+    let (chunk_server, chunk_feeder) = ManifestServer::streaming(queue_cap);
+    let (import_res, align_res) = std::thread::scope(|s| {
+        let align_handle = {
+            let server = chunk_server.clone();
+            let aligner = aligner.clone();
+            s.spawn(move || {
+                let res = align::align_with_runtime(rt, &server, aligner);
+                if res.is_err() {
+                    // Unblock the import writer if alignment died.
+                    server.close();
+                }
+                res
+            })
+        };
+        let import_res = import::import_fastq_rt(rt, input, name, chunk_size, Some(chunk_feeder));
+        if import_res.is_err() {
+            chunk_server.close();
+        }
+        (import_res, align_handle.join().expect("align stage panicked"))
+    });
+    // Surface the align error first: when alignment dies mid-stream it
+    // closes the chunk queue, which makes import fail with a derived
+    // "stream closed" error that would mask the root cause. (If import
+    // itself fails, alignment just drains the chunks it got and ends
+    // cleanly, so this order loses nothing.)
+    let align_rep = align_res?;
+    let (mut manifest, import_rep) = import_res?;
+    align::finalize_manifest(rt.store().as_ref(), &mut manifest, reference)?;
+
+    // Stage 3: coordinate sort (a global barrier — every record must be
+    // seen before the merge order is known).
+    let sorted_name = format!("{name}.sorted");
+    let (sorted, sort_rep) =
+        sort::sort_dataset_rt(rt, &manifest, SortKey::Coordinate, &sorted_name)?;
+
+    // Stage 4+5 overlapped: duplicate marking streams finished chunks
+    // to the SAM exporter while later chunks are still being rewritten.
+    // Export writes into a local buffer; the caller's writer only sees
+    // bytes once the whole pipeline has succeeded, so a mid-stream
+    // failure can never leave a plausible-looking truncated SAM behind.
+    let mut sam_buf: Vec<u8> = Vec::new();
+    let (export_server, export_feeder) = ManifestServer::streaming(queue_cap);
+    let (dupmark_res, export_res) = std::thread::scope(|s| {
+        let export_handle = {
+            let server = export_server.clone();
+            let sorted = &sorted;
+            let sam_buf = &mut sam_buf;
+            s.spawn(move || {
+                let res = export::export_sam_rt(rt, sorted, &server, sam_buf);
+                if res.is_err() {
+                    server.close();
+                }
+                res
+            })
+        };
+        let dupmark_res = dupmark::mark_duplicates_rt(rt, &sorted, Some(export_feeder));
+        if dupmark_res.is_err() {
+            export_server.close();
+        }
+        (dupmark_res, export_handle.join().expect("export stage panicked"))
+    });
+    // The upstream error comes first: a dupmark failure closes the
+    // feeder mid-stream, after which export at best produces an
+    // incomplete prefix (discarded with sam_buf) and at worst a
+    // derived error of its own.
+    let dupmark_rep = dupmark_res?;
+    let export_rep = export_res?;
+    sam_out.write_all(&sam_buf)?;
+
+    Ok(PipelineReport {
+        import: import_rep,
+        align: align_rep,
+        sort: sort_rep,
+        dupmark: dupmark_rep,
+        export: export_rep,
+        manifest,
+        sorted,
+        elapsed: started.elapsed(),
+    })
+}

@@ -24,11 +24,14 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 struct Latch {
     remaining: Mutex<usize>,
     done: Condvar,
+    /// First panic payload from any task of the batch, re-raised in
+    /// [`Batch::wait`].
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl Latch {
     fn new(n: usize) -> Self {
-        Latch { remaining: Mutex::new(n), done: Condvar::new() }
+        Latch { remaining: Mutex::new(n), done: Condvar::new(), panic: Mutex::new(None) }
     }
 
     fn count_down(&self) {
@@ -55,13 +58,32 @@ pub struct Batch {
 
 impl Batch {
     /// Blocks until every task in the batch has run.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the *waiting* thread if any task in the batch
+    /// panicked, resuming the original payload — mirroring how a panic
+    /// inside `std::thread::scope` propagates to the spawner. Without
+    /// this, a panicking task would hang its waiter forever (the latch
+    /// would never fire).
     pub fn wait(self) {
         self.latch.wait();
+        if let Some(payload) = self.latch.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
+/// One queued task plus its completion latch and the optional counter
+/// set of the submitting stage (for per-stage busy attribution).
+struct QueuedTask {
+    task: Task,
+    latch: Arc<Latch>,
+    tag: Option<Arc<NodeCounters>>,
+}
+
 struct ExecShared {
-    queue: Mutex<std::collections::VecDeque<(Task, Arc<Latch>)>>,
+    queue: Mutex<std::collections::VecDeque<QueuedTask>>,
     available: Condvar,
     shutdown: AtomicBool,
     counters: Arc<NodeCounters>,
@@ -88,11 +110,11 @@ pub struct Executor {
 impl Executor {
     /// Spawns an executor owning `threads` worker threads.
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// A zero thread count is clamped to one: an executor without
+    /// workers would deadlock every batch, so the nearest valid
+    /// configuration is used instead.
     pub fn new(threads: usize) -> Self {
-        assert!(threads > 0, "executor needs at least one thread");
+        let threads = threads.max(1);
         let shared = Arc::new(ExecShared {
             queue: Mutex::new(std::collections::VecDeque::new()),
             available: Condvar::new(),
@@ -115,11 +137,19 @@ impl Executor {
     ///
     /// An empty batch completes immediately.
     pub fn submit_batch(&self, tasks: Vec<Task>) -> Batch {
+        self.submit_batch_tagged(tasks, None)
+    }
+
+    /// Submits a batch attributed to `tag`: busy time and task counts
+    /// are added to the tagged counters *in addition to* the executor's
+    /// own, so a pipeline stage sharing the executor with other stages
+    /// can report its own busy fraction.
+    pub fn submit_batch_tagged(&self, tasks: Vec<Task>, tag: Option<Arc<NodeCounters>>) -> Batch {
         let latch = Arc::new(Latch::new(tasks.len()));
         if !tasks.is_empty() {
             let mut q = self.shared.queue.lock();
             for t in tasks {
-                q.push_back((t, latch.clone()));
+                q.push_back(QueuedTask { task: t, latch: latch.clone(), tag: tag.clone() });
             }
             drop(q);
             self.shared.available.notify_all();
@@ -130,6 +160,52 @@ impl Executor {
     /// Submits one closure and returns its batch handle.
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) -> Batch {
         self.submit_batch(vec![Box::new(task)])
+    }
+
+    /// Submits one closure attributed to `tag`.
+    pub fn submit_tagged(
+        &self,
+        task: impl FnOnce() + Send + 'static,
+        tag: Arc<NodeCounters>,
+    ) -> Batch {
+        self.submit_batch_tagged(vec![Box::new(task)], Some(tag))
+    }
+
+    /// Runs `f` over every item of `items` on the executor and returns
+    /// the outputs in item order, blocking the calling thread until the
+    /// whole batch is done. This is the fine-grain fan-out primitive
+    /// pipeline stages use for chunk-level compute (encode, sort,
+    /// format, compress) without owning threads of their own.
+    pub fn map_batch<In, Out, F>(
+        &self,
+        items: Vec<In>,
+        tag: Option<Arc<NodeCounters>>,
+        f: F,
+    ) -> Vec<Out>
+    where
+        In: Send + 'static,
+        Out: Send + 'static,
+        F: Fn(usize, In) -> Out + Send + Sync + 'static,
+    {
+        let n = items.len();
+        let f = Arc::new(f);
+        let slots: Arc<Mutex<Vec<Option<Out>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let tasks: Vec<Task> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let f = f.clone();
+                let slots = slots.clone();
+                Box::new(move || {
+                    let out = f(i, item);
+                    slots.lock()[i] = Some(out);
+                }) as Task
+            })
+            .collect();
+        self.submit_batch_tagged(tasks, tag).wait();
+        let mut slots = slots.lock();
+        slots.iter_mut().map(|s| s.take().expect("map_batch slot unfilled")).collect()
     }
 
     /// Number of worker threads.
@@ -183,11 +259,24 @@ fn worker_loop(shared: Arc<ExecShared>) {
             shared.available.wait(&mut q);
         };
         drop(q);
-        let (task, latch) = task;
+        let QueuedTask { task, latch, tag } = task;
         let start = Instant::now();
-        task();
-        shared.counters.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Contain panics: the latch must always count down (or waiters
+        // hang forever) and the worker thread must survive for the
+        // executor's lifetime. The payload is re-raised in Batch::wait.
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+            let mut slot = latch.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let busy = start.elapsed().as_nanos() as u64;
+        shared.counters.busy_ns.fetch_add(busy, Ordering::Relaxed);
         shared.counters.items.fetch_add(1, Ordering::Relaxed);
+        if let Some(tag) = tag {
+            tag.busy_ns.fetch_add(busy, Ordering::Relaxed);
+            tag.items.fetch_add(1, Ordering::Relaxed);
+        }
         latch.count_down();
     }
 }
@@ -281,8 +370,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_panics() {
-        let _ = Executor::new(0);
+    fn zero_threads_clamps_to_one() {
+        let ex = Executor::new(0);
+        assert_eq!(ex.threads(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        ex.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn map_batch_preserves_item_order() {
+        let ex = Executor::new(4);
+        let out = ex.map_batch((0..200u64).collect(), None, |i, v| {
+            assert_eq!(i as u64, v);
+            v * 3
+        });
+        assert_eq!(out, (0..200u64).map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_task_propagates_to_waiter_and_spares_the_worker() {
+        let ex = Executor::new(1);
+        let bad = ex.submit(|| panic!("task boom"));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait())).is_err());
+        // The (single) worker survived and keeps running new tasks.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        ex.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn tagged_batches_attribute_busy_time_per_stage() {
+        let ex = Executor::new(2);
+        let tag_a = Arc::new(NodeCounters::default());
+        let tag_b = Arc::new(NodeCounters::default());
+        let work = |ms: u64| {
+            (0..4)
+                .map(move |_| {
+                    Box::new(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }) as Task
+                })
+                .collect::<Vec<Task>>()
+        };
+        let a = ex.submit_batch_tagged(work(20), Some(tag_a.clone()));
+        let b = ex.submit_batch_tagged(work(5), Some(tag_b.clone()));
+        a.wait();
+        b.wait();
+        let (snap_a, snap_b) = (tag_a.snapshot(), tag_b.snapshot());
+        assert_eq!(snap_a.items, 4);
+        assert_eq!(snap_b.items, 4);
+        assert!(snap_a.busy_ns > snap_b.busy_ns, "{} <= {}", snap_a.busy_ns, snap_b.busy_ns);
+        // The executor's own counters saw everything.
+        assert_eq!(ex.stats().tasks_done, 8);
     }
 }

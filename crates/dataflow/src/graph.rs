@@ -277,7 +277,21 @@ impl GraphBuilder {
                     .spawn(move || {
                         counters.active_workers.fetch_add(1, Ordering::Relaxed);
                         let mut ctx = NodeCtx::new(counters.clone(), canceled.clone());
-                        let result = body(&mut ctx);
+                        // Contain panics so they surface as graph errors
+                        // instead of silently killing one worker (which
+                        // would let the run complete "Ok" with missing
+                        // data).
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            body(&mut ctx)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            let what = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string payload".into());
+                            Err(DataflowError::Node(format!("node worker panicked: {what}")))
+                        });
                         ctx.mark_busy();
                         counters.active_workers.fetch_sub(1, Ordering::Relaxed);
                         // Release producer registrations (may close queues).
@@ -477,6 +491,28 @@ mod tests {
         assert_eq!(err, DataflowError::Node("boom".into()));
         assert_eq!(report.errors.len(), 1);
         assert_eq!(report.errors[0].0, "failing");
+    }
+
+    #[test]
+    fn node_panic_surfaces_as_graph_error() {
+        let mut g = GraphBuilder::new("t");
+        let q = g.queue::<u64>("q", 2);
+        let qi = q.clone();
+        g.source("src", [q.produces()], move |ctx| {
+            let mut i = 0u64;
+            loop {
+                ctx.push(&qi, i)?;
+                i += 1;
+            }
+        });
+        let qc = q.clone();
+        g.node("panicking", 1, [], move |ctx| {
+            let _ = ctx.pop(&qc);
+            panic!("node boom");
+        });
+        let (err, report) = g.run().unwrap_err();
+        assert_eq!(err, DataflowError::Node("node worker panicked: node boom".into()));
+        assert_eq!(report.errors[0].0, "panicking");
     }
 
     #[test]

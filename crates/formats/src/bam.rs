@@ -22,21 +22,37 @@ pub const BGZF_EOF: [u8; 28] = [
     0x1b, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
 ];
 
+/// Splits a payload of `len` bytes into the `(lo, hi)` ranges of the
+/// BGZF blocks that encode it. The single source of truth for block
+/// boundaries: an empty payload is one empty block.
+pub fn bgzf_block_ranges(len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return vec![(0, 0)];
+    }
+    let mut ranges = Vec::with_capacity(len.div_ceil(BGZF_BLOCK_SIZE));
+    let mut lo = 0usize;
+    while lo < len {
+        let hi = (lo + BGZF_BLOCK_SIZE).min(len);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
+}
+
 /// Compresses `data` into a BGZF stream (without EOF marker).
 pub fn bgzf_compress(data: &[u8], level: CompressLevel) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 64);
-    if data.is_empty() {
-        out.extend_from_slice(&bgzf_block(&[], level));
-        return out;
-    }
-    for block in data.chunks(BGZF_BLOCK_SIZE) {
-        out.extend_from_slice(&bgzf_block(block, level));
+    for (lo, hi) in bgzf_block_ranges(data.len()) {
+        out.extend_from_slice(&bgzf_block(&data[lo..hi], level));
     }
     out
 }
 
 /// Builds one BGZF block for a payload <= [`BGZF_BLOCK_SIZE`].
-fn bgzf_block(payload: &[u8], level: CompressLevel) -> Vec<u8> {
+///
+/// Public so callers with their own scheduler (e.g. Persona's shared
+/// executor) can compress independent blocks as parallel tasks.
+pub fn bgzf_block(payload: &[u8], level: CompressLevel) -> Vec<u8> {
     debug_assert!(payload.len() <= BGZF_BLOCK_SIZE);
     // First pass with a placeholder BSIZE, then patch. The extra field
     // is "BC" + subfield length 2 + BSIZE(u16) = total block size - 1.
@@ -56,7 +72,8 @@ pub fn bgzf_compress_parallel(data: &[u8], level: CompressLevel, threads: usize)
     if data.is_empty() || threads <= 1 {
         return bgzf_compress(data, level);
     }
-    let chunks: Vec<&[u8]> = data.chunks(BGZF_BLOCK_SIZE).collect();
+    let chunks: Vec<&[u8]> =
+        bgzf_block_ranges(data.len()).into_iter().map(|(lo, hi)| &data[lo..hi]).collect();
     let mut blocks: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots = parking_lot_free_slots(&mut blocks);
@@ -187,6 +204,20 @@ pub fn write_bam(
     records: impl IntoIterator<Item = SamRecord>,
     level: CompressLevel,
 ) -> Result<u64> {
+    write_bam_with(out, refs, records, level, |payload, level| bgzf_compress(&payload, level))
+}
+
+/// Serializes a full BAM file using a caller-supplied BGZF compressor
+/// (payload → complete BGZF stream without the EOF marker), so the
+/// compression can run on an external scheduler. The payload is passed
+/// by value so a parallel compressor can share it without copying.
+pub fn write_bam_with(
+    out: &mut impl Write,
+    refs: &RefMap,
+    records: impl IntoIterator<Item = SamRecord>,
+    level: CompressLevel,
+    compress: impl FnOnce(Vec<u8>, CompressLevel) -> Vec<u8>,
+) -> Result<u64> {
     // Uncompressed BAM payload, then BGZF it.
     let mut payload = Vec::new();
     payload.extend_from_slice(b"BAM\x01");
@@ -208,7 +239,7 @@ pub fn write_bam(
         payload.extend_from_slice(&body);
         n += 1;
     }
-    let bgzf = bgzf_compress(&payload, level);
+    let bgzf = compress(payload, level);
     out.write_all(&bgzf)?;
     out.write_all(&BGZF_EOF)?;
     Ok(n)

@@ -107,13 +107,25 @@ pub fn agd_to_bam(
     out: &mut impl Write,
     level: CompressLevel,
 ) -> Result<u64> {
+    agd_to_bam_with(ds, store, out, level, |payload, level| bam::bgzf_compress(&payload, level))
+}
+
+/// Exports an aligned AGD dataset as BAM through a caller-supplied
+/// BGZF compressor (see [`bam::write_bam_with`]).
+pub fn agd_to_bam_with(
+    ds: &Dataset,
+    store: &dyn ChunkStore,
+    out: &mut impl Write,
+    level: CompressLevel,
+    compress: impl FnOnce(Vec<u8>, CompressLevel) -> Vec<u8>,
+) -> Result<u64> {
     let refs = refmap_of(ds);
     let mut records = Vec::new();
     for_each_sam_record(ds, store, &refs, |rec| {
         records.push(rec);
         Ok(())
     })?;
-    bam::write_bam(out, &refs, records, level)
+    bam::write_bam_with(out, &refs, records, level, compress)
 }
 
 /// Records the reference contigs in a dataset manifest (done when an

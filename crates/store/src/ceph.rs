@@ -9,11 +9,12 @@
 
 use std::io;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use persona_agd::chunk_io::{ChunkStore, MemStore};
 
 use crate::bandwidth::TokenBucket;
+use crate::clock::{Clock, RealClock};
 use crate::stats::StoreStats;
 
 /// Ceph-like cluster parameters.
@@ -49,24 +50,36 @@ pub struct CephCluster {
     config: CephConfig,
     node_buckets: Vec<TokenBucket>,
     backing: MemStore,
+    clock: Arc<dyn Clock>,
 }
 
 impl CephCluster {
-    /// Creates a cluster.
+    /// Creates a cluster on the real clock.
     ///
     /// # Panics
     ///
     /// Panics if `nodes` or `replication` is zero, or if `replication >
     /// nodes`.
     pub fn new(config: CephConfig) -> Arc<Self> {
+        Self::with_clock(config, RealClock::new())
+    }
+
+    /// Creates a cluster metering time against an explicit clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `replication` is zero, or if `replication >
+    /// nodes`.
+    pub fn with_clock(config: CephConfig, clock: Arc<dyn Clock>) -> Arc<Self> {
         assert!(config.nodes > 0, "need at least one node");
         assert!(config.replication > 0 && config.replication <= config.nodes);
         Arc::new(CephCluster {
             config,
             node_buckets: (0..config.nodes)
-                .map(|_| TokenBucket::bytes_per_sec(config.node_bw))
+                .map(|_| TokenBucket::bytes_per_sec_with(config.node_bw, clock.clone()))
                 .collect(),
             backing: MemStore::new(),
+            clock,
         })
     }
 
@@ -105,7 +118,7 @@ impl CephCluster {
     pub fn client(self: &Arc<Self>) -> CephStore {
         CephStore {
             cluster: self.clone(),
-            nic: TokenBucket::bytes_per_sec(self.config.client_nic_bw),
+            nic: TokenBucket::bytes_per_sec_with(self.config.client_nic_bw, self.clock.clone()),
             stats: StoreStats::new(),
         }
     }
@@ -126,7 +139,7 @@ impl CephCluster {
             self.backing.put(name, &payload).unwrap();
         }
         let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let deadline = Instant::now() + duration;
+        let deadline = self.clock.now() + duration;
         let mut handles = Vec::new();
         for t in 0..threads {
             let cluster = self.clone();
@@ -134,7 +147,7 @@ impl CephCluster {
             let total = total.clone();
             handles.push(std::thread::spawn(move || {
                 let mut i = t;
-                while Instant::now() < deadline {
+                while cluster.clock.now() < deadline {
                     let name = &objects[i % objects.len()];
                     if let Ok(data) = cluster.read_object(name) {
                         total.fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
@@ -198,6 +211,7 @@ impl ChunkStore for CephStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
 
     fn small_cluster() -> Arc<CephCluster> {
         CephCluster::new(CephConfig {
@@ -222,21 +236,20 @@ mod tests {
     #[test]
     fn replication_charges_all_replicas() {
         // Same nodes and load, different replication factor: 3x
-        // replication must make the write phase several times slower.
+        // replication must make the write phase several times slower
+        // (in deterministic virtual time).
         let time_writes = |replication: usize| {
-            let cluster = CephCluster::new(CephConfig {
-                nodes: 3,
-                node_bw: 5_000_000.0,
-                replication,
-                client_nic_bw: 1e9,
-            });
+            let clock = ManualClock::new();
+            let cluster = CephCluster::with_clock(
+                CephConfig { nodes: 3, node_bw: 5_000_000.0, replication, client_nic_bw: 1e9 },
+                clock.clone(),
+            );
             let client = cluster.client();
             let payload = vec![0u8; 200_000];
-            let t0 = Instant::now();
             for i in 0..12 {
                 client.put(&format!("w{i}"), &payload).unwrap();
             }
-            t0.elapsed()
+            clock.elapsed()
         };
         let r1 = time_writes(1);
         let r3 = time_writes(3);
@@ -245,39 +258,38 @@ mod tests {
 
     #[test]
     fn client_nic_limits_one_client() {
-        let cluster = CephCluster::new(CephConfig {
-            nodes: 4,
-            node_bw: 100_000_000.0, // Cluster far faster than one NIC.
-            replication: 1,
-            client_nic_bw: 2_000_000.0,
-        });
+        let clock = ManualClock::new();
+        let cluster = CephCluster::with_clock(
+            CephConfig {
+                nodes: 4,
+                node_bw: 100_000_000.0, // Cluster far faster than one NIC.
+                replication: 1,
+                client_nic_bw: 2_000_000.0,
+            },
+            clock.clone(),
+        );
         let client = cluster.client();
         client.put("x", &vec![0u8; 100_000]).unwrap();
-        let t0 = Instant::now();
+        let t0 = clock.elapsed();
         for _ in 0..6 {
             client.get("x").unwrap();
         }
-        // 600 KB at 2 MB/s ≈ 300 ms (minus burst).
-        assert!(t0.elapsed() >= Duration::from_millis(200), "{:?}", t0.elapsed());
+        // 600 KB at 2 MB/s ≈ 300 ms (minus burst), in virtual time.
+        let elapsed = clock.elapsed() - t0;
+        assert!(elapsed >= Duration::from_millis(200), "{elapsed:?}");
     }
 
     #[test]
     fn rados_bench_scales_with_nodes() {
-        let small = CephCluster::new(CephConfig {
-            nodes: 1,
-            node_bw: 4_000_000.0,
-            replication: 1,
-            client_nic_bw: 1e9,
-        });
-        let big = CephCluster::new(CephConfig {
-            nodes: 4,
-            node_bw: 4_000_000.0,
-            replication: 1,
-            client_nic_bw: 1e9,
-        });
-        let d = Duration::from_millis(300);
-        let bw1 = small.rados_bench(d, 64 * 1024, 8);
-        let bw4 = big.rados_bench(d, 64 * 1024, 8);
+        let bench = |nodes: usize| {
+            let cluster = CephCluster::with_clock(
+                CephConfig { nodes, node_bw: 4_000_000.0, replication: 1, client_nic_bw: 1e9 },
+                ManualClock::new(),
+            );
+            cluster.rados_bench(Duration::from_millis(300), 64 * 1024, 8)
+        };
+        let bw1 = bench(1);
+        let bw4 = bench(4);
         assert!(bw4 > bw1 * 2.0, "1-node {bw1:.0} vs 4-node {bw4:.0}");
     }
 

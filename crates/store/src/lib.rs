@@ -7,6 +7,8 @@
 //! through token-bucket bandwidth meters:
 //!
 //! * [`bandwidth`] — blocking token buckets.
+//! * [`clock`] — the time source the buckets meter against: real for
+//!   production, manual for deterministic tests without real sleeps.
 //! * [`local`] — throttled disk stores, including a writeback-cache
 //!   model that reproduces the read/write interference of Fig. 5a
 //!   ("the operating system's buffer cache writeback policy competes
@@ -21,10 +23,12 @@
 
 pub mod bandwidth;
 pub mod ceph;
+pub mod clock;
 pub mod local;
 pub mod stats;
 
 pub use bandwidth::TokenBucket;
 pub use ceph::CephStore;
+pub use clock::{Clock, ManualClock, RealClock};
 pub use local::{DiskConfig, ThrottledStore, WritebackDisk};
 pub use stats::StoreStats;

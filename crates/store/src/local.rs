@@ -11,6 +11,7 @@ use parking_lot::{Condvar, Mutex};
 use persona_agd::chunk_io::ChunkStore;
 
 use crate::bandwidth::TokenBucket;
+use crate::clock::{Clock, RealClock};
 use crate::stats::StoreStats;
 
 /// Named disk configurations matching the paper's testbed (§5.1).
@@ -53,11 +54,20 @@ pub struct ThrottledStore<S: ChunkStore> {
 }
 
 impl<S: ChunkStore> ThrottledStore<S> {
-    /// Wraps `inner` with the given disk model.
+    /// Wraps `inner` with the given disk model on the real clock.
     pub fn new(inner: S, config: DiskConfig) -> Self {
-        let read_bucket = TokenBucket::bytes_per_sec(config.read_bw);
-        let write_bucket =
-            if config.shared { None } else { Some(TokenBucket::bytes_per_sec(config.write_bw)) };
+        Self::with_clock(inner, config, RealClock::new())
+    }
+
+    /// Wraps `inner` metering time against an explicit clock (tests use
+    /// a manual clock so modeled transfers don't really sleep).
+    pub fn with_clock(inner: S, config: DiskConfig, clock: Arc<dyn Clock>) -> Self {
+        let read_bucket = TokenBucket::bytes_per_sec_with(config.read_bw, clock.clone());
+        let write_bucket = if config.shared {
+            None
+        } else {
+            Some(TokenBucket::bytes_per_sec_with(config.write_bw, clock))
+        };
         ThrottledStore { inner, read_bucket, write_bucket, stats: StoreStats::new() }
     }
 
@@ -134,10 +144,20 @@ struct WbState {
 
 impl<S: ChunkStore + 'static> WritebackDisk<S> {
     /// Creates a writeback disk over `inner` with the given bandwidth
-    /// and cache capacity.
+    /// and cache capacity, on the real clock.
     pub fn new(inner: S, config: DiskConfig, cache_capacity: u64) -> Self {
+        Self::with_clock(inner, config, cache_capacity, RealClock::new())
+    }
+
+    /// Creates a writeback disk metering time against an explicit clock.
+    pub fn with_clock(
+        inner: S,
+        config: DiskConfig,
+        cache_capacity: u64,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         let inner = Arc::new(inner);
-        let bucket = TokenBucket::bytes_per_sec(config.read_bw);
+        let bucket = TokenBucket::bytes_per_sec_with(config.read_bw, clock);
         let state = Arc::new(WbState {
             dirty: Mutex::new(VecDeque::new()),
             in_flight: Mutex::new(std::collections::HashMap::new()),
@@ -185,6 +205,12 @@ fn flusher_loop<S: ChunkStore>(state: Arc<WbState>, inner: Arc<S>, bucket: Token
         // or shutdown.
         let batch: Vec<(String, Vec<u8>)> = {
             let mut dirty = state.dirty.lock();
+            // Coalescing deadline, anchored to the *first dirty write*
+            // of the current batch (so idle time never counts toward
+            // it) and tracked explicitly (so notifications — e.g.
+            // `sync` pinging every few ms — cannot keep resetting the
+            // timeout and defer the flush indefinitely).
+            let mut first_dirty: Option<std::time::Instant> = None;
             loop {
                 if state.shutdown.load(Ordering::SeqCst) {
                     // Final drain.
@@ -193,12 +219,16 @@ fn flusher_loop<S: ChunkStore>(state: Arc<WbState>, inner: Arc<S>, bucket: Token
                 if state.dirty_bytes.load(Ordering::Relaxed) >= state.high_water {
                     break;
                 }
-                if state.cv.wait_for(&mut dirty, Duration::from_millis(20)).timed_out() {
+                if dirty.is_empty() {
+                    first_dirty = None;
+                } else {
+                    let since = first_dirty.get_or_insert_with(std::time::Instant::now);
                     // Periodic background flush of whatever is present.
-                    if !dirty.is_empty() {
+                    if since.elapsed() >= Duration::from_millis(20) {
                         break;
                     }
                 }
+                let _ = state.cv.wait_for(&mut dirty, Duration::from_millis(20));
             }
             // Move the batch to the in-flight map *before* releasing the
             // dirty lock, so reads never observe a gap.
@@ -314,21 +344,27 @@ impl<S: ChunkStore + 'static> Drop for WritebackDisk<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use persona_agd::chunk_io::MemStore;
     use std::time::Instant;
 
     #[test]
     fn throttled_reads_respect_bandwidth() {
-        let store = ThrottledStore::new(
+        let clock = ManualClock::new();
+        let store = ThrottledStore::with_clock(
             MemStore::new(),
             DiskConfig { read_bw: 1_000_000.0, write_bw: 1_000_000.0, shared: false },
+            clock.clone(),
         );
         store.put("x", &vec![0u8; 200_000]).unwrap();
-        let start = Instant::now();
+        let t0 = clock.elapsed();
         store.get("x").unwrap();
         store.get("x").unwrap();
-        // ~400 KB at 1 MB/s minus burst: >= 250 ms.
-        assert!(start.elapsed() >= Duration::from_millis(250));
+        // ~400 KB at 1 MB/s minus the 50 KB burst: 350 ms of modeled
+        // transfer time, deterministic on the virtual clock.
+        let elapsed = clock.elapsed() - t0;
+        assert!(elapsed >= Duration::from_millis(340), "elapsed {elapsed:?}");
+        assert!(elapsed <= Duration::from_millis(360), "elapsed {elapsed:?}");
         let snap = store.stats().snapshot();
         assert_eq!(snap.bytes_read, 400_000);
         assert_eq!(snap.bytes_written, 200_000);
@@ -336,29 +372,23 @@ mod tests {
 
     #[test]
     fn shared_disk_makes_writes_compete_with_reads() {
-        let shared = ThrottledStore::new(
-            MemStore::new(),
-            DiskConfig { read_bw: 2_000_000.0, write_bw: 2_000_000.0, shared: true },
-        );
-        shared.put("a", &vec![1u8; 100_000]).unwrap();
-        let start = Instant::now();
-        for _ in 0..3 {
-            shared.get("a").unwrap();
-            shared.put("b", &vec![2u8; 100_000]).unwrap();
-        }
-        let shared_time = start.elapsed();
-
-        let split = ThrottledStore::new(
-            MemStore::new(),
-            DiskConfig { read_bw: 2_000_000.0, write_bw: 2_000_000.0, shared: false },
-        );
-        split.put("a", &vec![1u8; 100_000]).unwrap();
-        let start = Instant::now();
-        for _ in 0..3 {
-            split.get("a").unwrap();
-            split.put("b", &vec![2u8; 100_000]).unwrap();
-        }
-        let split_time = start.elapsed();
+        let time_mixed_io = |shared: bool| {
+            let clock = ManualClock::new();
+            let store = ThrottledStore::with_clock(
+                MemStore::new(),
+                DiskConfig { read_bw: 2_000_000.0, write_bw: 2_000_000.0, shared },
+                clock.clone(),
+            );
+            store.put("a", &vec![1u8; 100_000]).unwrap();
+            let t0 = clock.elapsed();
+            for _ in 0..3 {
+                store.get("a").unwrap();
+                store.put("b", &vec![2u8; 100_000]).unwrap();
+            }
+            clock.elapsed() - t0
+        };
+        let shared_time = time_mixed_io(true);
+        let split_time = time_mixed_io(false);
         assert!(
             shared_time > split_time,
             "shared {shared_time:?} should be slower than split {split_time:?}"
@@ -399,19 +429,25 @@ mod tests {
     }
 
     #[test]
-    fn writeback_cache_capacity_blocks() {
-        let disk = WritebackDisk::new(
+    fn writeback_flush_charges_modeled_bandwidth() {
+        let clock = ManualClock::new();
+        let disk = WritebackDisk::with_clock(
             MemStore::new(),
             DiskConfig { read_bw: 500_000.0, write_bw: 500_000.0, shared: true },
-            100_000, // Tiny cache.
+            100_000, // Tiny cache: flushing must keep up with puts.
+            clock.clone(),
         );
-        let start = Instant::now();
         for i in 0..6 {
             disk.put(&format!("o{i}"), &vec![0u8; 50_000]).unwrap();
         }
-        // 300 KB through a 100 KB cache at 500 KB/s: must block for
-        // roughly (300-100)/500 ≈ 400 ms.
-        assert!(start.elapsed() >= Duration::from_millis(200), "{:?}", start.elapsed());
+        disk.sync();
+        // 300 KB through the 500 KB/s spindle minus the 25 KB burst:
+        // at least ~550 ms of modeled (virtual) transfer time.
+        let elapsed = clock.elapsed();
+        assert!(elapsed >= Duration::from_millis(500), "elapsed {elapsed:?}");
+        for i in 0..6 {
+            assert!(disk.inner.exists(&format!("o{i}")));
+        }
     }
 
     #[test]

@@ -1,90 +1,73 @@
-//! The paper's end-to-end flow: FASTQ import → align → coordinate sort
-//! → duplicate marking → SAM export, with per-stage timing.
+//! The paper's end-to-end flow on the fused runtime: FASTQ import →
+//! align → coordinate sort → duplicate marking → SAM export, all five
+//! stages scheduling compute on one shared executor, with import‖align
+//! and dupmark‖export overlapped (the Fig. 4 scenario).
 //!
-//! Run: `cargo run -p persona-examples --release --bin full_pipeline`
+//! Run: `cargo run -p persona-examples --release --example full_pipeline [n_reads]`
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use persona::config::PersonaConfig;
-use persona::pipeline::align::{align_dataset, finalize_manifest, AlignInputs};
-use persona::pipeline::dupmark::mark_duplicates;
-use persona::pipeline::export::export_sam;
-use persona::pipeline::import::import_fastq;
-use persona::pipeline::sort::{sort_dataset, SortKey};
+use persona::runtime::{run_pipeline, PersonaRuntime};
 use persona_agd::chunk_io::{ChunkStore, MemStore};
 use persona_examples::DemoWorld;
 use persona_formats::fastq;
 
 fn main() {
-    let world = DemoWorld::new(4_000);
+    let n_reads: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n_reads must be a number"))
+        .unwrap_or(4_000);
+    let world = DemoWorld::new(n_reads);
     let config = PersonaConfig::default();
     let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, config).expect("runtime");
 
     // Stage 0: the "sequencer output".
     let fastq_bytes = fastq::to_bytes(&world.reads);
-    println!("input: {:.1} MB FASTQ", fastq_bytes.len() as f64 / 1e6);
-
-    // Stage 1: import.
-    let t = Instant::now();
-    let (mut manifest, import_rep) =
-        import_fastq(std::io::Cursor::new(fastq_bytes), &store, "run", 500, &config)
-            .expect("import");
+    let input_mb = fastq_bytes.len() as f64 / 1e6;
     println!(
-        "1. import   {:>8.2}s  ({:.1} MB/s, {} chunks)",
-        t.elapsed().as_secs_f64(),
-        import_rep.mb_per_sec(),
-        import_rep.chunks
+        "input: {input_mb:.1} MB FASTQ ({n_reads} reads), {} executor threads",
+        rt.executor().threads()
     );
 
-    // Stage 2: align.
-    let t = Instant::now();
-    let align_rep = align_dataset(AlignInputs {
-        store: store.clone(),
-        manifest: &manifest,
-        aligner: world.aligner.clone(),
-        config,
-    })
-    .expect("align");
-    finalize_manifest(store.as_ref(), &mut manifest, &world.reference).expect("finalize");
-    println!(
-        "2. align    {:>8.2}s  ({:.1} Mbases/s, {:.1}% mapped)",
-        t.elapsed().as_secs_f64(),
-        align_rep.mbases_per_sec(),
-        100.0 * align_rep.mapped as f64 / align_rep.reads as f64
-    );
-
-    // Stage 3: coordinate sort.
-    let t = Instant::now();
-    let (sorted, sort_rep) =
-        sort_dataset(&store, &manifest, SortKey::Coordinate, "run.sorted", &config).expect("sort");
-    println!(
-        "3. sort     {:>8.2}s  ({} records, {} runs, {} superchunks)",
-        t.elapsed().as_secs_f64(),
-        sort_rep.records,
-        sort_rep.runs,
-        sort_rep.superchunks
-    );
-
-    // Stage 4: duplicate marking (results column only).
-    let t = Instant::now();
-    let dup_rep = mark_duplicates(&store, &sorted).expect("dupmark");
-    println!(
-        "4. dupmark  {:>8.2}s  ({:.0} reads/s, {} duplicates)",
-        t.elapsed().as_secs_f64(),
-        dup_rep.reads_per_sec(),
-        dup_rep.duplicates
-    );
-
-    // Stage 5: SAM export.
-    let t = Instant::now();
     let mut sam = Vec::new();
-    let export_rep = export_sam(&store, &sorted, &mut sam, &config).expect("export");
+    let report = run_pipeline(
+        &rt,
+        std::io::Cursor::new(fastq_bytes),
+        "run",
+        500,
+        world.aligner.clone(),
+        &world.reference,
+        &mut sam,
+    )
+    .expect("fused pipeline");
+
+    println!("\nstage      elapsed     busy%   throughput");
+    let throughput = [
+        format!("{:.1} MB/s in", report.import.mb_per_sec()),
+        format!(
+            "{:.1} Mbases/s, {:.1}% mapped",
+            report.align.mbases_per_sec(),
+            100.0 * report.align.mapped as f64 / report.align.reads.max(1) as f64
+        ),
+        format!("{} records, {} runs", report.sort.records, report.sort.runs),
+        format!(
+            "{:.0} reads/s, {} dups",
+            report.dupmark.reads_per_sec(),
+            report.dupmark.duplicates
+        ),
+        format!("{:.1} MB/s out", report.export.mb_per_sec()),
+    ];
+    for ((stage, elapsed, busy), rate) in report.stage_rows().into_iter().zip(&throughput) {
+        println!("{stage:<10} {:>7.2}s   {:>5.1}   {rate}", elapsed.as_secs_f64(), busy * 100.0);
+    }
     println!(
-        "5. export   {:>8.2}s  ({:.1} MB SAM, {:.1} MB/s)",
-        t.elapsed().as_secs_f64(),
-        sam.len() as f64 / 1e6,
-        export_rep.mb_per_sec()
+        "\nend to end: {:.2}s for {:.1} MB ({:.1} MB/s), {:.1} MB SAM",
+        report.elapsed.as_secs_f64(),
+        input_mb,
+        input_mb / report.elapsed.as_secs_f64(),
+        sam.len() as f64 / 1e6
     );
 
     let header_lines = sam.split(|&b| b == b'\n').take_while(|l| l.first() == Some(&b'@')).count();

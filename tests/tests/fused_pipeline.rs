@@ -1,0 +1,153 @@
+//! The fused end-to-end runtime: `run_pipeline` chains import → align →
+//! sort → dupmark → export on one shared executor, overlapping stages
+//! through bounded chunk queues. Scheduling must never change results:
+//! the fused output is byte-identical to running the stages separately.
+
+use std::sync::Arc;
+
+use persona::config::PersonaConfig;
+use persona::pipeline::align::{align_dataset, finalize_manifest, AlignInputs};
+use persona::pipeline::dupmark::mark_duplicates;
+use persona::pipeline::export::export_sam;
+use persona::pipeline::import::import_fastq;
+use persona::pipeline::sort::{sort_dataset, SortKey};
+use persona::pipeline::StageReport;
+use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_formats::fastq;
+use persona_integration_tests::common::Fixture;
+
+/// Runs the five stages one at a time, each on its own private runtime,
+/// and returns (sorted manifest JSON, aligned manifest JSON, SAM text).
+fn run_stages_separately(fx: &Fixture, name: &str, chunk: usize) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let config = PersonaConfig::small();
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let fastq_bytes = fastq::to_bytes(&fx.reads);
+    let (mut manifest, _) =
+        import_fastq(std::io::Cursor::new(fastq_bytes), &store, name, chunk, &config).unwrap();
+    align_dataset(AlignInputs {
+        store: store.clone(),
+        manifest: &manifest,
+        aligner: fx.aligner.clone(),
+        config,
+    })
+    .unwrap();
+    finalize_manifest(store.as_ref(), &mut manifest, &fx.reference).unwrap();
+    let (sorted, _) =
+        sort_dataset(&store, &manifest, SortKey::Coordinate, &format!("{name}.sorted"), &config)
+            .unwrap();
+    mark_duplicates(&store, &sorted).unwrap();
+    let mut sam = Vec::new();
+    export_sam(&store, &sorted, &mut sam, &config).unwrap();
+    (
+        store.get(&format!("{name}.sorted.manifest.json")).unwrap(),
+        store.get(&format!("{name}.manifest.json")).unwrap(),
+        sam,
+    )
+}
+
+#[test]
+fn fused_pipeline_is_byte_identical_to_separate_stages() {
+    let fx = Fixture::new(3001, 900);
+    let (sep_sorted_manifest, sep_manifest, sep_sam) = run_stages_separately(&fx, "fp", 150);
+
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+    let fastq_bytes = fastq::to_bytes(&fx.reads);
+    let mut fused_sam = Vec::new();
+    let report = run_pipeline(
+        &rt,
+        std::io::Cursor::new(fastq_bytes),
+        "fp",
+        150,
+        fx.aligner.clone(),
+        &fx.reference,
+        &mut fused_sam,
+    )
+    .unwrap();
+
+    // Same record counts through every stage.
+    assert_eq!(report.import.reads, 900);
+    assert_eq!(report.align.reads, 900);
+    assert_eq!(report.sort.records, 900);
+    assert_eq!(report.dupmark.reads, 900);
+    assert_eq!(report.export.records, 900);
+
+    // Byte-identical outputs: the exported SAM and both persisted
+    // manifests match the stage-by-stage run exactly.
+    assert_eq!(fused_sam, sep_sam, "fused SAM differs from separate-stage SAM");
+    assert_eq!(store.get("fp.manifest.json").unwrap(), sep_manifest);
+    assert_eq!(store.get("fp.sorted.manifest.json").unwrap(), sep_sorted_manifest);
+
+    // Every stage reports a sane executor share, and the compute-heavy
+    // stages actually used the shared executor.
+    for (stage, elapsed, busy) in report.stage_rows() {
+        assert!(busy.is_finite() && (0.0..=1.0).contains(&busy), "{stage}: busy {busy}");
+        assert!(elapsed <= report.elapsed, "{stage}: elapsed {elapsed:?}");
+    }
+    assert!(report.align.busy_fraction() > 0.0, "alignment must run on the executor");
+    assert!(report.sort.busy_fraction > 0.0, "sort must run on the executor");
+}
+
+#[test]
+fn two_pipelines_share_one_runtime() {
+    let fx = Arc::new(Fixture::new(3003, 400));
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+
+    let mut handles = Vec::new();
+    for k in 0..2 {
+        let rt = rt.clone();
+        let fx = fx.clone();
+        handles.push(std::thread::spawn(move || {
+            let fastq_bytes = fastq::to_bytes(&fx.reads);
+            let mut sam = Vec::new();
+            let report = run_pipeline(
+                &rt,
+                std::io::Cursor::new(fastq_bytes),
+                &format!("twin{k}"),
+                100,
+                fx.aligner.clone(),
+                &fx.reference,
+                &mut sam,
+            )
+            .unwrap();
+            (report, sam)
+        }));
+    }
+    let outputs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (report, sam) in &outputs {
+        assert_eq!(report.export.records, 400);
+        let body = sam.split(|&b| b == b'\n').filter(|l| !l.is_empty() && l[0] != b'@').count();
+        assert_eq!(body, 400);
+    }
+    // Same input, same aligner: both concurrent pipelines agree.
+    assert_eq!(outputs[0].1, outputs[1].1);
+}
+
+#[test]
+fn fused_pipeline_rejects_invalid_config() {
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let bad = PersonaConfig { compute_threads: 0, ..PersonaConfig::small() };
+    let err = PersonaRuntime::new(store, bad).err().expect("zero compute_threads must fail");
+    assert!(format!("{err}").contains("compute_threads"), "{err}");
+}
+
+#[test]
+fn fused_pipeline_surfaces_import_errors() {
+    let fx = Fixture::new(3005, 10);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let bad_fastq = b"@r1\nACGT\nBROKEN\nIIII\n".to_vec();
+    let mut sam = Vec::new();
+    let err = run_pipeline(
+        &rt,
+        std::io::Cursor::new(bad_fastq),
+        "bad",
+        10,
+        fx.aligner.clone(),
+        &fx.reference,
+        &mut sam,
+    );
+    assert!(err.is_err(), "malformed FASTQ must fail the fused pipeline");
+}

@@ -8,14 +8,17 @@ use persona::pipeline::align::{align_dataset, AlignInputs};
 use persona_agd::chunk_io::{ChunkStore, MemStore};
 use persona_integration_tests::common::Fixture;
 use persona_store::ceph::{CephCluster, CephConfig};
+use persona_store::clock::ManualClock;
 use persona_store::local::{DiskConfig, ThrottledStore, WritebackDisk};
 
 #[test]
 fn align_through_throttled_disk() {
     let fx = Fixture::new(2001, 300);
-    let disk = Arc::new(ThrottledStore::new(
+    let clock = ManualClock::new();
+    let disk = Arc::new(ThrottledStore::with_clock(
         MemStore::new(),
         DiskConfig { read_bw: 50e6, write_bw: 50e6, shared: false },
+        clock.clone(),
     ));
     let manifest = fx.write_dataset(disk.as_ref(), "thr", 100);
     let stats0 = disk.stats().snapshot();
@@ -50,15 +53,17 @@ fn align_through_throttled_disk() {
     // metadata (selective access: delta excludes it up to our probes).
     assert!(read_delta >= bases_qual, "read {read_delta} < columns {bases_qual}");
     let _ = meta_bytes;
+    let _ = clock; // Any modeled transfer time accrues virtually.
 }
 
 #[test]
 fn align_through_writeback_disk_completes_and_persists() {
     let fx = Fixture::new(2003, 300);
-    let disk = Arc::new(WritebackDisk::new(
+    let disk = Arc::new(WritebackDisk::with_clock(
         MemStore::new(),
         DiskConfig { read_bw: 40e6, write_bw: 40e6, shared: true },
         16 << 20,
+        ManualClock::new(),
     ));
     let manifest = fx.write_dataset(disk.as_ref(), "wb", 100);
     let store: Arc<dyn ChunkStore> = disk.clone();
@@ -79,12 +84,10 @@ fn align_through_writeback_disk_completes_and_persists() {
 #[test]
 fn align_through_ceph_model() {
     let fx = Fixture::new(2005, 300);
-    let cluster = CephCluster::new(CephConfig {
-        nodes: 3,
-        node_bw: 100e6,
-        replication: 3,
-        client_nic_bw: 200e6,
-    });
+    let cluster = CephCluster::with_clock(
+        CephConfig { nodes: 3, node_bw: 100e6, replication: 3, client_nic_bw: 200e6 },
+        ManualClock::new(),
+    );
     let client = Arc::new(cluster.client());
     let manifest = fx.write_dataset(client.as_ref(), "ceph", 100);
     let store: Arc<dyn ChunkStore> = client.clone();
@@ -103,7 +106,7 @@ fn align_through_ceph_model() {
 
 #[test]
 fn rados_bench_reports_positive_bandwidth() {
-    let cluster = CephCluster::new(CephConfig::paper_cluster(0.001));
+    let cluster = CephCluster::with_clock(CephConfig::paper_cluster(0.001), ManualClock::new());
     let bw = cluster.rados_bench(std::time::Duration::from_millis(200), 64 * 1024, 4);
     assert!(bw > 0.0);
 }
