@@ -8,6 +8,10 @@
 //! producing byte-identical output.
 //!
 //! Run: `cargo run -p persona-bench --release --bin fused`
+//!
+//! Besides the human-readable table, the run emits a machine-readable
+//! `BENCH_fused.json` (reads/s plus per-stage busy fractions) in the
+//! working directory, which CI uploads to seed the bench trajectory.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -94,4 +98,30 @@ fn main() {
         "records: {} in = {} out (byte-identical SAM)",
         report.import.reads, report.export.records
     );
+
+    // Machine-readable result for the CI bench trajectory.
+    let reads_per_sec = if fused_s > 0.0 { report.import.reads as f64 / fused_s } else { 0.0 };
+    let stages: Vec<String> = report
+        .stage_rows()
+        .into_iter()
+        .map(|(stage, elapsed, busy)| {
+            format!(
+                "{{\"stage\":\"{stage}\",\"elapsed_s\":{:.6},\"busy_fraction\":{:.6}}}",
+                elapsed.as_secs_f64(),
+                busy
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"fused\",\"reads\":{},\"input_mb\":{input_mb:.3},\
+         \"sequential_s\":{sequential_s:.6},\"fused_s\":{fused_s:.6},\
+         \"speedup\":{:.4},\"reads_per_sec\":{reads_per_sec:.1},\
+         \"compute_threads\":{},\"stages\":[{}]}}\n",
+        report.import.reads,
+        if fused_s > 0.0 { sequential_s / fused_s } else { 0.0 },
+        config.compute_threads,
+        stages.join(",")
+    );
+    std::fs::write("BENCH_fused.json", json).expect("write BENCH_fused.json");
+    println!("wrote BENCH_fused.json");
 }

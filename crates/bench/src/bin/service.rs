@@ -1,0 +1,119 @@
+//! Multi-tenant service throughput: M synthetic concurrent clients
+//! submit full pipelines to one `PersonaService` over one shared
+//! runtime, vs the same jobs run back to back.
+//!
+//! The service claim under test: multiplexing jobs onto one executor
+//! keeps the cores busy across job boundaries (paper §4.3/§5.2), so
+//! aggregate throughput should beat serial job-at-a-time execution
+//! while weighted fair-share keeps per-tenant wait bounded.
+//!
+//! Run: `cargo run -p persona-bench --release --bin service`
+//! Knobs: `PERSONA_BENCH_SCALE` (dataset size), `PERSONA_BENCH_CLIENTS`
+//! (concurrent clients, default 6).
+
+use std::time::Instant;
+
+use persona::config::PersonaConfig;
+use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona_bench::{mem_store, print_header, scale, World};
+use persona_dataflow::Priority;
+use persona_formats::fastq;
+use persona_server::{JobSpec, PersonaService, ServiceConfig, StagePlan, TenantConfig};
+
+fn main() {
+    let sc = scale();
+    let clients: usize =
+        std::env::var("PERSONA_BENCH_CLIENTS").ok().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let reads_per_job = ((6_000.0 * sc) as usize).max(200);
+    let world = World::build((120_000.0 * sc as f64).max(40_000.0) as usize, reads_per_job, 47);
+    let aligner = world.snap_aligner();
+    let config = PersonaConfig::default();
+    let fastq_bytes = fastq::to_bytes(&world.reads);
+    println!(
+        "workload: {clients} clients × {reads_per_job} reads | {} compute threads",
+        config.compute_threads
+    );
+
+    // Serial baseline: the same jobs, one at a time, on one runtime.
+    let serial_rt = PersonaRuntime::new(mem_store(), config).unwrap();
+    let t0 = Instant::now();
+    for k in 0..clients {
+        let mut sam = Vec::new();
+        run_pipeline(
+            &serial_rt,
+            std::io::Cursor::new(fastq_bytes.clone()),
+            &format!("serial-{k}"),
+            2_000,
+            aligner.clone(),
+            &world.reference,
+            &mut sam,
+        )
+        .unwrap();
+    }
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    // Service: M concurrent clients across two tenants, fair-share
+    // admission, one shared runtime.
+    let rt = PersonaRuntime::new(mem_store(), config).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: clients.min(4).max(2), ..ServiceConfig::default() },
+    );
+    service.set_tenant("prod", TenantConfig { weight: 2, max_in_flight: 3 });
+    service.set_tenant("batch", TenantConfig { weight: 1, max_in_flight: 3 });
+    let t0 = Instant::now();
+    let handles: Vec<_> = std::thread::scope(|s| {
+        // Spawn every client first, join after: submissions race each
+        // other (the synthetic concurrent-client load), and the jobs
+        // themselves run under the service's fair-share admission.
+        let clients: Vec<_> = (0..clients)
+            .map(|k| {
+                let service = &service;
+                let world = &world;
+                let aligner = aligner.clone();
+                let fastq_bytes = fastq_bytes.clone();
+                s.spawn(move || {
+                    service
+                        .submit(JobSpec {
+                            name: format!("client-{k}"),
+                            tenant: if k % 3 == 0 { "batch" } else { "prod" }.to_string(),
+                            priority: Priority::Normal,
+                            plan: StagePlan::Full,
+                            fastq: fastq_bytes,
+                            chunk_size: 2_000,
+                            aligner,
+                            reference: world.reference.clone(),
+                        })
+                        .expect("submit")
+                })
+            })
+            .collect();
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect()
+    });
+    for h in &handles {
+        assert!(h.wait().output().is_some(), "job {} failed", h.name());
+    }
+    let service_s = t0.elapsed().as_secs_f64();
+
+    let report = service.report();
+    print_header(
+        "Multi-tenant service (fair-share over one runtime)",
+        &["tenant", "jobs", "reads/s", "mean wait (ms)", "busy %"],
+    );
+    for t in &report.tenants {
+        println!(
+            "{}\t{}\t{:.0}\t{:.0}\t{:.1}",
+            t.tenant,
+            t.completed,
+            t.reads_per_sec(),
+            t.mean_queue_wait().as_secs_f64() * 1e3,
+            report.busy_fraction(&t.tenant) * 100.0
+        );
+    }
+    let total_reads = (clients * reads_per_job) as f64;
+    println!(
+        "\nserial jobs: {serial_s:.2} s | service: {service_s:.2} s ({:.2}x) | {:.0} reads/s aggregate",
+        serial_s / service_s,
+        total_reads / service_s
+    );
+}

@@ -44,6 +44,16 @@ pub enum Error {
     Format(persona_formats::Error),
     /// Pipeline-level invariant violation.
     Pipeline(String),
+    /// The job's cancellation token fired; the pipeline stopped
+    /// scheduling work and unwound.
+    Cancelled,
+}
+
+impl Error {
+    /// Whether this error is a cooperative cancellation (not a failure).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, Error::Cancelled)
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -53,6 +63,7 @@ impl std::fmt::Display for Error {
             Error::Dataflow(e) => write!(f, "dataflow: {e}"),
             Error::Format(e) => write!(f, "format: {e}"),
             Error::Pipeline(what) => write!(f, "pipeline: {what}"),
+            Error::Cancelled => write!(f, "job cancelled"),
         }
     }
 }

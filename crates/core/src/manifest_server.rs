@@ -1,10 +1,26 @@
-//! The manifest server: a simple message queue of chunk work items.
+//! The manifest server: a sharded message queue of chunk work items.
 //!
 //! Paper §5.2: "Within each server, the first stage in the graph fetches
 //! a chunk name from the manifest server; the latter is implemented as a
 //! simple message queue." Sharing one `ManifestServer` across several
 //! per-server pipelines is what load-balances a multi-node run and, by
 //! pull-based dispatch, avoids stragglers.
+//!
+//! A single mutex-protected queue becomes the bottleneck once many
+//! pipelines (a multi-tenant service) fetch from the same server, so
+//! the queue is **lock-sharded**: chunk tasks spread round-robin over N
+//! independently locked shards, and `fetch` work-steals — it tries its
+//! preferred shard first and then scans the others — so a burst of
+//! consumers never serializes on one lock.
+//!
+//! Ordering contract: delivery is always exactly-once, and each shard
+//! is FIFO. *Global* FIFO holds for a single-shard server and for
+//! quiescent streams (all pushes complete before fetching starts, e.g.
+//! a prefilled server drained by one consumer). While a producer races
+//! a consumer across multiple shards, a task can be delivered a few
+//! positions early — which is fine for every pipeline stage: chunks
+//! carry their `chunk_idx`, and order-sensitive consumers (the SAM
+//! export writer) already reassemble by index.
 //!
 //! Two construction modes exist:
 //!
@@ -17,11 +33,17 @@
 //!   queue while both stages share the compute executor. `fetch` blocks
 //!   until a task arrives or the feeder is dropped.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::{Condvar, Mutex};
 use persona_agd::manifest::Manifest;
-use persona_dataflow::queue::{Producer, QueueHandle};
+
+/// Default shard count: enough lanes that a handful of concurrent
+/// pipelines rarely collide, without scattering a small dataset too
+/// thinly.
+pub const DEFAULT_SHARDS: usize = 4;
 
 /// One unit of dispatchable work: a chunk of a dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,85 +56,238 @@ pub struct ChunkTask {
     pub num_records: u32,
 }
 
+/// The lock-sharded queue state shared by server handles and feeders.
+struct Sharded {
+    /// Independently locked task lanes.
+    shards: Box<[Mutex<VecDeque<ChunkTask>>]>,
+    /// Queued-but-undispatched tasks (a slot is reserved here *before*
+    /// the task lands in a shard, so the bound is strict).
+    len: AtomicUsize,
+    /// Total capacity across all shards.
+    capacity: usize,
+    /// Closed: pushes fail, fetchers drain then see `None`.
+    closed: AtomicBool,
+    /// Live feeder handles; the queue closes when the last one drops.
+    producers: AtomicUsize,
+    /// Tasks ever enqueued.
+    total: AtomicUsize,
+    /// Round-robin tickets for shard selection.
+    push_ticket: AtomicUsize,
+    fetch_ticket: AtomicUsize,
+    /// Sleep/wake coordination. Pushers insert into a shard *without*
+    /// this lock, then take it briefly to notify, so a consumer that
+    /// re-scans under the gate before sleeping can never miss an item.
+    gate: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl Sharded {
+    fn new(capacity: usize, shards: usize) -> Arc<Self> {
+        let shards = shards.max(1);
+        Arc::new(Sharded {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            len: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+            producers: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            push_ticket: AtomicUsize::new(0),
+            fetch_ticket: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        })
+    }
+
+    /// Blocking push; `false` once the queue is closed.
+    fn push(&self, task: ChunkTask) -> bool {
+        // Reserve a slot: CAS on `len` keeps the bound strict even
+        // under concurrent pushers.
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            let cur = self.len.load(Ordering::SeqCst);
+            if cur >= self.capacity {
+                let mut gate = self.gate.lock();
+                if self.closed.load(Ordering::SeqCst) {
+                    return false;
+                }
+                if self.len.load(Ordering::SeqCst) >= self.capacity {
+                    self.not_full.wait(&mut gate);
+                }
+                continue;
+            }
+            if self.len.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+                break;
+            }
+        }
+        let t = self.push_ticket.fetch_add(1, Ordering::Relaxed);
+        self.shards[t % self.shards.len()].lock().push_back(task);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        // Notify under the gate: a consumer is either scanning (it will
+        // find the task) or about to sleep holding the gate (this lock
+        // acquisition serializes after its re-scan, so the notify
+        // lands).
+        let _gate = self.gate.lock();
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// One work-stealing sweep: preferred shard first, then the rest.
+    /// Decrements `len` on success; the *caller* must then notify
+    /// `not_full` under the gate (this function must stay gate-free —
+    /// `fetch` calls it while already holding the gate).
+    fn try_steal(&self, ticket: usize) -> Option<ChunkTask> {
+        let n = self.shards.len();
+        for k in 0..n {
+            let task = self.shards[(ticket + k) % n].lock().pop_front();
+            if let Some(task) = task {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Blocking fetch; `None` once closed and drained.
+    fn fetch(&self) -> Option<ChunkTask> {
+        let ticket = self.fetch_ticket.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if let Some(task) = self.try_steal(ticket) {
+                let _gate = self.gate.lock();
+                self.not_full.notify_one();
+                return Some(task);
+            }
+            let mut gate = self.gate.lock();
+            // Re-scan under the gate: any pusher that inserted since
+            // the lock-free sweep must still acquire the gate to
+            // notify, so it cannot slip between this scan and the wait.
+            if let Some(task) = self.try_steal(ticket) {
+                self.not_full.notify_one();
+                return Some(task);
+            }
+            if self.closed.load(Ordering::SeqCst) && self.len.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            self.not_empty.wait(&mut gate);
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _gate = self.gate.lock();
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
 /// A shared pull-based queue of chunk tasks.
 #[derive(Clone)]
 pub struct ManifestServer {
-    queue: QueueHandle<ChunkTask>,
-    total: Arc<AtomicUsize>,
+    inner: Arc<Sharded>,
 }
 
 impl ManifestServer {
-    /// Creates a server dispensing every chunk of `manifest`, in order.
+    /// Creates a server dispensing every chunk of `manifest`, in order,
+    /// over [`DEFAULT_SHARDS`] shards.
     pub fn new(manifest: &Manifest) -> Self {
+        Self::with_shards(manifest, DEFAULT_SHARDS)
+    }
+
+    /// Creates a prefilled server with an explicit shard count.
+    pub fn with_shards(manifest: &Manifest, shards: usize) -> Self {
         let n = manifest.records.len();
-        let queue = QueueHandle::new("manifest-server", n.max(1));
-        let producer = queue.producer();
+        let inner = Sharded::new(n.max(1), shards);
         for (i, e) in manifest.records.iter().enumerate() {
-            queue
-                .push(ChunkTask { chunk_idx: i, stem: e.path.clone(), num_records: e.num_records })
-                .ok()
-                .expect("prefilled manifest queue cannot be closed");
+            let ok = inner.push(ChunkTask {
+                chunk_idx: i,
+                stem: e.path.clone(),
+                num_records: e.num_records,
+            });
+            assert!(ok, "prefilled manifest queue cannot be closed");
         }
-        // Dropping the only producer closes the queue: fetch drains the
-        // prefilled tasks and then reports end-of-dataset.
-        drop(producer);
-        ManifestServer { queue, total: Arc::new(AtomicUsize::new(n)) }
+        // No feeder exists: close now so fetch drains the prefilled
+        // tasks and then reports end-of-dataset.
+        inner.close();
+        ManifestServer { inner }
     }
 
     /// Creates an initially empty server together with the feeder that
     /// fills it. `capacity` bounds how many undispatched chunks may be
     /// queued (the fused pipeline's flow control between stages).
     pub fn streaming(capacity: usize) -> (ManifestServer, ChunkFeeder) {
-        let queue = QueueHandle::new("manifest-server", capacity.max(1));
-        let total = Arc::new(AtomicUsize::new(0));
-        let feeder =
-            ChunkFeeder { _producer: queue.producer(), queue: queue.clone(), total: total.clone() };
-        (ManifestServer { queue, total }, feeder)
+        Self::streaming_with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// [`ManifestServer::streaming`] with an explicit shard count.
+    pub fn streaming_with_shards(capacity: usize, shards: usize) -> (ManifestServer, ChunkFeeder) {
+        let inner = Sharded::new(capacity, shards);
+        inner.producers.fetch_add(1, Ordering::SeqCst);
+        (ManifestServer { inner: inner.clone() }, ChunkFeeder { inner })
     }
 
     /// Fetches the next chunk task; `None` once the dataset is drained.
     ///
     /// On a streaming server this blocks while the feeder is alive and
-    /// the queue is empty.
+    /// the queue is empty. Each call work-steals: it tries a preferred
+    /// shard (rotating per call) and then scans the remaining shards.
     pub fn fetch(&self) -> Option<ChunkTask> {
-        self.queue.pop()
+        self.inner.fetch()
     }
 
     /// Chunks queued but not yet dispatched.
     pub fn remaining(&self) -> usize {
-        self.queue.len()
+        self.inner.len.load(Ordering::SeqCst)
+    }
+
+    /// Number of lock shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
     }
 
     /// Force-closes the queue: fetchers drain what is left and then see
     /// `None`, and feeder pushes fail. Used to cancel the upstream
     /// stage of a fused pair when the downstream stage dies.
     pub fn close(&self) {
-        self.queue.close();
+        self.inner.close();
     }
 
     /// Total chunks ever enqueued (grows while a feeder is pushing).
     pub fn total(&self) -> usize {
-        self.total.load(Ordering::Relaxed)
+        self.inner.total.load(Ordering::Relaxed)
     }
 }
 
 /// The producing end of a streaming [`ManifestServer`]. Dropping it
 /// closes the queue, signalling end-of-dataset to every fetcher.
 pub struct ChunkFeeder {
-    queue: QueueHandle<ChunkTask>,
-    total: Arc<AtomicUsize>,
-    _producer: Producer<ChunkTask>,
+    inner: Arc<Sharded>,
 }
 
 impl ChunkFeeder {
     /// Enqueues one chunk task, blocking while the queue is at
     /// capacity. Returns `false` if the queue was force-closed.
     pub fn push(&self, task: ChunkTask) -> bool {
-        let delivered = self.queue.push(task).is_ok();
-        if delivered {
-            self.total.fetch_add(1, Ordering::Relaxed);
+        self.inner.push(task)
+    }
+}
+
+impl Clone for ChunkFeeder {
+    /// Registers another producer: the stream closes only after every
+    /// clone has been dropped.
+    fn clone(&self) -> Self {
+        self.inner.producers.fetch_add(1, Ordering::SeqCst);
+        ChunkFeeder { inner: self.inner.clone() }
+    }
+}
+
+impl Drop for ChunkFeeder {
+    fn drop(&mut self) {
+        if self.inner.producers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.inner.close();
         }
-        delivered
     }
 }
 
@@ -148,6 +323,18 @@ mod tests {
     }
 
     #[test]
+    fn single_consumer_fifo_across_any_shard_count() {
+        for shards in [1, 2, 3, 7, 16] {
+            let server = ManifestServer::with_shards(&manifest(40), shards);
+            assert_eq!(server.shards(), shards);
+            for i in 0..40 {
+                assert_eq!(server.fetch().unwrap().chunk_idx, i, "{shards} shards");
+            }
+            assert_eq!(server.fetch(), None);
+        }
+    }
+
+    #[test]
     fn shared_across_workers_no_duplicates() {
         let server = ManifestServer::new(&manifest(1000));
         let mut handles = Vec::new();
@@ -172,6 +359,9 @@ mod tests {
 
     #[test]
     fn streaming_fetch_blocks_until_fed_then_drains() {
+        // Multi-shard: a consumer racing the feeder still receives
+        // every task exactly once (global FIFO is only promised for
+        // one shard — see the module docs).
         let (server, feeder) = ManifestServer::streaming(4);
         let consumer = {
             let server = server.clone();
@@ -192,7 +382,33 @@ mod tests {
         }
         assert_eq!(server.total(), 20);
         drop(feeder); // End of dataset: consumer sees None and exits.
-        assert_eq!(consumer.join().unwrap(), (0..20).collect::<Vec<_>>());
+        let mut got = consumer.join().unwrap();
+        got.sort();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_shard_streaming_is_strict_fifo_under_race() {
+        let (server, feeder) = ManifestServer::streaming_with_shards(4, 1);
+        let consumer = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(task) = server.fetch() {
+                    got.push(task.chunk_idx);
+                }
+                got
+            })
+        };
+        for i in 0..200 {
+            assert!(feeder.push(ChunkTask {
+                chunk_idx: i,
+                stem: format!("s-{i}"),
+                num_records: 5,
+            }));
+        }
+        drop(feeder);
+        assert_eq!(consumer.join().unwrap(), (0..200).collect::<Vec<_>>());
     }
 
     #[test]
@@ -210,5 +426,75 @@ mod tests {
         assert!(blocked.join().unwrap());
         assert_eq!(server.fetch().unwrap().stem, "b");
         assert_eq!(server.fetch().unwrap().stem, "c");
+    }
+
+    #[test]
+    fn push_after_close_returns_false() {
+        let (server, feeder) = ManifestServer::streaming(4);
+        assert!(feeder.push(ChunkTask { chunk_idx: 0, stem: "a".into(), num_records: 1 }));
+        server.close();
+        assert!(!feeder.push(ChunkTask { chunk_idx: 1, stem: "b".into(), num_records: 1 }));
+        // Already-queued work is still drained before end-of-stream.
+        assert_eq!(server.fetch().unwrap().stem, "a");
+        assert_eq!(server.fetch(), None);
+        assert_eq!(server.total(), 1);
+    }
+
+    #[test]
+    fn close_unblocks_a_full_queue_pusher() {
+        let (server, feeder) = ManifestServer::streaming(1);
+        assert!(feeder.push(ChunkTask { chunk_idx: 0, stem: "a".into(), num_records: 1 }));
+        let blocked = std::thread::spawn(move || {
+            feeder.push(ChunkTask { chunk_idx: 1, stem: "b".into(), num_records: 1 })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        server.close();
+        assert!(!blocked.join().unwrap(), "pusher must fail, not hang, on close");
+    }
+
+    #[test]
+    fn concurrent_feeders_and_fetchers_deliver_exactly_once() {
+        // Multi-producer multi-consumer contention over few shards:
+        // every task is delivered exactly once, totals stay consistent.
+        let (server, feeder) = ManifestServer::streaming_with_shards(8, 2);
+        let mut producers = Vec::new();
+        for p in 0..4usize {
+            let feeder = feeder.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..250usize {
+                    assert!(feeder.push(ChunkTask {
+                        chunk_idx: p * 1000 + i,
+                        stem: format!("{p}-{i}"),
+                        num_records: 1,
+                    }));
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let server = server.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(t) = server.fetch() {
+                    got.push(t.chunk_idx);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(server.total(), 1000);
+        drop(feeder);
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort();
+        let mut expected: Vec<usize> =
+            (0..4).flat_map(|p| (0..250).map(move |i| p * 1000 + i)).collect();
+        expected.sort();
+        assert_eq!(all, expected);
+        assert_eq!(server.remaining(), 0);
     }
 }

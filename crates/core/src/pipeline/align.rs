@@ -66,9 +66,10 @@ pub struct AlignReport {
 }
 
 impl AlignReport {
-    /// Megabases aligned per second (paper Fig. 6 unit).
+    /// Megabases aligned per second (paper Fig. 6 unit); 0.0 for an
+    /// empty or instantaneous run.
     pub fn mbases_per_sec(&self) -> f64 {
-        self.bases as f64 / 1e6 / self.elapsed.as_secs_f64()
+        crate::pipeline::rate_per_sec(self.bases as f64 / 1e6, self.elapsed)
     }
 }
 
@@ -156,8 +157,13 @@ pub fn align_with_runtime(
         let server = server.clone();
         let store = store.clone();
         let qr = q_raw.clone();
+        let cancel = rt.job().map(|j| j.cancel_token().clone());
         g.node("reader", cfg.reader_parallelism, [q_raw.produces()], move |ctx| {
             while let Some(task) = server.fetch() {
+                // Stop pulling new chunks once the job is cancelled.
+                if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err("job cancelled".into());
+                }
                 let bases_name = format!("{}.{}", task.stem, columns::BASES);
                 let qual_name = format!("{}.{}", task.stem, columns::QUAL);
                 let bases_obj = ctx
@@ -203,8 +209,7 @@ pub fn align_with_runtime(
     // feed the shared executor (Fig. 4).
     {
         let (qi, qo) = (q_parsed.clone(), q_results.clone());
-        let executor = executor.clone();
-        let tag = timer.tag();
+        let exec = rt.stage_exec(&timer);
         let aligner = aligner.clone();
         let (reads_ctr, bases_ctr, mapped_ctr, profile) =
             (reads_ctr.clone(), bases_ctr.clone(), mapped_ctr.clone(), profile.clone());
@@ -235,8 +240,10 @@ pub fn align_with_runtime(
                         slots.lock().push((lo, out));
                     }));
                 }
-                let batch = executor.submit_batch_tagged(tasks, Some(tag.clone()));
-                ctx.wait_external(|| batch.wait());
+                let batch = exec.submit_batch(tasks);
+                if ctx.wait_external(|| batch.wait_cancelled()) {
+                    return Err("job cancelled".into());
+                }
 
                 let mut parts = match Arc::try_unwrap(slots) {
                     Ok(m) => m.into_inner(),
@@ -286,7 +293,10 @@ pub fn align_with_runtime(
         });
     }
 
-    let run = g.run().map_err(|(e, _report)| Error::Dataflow(e))?;
+    let run =
+        g.run().map_err(
+            |(e, _)| if rt.is_cancelled() { Error::Cancelled } else { Error::Dataflow(e) },
+        )?;
     let busy_fraction = timer.finish().busy_fraction;
     let merged_profile = *profile.lock();
     Ok(AlignReport {

@@ -47,9 +47,10 @@ pub struct DupmarkReport {
 }
 
 impl DupmarkReport {
-    /// Reads processed per second (the §5.6 comparison unit).
+    /// Reads processed per second (the §5.6 comparison unit); 0.0 for
+    /// an empty or instantaneous run.
     pub fn reads_per_sec(&self) -> f64 {
-        self.reads as f64 / self.elapsed.as_secs_f64()
+        crate::pipeline::rate_per_sec(self.reads as f64, self.elapsed)
     }
 }
 
@@ -115,7 +116,7 @@ pub fn mark_duplicates_rt(
 ) -> Result<DupmarkReport> {
     let timer = rt.stage_timer();
     let store = rt.store();
-    let executor = rt.executor();
+    let exec = rt.stage_exec(&timer);
     let mut seen: HashSet<(i64, bool, i64)> = HashSet::new();
     let mut duplicates = 0u64;
     let mut reads = 0u64;
@@ -129,7 +130,7 @@ pub fn mark_duplicates_rt(
     // Bounded lookahead: only this many chunks are decoded (or being
     // rewritten) at once, so memory stays O(window), not O(dataset),
     // while the executor still sees parallel work.
-    let window = executor.threads() * 2 + 2;
+    let window = rt.executor().threads() * 2 + 2;
     let write_err: Arc<Mutex<Option<Error>>> = Arc::new(Mutex::new(None));
 
     // Per-chunk decode output, filled by an executor task.
@@ -175,26 +176,30 @@ pub fn mark_duplicates_rt(
             let store = store.clone();
             let slot: DecodeSlot = Arc::new(Mutex::new(None));
             let out = slot.clone();
-            let batch = executor.submit_tagged(
-                move || {
-                    let decode = || -> Result<Vec<AlignmentResult>> {
-                        let chunk = ChunkData::decode(&store.get(&name)?)?;
-                        let mut results = Vec::with_capacity(chunk.len());
-                        for rec in chunk.iter() {
-                            results.push(AlignmentResult::decode(rec)?);
-                        }
-                        Ok(results)
-                    };
-                    *out.lock() = Some(decode());
-                },
-                timer.tag(),
-            );
+            let batch = exec.submit(move || {
+                let decode = || -> Result<Vec<AlignmentResult>> {
+                    let chunk = ChunkData::decode(&store.get(&name)?)?;
+                    let mut results = Vec::with_capacity(chunk.len());
+                    for rec in chunk.iter() {
+                        results.push(AlignmentResult::decode(rec)?);
+                    }
+                    Ok(results)
+                };
+                *out.lock() = Some(decode());
+            });
             decodes.push_back((batch, slot));
             next_decode += 1;
         }
         let (batch, slot) = decodes.pop_front().expect("decode scheduled ahead of scan");
-        batch.wait();
-        let mut results = match slot.lock().take().expect("decode slot filled") {
+        // A decode skipped by the job's cancel token leaves its slot
+        // empty; treat it like a decode failure and unwind as
+        // Cancelled (after settling every in-flight batch below).
+        let decoded = if batch.wait_cancelled() {
+            Err(Error::Cancelled)
+        } else {
+            slot.lock().take().expect("decode slot filled")
+        };
+        let mut results = match decoded {
             Ok(r) => r,
             Err(e) => {
                 // Settle in-flight rewrites AND lookahead decodes before
@@ -227,26 +232,23 @@ pub fn mark_duplicates_rt(
             let name = chunk_names[idx].clone();
             let store = store.clone();
             let write_err = write_err.clone();
-            Some(executor.submit_tagged(
-                move || {
-                    let write = || -> Result<()> {
-                        let encoded: Vec<Vec<u8>> = results.iter().map(|r| r.encode()).collect();
-                        let data = ChunkData::from_records(
-                            RecordType::Results,
-                            encoded.iter().map(|r| r.as_slice()),
-                        )?;
-                        store.put(&name, &data.encode(Codec::Gzip, CompressLevel::Fast)?)?;
-                        Ok(())
-                    };
-                    if let Err(e) = write() {
-                        let mut slot = write_err.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
+            Some(exec.submit(move || {
+                let write = || -> Result<()> {
+                    let encoded: Vec<Vec<u8>> = results.iter().map(|r| r.encode()).collect();
+                    let data = ChunkData::from_records(
+                        RecordType::Results,
+                        encoded.iter().map(|r| r.as_slice()),
+                    )?;
+                    store.put(&name, &data.encode(Codec::Gzip, CompressLevel::Fast)?)?;
+                    Ok(())
+                };
+                if let Err(e) = write() {
+                    let mut slot = write_err.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
                     }
-                },
-                timer.tag(),
-            ))
+                }
+            }))
         } else {
             None
         };
@@ -265,6 +267,9 @@ pub fn mark_duplicates_rt(
     if let Some(e) = write_err.lock().take() {
         return Err(e);
     }
+    // A rewrite skipped by cancellation leaves stale results in the
+    // store; the run must not report success.
+    rt.check_cancelled()?;
 
     let stage = timer.finish();
     Ok(DupmarkReport {

@@ -39,9 +39,10 @@ pub struct ExportReport {
 }
 
 impl ExportReport {
-    /// Output megabytes per second (the §5.7 unit).
+    /// Output megabytes per second (the §5.7 unit); 0.0 for an empty or
+    /// instantaneous run.
     pub fn mb_per_sec(&self) -> f64 {
-        self.output_bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+        crate::pipeline::rate_per_sec(self.output_bytes as f64 / 1e6, self.elapsed)
     }
 }
 
@@ -107,13 +108,16 @@ pub fn export_sam_rt(
     {
         let server = server.clone();
         let store = rt.store().clone();
-        let executor = rt.executor().clone();
-        let tag = timer.tag();
+        let exec = rt.stage_exec(&timer);
         let refs = refs.clone();
         let qf = q_formatted.clone();
         let subchunk = config.subchunk_size.max(1);
         g.node("formatter", formatters, [q_formatted.produces()], move |ctx| {
             while let Some(task) = server.fetch() {
+                // Stop pulling new chunks once the job is cancelled.
+                if exec.is_cancelled() {
+                    return Err("job cancelled".into());
+                }
                 let mut load =
                     |col: &str| -> std::result::Result<persona_agd::chunk::ChunkData, String> {
                         let raw = ctx.wait_external(|| ctx_get(&*store, &task.stem, col))?;
@@ -128,25 +132,27 @@ pub fn export_sam_rt(
                 let ranges = crate::pipeline::subchunk_ranges(n, subchunk);
                 let (m, b, q, r, rf) =
                     (meta.clone(), bases.clone(), quals.clone(), results.clone(), refs.clone());
-                let pieces = ctx.wait_external(|| {
-                    executor.map_batch(ranges, Some(tag.clone()), move |_, (lo, hi)| {
-                        let mut text = Vec::with_capacity((hi - lo) * 96);
-                        for i in lo..hi {
-                            let res =
-                                AlignmentResult::decode(r.record(i)).map_err(|e| e.to_string())?;
-                            let rec = SamRecord::from_result(
-                                &rf,
-                                m.record(i),
-                                b.record(i),
-                                q.record(i),
-                                &res,
-                            );
-                            text.extend_from_slice(&rec.to_line(&rf));
-                            text.push(b'\n');
-                        }
-                        Ok::<Vec<u8>, String>(text)
+                let pieces = ctx
+                    .wait_external(|| {
+                        exec.map(ranges, move |_, (lo, hi)| {
+                            let mut text = Vec::with_capacity((hi - lo) * 96);
+                            for i in lo..hi {
+                                let res = AlignmentResult::decode(r.record(i))
+                                    .map_err(|e| e.to_string())?;
+                                let rec = SamRecord::from_result(
+                                    &rf,
+                                    m.record(i),
+                                    b.record(i),
+                                    q.record(i),
+                                    &res,
+                                );
+                                text.extend_from_slice(&rec.to_line(&rf));
+                                text.push(b'\n');
+                            }
+                            Ok::<Vec<u8>, String>(text)
+                        })
                     })
-                });
+                    .map_err(|e| e.to_string())?;
                 let mut text = Vec::new();
                 for piece in pieces {
                     text.extend_from_slice(&piece?);
@@ -187,7 +193,10 @@ pub fn export_sam_rt(
         });
     }
 
-    let run = g.run().map_err(|(e, _)| Error::Dataflow(e))?;
+    let run =
+        g.run().map_err(
+            |(e, _)| if rt.is_cancelled() { Error::Cancelled } else { Error::Dataflow(e) },
+        )?;
     let stage = timer.finish();
     let sink = writer_out.lock();
     out.write_all(&sink.buf)?;
@@ -231,8 +240,7 @@ pub fn export_bam_rt(
     let timer = rt.stage_timer();
     let ds = persona_agd::dataset::Dataset::new(manifest.clone());
     let mut counting = CountingWriter { inner: out, written: 0 };
-    let executor = rt.executor().clone();
-    let tag = timer.tag();
+    let exec = rt.stage_exec(&timer);
     let n = persona_formats::convert::agd_to_bam_with(
         &ds,
         rt.store().as_ref(),
@@ -244,13 +252,16 @@ pub fn export_bam_rt(
             // come from the format crate's single source of truth.
             let ranges = bgzf_block_ranges(payload.len());
             let payload = Arc::new(payload);
-            executor
-                .map_batch(ranges, Some(tag), move |_, (lo, hi)| {
-                    bgzf_block(&payload[lo..hi], level)
-                })
-                .concat()
+            match exec.map(ranges, move |_, (lo, hi)| bgzf_block(&payload[lo..hi], level)) {
+                Ok(blocks) => blocks.concat(),
+                // Cancelled mid-compress: emit nothing further; the
+                // check below fails the export so the truncated BAM is
+                // never reported as success.
+                Err(_) => Vec::new(),
+            }
         },
     )?;
+    rt.check_cancelled()?;
     let stage = timer.finish();
     Ok(ExportReport {
         elapsed: stage.elapsed,

@@ -46,9 +46,10 @@ pub struct ImportReport {
 }
 
 impl ImportReport {
-    /// Input megabytes per second (the §5.7 unit).
+    /// Input megabytes per second (the §5.7 unit); 0.0 for an empty or
+    /// instantaneous run.
     pub fn mb_per_sec(&self) -> f64 {
-        self.input_bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+        crate::pipeline::rate_per_sec(self.input_bytes as f64 / 1e6, self.elapsed)
     }
 }
 
@@ -144,12 +145,19 @@ pub fn import_fastq_rt(
         let reader_cell = reader_cell.clone();
         let input_bytes = input_bytes.clone();
         let reads_ctr = reads_ctr.clone();
+        let cancel = rt.job().map(|j| j.cancel_token().clone());
         g.source("fastq-parser", [q_batches.produces()], move |ctx| {
             let mut input = reader_cell.lock().take().ok_or("parser ran twice")?;
             let mut reader = persona_formats::fastq::FastqReader::new(&mut input);
             let mut idx = 0u64;
             let mut batch = Vec::with_capacity(chunk_size);
             loop {
+                // A cancelled job stops consuming input: downstream
+                // batches drain (skipped by the executor) and the run
+                // unwinds as Cancelled.
+                if batch.is_empty() && cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                    return Err("job cancelled".into());
+                }
                 match reader.next() {
                     Ok(Some(read)) => {
                         // FASTQ framing: 4 lines ≈ meta + bases + quals + 3
@@ -183,8 +191,7 @@ pub fn import_fastq_rt(
     // the shared executor; the node itself only marshals the results.
     {
         let (qi, qo) = (q_batches.clone(), q_encoded.clone());
-        let executor = rt.executor().clone();
-        let tag = timer.tag();
+        let exec = rt.stage_exec(&timer);
         g.node("encoder", encoders, [q_encoded.produces()], move |ctx| {
             while let Some(batch) = ctx.pop(&qi) {
                 let n = batch.reads.len() as u32;
@@ -195,18 +202,20 @@ pub fn import_fastq_rt(
                     (Column::Meta, RecordType::Text, meta_codec),
                 ];
                 let r = reads.clone();
-                let mut objs = ctx.wait_external(|| {
-                    executor.map_batch(jobs, Some(tag.clone()), move |_, (col, rtype, codec)| {
-                        let records = r.iter().map(|read| match col {
-                            Column::Bases => read.bases.as_slice(),
-                            Column::Qual => read.quals.as_slice(),
-                            Column::Meta => read.meta.as_slice(),
-                        });
-                        ChunkData::from_records(rtype, records)
-                            .and_then(|chunk| chunk.encode(codec, CompressLevel::Fast))
-                            .map_err(|e| e.to_string())
+                let mut objs = ctx
+                    .wait_external(|| {
+                        exec.map(jobs, move |_, (col, rtype, codec)| {
+                            let records = r.iter().map(|read| match col {
+                                Column::Bases => read.bases.as_slice(),
+                                Column::Qual => read.quals.as_slice(),
+                                Column::Meta => read.meta.as_slice(),
+                            });
+                            ChunkData::from_records(rtype, records)
+                                .and_then(|chunk| chunk.encode(codec, CompressLevel::Fast))
+                                .map_err(|e| e.to_string())
+                        })
                     })
-                });
+                    .map_err(|e| e.to_string())?;
                 let meta_obj = objs.pop().expect("meta encode result")?;
                 let qual_obj = objs.pop().expect("qual encode result")?;
                 let bases_obj = objs.pop().expect("bases encode result")?;
@@ -252,7 +261,10 @@ pub fn import_fastq_rt(
         });
     }
 
-    let run = g.run().map_err(|(e, _)| Error::Dataflow(e))?;
+    let run =
+        g.run().map_err(
+            |(e, _)| if rt.is_cancelled() { Error::Cancelled } else { Error::Dataflow(e) },
+        )?;
     let stage = timer.finish();
 
     // Assemble the manifest in chunk order.

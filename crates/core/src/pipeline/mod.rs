@@ -24,6 +24,18 @@ pub trait StageReport {
     fn busy_fraction(&self) -> f64;
 }
 
+/// `count / elapsed` in Hz, guarded against a ~0 elapsed window: empty
+/// or instantaneous stages report a rate of 0.0 instead of NaN/inf,
+/// which would otherwise poison aggregated service metrics.
+pub fn rate_per_sec(count: f64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count / secs
+    } else {
+        0.0
+    }
+}
+
 /// Splits `0..n` into contiguous `(lo, hi)` ranges of at most `size`
 /// elements — the fine-grain task unit stages fan out on the executor.
 pub(crate) fn subchunk_ranges(n: usize, size: usize) -> Vec<(usize, usize)> {
@@ -41,6 +53,15 @@ pub(crate) fn subchunk_ranges(n: usize, size: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rate_per_sec_guards_zero_elapsed() {
+        assert_eq!(rate_per_sec(100.0, Duration::ZERO), 0.0);
+        assert_eq!(rate_per_sec(0.0, Duration::ZERO), 0.0);
+        let r = rate_per_sec(100.0, Duration::from_secs(2));
+        assert!((r - 50.0).abs() < 1e-9);
+        assert!(rate_per_sec(1e12, Duration::from_nanos(1)).is_finite());
+    }
 
     #[test]
     fn subchunk_ranges_cover_exactly_once() {

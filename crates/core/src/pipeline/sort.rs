@@ -112,7 +112,7 @@ pub fn sort_dataset_rt(
         return Err(Error::Pipeline("coordinate sort requires a results column".into()));
     }
     let has_results = manifest.has_column(columns::RESULTS);
-    let executor = rt.executor();
+    let exec = rt.stage_exec(&timer);
 
     // Phase 1: sort each chunk into a run (an executor task per chunk).
     let chunk_count = manifest.records.len();
@@ -120,12 +120,11 @@ pub fn sort_dataset_rt(
     let mut runs: Vec<Run> = {
         let store = rt.store().clone();
         let m = shared_manifest.clone();
-        executor
-            .map_batch((0..chunk_count).collect(), Some(timer.tag()), move |_, idx| {
-                load_sorted_run(store.as_ref(), &m, idx, key, has_results)
-            })
-            .into_iter()
-            .collect::<Result<_>>()?
+        exec.map((0..chunk_count).collect(), move |_, idx| {
+            load_sorted_run(store.as_ref(), &m, idx, key, has_results)
+        })?
+        .into_iter()
+        .collect::<Result<_>>()?
     };
     let n_runs = runs.len();
 
@@ -135,18 +134,17 @@ pub fn sort_dataset_rt(
     let fanin = 8usize;
     let mut superchunks = 0usize;
     while runs.len() > fanin {
+        rt.check_cancelled()?;
         let mut groups: Vec<Vec<Run>> = Vec::new();
         while !runs.is_empty() {
             let take = runs.len().min(fanin);
             groups.push(runs.drain(..take).collect());
         }
         superchunks += groups.len();
-        runs = executor.map_batch(groups, Some(timer.tag()), |_, group| merge_runs(group));
+        runs = exec.map(groups, |_, group| merge_runs(group))?;
     }
-    let final_run = executor
-        .map_batch(vec![runs], Some(timer.tag()), |_, runs| merge_runs(runs))
-        .pop()
-        .expect("final merge result");
+    let final_run =
+        exec.map(vec![runs], |_, runs| merge_runs(runs))?.pop().expect("final merge result");
     let records = final_run.len() as u64;
 
     // Phase 3: encode and write the output dataset chunk by chunk.
@@ -321,8 +319,8 @@ fn write_sorted_dataset(
         let run = Arc::new(run);
         let store = rt.store().clone();
         let out_name = out_name.to_string();
-        rt.executor()
-            .map_batch(ranges.clone(), Some(timer.tag()), move |k, (lo, hi)| -> Result<()> {
+        rt.stage_exec(timer)
+            .map(ranges.clone(), move |k, (lo, hi)| -> Result<()> {
                 let stem = format!("{out_name}-{k}");
                 for &(col, rtype, codec) in &columns_spec {
                     let records: &[Vec<u8>] = match col {
@@ -339,7 +337,7 @@ fn write_sorted_dataset(
                     store.put(&Manifest::chunk_object_name(&stem, col), &obj)?;
                 }
                 Ok(())
-            })
+            })?
             .into_iter()
             .collect::<Result<Vec<()>>>()?;
     }

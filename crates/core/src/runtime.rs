@@ -25,8 +25,9 @@ use std::time::{Duration, Instant};
 use persona_agd::chunk_io::ChunkStore;
 use persona_agd::manifest::Manifest;
 use persona_align::Aligner;
+use persona_dataflow::executor::Batch;
 use persona_dataflow::metrics::NodeCounters;
-use persona_dataflow::Executor;
+use persona_dataflow::{CancelToken, Executor, Priority, SubmitOpts};
 
 use crate::config::PersonaConfig;
 use crate::manifest_server::ManifestServer;
@@ -38,11 +39,51 @@ use crate::pipeline::sort::{self, SortKey, SortReport};
 use crate::pipeline::StageReport;
 use crate::{Error, Result};
 
+/// Per-job execution context: the cancellation token, dispatch
+/// priority, and job-level counter attribution a multi-tenant service
+/// threads through every stage of one job's pipeline.
+#[derive(Clone, Default)]
+pub struct JobContext {
+    cancel: CancelToken,
+    priority: Priority,
+    counters: Arc<NodeCounters>,
+}
+
+impl JobContext {
+    /// A context at the given priority with a fresh cancel token.
+    pub fn new(priority: Priority) -> Self {
+        JobContext { cancel: CancelToken::new(), priority, counters: Arc::default() }
+    }
+
+    /// A context reusing an externally held cancel token (so the owner
+    /// can cancel the job after handing the context to a runtime).
+    pub fn with_cancel(priority: Priority, cancel: CancelToken) -> Self {
+        JobContext { cancel, priority, counters: Arc::default() }
+    }
+
+    /// The job's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The job's dispatch priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The job's executor counters: busy time and task counts across
+    /// every stage this job ran (the service's per-tenant accounting).
+    pub fn counters(&self) -> &Arc<NodeCounters> {
+        &self.counters
+    }
+}
+
 /// The shared execution context for Persona pipelines on one server.
 pub struct PersonaRuntime {
     executor: Arc<Executor>,
     store: Arc<dyn ChunkStore>,
     config: PersonaConfig,
+    job: Option<JobContext>,
 }
 
 impl PersonaRuntime {
@@ -52,7 +93,41 @@ impl PersonaRuntime {
     pub fn new(store: Arc<dyn ChunkStore>, config: PersonaConfig) -> Result<Arc<Self>> {
         config.validate().map_err(Error::Pipeline)?;
         let executor = Arc::new(Executor::new(config.compute_threads));
-        Ok(Arc::new(PersonaRuntime { executor, store, config }))
+        Ok(Arc::new(PersonaRuntime { executor, store, config, job: None }))
+    }
+
+    /// A view of this runtime bound to one job: same executor, store
+    /// and config, but every stage batch submitted through the view
+    /// carries the job's priority, cancel token and counters. This is
+    /// how a service multiplexes many jobs onto one runtime.
+    pub fn for_job(self: &Arc<Self>, job: JobContext) -> Arc<PersonaRuntime> {
+        Arc::new(PersonaRuntime {
+            executor: self.executor.clone(),
+            store: self.store.clone(),
+            config: self.config,
+            job: Some(job),
+        })
+    }
+
+    /// The job context, when this runtime view is bound to one.
+    pub fn job(&self) -> Option<&JobContext> {
+        self.job.as_ref()
+    }
+
+    /// Whether the bound job (if any) has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.job.as_ref().is_some_and(|j| j.cancel.is_cancelled())
+    }
+
+    /// Errors with [`Error::Cancelled`] once the bound job's token has
+    /// fired. Stages call this between chunks so a cancelled job stops
+    /// scheduling new batches promptly.
+    pub fn check_cancelled(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(Error::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 
     /// The shared compute executor.
@@ -79,6 +154,61 @@ impl PersonaRuntime {
             workers: self.executor.threads(),
             started: Instant::now(),
         }
+    }
+
+    /// A cloneable submission handle for one stage of this runtime's
+    /// current job: batches submitted through it carry the stage tag
+    /// (from `timer`) *and* the job's priority/cancel/counters. Stage
+    /// node closures capture this instead of a bare executor handle.
+    pub fn stage_exec(&self, timer: &StageTimer) -> StageExec {
+        StageExec { executor: self.executor.clone(), tag: timer.tag(), job: self.job.clone() }
+    }
+}
+
+/// A stage's handle onto the shared executor, carrying both stage-level
+/// attribution and the owning job's dispatch options.
+#[derive(Clone)]
+pub struct StageExec {
+    executor: Arc<Executor>,
+    tag: Arc<NodeCounters>,
+    job: Option<JobContext>,
+}
+
+impl StageExec {
+    fn opts(&self) -> SubmitOpts {
+        SubmitOpts {
+            tag: Some(self.tag.clone()),
+            job_tag: self.job.as_ref().map(|j| j.counters.clone()),
+            priority: self.job.as_ref().map(|j| j.priority).unwrap_or_default(),
+            cancel: self.job.as_ref().map(|j| j.cancel.clone()),
+        }
+    }
+
+    /// Whether the owning job has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.job.as_ref().is_some_and(|j| j.cancel.is_cancelled())
+    }
+
+    /// Fans `items` out on the executor and returns outputs in item
+    /// order; [`Error::Cancelled`] if the job was cancelled before the
+    /// whole batch ran.
+    pub fn map<In, Out, F>(&self, items: Vec<In>, f: F) -> Result<Vec<Out>>
+    where
+        In: Send + 'static,
+        Out: Send + 'static,
+        F: Fn(usize, In) -> Out + Send + Sync + 'static,
+    {
+        self.executor.map_batch_opts(items, self.opts(), f).map_err(|_| Error::Cancelled)
+    }
+
+    /// Submits one closure; returns the batch handle.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) -> Batch {
+        self.submit_batch(vec![Box::new(task)])
+    }
+
+    /// Submits a batch of boxed closures; returns the batch handle.
+    pub fn submit_batch(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'static>>) -> Batch {
+        self.executor.submit_batch_opts(tasks, self.opts())
     }
 }
 
@@ -107,6 +237,10 @@ impl StageTimer {
     }
 
     /// Closes the window and computes the stage's executor share.
+    ///
+    /// A ~0 wall-clock window (empty or instantaneous stage) reports a
+    /// busy fraction of 0.0 — never NaN or infinity — so tiny jobs
+    /// cannot poison aggregated service metrics.
     pub fn finish(&self) -> StageStats {
         let elapsed = self.started.elapsed();
         let snap = self.counters.snapshot();
@@ -169,6 +303,7 @@ pub fn run_pipeline(
     sam_out: &mut (impl Write + Send),
 ) -> Result<PipelineReport> {
     let started = Instant::now();
+    rt.check_cancelled()?;
     let queue_cap = rt.config().capacity_for(rt.config().aligner_kernels).max(2);
 
     // Stage 1+2 overlapped: import feeds chunk names to alignment
@@ -199,6 +334,9 @@ pub fn run_pipeline(
     // "stream closed" error that would mask the root cause. (If import
     // itself fails, alignment just drains the chunks it got and ends
     // cleanly, so this order loses nothing.)
+    // A cancelled job reports Cancelled rather than whichever derived
+    // stream-closed error the unwinding stages happened to surface.
+    rt.check_cancelled()?;
     let align_rep = align_res?;
     let (mut manifest, import_rep) = import_res?;
     align::finalize_manifest(rt.store().as_ref(), &mut manifest, reference)?;
@@ -239,6 +377,7 @@ pub fn run_pipeline(
     // feeder mid-stream, after which export at best produces an
     // incomplete prefix (discarded with sam_buf) and at worst a
     // derived error of its own.
+    rt.check_cancelled()?;
     let dupmark_rep = dupmark_res?;
     let export_rep = export_res?;
     sam_out.write_all(&sam_buf)?;
@@ -253,4 +392,82 @@ pub fn run_pipeline(
         sorted,
         elapsed: started.elapsed(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona_agd::chunk_io::MemStore;
+
+    fn runtime() -> Arc<PersonaRuntime> {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        PersonaRuntime::new(store, PersonaConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn stage_timer_zero_window_reports_zero_not_nan() {
+        // A timer finished immediately (or with no tasks) must report a
+        // finite busy fraction of 0.0, whatever the wall clock did.
+        let rt = runtime();
+        let timer = rt.stage_timer();
+        let stats = timer.finish();
+        assert!(stats.busy_fraction.is_finite(), "busy {}", stats.busy_fraction);
+        assert_eq!(stats.busy_fraction, 0.0);
+        assert_eq!(stats.tasks, 0);
+        // Explicitly exercise the zero-denominator branch.
+        let degenerate = StageTimer {
+            counters: Arc::new(NodeCounters::default()),
+            workers: 0,
+            started: Instant::now(),
+        };
+        degenerate.counters.busy_ns.store(1_000_000, std::sync::atomic::Ordering::Relaxed);
+        let stats = degenerate.finish();
+        assert_eq!(stats.busy_fraction, 0.0);
+    }
+
+    #[test]
+    fn job_view_shares_executor_and_carries_cancel() {
+        let rt = runtime();
+        let job = JobContext::new(Priority::High);
+        let token = job.cancel_token().clone();
+        let view = rt.for_job(job);
+        assert!(Arc::ptr_eq(view.executor(), rt.executor()));
+        assert!(view.check_cancelled().is_ok());
+        assert!(rt.job().is_none() && view.job().is_some());
+        token.cancel();
+        assert!(view.is_cancelled());
+        assert!(matches!(view.check_cancelled(), Err(Error::Cancelled)));
+        // The base runtime is unaffected.
+        assert!(!rt.is_cancelled());
+    }
+
+    #[test]
+    fn stage_exec_attributes_to_stage_and_job() {
+        let rt = runtime();
+        let job = JobContext::new(Priority::Normal);
+        let counters = job.counters().clone();
+        let view = rt.for_job(job);
+        let timer = view.stage_timer();
+        let exec = view.stage_exec(&timer);
+        let out = exec.map((0..50u64).collect(), |i, v| {
+            assert_eq!(i as u64, v);
+            v + 1
+        });
+        assert_eq!(out.unwrap(), (1..=50).collect::<Vec<u64>>());
+        assert_eq!(timer.tag().snapshot().items, 50);
+        assert_eq!(counters.snapshot().items, 50);
+    }
+
+    #[test]
+    fn cancelled_stage_exec_map_returns_cancelled() {
+        let rt = runtime();
+        let job = JobContext::new(Priority::Normal);
+        job.cancel_token().cancel();
+        let view = rt.for_job(job);
+        let timer = view.stage_timer();
+        let exec = view.stage_exec(&timer);
+        assert!(exec.is_cancelled());
+        let res = exec.map((0..100u64).collect(), |_, v| v);
+        assert!(matches!(res, Err(Error::Cancelled)));
+    }
 }

@@ -1,0 +1,210 @@
+//! Property tests for the sharded `ManifestServer`: streaming
+//! semantics must hold for every shard count, capacity and
+//! producer/consumer mix — exactly-once delivery, `total()` /
+//! `remaining()` consistency, push-after-close failure, and
+//! single-stream FIFO.
+
+use std::sync::Arc;
+
+use persona::manifest_server::{ChunkTask, ManifestServer};
+use proptest::prelude::*;
+
+fn task(idx: usize) -> ChunkTask {
+    ChunkTask { chunk_idx: idx, stem: format!("c-{idx}"), num_records: 1 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent feeders and work-stealing fetchers deliver every
+    /// task exactly once, and the counters agree with what happened.
+    #[test]
+    fn streaming_delivers_exactly_once(
+        shards in 1usize..9,
+        capacity in 1usize..32,
+        producers in 1usize..4,
+        consumers in 1usize..4,
+        per_producer in 0usize..120,
+    ) {
+        let (server, feeder) = ManifestServer::streaming_with_shards(capacity, shards);
+        let collected = std::thread::scope(|s| {
+            for p in 0..producers {
+                let feeder = feeder.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        assert!(feeder.push(task(p * 10_000 + i)));
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let server = server.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(t) = server.fetch() {
+                            got.push(t.chunk_idx);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(feeder); // Last producer ends the stream.
+            let mut all = Vec::new();
+            for c in consumers {
+                all.extend(c.join().unwrap());
+            }
+            all
+        });
+        let mut all = collected;
+        all.sort();
+        let mut expected: Vec<usize> = (0..producers)
+            .flat_map(|p| (0..per_producer).map(move |i| p * 10_000 + i))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(all, expected);
+        prop_assert_eq!(server.total(), producers * per_producer);
+        prop_assert_eq!(server.remaining(), 0);
+        prop_assert_eq!(server.fetch(), None);
+    }
+
+    /// One producer racing one consumer: every task arrives exactly
+    /// once for any shard count, `remaining() <= capacity` (the
+    /// backpressure bound) holds throughout, and `total()` is exact.
+    /// (Strict global FIFO under a live race is only promised for one
+    /// shard — covered by the next property.)
+    #[test]
+    fn single_stream_delivers_all_and_respects_capacity(
+        shards in 1usize..9,
+        capacity in 1usize..16,
+        n in 0usize..200,
+    ) {
+        let (server, feeder) = ManifestServer::streaming_with_shards(capacity, shards);
+        let consumer = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(t) = server.fetch() {
+                    got.push(t.chunk_idx);
+                }
+                got
+            })
+        };
+        for i in 0..n {
+            assert!(feeder.push(task(i)));
+            assert!(server.remaining() <= capacity, "remaining exceeds capacity");
+        }
+        prop_assert_eq!(server.total(), n);
+        drop(feeder);
+        let mut got = consumer.join().unwrap();
+        got.sort();
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The FIFO contract, both ways it is promised: a single-shard
+    /// stream is strictly FIFO even while producer and consumer race,
+    /// and *any* shard count is strictly FIFO once pushes are done
+    /// before fetching starts (the quiescent/prefilled shape).
+    #[test]
+    fn fifo_holds_where_promised(
+        shards in 1usize..9,
+        n in 0usize..150,
+    ) {
+        // Live race, one shard.
+        let (server, feeder) = ManifestServer::streaming_with_shards(8, 1);
+        let consumer = {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(t) = server.fetch() {
+                    got.push(t.chunk_idx);
+                }
+                got
+            })
+        };
+        for i in 0..n {
+            assert!(feeder.push(task(i)));
+        }
+        drop(feeder);
+        prop_assert_eq!(consumer.join().unwrap(), (0..n).collect::<Vec<_>>());
+
+        // Quiescent drain, any shard count.
+        let (server, feeder) = ManifestServer::streaming_with_shards(n.max(1), shards);
+        for i in 0..n {
+            assert!(feeder.push(task(i)));
+        }
+        drop(feeder);
+        let mut got = Vec::new();
+        while let Some(t) = server.fetch() {
+            got.push(t.chunk_idx);
+        }
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    /// After `close`, every push fails and fetchers drain exactly the
+    /// tasks that were accepted before the close.
+    #[test]
+    fn close_rejects_pushes_and_drains_accepted(
+        shards in 1usize..9,
+        accepted in 0usize..20,
+        rejected in 1usize..8,
+    ) {
+        let (server, feeder) = ManifestServer::streaming_with_shards(64, shards);
+        for i in 0..accepted {
+            prop_assert!(feeder.push(task(i)));
+        }
+        server.close();
+        for i in 0..rejected {
+            prop_assert!(!feeder.push(task(1000 + i)), "push after close must fail");
+        }
+        prop_assert_eq!(server.total(), accepted);
+        let mut got = Vec::new();
+        while let Some(t) = server.fetch() {
+            got.push(t.chunk_idx);
+        }
+        got.sort();
+        prop_assert_eq!(got, (0..accepted).collect::<Vec<_>>());
+        prop_assert_eq!(server.remaining(), 0);
+    }
+
+    /// Many threads racing on a prefilled server still dispense each
+    /// chunk exactly once (the multi-pipeline load-balancing path).
+    #[test]
+    fn prefilled_race_dispenses_exactly_once(
+        shards in 1usize..9,
+        chunks in 0usize..150,
+        workers in 1usize..6,
+    ) {
+        let mut m = persona_agd::manifest::Manifest::new("p");
+        let mut first = 0u64;
+        for i in 0..chunks {
+            m.records.push(persona_agd::manifest::ChunkEntry {
+                path: format!("p-{i}"),
+                first_record: first,
+                num_records: 3,
+            });
+            first += 3;
+        }
+        m.total_records = first;
+        let server = ManifestServer::with_shards(&m, shards);
+        prop_assert_eq!(server.total(), chunks);
+        let server = Arc::new(server);
+        let mut all: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let server = server.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(t) = server.fetch() {
+                            got.push(t.chunk_idx);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort();
+        prop_assert_eq!(all, (0..chunks).collect::<Vec<_>>());
+        prop_assert_eq!(server.remaining(), 0);
+    }
+}

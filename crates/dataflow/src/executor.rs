@@ -20,6 +20,99 @@ use crate::metrics::NodeCounters;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A shared cancellation flag: set once, observed by every queued task
+/// submitted with it. Cancelling is cooperative — tasks already running
+/// finish, but queued tasks carrying a cancelled token are skipped (the
+/// closure is dropped without running) so a cancelled job stops
+/// consuming executor time as soon as its pending batches drain.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Dispatch priority of a submitted batch. Workers always drain
+/// higher-priority tasks first; within a priority level dispatch is
+/// FIFO. Fairness *across* equal-priority jobs is the scheduler's
+/// problem (weighted round-robin admission), not the executor's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Background work (drained only when nothing else is queued).
+    Low,
+    /// The default service level.
+    #[default]
+    Normal,
+    /// Latency-sensitive work, dispatched ahead of everything else.
+    High,
+}
+
+impl Priority {
+    /// Number of distinct priority levels.
+    pub const LEVELS: usize = 3;
+
+    /// The lane index of this priority (0 = lowest).
+    pub fn level(self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+}
+
+/// Per-batch submission options: counter attribution, dispatch
+/// priority, and a cooperative cancellation token.
+#[derive(Clone, Default)]
+pub struct SubmitOpts {
+    /// Stage-level counter attribution (busy time + task counts).
+    pub tag: Option<Arc<NodeCounters>>,
+    /// Secondary attribution, e.g. the owning job of a multi-tenant
+    /// service; busy time is added to both counter sets.
+    pub job_tag: Option<Arc<NodeCounters>>,
+    /// Dispatch priority.
+    pub priority: Priority,
+    /// When set and cancelled, still-queued tasks of the batch are
+    /// dropped without running.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SubmitOpts {
+    /// Options attributing to `tag` at normal priority.
+    pub fn tagged(tag: Arc<NodeCounters>) -> Self {
+        SubmitOpts { tag: Some(tag), ..SubmitOpts::default() }
+    }
+}
+
+/// Error returned by [`Executor::map_batch_opts`] when the batch was
+/// cut short by its cancellation token: some tasks never ran, so there
+/// is no complete output to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch cancelled before all tasks ran")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
 /// Completion latch for one submitted batch.
 struct Latch {
     remaining: Mutex<usize>,
@@ -27,11 +120,18 @@ struct Latch {
     /// First panic payload from any task of the batch, re-raised in
     /// [`Batch::wait`].
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Set when any task of the batch was skipped due to cancellation.
+    skipped: AtomicBool,
 }
 
 impl Latch {
     fn new(n: usize) -> Self {
-        Latch { remaining: Mutex::new(n), done: Condvar::new(), panic: Mutex::new(None) }
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+            skipped: AtomicBool::new(false),
+        }
     }
 
     fn count_down(&self) {
@@ -72,18 +172,47 @@ impl Batch {
             std::panic::resume_unwind(payload);
         }
     }
+
+    /// Like [`Batch::wait`], but reports whether any task of the batch
+    /// was skipped because its cancellation token fired.
+    pub fn wait_cancelled(self) -> bool {
+        self.latch.wait();
+        if let Some(payload) = self.latch.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        self.latch.skipped.load(Ordering::SeqCst)
+    }
 }
 
-/// One queued task plus its completion latch and the optional counter
-/// set of the submitting stage (for per-stage busy attribution).
+/// One queued task plus its completion latch and attribution/dispatch
+/// options.
 struct QueuedTask {
     task: Task,
     latch: Arc<Latch>,
     tag: Option<Arc<NodeCounters>>,
+    job_tag: Option<Arc<NodeCounters>>,
+    cancel: Option<CancelToken>,
+}
+
+/// The task queue: one FIFO lane per priority level; workers drain the
+/// highest non-empty lane first.
+#[derive(Default)]
+struct PrioQueue {
+    lanes: [std::collections::VecDeque<QueuedTask>; Priority::LEVELS],
+}
+
+impl PrioQueue {
+    fn push(&mut self, priority: Priority, t: QueuedTask) {
+        self.lanes[priority.level()].push_back(t);
+    }
+
+    fn pop(&mut self) -> Option<QueuedTask> {
+        self.lanes.iter_mut().rev().find_map(|lane| lane.pop_front())
+    }
 }
 
 struct ExecShared {
-    queue: Mutex<std::collections::VecDeque<QueuedTask>>,
+    queue: Mutex<PrioQueue>,
     available: Condvar,
     shutdown: AtomicBool,
     counters: Arc<NodeCounters>,
@@ -116,7 +245,7 @@ impl Executor {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(ExecShared {
-            queue: Mutex::new(std::collections::VecDeque::new()),
+            queue: Mutex::new(PrioQueue::default()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             counters: Arc::new(NodeCounters::default()),
@@ -145,11 +274,44 @@ impl Executor {
     /// own, so a pipeline stage sharing the executor with other stages
     /// can report its own busy fraction.
     pub fn submit_batch_tagged(&self, tasks: Vec<Task>, tag: Option<Arc<NodeCounters>>) -> Batch {
+        self.submit_batch_opts(tasks, SubmitOpts { tag, ..SubmitOpts::default() })
+    }
+
+    /// Submits a batch with full dispatch options: counter attribution
+    /// (stage and job), priority, and cooperative cancellation. If the
+    /// cancel token fires while tasks are still queued, those tasks are
+    /// dropped without running (the latch still completes, and
+    /// [`Batch::wait_cancelled`] reports the skip).
+    pub fn submit_batch_opts(&self, tasks: Vec<Task>, opts: SubmitOpts) -> Batch {
         let latch = Arc::new(Latch::new(tasks.len()));
+        // An already-cancelled batch never enters the queue: it
+        // completes (as skipped) immediately, so post-cancel
+        // submissions can't pile up in a lane that sustained
+        // higher-priority load would never drain.
+        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            let n = tasks.len();
+            drop(tasks);
+            if n > 0 {
+                latch.skipped.store(true, Ordering::SeqCst);
+                for _ in 0..n {
+                    latch.count_down();
+                }
+            }
+            return Batch { latch };
+        }
         if !tasks.is_empty() {
             let mut q = self.shared.queue.lock();
             for t in tasks {
-                q.push_back(QueuedTask { task: t, latch: latch.clone(), tag: tag.clone() });
+                q.push(
+                    opts.priority,
+                    QueuedTask {
+                        task: t,
+                        latch: latch.clone(),
+                        tag: opts.tag.clone(),
+                        job_tag: opts.job_tag.clone(),
+                        cancel: opts.cancel.clone(),
+                    },
+                );
             }
             drop(q);
             self.shared.available.notify_all();
@@ -187,6 +349,24 @@ impl Executor {
         Out: Send + 'static,
         F: Fn(usize, In) -> Out + Send + Sync + 'static,
     {
+        self.map_batch_opts(items, SubmitOpts { tag, ..SubmitOpts::default() }, f)
+            .expect("map_batch without a cancel token cannot be cancelled")
+    }
+
+    /// [`Executor::map_batch`] with full submission options. Returns
+    /// `Err(Cancelled)` if the batch's cancel token fired before every
+    /// task ran — the output would have holes, so none is returned.
+    pub fn map_batch_opts<In, Out, F>(
+        &self,
+        items: Vec<In>,
+        opts: SubmitOpts,
+        f: F,
+    ) -> std::result::Result<Vec<Out>, Cancelled>
+    where
+        In: Send + 'static,
+        Out: Send + 'static,
+        F: Fn(usize, In) -> Out + Send + Sync + 'static,
+    {
         let n = items.len();
         let f = Arc::new(f);
         let slots: Arc<Mutex<Vec<Option<Out>>>> =
@@ -203,9 +383,39 @@ impl Executor {
                 }) as Task
             })
             .collect();
-        self.submit_batch_tagged(tasks, tag).wait();
+        if self.submit_batch_opts(tasks, opts).wait_cancelled() {
+            return Err(Cancelled);
+        }
         let mut slots = slots.lock();
-        slots.iter_mut().map(|s| s.take().expect("map_batch slot unfilled")).collect()
+        Ok(slots.iter_mut().map(|s| s.take().expect("map_batch slot unfilled")).collect())
+    }
+
+    /// Removes every queued task whose cancel token has fired,
+    /// completing their batches as skipped, and returns how many were
+    /// purged. Workers also skip cancelled tasks at pop time, but a
+    /// cancelled low-priority batch could otherwise wait out sustained
+    /// higher-priority load before being reached — a canceller (e.g. a
+    /// job service) calls this to resolve such batches immediately.
+    pub fn drain_cancelled(&self) -> usize {
+        let mut purged: Vec<Arc<Latch>> = Vec::new();
+        {
+            let mut q = self.shared.queue.lock();
+            for lane in q.lanes.iter_mut() {
+                lane.retain_mut(|t| {
+                    if t.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        purged.push(t.latch.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        for latch in &purged {
+            latch.skipped.store(true, Ordering::SeqCst);
+            latch.count_down();
+        }
+        purged.len()
     }
 
     /// Number of worker threads.
@@ -250,7 +460,7 @@ fn worker_loop(shared: Arc<ExecShared>) {
     loop {
         let mut q = shared.queue.lock();
         let task = loop {
-            if let Some(t) = q.pop_front() {
+            if let Some(t) = q.pop() {
                 break t;
             }
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -259,7 +469,17 @@ fn worker_loop(shared: Arc<ExecShared>) {
             shared.available.wait(&mut q);
         };
         drop(q);
-        let QueuedTask { task, latch, tag } = task;
+        let QueuedTask { task, latch, tag, job_tag, cancel } = task;
+        // Cooperative cancellation: a queued task whose token fired is
+        // dropped without running. The latch still counts down (or its
+        // waiter would hang), and the skip is recorded so map-style
+        // callers know the output is incomplete.
+        if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            drop(task);
+            latch.skipped.store(true, Ordering::SeqCst);
+            latch.count_down();
+            continue;
+        }
         let start = Instant::now();
         // Contain panics: the latch must always count down (or waiters
         // hang forever) and the worker thread must survive for the
@@ -273,9 +493,9 @@ fn worker_loop(shared: Arc<ExecShared>) {
         let busy = start.elapsed().as_nanos() as u64;
         shared.counters.busy_ns.fetch_add(busy, Ordering::Relaxed);
         shared.counters.items.fetch_add(1, Ordering::Relaxed);
-        if let Some(tag) = tag {
-            tag.busy_ns.fetch_add(busy, Ordering::Relaxed);
-            tag.items.fetch_add(1, Ordering::Relaxed);
+        for t in [&tag, &job_tag].into_iter().flatten() {
+            t.busy_ns.fetch_add(busy, Ordering::Relaxed);
+            t.items.fetch_add(1, Ordering::Relaxed);
         }
         latch.count_down();
     }
@@ -405,6 +625,167 @@ mod tests {
         })
         .wait();
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn high_priority_batches_dispatch_first() {
+        // One worker, blocked by a gate task; everything queued behind
+        // it is dispatched strictly by priority, not submission order.
+        let ex = Executor::new(1);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock();
+        let g = gate.clone();
+        let blocker = ex.submit(move || {
+            drop(g.lock());
+        });
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut batches = Vec::new();
+        for (name, prio) in
+            [("low", Priority::Low), ("normal", Priority::Normal), ("high", Priority::High)]
+        {
+            let order = order.clone();
+            batches.push(ex.submit_batch_opts(
+                vec![Box::new(move || order.lock().push(name)) as Task],
+                SubmitOpts { priority: prio, ..SubmitOpts::default() },
+            ));
+        }
+        drop(held); // Open the gate: the worker drains by priority.
+        blocker.wait();
+        for b in batches {
+            b.wait();
+        }
+        assert_eq!(*order.lock(), vec!["high", "normal", "low"]);
+    }
+
+    #[test]
+    fn cancelled_batch_skips_queued_tasks() {
+        let ex = Executor::new(1);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock();
+        let g = gate.clone();
+        let blocker = ex.submit(move || {
+            drop(g.lock());
+        });
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Task> = (0..10)
+            .map(|_| {
+                let ran = ran.clone();
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect();
+        let batch = ex.submit_batch_opts(
+            tasks,
+            SubmitOpts { cancel: Some(token.clone()), ..SubmitOpts::default() },
+        );
+        token.cancel();
+        drop(held);
+        blocker.wait();
+        assert!(batch.wait_cancelled(), "skip must be reported");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no queued task may run after cancel");
+    }
+
+    #[test]
+    fn drain_cancelled_resolves_buried_low_priority_batch() {
+        // One worker pinned by a gate task; a Low-priority batch sits
+        // behind a High-priority backlog. Cancelling + draining must
+        // resolve the Low batch without any lane reaching it.
+        let ex = Executor::new(1);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock();
+        let g = gate.clone();
+        let blocker = ex.submit(move || {
+            drop(g.lock());
+        });
+        let high: Vec<Task> = (0..8).map(|_| Box::new(|| {}) as Task).collect();
+        let high_batch = ex.submit_batch_opts(
+            high,
+            SubmitOpts { priority: Priority::High, ..SubmitOpts::default() },
+        );
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let low: Vec<Task> = (0..4)
+            .map(|_| {
+                let ran = ran.clone();
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect();
+        let low_batch = ex.submit_batch_opts(
+            low,
+            SubmitOpts {
+                priority: Priority::Low,
+                cancel: Some(token.clone()),
+                ..SubmitOpts::default()
+            },
+        );
+        token.cancel();
+        assert_eq!(ex.drain_cancelled(), 4, "all queued low tasks purge");
+        // The low batch resolves even though the worker is still gated.
+        assert!(low_batch.wait_cancelled());
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        drop(held);
+        blocker.wait();
+        high_batch.wait();
+        // A batch submitted after cancellation never queues at all.
+        let post = ex.submit_batch_opts(
+            vec![Box::new(|| panic!("must not run")) as Task],
+            SubmitOpts { cancel: Some(token), ..SubmitOpts::default() },
+        );
+        assert!(post.wait_cancelled());
+    }
+
+    #[test]
+    fn map_batch_opts_reports_cancellation() {
+        let ex = Executor::new(2);
+        let token = CancelToken::new();
+        // Uncancelled: identical to map_batch.
+        let out = ex
+            .map_batch_opts(
+                vec![1u64, 2, 3],
+                SubmitOpts { cancel: Some(token.clone()), ..SubmitOpts::default() },
+                |_, v| v * 2,
+            )
+            .unwrap();
+        assert_eq!(out, vec![2, 4, 6]);
+        // Cancelled before submission: every task skips, Err returned.
+        token.cancel();
+        let res = ex.map_batch_opts(
+            (0..64u64).collect(),
+            SubmitOpts { cancel: Some(token.clone()), ..SubmitOpts::default() },
+            |_, v| v,
+        );
+        assert_eq!(res, Err(Cancelled));
+    }
+
+    #[test]
+    fn job_tag_attributes_alongside_stage_tag() {
+        let ex = Executor::new(2);
+        let stage = Arc::new(NodeCounters::default());
+        let job = Arc::new(NodeCounters::default());
+        let tasks: Vec<Task> = (0..6)
+            .map(|_| {
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }) as Task
+            })
+            .collect();
+        ex.submit_batch_opts(
+            tasks,
+            SubmitOpts {
+                tag: Some(stage.clone()),
+                job_tag: Some(job.clone()),
+                ..SubmitOpts::default()
+            },
+        )
+        .wait();
+        assert_eq!(stage.snapshot().items, 6);
+        assert_eq!(job.snapshot().items, 6);
+        assert!(job.snapshot().busy_ns > 0);
+        assert_eq!(stage.snapshot().busy_ns, job.snapshot().busy_ns);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod pool;
 pub mod queue;
 pub mod resources;
 
-pub use executor::Executor;
+pub use executor::{CancelToken, Cancelled, Executor, Priority, SubmitOpts};
 pub use graph::{GraphBuilder, NodeCtx, RunReport};
 pub use pool::ObjectPool;
 pub use queue::QueueHandle;

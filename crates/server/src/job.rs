@@ -1,0 +1,254 @@
+//! Job lifecycle: specs, states, outcomes and the client handle.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use persona::runtime::PipelineReport;
+use persona_agd::manifest::Manifest;
+use persona_align::Aligner;
+use persona_dataflow::{CancelToken, Priority};
+
+/// Which stages a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagePlan {
+    /// The whole paper pipeline: import ‖ align → sort → dupmark ‖
+    /// export, producing duplicate-marked SAM plus both AGD datasets.
+    #[default]
+    Full,
+    /// Import and align only: produces an aligned AGD dataset (the
+    /// common "land the data, analyze later" ingestion shape).
+    ImportAlign,
+}
+
+/// A client's job submission: the dataset, the stage plan, and who is
+/// asking at what priority.
+pub struct JobSpec {
+    /// Dataset name; object names in the shared store are derived from
+    /// it, so it must be unique among live jobs.
+    pub name: String,
+    /// The submitting tenant (fair-share accounting unit).
+    pub tenant: String,
+    /// Executor dispatch priority for every batch of this job.
+    pub priority: Priority,
+    /// Which stages to run.
+    pub plan: StagePlan,
+    /// The input: FASTQ bytes.
+    pub fastq: Vec<u8>,
+    /// Records per AGD chunk.
+    pub chunk_size: usize,
+    /// The aligner resource (shared across jobs is fine and typical).
+    pub aligner: Arc<dyn Aligner>,
+    /// `(contig, length)` reference metadata for SAM export.
+    pub reference: Vec<(String, u64)>,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a fair-share dispatch slot.
+    Queued,
+    /// Running on the shared runtime.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled (before or during execution).
+    Cancelled,
+}
+
+/// What a finished job produced.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// Duplicate-marked SAM bytes (empty for [`StagePlan::ImportAlign`]).
+    pub sam: Vec<u8>,
+    /// The aligned dataset manifest (persisted in the shared store).
+    pub manifest: Manifest,
+    /// Full per-stage report ([`StagePlan::Full`] only).
+    pub report: Option<PipelineReport>,
+    /// Reads processed.
+    pub reads: u64,
+    /// Time spent queued before dispatch.
+    pub queue_wait: Duration,
+    /// Wall-clock run time (dispatch to completion).
+    pub elapsed: Duration,
+}
+
+/// Terminal state of a job.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    Completed(JobOutput),
+    /// The job failed; the message describes the first error.
+    Failed(String),
+    /// The job was cancelled before completing.
+    Cancelled,
+}
+
+impl JobOutcome {
+    /// The output, if the job completed.
+    pub fn output(&self) -> Option<&JobOutput> {
+        match self {
+            JobOutcome::Completed(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The matching terminal status.
+    pub fn status(&self) -> JobStatus {
+        match self {
+            JobOutcome::Completed(_) => JobStatus::Completed,
+            JobOutcome::Failed(_) => JobStatus::Failed,
+            JobOutcome::Cancelled => JobStatus::Cancelled,
+        }
+    }
+}
+
+/// The parts of a spec the runner consumes when the job dispatches.
+pub(crate) struct JobPayload {
+    pub plan: StagePlan,
+    pub fastq: Vec<u8>,
+    pub chunk_size: usize,
+    pub aligner: Arc<dyn Aligner>,
+    pub reference: Vec<(String, u64)>,
+}
+
+pub(crate) enum JobState {
+    Queued,
+    Running,
+    Done(Arc<JobOutcome>),
+}
+
+/// One admitted job, shared between the handle, the scheduler and the
+/// runner.
+pub(crate) struct Job {
+    pub id: u64,
+    pub name: String,
+    pub tenant: String,
+    pub priority: Priority,
+    pub cancel: CancelToken,
+    pub submitted: Instant,
+    /// Set when the job dispatches (for queue-wait accounting).
+    pub dispatched: Mutex<Option<Instant>>,
+    pub state: Mutex<JobState>,
+    pub done_cv: Condvar,
+    pub payload: Mutex<Option<JobPayload>>,
+}
+
+impl Job {
+    pub fn new(id: u64, spec: JobSpec) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            name: spec.name,
+            tenant: spec.tenant,
+            priority: spec.priority,
+            cancel: CancelToken::new(),
+            submitted: Instant::now(),
+            dispatched: Mutex::new(None),
+            state: Mutex::new(JobState::Queued),
+            done_cv: Condvar::new(),
+            payload: Mutex::new(Some(JobPayload {
+                plan: spec.plan,
+                fastq: spec.fastq,
+                chunk_size: spec.chunk_size,
+                aligner: spec.aligner,
+                reference: spec.reference,
+            })),
+        })
+    }
+
+    /// A payload-less job for scheduler tests.
+    #[cfg(test)]
+    pub fn stub(id: u64, tenant: &str, priority: Priority) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            name: format!("job-{id}"),
+            tenant: tenant.to_string(),
+            priority,
+            cancel: CancelToken::new(),
+            submitted: Instant::now(),
+            dispatched: Mutex::new(None),
+            state: Mutex::new(JobState::Queued),
+            done_cv: Condvar::new(),
+            payload: Mutex::new(None),
+        })
+    }
+
+    pub fn status(&self) -> JobStatus {
+        match &*self.state.lock() {
+            JobState::Queued => JobStatus::Queued,
+            JobState::Running => JobStatus::Running,
+            JobState::Done(outcome) => outcome.status(),
+        }
+    }
+
+    /// Moves the job to its terminal state and wakes every waiter.
+    /// Returns `false` if it was already finished.
+    pub fn finish(&self, outcome: JobOutcome) -> bool {
+        let mut state = self.state.lock();
+        if matches!(*state, JobState::Done(_)) {
+            return false;
+        }
+        *state = JobState::Done(Arc::new(outcome));
+        drop(state);
+        self.done_cv.notify_all();
+        true
+    }
+
+    pub fn wait(&self) -> Arc<JobOutcome> {
+        let mut state = self.state.lock();
+        loop {
+            if let JobState::Done(outcome) = &*state {
+                return outcome.clone();
+            }
+            self.done_cv.wait(&mut state);
+        }
+    }
+}
+
+/// The client's handle to a submitted job.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) job: Arc<Job>,
+    pub(crate) service: std::sync::Weak<crate::service::Shared>,
+}
+
+impl JobHandle {
+    /// Service-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// The job's dataset name.
+    pub fn name(&self) -> &str {
+        &self.job.name
+    }
+
+    /// The submitting tenant.
+    pub fn tenant(&self) -> &str {
+        &self.job.tenant
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.job.status()
+    }
+
+    /// Blocks until the job reaches a terminal state.
+    pub fn wait(&self) -> Arc<JobOutcome> {
+        self.job.wait()
+    }
+
+    /// Requests cancellation. A queued job resolves to
+    /// [`JobOutcome::Cancelled`] immediately and frees its queue slot;
+    /// a running job stops scheduling new executor batches (its queued
+    /// batches are dropped unrun) and resolves as soon as its in-flight
+    /// tasks drain. Idempotent; a no-op on finished jobs.
+    pub fn cancel(&self) {
+        self.job.cancel.cancel();
+        if let Some(service) = self.service.upgrade() {
+            service.cancel_queued(&self.job);
+        }
+    }
+}

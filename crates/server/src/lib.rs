@@ -1,0 +1,61 @@
+//! **persona-server** — the multi-tenant job service on top of the
+//! Persona runtime.
+//!
+//! The paper's deployment (§5.2) is a *framework serving many
+//! concurrent genomics workloads*: a cluster of servers pulls chunk
+//! work from shared manifest queues, and many datasets flow through the
+//! same compute at once with ≤1 % framework overhead. This crate is the
+//! service layer of that story for one node: clients submit
+//! [`JobSpec`]s (dataset + stage plan + tenant + priority) to a
+//! [`PersonaService`] and get a [`JobHandle`] with a
+//! `submit / status / wait / cancel` lifecycle, while the service
+//! multiplexes every admitted job onto **one shared
+//! [`persona::runtime::PersonaRuntime`]** — one executor owns all the
+//! cores, and each job's task batches carry its priority, cancel token
+//! and counters.
+//!
+//! Fairness is enforced at admission, not in the executor: a
+//! [`scheduler::FairScheduler`] keeps per-tenant FIFO queues (split by
+//! priority), bounds each tenant's in-flight jobs, and dispatches by
+//! **weighted round-robin** so a tenant with a deep backlog cannot
+//! starve a light one. Cancellation is cooperative end to end: the
+//! job's [`persona_dataflow::CancelToken`] makes the executor drop the
+//! job's still-queued batches and every pipeline stage stop scheduling
+//! new ones.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use persona::config::PersonaConfig;
+//! use persona::runtime::PersonaRuntime;
+//! use persona_agd::chunk_io::{ChunkStore, MemStore};
+//! use persona_dataflow::Priority;
+//! use persona_server::{JobSpec, PersonaService, ServiceConfig, StagePlan};
+//!
+//! let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+//! let rt = PersonaRuntime::new(store, PersonaConfig::default()).unwrap();
+//! let service = PersonaService::new(rt, ServiceConfig::default());
+//! # let (aligner, reference, fastq) = unimplemented!();
+//! let handle = service
+//!     .submit(JobSpec {
+//!         name: "sample-1".into(),
+//!         tenant: "lab-a".into(),
+//!         priority: Priority::Normal,
+//!         plan: StagePlan::Full,
+//!         fastq,
+//!         chunk_size: 5_000,
+//!         aligner,
+//!         reference,
+//!     })
+//!     .unwrap();
+//! let outcome = handle.wait();
+//! ```
+
+pub mod job;
+pub mod report;
+pub mod scheduler;
+pub mod service;
+
+pub use job::{JobHandle, JobOutcome, JobOutput, JobSpec, JobStatus, StagePlan};
+pub use report::{ServiceReport, TenantReport};
+pub use scheduler::TenantConfig;
+pub use service::{PersonaService, ServiceConfig};

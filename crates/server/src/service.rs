@@ -1,0 +1,354 @@
+//! The multi-tenant job service: one dispatcher, N runner threads, one
+//! shared [`PersonaRuntime`].
+
+use std::collections::HashMap;
+use std::io::Cursor;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use persona::pipeline::align::{align_with_runtime, finalize_manifest};
+use persona::pipeline::import::import_fastq_rt;
+use persona::runtime::{run_pipeline, JobContext, PersonaRuntime};
+use persona::{Error, Result};
+
+use crate::job::{Job, JobHandle, JobOutcome, JobOutput, JobSpec, JobStatus, StagePlan};
+use crate::report::{ServiceReport, TenantReport};
+use crate::scheduler::{FairScheduler, TenantConfig};
+
+/// Service-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Jobs running concurrently on the shared runtime. More jobs in
+    /// flight means more overlap feeding the executor, at the cost of
+    /// per-job memory; the executor itself is always fully shared.
+    pub max_concurrent_jobs: usize,
+    /// Config applied to tenants that were not explicitly registered.
+    pub default_tenant: TenantConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { max_concurrent_jobs: 4, default_tenant: TenantConfig::default() }
+    }
+}
+
+/// Per-tenant terminal-state accounting (running/queued counts come
+/// from the scheduler).
+#[derive(Default)]
+struct TenantAccum {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    dispatched: u64,
+    reads: u64,
+    busy: Duration,
+    queue_wait: Duration,
+    run_time: Duration,
+}
+
+pub(crate) struct Shared {
+    rt: Arc<PersonaRuntime>,
+    sched: Mutex<FairScheduler>,
+    /// Signals the dispatcher: new work, a freed slot, or shutdown.
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    started: Instant,
+    accum: Mutex<HashMap<String, TenantAccum>>,
+    runners: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Resolves a still-queued job as cancelled (called from
+    /// [`JobHandle::cancel`]). Running jobs are handled by their
+    /// runner when the cooperative cancellation unwinds; their queued
+    /// executor batches are purged eagerly so a low-priority job's
+    /// tasks don't wait out sustained higher-priority load just to be
+    /// skipped.
+    pub(crate) fn cancel_queued(&self, job: &Arc<Job>) {
+        let removed = self.sched.lock().remove_queued(job);
+        if removed {
+            if job.finish(JobOutcome::Cancelled) {
+                self.accum.lock().entry(job.tenant.clone()).or_default().cancelled += 1;
+            }
+        } else {
+            self.rt.executor().drain_cancelled();
+        }
+    }
+}
+
+/// A multi-tenant job service over one shared [`PersonaRuntime`].
+///
+/// Dropping the service stops admitting work, cancels queued jobs, and
+/// joins all in-flight jobs.
+pub struct PersonaService {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl PersonaService {
+    /// Starts a service over `rt`.
+    pub fn new(rt: Arc<PersonaRuntime>, config: ServiceConfig) -> PersonaService {
+        let shared = Arc::new(Shared {
+            rt,
+            sched: Mutex::new(FairScheduler::new(
+                config.max_concurrent_jobs,
+                config.default_tenant,
+            )),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            started: Instant::now(),
+            accum: Mutex::new(HashMap::new()),
+            runners: Mutex::new(Vec::new()),
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("persona-dispatch".into())
+                .spawn(move || dispatch_loop(shared))
+                .expect("spawn dispatcher")
+        };
+        PersonaService { shared, dispatcher: Some(dispatcher) }
+    }
+
+    /// Registers (or re-configures) a tenant's weight and in-flight
+    /// bound. Tenants submit without registration too, at the default
+    /// config.
+    pub fn set_tenant(&self, name: &str, config: TenantConfig) {
+        self.shared.sched.lock().set_tenant(name, config);
+    }
+
+    /// Admits a job. Returns its handle; the job starts when the
+    /// fair-share scheduler grants it a slot.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(Error::Pipeline("service is shut down".into()));
+        }
+        if spec.name.is_empty() {
+            return Err(Error::Pipeline("job name must not be empty".into()));
+        }
+        if spec.tenant.is_empty() {
+            return Err(Error::Pipeline("tenant must not be empty".into()));
+        }
+        if spec.chunk_size == 0 {
+            return Err(Error::Pipeline("chunk_size must be positive".into()));
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Job::new(id, spec);
+        self.shared.accum.lock().entry(job.tenant.clone()).or_default().submitted += 1;
+        {
+            let mut sched = self.shared.sched.lock();
+            sched.enqueue(job.clone());
+            self.shared.work_cv.notify_all();
+        }
+        Ok(JobHandle { job, service: Arc::downgrade(&self.shared) })
+    }
+
+    /// The runtime this service schedules onto.
+    pub fn runtime(&self) -> &Arc<PersonaRuntime> {
+        &self.shared.rt
+    }
+
+    /// Jobs queued (admitted, not yet dispatched) across all tenants.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.sched.lock().queued()
+    }
+
+    /// Jobs currently running.
+    pub fn running_jobs(&self) -> usize {
+        self.shared.sched.lock().running()
+    }
+
+    /// A point-in-time service report: per-tenant throughput, queue
+    /// wait and terminal-state counts, in tenant registration order.
+    pub fn report(&self) -> ServiceReport {
+        let snapshots = self.shared.sched.lock().snapshot();
+        let accum = self.shared.accum.lock();
+        let tenants = snapshots
+            .into_iter()
+            .map(|snap| {
+                let a = accum.get(&snap.tenant);
+                let mut t = TenantReport {
+                    tenant: snap.tenant,
+                    weight: snap.config.weight,
+                    queued: snap.queued,
+                    running: snap.in_flight,
+                    ..TenantReport::default()
+                };
+                if let Some(a) = a {
+                    t.submitted = a.submitted;
+                    t.completed = a.completed;
+                    t.failed = a.failed;
+                    t.cancelled = a.cancelled;
+                    t.dispatched = a.dispatched;
+                    t.reads = a.reads;
+                    t.busy = a.busy;
+                    t.queue_wait = a.queue_wait;
+                    t.run_time = a.run_time;
+                }
+                t
+            })
+            .collect();
+        ServiceReport {
+            tenants,
+            elapsed: self.shared.started.elapsed(),
+            workers: self.shared.rt.executor().threads(),
+        }
+    }
+
+    /// Stops the service: no new admissions, queued jobs resolve as
+    /// cancelled, in-flight jobs run to completion (cancel them first
+    /// for a fast stop). Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut sched = self.shared.sched.lock();
+            let drained = sched.drain();
+            self.shared.work_cv.notify_all();
+            drop(sched);
+            let mut accum = self.shared.accum.lock();
+            for job in drained {
+                if job.finish(JobOutcome::Cancelled) {
+                    accum.entry(job.tenant.clone()).or_default().cancelled += 1;
+                }
+            }
+        }
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        let runners = std::mem::take(&mut *self.shared.runners.lock());
+        for r in runners {
+            let _ = r.join();
+        }
+    }
+}
+
+impl Drop for PersonaService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut sched = shared.sched.lock();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = sched.next() {
+                    break job;
+                }
+                shared.work_cv.wait(&mut sched);
+            }
+        };
+        // A job cancelled between admission and dispatch never runs;
+        // its slot frees immediately.
+        if job.cancel.is_cancelled() {
+            if job.finish(JobOutcome::Cancelled) {
+                shared.accum.lock().entry(job.tenant.clone()).or_default().cancelled += 1;
+            }
+            let mut sched = shared.sched.lock();
+            sched.job_finished(&job.tenant);
+            shared.work_cv.notify_all();
+            continue;
+        }
+        *job.dispatched.lock() = Some(Instant::now());
+        *job.state.lock() = crate::job::JobState::Running;
+        let runner = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("persona-job-{}", job.id))
+                .spawn(move || run_job(shared, job))
+                .expect("spawn job runner")
+        };
+        let mut runners = shared.runners.lock();
+        // Reap finished runners so the handle list stays O(in-flight).
+        runners.retain(|h| !h.is_finished());
+        runners.push(runner);
+    }
+}
+
+/// Executes one dispatched job on the shared runtime and resolves its
+/// handle.
+fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
+    let payload = job.payload.lock().take().expect("dispatched job has its payload");
+    let ctx = JobContext::with_cancel(job.priority, job.cancel.clone());
+    let job_counters = ctx.counters().clone();
+    let jrt = shared.rt.for_job(ctx);
+    let dispatched = job.dispatched.lock().unwrap_or(job.submitted);
+    let queue_wait = dispatched.duration_since(job.submitted);
+    let started = Instant::now();
+
+    let result: Result<(Vec<u8>, persona_agd::manifest::Manifest, Option<_>, u64)> =
+        (|| match payload.plan {
+            StagePlan::Full => {
+                let mut sam = Vec::new();
+                let report = run_pipeline(
+                    &jrt,
+                    Cursor::new(payload.fastq),
+                    &job.name,
+                    payload.chunk_size,
+                    payload.aligner,
+                    &payload.reference,
+                    &mut sam,
+                )?;
+                let reads = report.import.reads;
+                Ok((sam, report.manifest.clone(), Some(report), reads))
+            }
+            StagePlan::ImportAlign => {
+                let (mut manifest, import_rep) = import_fastq_rt(
+                    &jrt,
+                    Cursor::new(payload.fastq),
+                    &job.name,
+                    payload.chunk_size,
+                    None,
+                )?;
+                let server = persona::manifest_server::ManifestServer::new(&manifest);
+                align_with_runtime(&jrt, &server, payload.aligner)?;
+                finalize_manifest(jrt.store().as_ref(), &mut manifest, &payload.reference)?;
+                Ok((Vec::new(), manifest, None, import_rep.reads))
+            }
+        })();
+    let elapsed = started.elapsed();
+
+    let (outcome, reads) = match result {
+        Ok((sam, manifest, report, reads)) => (
+            JobOutcome::Completed(JobOutput { sam, manifest, report, reads, queue_wait, elapsed }),
+            reads,
+        ),
+        // Any error after the token fired is the cancellation
+        // unwinding, whatever stage happened to surface it.
+        Err(_) if job.cancel.is_cancelled() => (JobOutcome::Cancelled, 0),
+        Err(e) if e.is_cancelled() => (JobOutcome::Cancelled, 0),
+        Err(e) => (JobOutcome::Failed(e.to_string()), 0),
+    };
+    let status = outcome.status();
+
+    {
+        let mut accum = shared.accum.lock();
+        let a = accum.entry(job.tenant.clone()).or_default();
+        match status {
+            JobStatus::Completed => a.completed += 1,
+            JobStatus::Failed => a.failed += 1,
+            _ => a.cancelled += 1,
+        }
+        a.dispatched += 1;
+        a.reads += reads;
+        a.busy += Duration::from_nanos(job_counters.snapshot().busy_ns);
+        a.queue_wait += queue_wait;
+        a.run_time += elapsed;
+    }
+    job.finish(outcome);
+    let mut sched = shared.sched.lock();
+    sched.job_finished(&job.tenant);
+    shared.work_cv.notify_all();
+}

@@ -3,7 +3,10 @@
 //! stages scheduling compute on one shared executor, with import‖align
 //! and dupmark‖export overlapped (the Fig. 4 scenario).
 //!
-//! Run: `cargo run -p persona-examples --release --example full_pipeline [n_reads]`
+//! Run: `cargo run -p persona-examples --release --example full_pipeline -- [n_reads] [--threads N]`
+//!
+//! `--threads N` sizes the compute executor explicitly; without it the
+//! default `PersonaConfig` (all hardware threads but one) applies.
 
 use std::sync::Arc;
 
@@ -14,12 +17,23 @@ use persona_examples::DemoWorld;
 use persona_formats::fastq;
 
 fn main() {
-    let n_reads: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("n_reads must be a number"))
-        .unwrap_or(4_000);
+    let mut n_reads: usize = 4_000;
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads = Some(v.parse().expect("--threads must be a number"));
+            }
+            other => n_reads = other.parse().expect("n_reads must be a number"),
+        }
+    }
     let world = DemoWorld::new(n_reads);
-    let config = PersonaConfig::default();
+    let mut config = PersonaConfig::default();
+    if let Some(t) = threads {
+        config.compute_threads = t;
+    }
     let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
     let rt = PersonaRuntime::new(store, config).expect("runtime");
 

@@ -1,0 +1,294 @@
+//! The multi-tenant job service: many concurrent jobs on one shared
+//! `PersonaRuntime` must produce byte-identical output to sequential
+//! `run_pipeline` runs, cancellation must actually stop a job and free
+//! its fair-share slot, and a light tenant must not starve behind a
+//! heavy tenant's backlog.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use persona::config::PersonaConfig;
+use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_agd::results::AlignmentResult;
+use persona_align::Aligner;
+use persona_dataflow::Priority;
+use persona_formats::fastq;
+use persona_integration_tests::common::Fixture;
+use persona_server::{
+    JobOutcome, JobSpec, JobStatus, PersonaService, ServiceConfig, StagePlan, TenantConfig,
+};
+
+/// An aligner that sleeps per read — makes job runtime controllable so
+/// scheduling/cancellation behavior is observable.
+struct SlowAligner {
+    inner: Arc<dyn Aligner>,
+    delay: Duration,
+}
+
+impl Aligner for SlowAligner {
+    fn align_read(&self, bases: &[u8], quals: &[u8]) -> AlignmentResult {
+        std::thread::sleep(self.delay);
+        self.inner.align_read(bases, quals)
+    }
+
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+fn spec(fx: &Fixture, name: &str, tenant: &str, aligner: Arc<dyn Aligner>) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        tenant: tenant.to_string(),
+        priority: Priority::Normal,
+        plan: StagePlan::Full,
+        fastq: fastq::to_bytes(&fx.reads),
+        chunk_size: 100,
+        aligner,
+        reference: fx.reference.clone(),
+    }
+}
+
+/// The sequential reference: one `run_pipeline` on a private runtime.
+fn sequential_sam(fx: &Fixture, name: &str) -> Vec<u8> {
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let mut sam = Vec::new();
+    run_pipeline(
+        &rt,
+        std::io::Cursor::new(fastq::to_bytes(&fx.reads)),
+        name,
+        100,
+        fx.aligner.clone(),
+        &fx.reference,
+        &mut sam,
+    )
+    .unwrap();
+    sam
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn concurrent_jobs_across_tenants_match_sequential_runs() {
+    let fx_a = Fixture::new(7001, 500);
+    let fx_b = Fixture::new(7002, 400);
+    let ref_a = sequential_sam(&fx_a, "ref-a");
+    let ref_b = sequential_sam(&fx_b, "ref-b");
+
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: 4, ..ServiceConfig::default() },
+    );
+
+    // Four concurrent jobs, two tenants, two distinct datasets.
+    let jobs = [
+        ("lab-a", "job-a1", &fx_a, &ref_a),
+        ("lab-a", "job-a2", &fx_b, &ref_b),
+        ("lab-b", "job-b1", &fx_a, &ref_a),
+        ("lab-b", "job-b2", &fx_b, &ref_b),
+    ];
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(tenant, name, fx, _)| {
+            service.submit(spec(fx, name, tenant, fx.aligner.clone())).unwrap()
+        })
+        .collect();
+
+    for (handle, (tenant, name, _, reference_sam)) in handles.iter().zip(&jobs) {
+        let outcome = handle.wait();
+        let out = match &*outcome {
+            JobOutcome::Completed(out) => out,
+            other => panic!("{name}: expected completion, got {other:?}"),
+        };
+        assert_eq!(
+            out.sam, **reference_sam,
+            "{name} ({tenant}): concurrent SAM differs from sequential run_pipeline"
+        );
+        assert!(out.report.is_some());
+        assert_eq!(handle.status(), JobStatus::Completed);
+    }
+
+    // Per-tenant accounting adds up and rates stay finite.
+    let report = service.report();
+    for tenant in ["lab-a", "lab-b"] {
+        let t = report.tenant(tenant).unwrap();
+        assert_eq!(t.submitted, 2, "{tenant}");
+        assert_eq!(t.completed, 2, "{tenant}");
+        assert_eq!(t.reads, 900, "{tenant}");
+        assert!(t.reads_per_sec().is_finite());
+        let busy = report.busy_fraction(tenant);
+        assert!((0.0..=1.0).contains(&busy), "{tenant}: busy {busy}");
+        assert!(busy > 0.0, "{tenant} must have used the shared executor");
+    }
+    assert_eq!(report.jobs_finished(), 4);
+}
+
+#[test]
+fn cancelled_job_stops_and_frees_its_slot() {
+    let fx = Fixture::new(7003, 2_000);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
+    );
+
+    // Uncancelled, this job is ~10 s of aligner sleep (2000 reads ×
+    // 5 ms) on a 2-thread executor.
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
+    let victim = service.submit(spec(&fx, "victim", "lab-a", slow)).unwrap();
+    wait_for(|| victim.status() == JobStatus::Running, "victim to dispatch");
+
+    let cancelled_at = Instant::now();
+    victim.cancel();
+    let outcome = victim.wait();
+    assert!(matches!(*outcome, JobOutcome::Cancelled), "got {outcome:?}");
+    assert_eq!(victim.status(), JobStatus::Cancelled);
+    // Cooperative cancellation must cut the job short: queued batches
+    // are dropped and no stage schedules new ones. Far under the ~10 s
+    // a full run would need, with slack for a busy CI box.
+    let to_stop = cancelled_at.elapsed();
+    assert!(to_stop < Duration::from_secs(5), "cancel took {to_stop:?}");
+
+    // The slot is free: a small job for another tenant runs to
+    // completion on the same (single-slot) service.
+    let small = Fixture::new(7004, 200);
+    let follow = service.submit(spec(&small, "follow", "lab-b", small.aligner.clone())).unwrap();
+    let outcome = follow.wait();
+    assert!(outcome.output().is_some(), "follow-up job must complete, got {outcome:?}");
+
+    let report = service.report();
+    assert_eq!(report.tenant("lab-a").unwrap().cancelled, 1);
+    assert_eq!(report.tenant("lab-b").unwrap().completed, 1);
+}
+
+#[test]
+fn cancelling_a_queued_job_resolves_immediately() {
+    let fx = Fixture::new(7005, 800);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
+    );
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(2) });
+    let running = service.submit(spec(&fx, "running", "t", slow)).unwrap();
+    let queued = service.submit(spec(&fx, "queued", "t", fx.aligner.clone())).unwrap();
+    wait_for(|| running.status() == JobStatus::Running, "first job to dispatch");
+    assert_eq!(queued.status(), JobStatus::Queued);
+    queued.cancel();
+    // Resolves without ever dispatching — no need to wait for the
+    // running job.
+    assert!(matches!(*queued.wait(), JobOutcome::Cancelled));
+    running.cancel();
+    running.wait();
+}
+
+#[test]
+fn fair_share_lets_a_light_tenant_through_a_heavy_backlog() {
+    let fx = Fixture::new(7006, 150);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
+    );
+    service.set_tenant("heavy", TenantConfig { weight: 1, max_in_flight: 1 });
+    service.set_tenant("light", TenantConfig { weight: 1, max_in_flight: 1 });
+
+    // Heavy floods the service first: 6 jobs × ~(150 reads × 2 ms).
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(2) });
+    let heavy: Vec<_> = (0..6)
+        .map(|i| service.submit(spec(&fx, &format!("heavy-{i}"), "heavy", slow.clone())).unwrap())
+        .collect();
+    let light = service.submit(spec(&fx, "light-0", "light", fx.aligner.clone())).unwrap();
+
+    let outcome = light.wait();
+    assert!(outcome.output().is_some(), "light job must complete, got {outcome:?}");
+    // Weighted round-robin dispatched the light job ahead of heavy's
+    // backlog: when it finishes, heavy still has queued jobs.
+    let still_queued = heavy.iter().filter(|h| h.status() == JobStatus::Queued).count();
+    assert!(
+        still_queued >= 3,
+        "light tenant waited out the heavy backlog ({still_queued} heavy jobs left)"
+    );
+
+    for h in &heavy {
+        assert!(h.wait().output().is_some());
+    }
+    let report = service.report();
+    assert_eq!(report.tenant("heavy").unwrap().completed, 6);
+    assert_eq!(report.tenant("light").unwrap().completed, 1);
+    // The light tenant's queue wait must be far below draining the
+    // whole heavy backlog.
+    let light_wait = report.tenant("light").unwrap().queue_wait;
+    let heavy_run = report.tenant("heavy").unwrap().run_time;
+    assert!(
+        light_wait < heavy_run,
+        "light queue wait {light_wait:?} vs heavy total run {heavy_run:?}"
+    );
+}
+
+#[test]
+fn import_align_plan_lands_an_aligned_dataset() {
+    let fx = Fixture::new(7007, 300);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(rt, ServiceConfig::default());
+    let mut s = spec(&fx, "ingest", "lab-a", fx.aligner.clone());
+    s.plan = StagePlan::ImportAlign;
+    let handle = service.submit(s).unwrap();
+    let outcome = handle.wait();
+    let out = outcome.output().expect("ingest job completes");
+    assert!(out.sam.is_empty(), "ImportAlign produces no SAM");
+    assert_eq!(out.reads, 300);
+    assert!(out.manifest.has_column(persona_agd::columns::RESULTS));
+    // The aligned dataset is durable in the shared store.
+    assert!(store.get("ingest.manifest.json").is_ok());
+    for e in &out.manifest.records {
+        assert!(store.get(&format!("{}.results", e.path)).is_ok());
+    }
+}
+
+#[test]
+fn submit_validates_specs_and_shutdown_cancels_queued_jobs() {
+    let fx = Fixture::new(7008, 100);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let mut service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
+    );
+    let mut bad = spec(&fx, "", "t", fx.aligner.clone());
+    assert!(service.submit(bad).is_err(), "empty name must be rejected");
+    bad = spec(&fx, "x", "", fx.aligner.clone());
+    assert!(service.submit(bad).is_err(), "empty tenant must be rejected");
+    bad = spec(&fx, "x", "t", fx.aligner.clone());
+    bad.chunk_size = 0;
+    assert!(service.submit(bad).is_err(), "zero chunk_size must be rejected");
+
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(2) });
+    let running = service.submit(spec(&fx, "r", "t", slow)).unwrap();
+    let queued = service.submit(spec(&fx, "q", "t", fx.aligner.clone())).unwrap();
+    wait_for(|| running.status() == JobStatus::Running, "first job to dispatch");
+    running.cancel();
+    service.shutdown();
+    // Shutdown resolved the queued job and joined the running one.
+    assert!(matches!(*queued.wait(), JobOutcome::Cancelled));
+    assert_ne!(running.status(), JobStatus::Running);
+    assert!(service.submit(spec(&fx, "late", "t", fx.aligner.clone())).is_err());
+}
