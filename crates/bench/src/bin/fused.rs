@@ -22,6 +22,7 @@ use persona::pipeline::dupmark::mark_duplicates;
 use persona::pipeline::export::export_sam;
 use persona::pipeline::import::import_fastq;
 use persona::pipeline::sort::{sort_dataset, SortKey};
+use persona::plan::{Plan, PlanRequest, PlanSource};
 use persona::runtime::{run_pipeline, PersonaRuntime};
 use persona_agd::chunk_io::ChunkStore;
 use persona_bench::{mem_store, print_header, scale, World};
@@ -71,10 +72,10 @@ fn main() {
     let t0 = Instant::now();
     let report = run_pipeline(
         &rt,
-        std::io::Cursor::new(fastq_bytes),
+        std::io::Cursor::new(fastq_bytes.clone()),
         "seq",
         chunk,
-        aligner,
+        aligner.clone(),
         &world.reference,
         &mut fused_sam,
     )
@@ -99,28 +100,55 @@ fn main() {
         report.import.reads, report.export.records
     );
 
+    // Partial-plan datapoint: the skip-dupmark fast path through the
+    // composable plan API, so the bench trajectory covers partial
+    // pipelines too.
+    let nd_store: Arc<dyn ChunkStore> = mem_store();
+    let nd_rt = PersonaRuntime::new(nd_store, config).unwrap();
+    let t0 = Instant::now();
+    let nd_report = Plan::no_dupmark()
+        .run(
+            &nd_rt,
+            PlanRequest {
+                name: "nd".into(),
+                source: PlanSource::fastq_bytes(fastq_bytes),
+                chunk_size: chunk,
+                aligner: Some(aligner),
+                reference: world.reference.clone(),
+            },
+        )
+        .unwrap();
+    let no_dupmark_s = t0.elapsed().as_secs_f64();
+    let nd_reads = nd_report.reads();
+    println!("no-dupmark plan ({}): {no_dupmark_s:.2} s", nd_report.plan.describe());
+
     // Machine-readable result for the CI bench trajectory.
     let reads_per_sec = if fused_s > 0.0 { report.import.reads as f64 / fused_s } else { 0.0 };
-    let stages: Vec<String> = report
-        .stage_rows()
-        .into_iter()
-        .map(|(stage, elapsed, busy)| {
-            format!(
-                "{{\"stage\":\"{stage}\",\"elapsed_s\":{:.6},\"busy_fraction\":{:.6}}}",
-                elapsed.as_secs_f64(),
-                busy
-            )
-        })
-        .collect();
+    let stage_json = |rows: Vec<(&'static str, std::time::Duration, f64)>| -> String {
+        rows.into_iter()
+            .map(|(stage, elapsed, busy)| {
+                format!(
+                    "{{\"stage\":\"{stage}\",\"elapsed_s\":{:.6},\"busy_fraction\":{:.6}}}",
+                    elapsed.as_secs_f64(),
+                    busy
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let nd_reads_per_sec = if no_dupmark_s > 0.0 { nd_reads as f64 / no_dupmark_s } else { 0.0 };
     let json = format!(
         "{{\"bench\":\"fused\",\"reads\":{},\"input_mb\":{input_mb:.3},\
          \"sequential_s\":{sequential_s:.6},\"fused_s\":{fused_s:.6},\
          \"speedup\":{:.4},\"reads_per_sec\":{reads_per_sec:.1},\
-         \"compute_threads\":{},\"stages\":[{}]}}\n",
+         \"compute_threads\":{},\"stages\":[{}],\
+         \"no_dupmark\":{{\"plan\":\"no-dupmark\",\"elapsed_s\":{no_dupmark_s:.6},\
+         \"reads_per_sec\":{nd_reads_per_sec:.1},\"stages\":[{}]}}}}\n",
         report.import.reads,
         if fused_s > 0.0 { sequential_s / fused_s } else { 0.0 },
         config.compute_threads,
-        stages.join(",")
+        stage_json(report.stage_rows()),
+        stage_json(nd_report.stage_rows())
     );
     std::fs::write("BENCH_fused.json", json).expect("write BENCH_fused.json");
     println!("wrote BENCH_fused.json");

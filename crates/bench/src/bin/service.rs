@@ -1,27 +1,42 @@
 //! Multi-tenant service throughput: M synthetic concurrent clients
-//! submit full pipelines to one `PersonaService` over one shared
-//! runtime, vs the same jobs run back to back.
+//! submit pipeline-plan jobs to one `PersonaService` over one shared
+//! runtime, vs the same plans run back to back.
 //!
 //! The service claim under test: multiplexing jobs onto one executor
 //! keeps the cores busy across job boundaries (paper §4.3/§5.2), so
 //! aggregate throughput should beat serial job-at-a-time execution
 //! while weighted fair-share keeps per-tenant wait bounded.
 //!
-//! Run: `cargo run -p persona-bench --release --bin service`
+//! Run: `cargo run -p persona-bench --release --bin service -- [--plan <full|import-only|import-align|no-dupmark|from-aligned>]`
 //! Knobs: `PERSONA_BENCH_SCALE` (dataset size), `PERSONA_BENCH_CLIENTS`
-//! (concurrent clients, default 6).
+//! (concurrent clients, default 6). `--plan` targets a partial plan so
+//! perf runs can measure exactly the stages a deployment cares about.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use persona::config::PersonaConfig;
-use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona::plan::{Plan, PlanRequest, PlanSource, Stage, PRESET_NAMES};
+use persona::runtime::PersonaRuntime;
+use persona_agd::manifest::Manifest;
 use persona_bench::{mem_store, print_header, scale, World};
 use persona_dataflow::Priority;
 use persona_formats::fastq;
-use persona_server::{JobSpec, PersonaService, ServiceConfig, StagePlan, TenantConfig};
+use persona_server::{JobInput, JobSpec, PersonaService, ServiceConfig, TenantConfig};
 
 fn main() {
     let sc = scale();
+    let mut plan_name = "full".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--plan" => plan_name = args.next().expect("--plan needs a value"),
+            other => panic!("unknown argument `{other}` (try --plan <{}>)", PRESET_NAMES.join("|")),
+        }
+    }
+    let plan = Plan::preset(&plan_name).unwrap_or_else(|| {
+        panic!("unknown plan `{plan_name}` (one of {})", PRESET_NAMES.join(", "))
+    });
     let clients: usize =
         std::env::var("PERSONA_BENCH_CLIENTS").ok().and_then(|s| s.parse().ok()).unwrap_or(6);
     let reads_per_job = ((6_000.0 * sc) as usize).max(200);
@@ -30,31 +45,56 @@ fn main() {
     let config = PersonaConfig::default();
     let fastq_bytes = fastq::to_bytes(&world.reads);
     println!(
-        "workload: {clients} clients × {reads_per_job} reads | {} compute threads",
+        "workload: {clients} clients × {reads_per_job} reads | plan: {} | {} compute threads",
+        plan.describe(),
         config.compute_threads
     );
 
-    // Serial baseline: the same jobs, one at a time, on one runtime.
+    // A from-aligned (or any dataset-input) plan needs an aligned
+    // dataset landed in the store first; that prep is not timed.
+    let aligned_input = |rt: &Arc<PersonaRuntime>| -> Option<Manifest> {
+        if plan.input() == persona::plan::DataState::Fastq {
+            return None;
+        }
+        let head = Plan::import_align()
+            .run(
+                rt,
+                PlanRequest {
+                    name: "landed".into(),
+                    source: PlanSource::fastq_bytes(fastq_bytes.clone()),
+                    chunk_size: 2_000,
+                    aligner: Some(aligner.clone()),
+                    reference: world.reference.clone(),
+                },
+            )
+            .expect("prepare aligned dataset");
+        Some(head.manifest.expect("import-align lands a dataset"))
+    };
+    let needs_aligner = plan.contains(Stage::Align);
+    let request = |k: usize, aligned: &Option<Manifest>| PlanRequest {
+        name: format!("serial-{k}"),
+        source: match aligned {
+            Some(m) => PlanSource::Dataset(m.clone()),
+            None => PlanSource::fastq_bytes(fastq_bytes.clone()),
+        },
+        chunk_size: 2_000,
+        aligner: needs_aligner.then(|| aligner.clone()),
+        reference: world.reference.clone(),
+    };
+
+    // Serial baseline: the same plans, one at a time, on one runtime.
     let serial_rt = PersonaRuntime::new(mem_store(), config).unwrap();
+    let serial_aligned = aligned_input(&serial_rt);
     let t0 = Instant::now();
     for k in 0..clients {
-        let mut sam = Vec::new();
-        run_pipeline(
-            &serial_rt,
-            std::io::Cursor::new(fastq_bytes.clone()),
-            &format!("serial-{k}"),
-            2_000,
-            aligner.clone(),
-            &world.reference,
-            &mut sam,
-        )
-        .unwrap();
+        plan.run(&serial_rt, request(k, &serial_aligned)).unwrap();
     }
     let serial_s = t0.elapsed().as_secs_f64();
 
     // Service: M concurrent clients across two tenants, fair-share
     // admission, one shared runtime.
     let rt = PersonaRuntime::new(mem_store(), config).unwrap();
+    let service_aligned = aligned_input(&rt);
     let service = PersonaService::new(
         rt,
         ServiceConfig { max_concurrent_jobs: clients.min(4).max(2), ..ServiceConfig::default() },
@@ -70,16 +110,20 @@ fn main() {
             .map(|k| {
                 let service = &service;
                 let world = &world;
-                let aligner = aligner.clone();
-                let fastq_bytes = fastq_bytes.clone();
+                let plan = plan.clone();
+                let aligner = needs_aligner.then(|| aligner.clone());
+                let input = match &service_aligned {
+                    Some(m) => JobInput::Dataset(m.clone()),
+                    None => JobInput::Fastq(fastq_bytes.clone()),
+                };
                 s.spawn(move || {
                     service
                         .submit(JobSpec {
                             name: format!("client-{k}"),
                             tenant: if k % 3 == 0 { "batch" } else { "prod" }.to_string(),
                             priority: Priority::Normal,
-                            plan: StagePlan::Full,
-                            fastq: fastq_bytes,
+                            plan,
+                            input,
                             chunk_size: 2_000,
                             aligner,
                             reference: world.reference.clone(),
@@ -109,6 +153,19 @@ fn main() {
             t.mean_queue_wait().as_secs_f64() * 1e3,
             report.busy_fraction(&t.tenant) * 100.0
         );
+    }
+    // Per-plan stage rollup: exactly the stages the chosen plan ran.
+    println!("\nstage time across completed jobs:");
+    for t in &report.tenants {
+        for s in &t.stages {
+            println!(
+                "{}\t{}\t{} runs\t{:.2} s",
+                t.tenant,
+                s.stage,
+                s.runs,
+                s.elapsed.as_secs_f64()
+            );
+        }
     }
     let total_reads = (clients * reads_per_job) as f64;
     println!(

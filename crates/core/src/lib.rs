@@ -24,13 +24,20 @@
 //! "servers" (§5.2), which is how multi-node runs are coordinated.
 //!
 //! The [`runtime`] module ties it together: a [`runtime::PersonaRuntime`]
-//! owns the one shared executor every stage schedules compute on, and
-//! [`runtime::run_pipeline`] chains all five stages end to end with
-//! import‖align and dupmark‖export overlapped on the same cores.
+//! owns the one shared executor every stage schedules compute on.
+//!
+//! The [`plan`] module is the composition surface: a [`plan::Plan`] is
+//! a user-built, validated, serializable chain of [`plan::Stage`]s
+//! typed by dataset state (FASTQ → encoded AGD → aligned → sorted →
+//! dup-marked → SAM/BGZF), and [`plan::Plan::run`] executes any valid
+//! composition with import‖align and dupmark‖export overlapped on the
+//! same cores. [`runtime::run_pipeline`] is the canned
+//! [`plan::Plan::full`] preset.
 
 pub mod config;
 pub mod manifest_server;
 pub mod pipeline;
+pub mod plan;
 pub mod runtime;
 
 /// Errors from Persona pipelines.

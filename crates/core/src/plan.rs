@@ -1,0 +1,1211 @@
+//! Composable pipeline plans: user-built stage graphs over AGD
+//! datasets.
+//!
+//! Persona's central design point (paper §4.1) is that pipelines are
+//! *composed* from bioinformatics kernels, not hardwired: "a thin
+//! library that stitches these nodes together into optimized subgraphs
+//! for common I/O patterns and bioinformatics functions". This module
+//! is that composition surface. A [`Plan`] is an ordered list of
+//! [`Stage`]s typed by the dataset state each stage consumes and
+//! produces:
+//!
+//! ```text
+//! Fastq ─import→ EncodedAgd ─align→ Aligned ─sort→ Sorted
+//!                                      │              │
+//!                                      │           ─dupmark→ DupMarked
+//!                                      └──────────────┴─export-sam→ Sam
+//!                                                     └─export-bam→ Bgzf
+//! ```
+//!
+//! [`PlanBuilder`] assembles a plan and rejects invalid compositions at
+//! build time with precise, distinct errors ([`PlanError`]): a stage in
+//! the wrong order, a stage whose producer is missing, a duplicated
+//! stage, or an empty plan. A plan that builds is guaranteed runnable:
+//! [`Plan::run`] executes any valid plan on a (possibly job-bound)
+//! [`PersonaRuntime`] with the same fused streaming overlap and
+//! cooperative cancellation the fixed `run_pipeline` chain has — an
+//! `import` directly followed by `align` streams chunks through a
+//! bounded queue while both stages share the executor, and `dupmark`
+//! directly followed by `export-sam` does the same.
+//!
+//! Plans serialize to JSON through the vendored serde
+//! (`{"input":"fastq","stages":["import","align",...]}`), and
+//! deserialization re-validates through the builder, so a wire protocol
+//! can ship plans without ever admitting an invalid one.
+
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use persona_agd::manifest::Manifest;
+use persona_align::Aligner;
+use persona_compress::deflate::CompressLevel;
+use serde::{field, DeError, Deserialize, Serialize, Value};
+
+use crate::manifest_server::ManifestServer;
+use crate::pipeline::align::{self, AlignReport};
+use crate::pipeline::dupmark::{self, DupmarkReport};
+use crate::pipeline::export::{self, ExportReport};
+use crate::pipeline::import::{self, ImportReport};
+use crate::pipeline::sort::{self, SortKey, SortReport};
+use crate::pipeline::StageReport;
+use crate::runtime::PersonaRuntime;
+use crate::{Error, Result};
+
+/// The state of a dataset as it moves through a plan. Each [`Stage`]
+/// consumes one (or a set of) state(s) and produces the next; the
+/// builder tracks the chain so only coherent plans build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataState {
+    /// Raw FASTQ bytes from the sequencer.
+    Fastq,
+    /// An encoded AGD dataset (bases/qual/metadata columns, no results).
+    EncodedAgd,
+    /// An AGD dataset with a `results` column (aligned).
+    Aligned,
+    /// A coordinate-sorted aligned dataset.
+    Sorted,
+    /// A sorted dataset whose duplicate flags have been set.
+    DupMarked,
+    /// SAM text (terminal).
+    Sam,
+    /// BGZF-compressed BAM (terminal).
+    Bgzf,
+}
+
+impl DataState {
+    /// Every state, in pipeline order.
+    pub const ALL: [DataState; 7] = [
+        DataState::Fastq,
+        DataState::EncodedAgd,
+        DataState::Aligned,
+        DataState::Sorted,
+        DataState::DupMarked,
+        DataState::Sam,
+        DataState::Bgzf,
+    ];
+
+    /// The kebab-case wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DataState::Fastq => "fastq",
+            DataState::EncodedAgd => "encoded-agd",
+            DataState::Aligned => "aligned",
+            DataState::Sorted => "sorted",
+            DataState::DupMarked => "dup-marked",
+            DataState::Sam => "sam",
+            DataState::Bgzf => "bgzf",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<DataState> {
+        DataState::ALL.iter().copied().find(|d| d.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for DataState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One pipeline stage — the unit a plan composes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// FASTQ → encoded AGD dataset.
+    Import,
+    /// Encoded AGD → aligned (adds the `results` column).
+    Align,
+    /// Aligned → coordinate-sorted dataset (`{name}.sorted`).
+    Sort,
+    /// Sorted → duplicate-marked (rewrites only `results` chunks).
+    Dupmark,
+    /// Aligned/sorted/dup-marked dataset → SAM text.
+    ExportSam,
+    /// Aligned/sorted/dup-marked dataset → BGZF BAM.
+    ExportBam,
+}
+
+impl Stage {
+    /// Every stage, in canonical pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Import,
+        Stage::Align,
+        Stage::Sort,
+        Stage::Dupmark,
+        Stage::ExportSam,
+        Stage::ExportBam,
+    ];
+
+    /// The kebab-case wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Import => "import",
+            Stage::Align => "align",
+            Stage::Sort => "sort",
+            Stage::Dupmark => "dupmark",
+            Stage::ExportSam => "export-sam",
+            Stage::ExportBam => "export-bam",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|st| st.name() == s)
+    }
+
+    /// Whether this stage can consume a dataset in `state`.
+    pub fn accepts(&self, state: DataState) -> bool {
+        match self {
+            Stage::Import => state == DataState::Fastq,
+            Stage::Align => state == DataState::EncodedAgd,
+            Stage::Sort => state == DataState::Aligned,
+            Stage::Dupmark => state == DataState::Sorted,
+            Stage::ExportSam | Stage::ExportBam => {
+                matches!(state, DataState::Aligned | DataState::Sorted | DataState::DupMarked)
+            }
+        }
+    }
+
+    /// The canonical input state (for error messages; export stages
+    /// accept several, of which [`DataState::Sorted`] is typical).
+    pub fn input_hint(&self) -> DataState {
+        match self {
+            Stage::Import => DataState::Fastq,
+            Stage::Align => DataState::EncodedAgd,
+            Stage::Sort => DataState::Aligned,
+            Stage::Dupmark => DataState::Sorted,
+            Stage::ExportSam | Stage::ExportBam => DataState::Sorted,
+        }
+    }
+
+    /// The state this stage produces.
+    pub fn output(&self) -> DataState {
+        match self {
+            Stage::Import => DataState::EncodedAgd,
+            Stage::Align => DataState::Aligned,
+            Stage::Sort => DataState::Sorted,
+            Stage::Dupmark => DataState::DupMarked,
+            Stage::ExportSam => DataState::Sam,
+            Stage::ExportBam => DataState::Bgzf,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a composition was rejected at build time. Every illegal shape
+/// maps to a distinct variant so callers (and wire-protocol clients)
+/// get a precise diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan has no stages.
+    Empty,
+    /// The *first* stage cannot consume the plan's declared input
+    /// state — nothing earlier in the plan produces what it needs.
+    MissingProducer {
+        /// The stage that has no producer.
+        stage: Stage,
+        /// The state it needs.
+        needs: DataState,
+        /// The plan's declared input state.
+        input: DataState,
+    },
+    /// A later stage cannot consume the state left by the stage before
+    /// it (stages in the wrong order, or a needed stage omitted
+    /// mid-plan).
+    WrongOrder {
+        /// The stage that does not fit.
+        stage: Stage,
+        /// The state the preceding stage left.
+        found: DataState,
+        /// The preceding stage.
+        after: Stage,
+    },
+    /// The same stage appears twice.
+    DuplicateStage {
+        /// The repeated stage.
+        stage: Stage,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Empty => write!(f, "plan has no stages"),
+            PlanError::MissingProducer { stage, needs, input } => write!(
+                f,
+                "stage `{stage}` needs a `{needs}` dataset but the plan starts from `{input}` \
+                 and no earlier stage produces it"
+            ),
+            PlanError::WrongOrder { stage, found, after } => write!(
+                f,
+                "stage `{stage}` cannot run on the `{found}` dataset left by `{after}` \
+                 (stages out of order, or a producing stage omitted)"
+            ),
+            PlanError::DuplicateStage { stage } => {
+                write!(f, "stage `{stage}` appears more than once in the plan")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Pipeline(format!("invalid plan: {e}"))
+    }
+}
+
+/// Assembles an ordered stage list, tracking the dataset-state chain.
+/// The first invalid composition is remembered and surfaced by
+/// [`PlanBuilder::build`]; further `then` calls are no-ops after an
+/// error, so fluent chains stay readable.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    input: DataState,
+    state: DataState,
+    stages: Vec<Stage>,
+    error: Option<PlanError>,
+}
+
+impl PlanBuilder {
+    /// Starts a plan consuming a dataset in `input` state.
+    pub fn new(input: DataState) -> PlanBuilder {
+        PlanBuilder { input, state: input, stages: Vec::new(), error: None }
+    }
+
+    /// Appends `stage`, validating it against the current state chain.
+    pub fn then(mut self, stage: Stage) -> PlanBuilder {
+        if self.error.is_some() {
+            return self;
+        }
+        if self.stages.contains(&stage) {
+            self.error = Some(PlanError::DuplicateStage { stage });
+            return self;
+        }
+        if !stage.accepts(self.state) {
+            self.error = Some(match self.stages.last() {
+                None => PlanError::MissingProducer {
+                    stage,
+                    needs: stage.input_hint(),
+                    input: self.input,
+                },
+                Some(&after) => PlanError::WrongOrder { stage, found: self.state, after },
+            });
+            return self;
+        }
+        self.state = stage.output();
+        self.stages.push(stage);
+        self
+    }
+
+    /// Finishes the plan; errors if any composition rule was violated
+    /// or no stage was added.
+    pub fn build(self) -> std::result::Result<Plan, PlanError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.stages.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        Ok(Plan { input: self.input, stages: self.stages })
+    }
+}
+
+/// The names accepted by [`Plan::preset`], in the order presets are
+/// documented (CLI `--plan` flags share this list).
+pub const PRESET_NAMES: [&str; 5] =
+    ["full", "import-only", "import-align", "no-dupmark", "from-aligned"];
+
+/// A validated, ordered stage composition. Only [`PlanBuilder`] (or
+/// deserialization, which re-runs the builder) can construct one, so a
+/// `Plan` in hand is always runnable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    input: DataState,
+    stages: Vec<Stage>,
+}
+
+impl Plan {
+    /// Starts building a plan from a dataset in `input` state.
+    pub fn builder(input: DataState) -> PlanBuilder {
+        PlanBuilder::new(input)
+    }
+
+    /// The whole paper pipeline: import ‖ align → sort → dupmark ‖
+    /// export-sam (what `run_pipeline` runs).
+    pub fn full() -> Plan {
+        Plan::builder(DataState::Fastq)
+            .then(Stage::Import)
+            .then(Stage::Align)
+            .then(Stage::Sort)
+            .then(Stage::Dupmark)
+            .then(Stage::ExportSam)
+            .build()
+            .expect("full preset is valid")
+    }
+
+    /// Ingest only: land the FASTQ as an encoded AGD dataset.
+    pub fn import_only() -> Plan {
+        Plan::builder(DataState::Fastq).then(Stage::Import).build().expect("preset is valid")
+    }
+
+    /// Import and align: the "land the data, analyze later" shape.
+    pub fn import_align() -> Plan {
+        Plan::builder(DataState::Fastq)
+            .then(Stage::Import)
+            .then(Stage::Align)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// The full chain minus duplicate marking — the fast path for
+    /// workloads that dedup downstream (or not at all).
+    pub fn no_dupmark() -> Plan {
+        Plan::builder(DataState::Fastq)
+            .then(Stage::Import)
+            .then(Stage::Align)
+            .then(Stage::Sort)
+            .then(Stage::ExportSam)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// Post-alignment processing over an existing aligned dataset:
+    /// sort → dupmark → export-sam.
+    pub fn from_aligned() -> Plan {
+        Plan::builder(DataState::Aligned)
+            .then(Stage::Sort)
+            .then(Stage::Dupmark)
+            .then(Stage::ExportSam)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// Looks up a preset by its [`PRESET_NAMES`] name.
+    pub fn preset(name: &str) -> Option<Plan> {
+        match name {
+            "full" => Some(Plan::full()),
+            "import-only" => Some(Plan::import_only()),
+            "import-align" => Some(Plan::import_align()),
+            "no-dupmark" => Some(Plan::no_dupmark()),
+            "from-aligned" => Some(Plan::from_aligned()),
+            _ => None,
+        }
+    }
+
+    /// The ordered stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The dataset state the plan consumes.
+    pub fn input(&self) -> DataState {
+        self.input
+    }
+
+    /// The dataset state the plan leaves behind.
+    pub fn output(&self) -> DataState {
+        self.stages.last().expect("plans are non-empty").output()
+    }
+
+    /// Whether the plan contains `stage`.
+    pub fn contains(&self, stage: Stage) -> bool {
+        self.stages.contains(&stage)
+    }
+
+    /// Checks that a FASTQ byte stream can serve as this plan's input
+    /// with the given chunking. Shared between [`Plan::run`] and
+    /// service admission (single source of truth).
+    pub fn check_fastq_input(&self, chunk_size: usize) -> Result<()> {
+        if self.input != DataState::Fastq {
+            return Err(Error::Pipeline(format!(
+                "plan consumes a `{}` dataset but the request supplies FASTQ",
+                self.input
+            )));
+        }
+        if chunk_size == 0 {
+            return Err(Error::Pipeline("chunk_size must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Checks the kernel resources a request carries: a plan with an
+    /// align stage needs an aligner. Shared between [`Plan::run`] and
+    /// service admission.
+    pub fn check_resources(&self, has_aligner: bool) -> Result<()> {
+        if self.contains(Stage::Align) && !has_aligner {
+            return Err(Error::Pipeline("plan aligns but the request has no aligner".into()));
+        }
+        Ok(())
+    }
+
+    /// Checks that an existing dataset can serve as this plan's input:
+    /// the plan must consume a dataset at all, and any input state past
+    /// `encoded-agd` needs a `results` column on the manifest. Both
+    /// [`Plan::run`] and service admission use this single check, so a
+    /// bad dataset fails the submitter immediately instead of failing
+    /// the job after it waited out a queue.
+    pub fn check_dataset_input(&self, manifest: &Manifest) -> Result<()> {
+        if self.input == DataState::Fastq {
+            return Err(Error::Pipeline(
+                "plan consumes FASTQ but the request supplies a dataset".into(),
+            ));
+        }
+        if self.input != DataState::EncodedAgd
+            && !manifest.has_column(persona_agd::columns::RESULTS)
+        {
+            return Err(Error::Pipeline(format!(
+                "plan consumes a `{}` dataset but the supplied manifest `{}` has no results \
+                 column",
+                self.input, manifest.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// A one-line human description of the state chain, e.g.
+    /// `fastq ─import→ encoded-agd ─align→ aligned`.
+    pub fn describe(&self) -> String {
+        let mut out = self.input.as_str().to_string();
+        for stage in &self.stages {
+            out.push_str(&format!(" ─{}→ {}", stage.name(), stage.output().as_str()));
+        }
+        out
+    }
+
+    /// Serializes the plan to compact JSON (the future wire format).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::Pipeline(format!("serialize plan: {e}")))
+    }
+
+    /// Parses a plan from JSON, re-validating the composition.
+    pub fn from_json(json: &str) -> Result<Plan> {
+        serde_json::from_str(json).map_err(|e| Error::Pipeline(format!("parse plan: {e}")))
+    }
+
+    /// Runs the plan on `rt`. When `rt` is a job-bound view
+    /// ([`PersonaRuntime::for_job`]), every stage carries the job's
+    /// priority, cancel token and counters, and a fired token unwinds
+    /// the plan as [`Error::Cancelled`] mid-stage.
+    ///
+    /// Adjacent `import → align` and `dupmark → export-sam` pairs are
+    /// fused: the stages overlap through a bounded streaming chunk
+    /// queue while sharing the executor, exactly like the classic
+    /// `run_pipeline` chain. Exported SAM/BAM bytes are buffered and
+    /// only surface in the report once the whole plan has succeeded, so
+    /// a mid-plan failure can never leave a plausible-looking truncated
+    /// export behind.
+    pub fn run(&self, rt: &PersonaRuntime, req: PlanRequest) -> Result<PlanReport> {
+        let started = Instant::now();
+        rt.check_cancelled()?;
+        let queue_cap = rt.config().capacity_for(rt.config().aligner_kernels).max(2);
+
+        // Request/plan coherence, checked up front with precise errors
+        // through the same helpers service admission uses.
+        let mut cur: Option<Manifest> = None;
+        self.check_resources(req.aligner.is_some())?;
+        let mut source = match req.source {
+            PlanSource::Fastq(reader) => {
+                self.check_fastq_input(req.chunk_size)?;
+                Some(reader)
+            }
+            PlanSource::Dataset(manifest) => {
+                self.check_dataset_input(&manifest)?;
+                cur = Some(manifest);
+                None
+            }
+        };
+
+        let mut report = PlanReport {
+            plan: self.clone(),
+            stages: Vec::with_capacity(self.stages.len()),
+            manifest: None,
+            sorted: None,
+            sam: None,
+            bam: None,
+            elapsed: Duration::ZERO,
+        };
+
+        let mut i = 0usize;
+        while i < self.stages.len() {
+            rt.check_cancelled()?;
+            let stage = self.stages[i];
+            let fused_next = self.stages.get(i + 1).copied().filter(|&next| {
+                (stage == Stage::Import && next == Stage::Align)
+                    || (stage == Stage::Dupmark && next == Stage::ExportSam)
+            });
+            match (stage, fused_next) {
+                (Stage::Import, Some(Stage::Align)) => {
+                    let input = source.take().expect("fastq source validated above");
+                    let aligner = req.aligner.clone().expect("aligner validated above");
+                    let (manifest, import_rep, align_rep) = fused_import_align(
+                        rt,
+                        input,
+                        &req.name,
+                        req.chunk_size,
+                        aligner,
+                        &req.reference,
+                        queue_cap,
+                    )?;
+                    report.stages.push(StageRun::Import(import_rep));
+                    report.stages.push(StageRun::Align(align_rep));
+                    report.manifest = Some(manifest.clone());
+                    cur = Some(manifest);
+                    i += 2;
+                }
+                (Stage::Import, _) => {
+                    let input = source.take().expect("fastq source validated above");
+                    let (manifest, import_rep) =
+                        import::import_fastq_rt(rt, input, &req.name, req.chunk_size, None)?;
+                    report.stages.push(StageRun::Import(import_rep));
+                    report.manifest = Some(manifest.clone());
+                    cur = Some(manifest);
+                    i += 1;
+                }
+                (Stage::Align, _) => {
+                    let mut manifest = cur.take().expect("align has an encoded dataset");
+                    let aligner = req.aligner.clone().expect("aligner validated above");
+                    let server = ManifestServer::new(&manifest);
+                    let align_rep = align::align_with_runtime(rt, &server, aligner)
+                        .map_err(|e| cancelled_or(rt, e))?;
+                    align::finalize_manifest(rt.store().as_ref(), &mut manifest, &req.reference)?;
+                    report.stages.push(StageRun::Align(align_rep));
+                    report.manifest = Some(manifest.clone());
+                    cur = Some(manifest);
+                    i += 1;
+                }
+                (Stage::Sort, _) => {
+                    let manifest = cur.take().expect("sort has an aligned dataset");
+                    let sorted_name = format!("{}.sorted", req.name);
+                    let (sorted, sort_rep) =
+                        sort::sort_dataset_rt(rt, &manifest, SortKey::Coordinate, &sorted_name)
+                            .map_err(|e| cancelled_or(rt, e))?;
+                    report.stages.push(StageRun::Sort(sort_rep));
+                    report.sorted = Some(sorted.clone());
+                    cur = Some(sorted);
+                    i += 1;
+                }
+                (Stage::Dupmark, Some(Stage::ExportSam)) => {
+                    let manifest = cur.take().expect("dupmark has a sorted dataset");
+                    let (dupmark_rep, export_rep, sam) =
+                        fused_dupmark_export(rt, &manifest, queue_cap)?;
+                    report.stages.push(StageRun::Dupmark(dupmark_rep));
+                    report.stages.push(StageRun::ExportSam(export_rep));
+                    report.sam = Some(sam);
+                    cur = Some(manifest);
+                    i += 2;
+                }
+                (Stage::Dupmark, _) => {
+                    let manifest = cur.take().expect("dupmark has a sorted dataset");
+                    let dupmark_rep = dupmark::mark_duplicates_rt(rt, &manifest, None)
+                        .map_err(|e| cancelled_or(rt, e))?;
+                    report.stages.push(StageRun::Dupmark(dupmark_rep));
+                    cur = Some(manifest);
+                    i += 1;
+                }
+                (Stage::ExportSam, _) => {
+                    let manifest = cur.take().expect("export has an aligned dataset");
+                    let server = ManifestServer::new(&manifest);
+                    let mut sam = Vec::new();
+                    let export_rep = export::export_sam_rt(rt, &manifest, &server, &mut sam)
+                        .map_err(|e| cancelled_or(rt, e))?;
+                    report.stages.push(StageRun::ExportSam(export_rep));
+                    report.sam = Some(sam);
+                    cur = Some(manifest);
+                    i += 1;
+                }
+                (Stage::ExportBam, _) => {
+                    let manifest = cur.take().expect("export has an aligned dataset");
+                    let mut bam = Vec::new();
+                    let export_rep =
+                        export::export_bam_rt(rt, &manifest, &mut bam, CompressLevel::Fast)
+                            .map_err(|e| cancelled_or(rt, e))?;
+                    report.stages.push(StageRun::ExportBam(export_rep));
+                    report.bam = Some(bam);
+                    cur = Some(manifest);
+                    i += 1;
+                }
+            }
+        }
+        rt.check_cancelled()?;
+        report.elapsed = started.elapsed();
+        Ok(report)
+    }
+}
+
+/// Maps a stage error to [`Error::Cancelled`] once the job's token has
+/// fired: whichever derived stream-closed error the unwinding stages
+/// happened to surface, a cancelled job reports Cancelled.
+fn cancelled_or(rt: &PersonaRuntime, e: Error) -> Error {
+    if rt.is_cancelled() {
+        Error::Cancelled
+    } else {
+        e
+    }
+}
+
+/// Stage 1+2 overlapped: import feeds chunk names to alignment through
+/// a bounded streaming queue while both stages' compute (FASTQ
+/// encoding, subchunk alignment) shares the executor.
+fn fused_import_align(
+    rt: &PersonaRuntime,
+    input: Box<dyn BufRead + Send>,
+    name: &str,
+    chunk_size: usize,
+    aligner: Arc<dyn Aligner>,
+    reference: &[(String, u64)],
+    queue_cap: usize,
+) -> Result<(Manifest, ImportReport, AlignReport)> {
+    let (chunk_server, chunk_feeder) = ManifestServer::streaming(queue_cap);
+    let (import_res, align_res) = std::thread::scope(|s| {
+        let align_handle = {
+            let server = chunk_server.clone();
+            let aligner = aligner.clone();
+            s.spawn(move || {
+                let res = align::align_with_runtime(rt, &server, aligner);
+                if res.is_err() {
+                    // Unblock the import writer if alignment died.
+                    server.close();
+                }
+                res
+            })
+        };
+        let import_res = import::import_fastq_rt(rt, input, name, chunk_size, Some(chunk_feeder));
+        if import_res.is_err() {
+            chunk_server.close();
+        }
+        (import_res, align_handle.join().expect("align stage panicked"))
+    });
+    // Surface the align error first: when alignment dies mid-stream it
+    // closes the chunk queue, which makes import fail with a derived
+    // "stream closed" error that would mask the root cause. (If import
+    // itself fails, alignment just drains the chunks it got and ends
+    // cleanly, so this order loses nothing.)
+    // A cancelled job reports Cancelled rather than whichever derived
+    // stream-closed error the unwinding stages happened to surface.
+    rt.check_cancelled()?;
+    let align_rep = align_res?;
+    let (mut manifest, import_rep) = import_res?;
+    align::finalize_manifest(rt.store().as_ref(), &mut manifest, reference)?;
+    Ok((manifest, import_rep, align_rep))
+}
+
+/// Stage 4+5 overlapped: duplicate marking streams finished chunks to
+/// the SAM exporter while later chunks are still being rewritten.
+/// Export writes into a local buffer; callers only see bytes once the
+/// whole plan has succeeded, so a mid-stream failure can never leave a
+/// plausible-looking truncated SAM behind.
+fn fused_dupmark_export(
+    rt: &PersonaRuntime,
+    sorted: &Manifest,
+    queue_cap: usize,
+) -> Result<(DupmarkReport, ExportReport, Vec<u8>)> {
+    let mut sam_buf: Vec<u8> = Vec::new();
+    let (export_server, export_feeder) = ManifestServer::streaming(queue_cap);
+    let (dupmark_res, export_res) = std::thread::scope(|s| {
+        let export_handle = {
+            let server = export_server.clone();
+            let sam_buf = &mut sam_buf;
+            s.spawn(move || {
+                let res = export::export_sam_rt(rt, sorted, &server, sam_buf);
+                if res.is_err() {
+                    server.close();
+                }
+                res
+            })
+        };
+        let dupmark_res = dupmark::mark_duplicates_rt(rt, sorted, Some(export_feeder));
+        if dupmark_res.is_err() {
+            export_server.close();
+        }
+        (dupmark_res, export_handle.join().expect("export stage panicked"))
+    });
+    // The upstream error comes first: a dupmark failure closes the
+    // feeder mid-stream, after which export at best produces an
+    // incomplete prefix (discarded with sam_buf) and at worst a
+    // derived error of its own.
+    rt.check_cancelled()?;
+    let dupmark_rep = dupmark_res?;
+    let export_rep = export_res?;
+    Ok((dupmark_rep, export_rep, sam_buf))
+}
+
+/// What a plan consumes: raw FASTQ for [`DataState::Fastq`] plans, an
+/// existing dataset manifest for every other input state.
+pub enum PlanSource {
+    /// A FASTQ byte stream.
+    Fastq(Box<dyn BufRead + Send>),
+    /// An existing AGD dataset (its chunks live in the runtime's
+    /// store).
+    Dataset(Manifest),
+}
+
+impl PlanSource {
+    /// Wraps in-memory FASTQ bytes.
+    pub fn fastq_bytes(bytes: Vec<u8>) -> PlanSource {
+        PlanSource::Fastq(Box::new(std::io::Cursor::new(bytes)))
+    }
+}
+
+/// The per-run resources a plan needs: dataset naming, the input, and
+/// the shared kernel resources. (The plan itself stays pure data so it
+/// can travel over the wire; everything runtime-bound lives here.)
+pub struct PlanRequest {
+    /// Dataset name: imported chunks are `{name}-{i}`, the sorted
+    /// output is `{name}.sorted`.
+    pub name: String,
+    /// The input (must match [`Plan::input`]).
+    pub source: PlanSource,
+    /// Records per AGD chunk (FASTQ-input plans only).
+    pub chunk_size: usize,
+    /// Aligner resource; required iff the plan contains [`Stage::Align`].
+    pub aligner: Option<Arc<dyn Aligner>>,
+    /// `(contig, length)` reference metadata recorded at alignment.
+    pub reference: Vec<(String, u64)>,
+}
+
+/// One executed stage's report.
+#[derive(Debug)]
+pub enum StageRun {
+    /// FASTQ import.
+    Import(ImportReport),
+    /// Alignment.
+    Align(AlignReport),
+    /// Coordinate sort.
+    Sort(SortReport),
+    /// Duplicate marking.
+    Dupmark(DupmarkReport),
+    /// SAM export.
+    ExportSam(ExportReport),
+    /// BAM export.
+    ExportBam(ExportReport),
+}
+
+impl StageRun {
+    /// Which stage this report came from.
+    pub fn stage(&self) -> Stage {
+        match self {
+            StageRun::Import(_) => Stage::Import,
+            StageRun::Align(_) => Stage::Align,
+            StageRun::Sort(_) => Stage::Sort,
+            StageRun::Dupmark(_) => Stage::Dupmark,
+            StageRun::ExportSam(_) => Stage::ExportSam,
+            StageRun::ExportBam(_) => Stage::ExportBam,
+        }
+    }
+
+    /// The stage's uniform utilization view.
+    pub fn report(&self) -> &dyn StageReport {
+        match self {
+            StageRun::Import(r) => r,
+            StageRun::Align(r) => r,
+            StageRun::Sort(r) => r,
+            StageRun::Dupmark(r) => r,
+            StageRun::ExportSam(r) => r,
+            StageRun::ExportBam(r) => r,
+        }
+    }
+}
+
+/// Per-stage reports and outputs from one [`Plan::run`] — exactly the
+/// stages that ran, in plan order.
+#[derive(Debug)]
+pub struct PlanReport {
+    /// The plan that ran.
+    pub plan: Plan,
+    /// One report per executed stage, in plan order.
+    pub stages: Vec<StageRun>,
+    /// The primary dataset manifest, set whenever `import` or `align`
+    /// ran (align finalizes the manifest with the results column and
+    /// reference metadata, so this supersedes a dataset-source input
+    /// manifest). `None` only for plans that neither import nor align.
+    pub manifest: Option<Manifest>,
+    /// The sorted dataset manifest, when [`Stage::Sort`] ran.
+    pub sorted: Option<Manifest>,
+    /// Exported SAM text, when [`Stage::ExportSam`] ran.
+    pub sam: Option<Vec<u8>>,
+    /// Exported BGZF BAM, when [`Stage::ExportBam`] ran.
+    pub bam: Option<Vec<u8>>,
+    /// End-to-end wall clock.
+    pub elapsed: Duration,
+}
+
+impl PlanReport {
+    /// `(stage name, elapsed, executor busy fraction)` rows for
+    /// exactly the stages that ran, in plan order.
+    pub fn stage_rows(&self) -> Vec<(&'static str, Duration, f64)> {
+        self.stages
+            .iter()
+            .map(|s| (s.stage().name(), s.report().elapsed(), s.report().busy_fraction()))
+            .collect()
+    }
+
+    /// One stage's run report, if that stage ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageRun> {
+        self.stages.iter().find(|s| s.stage() == stage)
+    }
+
+    /// The manifest of the plan's final dataset state: sorted if the
+    /// plan sorted, otherwise the imported/aligned dataset.
+    pub fn final_manifest(&self) -> Option<&Manifest> {
+        self.sorted.as_ref().or(self.manifest.as_ref())
+    }
+
+    /// Reads (records) the plan processed, taken from the earliest
+    /// stage that counts them.
+    pub fn reads(&self) -> u64 {
+        for s in &self.stages {
+            match s {
+                StageRun::Import(r) => return r.reads,
+                StageRun::Align(r) => return r.reads,
+                StageRun::Sort(r) => return r.records,
+                StageRun::Dupmark(r) => return r.reads,
+                StageRun::ExportSam(r) | StageRun::ExportBam(r) => return r.records,
+            }
+        }
+        0
+    }
+}
+
+// Wire format: `{"input":"fastq","stages":["import","align",...]}`.
+// Deserialization re-validates through the builder so an invalid plan
+// can never arrive over the wire.
+
+impl Serialize for DataState {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for DataState {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        match v {
+            Value::String(s) => DataState::parse(s)
+                .ok_or_else(|| DeError::new(format!("unknown dataset state `{s}`"))),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Stage {
+    fn serialize(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for Stage {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        match v {
+            Value::String(s) => {
+                Stage::parse(s).ok_or_else(|| DeError::new(format!("unknown stage `{s}`")))
+            }
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Plan {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("input".into(), self.input.serialize()),
+            ("stages".into(), self.stages.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Plan {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        let input: DataState = field::required(v, "input")?;
+        let stages: Vec<Stage> = field::required(v, "stages")?;
+        let mut builder = Plan::builder(input);
+        for stage in stages {
+            builder = builder.then(stage);
+        }
+        builder.build().map_err(|e| DeError::new(format!("invalid plan: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_describe() {
+        assert_eq!(
+            Plan::full().stages(),
+            &[Stage::Import, Stage::Align, Stage::Sort, Stage::Dupmark, Stage::ExportSam]
+        );
+        assert_eq!(Plan::full().input(), DataState::Fastq);
+        assert_eq!(Plan::full().output(), DataState::Sam);
+        assert_eq!(Plan::import_only().output(), DataState::EncodedAgd);
+        assert_eq!(Plan::import_align().output(), DataState::Aligned);
+        assert_eq!(Plan::no_dupmark().output(), DataState::Sam);
+        assert_eq!(Plan::from_aligned().input(), DataState::Aligned);
+        assert_eq!(Plan::import_align().describe(), "fastq ─import→ encoded-agd ─align→ aligned");
+        for name in PRESET_NAMES {
+            assert!(Plan::preset(name).is_some(), "preset `{name}` must resolve");
+        }
+        assert!(Plan::preset("nope").is_none());
+    }
+
+    #[test]
+    fn empty_plan_is_a_distinct_error() {
+        assert_eq!(Plan::builder(DataState::Fastq).build(), Err(PlanError::Empty));
+    }
+
+    #[test]
+    fn missing_producer_is_a_distinct_error() {
+        // Align first, from FASTQ: nothing produced the encoded AGD it
+        // needs.
+        let err = Plan::builder(DataState::Fastq).then(Stage::Align).build().unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::MissingProducer {
+                stage: Stage::Align,
+                needs: DataState::EncodedAgd,
+                input: DataState::Fastq,
+            }
+        );
+        // Dupmark straight onto an aligned dataset: sort is missing.
+        let err = Plan::builder(DataState::Aligned).then(Stage::Dupmark).build().unwrap_err();
+        assert!(matches!(err, PlanError::MissingProducer { stage: Stage::Dupmark, .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_order_is_a_distinct_error() {
+        // Sort before align: import leaves EncodedAgd, sort needs
+        // Aligned.
+        let err = Plan::builder(DataState::Fastq)
+            .then(Stage::Import)
+            .then(Stage::Sort)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::WrongOrder {
+                stage: Stage::Sort,
+                found: DataState::EncodedAgd,
+                after: Stage::Import,
+            }
+        );
+        // Nothing can follow a terminal export.
+        let err = Plan::builder(DataState::Aligned)
+            .then(Stage::ExportSam)
+            .then(Stage::ExportBam)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::WrongOrder { stage: Stage::ExportBam, .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_stage_is_a_distinct_error() {
+        let err = Plan::builder(DataState::Fastq)
+            .then(Stage::Import)
+            .then(Stage::Import)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PlanError::DuplicateStage { stage: Stage::Import });
+    }
+
+    #[test]
+    fn first_error_sticks_across_later_calls() {
+        let err = Plan::builder(DataState::Fastq)
+            .then(Stage::Sort) // Invalid immediately.
+            .then(Stage::Import) // Would be fine, but the chain is dead.
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::MissingProducer { stage: Stage::Sort, .. }), "{err}");
+    }
+
+    #[test]
+    fn every_error_variant_displays_distinctly() {
+        let msgs = [
+            PlanError::Empty.to_string(),
+            PlanError::MissingProducer {
+                stage: Stage::Align,
+                needs: DataState::EncodedAgd,
+                input: DataState::Fastq,
+            }
+            .to_string(),
+            PlanError::WrongOrder {
+                stage: Stage::Sort,
+                found: DataState::EncodedAgd,
+                after: Stage::Import,
+            }
+            .to_string(),
+            PlanError::DuplicateStage { stage: Stage::Import }.to_string(),
+        ];
+        for (i, a) in msgs.iter().enumerate() {
+            for b in &msgs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_all_presets_and_a_custom_plan() {
+        let custom = Plan::builder(DataState::EncodedAgd)
+            .then(Stage::Align)
+            .then(Stage::Sort)
+            .then(Stage::ExportBam)
+            .build()
+            .unwrap();
+        let mut plans: Vec<Plan> = PRESET_NAMES.iter().map(|n| Plan::preset(n).unwrap()).collect();
+        plans.push(custom);
+        for plan in plans {
+            let json = plan.to_json().unwrap();
+            let back = Plan::from_json(&json).unwrap();
+            assert_eq!(back, plan, "{json}");
+            // And the wire shape is what the docs promise.
+            assert!(json.starts_with("{\"input\":"), "{json}");
+        }
+        assert_eq!(
+            Plan::import_align().to_json().unwrap(),
+            r#"{"input":"fastq","stages":["import","align"]}"#
+        );
+    }
+
+    #[test]
+    fn deserialization_revalidates_compositions() {
+        // Structurally fine JSON, semantically invalid plans.
+        for bad in [
+            r#"{"input":"fastq","stages":[]}"#,
+            r#"{"input":"fastq","stages":["align"]}"#,
+            r#"{"input":"fastq","stages":["import","import"]}"#,
+            r#"{"input":"fastq","stages":["import","sort"]}"#,
+            r#"{"input":"fastq","stages":["frobnicate"]}"#,
+            r#"{"input":"warp","stages":["import"]}"#,
+            r#"{"stages":["import"]}"#,
+        ] {
+            assert!(Plan::from_json(bad).is_err(), "must reject {bad}");
+        }
+    }
+
+    #[test]
+    fn export_accepts_aligned_sorted_and_dupmarked() {
+        for state in [DataState::Aligned, DataState::Sorted, DataState::DupMarked] {
+            assert!(Plan::builder(state).then(Stage::ExportSam).build().is_ok());
+            assert!(Plan::builder(state).then(Stage::ExportBam).build().is_ok());
+        }
+        assert!(Plan::builder(DataState::EncodedAgd).then(Stage::ExportSam).build().is_err());
+    }
+
+    #[test]
+    fn run_rejects_mismatched_requests() {
+        use persona_agd::chunk_io::{ChunkStore, MemStore};
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let rt = PersonaRuntime::new(store, crate::config::PersonaConfig::small()).unwrap();
+        // FASTQ plan fed a dataset.
+        let err = Plan::import_only()
+            .run(
+                &rt,
+                PlanRequest {
+                    name: "x".into(),
+                    source: PlanSource::Dataset(Manifest::new("d")),
+                    chunk_size: 10,
+                    aligner: None,
+                    reference: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(format!("{err}").contains("supplies a dataset"), "{err}");
+        // Dataset plan fed FASTQ.
+        let err = Plan::from_aligned()
+            .run(
+                &rt,
+                PlanRequest {
+                    name: "x".into(),
+                    source: PlanSource::fastq_bytes(Vec::new()),
+                    chunk_size: 10,
+                    aligner: None,
+                    reference: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(format!("{err}").contains("supplies FASTQ"), "{err}");
+        // Aligned-input plan fed an unaligned manifest.
+        let err = Plan::from_aligned()
+            .run(
+                &rt,
+                PlanRequest {
+                    name: "x".into(),
+                    source: PlanSource::Dataset(Manifest::new("d")),
+                    chunk_size: 10,
+                    aligner: None,
+                    reference: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(format!("{err}").contains("no results column"), "{err}");
+        // Aligning plan without an aligner.
+        let err = Plan::import_align()
+            .run(
+                &rt,
+                PlanRequest {
+                    name: "x".into(),
+                    source: PlanSource::fastq_bytes(Vec::new()),
+                    chunk_size: 10,
+                    aligner: None,
+                    reference: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(format!("{err}").contains("no aligner"), "{err}");
+        // Zero chunk size on a FASTQ plan.
+        let err = Plan::import_only()
+            .run(
+                &rt,
+                PlanRequest {
+                    name: "x".into(),
+                    source: PlanSource::fastq_bytes(Vec::new()),
+                    chunk_size: 0,
+                    aligner: None,
+                    reference: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(format!("{err}").contains("chunk_size"), "{err}");
+    }
+
+    #[test]
+    fn import_only_plan_lands_an_encoded_dataset() {
+        use persona_agd::chunk_io::{ChunkStore, MemStore};
+        let reads = persona_seq::simulate::ReadSimulator::new(
+            &persona_seq::Genome::random_with_seed(11, &[("c", 20_000)]),
+            persona_seq::simulate::SimParams::default(),
+        )
+        .take_single(120);
+        let fastq = persona_formats::fastq::to_bytes(&reads);
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let rt = PersonaRuntime::new(store.clone(), crate::config::PersonaConfig::small()).unwrap();
+        let report = Plan::import_only()
+            .run(
+                &rt,
+                PlanRequest {
+                    name: "ingest".into(),
+                    source: PlanSource::fastq_bytes(fastq),
+                    chunk_size: 50,
+                    aligner: None,
+                    reference: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(report.reads(), 120);
+        assert_eq!(report.stage_rows().len(), 1);
+        assert_eq!(report.stage_rows()[0].0, "import");
+        assert!(report.sam.is_none() && report.bam.is_none() && report.sorted.is_none());
+        let m = report.manifest.as_ref().unwrap();
+        assert_eq!(m.total_records, 120);
+        assert!(!m.has_column(persona_agd::columns::RESULTS));
+        assert!(store.get("ingest.manifest.json").is_ok());
+        assert_eq!(report.final_manifest().unwrap().name, "ingest");
+    }
+}

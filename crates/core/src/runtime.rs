@@ -30,13 +30,13 @@ use persona_dataflow::metrics::NodeCounters;
 use persona_dataflow::{CancelToken, Executor, Priority, SubmitOpts};
 
 use crate::config::PersonaConfig;
-use crate::manifest_server::ManifestServer;
-use crate::pipeline::align::{self, AlignReport};
-use crate::pipeline::dupmark::{self, DupmarkReport};
-use crate::pipeline::export::{self, ExportReport};
-use crate::pipeline::import::{self, ImportReport};
-use crate::pipeline::sort::{self, SortKey, SortReport};
+use crate::pipeline::align::AlignReport;
+use crate::pipeline::dupmark::DupmarkReport;
+use crate::pipeline::export::ExportReport;
+use crate::pipeline::import::ImportReport;
+use crate::pipeline::sort::SortReport;
 use crate::pipeline::StageReport;
+use crate::plan::{Plan, PlanReport, PlanRequest, PlanSource, StageRun};
 use crate::{Error, Result};
 
 /// Per-job execution context: the cancellation token, dispatch
@@ -272,6 +272,42 @@ pub struct PipelineReport {
 }
 
 impl PipelineReport {
+    /// Destructures a [`Plan::full`] run into the classic five-field
+    /// report. Errors if the plan report is not a full-pipeline run.
+    pub fn from_plan_report(report: PlanReport) -> Result<PipelineReport> {
+        let elapsed = report.elapsed;
+        let (manifest, sorted) = match (report.manifest, report.sorted) {
+            (Some(m), Some(s)) => (m, s),
+            _ => return Err(Error::Pipeline("not a full-pipeline plan report".into())),
+        };
+        let (mut import, mut align, mut sort, mut dupmark, mut export) =
+            (None, None, None, None, None);
+        for stage in report.stages {
+            match stage {
+                StageRun::Import(r) => import = Some(r),
+                StageRun::Align(r) => align = Some(r),
+                StageRun::Sort(r) => sort = Some(r),
+                StageRun::Dupmark(r) => dupmark = Some(r),
+                StageRun::ExportSam(r) | StageRun::ExportBam(r) => export = Some(r),
+            }
+        }
+        match (import, align, sort, dupmark, export) {
+            (Some(import), Some(align), Some(sort), Some(dupmark), Some(export)) => {
+                Ok(PipelineReport {
+                    import,
+                    align,
+                    sort,
+                    dupmark,
+                    export,
+                    manifest,
+                    sorted,
+                    elapsed,
+                })
+            }
+            _ => Err(Error::Pipeline("not a full-pipeline plan report".into())),
+        }
+    }
+
     /// `(stage name, elapsed, executor busy fraction)` rows, in
     /// pipeline order — the uniform utilization view every stage now
     /// reports.
@@ -291,8 +327,10 @@ impl PipelineReport {
 /// runtime, overlapping import with alignment and duplicate marking
 /// with export through bounded chunk queues.
 ///
-/// The output is identical to running the five stages separately; only
-/// the scheduling differs.
+/// This is the canned [`Plan::full`] preset: it builds the five-stage
+/// plan and executes it through [`Plan::run`], so its output is
+/// byte-identical to submitting the same plan anywhere else (and to
+/// running the five stages separately; only the scheduling differs).
 pub fn run_pipeline(
     rt: &PersonaRuntime,
     input: impl BufRead + Send + 'static,
@@ -302,96 +340,18 @@ pub fn run_pipeline(
     reference: &[(String, u64)],
     sam_out: &mut (impl Write + Send),
 ) -> Result<PipelineReport> {
-    let started = Instant::now();
-    rt.check_cancelled()?;
-    let queue_cap = rt.config().capacity_for(rt.config().aligner_kernels).max(2);
-
-    // Stage 1+2 overlapped: import feeds chunk names to alignment
-    // through a bounded streaming queue while both stages' compute
-    // (FASTQ encoding, subchunk alignment) shares the executor.
-    let (chunk_server, chunk_feeder) = ManifestServer::streaming(queue_cap);
-    let (import_res, align_res) = std::thread::scope(|s| {
-        let align_handle = {
-            let server = chunk_server.clone();
-            let aligner = aligner.clone();
-            s.spawn(move || {
-                let res = align::align_with_runtime(rt, &server, aligner);
-                if res.is_err() {
-                    // Unblock the import writer if alignment died.
-                    server.close();
-                }
-                res
-            })
-        };
-        let import_res = import::import_fastq_rt(rt, input, name, chunk_size, Some(chunk_feeder));
-        if import_res.is_err() {
-            chunk_server.close();
-        }
-        (import_res, align_handle.join().expect("align stage panicked"))
-    });
-    // Surface the align error first: when alignment dies mid-stream it
-    // closes the chunk queue, which makes import fail with a derived
-    // "stream closed" error that would mask the root cause. (If import
-    // itself fails, alignment just drains the chunks it got and ends
-    // cleanly, so this order loses nothing.)
-    // A cancelled job reports Cancelled rather than whichever derived
-    // stream-closed error the unwinding stages happened to surface.
-    rt.check_cancelled()?;
-    let align_rep = align_res?;
-    let (mut manifest, import_rep) = import_res?;
-    align::finalize_manifest(rt.store().as_ref(), &mut manifest, reference)?;
-
-    // Stage 3: coordinate sort (a global barrier — every record must be
-    // seen before the merge order is known).
-    let sorted_name = format!("{name}.sorted");
-    let (sorted, sort_rep) =
-        sort::sort_dataset_rt(rt, &manifest, SortKey::Coordinate, &sorted_name)?;
-
-    // Stage 4+5 overlapped: duplicate marking streams finished chunks
-    // to the SAM exporter while later chunks are still being rewritten.
-    // Export writes into a local buffer; the caller's writer only sees
-    // bytes once the whole pipeline has succeeded, so a mid-stream
-    // failure can never leave a plausible-looking truncated SAM behind.
-    let mut sam_buf: Vec<u8> = Vec::new();
-    let (export_server, export_feeder) = ManifestServer::streaming(queue_cap);
-    let (dupmark_res, export_res) = std::thread::scope(|s| {
-        let export_handle = {
-            let server = export_server.clone();
-            let sorted = &sorted;
-            let sam_buf = &mut sam_buf;
-            s.spawn(move || {
-                let res = export::export_sam_rt(rt, sorted, &server, sam_buf);
-                if res.is_err() {
-                    server.close();
-                }
-                res
-            })
-        };
-        let dupmark_res = dupmark::mark_duplicates_rt(rt, &sorted, Some(export_feeder));
-        if dupmark_res.is_err() {
-            export_server.close();
-        }
-        (dupmark_res, export_handle.join().expect("export stage panicked"))
-    });
-    // The upstream error comes first: a dupmark failure closes the
-    // feeder mid-stream, after which export at best produces an
-    // incomplete prefix (discarded with sam_buf) and at worst a
-    // derived error of its own.
-    rt.check_cancelled()?;
-    let dupmark_rep = dupmark_res?;
-    let export_rep = export_res?;
-    sam_out.write_all(&sam_buf)?;
-
-    Ok(PipelineReport {
-        import: import_rep,
-        align: align_rep,
-        sort: sort_rep,
-        dupmark: dupmark_rep,
-        export: export_rep,
-        manifest,
-        sorted,
-        elapsed: started.elapsed(),
-    })
+    let report = Plan::full().run(
+        rt,
+        PlanRequest {
+            name: name.to_string(),
+            source: PlanSource::Fastq(Box::new(input)),
+            chunk_size,
+            aligner: Some(aligner),
+            reference: reference.to_vec(),
+        },
+    )?;
+    sam_out.write_all(report.sam.as_deref().expect("full plan exports SAM"))?;
+    PipelineReport::from_plan_report(report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,186 @@
+//! Property tests for the composable plan API: the builder never
+//! accepts an incoherent composition, and every composition it *does*
+//! accept runs to completion (or cancels cleanly) on a real runtime —
+//! the "a plan in hand is always runnable" contract.
+
+use std::sync::{Arc, OnceLock};
+
+use persona::config::PersonaConfig;
+use persona::plan::{DataState, Plan, PlanRequest, PlanSource, Stage};
+use persona::runtime::{JobContext, PersonaRuntime};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_align::snap::{SnapAligner, SnapParams};
+use persona_align::Aligner;
+use persona_dataflow::Priority;
+use persona_index::SeedIndex;
+use persona_seq::simulate::{ReadSimulator, SimParams};
+use persona_seq::Genome;
+use proptest::prelude::*;
+
+struct World {
+    aligner: Arc<dyn Aligner>,
+    fastq: Vec<u8>,
+    reference: Vec<(String, u64)>,
+}
+
+/// The expensive fixture (genome + seed index + simulated reads) is
+/// built once; every case gets its own fresh store.
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let genome = Arc::new(Genome::random_with_seed(909, &[("chr1", 30_000)]));
+        let mut sim = ReadSimulator::new(
+            &genome,
+            SimParams { error_rate: 0.005, seed: 90, ..SimParams::default() },
+        );
+        let reads = sim.take_single(80);
+        let index = Arc::new(SeedIndex::build(&genome, 16));
+        let aligner: Arc<dyn Aligner> =
+            Arc::new(SnapAligner::new(genome.clone(), index, SnapParams::default()));
+        let reference =
+            genome.contigs().iter().map(|c| (c.name.clone(), c.seq.len() as u64)).collect();
+        World { aligner, fastq: persona_formats::fastq::to_bytes(&reads), reference }
+    })
+}
+
+fn request(name: &str, source: PlanSource) -> PlanRequest {
+    let w = world();
+    PlanRequest {
+        name: name.into(),
+        source,
+        chunk_size: 25,
+        aligner: Some(w.aligner.clone()),
+        reference: w.reference.clone(),
+    }
+}
+
+/// Prepares a source dataset in `state` on `rt`'s store (for plans
+/// that do not start from FASTQ).
+fn prepare_source(rt: &Arc<PersonaRuntime>, state: DataState) -> PlanSource {
+    let w = world();
+    if state == DataState::Fastq {
+        return PlanSource::fastq_bytes(w.fastq.clone());
+    }
+    let landed = Plan::import_only()
+        .run(rt, request("prep", PlanSource::fastq_bytes(w.fastq.clone())))
+        .expect("prep import")
+        .manifest
+        .expect("import lands a dataset");
+    if state == DataState::EncodedAgd {
+        return PlanSource::Dataset(landed);
+    }
+    let aligned = {
+        let plan = Plan::builder(DataState::EncodedAgd).then(Stage::Align).build().unwrap();
+        plan.run(rt, request("prep", PlanSource::Dataset(landed)))
+            .expect("prep align")
+            .manifest
+            .expect("align updates the manifest")
+    };
+    if state == DataState::Aligned {
+        return PlanSource::Dataset(aligned);
+    }
+    let sorted = {
+        let plan = Plan::builder(DataState::Aligned).then(Stage::Sort).build().unwrap();
+        plan.run(rt, request("prep", PlanSource::Dataset(aligned)))
+            .expect("prep sort")
+            .sorted
+            .expect("sort produces a sorted manifest")
+    };
+    if state == DataState::Sorted {
+        return PlanSource::Dataset(sorted);
+    }
+    // DupMarked: dupmark rewrites results chunks in place; the sorted
+    // manifest then describes a dup-marked dataset.
+    let plan = Plan::builder(DataState::Sorted).then(Stage::Dupmark).build().unwrap();
+    plan.run(rt, request("prep", PlanSource::Dataset(sorted.clone()))).expect("prep dupmark");
+    PlanSource::Dataset(sorted)
+}
+
+/// Walks the state machine with the given random choices, producing a
+/// plan the builder must accept.
+fn random_valid_plan(input: DataState, choices: &[usize]) -> Option<Plan> {
+    let mut state = input;
+    let mut used: Vec<Stage> = Vec::new();
+    for &c in choices {
+        let eligible: Vec<Stage> =
+            Stage::ALL.iter().copied().filter(|s| s.accepts(state) && !used.contains(s)).collect();
+        if eligible.is_empty() {
+            break;
+        }
+        let stage = eligible[c % eligible.len()];
+        state = stage.output();
+        used.push(stage);
+    }
+    let mut builder = Plan::builder(input);
+    for &s in &used {
+        builder = builder.then(s);
+    }
+    builder.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The builder never panics on arbitrary compositions, and
+    /// anything it accepts is a coherent, duplicate-free state chain.
+    #[test]
+    fn builder_accepts_only_coherent_chains(
+        input_idx in 0usize..DataState::ALL.len(),
+        stage_idxs in proptest::collection::vec(0usize..Stage::ALL.len(), 0..10),
+    ) {
+        let input = DataState::ALL[input_idx];
+        let mut builder = Plan::builder(input);
+        for &i in &stage_idxs {
+            builder = builder.then(Stage::ALL[i]);
+        }
+        if let Ok(plan) = builder.build() {
+            prop_assert!(!plan.stages().is_empty());
+            let mut state = plan.input();
+            let mut seen = Vec::new();
+            for &stage in plan.stages() {
+                prop_assert!(stage.accepts(state), "{stage} cannot consume {state}");
+                prop_assert!(!seen.contains(&stage), "{stage} duplicated");
+                seen.push(stage);
+                state = stage.output();
+            }
+            prop_assert_eq!(state, plan.output());
+            // And it survives the wire unchanged.
+            let back = Plan::from_json(&plan.to_json().unwrap()).unwrap();
+            prop_assert_eq!(back, plan);
+        }
+    }
+
+    /// Any builder-accepted plan runs to completion on a real runtime
+    /// (and, with a pre-fired cancel token, cancels cleanly instead).
+    #[test]
+    fn accepted_plans_run_or_cancel_cleanly(
+        input_idx in 0usize..5, // States from which at least one stage is reachable.
+        choices in proptest::collection::vec(0usize..8, 1..7),
+        cancelled in proptest::prelude::any::<bool>(),
+    ) {
+        let input = DataState::ALL[input_idx];
+        let Some(plan) = random_valid_plan(input, &choices) else {
+            return Err(TestCaseError::reject("no stage reachable from input state"));
+        };
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+        let source = prepare_source(&rt, input);
+        if cancelled {
+            let job = JobContext::new(Priority::Normal);
+            job.cancel_token().cancel();
+            let jrt = rt.for_job(job);
+            let err = plan.run(&jrt, request("case", source)).unwrap_err();
+            prop_assert!(err.is_cancelled(), "pre-cancelled run must report Cancelled: {err}");
+        } else {
+            let report = plan.run(&rt, request("case", source)).unwrap();
+            prop_assert_eq!(report.stages.len(), plan.stages().len());
+            prop_assert_eq!(report.reads(), 80);
+            prop_assert_eq!(
+                report.sam.is_some(),
+                plan.contains(Stage::ExportSam),
+                "SAM present iff the plan exports it"
+            );
+            prop_assert_eq!(report.bam.is_some(), plan.contains(Stage::ExportBam));
+        }
+    }
+}

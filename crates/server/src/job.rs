@@ -4,25 +4,56 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use persona::runtime::PipelineReport;
+use persona::plan::{Plan, PlanReport};
 use persona_agd::manifest::Manifest;
 use persona_align::Aligner;
 use persona_dataflow::{CancelToken, Priority};
 
-/// Which stages a job runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// The two legacy canned shapes, kept briefly so existing callers can
+/// migrate one line at a time. New code builds a [`Plan`] directly.
+#[deprecated(
+    since = "0.1.0",
+    note = "compose a `persona::plan::Plan` instead (e.g. `Plan::full()` / `Plan::import_align()`)"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StagePlan {
-    /// The whole paper pipeline: import ‖ align → sort → dupmark ‖
-    /// export, producing duplicate-marked SAM plus both AGD datasets.
-    #[default]
+    /// The whole paper pipeline — now [`Plan::full`].
     Full,
-    /// Import and align only: produces an aligned AGD dataset (the
-    /// common "land the data, analyze later" ingestion shape).
+    /// Import and align only — now [`Plan::import_align`].
     ImportAlign,
 }
 
-/// A client's job submission: the dataset, the stage plan, and who is
-/// asking at what priority.
+#[allow(deprecated)]
+impl StagePlan {
+    /// The equivalent composable plan.
+    pub fn to_plan(self) -> Plan {
+        match self {
+            StagePlan::Full => Plan::full(),
+            StagePlan::ImportAlign => Plan::import_align(),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<StagePlan> for Plan {
+    fn from(plan: StagePlan) -> Plan {
+        plan.to_plan()
+    }
+}
+
+/// What a job consumes, matched against its plan's input state at
+/// submit time.
+pub enum JobInput {
+    /// Raw FASTQ bytes (plans whose input state is
+    /// [`persona::plan::DataState::Fastq`]).
+    Fastq(Vec<u8>),
+    /// An existing AGD dataset in the service's shared store (plans
+    /// starting from an encoded/aligned/sorted dataset).
+    Dataset(Manifest),
+}
+
+/// A client's job submission: the input, the composed stage plan, and
+/// who is asking at what priority.
 pub struct JobSpec {
     /// Dataset name; object names in the shared store are derived from
     /// it, so it must be unique among live jobs.
@@ -31,15 +62,17 @@ pub struct JobSpec {
     pub tenant: String,
     /// Executor dispatch priority for every batch of this job.
     pub priority: Priority,
-    /// Which stages to run.
-    pub plan: StagePlan,
-    /// The input: FASTQ bytes.
-    pub fastq: Vec<u8>,
-    /// Records per AGD chunk.
+    /// The composed stage plan to run (see [`Plan::builder`] and the
+    /// presets; a serialized plan deserializes straight into this).
+    pub plan: Plan,
+    /// The input; must match `plan.input()`.
+    pub input: JobInput,
+    /// Records per AGD chunk (FASTQ inputs only).
     pub chunk_size: usize,
-    /// The aligner resource (shared across jobs is fine and typical).
-    pub aligner: Arc<dyn Aligner>,
-    /// `(contig, length)` reference metadata for SAM export.
+    /// The aligner resource (shared across jobs is fine and typical);
+    /// required iff the plan contains an align stage.
+    pub aligner: Option<Arc<dyn Aligner>>,
+    /// `(contig, length)` reference metadata recorded at alignment.
     pub reference: Vec<(String, u64)>,
 }
 
@@ -58,15 +91,27 @@ pub enum JobStatus {
     Cancelled,
 }
 
-/// What a finished job produced.
+/// What a finished job produced. Output fields are per-plan: each is
+/// populated exactly when the plan contains the stage that produces
+/// it, never by plan-shape special cases.
 #[derive(Debug)]
 pub struct JobOutput {
-    /// Duplicate-marked SAM bytes (empty for [`StagePlan::ImportAlign`]).
+    /// Exported SAM text; non-empty iff the plan ran an `export-sam`
+    /// stage (duplicate-marked when the plan also ran `dupmark`).
     pub sam: Vec<u8>,
-    /// The aligned dataset manifest (persisted in the shared store).
-    pub manifest: Manifest,
-    /// Full per-stage report ([`StagePlan::Full`] only).
-    pub report: Option<PipelineReport>,
+    /// Exported BGZF BAM; non-empty iff the plan ran `export-bam`.
+    pub bam: Vec<u8>,
+    /// Manifest of the plan's final dataset state (sorted if the plan
+    /// sorted, else the imported/aligned dataset). `None` for plans
+    /// over an existing dataset that produced no new one — the caller
+    /// already holds the input manifest.
+    pub manifest: Option<Manifest>,
+    /// Per-stage reports for exactly the stages that ran, in plan
+    /// order. Exported payloads are *moved out* of this report into
+    /// [`JobOutput::sam`] / [`JobOutput::bam`], so `report.sam` and
+    /// `report.bam` are always `None` here — read the bytes from the
+    /// output, the timings from the report.
+    pub report: PlanReport,
     /// Reads processed.
     pub reads: u64,
     /// Time spent queued before dispatch.
@@ -107,10 +152,10 @@ impl JobOutcome {
 
 /// The parts of a spec the runner consumes when the job dispatches.
 pub(crate) struct JobPayload {
-    pub plan: StagePlan,
-    pub fastq: Vec<u8>,
+    pub plan: Plan,
+    pub input: JobInput,
     pub chunk_size: usize,
-    pub aligner: Arc<dyn Aligner>,
+    pub aligner: Option<Arc<dyn Aligner>>,
     pub reference: Vec<(String, u64)>,
 }
 
@@ -150,7 +195,7 @@ impl Job {
             done_cv: Condvar::new(),
             payload: Mutex::new(Some(JobPayload {
                 plan: spec.plan,
-                fastq: spec.fastq,
+                input: spec.input,
                 chunk_size: spec.chunk_size,
                 aligner: spec.aligner,
                 reference: spec.reference,

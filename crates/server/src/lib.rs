@@ -6,13 +6,16 @@
 //! work from shared manifest queues, and many datasets flow through the
 //! same compute at once with ≤1 % framework overhead. This crate is the
 //! service layer of that story for one node: clients submit
-//! [`JobSpec`]s (dataset + stage plan + tenant + priority) to a
-//! [`PersonaService`] and get a [`JobHandle`] with a
-//! `submit / status / wait / cancel` lifecycle, while the service
-//! multiplexes every admitted job onto **one shared
+//! [`JobSpec`]s — an input plus a **composed
+//! [`persona::plan::Plan`]** (any valid stage chain, not a fixed
+//! pipeline) plus tenant and priority — to a [`PersonaService`] and get
+//! a [`JobHandle`] with a `submit / status / wait / cancel` lifecycle,
+//! while the service multiplexes every admitted job onto **one shared
 //! [`persona::runtime::PersonaRuntime`]** — one executor owns all the
 //! cores, and each job's task batches carry its priority, cancel token
-//! and counters.
+//! and counters. Plans serialize to JSON (`Plan::to_json` /
+//! `Plan::from_json`), so a wire front end can ship exactly what
+//! `submit` consumes.
 //!
 //! Fairness is enforced at admission, not in the executor: a
 //! [`scheduler::FairScheduler`] keeps per-tenant FIFO queues (split by
@@ -26,10 +29,11 @@
 //! ```no_run
 //! use std::sync::Arc;
 //! use persona::config::PersonaConfig;
+//! use persona::plan::Plan;
 //! use persona::runtime::PersonaRuntime;
 //! use persona_agd::chunk_io::{ChunkStore, MemStore};
 //! use persona_dataflow::Priority;
-//! use persona_server::{JobSpec, PersonaService, ServiceConfig, StagePlan};
+//! use persona_server::{JobInput, JobSpec, PersonaService, ServiceConfig};
 //!
 //! let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
 //! let rt = PersonaRuntime::new(store, PersonaConfig::default()).unwrap();
@@ -40,10 +44,10 @@
 //!         name: "sample-1".into(),
 //!         tenant: "lab-a".into(),
 //!         priority: Priority::Normal,
-//!         plan: StagePlan::Full,
-//!         fastq,
+//!         plan: Plan::full(), // or any PlanBuilder composition
+//!         input: JobInput::Fastq(fastq),
 //!         chunk_size: 5_000,
-//!         aligner,
+//!         aligner: Some(aligner),
 //!         reference,
 //!     })
 //!     .unwrap();
@@ -55,7 +59,12 @@ pub mod report;
 pub mod scheduler;
 pub mod service;
 
-pub use job::{JobHandle, JobOutcome, JobOutput, JobSpec, JobStatus, StagePlan};
-pub use report::{ServiceReport, TenantReport};
+#[allow(deprecated)]
+pub use job::StagePlan;
+pub use job::{JobHandle, JobInput, JobOutcome, JobOutput, JobSpec, JobStatus};
+// The plan vocabulary, re-exported so service clients need only this
+// crate to compose, serialize and submit plans.
+pub use persona::plan::{DataState, Plan, PlanBuilder, PlanError, PlanReport, Stage};
+pub use report::{ServiceReport, StageRollup, TenantReport};
 pub use scheduler::TenantConfig;
 pub use service::{PersonaService, ServiceConfig};

@@ -2,20 +2,18 @@
 //! shared [`PersonaRuntime`].
 
 use std::collections::HashMap;
-use std::io::Cursor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use persona::pipeline::align::{align_with_runtime, finalize_manifest};
-use persona::pipeline::import::import_fastq_rt;
-use persona::runtime::{run_pipeline, JobContext, PersonaRuntime};
+use persona::plan::{PlanRequest, PlanSource, Stage};
+use persona::runtime::{JobContext, PersonaRuntime};
 use persona::{Error, Result};
 
-use crate::job::{Job, JobHandle, JobOutcome, JobOutput, JobSpec, JobStatus, StagePlan};
-use crate::report::{ServiceReport, TenantReport};
+use crate::job::{Job, JobHandle, JobInput, JobOutcome, JobOutput, JobSpec, JobStatus};
+use crate::report::{ServiceReport, StageRollup, TenantReport};
 use crate::scheduler::{FairScheduler, TenantConfig};
 
 /// Service-level knobs.
@@ -48,6 +46,10 @@ struct TenantAccum {
     busy: Duration,
     queue_wait: Duration,
     run_time: Duration,
+    /// Per-stage rollup over completed jobs: `(runs, total elapsed)`
+    /// keyed by stage name — exactly the stages this tenant's plans
+    /// actually ran.
+    stages: HashMap<&'static str, (u64, Duration)>,
 }
 
 pub(crate) struct Shared {
@@ -135,9 +137,16 @@ impl PersonaService {
         if spec.tenant.is_empty() {
             return Err(Error::Pipeline("tenant must not be empty".into()));
         }
-        if spec.chunk_size == 0 {
-            return Err(Error::Pipeline("chunk_size must be positive".into()));
+        // Plan/spec coherence is checked at admission — through the
+        // same Plan helpers Plan::run uses, so admission-time and
+        // run-time validation cannot drift — and a mismatched
+        // submission fails the caller immediately instead of failing
+        // the job after it waited out the queue.
+        match &spec.input {
+            JobInput::Fastq(_) => spec.plan.check_fastq_input(spec.chunk_size)?,
+            JobInput::Dataset(manifest) => spec.plan.check_dataset_input(manifest)?,
         }
+        spec.plan.check_resources(spec.aligner.is_some())?;
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Job::new(id, spec);
         self.shared.accum.lock().entry(job.tenant.clone()).or_default().submitted += 1;
@@ -190,6 +199,18 @@ impl PersonaService {
                     t.busy = a.busy;
                     t.queue_wait = a.queue_wait;
                     t.run_time = a.run_time;
+                    // Exactly the stages this tenant's plans ran, in
+                    // canonical pipeline order.
+                    t.stages = Stage::ALL
+                        .iter()
+                        .filter_map(|s| {
+                            a.stages.get(s.name()).map(|&(runs, elapsed)| StageRollup {
+                                stage: s.name().to_string(),
+                                runs,
+                                elapsed,
+                            })
+                        })
+                        .collect();
                 }
                 t
             })
@@ -288,48 +309,48 @@ fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
     let queue_wait = dispatched.duration_since(job.submitted);
     let started = Instant::now();
 
-    let result: Result<(Vec<u8>, persona_agd::manifest::Manifest, Option<_>, u64)> =
-        (|| match payload.plan {
-            StagePlan::Full => {
-                let mut sam = Vec::new();
-                let report = run_pipeline(
-                    &jrt,
-                    Cursor::new(payload.fastq),
-                    &job.name,
-                    payload.chunk_size,
-                    payload.aligner,
-                    &payload.reference,
-                    &mut sam,
-                )?;
-                let reads = report.import.reads;
-                Ok((sam, report.manifest.clone(), Some(report), reads))
-            }
-            StagePlan::ImportAlign => {
-                let (mut manifest, import_rep) = import_fastq_rt(
-                    &jrt,
-                    Cursor::new(payload.fastq),
-                    &job.name,
-                    payload.chunk_size,
-                    None,
-                )?;
-                let server = persona::manifest_server::ManifestServer::new(&manifest);
-                align_with_runtime(&jrt, &server, payload.aligner)?;
-                finalize_manifest(jrt.store().as_ref(), &mut manifest, &payload.reference)?;
-                Ok((Vec::new(), manifest, None, import_rep.reads))
-            }
-        })();
+    let source = match payload.input {
+        JobInput::Fastq(bytes) => PlanSource::fastq_bytes(bytes),
+        JobInput::Dataset(manifest) => PlanSource::Dataset(manifest),
+    };
+    let result = payload.plan.run(
+        &jrt,
+        PlanRequest {
+            name: job.name.clone(),
+            source,
+            chunk_size: payload.chunk_size,
+            aligner: payload.aligner,
+            reference: payload.reference,
+        },
+    );
     let elapsed = started.elapsed();
 
-    let (outcome, reads) = match result {
-        Ok((sam, manifest, report, reads)) => (
-            JobOutcome::Completed(JobOutput { sam, manifest, report, reads, queue_wait, elapsed }),
-            reads,
-        ),
+    let (outcome, reads, stage_rows) = match result {
+        Ok(mut report) => {
+            let reads = report.reads();
+            let rows = report.stage_rows();
+            let sam = report.sam.take().unwrap_or_default();
+            let bam = report.bam.take().unwrap_or_default();
+            let manifest = report.final_manifest().cloned();
+            (
+                JobOutcome::Completed(JobOutput {
+                    sam,
+                    bam,
+                    manifest,
+                    report,
+                    reads,
+                    queue_wait,
+                    elapsed,
+                }),
+                reads,
+                rows,
+            )
+        }
         // Any error after the token fired is the cancellation
         // unwinding, whatever stage happened to surface it.
-        Err(_) if job.cancel.is_cancelled() => (JobOutcome::Cancelled, 0),
-        Err(e) if e.is_cancelled() => (JobOutcome::Cancelled, 0),
-        Err(e) => (JobOutcome::Failed(e.to_string()), 0),
+        Err(_) if job.cancel.is_cancelled() => (JobOutcome::Cancelled, 0, Vec::new()),
+        Err(e) if e.is_cancelled() => (JobOutcome::Cancelled, 0, Vec::new()),
+        Err(e) => (JobOutcome::Failed(e.to_string()), 0, Vec::new()),
     };
     let status = outcome.status();
 
@@ -346,6 +367,11 @@ fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
         a.busy += Duration::from_nanos(job_counters.snapshot().busy_ns);
         a.queue_wait += queue_wait;
         a.run_time += elapsed;
+        for (stage, stage_elapsed, _) in stage_rows {
+            let (runs, total) = a.stages.entry(stage).or_insert((0, Duration::ZERO));
+            *runs += 1;
+            *total += stage_elapsed;
+        }
     }
     job.finish(outcome);
     let mut sched = shared.sched.lock();

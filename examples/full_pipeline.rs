@@ -1,9 +1,12 @@
-//! The paper's end-to-end flow on the fused runtime: FASTQ import →
-//! align → coordinate sort → duplicate marking → SAM export, all five
-//! stages scheduling compute on one shared executor, with import‖align
-//! and dupmark‖export overlapped (the Fig. 4 scenario).
+//! The paper's end-to-end flow as a composable pipeline plan: by
+//! default the full chain — FASTQ import → align → coordinate sort →
+//! duplicate marking → SAM export — with all stages scheduling compute
+//! on one shared executor and import‖align / dupmark‖export overlapped
+//! (the Fig. 4 scenario). `--plan` swaps in a partial plan so perf
+//! runs can target exactly the stages they care about.
 //!
-//! Run: `cargo run -p persona-examples --release --example full_pipeline -- [n_reads] [--threads N]`
+//! Run: `cargo run -p persona-examples --release --example full_pipeline -- \
+//!          [n_reads] [--threads N] [--plan <full|import-only|import-align|no-dupmark|from-aligned>]`
 //!
 //! `--threads N` sizes the compute executor explicitly; without it the
 //! default `PersonaConfig` (all hardware threads but one) applies.
@@ -11,14 +14,32 @@
 use std::sync::Arc;
 
 use persona::config::PersonaConfig;
-use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona::plan::{DataState, Plan, PlanReport, PlanRequest, PlanSource, StageRun, PRESET_NAMES};
+use persona::runtime::PersonaRuntime;
 use persona_agd::chunk_io::{ChunkStore, MemStore};
 use persona_examples::DemoWorld;
 use persona_formats::fastq;
 
+fn stage_detail(run: &StageRun) -> String {
+    match run {
+        StageRun::Import(r) => format!("{:.1} MB/s in", r.mb_per_sec()),
+        StageRun::Align(r) => format!(
+            "{:.1} Mbases/s, {:.1}% mapped",
+            r.mbases_per_sec(),
+            100.0 * r.mapped as f64 / r.reads.max(1) as f64
+        ),
+        StageRun::Sort(r) => format!("{} records, {} runs", r.records, r.runs),
+        StageRun::Dupmark(r) => format!("{:.0} reads/s, {} dups", r.reads_per_sec(), r.duplicates),
+        StageRun::ExportSam(r) | StageRun::ExportBam(r) => {
+            format!("{:.1} MB/s out", r.mb_per_sec())
+        }
+    }
+}
+
 fn main() {
     let mut n_reads: usize = 4_000;
     let mut threads: Option<usize> = None;
+    let mut plan_name = "full".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,9 +47,13 @@ fn main() {
                 let v = args.next().expect("--threads needs a value");
                 threads = Some(v.parse().expect("--threads must be a number"));
             }
+            "--plan" => plan_name = args.next().expect("--plan needs a value"),
             other => n_reads = other.parse().expect("n_reads must be a number"),
         }
     }
+    let plan = Plan::preset(&plan_name).unwrap_or_else(|| {
+        panic!("unknown plan `{plan_name}` (one of {})", PRESET_NAMES.join(", "))
+    });
     let world = DemoWorld::new(n_reads);
     let mut config = PersonaConfig::default();
     if let Some(t) = threads {
@@ -44,50 +69,75 @@ fn main() {
         "input: {input_mb:.1} MB FASTQ ({n_reads} reads), {} executor threads",
         rt.executor().threads()
     );
+    println!("plan:  {}", plan.describe());
 
-    let mut sam = Vec::new();
-    let report = run_pipeline(
-        &rt,
-        std::io::Cursor::new(fastq_bytes),
-        "run",
-        500,
-        world.aligner.clone(),
-        &world.reference,
-        &mut sam,
-    )
-    .expect("fused pipeline");
+    // A plan that starts from an aligned dataset needs one landed
+    // first; that preparation is not part of the measured run.
+    let source = if plan.input() == DataState::Fastq {
+        PlanSource::fastq_bytes(fastq_bytes)
+    } else {
+        let head = Plan::import_align()
+            .run(
+                &rt,
+                PlanRequest {
+                    name: "run".into(),
+                    source: PlanSource::fastq_bytes(fastq_bytes),
+                    chunk_size: 500,
+                    aligner: Some(world.aligner.clone()),
+                    reference: world.reference.clone(),
+                },
+            )
+            .expect("prepare aligned dataset");
+        println!("prep:  aligned dataset landed ({} reads)", head.reads());
+        PlanSource::Dataset(head.manifest.expect("import-align lands a dataset"))
+    };
 
-    println!("\nstage      elapsed     busy%   throughput");
-    let throughput = [
-        format!("{:.1} MB/s in", report.import.mb_per_sec()),
-        format!(
-            "{:.1} Mbases/s, {:.1}% mapped",
-            report.align.mbases_per_sec(),
-            100.0 * report.align.mapped as f64 / report.align.reads.max(1) as f64
-        ),
-        format!("{} records, {} runs", report.sort.records, report.sort.runs),
-        format!(
-            "{:.0} reads/s, {} dups",
-            report.dupmark.reads_per_sec(),
-            report.dupmark.duplicates
-        ),
-        format!("{:.1} MB/s out", report.export.mb_per_sec()),
-    ];
-    for ((stage, elapsed, busy), rate) in report.stage_rows().into_iter().zip(&throughput) {
-        println!("{stage:<10} {:>7.2}s   {:>5.1}   {rate}", elapsed.as_secs_f64(), busy * 100.0);
+    let report: PlanReport = plan
+        .run(
+            &rt,
+            PlanRequest {
+                name: "run".into(),
+                source,
+                chunk_size: 500,
+                aligner: Some(world.aligner.clone()),
+                reference: world.reference.clone(),
+            },
+        )
+        .expect("pipeline plan");
+
+    println!("\nstage       elapsed     busy%   throughput");
+    for run in &report.stages {
+        let (stage, elapsed, busy) =
+            (run.stage().name(), run.report().elapsed(), run.report().busy_fraction());
+        println!(
+            "{stage:<11} {:>7.2}s   {:>5.1}   {}",
+            elapsed.as_secs_f64(),
+            busy * 100.0,
+            stage_detail(run)
+        );
     }
     println!(
-        "\nend to end: {:.2}s for {:.1} MB ({:.1} MB/s), {:.1} MB SAM",
+        "\nend to end: {:.2}s for {:.1} MB ({:.1} MB/s)",
         report.elapsed.as_secs_f64(),
         input_mb,
         input_mb / report.elapsed.as_secs_f64(),
-        sam.len() as f64 / 1e6
     );
 
-    let header_lines = sam.split(|&b| b == b'\n').take_while(|l| l.first() == Some(&b'@')).count();
-    println!("\nSAM preview ({header_lines} header lines):");
-    for line in String::from_utf8_lossy(&sam).lines().take(6) {
-        let short: String = line.chars().take(100).collect();
-        println!("  {short}");
+    if let Some(sam) = &report.sam {
+        println!("SAM out: {:.1} MB", sam.len() as f64 / 1e6);
+        let header_lines =
+            sam.split(|&b| b == b'\n').take_while(|l| l.first() == Some(&b'@')).count();
+        println!("\nSAM preview ({header_lines} header lines):");
+        for line in String::from_utf8_lossy(sam).lines().take(6) {
+            let short: String = line.chars().take(100).collect();
+            println!("  {short}");
+        }
+    } else if let Some(m) = report.final_manifest() {
+        println!(
+            "dataset out: `{}` ({} records, {} chunks)",
+            m.name,
+            m.total_records,
+            m.records.len()
+        );
     }
 }

@@ -13,7 +13,7 @@ use persona_agd::chunk_io::{ChunkStore, MemStore};
 use persona_dataflow::Priority;
 use persona_examples::DemoWorld;
 use persona_formats::fastq;
-use persona_server::{JobSpec, PersonaService, ServiceConfig, StagePlan, TenantConfig};
+use persona_server::{JobInput, JobSpec, PersonaService, Plan, ServiceConfig, TenantConfig};
 
 fn main() {
     let n_reads: usize = std::env::args()
@@ -39,10 +39,10 @@ fn main() {
         name: name.to_string(),
         tenant: tenant.to_string(),
         priority,
-        plan: StagePlan::Full,
-        fastq: fastq_bytes.clone(),
+        plan: Plan::full(),
+        input: JobInput::Fastq(fastq_bytes.clone()),
         chunk_size: 500,
-        aligner: world.aligner.clone(),
+        aligner: Some(world.aligner.clone()),
         reference: world.reference.clone(),
     };
     let heavy: Vec<_> = (0..5)

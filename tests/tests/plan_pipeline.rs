@@ -1,0 +1,193 @@
+//! Composable plans vs the classic fixed stage chain: every preset
+//! (and a custom composition) must produce byte-identical output to
+//! running its stages separately — scheduling and composition never
+//! change results.
+
+use std::sync::Arc;
+
+use persona::config::PersonaConfig;
+use persona::pipeline::align::{align_dataset, finalize_manifest, AlignInputs};
+use persona::pipeline::export::{export_bam, export_sam};
+use persona::pipeline::import::import_fastq;
+use persona::pipeline::sort::{sort_dataset, SortKey};
+use persona::plan::{DataState, Plan, PlanRequest, PlanSource, Stage};
+use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_compress::deflate::CompressLevel;
+use persona_formats::fastq;
+use persona_integration_tests::common::Fixture;
+
+const CHUNK: usize = 150;
+
+fn runtime(store: &Arc<dyn ChunkStore>) -> Arc<PersonaRuntime> {
+    PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap()
+}
+
+fn request(fx: &Fixture, name: &str, source: PlanSource) -> PlanRequest {
+    PlanRequest {
+        name: name.to_string(),
+        source,
+        chunk_size: CHUNK,
+        aligner: Some(fx.aligner.clone()),
+        reference: fx.reference.clone(),
+    }
+}
+
+#[test]
+fn full_plan_is_byte_identical_to_run_pipeline() {
+    let fx = Fixture::new(8001, 600);
+    let fastq_bytes = fastq::to_bytes(&fx.reads);
+
+    let store_a: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let mut classic_sam = Vec::new();
+    run_pipeline(
+        &runtime(&store_a),
+        std::io::Cursor::new(fastq_bytes.clone()),
+        "eq",
+        CHUNK,
+        fx.aligner.clone(),
+        &fx.reference,
+        &mut classic_sam,
+    )
+    .unwrap();
+
+    let store_b: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let report = Plan::full()
+        .run(&runtime(&store_b), request(&fx, "eq", PlanSource::fastq_bytes(fastq_bytes)))
+        .unwrap();
+    assert_eq!(report.sam.as_deref().unwrap(), &classic_sam[..]);
+    assert_eq!(report.reads(), 600);
+    // Both stores hold byte-identical persisted manifests.
+    for obj in ["eq.manifest.json", "eq.sorted.manifest.json"] {
+        assert_eq!(store_a.get(obj).unwrap(), store_b.get(obj).unwrap(), "{obj}");
+    }
+    assert_eq!(
+        report.stage_rows().iter().map(|(s, _, _)| *s).collect::<Vec<_>>(),
+        vec!["import", "align", "sort", "dupmark", "export-sam"]
+    );
+}
+
+#[test]
+fn no_dupmark_plan_matches_separate_stages_without_dupmark() {
+    let fx = Fixture::new(8002, 500);
+    let fastq_bytes = fastq::to_bytes(&fx.reads);
+    let config = PersonaConfig::small();
+
+    // Reference: import → align → sort → export, stage by stage.
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let (mut manifest, _) =
+        import_fastq(std::io::Cursor::new(fastq_bytes.clone()), &store, "nd", CHUNK, &config)
+            .unwrap();
+    align_dataset(AlignInputs {
+        store: store.clone(),
+        manifest: &manifest,
+        aligner: fx.aligner.clone(),
+        config,
+    })
+    .unwrap();
+    finalize_manifest(store.as_ref(), &mut manifest, &fx.reference).unwrap();
+    let (sorted, _) =
+        sort_dataset(&store, &manifest, SortKey::Coordinate, "nd.sorted", &config).unwrap();
+    let mut expect_sam = Vec::new();
+    export_sam(&store, &sorted, &mut expect_sam, &config).unwrap();
+
+    let plan_store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let report = Plan::no_dupmark()
+        .run(&runtime(&plan_store), request(&fx, "nd", PlanSource::fastq_bytes(fastq_bytes)))
+        .unwrap();
+    assert_eq!(report.sam.as_deref().unwrap(), &expect_sam[..]);
+    assert!(report.stage(Stage::Dupmark).is_none());
+}
+
+#[test]
+fn from_aligned_plan_matches_the_tail_of_a_full_run() {
+    let fx = Fixture::new(8003, 500);
+    let fastq_bytes = fastq::to_bytes(&fx.reads);
+
+    // Full plan on one store.
+    let store_full: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let full = Plan::full()
+        .run(
+            &runtime(&store_full),
+            request(&fx, "fa", PlanSource::fastq_bytes(fastq_bytes.clone())),
+        )
+        .unwrap();
+
+    // Import+align on another store, then the from-aligned tail over
+    // the landed dataset.
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = runtime(&store);
+    let head = Plan::import_align()
+        .run(&rt, request(&fx, "fa", PlanSource::fastq_bytes(fastq_bytes)))
+        .unwrap();
+    assert!(head.sam.is_none());
+    let aligned = head.manifest.clone().unwrap();
+    let tail =
+        Plan::from_aligned().run(&rt, request(&fx, "fa", PlanSource::Dataset(aligned))).unwrap();
+    assert_eq!(
+        tail.sam.as_deref().unwrap(),
+        full.sam.as_deref().unwrap(),
+        "import-align + from-aligned must equal the one-shot full plan"
+    );
+    assert!(tail.manifest.is_none(), "dataset-source plans return no new primary manifest");
+    assert_eq!(tail.final_manifest().unwrap().name, "fa.sorted");
+}
+
+#[test]
+fn custom_bam_plan_matches_direct_bam_export() {
+    let fx = Fixture::new(8004, 400);
+    let fastq_bytes = fastq::to_bytes(&fx.reads);
+
+    // A custom composition no preset covers: align an existing encoded
+    // dataset and export BAM without sorting.
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = runtime(&store);
+    let landed = Plan::import_only()
+        .run(&rt, request(&fx, "cb", PlanSource::fastq_bytes(fastq_bytes)))
+        .unwrap();
+    let plan = Plan::builder(DataState::EncodedAgd)
+        .then(Stage::Align)
+        .then(Stage::ExportBam)
+        .build()
+        .unwrap();
+    let report = plan
+        .run(&rt, request(&fx, "cb", PlanSource::Dataset(landed.manifest.clone().unwrap())))
+        .unwrap();
+    let bam = report.bam.as_deref().unwrap();
+
+    // Reference: the direct single-threaded BAM export of the same
+    // (now aligned) dataset.
+    let aligned = report.manifest.clone().unwrap();
+    let mut expect = Vec::new();
+    export_bam(&store, &aligned, &mut expect, CompressLevel::Fast).unwrap();
+    assert_eq!(bam, &expect[..], "plan BAM must match direct export");
+    let parsed = persona_formats::bam::read_bam(bam).unwrap();
+    assert_eq!(parsed.records.len(), 400);
+}
+
+#[test]
+fn plan_runs_cancel_mid_flight() {
+    use persona::runtime::JobContext;
+    use persona_dataflow::Priority;
+
+    let fx = Fixture::new(8005, 400);
+    let fastq_bytes = fastq::to_bytes(&fx.reads);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = runtime(&store);
+    let job = JobContext::new(Priority::Normal);
+    let token = job.cancel_token().clone();
+    let jrt = rt.for_job(job);
+    // Cancel from a side thread shortly after the run starts.
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        token.cancel();
+    });
+    let res = Plan::full().run(&jrt, request(&fx, "cx", PlanSource::fastq_bytes(fastq_bytes)));
+    canceller.join().unwrap();
+    match res {
+        Err(e) => assert!(e.is_cancelled(), "cancelled run must surface Cancelled, got {e}"),
+        // A tiny dataset can legitimately finish before the token
+        // fires; that is also a clean outcome.
+        Ok(report) => assert_eq!(report.reads(), 400),
+    }
+}

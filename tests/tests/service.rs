@@ -16,7 +16,7 @@ use persona_dataflow::Priority;
 use persona_formats::fastq;
 use persona_integration_tests::common::Fixture;
 use persona_server::{
-    JobOutcome, JobSpec, JobStatus, PersonaService, ServiceConfig, StagePlan, TenantConfig,
+    JobInput, JobOutcome, JobSpec, JobStatus, PersonaService, Plan, ServiceConfig, TenantConfig,
 };
 
 /// An aligner that sleeps per read — makes job runtime controllable so
@@ -42,10 +42,10 @@ fn spec(fx: &Fixture, name: &str, tenant: &str, aligner: Arc<dyn Aligner>) -> Jo
         name: name.to_string(),
         tenant: tenant.to_string(),
         priority: Priority::Normal,
-        plan: StagePlan::Full,
-        fastq: fastq::to_bytes(&fx.reads),
+        plan: Plan::full(),
+        input: JobInput::Fastq(fastq::to_bytes(&fx.reads)),
         chunk_size: 100,
-        aligner,
+        aligner: Some(aligner),
         reference: fx.reference.clone(),
     }
 }
@@ -114,7 +114,7 @@ fn concurrent_jobs_across_tenants_match_sequential_runs() {
             out.sam, **reference_sam,
             "{name} ({tenant}): concurrent SAM differs from sequential run_pipeline"
         );
-        assert!(out.report.is_some());
+        assert_eq!(out.report.stage_rows().len(), 5, "full plan reports all five stages");
         assert_eq!(handle.status(), JobStatus::Completed);
     }
 
@@ -249,18 +249,213 @@ fn import_align_plan_lands_an_aligned_dataset() {
     let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
     let service = PersonaService::new(rt, ServiceConfig::default());
     let mut s = spec(&fx, "ingest", "lab-a", fx.aligner.clone());
-    s.plan = StagePlan::ImportAlign;
+    s.plan = Plan::import_align();
     let handle = service.submit(s).unwrap();
     let outcome = handle.wait();
     let out = outcome.output().expect("ingest job completes");
-    assert!(out.sam.is_empty(), "ImportAlign produces no SAM");
+    assert!(out.sam.is_empty(), "import-align produces no SAM");
     assert_eq!(out.reads, 300);
-    assert!(out.manifest.has_column(persona_agd::columns::RESULTS));
+    let manifest = out.manifest.as_ref().expect("import-align lands a dataset");
+    assert!(manifest.has_column(persona_agd::columns::RESULTS));
     // The aligned dataset is durable in the shared store.
     assert!(store.get("ingest.manifest.json").is_ok());
-    for e in &out.manifest.records {
+    for e in &manifest.records {
         assert!(store.get(&format!("{}.results", e.path)).is_ok());
     }
+    // The report covers exactly the two stages that ran.
+    let rows = out.report.stage_rows();
+    assert_eq!(
+        rows.iter().map(|(s, _, _)| *s).collect::<Vec<_>>(),
+        vec!["import", "align"],
+        "per-plan report must list exactly the stages that ran"
+    );
+    let tenant = service.report();
+    let stages = &tenant.tenant("lab-a").unwrap().stages;
+    assert_eq!(
+        stages.iter().map(|s| s.stage.as_str()).collect::<Vec<_>>(),
+        vec!["import", "align"],
+        "tenant stage rollup must cover exactly the stages that ran"
+    );
+}
+
+/// The issue's new scenarios, end to end through the service: an
+/// import-only ingest, then post-alignment processing (sort → dupmark
+/// → export) over the previously landed aligned dataset, and a
+/// skip-dupmark fast path — with the from-aligned SAM byte-identical
+/// to a one-shot full plan over the same reads.
+#[test]
+fn partial_plans_compose_across_jobs() {
+    let fx = Fixture::new(7009, 400);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(rt, ServiceConfig::default());
+
+    // Reference: the one-shot full plan.
+    let full = service.submit(spec(&fx, "whole", "lab", fx.aligner.clone())).unwrap();
+    let full_out = full.wait();
+    let full_out = full_out.output().expect("full job completes");
+
+    // Scenario 1: import-only ingest lands an encoded dataset.
+    let mut s = spec(&fx, "landed", "lab", fx.aligner.clone());
+    s.plan = Plan::import_only();
+    s.aligner = None; // No align stage -> no aligner needed.
+    let ingest = service.submit(s).unwrap();
+    let ingest_out = ingest.wait();
+    let ingest_out = ingest_out.output().expect("import-only job completes");
+    let landed = ingest_out.manifest.as_ref().expect("import lands a dataset").clone();
+    assert!(!landed.has_column(persona_agd::columns::RESULTS));
+    assert_eq!(ingest_out.reads, 400);
+    assert!(ingest_out.sam.is_empty() && ingest_out.bam.is_empty());
+
+    // Scenario 2: align the landed dataset in a separate job
+    // (align-from-existing-AGD).
+    let align_job = service
+        .submit(JobSpec {
+            name: "landed".into(),
+            tenant: "lab".into(),
+            priority: Priority::Normal,
+            plan: Plan::builder(persona_server::DataState::EncodedAgd)
+                .then(persona_server::Stage::Align)
+                .build()
+                .unwrap(),
+            input: JobInput::Dataset(landed),
+            chunk_size: 100,
+            aligner: Some(fx.aligner.clone()),
+            reference: fx.reference.clone(),
+        })
+        .unwrap();
+    let align_out = align_job.wait();
+    let align_out = align_out.output().expect("align job completes");
+    let aligned = align_out.manifest.as_ref().expect("align updates the manifest").clone();
+    assert!(aligned.has_column(persona_agd::columns::RESULTS));
+
+    // Scenario 3: sort → dupmark → export over the aligned dataset.
+    // Byte-identical to the one-shot full plan over the same reads.
+    let later = service
+        .submit(JobSpec {
+            name: "landed".into(),
+            tenant: "lab".into(),
+            priority: Priority::Normal,
+            plan: Plan::from_aligned(),
+            input: JobInput::Dataset(aligned.clone()),
+            chunk_size: 100,
+            aligner: None,
+            reference: fx.reference.clone(),
+        })
+        .unwrap();
+    let later_out = later.wait();
+    let later_out = later_out.output().expect("from-aligned job completes");
+    assert_eq!(
+        later_out.sam, full_out.sam,
+        "stitched import-only → align → from-aligned must equal the one-shot full plan"
+    );
+    assert_eq!(later_out.reads, 400);
+    assert_eq!(
+        later_out.report.stage_rows().iter().map(|(s, _, _)| *s).collect::<Vec<_>>(),
+        vec!["sort", "dupmark", "export-sam"]
+    );
+
+    // Scenario 4: the skip-dupmark fast path still sorts and exports.
+    let mut s = spec(&fx, "fast", "lab", fx.aligner.clone());
+    s.plan = Plan::no_dupmark();
+    let fast = service.submit(s).unwrap();
+    let fast_out = fast.wait();
+    let fast_out = fast_out.output().expect("no-dupmark job completes");
+    let body =
+        |sam: &[u8]| sam.split(|&b| b == b'\n').filter(|l| !l.is_empty() && l[0] != b'@').count();
+    assert_eq!(body(&fast_out.sam), 400);
+    assert!(
+        fast_out.report.stage_rows().iter().all(|(s, _, _)| *s != "dupmark"),
+        "no-dupmark plan must not run dupmark"
+    );
+    // The fast path never sets the 0x400 duplicate flag.
+    for line in String::from_utf8_lossy(&fast_out.sam).lines().filter(|l| !l.starts_with('@')) {
+        let flags: u32 = line.split('\t').nth(1).expect("FLAG field").parse().unwrap();
+        assert_eq!(flags & 0x400, 0, "skip-dupmark plan must not mark duplicates: {line}");
+    }
+}
+
+/// A serialized plan round-trips through JSON and a job submitted from
+/// the deserialized plan is byte-identical to the preset run — the
+/// wire-protocol contract.
+#[test]
+fn deserialized_plan_job_matches_preset_job() {
+    let fx = Fixture::new(7010, 300);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(rt, ServiceConfig::default());
+
+    let preset = service.submit(spec(&fx, "preset", "lab", fx.aligner.clone())).unwrap();
+    let json = Plan::full().to_json().unwrap();
+    let wire_plan = Plan::from_json(&json).unwrap();
+    assert_eq!(wire_plan, Plan::full());
+    let mut s = spec(&fx, "wire", "lab", fx.aligner.clone());
+    s.plan = wire_plan;
+    let wire = service.submit(s).unwrap();
+
+    let preset_out = preset.wait();
+    let wire_out = wire.wait();
+    assert_eq!(
+        wire_out.output().expect("wire job completes").sam,
+        preset_out.output().expect("preset job completes").sam,
+        "a job from a deserialized plan must be byte-identical to the preset run"
+    );
+}
+
+/// Cancellation must stop a *partial* plan mid-flight too, not just
+/// the full chain.
+#[test]
+fn cancel_stops_a_partial_plan_mid_flight() {
+    let fx = Fixture::new(7011, 2_000);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
+    );
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
+    let mut s = spec(&fx, "ingest", "lab", slow);
+    s.plan = Plan::import_align();
+    let victim = service.submit(s).unwrap();
+    wait_for(|| victim.status() == JobStatus::Running, "victim to dispatch");
+    let cancelled_at = Instant::now();
+    victim.cancel();
+    let outcome = victim.wait();
+    assert!(matches!(*outcome, JobOutcome::Cancelled), "got {outcome:?}");
+    let to_stop = cancelled_at.elapsed();
+    assert!(to_stop < Duration::from_secs(5), "cancel took {to_stop:?}");
+}
+
+/// Submit-time plan/spec coherence: mismatched input or a missing
+/// aligner is rejected before the job ever queues.
+#[test]
+fn submit_rejects_plan_spec_mismatches() {
+    let fx = Fixture::new(7012, 50);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(rt, ServiceConfig::default());
+
+    // Dataset input with a FASTQ plan.
+    let mut s = spec(&fx, "m1", "t", fx.aligner.clone());
+    s.input = JobInput::Dataset(persona_agd::manifest::Manifest::new("d"));
+    assert!(service.submit(s).is_err());
+    // FASTQ input with a dataset plan.
+    let mut s = spec(&fx, "m2", "t", fx.aligner.clone());
+    s.plan = Plan::from_aligned();
+    assert!(service.submit(s).is_err());
+    // Align plan without an aligner.
+    let mut s = spec(&fx, "m3", "t", fx.aligner.clone());
+    s.aligner = None;
+    assert!(service.submit(s).is_err());
+    // From-aligned plan over a manifest with no results column: the
+    // shared Plan::check_dataset_input rejects it at admission, not
+    // after the job waited out the queue.
+    let mut s = spec(&fx, "m4", "t", fx.aligner.clone());
+    s.plan = Plan::from_aligned();
+    s.input = JobInput::Dataset(persona_agd::manifest::Manifest::new("d"));
+    s.aligner = None;
+    assert!(service.submit(s).is_err());
 }
 
 #[test]
