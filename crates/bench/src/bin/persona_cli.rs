@@ -1,0 +1,328 @@
+//! `persona-cli` — the wire-protocol client harness: drive a
+//! `WireServer` over TCP and measure what the network front end costs
+//! relative to in-process submission.
+//!
+//! Default mode is a self-contained loopback benchmark: it starts a
+//! `WireServer` on an ephemeral loopback port, runs the same job mix
+//! through the in-process `PersonaService` and through N concurrent
+//! `WireClient`s across two tenants, verifies every wire job completed
+//! with the expected read count, and writes a machine-readable
+//! `BENCH_wire.json` (CI uploads it alongside `BENCH_fused.json`).
+//! The paper's overhead claim (§5.2: ≤1 % framework overhead) is the
+//! target this trajectory tracks for the service path.
+//!
+//! Run: `cargo run -p persona-bench --release --bin persona-cli -- \
+//!           [--plan <full|import-only|import-align|no-dupmark|from-aligned>] \
+//!           [--clients N] [--jobs-per-client M]`
+//! Other modes:
+//!   `--serve ADDR`  host a wire server over a synthetic world (for
+//!                   driving from another process/machine)
+//!   `--addr ADDR`   benchmark against an already-running server
+//!                   (skips the in-process baseline)
+//! Knobs: `PERSONA_BENCH_SCALE` (dataset size).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use persona::config::PersonaConfig;
+use persona::plan::{DataState, Plan, PlanRequest, PlanSource, Stage, PRESET_NAMES};
+use persona::runtime::PersonaRuntime;
+use persona::wire::{SubmitInput, WireClient, WireJobStatus, WireSubmit};
+use persona_agd::manifest::Manifest;
+use persona_bench::{mem_store, print_header, scale, World};
+use persona_dataflow::Priority;
+use persona_formats::fastq;
+use persona_server::{
+    JobInput, JobSpec, PersonaService, ServiceConfig, TenantConfig, WireServer, WireServerConfig,
+};
+
+struct Args {
+    plan_name: String,
+    clients: usize,
+    jobs_per_client: usize,
+    serve: Option<String>,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        plan_name: "full".to_string(),
+        clients: 4,
+        jobs_per_client: 2,
+        serve: None,
+        addr: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--plan" => parsed.plan_name = value("--plan"),
+            "--clients" => parsed.clients = value("--clients").parse().expect("--clients"),
+            "--jobs-per-client" => {
+                parsed.jobs_per_client = value("--jobs-per-client").parse().expect("--jobs")
+            }
+            "--serve" => parsed.serve = Some(value("--serve")),
+            "--addr" => parsed.addr = Some(value("--addr")),
+            other => panic!(
+                "unknown argument `{other}` (try --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR)",
+                PRESET_NAMES.join("|")
+            ),
+        }
+    }
+    parsed
+}
+
+/// Builds the service + wire server pair over a fresh runtime.
+fn start_server(world: &World, max_jobs: usize) -> WireServer {
+    let rt = PersonaRuntime::new(mem_store(), PersonaConfig::default()).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: max_jobs, ..ServiceConfig::default() },
+    );
+    service.set_tenant("prod", TenantConfig { weight: 2, max_in_flight: 3 });
+    service.set_tenant("batch", TenantConfig { weight: 1, max_in_flight: 3 });
+    WireServer::bind(
+        "127.0.0.1:0",
+        service,
+        WireServerConfig { aligner: Some(world.snap_aligner()) },
+    )
+    .expect("bind loopback wire server")
+}
+
+/// Lands an aligned dataset for dataset-input plans (not timed).
+fn landed_dataset(rt: &Arc<PersonaRuntime>, world: &World, fastq_bytes: &[u8]) -> Manifest {
+    Plan::import_align()
+        .run(
+            rt,
+            PlanRequest {
+                name: "landed".into(),
+                source: PlanSource::fastq_bytes(fastq_bytes.to_vec()),
+                chunk_size: 2_000,
+                aligner: Some(world.snap_aligner()),
+                reference: world.reference.clone(),
+            },
+        )
+        .expect("prepare aligned dataset")
+        .manifest
+        .expect("import-align lands a dataset")
+}
+
+fn main() {
+    let args = parse_args();
+    let sc = scale();
+    let plan = Plan::preset(&args.plan_name).unwrap_or_else(|| {
+        panic!("unknown plan `{}` (one of {})", args.plan_name, PRESET_NAMES.join(", "))
+    });
+    let reads_per_job = ((4_000.0 * sc) as usize).max(200);
+    let world = World::build((120_000.0 * sc as f64).max(40_000.0) as usize, reads_per_job, 53);
+    let fastq_bytes = fastq::to_bytes(&world.reads);
+
+    if let Some(addr) = args.serve {
+        let rt = PersonaRuntime::new(mem_store(), PersonaConfig::default()).unwrap();
+        let service = PersonaService::new(rt, ServiceConfig::default());
+        let server = WireServer::bind(
+            addr.as_str(),
+            service,
+            WireServerConfig { aligner: Some(world.snap_aligner()) },
+        )
+        .expect("bind requested address");
+        println!("persona wire server listening on {}", server.local_addr());
+        println!("aligner genome: {} bases synthetic; Ctrl-C to stop", world.genome.total_len());
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    let total_jobs = args.clients * args.jobs_per_client;
+    println!(
+        "workload: {} clients × {} jobs × {reads_per_job} reads | plan: {}",
+        args.clients,
+        args.jobs_per_client,
+        plan.describe()
+    );
+
+    // In-process baseline: the same job mix submitted directly to a
+    // PersonaService (no wire). The aligner is built once and shared,
+    // exactly like the wire server's configured aligner, so the
+    // comparison isolates the wire itself. Skipped when targeting a
+    // remote server.
+    let in_process_s = if args.addr.is_none() {
+        let rt = PersonaRuntime::new(mem_store(), PersonaConfig::default()).unwrap();
+        let service = PersonaService::new(
+            rt.clone(),
+            ServiceConfig { max_concurrent_jobs: 4, ..ServiceConfig::default() },
+        );
+        service.set_tenant("prod", TenantConfig { weight: 2, max_in_flight: 3 });
+        service.set_tenant("batch", TenantConfig { weight: 1, max_in_flight: 3 });
+        let aligner = world.snap_aligner();
+        let aligned =
+            (plan.input() != DataState::Fastq).then(|| landed_dataset(&rt, &world, &fastq_bytes));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..total_jobs)
+            .map(|k| {
+                service
+                    .submit(JobSpec {
+                        name: format!("inproc-{k}"),
+                        tenant: if k % 3 == 0 { "batch" } else { "prod" }.to_string(),
+                        priority: Priority::Normal,
+                        plan: plan.clone(),
+                        input: match &aligned {
+                            Some(m) => JobInput::Dataset(m.clone()),
+                            None => JobInput::Fastq(fastq_bytes.clone()),
+                        },
+                        chunk_size: 2_000,
+                        aligner: plan.contains(Stage::Align).then(|| aligner.clone()),
+                        reference: world.reference.clone(),
+                    })
+                    .expect("in-process submit")
+            })
+            .collect();
+        for h in &handles {
+            assert!(h.wait().output().is_some(), "in-process job {} failed", h.name());
+        }
+        Some(t0.elapsed().as_secs_f64())
+    } else {
+        None
+    };
+
+    // Wire path: the same mix through N concurrent TCP clients.
+    let (server, addr) = match &args.addr {
+        Some(addr) => (None, addr.parse::<SocketAddr>().expect("--addr host:port")),
+        None => {
+            let server = start_server(&world, 4);
+            let addr = server.local_addr();
+            (Some(server), addr)
+        }
+    };
+    // A dataset-input plan needs the dataset landed on the *server's*
+    // store; do it over the wire with an untimed import-align job.
+    let server_dataset = (plan.input() != DataState::Fastq).then(|| {
+        let mut client = WireClient::connect(addr).expect("connect for prep");
+        let job = client
+            .submit(WireSubmit {
+                name: "landed".into(),
+                tenant: "prod".into(),
+                priority: Priority::Normal,
+                plan: Plan::import_align(),
+                input: SubmitInput::Fastq(fastq_bytes.clone()),
+                chunk_size: 2_000,
+                reference: world.reference.clone(),
+            })
+            .expect("prep submit");
+        let outcome = client.wait(job).expect("prep wait");
+        assert_eq!(outcome.status, WireJobStatus::Completed, "prep job failed");
+        outcome.manifest.expect("import-align lands a dataset")
+    });
+
+    let t0 = Instant::now();
+    let per_client_reads: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let plan = plan.clone();
+                let fastq_bytes = &fastq_bytes;
+                let world = &world;
+                let server_dataset = &server_dataset;
+                let jobs = args.jobs_per_client;
+                s.spawn(move || {
+                    let mut client = WireClient::connect(addr).expect("client connect");
+                    let mut reads = 0u64;
+                    // Submit the client's whole batch first, then wait:
+                    // submissions race across clients and the service's
+                    // fair-share admission does the interleaving.
+                    let ids: Vec<u64> = (0..jobs)
+                        .map(|j| {
+                            client
+                                .submit(WireSubmit {
+                                    name: format!("wire-{c}-{j}"),
+                                    tenant: if c % 3 == 0 { "batch" } else { "prod" }.to_string(),
+                                    priority: Priority::Normal,
+                                    plan: plan.clone(),
+                                    input: match server_dataset {
+                                        Some(m) => SubmitInput::Dataset(m.clone()),
+                                        None => SubmitInput::Fastq(fastq_bytes.clone()),
+                                    },
+                                    chunk_size: 2_000,
+                                    reference: world.reference.clone(),
+                                })
+                                .expect("wire submit")
+                        })
+                        .collect();
+                    for id in ids {
+                        let outcome = client.wait(id).expect("wire wait");
+                        assert_eq!(
+                            outcome.status,
+                            WireJobStatus::Completed,
+                            "wire job {id}: {:?}",
+                            outcome.error
+                        );
+                        assert_eq!(outcome.reads, reads_per_job as u64, "wire job {id}");
+                        reads += outcome.reads;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wire_s = t0.elapsed().as_secs_f64();
+    let total_reads: u64 = per_client_reads.iter().sum();
+    assert_eq!(total_reads, (total_jobs * reads_per_job) as u64);
+
+    // Tenant accounting over the wire.
+    let mut client = WireClient::connect(addr).expect("report connect");
+    let report = client.report().expect("report");
+    print_header(
+        "Wire front end (loopback TCP, fair-share service)",
+        &["tenant", "jobs", "reads", "reads/s"],
+    );
+    for t in &report.tenants {
+        println!("{}\t{}\t{}\t{:.0}", t.tenant, t.completed, t.reads, t.reads_per_sec);
+    }
+    drop(client);
+    drop(server);
+
+    let reads_per_sec = if wire_s > 0.0 { total_reads as f64 / wire_s } else { 0.0 };
+    match in_process_s {
+        Some(base_s) => {
+            let overhead = if base_s > 0.0 { wire_s / base_s - 1.0 } else { 0.0 };
+            println!(
+                "\nin-process: {base_s:.2} s | over the wire: {wire_s:.2} s \
+                 ({:+.1}% wire overhead) | {reads_per_sec:.0} reads/s aggregate",
+                overhead * 100.0
+            );
+            write_bench_json(&args, reads_per_job, total_reads, wire_s, Some(base_s));
+        }
+        None => {
+            println!("\nover the wire: {wire_s:.2} s | {reads_per_sec:.0} reads/s aggregate");
+            write_bench_json(&args, reads_per_job, total_reads, wire_s, None);
+        }
+    }
+}
+
+/// The machine-readable trajectory point CI uploads.
+fn write_bench_json(
+    args: &Args,
+    reads_per_job: usize,
+    total_reads: u64,
+    wire_s: f64,
+    in_process_s: Option<f64>,
+) {
+    let reads_per_sec = if wire_s > 0.0 { total_reads as f64 / wire_s } else { 0.0 };
+    let (base, overhead) = match in_process_s {
+        Some(base_s) => (
+            format!("{base_s:.6}"),
+            format!("{:.6}", if base_s > 0.0 { wire_s / base_s - 1.0 } else { 0.0 }),
+        ),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let json = format!(
+        "{{\"bench\":\"wire\",\"plan\":\"{}\",\"clients\":{},\"jobs_per_client\":{},\
+         \"reads_per_job\":{reads_per_job},\"total_reads\":{total_reads},\
+         \"wire_s\":{wire_s:.6},\"in_process_s\":{base},\"wire_overhead\":{overhead},\
+         \"reads_per_sec\":{reads_per_sec:.1}}}\n",
+        args.plan_name, args.clients, args.jobs_per_client
+    );
+    std::fs::write("BENCH_wire.json", json).expect("write BENCH_wire.json");
+    println!("wrote BENCH_wire.json");
+}

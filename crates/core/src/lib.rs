@@ -33,12 +33,20 @@
 //! composition with import‖align and dupmark‖export overlapped on the
 //! same cores. [`runtime::run_pipeline`] is the canned
 //! [`plan::Plan::full`] preset.
+//!
+//! The [`wire`] module is the network face of that composition surface:
+//! a length-prefixed JSON framing layer, the [`wire::Message`]
+//! vocabulary (`submit-job`, `status`, `wait`, `cancel`, `report`, and
+//! their streamed replies), and a blocking [`wire::WireClient`]. The
+//! accept loop (`WireServer`) lives in the `persona_server` crate; the
+//! protocol itself is specified in `docs/PROTOCOL.md`.
 
 pub mod config;
 pub mod manifest_server;
 pub mod pipeline;
 pub mod plan;
 pub mod runtime;
+pub mod wire;
 
 /// Errors from Persona pipelines.
 #[derive(Debug)]

@@ -267,6 +267,24 @@ impl From<PlanError> for Error {
 /// The first invalid composition is remembered and surfaced by
 /// [`PlanBuilder::build`]; further `then` calls are no-ops after an
 /// error, so fluent chains stay readable.
+///
+/// ```
+/// use persona::plan::{DataState, Plan, PlanError, Stage};
+///
+/// // A custom shape no preset covers: align an existing encoded
+/// // dataset, sort it, export BAM — no import, no dupmark.
+/// let plan = Plan::builder(DataState::EncodedAgd)
+///     .then(Stage::Align)
+///     .then(Stage::Sort)
+///     .then(Stage::ExportBam)
+///     .build()
+///     .unwrap();
+/// assert_eq!(plan.output(), DataState::Bgzf);
+///
+/// // Invalid compositions fail at build time with a precise error.
+/// let err = Plan::builder(DataState::Fastq).then(Stage::Sort).build().unwrap_err();
+/// assert!(matches!(err, PlanError::MissingProducer { stage: Stage::Sort, .. }));
+/// ```
 #[derive(Debug, Clone)]
 pub struct PlanBuilder {
     input: DataState,
@@ -1087,6 +1105,51 @@ mod tests {
         ] {
             assert!(Plan::from_json(bad).is_err(), "must reject {bad}");
         }
+    }
+
+    /// `from_json` failure modes, distinguished: a *parse* failure
+    /// (truncated/malformed JSON), a *shape* failure (unknown stage or
+    /// state name, missing field, wrong type), and a *semantic*
+    /// failure (valid JSON whose composition the builder rejects).
+    #[test]
+    fn from_json_error_paths_are_precise() {
+        // Truncated JSON dies in the parser.
+        for truncated in [
+            r#"{"input":"fastq","stages":["import""#,
+            r#"{"input":"fastq","stages":["#,
+            r#"{"input":"fastq"#,
+            "",
+        ] {
+            let err = Plan::from_json(truncated).unwrap_err().to_string();
+            assert!(err.contains("parse plan"), "{truncated:?}: {err}");
+            assert!(!err.contains("invalid plan"), "{truncated:?} must fail as a parse: {err}");
+        }
+        // Unknown names die in the typed decode with the bad name.
+        let err = Plan::from_json(r#"{"input":"fastq","stages":["frobnicate"]}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown stage `frobnicate`"), "{err}");
+        let err =
+            Plan::from_json(r#"{"input":"warp","stages":["import"]}"#).unwrap_err().to_string();
+        assert!(err.contains("unknown dataset state `warp`"), "{err}");
+        // Missing fields and wrong shapes name the field.
+        let err = Plan::from_json(r#"{"stages":["import"]}"#).unwrap_err().to_string();
+        assert!(err.contains("missing field `input`"), "{err}");
+        let err =
+            Plan::from_json(r#"{"input":"fastq","stages":"import"}"#).unwrap_err().to_string();
+        assert!(err.contains("field `stages`"), "{err}");
+        // Valid JSON, invalid composition: the builder's diagnosis
+        // comes through verbatim.
+        let err =
+            Plan::from_json(r#"{"input":"fastq","stages":["align"]}"#).unwrap_err().to_string();
+        assert!(err.contains("invalid plan"), "{err}");
+        assert!(err.contains("needs a `encoded-agd` dataset"), "{err}");
+        let err = Plan::from_json(r#"{"input":"fastq","stages":[]}"#).unwrap_err().to_string();
+        assert!(err.contains("plan has no stages"), "{err}");
+        let err = Plan::from_json(r#"{"input":"fastq","stages":["import","import"]}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("more than once"), "{err}");
     }
 
     #[test]

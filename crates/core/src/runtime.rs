@@ -13,7 +13,8 @@
 //!
 //! [`run_pipeline`] chains all five stages end to end. Stage pairs that
 //! can overlap are connected by bounded chunk queues (streaming
-//! [`ManifestServer`]s): alignment consumes chunks while import is still
+//! [`ManifestServer`](crate::manifest_server::ManifestServer)s):
+//! alignment consumes chunks while import is still
 //! encoding later ones, and SAM formatting consumes chunks as duplicate
 //! marking finishes them — the Fig. 4 scenario of multiple kernels
 //! feeding one executor at once.

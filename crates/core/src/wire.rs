@@ -1,0 +1,1560 @@
+//! The Persona wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! The paper's deployment (§5.2) is a *served framework*: jobs arrive
+//! over the network and are scheduled onto shared compute. This module
+//! is the protocol half of that story — pure data types plus a blocking
+//! [`WireClient`] — while the accept loop lives in `persona_server`
+//! (`WireServer`), so any crate can speak the protocol without pulling
+//! in the service.
+//!
+//! # Framing
+//!
+//! Every frame is a JSON **header** describing a [`Message`] plus an
+//! optional raw binary **body** (FASTQ input, SAM/BAM output chunks),
+//! so bulk payloads never pay a text encoding:
+//!
+//! ```text
+//! ┌────────────┬────────────┬───────────────┬─────────────┐
+//! │ header_len │  body_len  │  header JSON  │    body     │
+//! │  u32 (BE)  │  u32 (BE)  │  header_len B │  body_len B │
+//! └────────────┴────────────┴───────────────┴─────────────┘
+//! ```
+//!
+//! Header and body lengths are bounded ([`MAX_HEADER_LEN`],
+//! [`MAX_BODY_LEN`]). A frame whose *lengths* are valid but whose
+//! header does not decode gets a typed [`Message::Error`] reply and the
+//! connection continues (framing is intact, so the stream can resync);
+//! a frame whose lengths are out of bounds or truncated gets a
+//! best-effort [`ErrorCode::BadFrame`] reply and the connection closes,
+//! because byte alignment is lost.
+//!
+//! # Conversation
+//!
+//! The client opens with [`Message::Hello`] and the server answers with
+//! [`Message::ServerHello`]; both carry [`PROTOCOL_VERSION`], and a
+//! mismatch is rejected with [`ErrorCode::UnsupportedVersion`]. Every
+//! request carries a client-chosen `seq`, echoed on every reply it
+//! produces, so replies (including [`Message::Wait`]'s streamed
+//! [`Message::JobEvent`] / [`Message::OutputChunk`] / [`Message::JobDone`]
+//! sequence) can be demultiplexed even when a client pipelines
+//! requests. Plans travel as their [`Plan`] JSON form and are
+//! re-validated through [`crate::plan::PlanBuilder`] during decoding,
+//! so an invalid plan can never be admitted over the wire.
+//!
+//! The full specification — every message with JSON examples, error
+//! codes, and the plan grammar — is in `docs/PROTOCOL.md`.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use persona_agd::manifest::Manifest;
+use persona_dataflow::Priority;
+use serde::{field, DeError, Deserialize, Serialize, Value};
+
+use crate::plan::Plan;
+
+/// Protocol version carried by [`Message::Hello`] / [`Message::ServerHello`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Largest accepted frame header (the JSON part). Headers are control
+/// metadata; bulk bytes belong in the body.
+pub const MAX_HEADER_LEN: usize = 4 << 20;
+
+/// Largest accepted frame body (FASTQ input or one output chunk).
+pub const MAX_BODY_LEN: usize = 256 << 20;
+
+/// Output payloads are streamed in chunks of at most this many bytes.
+pub const OUTPUT_CHUNK_LEN: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Wire enums
+// ---------------------------------------------------------------------------
+
+/// Typed error codes carried by [`Message::Error`]. The spec promises a
+/// malformed request a *typed reply*, never a silently dropped
+/// connection, so clients can distinguish "fix your frame" from "fix
+/// your plan".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Hello carried a protocol version the server does not speak.
+    UnsupportedVersion,
+    /// Frame lengths out of bounds or truncated mid-frame; byte
+    /// alignment is lost, so the connection closes after this reply.
+    BadFrame,
+    /// The frame was well-formed but its header was not valid JSON or
+    /// not a known message; the connection continues.
+    BadMessage,
+    /// A submitted plan failed re-validation through the plan builder.
+    InvalidPlan,
+    /// The request was understood but rejected (spec/plan mismatch,
+    /// missing server resource, empty name or tenant, ...).
+    InvalidRequest,
+    /// The referenced job id is not known to this server.
+    UnknownJob,
+    /// The service is shutting down and admits no new jobs.
+    Shutdown,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, in spec order.
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::UnsupportedVersion,
+        ErrorCode::BadFrame,
+        ErrorCode::BadMessage,
+        ErrorCode::InvalidPlan,
+        ErrorCode::InvalidRequest,
+        ErrorCode::UnknownJob,
+        ErrorCode::Shutdown,
+        ErrorCode::Internal,
+    ];
+
+    /// The kebab-case wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::BadMessage => "bad-message",
+            ErrorCode::InvalidPlan => "invalid-plan",
+            ErrorCode::InvalidRequest => "invalid-request",
+            ErrorCode::UnknownJob => "unknown-job",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for ErrorCode {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ErrorCode {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        match v {
+            Value::String(s) => {
+                ErrorCode::parse(s).ok_or_else(|| DeError::new(format!("unknown error code `{s}`")))
+            }
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+/// A job's lifecycle state as it appears on the wire. Mirrors the
+/// service's `JobStatus`; kept separate so the protocol crate does not
+/// depend on the service crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireJobStatus {
+    /// Admitted, waiting for a fair-share dispatch slot.
+    Queued,
+    /// Running on the shared runtime.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl WireJobStatus {
+    /// Every status, in lifecycle order.
+    pub const ALL: [WireJobStatus; 5] = [
+        WireJobStatus::Queued,
+        WireJobStatus::Running,
+        WireJobStatus::Completed,
+        WireJobStatus::Failed,
+        WireJobStatus::Cancelled,
+    ];
+
+    /// The kebab-case wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WireJobStatus::Queued => "queued",
+            WireJobStatus::Running => "running",
+            WireJobStatus::Completed => "completed",
+            WireJobStatus::Failed => "failed",
+            WireJobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<WireJobStatus> {
+        WireJobStatus::ALL.iter().copied().find(|st| st.as_str() == s)
+    }
+
+    /// Whether the status is terminal (completed / failed / cancelled).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, WireJobStatus::Queued | WireJobStatus::Running)
+    }
+}
+
+impl std::fmt::Display for WireJobStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for WireJobStatus {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for WireJobStatus {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        match v {
+            Value::String(s) => WireJobStatus::parse(s)
+                .ok_or_else(|| DeError::new(format!("unknown job status `{s}`"))),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+/// Which exported byte stream an [`Message::OutputChunk`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputStream {
+    /// SAM text (`export-sam`).
+    Sam,
+    /// BGZF BAM (`export-bam`).
+    Bam,
+}
+
+impl OutputStream {
+    /// The kebab-case wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OutputStream::Sam => "sam",
+            OutputStream::Bam => "bam",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<OutputStream> {
+        match s {
+            "sam" => Some(OutputStream::Sam),
+            "bam" => Some(OutputStream::Bam),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for OutputStream {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for OutputStream {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        match v {
+            Value::String(s) => OutputStream::parse(s)
+                .ok_or_else(|| DeError::new(format!("unknown output stream `{s}`"))),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+/// The executor-priority wire names (`low` / `normal` / `high`).
+pub fn priority_name(p: Priority) -> &'static str {
+    match p {
+        Priority::Low => "low",
+        Priority::Normal => "normal",
+        Priority::High => "high",
+    }
+}
+
+/// Parses an executor-priority wire name.
+pub fn parse_priority(s: &str) -> Option<Priority> {
+    match s {
+        "low" => Some(Priority::Low),
+        "normal" => Some(Priority::Normal),
+        "high" => Some(Priority::High),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire records
+// ---------------------------------------------------------------------------
+
+/// What a submitted job consumes. FASTQ *bytes* travel in the frame
+/// body (never inside the JSON header), so the header stays small and
+/// the payload pays no text encoding; dataset inputs name an existing
+/// dataset by shipping its manifest inline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireInput {
+    /// Raw FASTQ; the submit frame's body holds the bytes.
+    Fastq,
+    /// An existing AGD dataset in the server's shared store.
+    Dataset(Manifest),
+}
+
+impl Serialize for WireInput {
+    fn serialize(&self) -> Value {
+        match self {
+            WireInput::Fastq => Value::Object(vec![("kind".into(), Value::String("fastq".into()))]),
+            WireInput::Dataset(m) => Value::Object(vec![
+                ("kind".into(), Value::String("dataset".into())),
+                ("manifest".into(), m.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for WireInput {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        let kind: String = field::required(v, "kind")?;
+        match kind.as_str() {
+            "fastq" => Ok(WireInput::Fastq),
+            "dataset" => Ok(WireInput::Dataset(field::required(v, "manifest")?)),
+            other => Err(DeError::new(format!("unknown input kind `{other}`"))),
+        }
+    }
+}
+
+/// One executed stage's timing, as reported in [`Message::JobDone`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStageRow {
+    /// Stage wire name (`import`, `align`, ...).
+    pub stage: String,
+    /// Stage wall clock, seconds.
+    pub elapsed_s: f64,
+    /// The stage's share of executor worker time while it ran.
+    pub busy_fraction: f64,
+}
+
+impl Serialize for WireStageRow {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("stage".into(), self.stage.serialize()),
+            ("elapsed_s".into(), self.elapsed_s.serialize()),
+            ("busy_fraction".into(), self.busy_fraction.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for WireStageRow {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        Ok(WireStageRow {
+            stage: field::required(v, "stage")?,
+            elapsed_s: field::required(v, "elapsed_s")?,
+            busy_fraction: field::required(v, "busy_fraction")?,
+        })
+    }
+}
+
+/// One tenant's accounting snapshot inside [`Message::ReportReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTenant {
+    /// Tenant name.
+    pub tenant: String,
+    /// Fair-share weight in force.
+    pub weight: u32,
+    /// Jobs ever submitted.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs queued at snapshot time.
+    pub queued: u64,
+    /// Jobs running at snapshot time.
+    pub running: u64,
+    /// Reads processed by finished jobs.
+    pub reads: u64,
+    /// Throughput over finished jobs (0.0 when none ran).
+    pub reads_per_sec: f64,
+}
+
+impl Serialize for WireTenant {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("tenant".into(), self.tenant.serialize()),
+            ("weight".into(), self.weight.serialize()),
+            ("submitted".into(), self.submitted.serialize()),
+            ("completed".into(), self.completed.serialize()),
+            ("failed".into(), self.failed.serialize()),
+            ("cancelled".into(), self.cancelled.serialize()),
+            ("queued".into(), self.queued.serialize()),
+            ("running".into(), self.running.serialize()),
+            ("reads".into(), self.reads.serialize()),
+            ("reads_per_sec".into(), self.reads_per_sec.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for WireTenant {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        Ok(WireTenant {
+            tenant: field::required(v, "tenant")?,
+            weight: field::required(v, "weight")?,
+            submitted: field::required(v, "submitted")?,
+            completed: field::required(v, "completed")?,
+            failed: field::required(v, "failed")?,
+            cancelled: field::required(v, "cancelled")?,
+            queued: field::required(v, "queued")?,
+            running: field::required(v, "running")?,
+            reads: field::required(v, "reads")?,
+            reads_per_sec: field::required(v, "reads_per_sec")?,
+        })
+    }
+}
+
+/// The service snapshot carried by [`Message::ReportReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReport {
+    /// Service uptime, seconds.
+    pub elapsed_s: f64,
+    /// Executor worker threads.
+    pub workers: u64,
+    /// Per-tenant accounting, in tenant registration order.
+    pub tenants: Vec<WireTenant>,
+}
+
+impl Serialize for WireReport {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("elapsed_s".into(), self.elapsed_s.serialize()),
+            ("workers".into(), self.workers.serialize()),
+            ("tenants".into(), self.tenants.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for WireReport {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        Ok(WireReport {
+            elapsed_s: field::required(v, "elapsed_s")?,
+            workers: field::required(v, "workers")?,
+            tenants: field::required(v, "tenants")?,
+        })
+    }
+}
+
+fn reference_to_value(reference: &[(String, u64)]) -> Value {
+    Value::Array(
+        reference
+            .iter()
+            .map(|(name, length)| {
+                Value::Object(vec![
+                    ("name".into(), name.serialize()),
+                    ("length".into(), length.serialize()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn reference_from_value(v: &Value) -> std::result::Result<Vec<(String, u64)>, DeError> {
+    match v {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| Ok((field::required(item, "name")?, field::required(item, "length")?)))
+            .collect(),
+        other => Err(DeError::new(format!("expected array, found {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Every message that can appear in a frame header, tagged on the wire
+/// by its `"type"` field. `seq` is the client-chosen correlation id,
+/// echoed on every reply the request produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server, first frame of a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Server → client, reply to a version-compatible [`Message::Hello`].
+    ServerHello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Client → server: admit a job. FASTQ inputs put the bytes in the
+    /// frame body; dataset inputs ship the manifest inline and an empty
+    /// body.
+    SubmitJob {
+        /// Correlation id.
+        seq: u64,
+        /// Dataset name (unique among live jobs).
+        name: String,
+        /// The submitting tenant.
+        tenant: String,
+        /// Executor dispatch priority.
+        priority: Priority,
+        /// The composed plan; re-validated during decoding.
+        plan: Plan,
+        /// The input kind.
+        input: WireInput,
+        /// Records per AGD chunk (FASTQ inputs only).
+        chunk_size: u64,
+        /// `(contig, length)` reference metadata recorded at alignment.
+        reference: Vec<(String, u64)>,
+    },
+    /// Server → client: the job was admitted.
+    JobAccepted {
+        /// Correlation id of the submit.
+        seq: u64,
+        /// Service-assigned job id (global across connections).
+        job_id: u64,
+    },
+    /// Client → server: poll one job's lifecycle state.
+    Status {
+        /// Correlation id.
+        seq: u64,
+        /// The job to poll.
+        job_id: u64,
+    },
+    /// Server → client: reply to [`Message::Status`].
+    JobStatus {
+        /// Correlation id of the request.
+        seq: u64,
+        /// The polled job.
+        job_id: u64,
+        /// Its current state.
+        status: WireJobStatus,
+    },
+    /// Client → server: stream the job's progress and, once terminal,
+    /// its outputs. Replies: one or more [`Message::JobEvent`]s, then
+    /// [`Message::OutputChunk`]s for each non-empty output stream, then
+    /// exactly one [`Message::JobDone`].
+    Wait {
+        /// Correlation id.
+        seq: u64,
+        /// The job to wait on.
+        job_id: u64,
+    },
+    /// Server → client: a lifecycle transition observed during
+    /// [`Message::Wait`].
+    JobEvent {
+        /// Correlation id of the wait.
+        seq: u64,
+        /// The watched job.
+        job_id: u64,
+        /// The state it reached.
+        status: WireJobStatus,
+    },
+    /// Server → client: one chunk of an output stream; the bytes are
+    /// the frame body. Chunks of one stream arrive in `index` order;
+    /// the final chunk has `last == true`.
+    OutputChunk {
+        /// Correlation id of the wait.
+        seq: u64,
+        /// The producing job.
+        job_id: u64,
+        /// Which output stream this chunk extends.
+        stream: OutputStream,
+        /// Zero-based chunk index within the stream.
+        index: u64,
+        /// Whether this is the stream's final chunk.
+        last: bool,
+    },
+    /// Server → client: terminal reply to [`Message::Wait`].
+    JobDone {
+        /// Correlation id of the wait.
+        seq: u64,
+        /// The finished job.
+        job_id: u64,
+        /// Terminal state (`completed` / `failed` / `cancelled`).
+        status: WireJobStatus,
+        /// The failure message when `status == failed`.
+        error: Option<String>,
+        /// Reads processed.
+        reads: u64,
+        /// Time queued before dispatch, seconds.
+        queue_wait_s: f64,
+        /// Wall-clock run time, seconds.
+        elapsed_s: f64,
+        /// Per-stage timings for exactly the stages that ran.
+        stages: Vec<WireStageRow>,
+        /// Manifest of the plan's final dataset state, when one exists.
+        manifest: Option<Manifest>,
+    },
+    /// Client → server: request cooperative cancellation of a job.
+    Cancel {
+        /// Correlation id.
+        seq: u64,
+        /// The job to cancel.
+        job_id: u64,
+    },
+    /// Server → client: the cancellation request was delivered (the
+    /// job's terminal state still arrives through `wait`/`status`).
+    CancelOk {
+        /// Correlation id of the cancel.
+        seq: u64,
+        /// The cancelled job.
+        job_id: u64,
+    },
+    /// Client → server: request a service accounting snapshot.
+    Report {
+        /// Correlation id.
+        seq: u64,
+    },
+    /// Server → client: reply to [`Message::Report`].
+    ReportReply {
+        /// Correlation id of the request.
+        seq: u64,
+        /// The snapshot.
+        report: WireReport,
+    },
+    /// Server → client: a typed error. `seq` echoes the offending
+    /// request when attributable, else 0.
+    Error {
+        /// Correlation id of the offending request, or 0.
+        seq: u64,
+        /// What went wrong, as a machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Message {
+    /// The message's `"type"` tag.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::ServerHello { .. } => "server-hello",
+            Message::SubmitJob { .. } => "submit-job",
+            Message::JobAccepted { .. } => "job-accepted",
+            Message::Status { .. } => "status",
+            Message::JobStatus { .. } => "job-status",
+            Message::Wait { .. } => "wait",
+            Message::JobEvent { .. } => "job-event",
+            Message::OutputChunk { .. } => "output-chunk",
+            Message::JobDone { .. } => "job-done",
+            Message::Cancel { .. } => "cancel",
+            Message::CancelOk { .. } => "cancel-ok",
+            Message::Report { .. } => "report",
+            Message::ReportReply { .. } => "report-reply",
+            Message::Error { .. } => "error",
+        }
+    }
+
+    /// The message's correlation id (0 for the hello pair, which has
+    /// none).
+    pub fn seq(&self) -> u64 {
+        match self {
+            Message::Hello { .. } | Message::ServerHello { .. } => 0,
+            Message::SubmitJob { seq, .. }
+            | Message::JobAccepted { seq, .. }
+            | Message::Status { seq, .. }
+            | Message::JobStatus { seq, .. }
+            | Message::Wait { seq, .. }
+            | Message::JobEvent { seq, .. }
+            | Message::OutputChunk { seq, .. }
+            | Message::JobDone { seq, .. }
+            | Message::Cancel { seq, .. }
+            | Message::CancelOk { seq, .. }
+            | Message::Report { seq }
+            | Message::ReportReply { seq, .. }
+            | Message::Error { seq, .. } => *seq,
+        }
+    }
+}
+
+impl Serialize for Message {
+    fn serialize(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("type".into(), Value::String(self.type_name().into()))];
+        match self {
+            Message::Hello { version } | Message::ServerHello { version } => {
+                fields.push(("version".into(), version.serialize()));
+            }
+            Message::SubmitJob {
+                seq,
+                name,
+                tenant,
+                priority,
+                plan,
+                input,
+                chunk_size,
+                reference,
+            } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("name".into(), name.serialize()));
+                fields.push(("tenant".into(), tenant.serialize()));
+                fields.push(("priority".into(), Value::String(priority_name(*priority).into())));
+                fields.push(("plan".into(), plan.serialize()));
+                fields.push(("input".into(), input.serialize()));
+                fields.push(("chunk_size".into(), chunk_size.serialize()));
+                fields.push(("reference".into(), reference_to_value(reference)));
+            }
+            Message::JobAccepted { seq, job_id }
+            | Message::CancelOk { seq, job_id }
+            | Message::Status { seq, job_id }
+            | Message::Wait { seq, job_id }
+            | Message::Cancel { seq, job_id } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("job_id".into(), job_id.serialize()));
+            }
+            Message::JobStatus { seq, job_id, status }
+            | Message::JobEvent { seq, job_id, status } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("job_id".into(), job_id.serialize()));
+                fields.push(("status".into(), status.serialize()));
+            }
+            Message::OutputChunk { seq, job_id, stream, index, last } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("job_id".into(), job_id.serialize()));
+                fields.push(("stream".into(), stream.serialize()));
+                fields.push(("index".into(), index.serialize()));
+                fields.push(("last".into(), last.serialize()));
+            }
+            Message::JobDone {
+                seq,
+                job_id,
+                status,
+                error,
+                reads,
+                queue_wait_s,
+                elapsed_s,
+                stages,
+                manifest,
+            } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("job_id".into(), job_id.serialize()));
+                fields.push(("status".into(), status.serialize()));
+                fields.push(("error".into(), error.serialize()));
+                fields.push(("reads".into(), reads.serialize()));
+                fields.push(("queue_wait_s".into(), queue_wait_s.serialize()));
+                fields.push(("elapsed_s".into(), elapsed_s.serialize()));
+                fields.push(("stages".into(), stages.serialize()));
+                fields.push(("manifest".into(), manifest.serialize()));
+            }
+            Message::Report { seq } => {
+                fields.push(("seq".into(), seq.serialize()));
+            }
+            Message::ReportReply { seq, report } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("report".into(), report.serialize()));
+            }
+            Message::Error { seq, code, message } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("code".into(), code.serialize()));
+                fields.push(("message".into(), message.serialize()));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Message {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        let ty: String = field::required(v, "type")?;
+        let seq = || field::required::<u64>(v, "seq");
+        let job_id = || field::required::<u64>(v, "job_id");
+        match ty.as_str() {
+            "hello" => Ok(Message::Hello { version: field::required(v, "version")? }),
+            "server-hello" => Ok(Message::ServerHello { version: field::required(v, "version")? }),
+            "submit-job" => {
+                let priority_s: String = field::required(v, "priority")?;
+                let priority = parse_priority(&priority_s)
+                    .ok_or_else(|| DeError::new(format!("unknown priority `{priority_s}`")))?;
+                Ok(Message::SubmitJob {
+                    seq: seq()?,
+                    name: field::required(v, "name")?,
+                    tenant: field::required(v, "tenant")?,
+                    priority,
+                    plan: field::required(v, "plan")?,
+                    input: field::required(v, "input")?,
+                    chunk_size: field::required(v, "chunk_size")?,
+                    reference: reference_from_value(
+                        v.get("reference").unwrap_or(&Value::Array(Vec::new())),
+                    )
+                    .map_err(|e| DeError::new(format!("field `reference`: {e}")))?,
+                })
+            }
+            "job-accepted" => Ok(Message::JobAccepted { seq: seq()?, job_id: job_id()? }),
+            "status" => Ok(Message::Status { seq: seq()?, job_id: job_id()? }),
+            "job-status" => Ok(Message::JobStatus {
+                seq: seq()?,
+                job_id: job_id()?,
+                status: field::required(v, "status")?,
+            }),
+            "wait" => Ok(Message::Wait { seq: seq()?, job_id: job_id()? }),
+            "job-event" => Ok(Message::JobEvent {
+                seq: seq()?,
+                job_id: job_id()?,
+                status: field::required(v, "status")?,
+            }),
+            "output-chunk" => Ok(Message::OutputChunk {
+                seq: seq()?,
+                job_id: job_id()?,
+                stream: field::required(v, "stream")?,
+                index: field::required(v, "index")?,
+                last: field::required(v, "last")?,
+            }),
+            "job-done" => Ok(Message::JobDone {
+                seq: seq()?,
+                job_id: job_id()?,
+                status: field::required(v, "status")?,
+                error: field::defaulted(v, "error")?,
+                reads: field::required(v, "reads")?,
+                queue_wait_s: field::required(v, "queue_wait_s")?,
+                elapsed_s: field::required(v, "elapsed_s")?,
+                stages: field::required(v, "stages")?,
+                manifest: field::defaulted(v, "manifest")?,
+            }),
+            "cancel" => Ok(Message::Cancel { seq: seq()?, job_id: job_id()? }),
+            "cancel-ok" => Ok(Message::CancelOk { seq: seq()?, job_id: job_id()? }),
+            "report" => Ok(Message::Report { seq: seq()? }),
+            "report-reply" => {
+                Ok(Message::ReportReply { seq: seq()?, report: field::required(v, "report")? })
+            }
+            "error" => Ok(Message::Error {
+                seq: seq()?,
+                code: field::required(v, "code")?,
+                message: field::required(v, "message")?,
+            }),
+            other => Err(DeError::new(format!("unknown message type `{other}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Declared header length exceeds [`MAX_HEADER_LEN`].
+    HeaderOversize(usize),
+    /// Declared body length exceeds [`MAX_BODY_LEN`].
+    BodyOversize(usize),
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The header bytes were not valid JSON. The frame's *lengths* were
+    /// honored, so the stream stays aligned and the connection can
+    /// continue.
+    BadJson(String),
+}
+
+impl FrameError {
+    /// Whether byte alignment is lost (the connection must close).
+    /// [`FrameError::BadJson`] is non-fatal: the declared lengths were
+    /// consumed exactly, so the next frame starts where expected.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, FrameError::BadJson(_))
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io: {e}"),
+            FrameError::HeaderOversize(n) => {
+                write!(f, "frame header of {n} bytes exceeds the {MAX_HEADER_LEN} byte limit")
+            }
+            FrameError::BodyOversize(n) => {
+                write!(f, "frame body of {n} bytes exceeds the {MAX_BODY_LEN} byte limit")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::BadJson(e) => write!(f, "frame header is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// A frame as read off the wire: the parsed header [`Value`] plus the
+/// raw body. Keeping the header as a `Value` (rather than a typed
+/// [`Message`]) lets a server extract `seq` and `type` for error
+/// attribution even when the typed decode fails.
+#[derive(Debug)]
+pub struct RawFrame {
+    /// The parsed JSON header.
+    pub header: Value,
+    /// The raw body bytes (often empty).
+    pub body: Vec<u8>,
+}
+
+impl RawFrame {
+    /// Reads one frame. `Ok(None)` is a clean end of stream (EOF at a
+    /// frame boundary); EOF mid-frame is [`FrameError::Truncated`].
+    pub fn read_from(r: &mut impl Read) -> std::result::Result<Option<RawFrame>, FrameError> {
+        let mut len_buf = [0u8; 8];
+        match read_exact_or_eof(r, &mut len_buf)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Full => {}
+        }
+        let header_len = u32::from_be_bytes(len_buf[0..4].try_into().unwrap()) as usize;
+        let body_len = u32::from_be_bytes(len_buf[4..8].try_into().unwrap()) as usize;
+        if header_len > MAX_HEADER_LEN {
+            return Err(FrameError::HeaderOversize(header_len));
+        }
+        if body_len > MAX_BODY_LEN {
+            return Err(FrameError::BodyOversize(body_len));
+        }
+        let header_bytes = read_len_prefixed(r, header_len)?;
+        let body = read_len_prefixed(r, body_len)?;
+        let text = std::str::from_utf8(&header_bytes)
+            .map_err(|e| FrameError::BadJson(format!("header is not UTF-8: {e}")))?;
+        match serde_json::parse_value(text) {
+            Ok(header) => Ok(Some(RawFrame { header, body })),
+            Err(e) => Err(FrameError::BadJson(e.to_string())),
+        }
+    }
+
+    /// The frame's correlation id, when its header carries one.
+    pub fn seq(&self) -> u64 {
+        match self.header.get("seq") {
+            Some(Value::Int(i)) => u64::try_from(*i).unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// The frame's `"type"` tag, when its header carries one.
+    pub fn msg_type(&self) -> Option<&str> {
+        match self.header.get("type") {
+            Some(Value::String(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Decodes the typed message.
+    pub fn message(&self) -> std::result::Result<Message, DeError> {
+        Message::deserialize(&self.header)
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing EOF-before-anything
+/// (clean close) from EOF mid-buffer (truncated frame).
+fn read_exact_or_eof(
+    r: &mut impl Read,
+    buf: &mut [u8],
+) -> std::result::Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 { Ok(ReadOutcome::Eof) } else { Err(FrameError::Truncated) }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Reads exactly `len` bytes into a buffer that grows as bytes
+/// actually arrive (≤ 256 KiB at a time) instead of allocating `len`
+/// up front: the length fields are peer-controlled, and a peer that
+/// declares a 256 MiB body it never sends must not pin 256 MiB of
+/// zeroed heap on a blocked reader.
+fn read_len_prefixed(r: &mut impl Read, len: usize) -> std::result::Result<Vec<u8>, FrameError> {
+    const STEP: usize = 256 << 10;
+    let mut buf = Vec::with_capacity(len.min(STEP));
+    while buf.len() < len {
+        let start = buf.len();
+        let chunk = (len - start).min(STEP);
+        buf.resize(start + chunk, 0);
+        read_fully(r, &mut buf[start..])?;
+    }
+    Ok(buf)
+}
+
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> std::result::Result<(), FrameError> {
+    match read_exact_or_eof(r, buf)? {
+        ReadOutcome::Full => Ok(()),
+        ReadOutcome::Eof => {
+            if buf.is_empty() {
+                Ok(())
+            } else {
+                Err(FrameError::Truncated)
+            }
+        }
+    }
+}
+
+/// Writes one frame (header lengths + JSON header + body) and flushes.
+pub fn write_frame(w: &mut impl Write, message: &Message, body: &[u8]) -> io::Result<()> {
+    let header = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let header_bytes = header.as_bytes();
+    if header_bytes.len() > MAX_HEADER_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame header too large"));
+    }
+    if body.len() > MAX_BODY_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame body too large"));
+    }
+    // Lengths + header go out as one small buffer; the body (which can
+    // be hundreds of MiB of FASTQ) is written directly, never copied.
+    let mut prefix = Vec::with_capacity(8 + header_bytes.len());
+    prefix.extend_from_slice(&(header_bytes.len() as u32).to_be_bytes());
+    prefix.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    prefix.extend_from_slice(header_bytes);
+    w.write_all(&prefix)?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads and decodes one typed message frame. `Ok(None)` is a clean end
+/// of stream; a frame whose header decodes to no known [`Message`]
+/// surfaces as [`FrameError::BadJson`]'s typed sibling, a
+/// [`FrameError::BadJson`] with the decode detail.
+pub fn read_message(
+    r: &mut impl Read,
+) -> std::result::Result<Option<(Message, Vec<u8>)>, FrameError> {
+    match RawFrame::read_from(r)? {
+        None => Ok(None),
+        Some(raw) => match raw.message() {
+            Ok(msg) => Ok(Some((msg, raw.body))),
+            Err(e) => Err(FrameError::BadJson(e.to_string())),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// What went wrong on the client side of a wire conversation.
+#[derive(Debug)]
+pub enum WireClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Framing failure (oversize, truncated, undecodable reply).
+    Frame(FrameError),
+    /// The server replied with a typed [`Message::Error`].
+    Remote {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server replied with a message the client did not expect at
+    /// this point in the conversation.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireClientError::Io(e) => write!(f, "wire io: {e}"),
+            WireClientError::Frame(e) => write!(f, "wire frame: {e}"),
+            WireClientError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            WireClientError::Protocol(what) => write!(f, "wire protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireClientError {}
+
+impl From<io::Error> for WireClientError {
+    fn from(e: io::Error) -> Self {
+        WireClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for WireClientError {
+    fn from(e: FrameError) -> Self {
+        WireClientError::Frame(e)
+    }
+}
+
+/// Client-side result alias.
+pub type WireResult<T> = std::result::Result<T, WireClientError>;
+
+/// A job submission as the client API sees it; [`WireClient::submit`]
+/// turns it into a [`Message::SubmitJob`] frame (FASTQ bytes into the
+/// body, manifest inline).
+pub struct WireSubmit {
+    /// Dataset name (unique among live jobs on the server).
+    pub name: String,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Executor dispatch priority.
+    pub priority: Priority,
+    /// The composed plan.
+    pub plan: Plan,
+    /// The input.
+    pub input: SubmitInput,
+    /// Records per AGD chunk (FASTQ inputs only).
+    pub chunk_size: usize,
+    /// `(contig, length)` reference metadata recorded at alignment.
+    pub reference: Vec<(String, u64)>,
+}
+
+/// The client-side input to a [`WireSubmit`].
+pub enum SubmitInput {
+    /// Raw FASTQ bytes, shipped as the submit frame's body.
+    Fastq(Vec<u8>),
+    /// An existing dataset on the server, named by its manifest.
+    Dataset(Manifest),
+}
+
+/// A finished job as assembled from the server's `wait` stream:
+/// reassembled output bytes plus the [`Message::JobDone`] statistics.
+#[derive(Debug)]
+pub struct WireOutcome {
+    /// Terminal state.
+    pub status: WireJobStatus,
+    /// The failure message when `status == failed`.
+    pub error: Option<String>,
+    /// Reassembled SAM bytes (empty unless the plan exported SAM).
+    pub sam: Vec<u8>,
+    /// Reassembled BGZF BAM bytes (empty unless the plan exported BAM).
+    pub bam: Vec<u8>,
+    /// Manifest of the plan's final dataset state, when one exists.
+    pub manifest: Option<Manifest>,
+    /// Reads processed.
+    pub reads: u64,
+    /// Time queued before dispatch, seconds.
+    pub queue_wait_s: f64,
+    /// Wall-clock run time, seconds.
+    pub elapsed_s: f64,
+    /// Per-stage timings for exactly the stages that ran.
+    pub stages: Vec<WireStageRow>,
+    /// Lifecycle transitions streamed before completion.
+    pub events: Vec<WireJobStatus>,
+}
+
+/// A blocking client for the Persona wire protocol: one TCP connection,
+/// one outstanding request at a time. [`WireClient::connect`] performs
+/// the hello handshake; every method sends one request and consumes its
+/// reply (for [`WireClient::wait`], the whole streamed reply sequence).
+///
+/// ```no_run
+/// use persona::plan::Plan;
+/// use persona::wire::{SubmitInput, WireClient, WireSubmit};
+/// use persona_dataflow::Priority;
+///
+/// let mut client = WireClient::connect("127.0.0.1:7117")?;
+/// let job = client.submit(WireSubmit {
+///     name: "sample-1".into(),
+///     tenant: "lab-a".into(),
+///     priority: Priority::Normal,
+///     plan: Plan::full(),
+///     input: SubmitInput::Fastq(std::fs::read("sample.fastq")?),
+///     chunk_size: 5_000,
+///     reference: vec![("chr1".into(), 248_956_422)],
+/// })?;
+/// let outcome = client.wait(job)?;
+/// std::fs::write("sample.sam", &outcome.sam)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_seq: u64,
+}
+
+impl WireClient {
+    /// Connects and performs the [`Message::Hello`] handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> WireResult<WireClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = WireClient { reader, writer, next_seq: 1 };
+        write_frame(&mut client.writer, &Message::Hello { version: PROTOCOL_VERSION }, &[])?;
+        match client.read_reply()? {
+            (Message::ServerHello { version }, _) if version == PROTOCOL_VERSION => Ok(client),
+            (Message::ServerHello { version }, _) => Err(WireClientError::Protocol(format!(
+                "server speaks protocol version {version}, client speaks {PROTOCOL_VERSION}"
+            ))),
+            (other, _) => Err(WireClientError::Protocol(format!(
+                "expected server-hello, got `{}`",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Submits a job; returns the server-assigned job id.
+    pub fn submit(&mut self, submit: WireSubmit) -> WireResult<u64> {
+        let seq = self.bump_seq();
+        let (input, body) = match submit.input {
+            SubmitInput::Fastq(bytes) => (WireInput::Fastq, bytes),
+            SubmitInput::Dataset(manifest) => (WireInput::Dataset(manifest), Vec::new()),
+        };
+        let msg = Message::SubmitJob {
+            seq,
+            name: submit.name,
+            tenant: submit.tenant,
+            priority: submit.priority,
+            plan: submit.plan,
+            input,
+            chunk_size: submit.chunk_size as u64,
+            reference: submit.reference,
+        };
+        write_frame(&mut self.writer, &msg, &body)?;
+        match self.read_reply()? {
+            (Message::JobAccepted { seq: s, job_id }, _) if s == seq => Ok(job_id),
+            (other, _) => Err(self.unexpected("job-accepted", other)),
+        }
+    }
+
+    /// Polls a job's lifecycle state.
+    pub fn status(&mut self, job_id: u64) -> WireResult<WireJobStatus> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::Status { seq, job_id }, &[])?;
+        match self.read_reply()? {
+            (Message::JobStatus { seq: s, status, .. }, _) if s == seq => Ok(status),
+            (other, _) => Err(self.unexpected("job-status", other)),
+        }
+    }
+
+    /// Blocks until the job is terminal, consuming the streamed
+    /// `job-event` / `output-chunk` / `job-done` reply sequence, and
+    /// returns the reassembled outcome.
+    pub fn wait(&mut self, job_id: u64) -> WireResult<WireOutcome> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::Wait { seq, job_id }, &[])?;
+        let mut sam = Vec::new();
+        let mut bam = Vec::new();
+        // Next expected chunk index per stream: a duplicate, skipped or
+        // reordered chunk would silently corrupt the reassembled bytes,
+        // so any index mismatch fails the wait instead.
+        let mut next_index = [0u64; 2];
+        let mut events = Vec::new();
+        loop {
+            match self.read_reply()? {
+                (Message::JobEvent { seq: s, status, .. }, _) if s == seq => events.push(status),
+                (Message::OutputChunk { seq: s, stream, index, .. }, body) if s == seq => {
+                    let (buf, next) = match stream {
+                        OutputStream::Sam => (&mut sam, &mut next_index[0]),
+                        OutputStream::Bam => (&mut bam, &mut next_index[1]),
+                    };
+                    if index != *next {
+                        return Err(WireClientError::Protocol(format!(
+                            "output chunk {index} of `{}` arrived out of order (expected {})",
+                            stream.as_str(),
+                            *next
+                        )));
+                    }
+                    *next += 1;
+                    buf.extend_from_slice(&body);
+                }
+                (
+                    Message::JobDone {
+                        seq: s,
+                        status,
+                        error,
+                        reads,
+                        queue_wait_s,
+                        elapsed_s,
+                        stages,
+                        manifest,
+                        ..
+                    },
+                    _,
+                ) if s == seq => {
+                    return Ok(WireOutcome {
+                        status,
+                        error,
+                        sam,
+                        bam,
+                        manifest,
+                        reads,
+                        queue_wait_s,
+                        elapsed_s,
+                        stages,
+                        events,
+                    })
+                }
+                (other, _) => return Err(self.unexpected("wait stream", other)),
+            }
+        }
+    }
+
+    /// Requests cooperative cancellation of a job.
+    pub fn cancel(&mut self, job_id: u64) -> WireResult<()> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::Cancel { seq, job_id }, &[])?;
+        match self.read_reply()? {
+            (Message::CancelOk { seq: s, .. }, _) if s == seq => Ok(()),
+            (other, _) => Err(self.unexpected("cancel-ok", other)),
+        }
+    }
+
+    /// Fetches a service accounting snapshot.
+    pub fn report(&mut self) -> WireResult<WireReport> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::Report { seq }, &[])?;
+        match self.read_reply()? {
+            (Message::ReportReply { seq: s, report }, _) if s == seq => Ok(report),
+            (other, _) => Err(self.unexpected("report-reply", other)),
+        }
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Reads one reply frame, turning server `error` messages into
+    /// [`WireClientError::Remote`] and EOF into a protocol error.
+    fn read_reply(&mut self) -> WireResult<(Message, Vec<u8>)> {
+        match read_message(&mut self.reader)? {
+            Some((Message::Error { code, message, .. }, _)) => {
+                Err(WireClientError::Remote { code, message })
+            }
+            Some(reply) => Ok(reply),
+            None => Err(WireClientError::Protocol("server closed the connection".into())),
+        }
+    }
+
+    fn unexpected(&self, wanted: &str, got: Message) -> WireClientError {
+        WireClientError::Protocol(format!("expected {wanted}, got `{}`", got.type_name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Message, body: &[u8]) -> (Message, Vec<u8>) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, msg, body).unwrap();
+        let (back, back_body) = read_message(&mut wire.as_slice()).unwrap().unwrap();
+        (back, back_body)
+    }
+
+    #[test]
+    fn every_message_variant_round_trips() {
+        let manifest = Manifest::new("ds");
+        let messages = vec![
+            Message::Hello { version: PROTOCOL_VERSION },
+            Message::ServerHello { version: PROTOCOL_VERSION },
+            Message::SubmitJob {
+                seq: 1,
+                name: "s".into(),
+                tenant: "t".into(),
+                priority: Priority::High,
+                plan: Plan::full(),
+                input: WireInput::Fastq,
+                chunk_size: 5_000,
+                reference: vec![("chr1".into(), 1_000)],
+            },
+            Message::SubmitJob {
+                seq: 2,
+                name: "s2".into(),
+                tenant: "t".into(),
+                priority: Priority::Low,
+                plan: Plan::from_aligned(),
+                input: WireInput::Dataset(manifest.clone()),
+                chunk_size: 100,
+                reference: vec![],
+            },
+            Message::JobAccepted { seq: 1, job_id: 7 },
+            Message::Status { seq: 3, job_id: 7 },
+            Message::JobStatus { seq: 3, job_id: 7, status: WireJobStatus::Running },
+            Message::Wait { seq: 4, job_id: 7 },
+            Message::JobEvent { seq: 4, job_id: 7, status: WireJobStatus::Completed },
+            Message::OutputChunk {
+                seq: 4,
+                job_id: 7,
+                stream: OutputStream::Sam,
+                index: 2,
+                last: true,
+            },
+            Message::JobDone {
+                seq: 4,
+                job_id: 7,
+                status: WireJobStatus::Completed,
+                error: None,
+                reads: 400,
+                queue_wait_s: 0.25,
+                elapsed_s: 1.5,
+                stages: vec![WireStageRow {
+                    stage: "import".into(),
+                    elapsed_s: 0.5,
+                    busy_fraction: 0.9,
+                }],
+                manifest: Some(manifest),
+            },
+            Message::JobDone {
+                seq: 5,
+                job_id: 8,
+                status: WireJobStatus::Failed,
+                error: Some("boom".into()),
+                reads: 0,
+                queue_wait_s: 0.0,
+                elapsed_s: 0.0,
+                stages: vec![],
+                manifest: None,
+            },
+            Message::Cancel { seq: 6, job_id: 7 },
+            Message::CancelOk { seq: 6, job_id: 7 },
+            Message::Report { seq: 7 },
+            Message::ReportReply {
+                seq: 7,
+                report: WireReport {
+                    elapsed_s: 12.5,
+                    workers: 8,
+                    tenants: vec![WireTenant {
+                        tenant: "lab".into(),
+                        weight: 2,
+                        submitted: 3,
+                        completed: 2,
+                        failed: 0,
+                        cancelled: 1,
+                        queued: 0,
+                        running: 0,
+                        reads: 900,
+                        reads_per_sec: 450.0,
+                    }],
+                },
+            },
+            Message::Error { seq: 9, code: ErrorCode::InvalidPlan, message: "nope".into() },
+        ];
+        for msg in messages {
+            let body: &[u8] = if matches!(
+                msg,
+                Message::OutputChunk { .. } | Message::SubmitJob { input: WireInput::Fastq, .. }
+            ) {
+                b"PAYLOAD"
+            } else {
+                b""
+            };
+            let (back, back_body) = round_trip(&msg, body);
+            assert_eq!(back, msg);
+            assert_eq!(back_body, body);
+        }
+    }
+
+    #[test]
+    fn frames_carry_bodies_byte_exactly() {
+        let body: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let msg = Message::OutputChunk {
+            seq: 1,
+            job_id: 1,
+            stream: OutputStream::Bam,
+            index: 0,
+            last: false,
+        };
+        let (_, back) = round_trip(&msg, &body);
+        assert_eq!(back, body);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_mid_frame_eof_is_truncated() {
+        let mut empty: &[u8] = &[];
+        assert!(RawFrame::read_from(&mut empty).unwrap().is_none());
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Message::Report { seq: 1 }, &[]).unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = RawFrame::read_from(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated), "{err}");
+        assert!(err.is_fatal());
+    }
+
+    #[test]
+    fn oversize_lengths_are_fatal_frame_errors() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        let err = RawFrame::read_from(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, FrameError::HeaderOversize(_)), "{err}");
+        assert!(err.is_fatal());
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2u32.to_be_bytes());
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(b"{}");
+        let err = RawFrame::read_from(&mut wire.as_slice()).unwrap_err();
+        assert!(matches!(err, FrameError::BodyOversize(_)), "{err}");
+        assert!(err.is_fatal());
+    }
+
+    #[test]
+    fn garbage_headers_are_nonfatal_and_leave_the_stream_aligned() {
+        let mut wire = Vec::new();
+        let garbage = b"this is not json";
+        wire.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        wire.extend_from_slice(garbage);
+        // A valid frame follows the garbage one.
+        write_frame(&mut wire, &Message::Report { seq: 42 }, &[]).unwrap();
+
+        let mut r = wire.as_slice();
+        let err = RawFrame::read_from(&mut r).unwrap_err();
+        assert!(matches!(err, FrameError::BadJson(_)), "{err}");
+        assert!(!err.is_fatal());
+        // The stream resyncs on the next frame.
+        let next = RawFrame::read_from(&mut r).unwrap().unwrap();
+        assert_eq!(next.message().unwrap(), Message::Report { seq: 42 });
+    }
+
+    #[test]
+    fn raw_frames_expose_seq_and_type_even_when_typed_decode_fails() {
+        let mut wire = Vec::new();
+        let header = br#"{"type":"submit-job","seq":31,"bogus":true}"#;
+        wire.extend_from_slice(&(header.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        wire.extend_from_slice(header);
+        let raw = RawFrame::read_from(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(raw.seq(), 31);
+        assert_eq!(raw.msg_type(), Some("submit-job"));
+        assert!(raw.message().is_err());
+    }
+
+    #[test]
+    fn submitted_plans_revalidate_through_the_builder() {
+        // A structurally fine submit whose plan is semantically invalid
+        // must fail typed decode — the wire can never admit it.
+        let header = r#"{"type":"submit-job","seq":1,"name":"x","tenant":"t",
+            "priority":"normal","plan":{"input":"fastq","stages":["align"]},
+            "input":{"kind":"fastq"},"chunk_size":100,"reference":[]}"#;
+        let v = serde_json::parse_value(header).unwrap();
+        let err = Message::deserialize(&v).unwrap_err();
+        assert!(err.to_string().contains("invalid plan"), "{err}");
+    }
+
+    #[test]
+    fn wire_enums_parse_their_own_names() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        for st in WireJobStatus::ALL {
+            assert_eq!(WireJobStatus::parse(st.as_str()), Some(st));
+        }
+        assert!(WireJobStatus::Completed.is_terminal());
+        assert!(!WireJobStatus::Running.is_terminal());
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(parse_priority(priority_name(p)), Some(p));
+        }
+        for s in [OutputStream::Sam, OutputStream::Bam] {
+            assert_eq!(OutputStream::parse(s.as_str()), Some(s));
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Bounded MPMC queues with producer-tracked close semantics.
 //!
 //! These are the dataflow edges. Capacity bounds are Persona's flow
-//! control (§4.5): the input subgraph "quickly fill[s] the process
+//! control (§4.5): the input subgraph "quickly fill\[s\] the process
 //! subgraph input queue" and then blocks, capping in-flight chunks.
 //! A queue closes automatically when its last registered producer
 //! releases, which propagates end-of-stream down the graph.

@@ -18,13 +18,22 @@
 //! `submit` consumes.
 //!
 //! Fairness is enforced at admission, not in the executor: a
-//! [`scheduler::FairScheduler`] keeps per-tenant FIFO queues (split by
+//! `scheduler::FairScheduler` keeps per-tenant FIFO queues (split by
 //! priority), bounds each tenant's in-flight jobs, and dispatches by
 //! **weighted round-robin** so a tenant with a deep backlog cannot
 //! starve a light one. Cancellation is cooperative end to end: the
 //! job's [`persona_dataflow::CancelToken`] makes the executor drop the
 //! job's still-queued batches and every pipeline stage stop scheduling
 //! new ones.
+//!
+//! The [`wire`] module puts this service on the network: a
+//! [`wire::WireServer`] accepts TCP connections speaking the
+//! [`persona::wire`] protocol (length-prefixed JSON frames; spec in
+//! `docs/PROTOCOL.md`), deserializes plans through the re-validating
+//! builder, and runs every admitted job through the same `submit`
+//! path — so a `persona::wire::WireClient` across the network and an
+//! in-process caller are byte-identical. Clients that disconnect have
+//! their unfinished jobs cancelled automatically.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -58,6 +67,7 @@ pub mod job;
 pub mod report;
 pub mod scheduler;
 pub mod service;
+pub mod wire;
 
 #[allow(deprecated)]
 pub use job::StagePlan;
@@ -68,3 +78,4 @@ pub use persona::plan::{DataState, Plan, PlanBuilder, PlanError, PlanReport, Sta
 pub use report::{ServiceReport, StageRollup, TenantReport};
 pub use scheduler::TenantConfig;
 pub use service::{PersonaService, ServiceConfig};
+pub use wire::{WireServer, WireServerConfig};

@@ -2,7 +2,7 @@
 //! by weighted round-robin.
 //!
 //! The scheduler is deliberately *pure state* — no threads, no clocks —
-//! so its fairness properties are unit-testable: [`FairScheduler::next`]
+//! so its fairness properties are unit-testable: `FairScheduler::next`
 //! is called under the service lock and returns the next job to
 //! dispatch, or `None` when every runnable slot is taken or every
 //! eligible tenant is drained.

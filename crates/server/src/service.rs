@@ -1,5 +1,17 @@
 //! The multi-tenant job service: one dispatcher, N runner threads, one
 //! shared [`PersonaRuntime`].
+//!
+//! [`PersonaService::submit`] validates a [`JobSpec`] (plan/input
+//! coherence, through the same `Plan` helpers `Plan::run` uses) and
+//! enqueues it with the `FairScheduler`; a dispatcher thread grants
+//! fair-share slots and spawns one runner thread per dispatched job,
+//! which executes the job's plan on the shared runtime and resolves
+//! the caller's [`JobHandle`]. Terminal accounting (per-tenant
+//! counts, reads, queue wait, executor busy share, per-stage rollups)
+//! aggregates into [`PersonaService::report`]. Both the in-process API
+//! and the TCP front end ([`crate::wire::WireServer`]) go through this
+//! same `submit` path, which is what makes their outputs
+//! byte-identical.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -89,7 +101,7 @@ impl Shared {
 /// joins all in-flight jobs.
 pub struct PersonaService {
     shared: Arc<Shared>,
-    dispatcher: Option<JoinHandle<()>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl PersonaService {
@@ -115,7 +127,7 @@ impl PersonaService {
                 .spawn(move || dispatch_loop(shared))
                 .expect("spawn dispatcher")
         };
-        PersonaService { shared, dispatcher: Some(dispatcher) }
+        PersonaService { shared, dispatcher: Mutex::new(Some(dispatcher)) }
     }
 
     /// Registers (or re-configures) a tenant's weight and in-flight
@@ -226,6 +238,13 @@ impl PersonaService {
     /// cancelled, in-flight jobs run to completion (cancel them first
     /// for a fast stop). Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
+        self.stop();
+    }
+
+    /// [`PersonaService::shutdown`] through a shared reference, for
+    /// owners that hold the service behind an `Arc`-like wrapper (the
+    /// wire front end). Identical semantics, equally idempotent.
+    pub fn stop(&self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -241,7 +260,7 @@ impl PersonaService {
                 }
             }
         }
-        if let Some(d) = self.dispatcher.take() {
+        if let Some(d) = self.dispatcher.lock().take() {
             let _ = d.join();
         }
         let runners = std::mem::take(&mut *self.shared.runners.lock());

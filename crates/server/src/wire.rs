@@ -1,0 +1,644 @@
+//! The TCP front end: a [`WireServer`] that speaks the
+//! [`persona::wire`] protocol and schedules everything it admits onto
+//! the one shared [`PersonaService`].
+//!
+//! Threading model: one accept loop, **one reader thread per
+//! connection**, and a short-lived waiter thread per `wait` request
+//! (so a reader blocked on a long job would not stop the same
+//! connection's `status` / `cancel` traffic — or its disconnect — from
+//! being seen). All pipeline compute still happens on the shared
+//! [`persona::runtime::PersonaRuntime`] behind the service's
+//! fair-share scheduler; the front end only moves frames.
+//!
+//! Error handling follows the spec (`docs/PROTOCOL.md`): a frame whose
+//! lengths are intact but whose header does not decode gets a typed
+//! [`Message::Error`] reply and the connection continues; a frame that
+//! breaks the framing itself (oversize or truncated) gets a
+//! best-effort `bad-frame` reply and the connection closes. A client
+//! that disconnects — cleanly or not — has its still-unfinished jobs
+//! cancelled (cancel-on-disconnect), so an abandoned connection can
+//! never pin fair-share slots.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use persona::plan::Stage;
+use persona::wire::{
+    write_frame, ErrorCode, Message, OutputStream, RawFrame, WireInput, WireJobStatus, WireReport,
+    WireStageRow, WireTenant, OUTPUT_CHUNK_LEN, PROTOCOL_VERSION,
+};
+use persona_align::Aligner;
+
+use crate::job::{JobHandle, JobInput, JobOutcome, JobSpec, JobStatus};
+use crate::report::ServiceReport;
+use crate::service::PersonaService;
+
+/// Concurrent `wait` waiter threads allowed per connection; further
+/// waits are refused with `invalid-request` until one resolves.
+const MAX_WAITERS_PER_CONN: usize = 64;
+
+/// Server-side resources for wire submissions. Kernel resources cannot
+/// travel over the wire, so plans that align use the server's
+/// configured aligner.
+#[derive(Default)]
+pub struct WireServerConfig {
+    /// The aligner handed to every admitted plan that contains an
+    /// align stage. A submission that aligns is rejected with
+    /// `invalid-request` when this is `None`.
+    pub aligner: Option<Arc<dyn Aligner>>,
+}
+
+struct WireShared {
+    service: PersonaService,
+    /// The bound listener; dropped by [`WireServer::stop`] so the port
+    /// actually closes (the accept loop runs on its own clone).
+    listener: Mutex<Option<TcpListener>>,
+    local_addr: SocketAddr,
+    config: WireServerConfig,
+    shutdown: AtomicBool,
+    /// Every job admitted over the wire, by service job id — global, so
+    /// one connection can watch or cancel a job another submitted.
+    jobs: Mutex<HashMap<u64, JobHandle>>,
+    next_conn_id: AtomicU64,
+    /// One stream clone per live connection (keyed by connection id),
+    /// for unblocking blocked readers at shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A TCP front end over one [`PersonaService`]. Binding spawns the
+/// accept loop; dropping the server (or calling
+/// [`WireServer::stop`]) stops accepting, cancels every wire-submitted
+/// job that is still in flight, disconnects clients, and shuts the
+/// service down.
+pub struct WireServer {
+    shared: Arc<WireShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
+    /// port) and starts serving `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: PersonaService,
+        config: WireServerConfig,
+    ) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let accept_listener = listener.try_clone()?;
+        let shared = Arc::new(WireShared {
+            service,
+            listener: Mutex::new(Some(listener)),
+            local_addr,
+            config,
+            shutdown: AtomicBool::new(false),
+            jobs: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(1),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("persona-wire-accept".into())
+                .spawn(move || accept_loop(shared, accept_listener))
+                .expect("spawn wire accept loop")
+        };
+        Ok(WireServer { shared, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The service this front end feeds (for in-process inspection —
+    /// reports, tenant configuration).
+    pub fn service(&self) -> &PersonaService {
+        &self.shared.service
+    }
+
+    /// Stops the front end: the listening port closes, in-flight wire
+    /// jobs are cancelled, clients are disconnected, reader threads
+    /// joined, and the underlying service stops admitting (queued jobs
+    /// resolve as cancelled, runners are joined). Idempotent; also
+    /// invoked by `Drop`.
+    pub fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Cancel outstanding jobs first so waiter threads (and the
+        // service shutdown below) resolve quickly.
+        for handle in self.shared.jobs.lock().values() {
+            handle.cancel();
+        }
+        // The accept loop polls the shutdown flag, so the join returns
+        // within one poll tick.
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        // Both listener handles are gone now (the accept loop's clone
+        // died with its thread), so the port is actually closed.
+        drop(self.shared.listener.lock().take());
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let threads = std::mem::take(&mut *self.shared.conn_threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+        self.shared.service.stop();
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(shared: Arc<WireShared>, listener: TcpListener) {
+    // Nonblocking accept + poll: shutdown is observed within one poll
+    // tick. (A blocking accept would need the "connect to yourself"
+    // wake hack, which cannot work when bound to an unspecified
+    // address like 0.0.0.0 and hangs stop() if the wake connect
+    // fails.)
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        // The accepted socket must be blocking regardless of what it
+        // inherited from the listener.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(conn_id, clone);
+        }
+        let handle = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("persona-wire-conn".into())
+                .spawn(move || {
+                    serve_connection(&shared, &stream);
+                    // Half-open state is useless to a frame protocol:
+                    // make the peer see EOF even while other clones of
+                    // this socket (the writer, the shutdown registry)
+                    // are still alive, then deregister.
+                    let _ = stream.shutdown(Shutdown::Both);
+                    shared.conns.lock().remove(&conn_id);
+                })
+                .expect("spawn wire connection reader")
+        };
+        let mut threads = shared.conn_threads.lock();
+        threads.retain(|t| !t.is_finished());
+        threads.push(handle);
+    }
+}
+
+/// One connection's writer half, shared between the reader thread and
+/// its waiter threads. Frames are written whole under the lock, so
+/// interleaved replies never interleave bytes.
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+fn send(writer: &SharedWriter, message: &Message, body: &[u8]) -> io::Result<()> {
+    write_frame(&mut *writer.lock(), message, body)
+}
+
+fn send_error(writer: &SharedWriter, seq: u64, code: ErrorCode, message: impl Into<String>) {
+    let _ = send(writer, &Message::Error { seq, code, message: message.into() }, &[]);
+}
+
+fn to_wire_status(status: JobStatus) -> WireJobStatus {
+    match status {
+        JobStatus::Queued => WireJobStatus::Queued,
+        JobStatus::Running => WireJobStatus::Running,
+        JobStatus::Completed => WireJobStatus::Completed,
+        JobStatus::Failed => WireJobStatus::Failed,
+        JobStatus::Cancelled => WireJobStatus::Cancelled,
+    }
+}
+
+fn to_wire_report(report: &ServiceReport) -> WireReport {
+    WireReport {
+        elapsed_s: report.elapsed.as_secs_f64(),
+        workers: report.workers as u64,
+        tenants: report
+            .tenants
+            .iter()
+            .map(|t| WireTenant {
+                tenant: t.tenant.clone(),
+                weight: t.weight,
+                submitted: t.submitted,
+                completed: t.completed,
+                failed: t.failed,
+                cancelled: t.cancelled,
+                queued: t.queued as u64,
+                running: t.running as u64,
+                reads: t.reads,
+                reads_per_sec: t.reads_per_sec(),
+            })
+            .collect(),
+    }
+}
+
+fn serve_connection(shared: &Arc<WireShared>, stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+
+    // Handshake: the first decodable message must be a
+    // version-compatible hello. The recoverable/fatal frame rules
+    // apply here exactly as after the handshake: an intact frame with
+    // a garbage header gets `bad-message` and another chance, while a
+    // framing violation gets `bad-frame` and a close.
+    loop {
+        match RawFrame::read_from(&mut reader) {
+            Ok(Some(raw)) => match raw.message() {
+                Ok(Message::Hello { version }) if version == PROTOCOL_VERSION => {
+                    if send(&writer, &Message::ServerHello { version: PROTOCOL_VERSION }, &[])
+                        .is_err()
+                    {
+                        return;
+                    }
+                    break;
+                }
+                Ok(Message::Hello { version }) => {
+                    send_error(
+                        &writer,
+                        raw.seq(),
+                        ErrorCode::UnsupportedVersion,
+                        format!(
+                            "server speaks protocol version {PROTOCOL_VERSION}, client sent {version}"
+                        ),
+                    );
+                    return;
+                }
+                Ok(other) => {
+                    send_error(
+                        &writer,
+                        other.seq(),
+                        ErrorCode::InvalidRequest,
+                        format!("expected hello as the first message, got `{}`", other.type_name()),
+                    );
+                    return;
+                }
+                Err(e) => {
+                    send_error(&writer, raw.seq(), ErrorCode::BadMessage, e.to_string());
+                    continue;
+                }
+            },
+            Ok(None) => return,
+            Err(e) if e.is_fatal() => {
+                send_error(&writer, 0, ErrorCode::BadFrame, e.to_string());
+                return;
+            }
+            Err(e) => {
+                send_error(&writer, 0, ErrorCode::BadMessage, e.to_string());
+                continue;
+            }
+        }
+    }
+
+    // Jobs this connection submitted, for cancel-on-disconnect.
+    let mut my_jobs: Vec<u64> = Vec::new();
+    // Concurrent waiter threads spawned for this connection, bounded
+    // by MAX_WAITERS_PER_CONN.
+    let waiters = Arc::new(AtomicUsize::new(0));
+
+    loop {
+        let raw = match RawFrame::read_from(&mut reader) {
+            Ok(Some(raw)) => raw,
+            // Clean disconnect.
+            Ok(None) => break,
+            Err(e) if e.is_fatal() => {
+                // Byte alignment is lost: typed reply, then close.
+                send_error(&writer, 0, ErrorCode::BadFrame, e.to_string());
+                break;
+            }
+            Err(e) => {
+                // Lengths were honored, so the stream stays aligned:
+                // typed reply, keep serving.
+                send_error(&writer, 0, ErrorCode::BadMessage, e.to_string());
+                continue;
+            }
+        };
+        let message = match raw.message() {
+            Ok(message) => message,
+            Err(e) => {
+                // A submit whose plan failed re-validation is an
+                // `invalid-plan`, not a generic decode failure; the
+                // plan's errors surface as `field `plan`: ...`.
+                let detail = e.to_string();
+                let code =
+                    if raw.msg_type() == Some("submit-job") && detail.contains("field `plan`") {
+                        ErrorCode::InvalidPlan
+                    } else {
+                        ErrorCode::BadMessage
+                    };
+                send_error(&writer, raw.seq(), code, detail);
+                continue;
+            }
+        };
+        if !handle_message(&shared, &writer, &waiters, &mut my_jobs, message, raw.body) {
+            break;
+        }
+    }
+
+    // Cancel-on-disconnect: whatever this connection submitted and
+    // never saw finish is cancelled so it cannot pin fair-share slots
+    // for a client that is gone.
+    let jobs = shared.jobs.lock();
+    for id in my_jobs {
+        if let Some(handle) = jobs.get(&id) {
+            if !to_wire_status(handle.status()).is_terminal() {
+                handle.cancel();
+            }
+        }
+    }
+}
+
+/// Handles one decoded message. Returns `false` when the connection
+/// should close (write failures — the client is gone).
+fn handle_message(
+    shared: &Arc<WireShared>,
+    writer: &SharedWriter,
+    waiters: &Arc<AtomicUsize>,
+    my_jobs: &mut Vec<u64>,
+    message: Message,
+    body: Vec<u8>,
+) -> bool {
+    match message {
+        Message::SubmitJob { seq, name, tenant, priority, plan, input, chunk_size, reference } => {
+            let input = match input {
+                WireInput::Fastq => JobInput::Fastq(body),
+                WireInput::Dataset(manifest) => {
+                    if !body.is_empty() {
+                        send_error(
+                            writer,
+                            seq,
+                            ErrorCode::InvalidRequest,
+                            "dataset submissions must have an empty frame body",
+                        );
+                        return true;
+                    }
+                    if let Err(e) = manifest.validate() {
+                        send_error(
+                            writer,
+                            seq,
+                            ErrorCode::InvalidRequest,
+                            format!("manifest failed validation: {e}"),
+                        );
+                        return true;
+                    }
+                    JobInput::Dataset(manifest)
+                }
+            };
+            let aligner =
+                if plan.contains(Stage::Align) { shared.config.aligner.clone() } else { None };
+            let spec = JobSpec {
+                name,
+                tenant,
+                priority,
+                plan,
+                input,
+                chunk_size: chunk_size as usize,
+                aligner,
+                reference,
+            };
+            match shared.service.submit(spec) {
+                Ok(handle) => {
+                    let job_id = handle.id();
+                    let mut jobs = shared.jobs.lock();
+                    // Bound the registry: drop handles of finished jobs
+                    // once it grows past any plausible live set. The
+                    // spec documents this eviction (§2): a terminal job
+                    // whose output was never collected can stop
+                    // answering once 4096 newer handles pile up.
+                    if jobs.len() >= 4096 {
+                        jobs.retain(|_, h| !to_wire_status(h.status()).is_terminal());
+                    }
+                    jobs.insert(job_id, handle);
+                    drop(jobs);
+                    my_jobs.push(job_id);
+                    send(writer, &Message::JobAccepted { seq, job_id }, &[]).is_ok()
+                }
+                Err(e) => {
+                    let detail = e.to_string();
+                    let code = if detail.contains("shut down") {
+                        ErrorCode::Shutdown
+                    } else {
+                        ErrorCode::InvalidRequest
+                    };
+                    send_error(writer, seq, code, detail);
+                    true
+                }
+            }
+        }
+        // Registry lookups clone the handle and release the global
+        // lock *before* any socket write: a send can block on a slow
+        // peer (the per-connection writer lock is held across whole
+        // frames), and holding `shared.jobs` through it would let one
+        // stalled client freeze every connection's lookups.
+        Message::Status { seq, job_id } => match shared.jobs.lock().get(&job_id).cloned() {
+            Some(handle) => {
+                let status = to_wire_status(handle.status());
+                send(writer, &Message::JobStatus { seq, job_id, status }, &[]).is_ok()
+            }
+            None => {
+                send_error(writer, seq, ErrorCode::UnknownJob, format!("no job {job_id}"));
+                true
+            }
+        },
+        Message::Wait { seq, job_id } => {
+            let handle = shared.jobs.lock().get(&job_id).cloned();
+            match handle {
+                Some(handle) => {
+                    // A waiter thread keeps this reader free to see
+                    // cancel/status traffic — and disconnects. Bounded
+                    // per connection so a wait-spamming client cannot
+                    // exhaust threads.
+                    if waiters.load(Ordering::SeqCst) >= MAX_WAITERS_PER_CONN {
+                        send_error(
+                            writer,
+                            seq,
+                            ErrorCode::InvalidRequest,
+                            format!("more than {MAX_WAITERS_PER_CONN} concurrent waits"),
+                        );
+                        return true;
+                    }
+                    waiters.fetch_add(1, Ordering::SeqCst);
+                    let writer_clone = writer.clone();
+                    let waiters_clone = waiters.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("persona-wire-wait-{job_id}"))
+                        .spawn(move || {
+                            stream_outcome(writer_clone, handle, seq, job_id);
+                            waiters_clone.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if let Err(e) = spawned {
+                        waiters.fetch_sub(1, Ordering::SeqCst);
+                        send_error(
+                            writer,
+                            seq,
+                            ErrorCode::Internal,
+                            format!("cannot spawn waiter: {e}"),
+                        );
+                    }
+                    true
+                }
+                None => {
+                    send_error(writer, seq, ErrorCode::UnknownJob, format!("no job {job_id}"));
+                    true
+                }
+            }
+        }
+        Message::Cancel { seq, job_id } => match shared.jobs.lock().get(&job_id).cloned() {
+            Some(handle) => {
+                handle.cancel();
+                send(writer, &Message::CancelOk { seq, job_id }, &[]).is_ok()
+            }
+            None => {
+                send_error(writer, seq, ErrorCode::UnknownJob, format!("no job {job_id}"));
+                true
+            }
+        },
+        Message::Report { seq } => {
+            let report = to_wire_report(&shared.service.report());
+            send(writer, &Message::ReportReply { seq, report }, &[]).is_ok()
+        }
+        Message::Hello { .. } => {
+            send_error(writer, 0, ErrorCode::InvalidRequest, "hello after the handshake");
+            true
+        }
+        other => {
+            // Server→client message types are not requests.
+            send_error(
+                writer,
+                other.seq(),
+                ErrorCode::InvalidRequest,
+                format!("`{}` is not a client request", other.type_name()),
+            );
+            true
+        }
+    }
+}
+
+/// Streams one job's `wait` reply sequence: lifecycle events, then the
+/// output chunks, then the terminal `job-done`.
+fn stream_outcome(writer: SharedWriter, handle: JobHandle, seq: u64, job_id: u64) {
+    let status = to_wire_status(handle.status());
+    if send(&writer, &Message::JobEvent { seq, job_id, status }, &[]).is_err() {
+        return;
+    }
+    let outcome = handle.wait();
+    let status = to_wire_status(outcome.status());
+    if !status.is_terminal() {
+        // Unreachable by construction; keep the stream well-formed
+        // anyway.
+        return;
+    }
+    if send(&writer, &Message::JobEvent { seq, job_id, status }, &[]).is_err() {
+        return;
+    }
+    match &*outcome {
+        JobOutcome::Completed(out) => {
+            for (stream, bytes) in [(OutputStream::Sam, &out.sam), (OutputStream::Bam, &out.bam)] {
+                if bytes.is_empty() {
+                    continue;
+                }
+                let chunks: Vec<&[u8]> = bytes.chunks(OUTPUT_CHUNK_LEN).collect();
+                let total = chunks.len();
+                for (index, chunk) in chunks.into_iter().enumerate() {
+                    let msg = Message::OutputChunk {
+                        seq,
+                        job_id,
+                        stream,
+                        index: index as u64,
+                        last: index + 1 == total,
+                    };
+                    if send(&writer, &msg, chunk).is_err() {
+                        return;
+                    }
+                }
+            }
+            let stages = out
+                .report
+                .stage_rows()
+                .into_iter()
+                .map(|(stage, elapsed, busy_fraction)| WireStageRow {
+                    stage: stage.to_string(),
+                    elapsed_s: elapsed.as_secs_f64(),
+                    busy_fraction,
+                })
+                .collect();
+            let done = Message::JobDone {
+                seq,
+                job_id,
+                status,
+                error: None,
+                reads: out.reads,
+                queue_wait_s: out.queue_wait.as_secs_f64(),
+                elapsed_s: out.elapsed.as_secs_f64(),
+                stages,
+                manifest: out.manifest.clone(),
+            };
+            let _ = send(&writer, &done, &[]);
+        }
+        JobOutcome::Failed(message) => {
+            let done = Message::JobDone {
+                seq,
+                job_id,
+                status,
+                error: Some(message.clone()),
+                reads: 0,
+                queue_wait_s: 0.0,
+                elapsed_s: 0.0,
+                stages: Vec::new(),
+                manifest: None,
+            };
+            let _ = send(&writer, &done, &[]);
+        }
+        JobOutcome::Cancelled => {
+            let done = Message::JobDone {
+                seq,
+                job_id,
+                status,
+                error: None,
+                reads: 0,
+                queue_wait_s: 0.0,
+                elapsed_s: 0.0,
+                stages: Vec::new(),
+                manifest: None,
+            };
+            let _ = send(&writer, &done, &[]);
+        }
+    }
+}

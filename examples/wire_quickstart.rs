@@ -1,0 +1,128 @@
+//! The wire protocol end to end on loopback: start a `WireServer`,
+//! connect a `WireClient` over real TCP, submit a composed plan, watch
+//! its lifecycle, stream the outputs back, cancel a second job, and
+//! poke the server with a malformed frame to see the typed error reply
+//! the spec (docs/PROTOCOL.md) promises.
+//!
+//! Run: `cargo run -p persona-examples --release --example wire_quickstart [n_reads]`
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use persona::config::PersonaConfig;
+use persona::plan::Plan;
+use persona::runtime::PersonaRuntime;
+use persona::wire::{
+    read_message, write_frame, Message, SubmitInput, WireClient, WireJobStatus, WireSubmit,
+    PROTOCOL_VERSION,
+};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_dataflow::Priority;
+use persona_examples::DemoWorld;
+use persona_formats::fastq;
+use persona_server::{PersonaService, ServiceConfig, TenantConfig, WireServer, WireServerConfig};
+
+fn main() {
+    let n_reads: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n_reads must be a number"))
+        .unwrap_or(1_000);
+    let world = DemoWorld::new(n_reads);
+
+    // 1. A server: one shared runtime behind a fair-share service,
+    //    fronted by TCP on an ephemeral loopback port. The aligner is
+    //    a server-side resource — clients never ship kernels.
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::default()).expect("runtime");
+    let service = PersonaService::new(rt, ServiceConfig::default());
+    service.set_tenant("lab", TenantConfig { weight: 2, max_in_flight: 2 });
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        service,
+        WireServerConfig { aligner: Some(world.aligner.clone()) },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("wire server on {addr} (protocol v{PROTOCOL_VERSION})");
+
+    // 2. A client: connect, submit the full paper pipeline as a plan,
+    //    and follow it to completion. FASTQ bytes travel as the submit
+    //    frame's binary body; outputs stream back in chunks.
+    let mut client = WireClient::connect(addr).expect("connect");
+    let job = client
+        .submit(WireSubmit {
+            name: "sample".into(),
+            tenant: "lab".into(),
+            priority: Priority::Normal,
+            plan: Plan::full(),
+            input: SubmitInput::Fastq(fastq::to_bytes(&world.reads)),
+            chunk_size: 400,
+            reference: world.reference.clone(),
+        })
+        .expect("submit");
+    println!("submitted job #{job}: status = {}", client.status(job).expect("status"));
+    let outcome = client.wait(job).expect("wait");
+    assert_eq!(outcome.status, WireJobStatus::Completed);
+    println!(
+        "job #{job} {}: {} reads, {} SAM bytes, queue {:.0} ms, run {:.2} s",
+        outcome.status,
+        outcome.reads,
+        outcome.sam.len(),
+        outcome.queue_wait_s * 1e3,
+        outcome.elapsed_s
+    );
+    println!("stage       elapsed     busy%");
+    for row in &outcome.stages {
+        println!("{:<11} {:>7.2}s   {:>5.1}", row.stage, row.elapsed_s, row.busy_fraction * 100.0);
+    }
+
+    // 3. Cancellation over the wire: submit another job and cancel it
+    //    straight away — the service's cooperative cancellation stops
+    //    the plan and the waiter streams the terminal state back.
+    let doomed = client
+        .submit(WireSubmit {
+            name: "doomed".into(),
+            tenant: "lab".into(),
+            priority: Priority::Low,
+            plan: Plan::full(),
+            input: SubmitInput::Fastq(fastq::to_bytes(&world.reads)),
+            chunk_size: 400,
+            reference: world.reference.clone(),
+        })
+        .expect("submit doomed");
+    client.cancel(doomed).expect("cancel");
+    let outcome = client.wait(doomed).expect("wait doomed");
+    println!("\njob #{doomed} resolved as `{}` after cancel", outcome.status);
+    assert_eq!(outcome.status, WireJobStatus::Cancelled);
+
+    // 4. The service report, over the wire.
+    let report = client.report().expect("report");
+    println!("\ntenant accounting over {} workers:", report.workers);
+    for t in &report.tenants {
+        println!(
+            "  {}: {} completed, {} cancelled, {} reads ({:.0} reads/s)",
+            t.tenant, t.completed, t.cancelled, t.reads, t.reads_per_sec
+        );
+    }
+
+    // 5. Malformed traffic gets a *typed* error, not a dropped
+    //    connection: speak raw frames and send garbage.
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    write_frame(&mut raw, &Message::Hello { version: PROTOCOL_VERSION }, &[]).expect("hello");
+    read_message(&mut reader).expect("server hello");
+    let garbage = br#"{"type":"frobnicate","seq":1}"#;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&0u32.to_be_bytes());
+    frame.extend_from_slice(garbage);
+    raw.write_all(&frame).expect("send garbage");
+    match read_message(&mut reader).expect("typed reply").expect("reply") {
+        (Message::Error { code, message, .. }, _) => {
+            println!("\ngarbage frame answered with error [{code}]: {message}")
+        }
+        (other, _) => panic!("expected a typed error, got {other:?}"),
+    }
+    println!("\nwire quickstart OK");
+}

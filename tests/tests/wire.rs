@@ -1,0 +1,385 @@
+//! The wire protocol end to end over loopback TCP: jobs submitted by
+//! `WireClient` must be byte-identical to the same specs through the
+//! in-process `PersonaService`, disconnects must cancel a client's
+//! unfinished jobs, and malformed traffic must get *typed* error
+//! replies — never a silently dropped connection.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use persona::config::PersonaConfig;
+use persona::plan::Plan;
+use persona::runtime::PersonaRuntime;
+use persona::wire::{
+    write_frame, ErrorCode, Message, SubmitInput, WireClient, WireJobStatus, WireSubmit,
+    PROTOCOL_VERSION,
+};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_agd::results::AlignmentResult;
+use persona_align::Aligner;
+use persona_dataflow::Priority;
+use persona_formats::fastq;
+use persona_integration_tests::common::Fixture;
+use persona_server::{
+    JobInput, JobSpec, PersonaService, ServiceConfig, WireServer, WireServerConfig,
+};
+
+use persona::wire::RawFrame;
+
+/// An aligner that sleeps per read, to keep a job running long enough
+/// for cancellation behavior to be observable.
+struct SlowAligner {
+    inner: Arc<dyn Aligner>,
+    delay: Duration,
+}
+
+impl Aligner for SlowAligner {
+    fn align_read(&self, bases: &[u8], quals: &[u8]) -> AlignmentResult {
+        std::thread::sleep(self.delay);
+        self.inner.align_read(bases, quals)
+    }
+
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+fn serve(aligner: Arc<dyn Aligner>, max_jobs: usize) -> WireServer {
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(
+        rt,
+        ServiceConfig { max_concurrent_jobs: max_jobs, ..ServiceConfig::default() },
+    );
+    WireServer::bind("127.0.0.1:0", service, WireServerConfig { aligner: Some(aligner) })
+        .expect("bind loopback wire server")
+}
+
+fn wire_submit(fx: &Fixture, name: &str, tenant: &str, plan: Plan) -> WireSubmit {
+    WireSubmit {
+        name: name.to_string(),
+        tenant: tenant.to_string(),
+        priority: Priority::Normal,
+        plan,
+        input: SubmitInput::Fastq(fastq::to_bytes(&fx.reads)),
+        chunk_size: 100,
+        reference: fx.reference.clone(),
+    }
+}
+
+/// The in-process reference: the same spec through `PersonaService`.
+fn in_process_sam(fx: &Fixture, name: &str) -> Vec<u8> {
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(rt, ServiceConfig::default());
+    let handle = service
+        .submit(JobSpec {
+            name: name.to_string(),
+            tenant: "ref".to_string(),
+            priority: Priority::Normal,
+            plan: Plan::full(),
+            input: JobInput::Fastq(fastq::to_bytes(&fx.reads)),
+            chunk_size: 100,
+            aligner: Some(fx.aligner.clone()),
+            reference: fx.reference.clone(),
+        })
+        .unwrap();
+    let outcome = handle.wait();
+    outcome.output().expect("reference job completes").sam.clone()
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The acceptance-criteria test: concurrent wire clients across two
+/// tenants produce output byte-identical to the in-process service.
+#[test]
+fn concurrent_wire_clients_match_in_process_service() {
+    let fx_a = Fixture::new(8001, 400);
+    let fx_b = Fixture::new(8002, 300);
+    let ref_a = in_process_sam(&fx_a, "ref-a");
+    let ref_b = in_process_sam(&fx_b, "ref-b");
+
+    // A server's aligner is a server-side resource, and each fixture
+    // has its own genome — so one server per fixture, two concurrent
+    // tenants on each.
+    let server_a = serve(fx_a.aligner.clone(), 4);
+    let server_b = serve(fx_b.aligner.clone(), 4);
+    let addr_a = server_a.local_addr();
+    let addr_b = server_b.local_addr();
+
+    let jobs: Vec<(&Fixture, std::net::SocketAddr, &str, &str, &Vec<u8>)> = vec![
+        (&fx_a, addr_a, "lab-a", "wire-a1", &ref_a),
+        (&fx_a, addr_a, "lab-b", "wire-a2", &ref_a),
+        (&fx_b, addr_b, "lab-a", "wire-b1", &ref_b),
+        (&fx_b, addr_b, "lab-b", "wire-b2", &ref_b),
+    ];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(fx, addr, tenant, name, want)| {
+                s.spawn(move || {
+                    let mut client = WireClient::connect(addr).expect("connect");
+                    let job = client
+                        .submit(wire_submit(fx, name, tenant, Plan::full()))
+                        .expect("submit over tcp");
+                    let outcome = client.wait(job).expect("wait over tcp");
+                    assert_eq!(outcome.status, WireJobStatus::Completed, "{name}");
+                    assert_eq!(
+                        outcome.sam, **want,
+                        "{name} ({tenant}): SAM over TCP differs from in-process service"
+                    );
+                    assert_eq!(outcome.reads, fx.reads.len() as u64, "{name}");
+                    assert_eq!(
+                        outcome.stages.iter().map(|s| s.stage.as_str()).collect::<Vec<_>>(),
+                        vec!["import", "align", "sort", "dupmark", "export-sam"],
+                        "{name}: full plan reports all five stages over the wire"
+                    );
+                    assert!(outcome.manifest.is_some(), "{name}: final dataset manifest travels");
+                    assert!(
+                        outcome.events.last() == Some(&WireJobStatus::Completed),
+                        "{name}: events end terminal ({:?})",
+                        outcome.events
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("wire client thread");
+        }
+    });
+
+    // Both tenants show up in the wire report with their finished jobs.
+    let mut client = WireClient::connect(addr_a).unwrap();
+    let report = client.report().unwrap();
+    for tenant in ["lab-a", "lab-b"] {
+        let t = report.tenants.iter().find(|t| t.tenant == tenant).expect(tenant);
+        assert_eq!(t.completed, 1, "{tenant}");
+        assert!(t.reads_per_sec > 0.0, "{tenant}");
+    }
+}
+
+/// A partial plan over the wire: import-only needs no aligner, returns
+/// a manifest and no output streams.
+#[test]
+fn partial_plan_over_the_wire_lands_a_dataset() {
+    let fx = Fixture::new(8003, 200);
+    let server = serve(fx.aligner.clone(), 2);
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let job = client.submit(wire_submit(&fx, "ingest", "lab", Plan::import_only())).unwrap();
+    let outcome = client.wait(job).unwrap();
+    assert_eq!(outcome.status, WireJobStatus::Completed);
+    assert!(outcome.sam.is_empty() && outcome.bam.is_empty());
+    let manifest = outcome.manifest.expect("import lands a dataset");
+    assert_eq!(manifest.total_records, 200);
+    assert_eq!(outcome.stages.iter().map(|s| s.stage.as_str()).collect::<Vec<_>>(), vec!["import"]);
+}
+
+/// Dropping the connection cancels the client's unfinished jobs.
+#[test]
+fn disconnect_cancels_the_clients_running_job() {
+    let fx = Fixture::new(8004, 2_000);
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
+    let server = serve(slow, 1);
+
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let job = client.submit(wire_submit(&fx, "victim", "lab", Plan::full())).unwrap();
+    wait_for(|| client.status(job).unwrap() == WireJobStatus::Running, "job to dispatch");
+
+    // Uncancelled this is ~10 s of aligner sleep; dropping the client
+    // must cut it short.
+    let dropped_at = Instant::now();
+    drop(client);
+    wait_for(
+        || server.service().report().tenant("lab").map(|t| t.cancelled) == Some(1),
+        "disconnect to cancel the job",
+    );
+    assert!(
+        dropped_at.elapsed() < Duration::from_secs(5),
+        "cancel-on-disconnect took {:?}",
+        dropped_at.elapsed()
+    );
+}
+
+/// Cancellation over the wire: another connection cancels a running
+/// job (job ids are server-global), and the waiter sees `cancelled`.
+#[test]
+fn wire_cancel_stops_a_running_job() {
+    let fx = Fixture::new(8005, 2_000);
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
+    let server = serve(slow, 1);
+    let addr = server.local_addr();
+
+    let mut submitter = WireClient::connect(addr).unwrap();
+    let job = submitter.submit(wire_submit(&fx, "victim", "lab", Plan::full())).unwrap();
+    wait_for(|| submitter.status(job).unwrap() == WireJobStatus::Running, "job to dispatch");
+
+    let cancelled_at = Instant::now();
+    let mut canceller = WireClient::connect(addr).unwrap();
+    canceller.cancel(job).expect("cancel over a second connection");
+    let outcome = submitter.wait(job).expect("wait resolves after cancel");
+    assert_eq!(outcome.status, WireJobStatus::Cancelled);
+    assert!(
+        cancelled_at.elapsed() < Duration::from_secs(5),
+        "wire cancel took {:?}",
+        cancelled_at.elapsed()
+    );
+}
+
+/// Malformed traffic gets typed error replies. Garbage *JSON* in an
+/// intact frame keeps the connection alive; broken *framing* gets a
+/// `bad-frame` reply and a close.
+#[test]
+fn garbage_frames_get_typed_errors_not_dropped_connections() {
+    let fx = Fixture::new(8006, 50);
+    let server = serve(fx.aligner.clone(), 1);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Handshake by hand.
+    write_frame(&mut stream, &Message::Hello { version: PROTOCOL_VERSION }, &[]).unwrap();
+    let (hello, _) = persona::wire::read_message(&mut reader).unwrap().unwrap();
+    assert_eq!(hello, Message::ServerHello { version: PROTOCOL_VERSION });
+
+    // 1. An intact frame whose header is not JSON: typed error, the
+    //    connection survives.
+    let garbage = b"this is not json at all";
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+    raw.extend_from_slice(&0u32.to_be_bytes());
+    raw.extend_from_slice(garbage);
+    use std::io::Write as _;
+    stream.write_all(&raw).unwrap();
+    match persona::wire::read_message(&mut reader).unwrap().unwrap() {
+        (Message::Error { code, .. }, _) => assert_eq!(code, ErrorCode::BadMessage),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // 2. The connection still serves requests: an unknown job id gets
+    //    its own typed error.
+    write_frame(&mut stream, &Message::Status { seq: 5, job_id: 999 }, &[]).unwrap();
+    match persona::wire::read_message(&mut reader).unwrap().unwrap() {
+        (Message::Error { seq, code, .. }, _) => {
+            assert_eq!(code, ErrorCode::UnknownJob);
+            assert_eq!(seq, 5, "errors echo the offending request's seq");
+        }
+        other => panic!("expected unknown-job error, got {other:?}"),
+    }
+
+    // 3. Valid JSON that is no known message: typed error, still alive.
+    let bogus = br#"{"type":"frobnicate","seq":6}"#;
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&(bogus.len() as u32).to_be_bytes());
+    raw.extend_from_slice(&0u32.to_be_bytes());
+    raw.extend_from_slice(bogus);
+    stream.write_all(&raw).unwrap();
+    match persona::wire::read_message(&mut reader).unwrap().unwrap() {
+        (Message::Error { seq, code, .. }, _) => {
+            assert_eq!(code, ErrorCode::BadMessage);
+            assert_eq!(seq, 6);
+        }
+        other => panic!("expected bad-message error, got {other:?}"),
+    }
+
+    // 4. A frame whose declared header length is absurd: `bad-frame`
+    //    reply, then the server closes (alignment is lost).
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&u32::MAX.to_be_bytes());
+    raw.extend_from_slice(&0u32.to_be_bytes());
+    stream.write_all(&raw).unwrap();
+    match persona::wire::read_message(&mut reader).unwrap().unwrap() {
+        (Message::Error { code, .. }, _) => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected bad-frame error, got {other:?}"),
+    }
+    assert!(
+        persona::wire::read_message(&mut reader).unwrap().is_none(),
+        "server must close after a framing violation"
+    );
+}
+
+/// An invalid plan inside a well-formed submit is rejected with the
+/// `invalid-plan` code — the re-validating builder runs on the wire
+/// path.
+#[test]
+fn invalid_plan_over_the_wire_gets_a_typed_rejection() {
+    let fx = Fixture::new(8007, 50);
+    let server = serve(fx.aligner.clone(), 1);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write_frame(&mut stream, &Message::Hello { version: PROTOCOL_VERSION }, &[]).unwrap();
+    let _ = persona::wire::read_message(&mut reader).unwrap().unwrap();
+
+    use std::io::Write as _;
+    for (bad_plan, why) in [
+        (r#"{"input":"fastq","stages":["align"]}"#, "missing producer"),
+        (r#"{"input":"fastq","stages":["import","import"]}"#, "duplicate stage"),
+        (r#"{"input":"fastq","stages":["frobnicate"]}"#, "unknown stage"),
+        (r#"{"input":"fastq","stages":[]}"#, "empty plan"),
+    ] {
+        let header = format!(
+            r#"{{"type":"submit-job","seq":9,"name":"x","tenant":"t","priority":"normal","plan":{bad_plan},"input":{{"kind":"fastq"}},"chunk_size":100,"reference":[]}}"#
+        );
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&(header.len() as u32).to_be_bytes());
+        raw.extend_from_slice(&0u32.to_be_bytes());
+        raw.extend_from_slice(header.as_bytes());
+        stream.write_all(&raw).unwrap();
+        match persona::wire::read_message(&mut reader).unwrap().unwrap() {
+            (Message::Error { seq, code, message }, _) => {
+                assert_eq!(code, ErrorCode::InvalidPlan, "{why}: {message}");
+                assert_eq!(seq, 9, "{why}");
+            }
+            other => panic!("{why}: expected invalid-plan error, got {other:?}"),
+        }
+    }
+
+    // The connection is intact after every rejection: a valid submit
+    // on the same stream is accepted.
+    let mut client_side_ok = WireClient::connect(server.local_addr()).unwrap();
+    let job = client_side_ok.submit(wire_submit(&fx, "ok", "t", Plan::import_only())).unwrap();
+    assert_eq!(client_side_ok.wait(job).unwrap().status, WireJobStatus::Completed);
+    // And spec-level mismatches (valid plan, wrong input kind) come
+    // back as invalid-request through the typed client error.
+    let mut mismatched = wire_submit(&fx, "bad", "t", Plan::from_aligned());
+    mismatched.input = SubmitInput::Fastq(fastq::to_bytes(&fx.reads));
+    match client_side_ok.submit(mismatched) {
+        Err(persona::wire::WireClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::InvalidRequest)
+        }
+        other => panic!("expected invalid-request, got {other:?}"),
+    }
+}
+
+/// A version-mismatched hello is rejected with `unsupported-version`
+/// and the connection closes.
+#[test]
+fn version_mismatch_is_rejected_at_handshake() {
+    let fx = Fixture::new(8008, 50);
+    let server = serve(fx.aligner.clone(), 1);
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write_frame(&mut stream, &Message::Hello { version: 999 }, &[]).unwrap();
+    match persona::wire::read_message(&mut reader).unwrap().unwrap() {
+        (Message::Error { code, .. }, _) => assert_eq!(code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected unsupported-version, got {other:?}"),
+    }
+    assert!(persona::wire::read_message(&mut reader).unwrap().is_none());
+
+    // A request before hello is rejected too.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write_frame(&mut stream, &Message::Report { seq: 1 }, &[]).unwrap();
+    match RawFrame::read_from(&mut reader).unwrap().unwrap().message().unwrap() {
+        Message::Error { code, .. } => assert_eq!(code, ErrorCode::InvalidRequest),
+        other => panic!("expected invalid-request, got {other:?}"),
+    }
+}
