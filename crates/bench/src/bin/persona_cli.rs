@@ -19,6 +19,10 @@
 //!                   driving from another process/machine)
 //!   `--addr ADDR`   benchmark against an already-running server
 //!                   (skips the in-process baseline)
+//!   `--wal-bench`   measure the durable service's write-ahead journal
+//!                   under each fsync policy (always / batch / never)
+//!                   and write `BENCH_wal.json` — the cost of the
+//!                   durability guarantee, record by record
 //! Knobs: `PERSONA_BENCH_SCALE` (dataset size).
 
 use std::net::SocketAddr;
@@ -33,6 +37,9 @@ use persona_agd::manifest::Manifest;
 use persona_bench::{mem_store, print_header, scale, World};
 use persona_dataflow::Priority;
 use persona_formats::fastq;
+use persona_server::journal::{
+    FsyncPolicy, Journal, JournalConfig, JournalRecord, RecordedInput, TerminalStatus,
+};
 use persona_server::{
     JobInput, JobSpec, PersonaService, ServiceConfig, TenantConfig, WireServer, WireServerConfig,
 };
@@ -43,6 +50,7 @@ struct Args {
     jobs_per_client: usize,
     serve: Option<String>,
     addr: Option<String>,
+    wal_bench: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +60,7 @@ fn parse_args() -> Args {
         jobs_per_client: 2,
         serve: None,
         addr: None,
+        wal_bench: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,13 +73,124 @@ fn parse_args() -> Args {
             }
             "--serve" => parsed.serve = Some(value("--serve")),
             "--addr" => parsed.addr = Some(value("--addr")),
+            "--wal-bench" => parsed.wal_bench = true,
             other => panic!(
-                "unknown argument `{other}` (try --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR)",
+                "unknown argument `{other}` (try --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR | --wal-bench)",
                 PRESET_NAMES.join("|")
             ),
         }
     }
     parsed
+}
+
+/// One synthetic job lifecycle's worth of journal records: what the
+/// durable service writes for a FASTQ-input full-plan job.
+fn job_lifecycle(id: u64, fastq: &[u8], manifest: &Manifest) -> Vec<JournalRecord> {
+    let mut records = vec![
+        JournalRecord::Submitted {
+            job_id: id,
+            name: format!("job-{id}"),
+            tenant: if id % 3 == 0 { "batch" } else { "prod" }.to_string(),
+            priority: Priority::Normal,
+            plan: Plan::full(),
+            input: RecordedInput::Fastq(fastq.to_vec()),
+            chunk_size: 2_000,
+            reference: vec![("chr1".into(), 120_000)],
+        },
+        JournalRecord::Started { job_id: id },
+    ];
+    for stage in [Stage::Align, Stage::Sort, Stage::Dupmark] {
+        records.push(JournalRecord::StageCompleted {
+            job_id: id,
+            stage,
+            manifest: manifest.clone(),
+        });
+    }
+    records.push(JournalRecord::Finished {
+        job_id: id,
+        name: format!("job-{id}"),
+        tenant: if id % 3 == 0 { "batch" } else { "prod" }.to_string(),
+        status: TerminalStatus::Completed,
+        error: None,
+    });
+    records
+}
+
+/// Journal throughput under each fsync policy: the price of "every
+/// acknowledged transition survives any crash" versus group commit
+/// versus OS-paced flushing, over identical record streams.
+fn wal_bench() {
+    let sc = scale();
+    let jobs = ((600.0 * sc) as u64).max(50);
+    let fastq = vec![b'A'; 4 * 1024];
+    let manifest = Manifest::new("bench");
+    let dir = std::env::temp_dir().join(format!("persona-wal-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    let policies: [(&str, FsyncPolicy); 3] = [
+        ("always", FsyncPolicy::Always),
+        ("batch16", FsyncPolicy::Batch(16)),
+        ("never", FsyncPolicy::Never),
+    ];
+    print_header(
+        "Write-ahead journal (6 records per job lifecycle)",
+        &["fsync", "jobs", "records/s", "MB/s", "elapsed"],
+    );
+    let mut measured: Vec<(&str, f64, u64)> = Vec::new();
+    for (name, policy) in policies {
+        let path = dir.join(format!("{name}.wal"));
+        let _ = std::fs::remove_file(&path);
+        let mut journal =
+            Journal::open(&path, JournalConfig { fsync: policy, compact_threshold: 0 })
+                .expect("open journal");
+        let t0 = Instant::now();
+        for id in 1..=jobs {
+            for record in job_lifecycle(id, &fastq, &manifest) {
+                journal.append(&record).expect("append");
+            }
+        }
+        journal.sync().expect("sync");
+        let elapsed = t0.elapsed().as_secs_f64();
+        let bytes = journal.len();
+        drop(journal);
+        // The log must replay to exactly what was written.
+        let replayed = Journal::read(&path).expect("replay");
+        assert_eq!(replayed.records.len() as u64, jobs * 6, "{name}: torn log");
+        assert_eq!(replayed.good_len, bytes, "{name}: replay length");
+        let records_per_sec = if elapsed > 0.0 { (jobs * 6) as f64 / elapsed } else { 0.0 };
+        let mb_per_sec =
+            if elapsed > 0.0 { bytes as f64 / elapsed / (1024.0 * 1024.0) } else { 0.0 };
+        println!("{name}\t{jobs}\t{records_per_sec:.0}\t{mb_per_sec:.1}\t{elapsed:.3} s");
+        measured.push((name, elapsed, bytes));
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let field = |name: &str| {
+        let &(_, elapsed, bytes) =
+            measured.iter().find(|(n, _, _)| *n == name).expect("policy measured");
+        format!("\"{name}_s\":{elapsed:.6},\"{name}_bytes\":{bytes}")
+    };
+    let batching_speedup = {
+        let always = measured[0].1;
+        let batch = measured[1].1;
+        if batch > 0.0 {
+            always / batch
+        } else {
+            0.0
+        }
+    };
+    let json = format!(
+        "{{\"bench\":\"wal\",\"jobs\":{jobs},\"records\":{},{},{},{},\
+         \"batching_speedup\":{batching_speedup:.3}}}\n",
+        jobs * 6,
+        field("always"),
+        field("batch16"),
+        field("never"),
+    );
+    std::fs::write("BENCH_wal.json", json).expect("write BENCH_wal.json");
+    println!("\nfsync batching (16) is {batching_speedup:.1}x the per-record fsync throughput");
+    println!("wrote BENCH_wal.json");
 }
 
 /// Builds the service + wire server pair over a fresh runtime.
@@ -110,6 +230,10 @@ fn landed_dataset(rt: &Arc<PersonaRuntime>, world: &World, fastq_bytes: &[u8]) -
 
 fn main() {
     let args = parse_args();
+    if args.wal_bench {
+        wal_bench();
+        return;
+    }
     let sc = scale();
     let plan = Plan::preset(&args.plan_name).unwrap_or_else(|| {
         panic!("unknown plan `{}` (one of {})", args.plan_name, PRESET_NAMES.join(", "))

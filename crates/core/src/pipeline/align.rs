@@ -297,7 +297,7 @@ pub fn align_with_runtime(
         g.run().map_err(
             |(e, _)| if rt.is_cancelled() { Error::Cancelled } else { Error::Dataflow(e) },
         )?;
-    let busy_fraction = timer.finish().busy_fraction;
+    let busy_fraction = timer.finish().busy_fraction();
     let merged_profile = *profile.lock();
     Ok(AlignReport {
         elapsed: run.elapsed,

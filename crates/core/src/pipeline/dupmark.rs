@@ -276,7 +276,7 @@ pub fn mark_duplicates_rt(
         elapsed: stage.elapsed,
         reads,
         duplicates,
-        busy_fraction: stage.busy_fraction,
+        busy_fraction: stage.busy_fraction(),
     })
 }
 

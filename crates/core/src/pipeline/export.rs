@@ -204,7 +204,7 @@ pub fn export_sam_rt(
         elapsed: run.elapsed,
         records: records_total.load(std::sync::atomic::Ordering::Relaxed),
         output_bytes: bytes_total.load(std::sync::atomic::Ordering::Relaxed),
-        busy_fraction: stage.busy_fraction,
+        busy_fraction: stage.busy_fraction(),
     })
 }
 
@@ -267,7 +267,7 @@ pub fn export_bam_rt(
         elapsed: stage.elapsed,
         records: n,
         output_bytes: counting.written,
-        busy_fraction: stage.busy_fraction,
+        busy_fraction: stage.busy_fraction(),
     })
 }
 

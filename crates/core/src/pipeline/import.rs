@@ -290,7 +290,7 @@ pub fn import_fastq_rt(
             input_bytes: input_bytes.load(Ordering::Relaxed),
             reads: reads_ctr.load(Ordering::Relaxed),
             chunks: entry_list.len() as u64,
-            busy_fraction: stage.busy_fraction,
+            busy_fraction: stage.busy_fraction(),
         },
     ))
 }

@@ -159,7 +159,7 @@ pub fn sort_dataset_rt(
             records,
             runs: n_runs,
             superchunks,
-            busy_fraction: stage.busy_fraction,
+            busy_fraction: stage.busy_fraction(),
         },
     ))
 }

@@ -522,6 +522,29 @@ impl Plan {
     /// a mid-plan failure can never leave a plausible-looking truncated
     /// export behind.
     pub fn run(&self, rt: &PersonaRuntime, req: PlanRequest) -> Result<PlanReport> {
+        self.run_observed(rt, req, &mut |_, _| {})
+    }
+
+    /// [`Plan::run`] with a stage-completion observer: `on_stage` is
+    /// invoked after each stage that lands durable dataset state in the
+    /// runtime's store — `import`, `align`, `sort` and `dupmark` — with
+    /// the manifest that stage landed. A fused pair notifies once, for
+    /// its downstream stage, when both halves have finished (a
+    /// half-done fused pair has landed nothing resumable). Export
+    /// stages buffer bytes in memory rather than landing store state,
+    /// so they never notify.
+    ///
+    /// This is the serialization hook a durable job service journals
+    /// stage completion through: the `(stage, manifest)` pair is
+    /// exactly what a crash-recovery replay needs to rebuild the plan
+    /// suffix and resume from the last landed state (see
+    /// `persona-server`'s write-ahead journal).
+    pub fn run_observed(
+        &self,
+        rt: &PersonaRuntime,
+        req: PlanRequest,
+        on_stage: StageObserver<'_>,
+    ) -> Result<PlanReport> {
         let started = Instant::now();
         rt.check_cancelled()?;
         let queue_cap = rt.config().capacity_for(rt.config().aligner_kernels).max(2);
@@ -576,6 +599,7 @@ impl Plan {
                     report.stages.push(StageRun::Import(import_rep));
                     report.stages.push(StageRun::Align(align_rep));
                     report.manifest = Some(manifest.clone());
+                    on_stage(Stage::Align, report.manifest.as_ref().expect("just set"));
                     cur = Some(manifest);
                     i += 2;
                 }
@@ -585,6 +609,7 @@ impl Plan {
                         import::import_fastq_rt(rt, input, &req.name, req.chunk_size, None)?;
                     report.stages.push(StageRun::Import(import_rep));
                     report.manifest = Some(manifest.clone());
+                    on_stage(Stage::Import, report.manifest.as_ref().expect("just set"));
                     cur = Some(manifest);
                     i += 1;
                 }
@@ -597,6 +622,7 @@ impl Plan {
                     align::finalize_manifest(rt.store().as_ref(), &mut manifest, &req.reference)?;
                     report.stages.push(StageRun::Align(align_rep));
                     report.manifest = Some(manifest.clone());
+                    on_stage(Stage::Align, report.manifest.as_ref().expect("just set"));
                     cur = Some(manifest);
                     i += 1;
                 }
@@ -608,6 +634,7 @@ impl Plan {
                             .map_err(|e| cancelled_or(rt, e))?;
                     report.stages.push(StageRun::Sort(sort_rep));
                     report.sorted = Some(sorted.clone());
+                    on_stage(Stage::Sort, report.sorted.as_ref().expect("just set"));
                     cur = Some(sorted);
                     i += 1;
                 }
@@ -618,6 +645,10 @@ impl Plan {
                     report.stages.push(StageRun::Dupmark(dupmark_rep));
                     report.stages.push(StageRun::ExportSam(export_rep));
                     report.sam = Some(sam);
+                    // The fused pair's durable landing is the dup-marked
+                    // dataset; the SAM bytes live only in the report, so
+                    // a resume from here re-runs just the export.
+                    on_stage(Stage::Dupmark, &manifest);
                     cur = Some(manifest);
                     i += 2;
                 }
@@ -626,6 +657,7 @@ impl Plan {
                     let dupmark_rep = dupmark::mark_duplicates_rt(rt, &manifest, None)
                         .map_err(|e| cancelled_or(rt, e))?;
                     report.stages.push(StageRun::Dupmark(dupmark_rep));
+                    on_stage(Stage::Dupmark, &manifest);
                     cur = Some(manifest);
                     i += 1;
                 }
@@ -772,6 +804,11 @@ impl PlanSource {
         PlanSource::Fastq(Box::new(std::io::Cursor::new(bytes)))
     }
 }
+
+/// A stage-completion callback for [`Plan::run_observed`]: called with
+/// each stage that landed durable dataset state and the manifest it
+/// landed, in plan order, as the run progresses.
+pub type StageObserver<'a> = &'a mut dyn FnMut(Stage, &Manifest);
 
 /// The per-run resources a plan needs: dataset naming, the input, and
 /// the shared kernel resources. (The plan itself stays pure data so it

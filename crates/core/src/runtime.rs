@@ -225,10 +225,24 @@ pub struct StageTimer {
 pub struct StageStats {
     /// Wall-clock duration of the stage.
     pub elapsed: Duration,
-    /// Fraction of total executor worker time this stage's tasks used.
-    pub busy_fraction: f64,
+    /// Fraction of total executor worker time this stage's tasks used,
+    /// or `None` when the window was degenerate (zero wall clock or
+    /// zero workers) and the share is mathematically undefined. A
+    /// `None` with a non-zero [`StageStats::tasks`] means tasks ran
+    /// but the window could not attribute worker time to them —
+    /// distinct from a measured 0.0.
+    pub busy: Option<f64>,
     /// Executor tasks the stage ran.
     pub tasks: u64,
+}
+
+impl StageStats {
+    /// The busy share as a plain number: the measured fraction, or a
+    /// NaN-guarded 0.0 when the window was degenerate. Aggregations
+    /// that cannot represent "unmeasured" use this.
+    pub fn busy_fraction(&self) -> f64 {
+        self.busy.unwrap_or(0.0)
+    }
 }
 
 impl StageTimer {
@@ -239,15 +253,17 @@ impl StageTimer {
 
     /// Closes the window and computes the stage's executor share.
     ///
-    /// A ~0 wall-clock window (empty or instantaneous stage) reports a
-    /// busy fraction of 0.0 — never NaN or infinity — so tiny jobs
+    /// A ~0 wall-clock window (empty or instantaneous stage) yields an
+    /// undefined share, reported as `busy: None` rather than a
+    /// fabricated 0.0 — callers that need a number get a NaN-guarded
+    /// 0.0 from [`StageStats::busy_fraction`], so tiny jobs still
     /// cannot poison aggregated service metrics.
     pub fn finish(&self) -> StageStats {
         let elapsed = self.started.elapsed();
         let snap = self.counters.snapshot();
         let denom = elapsed.as_nanos() as f64 * self.workers as f64;
-        let busy_fraction = if denom > 0.0 { (snap.busy_ns as f64 / denom).min(1.0) } else { 0.0 };
-        StageStats { elapsed, busy_fraction, tasks: snap.items }
+        let busy = (denom > 0.0).then(|| (snap.busy_ns as f64 / denom).min(1.0));
+        StageStats { elapsed, busy, tasks: snap.items }
     }
 }
 
@@ -372,10 +388,14 @@ mod tests {
         let rt = runtime();
         let timer = rt.stage_timer();
         let stats = timer.finish();
-        assert!(stats.busy_fraction.is_finite(), "busy {}", stats.busy_fraction);
-        assert_eq!(stats.busy_fraction, 0.0);
+        assert!(stats.busy_fraction().is_finite(), "busy {}", stats.busy_fraction());
+        assert_eq!(stats.busy_fraction(), 0.0);
         assert_eq!(stats.tasks, 0);
-        // Explicitly exercise the zero-denominator branch.
+        // Explicitly exercise the zero-denominator branch: tasks ran
+        // (busy time was recorded) but the window cannot attribute a
+        // share. That must surface as `None` — not a fabricated 0.0
+        // that looks like a measured idle stage — while the numeric
+        // accessor still NaN-guards to 0.0 for aggregation.
         let degenerate = StageTimer {
             counters: Arc::new(NodeCounters::default()),
             workers: 0,
@@ -383,7 +403,8 @@ mod tests {
         };
         degenerate.counters.busy_ns.store(1_000_000, std::sync::atomic::Ordering::Relaxed);
         let stats = degenerate.finish();
-        assert_eq!(stats.busy_fraction, 0.0);
+        assert_eq!(stats.busy, None, "degenerate window has no defined share");
+        assert_eq!(stats.busy_fraction(), 0.0);
     }
 
     #[test]

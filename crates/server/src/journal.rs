@@ -1,0 +1,1035 @@
+//! The write-ahead job journal: every job lifecycle transition is
+//! appended to one log file *before* the service acts on it, so a
+//! crashed service can be rebuilt by replay.
+//!
+//! # Record framing
+//!
+//! The on-disk format mirrors the wire protocol's framing (JSON header
+//! plus raw binary body, so bulk FASTQ bytes never pay a text
+//! encoding) and adds a checksum, because a log tail — unlike a TCP
+//! stream — can be torn mid-write by a crash:
+//!
+//! ```text
+//! ┌────────────┬────────────┬────────────┬───────────────┬─────────────┐
+//! │ header_len │  body_len  │   crc32    │  header JSON  │    body     │
+//! │  u32 (BE)  │  u32 (BE)  │  u32 (BE)  │  header_len B │  body_len B │
+//! └────────────┴────────────┴────────────┴───────────────┴─────────────┘
+//! ```
+//!
+//! The CRC covers header and body. Replay reads records until the file
+//! ends cleanly or a record fails to verify — truncated lengths,
+//! out-of-bound lengths, checksum mismatch, or an undecodable header —
+//! and truncates the file back to the last verified record, so one
+//! torn append can never poison the log: everything before it is kept,
+//! everything after it (necessarily unacknowledged) is dropped.
+//!
+//! # Durability policy
+//!
+//! [`FsyncPolicy`] picks the fsync cadence: `Always` (every append —
+//! a journaled transition survives any crash), `Batch(n)` (group
+//! commit: fsync every `n`th append — bounded loss window, an order of
+//! magnitude cheaper), or `Never` (the OS decides; crash-consistent
+//! but not crash-durable). Whatever the policy, records are *written*
+//! in order, so a crash loses at most a suffix.
+//!
+//! # Compaction
+//!
+//! The journal folds every append into an in-memory [`JournalState`]
+//! mirror. When the file outgrows [`JournalConfig::compact_threshold`]
+//! a checkpoint rewrite replaces it: terminal jobs shrink to a single
+//! [`JournalRecord::Finished`] line (their specs, inputs and stage
+//! manifests are dead weight), live jobs keep exactly the records
+//! replay needs, and the dataset catalog is re-emitted. The rewrite
+//! goes to a temp file, is fsynced, and atomically renamed over the
+//! log, so a crash mid-compaction leaves either the old log or the new
+//! one — never a mix.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use persona::plan::{Plan, Stage};
+use persona::wire::{parse_priority, priority_name};
+use persona::{Error, Result};
+use persona_agd::manifest::Manifest;
+use persona_compress::crc32::Crc32;
+use persona_dataflow::Priority;
+use serde::{field, DeError, Deserialize, Serialize, Value};
+
+/// Header bytes per record are bounded (a manifest-bearing header is
+/// well under this); a length beyond the bound is treated as a torn
+/// or corrupt record, not an allocation request.
+pub const MAX_HEADER_LEN: usize = 64 * 1024 * 1024;
+/// Body bytes per record are bounded (bodies carry job FASTQ inputs).
+pub const MAX_BODY_LEN: usize = 1024 * 1024 * 1024;
+
+const FRAME_PREFIX: usize = 12; // header_len + body_len + crc32
+
+/// When appended records reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append: a journaled transition survives any
+    /// crash. The safest and slowest policy.
+    Always,
+    /// Group commit: fsync after every `n`th unsynced append (`n` ≤ 1
+    /// behaves like `Always`). A crash loses at most the last `n`
+    /// acknowledged transitions — never earlier ones, because writes
+    /// are ordered.
+    Batch(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases. The
+    /// log is still torn-tail-safe, just not crash-durable.
+    Never,
+}
+
+/// Journal knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// The fsync cadence for appends.
+    pub fsync: FsyncPolicy,
+    /// Compact once the log file exceeds this many bytes (and has at
+    /// least doubled since the previous compaction, so a state too big
+    /// to shrink does not trigger a rewrite per append). `0` disables
+    /// automatic compaction; [`Journal::compact`] always works.
+    pub compact_threshold: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig { fsync: FsyncPolicy::Batch(16), compact_threshold: 8 * 1024 * 1024 }
+    }
+}
+
+/// A job input as journaled: FASTQ bytes travel in the record body,
+/// dataset inputs ship their manifest in the header.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordedInput {
+    /// Raw FASTQ bytes (the record body).
+    Fastq(Vec<u8>),
+    /// An existing dataset, by manifest.
+    Dataset(Manifest),
+}
+
+/// A terminal job status as journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalStatus {
+    /// The job completed.
+    Completed,
+    /// The job failed (the record carries the error).
+    Failed,
+    /// The job was cancelled.
+    Cancelled,
+}
+
+impl TerminalStatus {
+    /// The kebab-case record name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TerminalStatus::Completed => "completed",
+            TerminalStatus::Failed => "failed",
+            TerminalStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a record name.
+    pub fn parse(s: &str) -> Option<TerminalStatus> {
+        match s {
+            "completed" => Some(TerminalStatus::Completed),
+            "failed" => Some(TerminalStatus::Failed),
+            "cancelled" => Some(TerminalStatus::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+/// One journaled transition. Every record is self-delimiting on disk
+/// (see the module docs for the framing) and self-contained enough for
+/// replay to fold the sequence into a [`JournalState`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A job was admitted, with its full spec. FASTQ input bytes ride
+    /// in the record body; everything else is header JSON.
+    Submitted {
+        /// Service-assigned job id.
+        job_id: u64,
+        /// Dataset name.
+        name: String,
+        /// Submitting tenant.
+        tenant: String,
+        /// Dispatch priority.
+        priority: Priority,
+        /// The composed plan.
+        plan: Plan,
+        /// The input.
+        input: RecordedInput,
+        /// Records per AGD chunk (FASTQ inputs).
+        chunk_size: usize,
+        /// `(contig, length)` reference metadata.
+        reference: Vec<(String, u64)>,
+    },
+    /// The job was granted a fair-share slot and began running.
+    Started {
+        /// The job.
+        job_id: u64,
+    },
+    /// A plan stage landed durable dataset state; `manifest` is what it
+    /// landed. This is the resume point replay rebuilds from.
+    StageCompleted {
+        /// The job.
+        job_id: u64,
+        /// The completed stage.
+        stage: Stage,
+        /// The manifest that stage landed in the shared store.
+        manifest: Manifest,
+    },
+    /// The job reached a terminal state. Carries name and tenant so a
+    /// compacted log can drop the job's `Submitted` record while
+    /// recovery still answers `status` for the id.
+    Finished {
+        /// The job.
+        job_id: u64,
+        /// Dataset name (for compacted logs).
+        name: String,
+        /// Tenant (for compacted logs).
+        tenant: String,
+        /// How it ended.
+        status: TerminalStatus,
+        /// The failure message, for failed jobs.
+        error: Option<String>,
+    },
+    /// A catalog entry: `name` resolves to `manifest` for dataset-input
+    /// submissions after a restart. Last write per name wins.
+    Dataset {
+        /// Catalog name.
+        name: String,
+        /// The dataset's manifest.
+        manifest: Manifest,
+    },
+    /// A compaction checkpoint: preserves the id watermark so job ids
+    /// stay unique (and wire-visible ids stable) across restarts even
+    /// after terminal jobs are compacted away.
+    Checkpoint {
+        /// The next id the service may assign.
+        next_id: u64,
+    },
+}
+
+impl JournalRecord {
+    fn type_name(&self) -> &'static str {
+        match self {
+            JournalRecord::Submitted { .. } => "submitted",
+            JournalRecord::Started { .. } => "started",
+            JournalRecord::StageCompleted { .. } => "stage-completed",
+            JournalRecord::Finished { .. } => "finished",
+            JournalRecord::Dataset { .. } => "dataset",
+            JournalRecord::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// Splits into (header value, body bytes). The body is only ever
+    /// the FASTQ input of a `submitted` record.
+    fn to_header_body(&self) -> (Value, &[u8]) {
+        let mut fields: Vec<(String, Value)> =
+            vec![("type".into(), Value::String(self.type_name().into()))];
+        let mut body: &[u8] = &[];
+        match self {
+            JournalRecord::Submitted {
+                job_id,
+                name,
+                tenant,
+                priority,
+                plan,
+                input,
+                chunk_size,
+                reference,
+            } => {
+                fields.push(("job_id".into(), job_id.serialize()));
+                fields.push(("name".into(), name.serialize()));
+                fields.push(("tenant".into(), tenant.serialize()));
+                fields.push(("priority".into(), Value::String(priority_name(*priority).into())));
+                fields.push(("plan".into(), plan.serialize()));
+                match input {
+                    RecordedInput::Fastq(bytes) => {
+                        fields.push(("input".into(), Value::String("fastq".into())));
+                        body = bytes;
+                    }
+                    RecordedInput::Dataset(manifest) => {
+                        fields.push(("input".into(), Value::String("dataset".into())));
+                        fields.push(("manifest".into(), manifest.serialize()));
+                    }
+                }
+                fields.push(("chunk_size".into(), chunk_size.serialize()));
+                fields.push((
+                    "reference".into(),
+                    Value::Array(
+                        reference
+                            .iter()
+                            .map(|(contig, len)| {
+                                Value::Array(vec![Value::String(contig.clone()), len.serialize()])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            JournalRecord::Started { job_id } => {
+                fields.push(("job_id".into(), job_id.serialize()));
+            }
+            JournalRecord::StageCompleted { job_id, stage, manifest } => {
+                fields.push(("job_id".into(), job_id.serialize()));
+                fields.push(("stage".into(), Value::String(stage.name().into())));
+                fields.push(("manifest".into(), manifest.serialize()));
+            }
+            JournalRecord::Finished { job_id, name, tenant, status, error } => {
+                fields.push(("job_id".into(), job_id.serialize()));
+                fields.push(("name".into(), name.serialize()));
+                fields.push(("tenant".into(), tenant.serialize()));
+                fields.push(("status".into(), Value::String(status.as_str().into())));
+                fields.push(("error".into(), error.serialize()));
+            }
+            JournalRecord::Dataset { name, manifest } => {
+                fields.push(("name".into(), name.serialize()));
+                fields.push(("manifest".into(), manifest.serialize()));
+            }
+            JournalRecord::Checkpoint { next_id } => {
+                fields.push(("next_id".into(), next_id.serialize()));
+            }
+        }
+        (Value::Object(fields), body)
+    }
+
+    fn from_header_body(v: &Value, body: Vec<u8>) -> std::result::Result<Self, DeError> {
+        let ty: String = field::required(v, "type")?;
+        let job_id = || field::required::<u64>(v, "job_id");
+        match ty.as_str() {
+            "submitted" => {
+                let priority_s: String = field::required(v, "priority")?;
+                let priority = parse_priority(&priority_s)
+                    .ok_or_else(|| DeError::new(format!("unknown priority `{priority_s}`")))?;
+                let input_s: String = field::required(v, "input")?;
+                let input = match input_s.as_str() {
+                    "fastq" => RecordedInput::Fastq(body),
+                    "dataset" => RecordedInput::Dataset(field::required(v, "manifest")?),
+                    other => return Err(DeError::new(format!("unknown input kind `{other}`"))),
+                };
+                let reference = match v.get("reference") {
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|pair| match pair {
+                            Value::Array(kv) if kv.len() == 2 => {
+                                let contig = String::deserialize(&kv[0])?;
+                                let len = u64::deserialize(&kv[1])?;
+                                Ok((contig, len))
+                            }
+                            other => Err(DeError::new(format!("bad reference entry {other:?}"))),
+                        })
+                        .collect::<std::result::Result<Vec<_>, DeError>>()?,
+                    None => Vec::new(),
+                    Some(other) => {
+                        return Err(DeError::new(format!("bad reference field {other:?}")))
+                    }
+                };
+                Ok(JournalRecord::Submitted {
+                    job_id: job_id()?,
+                    name: field::required(v, "name")?,
+                    tenant: field::required(v, "tenant")?,
+                    priority,
+                    plan: field::required(v, "plan")?,
+                    input,
+                    chunk_size: field::required(v, "chunk_size")?,
+                    reference,
+                })
+            }
+            "started" => Ok(JournalRecord::Started { job_id: job_id()? }),
+            "stage-completed" => {
+                let stage_s: String = field::required(v, "stage")?;
+                let stage = Stage::parse(&stage_s)
+                    .ok_or_else(|| DeError::new(format!("unknown stage `{stage_s}`")))?;
+                Ok(JournalRecord::StageCompleted {
+                    job_id: job_id()?,
+                    stage,
+                    manifest: field::required(v, "manifest")?,
+                })
+            }
+            "finished" => {
+                let status_s: String = field::required(v, "status")?;
+                let status = TerminalStatus::parse(&status_s)
+                    .ok_or_else(|| DeError::new(format!("unknown status `{status_s}`")))?;
+                Ok(JournalRecord::Finished {
+                    job_id: job_id()?,
+                    name: field::required(v, "name")?,
+                    tenant: field::required(v, "tenant")?,
+                    status,
+                    error: field::defaulted(v, "error")?,
+                })
+            }
+            "dataset" => Ok(JournalRecord::Dataset {
+                name: field::required(v, "name")?,
+                manifest: field::required(v, "manifest")?,
+            }),
+            "checkpoint" => {
+                Ok(JournalRecord::Checkpoint { next_id: field::required(v, "next_id")? })
+            }
+            other => Err(DeError::new(format!("unknown record type `{other}`"))),
+        }
+    }
+
+    /// Encodes the record as one framed log entry.
+    fn encode(&self) -> Result<Vec<u8>> {
+        let (header, body) = self.to_header_body();
+        // The vendored `to_string` takes a `Serialize`, not a bare
+        // `Value`; a transparent wrapper bridges the gap.
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn serialize(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let header_json = serde_json::to_string(&Raw(header))
+            .map_err(|e| Error::Pipeline(format!("encode journal record: {e}")))?;
+        let header_bytes = header_json.as_bytes();
+        if header_bytes.len() > MAX_HEADER_LEN {
+            return Err(Error::Pipeline("journal record header too large".into()));
+        }
+        if body.len() > MAX_BODY_LEN {
+            return Err(Error::Pipeline("journal record body too large".into()));
+        }
+        let mut crc = Crc32::new();
+        crc.update(header_bytes);
+        crc.update(body);
+        let mut out = Vec::with_capacity(FRAME_PREFIX + header_bytes.len() + body.len());
+        out.extend_from_slice(&(header_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&crc.finish().to_be_bytes());
+        out.extend_from_slice(header_bytes);
+        out.extend_from_slice(body);
+        Ok(out)
+    }
+}
+
+/// Everything known about one journaled job after replay.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Service-assigned id.
+    pub id: u64,
+    /// Dataset name.
+    pub name: String,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// The submission spec; `None` for terminal jobs whose spec was
+    /// compacted away.
+    pub spec: Option<RecordedSpec>,
+    /// Whether a `started` record was journaled.
+    pub started: bool,
+    /// Completed stages with the manifest each landed, in completion
+    /// order; a re-run stage keeps its slot with the newest manifest.
+    pub stages: Vec<(Stage, Manifest)>,
+    /// The terminal state, when one was journaled.
+    pub terminal: Option<(TerminalStatus, Option<String>)>,
+}
+
+/// The resumable parts of a journaled [`crate::job::JobSpec`].
+#[derive(Debug, Clone)]
+pub struct RecordedSpec {
+    /// Dispatch priority.
+    pub priority: Priority,
+    /// The composed plan.
+    pub plan: Plan,
+    /// The journaled input.
+    pub input: RecordedInput,
+    /// Records per AGD chunk.
+    pub chunk_size: usize,
+    /// `(contig, length)` reference metadata.
+    pub reference: Vec<(String, u64)>,
+}
+
+impl JobRecord {
+    /// The furthest plan stage with a journaled completion, as an index
+    /// into the *original* plan's stage list, with the manifest it
+    /// landed. `None` when no stage has completed (or the spec is
+    /// gone). This is the resume point: replay rebuilds the plan
+    /// suffix after it.
+    pub fn resume_point(&self) -> Option<(usize, &Manifest)> {
+        let plan = &self.spec.as_ref()?.plan;
+        let mut best: Option<(usize, &Manifest)> = None;
+        for (stage, manifest) in &self.stages {
+            if let Some(at) = plan.stages().iter().position(|s| s == stage) {
+                if best.map_or(true, |(b, _)| at > b) {
+                    best = Some((at, manifest));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The fold of a journal's records: jobs by id (id order = submission
+/// order), the dataset catalog, and the id watermark.
+#[derive(Debug, Clone, Default)]
+pub struct JournalState {
+    jobs: BTreeMap<u64, JobRecord>,
+    datasets: BTreeMap<String, Manifest>,
+    next_id: u64,
+}
+
+impl JournalState {
+    /// Folds one record into the state. Replay is exactly
+    /// `records.for_each(|r| state.apply(&r))`.
+    pub fn apply(&mut self, record: &JournalRecord) {
+        match record {
+            JournalRecord::Submitted {
+                job_id,
+                name,
+                tenant,
+                priority,
+                plan,
+                input,
+                chunk_size,
+                reference,
+            } => {
+                self.next_id = self.next_id.max(job_id + 1);
+                self.jobs.insert(
+                    *job_id,
+                    JobRecord {
+                        id: *job_id,
+                        name: name.clone(),
+                        tenant: tenant.clone(),
+                        spec: Some(RecordedSpec {
+                            priority: *priority,
+                            plan: plan.clone(),
+                            input: input.clone(),
+                            chunk_size: *chunk_size,
+                            reference: reference.clone(),
+                        }),
+                        started: false,
+                        stages: Vec::new(),
+                        terminal: None,
+                    },
+                );
+            }
+            JournalRecord::Started { job_id } => {
+                if let Some(job) = self.jobs.get_mut(job_id) {
+                    job.started = true;
+                }
+            }
+            JournalRecord::StageCompleted { job_id, stage, manifest } => {
+                if let Some(job) = self.jobs.get_mut(job_id) {
+                    match job.stages.iter_mut().find(|(s, _)| s == stage) {
+                        Some((_, m)) => *m = manifest.clone(),
+                        None => job.stages.push((*stage, manifest.clone())),
+                    }
+                }
+            }
+            JournalRecord::Finished { job_id, name, tenant, status, error } => {
+                self.next_id = self.next_id.max(job_id + 1);
+                let job = self.jobs.entry(*job_id).or_insert_with(|| JobRecord {
+                    id: *job_id,
+                    name: name.clone(),
+                    tenant: tenant.clone(),
+                    spec: None,
+                    started: false,
+                    stages: Vec::new(),
+                    terminal: None,
+                });
+                job.terminal = Some((*status, error.clone()));
+            }
+            JournalRecord::Dataset { name, manifest } => {
+                self.datasets.insert(name.clone(), manifest.clone());
+            }
+            JournalRecord::Checkpoint { next_id } => {
+                self.next_id = self.next_id.max(*next_id);
+            }
+        }
+    }
+
+    /// Journaled jobs in id (= submission) order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// One job by id.
+    pub fn job(&self, id: u64) -> Option<&JobRecord> {
+        self.jobs.get(&id)
+    }
+
+    /// The dataset catalog (name → manifest, last write wins).
+    pub fn datasets(&self) -> impl Iterator<Item = (&str, &Manifest)> {
+        self.datasets.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// One catalog entry by name.
+    pub fn dataset(&self, name: &str) -> Option<&Manifest> {
+        self.datasets.get(name)
+    }
+
+    /// The smallest id a recovered service may assign next.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.max(1)
+    }
+
+    /// The minimal record sequence that replays to this state — what
+    /// compaction writes. Terminal jobs shrink to one `finished` line;
+    /// live jobs keep their spec, start marker and newest per-stage
+    /// manifests; the catalog and id watermark are re-emitted.
+    fn compact_records(&self) -> Vec<JournalRecord> {
+        let mut out = vec![JournalRecord::Checkpoint { next_id: self.next_id() }];
+        for (name, manifest) in &self.datasets {
+            out.push(JournalRecord::Dataset { name: name.clone(), manifest: manifest.clone() });
+        }
+        for job in self.jobs.values() {
+            if let Some((status, error)) = &job.terminal {
+                out.push(JournalRecord::Finished {
+                    job_id: job.id,
+                    name: job.name.clone(),
+                    tenant: job.tenant.clone(),
+                    status: *status,
+                    error: error.clone(),
+                });
+                continue;
+            }
+            let Some(spec) = &job.spec else {
+                // A live job without a spec cannot be resumed or
+                // re-run; there is nothing worth rewriting.
+                continue;
+            };
+            out.push(JournalRecord::Submitted {
+                job_id: job.id,
+                name: job.name.clone(),
+                tenant: job.tenant.clone(),
+                priority: spec.priority,
+                plan: spec.plan.clone(),
+                input: spec.input.clone(),
+                chunk_size: spec.chunk_size,
+                reference: spec.reference.clone(),
+            });
+            if job.started {
+                out.push(JournalRecord::Started { job_id: job.id });
+            }
+            for (stage, manifest) in &job.stages {
+                out.push(JournalRecord::StageCompleted {
+                    job_id: job.id,
+                    stage: *stage,
+                    manifest: manifest.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A replayed log: the verified records, where each started, and where
+/// the verified prefix ends. `good_len < file_len` means a torn tail
+/// was detected (and, through [`Journal::open`], truncated away).
+#[derive(Debug)]
+pub struct ReplayedLog {
+    /// Every record that verified, in log order.
+    pub records: Vec<JournalRecord>,
+    /// Byte offset where each record starts; `offsets[k]` is also the
+    /// length of a log holding exactly the first `k` records.
+    pub offsets: Vec<u64>,
+    /// Length of the verified prefix.
+    pub good_len: u64,
+}
+
+impl ReplayedLog {
+    /// Folds the records into a [`JournalState`].
+    pub fn state(&self) -> JournalState {
+        let mut state = JournalState::default();
+        for record in &self.records {
+            state.apply(record);
+        }
+        state
+    }
+}
+
+/// The write-ahead journal: an append handle over the log file plus
+/// the folded [`JournalState`] mirror compaction rewrites from.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    len: u64,
+    unsynced: u32,
+    config: JournalConfig,
+    state: JournalState,
+    /// File length right after the last compaction (or open); auto-
+    /// compaction waits for the log to double past the threshold.
+    compact_floor: u64,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, replays and
+    /// verifies the existing records, and truncates any torn tail so
+    /// appends continue from the last good record.
+    pub fn open(path: impl Into<PathBuf>, config: JournalConfig) -> Result<Journal> {
+        let path = path.into();
+        let replayed = Journal::read(&path)?;
+        let state = replayed.state();
+        let file_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if file_len > replayed.good_len {
+            // Torn tail: drop the unverifiable suffix on disk too, so
+            // the next append starts at a record boundary.
+            let trunc = OpenOptions::new().write(true).open(&path)?;
+            trunc.set_len(replayed.good_len)?;
+            trunc.sync_all()?;
+        }
+        // Append mode, so every write lands at the (possibly just
+        // truncated) end of the log.
+        let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
+        let len = replayed.good_len;
+        let mut journal =
+            Journal { path, file, len, unsynced: 0, config, state, compact_floor: len };
+        if config.compact_threshold > 0 && len > config.compact_threshold {
+            journal.compact()?;
+        }
+        Ok(journal)
+    }
+
+    /// Reads and verifies a log file without opening it for writing.
+    /// A missing file replays as empty. Verification stops at the
+    /// first record that fails (torn tail); the file is not modified.
+    pub fn read(path: impl AsRef<Path>) -> Result<ReplayedLog> {
+        let bytes = match std::fs::read(path.as_ref()) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let mut records = Vec::new();
+        let mut offsets = Vec::new();
+        let mut at = 0usize;
+        loop {
+            let Some(record) = decode_record_at(&bytes, at) else {
+                break;
+            };
+            let (record, next) = record;
+            records.push(record);
+            offsets.push(at as u64);
+            at = next;
+        }
+        Ok(ReplayedLog { records, offsets, good_len: at as u64 })
+    }
+
+    /// The folded state of everything journaled so far.
+    pub fn state(&self) -> &JournalState {
+        &self.state
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one record (write-ahead: call this *before* acting on
+    /// the transition), fsyncing per the configured policy, and
+    /// compacts if the log has outgrown its threshold.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
+        let frame = record.encode()?;
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.state.apply(record);
+        match self.config.fsync {
+            FsyncPolicy::Always => {
+                self.file.sync_data()?;
+                self.unsynced = 0;
+            }
+            FsyncPolicy::Batch(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.file.sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        let threshold = self.config.compact_threshold;
+        if threshold > 0 && self.len > threshold.max(self.compact_floor.saturating_mul(2)) {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Forces any batched appends to disk.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.unsynced > 0 || matches!(self.config.fsync, FsyncPolicy::Never) {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log as the minimal record sequence for the current
+    /// state (see [`JournalState`]): temp file, fsync, atomic rename.
+    /// A crash at any point leaves either the old complete log or the
+    /// new one.
+    pub fn compact(&mut self) -> Result<()> {
+        let tmp_path = self.path.with_extension("wal.compacting");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            for record in self.state.compact_records() {
+                tmp.write_all(&record.encode()?)?;
+            }
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Make the rename itself durable where the platform allows
+            // directory fsync; best-effort elsewhere.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // The old handle still points at the replaced inode; reopen.
+        self.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        self.len = self.file.metadata()?.len();
+        self.compact_floor = self.len;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// Decodes the record starting at `at`, returning it and the offset of
+/// the next one — or `None` if the bytes from `at` do not hold one
+/// whole verified record (torn tail).
+fn decode_record_at(bytes: &[u8], at: usize) -> Option<(JournalRecord, usize)> {
+    let prefix = bytes.get(at..at + FRAME_PREFIX)?;
+    let header_len = u32::from_be_bytes(prefix[0..4].try_into().unwrap()) as usize;
+    let body_len = u32::from_be_bytes(prefix[4..8].try_into().unwrap()) as usize;
+    let want_crc = u32::from_be_bytes(prefix[8..12].try_into().unwrap());
+    if header_len > MAX_HEADER_LEN || body_len > MAX_BODY_LEN {
+        return None;
+    }
+    let header_at = at + FRAME_PREFIX;
+    let body_at = header_at + header_len;
+    let next = body_at + body_len;
+    let header = bytes.get(header_at..body_at)?;
+    let body = bytes.get(body_at..next)?;
+    let mut crc = Crc32::new();
+    crc.update(header);
+    crc.update(body);
+    if crc.finish() != want_crc {
+        return None;
+    }
+    let header_str = std::str::from_utf8(header).ok()?;
+    let value = serde_json::parse_value(header_str).ok()?;
+    let record = JournalRecord::from_header_body(&value, body.to_vec()).ok()?;
+    Some((record, next))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use persona::plan::Plan;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("persona-journal-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("service.wal")
+    }
+
+    fn submitted(id: u64, input: RecordedInput) -> JournalRecord {
+        JournalRecord::Submitted {
+            job_id: id,
+            name: format!("job-{id}"),
+            tenant: "prod".into(),
+            priority: Priority::Normal,
+            plan: Plan::full(),
+            input,
+            chunk_size: 512,
+            reference: vec![("chr1".into(), 1000)],
+        }
+    }
+
+    fn mixed_records() -> Vec<JournalRecord> {
+        let manifest = Manifest::new("job-1");
+        vec![
+            submitted(1, RecordedInput::Fastq(b"@r1\nACGT\n+\nIIII\n".to_vec())),
+            JournalRecord::Started { job_id: 1 },
+            JournalRecord::StageCompleted {
+                job_id: 1,
+                stage: Stage::Sort,
+                manifest: manifest.clone(),
+            },
+            submitted(2, RecordedInput::Dataset(manifest.clone())),
+            JournalRecord::Finished {
+                job_id: 1,
+                name: "job-1".into(),
+                tenant: "prod".into(),
+                status: TerminalStatus::Completed,
+                error: None,
+            },
+            JournalRecord::Dataset { name: "landed".into(), manifest },
+            JournalRecord::Checkpoint { next_id: 7 },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_log() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let records = mixed_records();
+        {
+            let mut j = Journal::open(&path, JournalConfig::default()).unwrap();
+            for r in &records {
+                j.append(r).unwrap();
+            }
+            j.sync().unwrap();
+        }
+        let replayed = Journal::read(&path).unwrap();
+        assert_eq!(replayed.records, records);
+        assert_eq!(replayed.offsets.len(), records.len());
+        let state = replayed.state();
+        assert_eq!(state.next_id(), 7);
+        assert_eq!(state.job(1).unwrap().terminal, Some((TerminalStatus::Completed, None)));
+        assert!(state.job(2).unwrap().terminal.is_none());
+        assert!(state.dataset("landed").is_some());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_good_record() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let records = mixed_records();
+        {
+            let mut j = Journal::open(&path, JournalConfig::default()).unwrap();
+            for r in &records {
+                j.append(r).unwrap();
+            }
+            j.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let replayed = Journal::read(&path).unwrap();
+        // Cut mid-record: between the 3rd record's start and its end.
+        let start = replayed.offsets[2] as usize;
+        let end = replayed.offsets[3] as usize;
+        let cut = start + (end - start) / 2;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let torn = Journal::read(&path).unwrap();
+        assert_eq!(torn.records, records[..2]);
+        assert_eq!(torn.good_len, replayed.offsets[2]);
+        // Open truncates the tail on disk and appends continue cleanly.
+        {
+            let mut j = Journal::open(&path, JournalConfig::default()).unwrap();
+            assert_eq!(j.len(), replayed.offsets[2]);
+            j.append(&JournalRecord::Started { job_id: 9 }).unwrap();
+            j.sync().unwrap();
+        }
+        let after = Journal::read(&path).unwrap();
+        assert_eq!(after.records.len(), 3);
+        assert_eq!(after.records[2], JournalRecord::Started { job_id: 9 });
+    }
+
+    #[test]
+    fn corrupted_checksum_stops_replay() {
+        let path = tmp_path("crc");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, JournalConfig::default()).unwrap();
+            for r in mixed_records() {
+                j.append(&r).unwrap();
+            }
+            j.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offsets = Journal::read(&path).unwrap().offsets.clone();
+        // Flip one byte inside the 4th record's header.
+        let at = offsets[3] as usize + FRAME_PREFIX + 2;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let replayed = Journal::read(&path).unwrap();
+        assert_eq!(replayed.records.len(), 3, "replay stops at the first bad checksum");
+        assert_eq!(replayed.good_len, offsets[3]);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_terminal_jobs() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, JournalConfig::default()).unwrap();
+        for r in mixed_records() {
+            j.append(&r).unwrap();
+        }
+        let before = j.state().clone();
+        let len_before = j.len();
+        j.compact().unwrap();
+        assert!(j.len() < len_before, "terminal job 1's records must shrink");
+        let replayed = Journal::read(&path).unwrap();
+        let after = replayed.state();
+        assert_eq!(after.next_id(), before.next_id());
+        let j1 = after.job(1).unwrap();
+        assert_eq!(j1.terminal, Some((TerminalStatus::Completed, None)));
+        assert!(j1.spec.is_none(), "terminal job keeps only its finished line");
+        assert!(after.job(2).unwrap().spec.is_some(), "live job keeps its spec");
+        assert!(after.dataset("landed").is_some());
+        // And appends continue on the compacted file.
+        j.append(&JournalRecord::Started { job_id: 2 }).unwrap();
+        j.sync().unwrap();
+        let state = Journal::read(&path).unwrap().state();
+        assert!(state.job(2).unwrap().started);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_past_threshold() {
+        let path = tmp_path("auto");
+        let _ = std::fs::remove_file(&path);
+        let config = JournalConfig { fsync: FsyncPolicy::Never, compact_threshold: 4096 };
+        let mut j = Journal::open(&path, config).unwrap();
+        // Terminal churn: submit+finish pairs fold to one line each, so
+        // the log keeps shrinking back under the threshold.
+        for id in 0..200u64 {
+            j.append(&submitted(id, RecordedInput::Fastq(vec![b'A'; 256]))).unwrap();
+            j.append(&JournalRecord::Finished {
+                job_id: id,
+                name: format!("job-{id}"),
+                tenant: "prod".into(),
+                status: TerminalStatus::Cancelled,
+                error: None,
+            })
+            .unwrap();
+        }
+        // 200 submit records at ~700 bytes each would be well past
+        // 100 KiB without compaction folding finished pairs away.
+        assert!(
+            j.len() < 100 * 1024,
+            "auto-compaction must have rewritten the log (len {})",
+            j.len()
+        );
+        let state = Journal::read(&path).unwrap().state();
+        assert_eq!(state.jobs().count(), 200);
+        assert!(state.jobs().all(|job| job.terminal.is_some()));
+        assert_eq!(state.next_id(), 200);
+        // An explicit compaction drops every terminal job's spec.
+        j.compact().unwrap();
+        let state = Journal::read(&path).unwrap().state();
+        assert_eq!(state.jobs().count(), 200);
+        assert!(state.jobs().all(|job| job.spec.is_none()));
+    }
+
+    #[test]
+    fn resume_point_is_furthest_plan_stage() {
+        let mut state = JournalState::default();
+        state.apply(&submitted(1, RecordedInput::Fastq(Vec::new())));
+        state.apply(&JournalRecord::Started { job_id: 1 });
+        let m1 = Manifest::new("a");
+        let m2 = Manifest::new("b");
+        state.apply(&JournalRecord::StageCompleted {
+            job_id: 1,
+            stage: Stage::Align,
+            manifest: m1,
+        });
+        state.apply(&JournalRecord::StageCompleted { job_id: 1, stage: Stage::Sort, manifest: m2 });
+        let job = state.job(1).unwrap();
+        let (at, manifest) = job.resume_point().unwrap();
+        // Plan::full() = import, align, sort, dupmark, export-sam.
+        assert_eq!(at, 2);
+        assert_eq!(manifest.name, "b");
+    }
+}

@@ -64,6 +64,7 @@
 //! ```
 
 pub mod job;
+pub mod journal;
 pub mod report;
 pub mod scheduler;
 pub mod service;
@@ -72,10 +73,11 @@ pub mod wire;
 #[allow(deprecated)]
 pub use job::StagePlan;
 pub use job::{JobHandle, JobInput, JobOutcome, JobOutput, JobSpec, JobStatus};
+pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
 // The plan vocabulary, re-exported so service clients need only this
 // crate to compose, serialize and submit plans.
 pub use persona::plan::{DataState, Plan, PlanBuilder, PlanError, PlanReport, Stage};
 pub use report::{ServiceReport, StageRollup, TenantReport};
 pub use scheduler::TenantConfig;
-pub use service::{PersonaService, ServiceConfig};
+pub use service::{PersonaService, RecoverOptions, ServiceConfig};
 pub use wire::{WireServer, WireServerConfig};

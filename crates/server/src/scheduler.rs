@@ -88,6 +88,11 @@ pub(crate) struct FairScheduler {
     running: usize,
     max_concurrent: usize,
     default_config: TenantConfig,
+    /// Dispatched-but-unreleased jobs, id → tenant. Slot release keys
+    /// off this map, which makes it idempotent per job: a cancel
+    /// racing a completion releases the slot exactly once instead of
+    /// silently corrupting the `running`/`in_flight` counters.
+    in_flight_jobs: HashMap<u64, String>,
 }
 
 /// A point-in-time view of one tenant's queue state.
@@ -107,6 +112,7 @@ impl FairScheduler {
             running: 0,
             max_concurrent: max_concurrent.max(1),
             default_config: default_config.clamped(),
+            in_flight_jobs: HashMap::new(),
         }
     }
 
@@ -172,6 +178,7 @@ impl FairScheduler {
                 t.credits -= 1;
                 t.in_flight += 1;
                 self.running += 1;
+                self.in_flight_jobs.insert(job.id, name.clone());
                 // Spent the last credit: move on so the next tenant
                 // starts the following pick; otherwise keep serving
                 // this tenant its remaining weighted share.
@@ -187,11 +194,21 @@ impl FairScheduler {
     }
 
     /// Releases a finished (or cancelled-while-running) job's slot.
-    pub fn job_finished(&mut self, tenant: &str) {
+    /// Idempotent per job: only the first release of a dispatched job
+    /// frees its slot; later releases (a cancel racing the runner's
+    /// completion) and releases of never-dispatched jobs are no-ops.
+    /// Returns whether the slot was actually freed.
+    pub fn job_finished(&mut self, job: &Job) -> bool {
+        let Some(tenant) = self.in_flight_jobs.remove(&job.id) else {
+            return false;
+        };
+        debug_assert!(self.running > 0, "running-count underflow releasing job {}", job.id);
         self.running = self.running.saturating_sub(1);
-        if let Some(t) = self.tenants.get_mut(tenant) {
+        if let Some(t) = self.tenants.get_mut(&tenant) {
+            debug_assert!(t.in_flight > 0, "in-flight underflow for {tenant} (job {})", job.id);
             t.in_flight = t.in_flight.saturating_sub(1);
         }
+        true
     }
 
     /// Removes a still-queued job (cancellation); `false` if it had
@@ -273,10 +290,10 @@ mod tests {
         let first = s.next().unwrap();
         assert_eq!(first.tenant, "heavy");
         assert!(s.next().is_none(), "single slot is busy");
-        s.job_finished("heavy");
+        assert!(s.job_finished(&first));
         let second = s.next().unwrap();
         assert_eq!(second.tenant, "light", "light tenant must not be starved");
-        s.job_finished("light");
+        assert!(s.job_finished(&second));
         assert_eq!(s.next().unwrap().tenant, "heavy");
     }
 
@@ -293,7 +310,7 @@ mod tests {
         for _ in 0..16 {
             let j = s.next().unwrap();
             order.push(j.tenant.clone());
-            s.job_finished(&j.tenant);
+            s.job_finished(&j);
         }
         let big = order.iter().filter(|t| *t == "big").count();
         let small = order.iter().filter(|t| *t == "small").count();
@@ -311,10 +328,11 @@ mod tests {
         for i in 0..5 {
             push(&mut s, i, "capped", Priority::Normal);
         }
-        assert_eq!(s.next().unwrap().tenant, "capped");
+        let first = s.next().unwrap();
+        assert_eq!(first.tenant, "capped");
         assert_eq!(s.next().unwrap().tenant, "capped");
         assert!(s.next().is_none(), "third dispatch exceeds the tenant cap");
-        s.job_finished("capped");
+        assert!(s.job_finished(&first));
         assert!(s.next().is_some(), "slot freed, queue drains again");
     }
 
@@ -354,6 +372,29 @@ mod tests {
         assert!(!s.remove_queued(&a), "already dispatched");
         assert!(s.remove_queued(&b), "still queued");
         assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn double_release_is_idempotent_per_job() {
+        // Regression: a cancel racing the runner's completion used to
+        // release the same job's slot twice; `saturating_sub` hid the
+        // underflow as a permanently-leaked or phantom slot.
+        let mut s = sched(2);
+        push(&mut s, 1, "t", Priority::Normal);
+        push(&mut s, 2, "t", Priority::Normal);
+        let a = s.next().unwrap();
+        let b = s.next().unwrap();
+        assert_eq!(s.running(), 2);
+        assert!(s.job_finished(&a), "first release frees the slot");
+        assert!(!s.job_finished(&a), "second release of the same job is a no-op");
+        assert_eq!(s.running(), 1, "double release must not free two slots");
+        // Releasing a job that was never dispatched is also a no-op.
+        let ghost = Job::stub(99, "t", Priority::Normal);
+        assert!(!s.job_finished(&ghost));
+        assert_eq!(s.running(), 1);
+        assert!(s.job_finished(&b));
+        assert_eq!(s.running(), 0);
+        assert_eq!(s.snapshot()[0].in_flight, 0);
     }
 
     #[test]

@@ -12,19 +12,42 @@
 //! and the TCP front end ([`crate::wire::WireServer`]) go through this
 //! same `submit` path, which is what makes their outputs
 //! byte-identical.
+//!
+//! # Durability
+//!
+//! A service opened with [`PersonaService::recover`] journals every
+//! lifecycle transition through a [`crate::journal::Journal`]
+//! *before* acting on it — submission (with the full spec), dispatch,
+//! each stage that lands durable dataset state, and the terminal
+//! outcome — so a crashed service rebuilds from replay: completed
+//! jobs are never re-admitted, queued jobs re-enter the fair-share
+//! scheduler in submission order under their original tenant, and a
+//! job interrupted mid-plan resumes at its last journaled stage by
+//! running the plan suffix against the journaled intermediate
+//! manifest. Job ids are preserved across recovery, so a wire client
+//! reconnecting after a restart resolves `status`/`wait` on the ids
+//! it already holds. `docs/DURABILITY.md` specifies the record
+//! format and the recovery invariants.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use persona::plan::{PlanRequest, PlanSource, Stage};
+use persona::plan::{Plan, PlanBuilder, PlanReport, PlanRequest, PlanSource, Stage};
 use persona::runtime::{JobContext, PersonaRuntime};
 use persona::{Error, Result};
+use persona_agd::manifest::Manifest;
+use persona_align::Aligner;
+use persona_dataflow::{CancelToken, Priority};
 
-use crate::job::{Job, JobHandle, JobInput, JobOutcome, JobOutput, JobSpec, JobStatus};
+use crate::job::{Job, JobHandle, JobInput, JobOutcome, JobOutput, JobSpec, JobState, JobStatus};
+use crate::journal::{
+    JobRecord, Journal, JournalConfig, JournalRecord, RecordedInput, TerminalStatus,
+};
 use crate::report::{ServiceReport, StageRollup, TenantReport};
 use crate::scheduler::{FairScheduler, TenantConfig};
 
@@ -74,9 +97,40 @@ pub(crate) struct Shared {
     started: Instant,
     accum: Mutex<HashMap<String, TenantAccum>>,
     runners: Mutex<Vec<JoinHandle<()>>>,
+    /// The write-ahead journal, when the service is durable
+    /// ([`PersonaService::recover`]); `None` for a purely in-memory
+    /// service.
+    journal: Option<Mutex<Journal>>,
+    /// Dataset catalog: name → manifest. Journaled through the WAL, so
+    /// dataset-input submissions survive restarts.
+    catalog: Mutex<HashMap<String, Manifest>>,
 }
 
 impl Shared {
+    fn create(
+        rt: Arc<PersonaRuntime>,
+        config: &ServiceConfig,
+        journal: Option<Journal>,
+        catalog: HashMap<String, Manifest>,
+        next_id: u64,
+    ) -> Arc<Shared> {
+        Arc::new(Shared {
+            rt,
+            sched: Mutex::new(FairScheduler::new(
+                config.max_concurrent_jobs,
+                config.default_tenant,
+            )),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(next_id),
+            started: Instant::now(),
+            accum: Mutex::new(HashMap::new()),
+            runners: Mutex::new(Vec::new()),
+            journal: journal.map(Mutex::new),
+            catalog: Mutex::new(catalog),
+        })
+    }
+
     /// Resolves a still-queued job as cancelled (called from
     /// [`JobHandle::cancel`]). Running jobs are handled by their
     /// runner when the cooperative cancellation unwinds; their queued
@@ -88,10 +142,41 @@ impl Shared {
         if removed {
             if job.finish(JobOutcome::Cancelled) {
                 self.accum.lock().entry(job.tenant.clone()).or_default().cancelled += 1;
+                self.journal_note(&finished_record(job, TerminalStatus::Cancelled, None));
             }
         } else {
             self.rt.executor().drain_cancelled();
         }
+    }
+
+    /// Appends to the journal, when one is configured. Write-ahead
+    /// call sites propagate the error (the action must not happen if
+    /// its record cannot land); everything else goes through
+    /// [`Shared::journal_note`].
+    fn journal_append(&self, record: &JournalRecord) -> Result<()> {
+        match &self.journal {
+            Some(journal) => journal.lock().append(record),
+            None => Ok(()),
+        }
+    }
+
+    /// Best-effort journaling: a failed append must not take down the
+    /// job that caused it, and replay degrades gracefully — a lost
+    /// stage record means a longer resume, a lost terminal record
+    /// means one idempotent re-run.
+    fn journal_note(&self, record: &JournalRecord) {
+        let _ = self.journal_append(record);
+    }
+}
+
+/// The terminal record for `job`.
+fn finished_record(job: &Job, status: TerminalStatus, error: Option<String>) -> JournalRecord {
+    JournalRecord::Finished {
+        job_id: job.id,
+        name: job.name.clone(),
+        tenant: job.tenant.clone(),
+        status,
+        error,
     }
 }
 
@@ -102,32 +187,119 @@ impl Shared {
 pub struct PersonaService {
     shared: Arc<Shared>,
     dispatcher: Mutex<Option<JoinHandle<()>>>,
+    /// Handles rebuilt by [`PersonaService::recover`], in submission
+    /// order; empty for an in-memory service.
+    recovered: Vec<JobHandle>,
+}
+
+/// How [`PersonaService::recover`] rebuilds jobs the journal left
+/// unfinished.
+pub struct RecoverOptions {
+    /// The aligner handed to recovered plans that contain an align
+    /// stage. An aligner is a process resource (index memory, kernel
+    /// state) and cannot be journaled, so recovery re-injects it; a
+    /// recovered job whose plan aligns fails at re-admission if this
+    /// is `None`.
+    pub aligner: Option<Arc<dyn Aligner>>,
+    /// Journal knobs for the recovered service.
+    pub journal: JournalConfig,
+}
+
+impl Default for RecoverOptions {
+    fn default() -> Self {
+        RecoverOptions { aligner: None, journal: JournalConfig::default() }
+    }
 }
 
 impl PersonaService {
-    /// Starts a service over `rt`.
+    /// Starts an in-memory service over `rt` (no journal; a crash
+    /// loses all job state). See [`PersonaService::recover`] for the
+    /// durable variant.
     pub fn new(rt: Arc<PersonaRuntime>, config: ServiceConfig) -> PersonaService {
-        let shared = Arc::new(Shared {
-            rt,
-            sched: Mutex::new(FairScheduler::new(
-                config.max_concurrent_jobs,
-                config.default_tenant,
-            )),
-            work_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            next_id: AtomicU64::new(1),
-            started: Instant::now(),
-            accum: Mutex::new(HashMap::new()),
-            runners: Mutex::new(Vec::new()),
-        });
-        let dispatcher = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("persona-dispatch".into())
-                .spawn(move || dispatch_loop(shared))
-                .expect("spawn dispatcher")
-        };
-        PersonaService { shared, dispatcher: Mutex::new(Some(dispatcher)) }
+        let shared = Shared::create(rt, &config, None, HashMap::new(), 1);
+        let dispatcher = spawn_dispatcher(&shared);
+        PersonaService { shared, dispatcher: Mutex::new(Some(dispatcher)), recovered: Vec::new() }
+    }
+
+    /// Opens (or creates) the write-ahead journal at `path`, replays
+    /// it, and starts a durable service continuing exactly where the
+    /// journaled one stopped:
+    ///
+    /// - **Terminal jobs are never re-admitted.** Their handles
+    ///   resolve immediately from the journal (see
+    ///   [`PersonaService::recovered_jobs`]); a completed job's output
+    ///   keeps its journaled final manifest, but exported bytes and
+    ///   timings did not survive the crash and come back empty.
+    /// - **Queued jobs re-enter the scheduler** in submission order
+    ///   under their original tenant, priority and id.
+    /// - **Jobs interrupted mid-plan resume at the last journaled
+    ///   stage**: the plan suffix after it is rebuilt against the
+    ///   journaled intermediate manifest, so already-landed stages
+    ///   never re-run. Store writes are create-or-replace, which
+    ///   makes the resumed suffix idempotent with the crashed run.
+    /// - **Job ids are preserved** (the id watermark replays too), so
+    ///   wire clients reconnecting after a restart resolve
+    ///   `status`/`wait` on ids they already hold.
+    ///
+    /// On a fresh `path` this is simply how a durable service starts.
+    pub fn recover(
+        rt: Arc<PersonaRuntime>,
+        config: ServiceConfig,
+        path: impl Into<PathBuf>,
+        opts: RecoverOptions,
+    ) -> Result<PersonaService> {
+        let journal = Journal::open(path, opts.journal)?;
+        let state = journal.state().clone();
+        let catalog = state.datasets().map(|(name, m)| (name.to_string(), m.clone())).collect();
+        let shared = Shared::create(rt, &config, Some(journal), catalog, state.next_id());
+        let mut recovered = Vec::new();
+        for record in state.jobs() {
+            let job = match &record.terminal {
+                Some((status, error)) => {
+                    recovered_terminal_job(record, *status, error.clone(), &shared)
+                }
+                None => requeue_job(record, &shared, &opts),
+            };
+            recovered.push(JobHandle { job, service: Arc::downgrade(&shared) });
+        }
+        let dispatcher = spawn_dispatcher(&shared);
+        Ok(PersonaService { shared, dispatcher: Mutex::new(Some(dispatcher)), recovered })
+    }
+
+    /// The jobs the journal knew about at recovery, in submission
+    /// order — terminal ones pre-resolved, unfinished ones re-queued
+    /// (a resumed job's handle behaves exactly like a fresh one:
+    /// `status`, `wait`, `cancel`). Empty for [`PersonaService::new`]
+    /// services.
+    pub fn recovered_jobs(&self) -> Vec<JobHandle> {
+        self.recovered.clone()
+    }
+
+    /// Registers `manifest` in the dataset catalog under `name`,
+    /// journaling the entry (write-ahead) so dataset-input submissions
+    /// against it survive restarts. Re-registering a name replaces it.
+    pub fn register_dataset(&self, name: &str, manifest: Manifest) -> Result<()> {
+        self.shared.journal_append(&JournalRecord::Dataset {
+            name: name.to_string(),
+            manifest: manifest.clone(),
+        })?;
+        self.shared.catalog.lock().insert(name.to_string(), manifest);
+        Ok(())
+    }
+
+    /// Looks up a catalog dataset. Completed jobs that landed a final
+    /// manifest register it automatically under the job name.
+    pub fn dataset(&self, name: &str) -> Option<Manifest> {
+        self.shared.catalog.lock().get(name).cloned()
+    }
+
+    /// Forces any batched journal appends to disk (a no-op for
+    /// in-memory services and under [`crate::journal::FsyncPolicy::Always`]).
+    pub fn sync_journal(&self) -> Result<()> {
+        match &self.shared.journal {
+            Some(journal) => journal.lock().sync(),
+            None => Ok(()),
+        }
     }
 
     /// Registers (or re-configures) a tenant's weight and in-flight
@@ -160,6 +332,24 @@ impl PersonaService {
         }
         spec.plan.check_resources(spec.aligner.is_some())?;
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        // Write-ahead: the submission is journaled (spec and all)
+        // before the job exists anywhere else, so an admitted job can
+        // always be rebuilt. A failed append fails the submission.
+        if self.shared.journal.is_some() {
+            self.shared.journal_append(&JournalRecord::Submitted {
+                job_id: id,
+                name: spec.name.clone(),
+                tenant: spec.tenant.clone(),
+                priority: spec.priority,
+                plan: spec.plan.clone(),
+                input: match &spec.input {
+                    JobInput::Fastq(bytes) => RecordedInput::Fastq(bytes.clone()),
+                    JobInput::Dataset(manifest) => RecordedInput::Dataset(manifest.clone()),
+                },
+                chunk_size: spec.chunk_size,
+                reference: spec.reference.clone(),
+            })?;
+        }
         let job = Job::new(id, spec);
         self.shared.accum.lock().entry(job.tenant.clone()).or_default().submitted += 1;
         {
@@ -257,6 +447,11 @@ impl PersonaService {
             for job in drained {
                 if job.finish(JobOutcome::Cancelled) {
                     accum.entry(job.tenant.clone()).or_default().cancelled += 1;
+                    self.shared.journal_note(&finished_record(
+                        &job,
+                        TerminalStatus::Cancelled,
+                        None,
+                    ));
                 }
             }
         }
@@ -267,6 +462,10 @@ impl PersonaService {
         for r in runners {
             let _ = r.join();
         }
+        // A clean stop leaves nothing in the fsync batch window.
+        if let Some(journal) = &self.shared.journal {
+            let _ = journal.lock().sync();
+        }
     }
 }
 
@@ -274,6 +473,156 @@ impl Drop for PersonaService {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+fn spawn_dispatcher(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name("persona-dispatch".into())
+        .spawn(move || dispatch_loop(shared))
+        .expect("spawn dispatcher")
+}
+
+/// A journal-replayed job in a terminal state: its handle resolves
+/// immediately, and it never re-enters the scheduler.
+fn recovered_terminal_job(
+    rec: &JobRecord,
+    status: TerminalStatus,
+    error: Option<String>,
+    shared: &Arc<Shared>,
+) -> Arc<Job> {
+    let outcome = match status {
+        TerminalStatus::Failed => {
+            JobOutcome::Failed(error.unwrap_or_else(|| "job failed before the restart".into()))
+        }
+        TerminalStatus::Cancelled => JobOutcome::Cancelled,
+        TerminalStatus::Completed => {
+            // The durable parts of the output survive: the final
+            // manifest (via the catalog, or the furthest journaled
+            // stage). Exported bytes and stage timings lived only in
+            // the crashed process and come back empty.
+            let manifest = shared
+                .catalog
+                .lock()
+                .get(&rec.name)
+                .cloned()
+                .or_else(|| rec.stages.last().map(|(_, m)| m.clone()));
+            let plan = rec.spec.as_ref().map(|s| s.plan.clone()).unwrap_or_else(Plan::full);
+            JobOutcome::Completed(JobOutput {
+                sam: Vec::new(),
+                bam: Vec::new(),
+                manifest,
+                report: PlanReport {
+                    plan,
+                    stages: Vec::new(),
+                    manifest: None,
+                    sorted: None,
+                    sam: None,
+                    bam: None,
+                    elapsed: Duration::ZERO,
+                },
+                reads: 0,
+                queue_wait: Duration::ZERO,
+                elapsed: Duration::ZERO,
+            })
+        }
+    };
+    resolved_job(rec, outcome)
+}
+
+/// Builds an already-finished [`Job`] for a recovered record.
+fn resolved_job(rec: &JobRecord, outcome: JobOutcome) -> Arc<Job> {
+    Arc::new(Job {
+        id: rec.id,
+        name: rec.name.clone(),
+        tenant: rec.tenant.clone(),
+        priority: rec.spec.as_ref().map(|s| s.priority).unwrap_or(Priority::Normal),
+        cancel: CancelToken::new(),
+        submitted: Instant::now(),
+        dispatched: Mutex::new(None),
+        state: Mutex::new(JobState::Done(Arc::new(outcome))),
+        done_cv: Condvar::new(),
+        payload: Mutex::new(None),
+    })
+}
+
+/// Re-admits a journal-replayed job the crashed service never
+/// finished, resuming at the last journaled stage when one landed.
+fn requeue_job(rec: &JobRecord, shared: &Arc<Shared>, opts: &RecoverOptions) -> Arc<Job> {
+    let fail = |msg: String| -> Arc<Job> {
+        shared.journal_note(&JournalRecord::Finished {
+            job_id: rec.id,
+            name: rec.name.clone(),
+            tenant: rec.tenant.clone(),
+            status: TerminalStatus::Failed,
+            error: Some(msg.clone()),
+        });
+        shared.accum.lock().entry(rec.tenant.clone()).or_default().failed += 1;
+        resolved_job(rec, JobOutcome::Failed(msg))
+    };
+    let Some(spec) = &rec.spec else {
+        // Unreachable through this crate's own compaction (only
+        // terminal jobs shed their specs), but a foreign or hand-edited
+        // log must not panic recovery.
+        return fail("journal has no spec for this unfinished job".into());
+    };
+    let original_input = || match &spec.input {
+        RecordedInput::Fastq(bytes) => JobInput::Fastq(bytes.clone()),
+        RecordedInput::Dataset(m) => JobInput::Dataset(m.clone()),
+    };
+    // Resume after the furthest journaled stage when the plan has
+    // stages left past it; otherwise (nothing journaled, or only the
+    // final stage's export work remained — exports land no dataset
+    // state to restart from) re-run the whole plan. Store writes are
+    // create-or-replace, so overlap with the crashed run is safe.
+    let (plan, input) = match rec.resume_point() {
+        Some((at, manifest)) if at + 1 < spec.plan.stages().len() => {
+            let mut suffix = PlanBuilder::new(spec.plan.stages()[at].output());
+            for stage in &spec.plan.stages()[at + 1..] {
+                suffix = suffix.then(*stage);
+            }
+            match suffix.build() {
+                Ok(plan) => (plan, JobInput::Dataset(manifest.clone())),
+                // A valid plan's suffix is itself valid; fall back to
+                // a full re-run rather than failing the job if a
+                // journaled stage somehow contradicts that.
+                Err(_) => (spec.plan.clone(), original_input()),
+            }
+        }
+        _ => (spec.plan.clone(), original_input()),
+    };
+    let aligner = plan.contains(Stage::Align).then(|| opts.aligner.clone()).flatten();
+    let admitted = match &input {
+        JobInput::Fastq(_) => plan.check_fastq_input(spec.chunk_size),
+        JobInput::Dataset(manifest) => plan.check_dataset_input(manifest),
+    }
+    .and_then(|()| plan.check_resources(aligner.is_some()));
+    if let Err(e) = admitted {
+        return fail(format!("cannot re-admit recovered job: {e}"));
+    }
+    let job = Job::new(
+        rec.id,
+        JobSpec {
+            name: rec.name.clone(),
+            tenant: rec.tenant.clone(),
+            priority: spec.priority,
+            plan,
+            input,
+            chunk_size: spec.chunk_size,
+            aligner,
+            reference: spec.reference.clone(),
+        },
+    );
+    // Counted as submitted in this incarnation (its terminal state
+    // will land here too); no `Submitted` re-journaling — the record
+    // that re-admitted it is already in the log.
+    shared.accum.lock().entry(job.tenant.clone()).or_default().submitted += 1;
+    {
+        let mut sched = shared.sched.lock();
+        sched.enqueue(job.clone());
+        shared.work_cv.notify_all();
+    }
+    job
 }
 
 fn dispatch_loop(shared: Arc<Shared>) {
@@ -295,25 +644,43 @@ fn dispatch_loop(shared: Arc<Shared>) {
         if job.cancel.is_cancelled() {
             if job.finish(JobOutcome::Cancelled) {
                 shared.accum.lock().entry(job.tenant.clone()).or_default().cancelled += 1;
+                shared.journal_note(&finished_record(&job, TerminalStatus::Cancelled, None));
             }
             let mut sched = shared.sched.lock();
-            sched.job_finished(&job.tenant);
+            sched.job_finished(&job);
             shared.work_cv.notify_all();
             continue;
         }
         *job.dispatched.lock() = Some(Instant::now());
         *job.state.lock() = crate::job::JobState::Running;
-        let runner = {
+        shared.journal_note(&JournalRecord::Started { job_id: job.id });
+        let spawned = {
             let shared = shared.clone();
+            let job = job.clone();
             std::thread::Builder::new()
                 .name(format!("persona-job-{}", job.id))
                 .spawn(move || run_job(shared, job))
-                .expect("spawn job runner")
         };
-        let mut runners = shared.runners.lock();
-        // Reap finished runners so the handle list stays O(in-flight).
-        runners.retain(|h| !h.is_finished());
-        runners.push(runner);
+        match spawned {
+            Ok(runner) => {
+                let mut runners = shared.runners.lock();
+                // Reap finished runners so the handle list stays
+                // O(in-flight).
+                runners.retain(|h| !h.is_finished());
+                runners.push(runner);
+            }
+            Err(e) => {
+                // Thread exhaustion fails this one job (typed, so the
+                // submitter sees why) and frees its slot; the
+                // dispatcher itself keeps serving everyone else.
+                if job.finish(JobOutcome::Failed(format!("cannot start job runner: {e}"))) {
+                    shared.accum.lock().entry(job.tenant.clone()).or_default().failed += 1;
+                }
+                let mut sched = shared.sched.lock();
+                sched.job_finished(&job);
+                shared.work_cv.notify_all();
+            }
+        }
     }
 }
 
@@ -332,7 +699,7 @@ fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
         JobInput::Fastq(bytes) => PlanSource::fastq_bytes(bytes),
         JobInput::Dataset(manifest) => PlanSource::Dataset(manifest),
     };
-    let result = payload.plan.run(
+    let result = payload.plan.run_observed(
         &jrt,
         PlanRequest {
             name: job.name.clone(),
@@ -340,6 +707,16 @@ fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
             chunk_size: payload.chunk_size,
             aligner: payload.aligner,
             reference: payload.reference,
+        },
+        // Each stage that lands durable dataset state is journaled
+        // with the manifest it landed — the resume point a recovered
+        // service rebuilds the plan suffix from.
+        &mut |stage, manifest| {
+            shared.journal_note(&JournalRecord::StageCompleted {
+                job_id: job.id,
+                stage,
+                manifest: manifest.clone(),
+            });
         },
     );
     let elapsed = started.elapsed();
@@ -373,6 +750,29 @@ fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
     };
     let status = outcome.status();
 
+    // Journal the terminal transition before resolving the handle, so
+    // a crash between the two re-runs the job rather than forgetting
+    // a resolution a client may have observed. A completed job's final
+    // manifest also enters the dataset catalog under the job name.
+    match &outcome {
+        JobOutcome::Completed(output) => {
+            if let Some(manifest) = &output.manifest {
+                shared.catalog.lock().insert(job.name.clone(), manifest.clone());
+                shared.journal_note(&JournalRecord::Dataset {
+                    name: job.name.clone(),
+                    manifest: manifest.clone(),
+                });
+            }
+            shared.journal_note(&finished_record(&job, TerminalStatus::Completed, None));
+        }
+        JobOutcome::Failed(msg) => {
+            shared.journal_note(&finished_record(&job, TerminalStatus::Failed, Some(msg.clone())));
+        }
+        JobOutcome::Cancelled => {
+            shared.journal_note(&finished_record(&job, TerminalStatus::Cancelled, None));
+        }
+    }
+
     {
         let mut accum = shared.accum.lock();
         let a = accum.entry(job.tenant.clone()).or_default();
@@ -394,6 +794,6 @@ fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
     }
     job.finish(outcome);
     let mut sched = shared.sched.lock();
-    sched.job_finished(&job.tenant);
+    sched.job_finished(&job);
     shared.work_cv.notify_all();
 }

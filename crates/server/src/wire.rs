@@ -92,23 +92,31 @@ impl WireServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let accept_listener = listener.try_clone()?;
+        // A recovered service keeps its journaled job ids, so a client
+        // reconnecting after a restart can `status`/`wait`/`cancel` the
+        // ids it already holds: pre-populate the registry with every
+        // recovered handle (terminal ones answer immediately).
+        let jobs: HashMap<u64, JobHandle> =
+            service.recovered_jobs().into_iter().map(|h| (h.id(), h)).collect();
         let shared = Arc::new(WireShared {
             service,
             listener: Mutex::new(Some(listener)),
             local_addr,
             config,
             shutdown: AtomicBool::new(false),
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(jobs),
             next_conn_id: AtomicU64::new(1),
             conns: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
         });
+        // A spawn failure here (thread exhaustion at bind time) is an
+        // ordinary bind error for the caller, not a panic; the service
+        // moved into `shared` shuts down cleanly on drop.
         let accept = {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("persona-wire-accept".into())
-                .spawn(move || accept_loop(shared, accept_listener))
-                .expect("spawn wire accept loop")
+                .spawn(move || accept_loop(shared, accept_listener))?
         };
         Ok(WireServer { shared, accept: Some(accept) })
     }
@@ -196,20 +204,40 @@ fn accept_loop(shared: Arc<WireShared>, listener: TcpListener) {
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().insert(conn_id, clone);
         }
-        let handle = {
+        let spawned = {
             let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("persona-wire-conn".into())
-                .spawn(move || {
-                    serve_connection(&shared, &stream);
-                    // Half-open state is useless to a frame protocol:
-                    // make the peer see EOF even while other clones of
-                    // this socket (the writer, the shutdown registry)
-                    // are still alive, then deregister.
-                    let _ = stream.shutdown(Shutdown::Both);
-                    shared.conns.lock().remove(&conn_id);
-                })
-                .expect("spawn wire connection reader")
+            std::thread::Builder::new().name("persona-wire-conn".into()).spawn(move || {
+                serve_connection(&shared, &stream);
+                // Half-open state is useless to a frame protocol:
+                // make the peer see EOF even while other clones of
+                // this socket (the writer, the shutdown registry)
+                // are still alive, then deregister.
+                let _ = stream.shutdown(Shutdown::Both);
+                shared.conns.lock().remove(&conn_id);
+            })
+        };
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Reader spawn failed (thread exhaustion under load):
+                // reject *this* connection with a typed error on the
+                // registry's clone of the socket — the accepted stream
+                // died with the closure — and keep accepting. One
+                // refused client must not panic the whole server.
+                if let Some(mut conn) = shared.conns.lock().remove(&conn_id) {
+                    let _ = write_frame(
+                        &mut conn,
+                        &Message::Error {
+                            seq: 0,
+                            code: ErrorCode::Internal,
+                            message: format!("server cannot start a connection reader: {e}"),
+                        },
+                        &[],
+                    );
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+                continue;
+            }
         };
         let mut threads = shared.conn_threads.lock();
         threads.retain(|t| !t.is_finished());

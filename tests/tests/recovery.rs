@@ -1,0 +1,271 @@
+//! Crash recovery end to end: a durable service rebuilt from its
+//! write-ahead journal must never re-run completed jobs, must re-queue
+//! jobs the crash left waiting, and must resume a job interrupted
+//! mid-plan at its last journaled stage with byte-identical output to
+//! an uninterrupted run.
+//!
+//! The "crash" here is a *journal snapshot*: with `FsyncPolicy::Always`
+//! every acknowledged transition is on disk the moment the call
+//! returns, so copying the journal file at time T and recovering from
+//! the copy is exactly what a service killed at T would see (minus the
+//! records it never got to write — which is the point). The chunk
+//! store is shared across incarnations the way a real deployment's
+//! durable store would be.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use persona::config::PersonaConfig;
+use persona::plan::{DataState, Stage};
+use persona::runtime::PersonaRuntime;
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_agd::results::AlignmentResult;
+use persona_align::Aligner;
+use persona_dataflow::Priority;
+use persona_formats::fastq;
+use persona_integration_tests::common::Fixture;
+use persona_server::journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
+use persona_server::{
+    JobInput, JobSpec, JobStatus, PersonaService, Plan, RecoverOptions, ServiceConfig,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("persona-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_opts(fx: &Fixture) -> RecoverOptions {
+    RecoverOptions {
+        aligner: Some(fx.aligner.clone()),
+        journal: JournalConfig { fsync: FsyncPolicy::Always, compact_threshold: 0 },
+    }
+}
+
+fn service_over(store: &Arc<dyn ChunkStore>, wal: &PathBuf, fx: &Fixture) -> PersonaService {
+    let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+    PersonaService::recover(rt, ServiceConfig::default(), wal, durable_opts(fx)).unwrap()
+}
+
+fn spec(fx: &Fixture, name: &str) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        tenant: "lab".to_string(),
+        priority: Priority::Normal,
+        plan: Plan::full(),
+        input: JobInput::Fastq(fastq::to_bytes(&fx.reads)),
+        chunk_size: 64,
+        aligner: Some(fx.aligner.clone()),
+        reference: fx.reference.clone(),
+    }
+}
+
+/// An aligner that sleeps per read, keeping a job in flight long
+/// enough to snapshot the journal while it runs.
+struct SlowAligner {
+    inner: Arc<dyn Aligner>,
+    delay: Duration,
+}
+
+impl Aligner for SlowAligner {
+    fn align_read(&self, bases: &[u8], quals: &[u8]) -> AlignmentResult {
+        std::thread::sleep(self.delay);
+        self.inner.align_read(bases, quals)
+    }
+
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+/// Kill the service with one job completed and another still
+/// unfinished: recovery must resolve the first from the journal
+/// without re-running it and run the second to completion.
+#[test]
+fn completed_jobs_stay_done_and_unfinished_jobs_survive() {
+    let fx = Fixture::new(11, 150);
+    let dir = tmp_dir("survive");
+    let wal = dir.join("service.wal");
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+
+    let (alpha_id, beta_id, alpha_sam) = {
+        let service = service_over(&store, &wal, &fx);
+        let alpha = service.submit(spec(&fx, "alpha")).unwrap();
+        let outcome = alpha.wait();
+        let output = outcome.output().expect("alpha completes");
+        let alpha_sam = output.sam.clone();
+        assert!(!alpha_sam.is_empty());
+
+        // Beta dispatches but cannot finish before the snapshot: the
+        // slow aligner holds it in flight for many seconds.
+        let mut slow = spec(&fx, "beta");
+        slow.aligner = Some(Arc::new(SlowAligner {
+            inner: fx.aligner.clone(),
+            delay: Duration::from_millis(40),
+        }));
+        let beta = service.submit(slow).unwrap();
+
+        // The crash image: everything journaled up to this instant.
+        // fsync=Always means beta's submission is durably on disk.
+        std::fs::copy(&wal, dir.join("crash.wal")).unwrap();
+        assert_ne!(beta.status(), JobStatus::Completed, "beta must not outrun the snapshot");
+
+        beta.cancel();
+        (alpha.id(), beta.id(), alpha_sam)
+        // Dropping the service joins the cancelled runner.
+    };
+
+    let crash_wal = dir.join("crash.wal");
+    let service = service_over(&store, &crash_wal, &fx);
+    let recovered = service.recovered_jobs();
+    assert_eq!(recovered.len(), 2);
+    let alpha = recovered.iter().find(|h| h.id() == alpha_id).unwrap();
+    let beta = recovered.iter().find(|h| h.id() == beta_id).unwrap();
+
+    // Completed before the crash ⇒ pre-resolved, never re-admitted:
+    // terminal immediately, with the journaled final manifest.
+    assert_eq!(alpha.status(), JobStatus::Completed);
+    let alpha_outcome = alpha.wait();
+    let alpha_recovered = alpha_outcome.output().expect("alpha stays completed");
+    assert!(alpha_recovered.manifest.is_some(), "journaled manifest survives");
+    assert!(
+        alpha_recovered.sam.is_empty(),
+        "exported bytes died with the process; only durable state survives"
+    );
+
+    // Unfinished at the crash ⇒ re-admitted and runs to completion,
+    // byte-identical to an uninterrupted run.
+    let beta_outcome = beta.wait();
+    let beta_output = beta_outcome.output().expect("beta re-runs to completion");
+    assert_eq!(beta_output.sam, alpha_sam, "same input, same plan, same bytes");
+
+    // Only beta executed in this incarnation.
+    let report = service.report();
+    let lab = report.tenants.iter().find(|t| t.tenant == "lab").unwrap();
+    assert_eq!(lab.completed, 1, "alpha must not re-run after recovery");
+
+    // The id watermark replays too: new ids never collide with
+    // recovered ones.
+    let gamma = service.submit(spec(&fx, "gamma")).unwrap();
+    assert!(gamma.id() > alpha_id.max(beta_id));
+    gamma.cancel();
+}
+
+/// Truncate the journal at every stage boundary of a completed run:
+/// recovery resumes from exactly that stage (or re-runs from scratch
+/// when nothing landed) and the final SAM is byte-identical every
+/// time.
+#[test]
+fn mid_plan_resume_is_byte_identical_at_every_stage_boundary() {
+    let fx = Fixture::new(23, 150);
+    let dir = tmp_dir("resume");
+    let wal = dir.join("service.wal");
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+
+    let reference_sam = {
+        let service = service_over(&store, &wal, &fx);
+        let handle = service.submit(spec(&fx, "sample")).unwrap();
+        let outcome = handle.wait();
+        let sam = outcome.output().expect("uninterrupted run completes").sam.clone();
+        assert!(!sam.is_empty());
+        sam
+    };
+
+    // Every prefix ending right after `started` or a `stage-completed`
+    // record is a legal crash image strictly mid-plan.
+    let full = Journal::read(&wal).unwrap();
+    let bytes = std::fs::read(&wal).unwrap();
+    let boundaries: Vec<(usize, String)> = full
+        .records
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| match r {
+            JournalRecord::Started { .. } => Some((i, "started".to_string())),
+            JournalRecord::StageCompleted { stage, .. } => Some((i, stage.name().to_string())),
+            _ => None,
+        })
+        .collect();
+    // Full plan ⇒ fused import‖align journals `align`, then `sort`,
+    // then `dupmark` (export stages land no dataset state).
+    assert_eq!(
+        boundaries.iter().map(|(_, name)| name.as_str()).collect::<Vec<_>>(),
+        vec!["started", "align", "sort", "dupmark"],
+    );
+
+    for (index, label) in boundaries {
+        let end = full.offsets.get(index + 1).copied().unwrap_or(full.good_len) as usize;
+        let crash_wal = dir.join(format!("crash-{label}.wal"));
+        std::fs::write(&crash_wal, &bytes[..end]).unwrap();
+
+        let service = service_over(&store, &crash_wal, &fx);
+        let recovered = service.recovered_jobs();
+        assert_eq!(recovered.len(), 1, "cut after {label}");
+        let outcome = recovered[0].wait();
+        let output = outcome
+            .output()
+            .unwrap_or_else(|| panic!("resume after `{label}` must complete: {outcome:?}"));
+        assert_eq!(
+            output.sam, reference_sam,
+            "resume after `{label}` must be byte-identical to the uninterrupted run"
+        );
+    }
+}
+
+/// The dataset catalog is journaled: a completed job's landed dataset
+/// is submittable by manifest after a clean restart, and the journal
+/// compacts without losing it.
+#[test]
+fn dataset_catalog_survives_restart_and_compaction() {
+    let fx = Fixture::new(37, 150);
+    let dir = tmp_dir("catalog");
+    let wal = dir.join("service.wal");
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+
+    let reference_sam = {
+        let service = service_over(&store, &wal, &fx);
+        let handle = service.submit(spec(&fx, "sample")).unwrap();
+        let outcome = handle.wait();
+        let sam = outcome.output().expect("run completes").sam.clone();
+        assert!(service.dataset("sample").is_some(), "completion registers the dataset");
+        sam
+    };
+
+    // Restart; the catalog must come back from the journal alone.
+    let service = service_over(&store, &wal, &fx);
+    let manifest = service.dataset("sample").expect("catalog survives the restart");
+
+    // The recovered manifest is live: export the dup-marked sorted
+    // dataset it names and compare against the original export.
+    let export = Plan::builder(DataState::Sorted).then(Stage::ExportSam).build().unwrap();
+    let handle = service
+        .submit(JobSpec {
+            name: "re-export".into(),
+            tenant: "lab".into(),
+            priority: Priority::Normal,
+            plan: export,
+            input: JobInput::Dataset(manifest),
+            chunk_size: 64,
+            aligner: None,
+            reference: fx.reference.clone(),
+        })
+        .unwrap();
+    let outcome = handle.wait();
+    let output = outcome.output().expect("re-export completes");
+    assert_eq!(output.sam, reference_sam, "journaled manifest names the same dataset");
+
+    // Compaction folds the log down without losing the catalog.
+    drop(service);
+    let len_before = std::fs::metadata(&wal).unwrap().len();
+    {
+        let mut journal =
+            Journal::open(&wal, JournalConfig { fsync: FsyncPolicy::Always, compact_threshold: 0 })
+                .unwrap();
+        journal.compact().unwrap();
+    }
+    assert!(std::fs::metadata(&wal).unwrap().len() < len_before);
+    let service = service_over(&store, &wal, &fx);
+    assert!(service.dataset("sample").is_some(), "catalog survives compaction");
+    assert!(service.dataset("re-export").is_none(), "dataset-input plans land no new dataset");
+}
