@@ -3,10 +3,22 @@
 //! This is SNAP's verification kernel: given a candidate reference
 //! location, compute the edit distance between the read and the
 //! reference window *if it is at most `max_k`*, otherwise give up
-//! cheaply. The O(k·n) diagonal formulation only materializes the
-//! furthest-reaching match front per diagonal, which is why the paper's
-//! profile finds it core-bound ("a small instruction mix and many data
-//! dependent instructions and branches", Fig. 8 discussion).
+//! cheaply. Two implementations share the contract:
+//!
+//! * [`landau_vishkin_scalar`] — the O(k·n) diagonal formulation that
+//!   only materializes the furthest-reaching match front per diagonal,
+//!   which is why the paper's profile finds it core-bound ("a small
+//!   instruction mix and many data dependent instructions and
+//!   branches", Fig. 8 discussion).
+//! * [`landau_vishkin_bitparallel`] — Myers' bit-parallel algorithm
+//!   (Hyyrö's block formulation): each DP column is advanced 64 rows at
+//!   a time with word-wide logic, turning the data-dependent branches
+//!   into straight-line bit operations.
+//!
+//! The public [`landau_vishkin`] entry point routes between them via
+//! [`crate::Kernel`] plus a worst-case cost model (small `k` stays
+//! scalar even in SIMD mode); both return identical results on every
+//! input.
 
 /// Computes the edit distance between `pattern` (the read) and a prefix
 /// of `text`, allowing at most `max_k` edits.
@@ -14,6 +26,19 @@
 /// Alignment is *semi-global*: the whole pattern must be consumed; the
 /// text is consumed as far as needed (insertions/deletions allowed).
 /// Returns `None` if the distance exceeds `max_k`.
+///
+/// Dispatches on [`crate::Kernel::active`] between the scalar and the
+/// bit-parallel implementation; results are identical either way.
+///
+/// Under [`crate::Kernel::Simd`] the choice is cost-based, not
+/// unconditional: the scalar diagonal DP does O(k²) cell work in the
+/// worst case (and far less on near-matching inputs, thanks to match-run
+/// skipping and early accept), while the bit-parallel scan always pays
+/// `(n + min(k, n)) · ⌈n/64⌉` word steps. Measured constants put the
+/// worst-case crossover near `k² = columns · blocks`, so small-`k`
+/// verification (the SNAP hot path) stays on the scalar kernel and the
+/// bit-parallel kernel takes over where its flat cost wins — large `k`
+/// on dissimilar sequences.
 ///
 /// # Examples
 ///
@@ -25,6 +50,132 @@
 /// assert_eq!(landau_vishkin(b"TTTT", b"ACGT", 2), None);
 /// ```
 pub fn landau_vishkin(text: &[u8], pattern: &[u8], max_k: u32) -> Option<u32> {
+    match crate::Kernel::active() {
+        crate::Kernel::Scalar => landau_vishkin_scalar(text, pattern, max_k),
+        crate::Kernel::Simd => {
+            let n = pattern.len();
+            let k = max_k as usize;
+            let blocks = n.div_ceil(64).max(1);
+            if k * k > (n + k.min(n)) * blocks {
+                landau_vishkin_bitparallel(text, pattern, max_k)
+            } else {
+                landau_vishkin_scalar(text, pattern, max_k)
+            }
+        }
+    }
+}
+
+/// Packs `pattern` into per-base match-bit masks (`blocks` words per
+/// base); `None` if the pattern has a non-ACGT byte.
+fn build_peq(pattern: &[u8], blocks: usize) -> Option<Vec<u64>> {
+    let mut peq = vec![0u64; 4 * blocks];
+    for (i, &p) in pattern.iter().enumerate() {
+        let code = base_code(p)?;
+        peq[code * blocks + i / 64] |= 1u64 << (i % 64);
+    }
+    Some(peq)
+}
+
+fn base_code(b: u8) -> Option<usize> {
+    match b {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None,
+    }
+}
+
+/// Bit-parallel [`landau_vishkin`]: Myers' algorithm in Hyyrö's
+/// multi-word block form.
+///
+/// The DP column is held as plus/minus delta bit-vectors (`vp`/`vn`),
+/// 64 rows per word; one column of the semi-global matrix advances with
+/// a handful of word-wide operations instead of a per-cell loop. The
+/// score at the pattern's last row is tracked from the horizontal delta
+/// bit of that row, and the scan stops early once no remaining column
+/// can bring the distance back under `max_k`.
+///
+/// Falls back to [`landau_vishkin_scalar`] when the inputs contain
+/// non-ACGT bytes (the packed match masks only cover the 2-bit
+/// alphabet), so the result is identical to the scalar kernel on every
+/// input.
+pub fn landau_vishkin_bitparallel(text: &[u8], pattern: &[u8], max_k: u32) -> Option<u32> {
+    let n = pattern.len();
+    if n == 0 {
+        return Some(0);
+    }
+    let k = max_k as usize;
+    // Columns beyond n + min(k, n) cannot hold the minimum: reaching
+    // column j costs at least j - n deletions, and column n alone costs
+    // at most n substitutions.
+    let jmax = text.len().min(n + k.min(n));
+    let blocks = n.div_ceil(64);
+    let Some(peq) = build_peq(pattern, blocks) else {
+        return landau_vishkin_scalar(text, pattern, max_k);
+    };
+
+    let mut vp = vec![u64::MAX; blocks];
+    let mut vn = vec![0u64; blocks];
+    let last = blocks - 1;
+    // Bit position of the pattern's final row within the last block.
+    let rbit = (n - 1) % 64;
+    // dp[n][0] = n: consuming the whole pattern against no text.
+    let mut score = n as i64;
+    let mut best = score;
+
+    for j in 1..=jmax {
+        let Some(c) = base_code(text[j - 1]) else {
+            return landau_vishkin_scalar(text, pattern, max_k);
+        };
+        // Horizontal delta entering the top of the column: the row-0
+        // boundary dp[0][j] = j always steps by +1.
+        let mut hin: i64 = 1;
+        for b in 0..blocks {
+            let pv = vp[b];
+            let mv = vn[b];
+            let mut eq = peq[c * blocks + b];
+            let xv = eq | mv;
+            if hin < 0 {
+                eq |= 1;
+            }
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let mut ph = mv | !(xh | pv);
+            let mut mh = pv & xh;
+            if b == last {
+                score += ((ph >> rbit) & 1) as i64;
+                score -= ((mh >> rbit) & 1) as i64;
+            }
+            let hout = ((ph >> 63) & 1) as i64 - ((mh >> 63) & 1) as i64;
+            ph <<= 1;
+            mh <<= 1;
+            if hin < 0 {
+                mh |= 1;
+            } else if hin > 0 {
+                ph |= 1;
+            }
+            vp[b] = mh | !(xv | ph);
+            vn[b] = ph & xv;
+            hin = hout;
+        }
+        best = best.min(score);
+        // The score drops by at most 1 per column: once even a straight
+        // run of matches cannot reach max_k, stop scanning.
+        if best > k as i64 && score - (jmax - j) as i64 > k as i64 {
+            break;
+        }
+    }
+    if best <= k as i64 {
+        Some(best as u32)
+    } else {
+        None
+    }
+}
+
+/// Scalar [`landau_vishkin`]: the diagonal furthest-front formulation.
+/// This is the portable fallback and the differential-testing
+/// reference for the bit-parallel kernel.
+pub fn landau_vishkin_scalar(text: &[u8], pattern: &[u8], max_k: u32) -> Option<u32> {
     let n = pattern.len();
     if n == 0 {
         return Some(0);
@@ -229,5 +380,72 @@ mod tests {
                 assert_eq!(got, None, "trial {trial}");
             }
         }
+    }
+
+    #[test]
+    fn bitparallel_matches_scalar_on_fixed_cases() {
+        let cases: Vec<(&[u8], &[u8])> = vec![
+            (b"ACGTACGT", b"ACGTACGT"),
+            (b"ACGTACGTTTTT", b"ACGTACGT"),
+            (b"ACGTACGT", b"ACCTACGT"),
+            (b"ACGGTACGT", b"ACGTACGT"),
+            (b"ACG", b"ACGTT"),
+            (b"", b"ACG"),
+            (b"AAAAAAAA", b"TTTTTTTT"),
+            (b"ACGT", b""),
+        ];
+        for (text, pattern) in cases {
+            for k in 0..=8u32 {
+                assert_eq!(
+                    landau_vishkin_bitparallel(text, pattern, k),
+                    landau_vishkin_scalar(text, pattern, k),
+                    "text {text:?} pat {pattern:?} k {k}"
+                );
+            }
+        }
+    }
+
+    /// Patterns longer than 64 bases exercise the multi-word block
+    /// chain, including the carry between words.
+    #[test]
+    fn bitparallel_multiword_patterns() {
+        let mut x = 135792468u64;
+        for trial in 0..120 {
+            let n = 60 + (trial % 120);
+            let text: Vec<u8> = (0..n + 16).map(|_| rand_base(&mut x)).collect();
+            let mut pattern: Vec<u8> = text[..n].to_vec();
+            for _ in 0..(trial % 5) {
+                let idx = (x as usize) % pattern.len();
+                if x & 1 == 0 {
+                    pattern[idx] = rand_base(&mut x);
+                } else {
+                    pattern.remove(idx);
+                }
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            }
+            for k in [0u32, 2, 5, 9] {
+                let expected = edit_distance_dp(&text, &pattern);
+                let got = landau_vishkin_bitparallel(&text, &pattern, k);
+                if expected <= k {
+                    assert_eq!(got, Some(expected), "trial {trial} k {k}");
+                } else {
+                    assert_eq!(got, None, "trial {trial} k {k}");
+                }
+            }
+        }
+    }
+
+    /// Non-ACGT bytes route to the scalar kernel rather than silently
+    /// mismatching the packed alphabet.
+    #[test]
+    fn bitparallel_falls_back_on_ambiguous_bases() {
+        assert_eq!(
+            landau_vishkin_bitparallel(b"ACGNACGT", b"ACGTACGT", 4),
+            landau_vishkin_scalar(b"ACGNACGT", b"ACGTACGT", 4),
+        );
+        assert_eq!(
+            landau_vishkin_bitparallel(b"ACGTACGT", b"ACNTACGT", 4),
+            landau_vishkin_scalar(b"ACGTACGT", b"ACNTACGT", 4),
+        );
     }
 }

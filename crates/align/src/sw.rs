@@ -3,6 +3,13 @@
 //!
 //! Scoring defaults follow BWA-MEM: match +1, mismatch -4, gap open -6,
 //! gap extend -1 (scaled ×2 for a little headroom).
+//!
+//! Two implementations share the contract: the scalar dense-matrix
+//! kernel ([`smith_waterman_scalar`]) and a striped SSE2/AVX2 forward
+//! pass ([`smith_waterman_striped`], engine in `sw_simd`) whose `H`
+//! matrix is provably identical to the scalar one, so the traceback —
+//! and therefore score, aligned regions and CIGAR — match byte for
+//! byte. [`smith_waterman`] routes between them via [`crate::Kernel`].
 
 use persona_agd::results::{CigarKind, CigarOp};
 
@@ -75,7 +82,122 @@ enum Tb {
 /// O(n·m) time and O(n·m) traceback memory — used for short sequences
 /// (read-length extensions); the paper's aligners never run SW on more
 /// than a few hundred bases at a time.
+///
+/// Dispatches on [`crate::Kernel::active`]: the SIMD variant handles
+/// typical read-vs-window inputs and falls back to the scalar kernel
+/// outside its guard envelope, so results are identical either way.
 pub fn smith_waterman(reference: &[u8], query: &[u8], sc: Scoring) -> LocalAlignment {
+    if crate::Kernel::active() == crate::Kernel::Simd {
+        if let Some(a) = smith_waterman_striped(reference, query, sc) {
+            return a;
+        }
+    }
+    smith_waterman_scalar(reference, query, sc)
+}
+
+/// Striped-SIMD [`smith_waterman`]: vectorized forward pass (SSE2 or
+/// AVX2, picked at runtime) plus the shared traceback. Returns `None`
+/// when SIMD is unavailable or the inputs fall outside the vector
+/// kernel's exactness guards; the result, when present, is identical
+/// to [`smith_waterman_scalar`]'s.
+pub fn smith_waterman_striped(
+    reference: &[u8],
+    query: &[u8],
+    sc: Scoring,
+) -> Option<LocalAlignment> {
+    let hm = crate::sw_simd::forward_matrix(reference, query, &sc)?;
+    Some(traceback_from_matrix(&hm, reference, query, sc))
+}
+
+/// Rebuilds the traceback from a completed score matrix.
+///
+/// The affine gap matrices `E`/`F` are recovered from `H` through
+/// their closed forms (`E[i][j] = max_g H[i][j-g] + open + (g-1)·ext`,
+/// with the `j-g = 0` boundary contributing through `H[i][0] = 0`),
+/// which equal the scalar kernel's unrolled recurrences exactly; the
+/// direction precedence (diagonal, then left, then up, stop at zero)
+/// mirrors the scalar tag assignment, so the emitted CIGAR is the
+/// same.
+fn traceback_from_matrix(
+    hm: &crate::sw_simd::HMatrix,
+    reference: &[u8],
+    query: &[u8],
+    sc: Scoring,
+) -> LocalAlignment {
+    let st = hm.stride;
+    let h = |i: usize, j: usize| -> i32 { hm.h[i * st + j] as i32 };
+    let (mut i, mut j) = (hm.best_i, hm.best_j);
+    let (ref_end, query_end) = (i, j);
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let push = |kind: CigarKind, ops: &mut Vec<CigarOp>| {
+        if let Some(last) = ops.last_mut() {
+            if last.kind == kind {
+                last.len += 1;
+                return;
+            }
+        }
+        ops.push(CigarOp { kind, len: 1 });
+    };
+    while i > 0 && j > 0 {
+        // A zero cell is exactly the scalar Tb::Stop tag.
+        if h(i, j) == 0 {
+            break;
+        }
+        let sub = if reference[i - 1] == query[j - 1] { sc.match_score } else { sc.mismatch };
+        let diag = h(i - 1, j - 1) + sub;
+        let mut e = i32::MIN / 2;
+        let mut run = sc.gap_open;
+        for g in 1..=j {
+            e = e.max(h(i, j - g) + run);
+            run += sc.gap_extend;
+        }
+        let mut f = i32::MIN / 2;
+        let mut run = sc.gap_open;
+        for g in 1..=i {
+            f = f.max(h(i - g, j) + run);
+            run += sc.gap_extend;
+        }
+        let mut val = diag;
+        let mut dir = Tb::Diag;
+        if e > val {
+            val = e;
+            dir = Tb::Left;
+        }
+        if f > val {
+            dir = Tb::Up;
+        }
+        match dir {
+            Tb::Diag => {
+                push(CigarKind::Match, &mut ops_rev);
+                i -= 1;
+                j -= 1;
+            }
+            Tb::Left => {
+                push(CigarKind::Ins, &mut ops_rev);
+                j -= 1;
+            }
+            Tb::Up => {
+                push(CigarKind::Del, &mut ops_rev);
+                i -= 1;
+            }
+            Tb::Stop => unreachable!("zero cells break out above"),
+        }
+    }
+    ops_rev.reverse();
+    LocalAlignment {
+        score: hm.best,
+        ref_start: i,
+        ref_end,
+        query_start: j,
+        query_end,
+        cigar: ops_rev,
+    }
+}
+
+/// Scalar [`smith_waterman`]: the textbook dense-matrix kernel with
+/// explicit traceback tags. This is the portable fallback and the
+/// differential-testing reference for the striped variant.
+pub fn smith_waterman_scalar(reference: &[u8], query: &[u8], sc: Scoring) -> LocalAlignment {
     let n = reference.len();
     let m = query.len();
     if n == 0 || m == 0 {

@@ -1,0 +1,407 @@
+//! Striped SIMD forward pass for Smith-Waterman (x86-64 SSE2/AVX2).
+//!
+//! Computes the full affine-gap `H` matrix of [`crate::sw`]'s scalar
+//! kernel, 8 (SSE2) or 16 (AVX2) query columns per instruction, and
+//! returns it with the best-cell position so the shared traceback in
+//! `sw.rs` can emit a CIGAR byte-identical to the scalar kernel's.
+//!
+//! The row recurrence is vectorized with a *weighted prefix-max scan*
+//! rather than Farrar's lazy-F loop: per reference row,
+//!
+//! 1. the vertical-gap vector `F` and the gap-free tentative score
+//!    `Ht = max(0, diag + sub, F)` are elementwise (no horizontal
+//!    dependency);
+//! 2. the horizontal-gap vector `E[j] = max_g(H[j-g] + open + (g-1)ext)`
+//!    is a prefix maximum under a linear decay, computed with log2(lanes)
+//!    shift-and-add steps per block plus a scalar carry between blocks.
+//!
+//! The scan is exact — not an approximation — whenever
+//! `gap_open <= gap_extend` (both negative: opening a second gap right
+//! after another gap never beats extending), which holds for the default
+//! scoring. Inputs outside the guard envelope (huge matrices, scores
+//! that could overflow i16, gap parameters breaking the scan identity)
+//! return `None` and the caller falls back to scalar code.
+
+use crate::sw::Scoring;
+
+/// The completed score matrix of a forward pass, row-major with a
+/// leading all-zero row and column (`stride` = padded width + 1).
+pub(crate) struct HMatrix {
+    /// `(n+1) * stride` scores; every stored value is `>= 0`.
+    pub h: Vec<i16>,
+    /// Elements per row.
+    pub stride: usize,
+    /// Best local score (0 if nothing scored positive).
+    pub best: i32,
+    /// Reference row of the first best cell in row-major order.
+    pub best_i: usize,
+    /// Query column of that cell.
+    pub best_j: usize,
+}
+
+/// Runs the vectorized forward pass, or `None` when the inputs fall
+/// outside the exactness/overflow guards (or off x86-64 entirely).
+pub(crate) fn forward_matrix(reference: &[u8], query: &[u8], sc: &Scoring) -> Option<HMatrix> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        x86::forward(reference, query, sc)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (reference, query, sc);
+        None
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::HMatrix;
+    use crate::sw::Scoring;
+    use std::arch::x86_64::*;
+
+    /// "Minus infinity" for gap states; saturating adds keep repeated
+    /// extensions from wrapping.
+    const NEG: i16 = -16384;
+
+    pub(super) fn forward(reference: &[u8], query: &[u8], sc: &Scoring) -> Option<HMatrix> {
+        let n = reference.len();
+        let m = query.len();
+        if n == 0 || m == 0 {
+            return None;
+        }
+        // Keep the dense i16 matrix small; callers only run SW on
+        // windows of a few hundred bases.
+        if n.saturating_mul(m) > 4_000_000 {
+            return None;
+        }
+        // Scan-exactness: opening a gap adjacent to a gap must never
+        // beat extending it. Sign guards keep the padding/pollution
+        // reasoning valid (see the scan step below).
+        if sc.match_score < 0 || sc.mismatch > 0 || sc.gap_extend > 0 || sc.gap_open > sc.gap_extend
+        {
+            return None;
+        }
+        // i16 headroom: the largest possible cell plus one more add.
+        if (n.min(m) as i64) * (sc.match_score as i64) > 16_000 {
+            return None;
+        }
+        if sc.mismatch < -16_000 || sc.gap_open < -16_000 || sc.gap_extend < -16_000 {
+            return None;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Some(unsafe { forward_avx2(reference, query, sc) })
+        } else {
+            // SSE2 is part of the x86-64 base ISA.
+            Some(unsafe { forward_sse2(reference, query, sc) })
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_avx2(reference: &[u8], query: &[u8], sc: &Scoring) -> HMatrix {
+        forward_vec::<Avx2>(reference, query, sc)
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn forward_sse2(reference: &[u8], query: &[u8], sc: &Scoring) -> HMatrix {
+        forward_vec::<Sse2>(reference, query, sc)
+    }
+
+    /// The i16 vector operations the kernel needs, implemented for both
+    /// widths so one generic body serves SSE2 and AVX2.
+    trait SwVec: Copy {
+        const LANES: usize;
+        unsafe fn splat(x: i16) -> Self;
+        unsafe fn zero() -> Self;
+        unsafe fn loadu(p: *const i16) -> Self;
+        unsafe fn storeu(p: *mut i16, v: Self);
+        /// Saturating lane-wise add.
+        unsafe fn adds(a: Self, b: Self) -> Self;
+        unsafe fn max(a: Self, b: Self) -> Self;
+        /// All-ones lanes where equal.
+        unsafe fn cmpeq(a: Self, b: Self) -> Self;
+        /// `(mask & t) | (!mask & f)` per lane.
+        unsafe fn blend(mask: Self, t: Self, f: Self) -> Self;
+        unsafe fn and(a: Self, b: Self) -> Self;
+        /// Per-byte sign mask (two bits per i16 lane).
+        unsafe fn movemask(a: Self) -> u32;
+        /// Shifts whole lanes toward higher indices, filling with zero.
+        /// `lanes` is 1, 2, 4 or 8.
+        unsafe fn shift_lanes_left(a: Self, lanes: usize) -> Self;
+        /// Writes the first `LANES` lanes into `out`.
+        unsafe fn write_to(a: Self, out: &mut [i16; 16]);
+    }
+
+    #[derive(Clone, Copy)]
+    struct Sse2(__m128i);
+
+    impl SwVec for Sse2 {
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn splat(x: i16) -> Self {
+            Sse2(_mm_set1_epi16(x))
+        }
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Sse2(_mm_setzero_si128())
+        }
+
+        #[inline(always)]
+        unsafe fn loadu(p: *const i16) -> Self {
+            Sse2(_mm_loadu_si128(p as *const __m128i))
+        }
+
+        #[inline(always)]
+        unsafe fn storeu(p: *mut i16, v: Self) {
+            _mm_storeu_si128(p as *mut __m128i, v.0)
+        }
+
+        #[inline(always)]
+        unsafe fn adds(a: Self, b: Self) -> Self {
+            Sse2(_mm_adds_epi16(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn max(a: Self, b: Self) -> Self {
+            Sse2(_mm_max_epi16(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn cmpeq(a: Self, b: Self) -> Self {
+            Sse2(_mm_cmpeq_epi16(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn blend(mask: Self, t: Self, f: Self) -> Self {
+            Sse2(_mm_or_si128(_mm_and_si128(mask.0, t.0), _mm_andnot_si128(mask.0, f.0)))
+        }
+
+        #[inline(always)]
+        unsafe fn and(a: Self, b: Self) -> Self {
+            Sse2(_mm_and_si128(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn movemask(a: Self) -> u32 {
+            _mm_movemask_epi8(a.0) as u32
+        }
+
+        #[inline(always)]
+        unsafe fn shift_lanes_left(a: Self, lanes: usize) -> Self {
+            match lanes {
+                1 => Sse2(_mm_slli_si128::<2>(a.0)),
+                2 => Sse2(_mm_slli_si128::<4>(a.0)),
+                4 => Sse2(_mm_slli_si128::<8>(a.0)),
+                _ => unreachable!("8-lane vector shifts by 1/2/4 only"),
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn write_to(a: Self, out: &mut [i16; 16]) {
+            _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, a.0)
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Avx2(__m256i);
+
+    impl SwVec for Avx2 {
+        const LANES: usize = 16;
+
+        #[inline(always)]
+        unsafe fn splat(x: i16) -> Self {
+            Avx2(_mm256_set1_epi16(x))
+        }
+
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            Avx2(_mm256_setzero_si256())
+        }
+
+        #[inline(always)]
+        unsafe fn loadu(p: *const i16) -> Self {
+            Avx2(_mm256_loadu_si256(p as *const __m256i))
+        }
+
+        #[inline(always)]
+        unsafe fn storeu(p: *mut i16, v: Self) {
+            _mm256_storeu_si256(p as *mut __m256i, v.0)
+        }
+
+        #[inline(always)]
+        unsafe fn adds(a: Self, b: Self) -> Self {
+            Avx2(_mm256_adds_epi16(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn max(a: Self, b: Self) -> Self {
+            Avx2(_mm256_max_epi16(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn cmpeq(a: Self, b: Self) -> Self {
+            Avx2(_mm256_cmpeq_epi16(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn blend(mask: Self, t: Self, f: Self) -> Self {
+            Avx2(_mm256_or_si256(_mm256_and_si256(mask.0, t.0), _mm256_andnot_si256(mask.0, f.0)))
+        }
+
+        #[inline(always)]
+        unsafe fn and(a: Self, b: Self) -> Self {
+            Avx2(_mm256_and_si256(a.0, b.0))
+        }
+
+        #[inline(always)]
+        unsafe fn movemask(a: Self) -> u32 {
+            _mm256_movemask_epi8(a.0) as u32
+        }
+
+        #[inline(always)]
+        unsafe fn shift_lanes_left(a: Self, lanes: usize) -> Self {
+            // A 256-bit byte shift crossing the 128-bit boundary: build
+            // `t = [0, a_low]`, then align so the bytes leaving the low
+            // half enter the high half.
+            let t = _mm256_permute2x128_si256::<0x08>(a.0, a.0);
+            match lanes {
+                1 => Avx2(_mm256_alignr_epi8::<14>(a.0, t)),
+                2 => Avx2(_mm256_alignr_epi8::<12>(a.0, t)),
+                4 => Avx2(_mm256_alignr_epi8::<8>(a.0, t)),
+                8 => Avx2(t),
+                _ => unreachable!("16-lane vector shifts by 1/2/4/8 only"),
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn write_to(a: Self, out: &mut [i16; 16]) {
+            _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, a.0)
+        }
+    }
+
+    /// The width-generic forward pass; inlined into the
+    /// `#[target_feature]` wrappers so each gets fully vectorized
+    /// codegen for its ISA.
+    #[inline(always)]
+    unsafe fn forward_vec<V: SwVec>(reference: &[u8], query: &[u8], sc: &Scoring) -> HMatrix {
+        let n = reference.len();
+        let m = query.len();
+        let lanes = V::LANES;
+        let blocks = m.div_ceil(lanes);
+        let mp = blocks * lanes;
+        let stride = mp + 1;
+        // Row 0 and column 0 are the all-zero local-alignment boundary;
+        // pad columns past `m` are forced to zero after every row.
+        let mut h = vec![0i16; (n + 1) * stride];
+        // Query lanes as i16; the -1 padding can never equal a u8 cast.
+        let mut q16 = vec![-1i16; mp];
+        for (j, &q) in query.iter().enumerate() {
+            q16[j] = q as i16;
+        }
+        let mut fbuf = vec![NEG; mp];
+
+        let vopen = V::splat(sc.gap_open as i16);
+        let vext = V::splat(sc.gap_extend as i16);
+        let vmatch = V::splat(sc.match_score as i16);
+        let vmismatch = V::splat(sc.mismatch as i16);
+        let vzero = V::zero();
+        let clamp = |x: i64| x.max(i16::MIN as i64) as i16;
+        // Cross-block scan seed: lane l gets carry + (l+1)·ext.
+        let mut decay = [i16::MIN; 16];
+        for (l, d) in decay.iter_mut().take(lanes).enumerate() {
+            *d = clamp((l as i64 + 1) * sc.gap_extend as i64);
+        }
+        let vdecay = V::loadu(decay.as_ptr());
+        let vext1 = V::splat(clamp(sc.gap_extend as i64));
+        let vext2 = V::splat(clamp(2 * sc.gap_extend as i64));
+        let vext4 = V::splat(clamp(4 * sc.gap_extend as i64));
+        let vext8 = V::splat(clamp(8 * sc.gap_extend as i64));
+        // Keep-mask for real query columns in the last block.
+        let mut tail = [0i16; 16];
+        for (l, t) in tail.iter_mut().take(lanes).enumerate() {
+            if (blocks - 1) * lanes + l < m {
+                *t = -1;
+            }
+        }
+        let vtail = V::loadu(tail.as_ptr());
+
+        let mut best = 0i32;
+        let (mut best_i, mut best_j) = (0usize, 0usize);
+        let mut lanebuf = [0i16; 16];
+        for i in 1..=n {
+            let vrc = V::splat(reference[i - 1] as i16);
+            let (prev_rows, cur_rows) = h.split_at_mut(i * stride);
+            let prev = &prev_rows[(i - 1) * stride..];
+            let cur = &mut cur_rows[..stride];
+
+            // Pass 1: vertical gaps and the tentative (gap-free-left)
+            // score Ht = max(0, diag + sub, F) — purely elementwise.
+            for b in 0..blocks {
+                let j0 = 1 + b * lanes;
+                let hprev = V::loadu(prev.as_ptr().add(j0));
+                let fv = V::max(
+                    V::adds(V::loadu(fbuf.as_ptr().add(b * lanes)), vext),
+                    V::adds(hprev, vopen),
+                );
+                V::storeu(fbuf.as_mut_ptr().add(b * lanes), fv);
+                let sub = V::blend(
+                    V::cmpeq(V::loadu(q16.as_ptr().add(b * lanes)), vrc),
+                    vmatch,
+                    vmismatch,
+                );
+                let diag = V::adds(V::loadu(prev.as_ptr().add(j0 - 1)), sub);
+                let ht = V::max(V::max(diag, fv), vzero);
+                V::storeu(cur.as_mut_ptr().add(j0), ht);
+            }
+
+            // Pass 2: horizontal gaps as a weighted prefix-max scan.
+            // Candidates shifted in from the zero fill are <= 0 (ext and
+            // open are <= 0) and every stored score is >= 0, so the
+            // pollution can never win a max that matters — H stays
+            // exactly the scalar recurrence's value.
+            let mut carry: i16 = NEG;
+            let mut vrowmax = vzero;
+            for b in 0..blocks {
+                let j0 = 1 + b * lanes;
+                // Open after the previous column (h for the block lead,
+                // Ht within: equivalent whenever open <= ext).
+                let mut v = V::adds(V::loadu(cur.as_ptr().add(j0 - 1)), vopen);
+                v = V::max(v, V::adds(V::splat(carry), vdecay));
+                v = V::max(v, V::adds(V::shift_lanes_left(v, 1), vext1));
+                v = V::max(v, V::adds(V::shift_lanes_left(v, 2), vext2));
+                v = V::max(v, V::adds(V::shift_lanes_left(v, 4), vext4));
+                if lanes == 16 {
+                    v = V::max(v, V::adds(V::shift_lanes_left(v, 8), vext8));
+                }
+                V::write_to(v, &mut lanebuf);
+                carry = lanebuf[lanes - 1];
+                let mut vh = V::max(V::loadu(cur.as_ptr().add(j0)), v);
+                if b == blocks - 1 {
+                    vh = V::and(vh, vtail);
+                }
+                V::storeu(cur.as_mut_ptr().add(j0), vh);
+                vrowmax = V::max(vrowmax, vh);
+            }
+
+            // Track the best cell with the scalar kernel's exact
+            // tie-break: first improving row, then lowest column.
+            V::write_to(vrowmax, &mut lanebuf);
+            let rowmax = lanebuf[..lanes].iter().copied().max().unwrap_or(0) as i32;
+            if rowmax > best {
+                best = rowmax;
+                best_i = i;
+                let target = V::splat(rowmax as i16);
+                for b in 0..blocks {
+                    let j0 = 1 + b * lanes;
+                    let mask = V::movemask(V::cmpeq(V::loadu(cur.as_ptr().add(j0)), target));
+                    if mask != 0 {
+                        best_j = j0 + (mask.trailing_zeros() as usize) / 2;
+                        break;
+                    }
+                }
+            }
+        }
+        HMatrix { h, stride, best, best_i, best_j }
+    }
+}

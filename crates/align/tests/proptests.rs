@@ -1,7 +1,14 @@
-//! Property-based tests for the alignment kernels.
+//! Property-based tests for the alignment kernels, including the
+//! differential properties that hold the vectorized kernels to the
+//! scalar references: identical distances, scores, regions and CIGARs
+//! on every input, including `max_k`-exceeded and all-soft-clip cases.
 
-use persona_align::edit::{edit_distance_dp, landau_vishkin};
-use persona_align::sw::{banded_global_cigar, smith_waterman, Scoring};
+use persona_align::edit::{
+    edit_distance_dp, landau_vishkin, landau_vishkin_bitparallel, landau_vishkin_scalar,
+};
+use persona_align::sw::{
+    banded_global_cigar, smith_waterman, smith_waterman_scalar, smith_waterman_striped, Scoring,
+};
 use proptest::prelude::*;
 
 fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
@@ -95,5 +102,87 @@ proptest! {
         let a = smith_waterman(&reference, query, sc);
         prop_assert_eq!(a.score, query.len() as i32 * sc.match_score);
         prop_assert_eq!(a.query_end - a.query_start, query.len());
+    }
+
+    /// The bit-parallel Landau-Vishkin returns exactly what the scalar
+    /// kernel and the DP reference return — Some(distance) within
+    /// budget, None beyond it — across the whole random input space.
+    #[test]
+    fn lv_bitparallel_matches_scalar_and_dp(
+        text in dna(0..90),
+        pattern in dna(0..70),
+        k in 0u32..12,
+    ) {
+        let bit = landau_vishkin_bitparallel(&text, &pattern, k);
+        prop_assert_eq!(bit, landau_vishkin_scalar(&text, &pattern, k));
+        let expected = edit_distance_dp(&text, &pattern);
+        if expected <= k {
+            prop_assert_eq!(bit, Some(expected));
+        } else {
+            prop_assert_eq!(bit, None, "max_k exceeded must be None, dp {}", expected);
+        }
+    }
+
+    /// Same differential property with patterns spanning multiple
+    /// 64-bit words, exercising the inter-block carry chain.
+    #[test]
+    fn lv_bitparallel_matches_scalar_multiword(
+        text in dna(100..220),
+        pattern in dna(60..200),
+        k in 0u32..16,
+    ) {
+        prop_assert_eq!(
+            landau_vishkin_bitparallel(&text, &pattern, k),
+            landau_vishkin_scalar(&text, &pattern, k)
+        );
+    }
+
+    /// The striped Smith-Waterman is indistinguishable from the scalar
+    /// kernel: same score, same aligned regions, same CIGAR.
+    #[test]
+    fn sw_striped_matches_scalar(reference in dna(1..120), query in dna(1..90)) {
+        let sc = Scoring::default();
+        if let Some(striped) = smith_waterman_striped(&reference, &query, sc) {
+            let scalar = smith_waterman_scalar(&reference, &query, sc);
+            prop_assert_eq!(striped, scalar);
+        } else {
+            // Only permissible off x86-64; these inputs satisfy every
+            // guard otherwise.
+            prop_assert!(!cfg!(target_arch = "x86_64"), "striped kernel refused valid input");
+        }
+    }
+
+    /// All-soft-clip edge case: disjoint alphabets leave nothing to
+    /// align, and both kernels must agree on the empty outcome.
+    #[test]
+    fn sw_striped_all_soft_clip(n in 1usize..90, m in 1usize..70) {
+        let reference = vec![b'A'; n];
+        let query = vec![b'T'; m];
+        let sc = Scoring::default();
+        let scalar = smith_waterman_scalar(&reference, &query, sc);
+        prop_assert_eq!(scalar.score, 0);
+        prop_assert!(scalar.cigar.is_empty());
+        if let Some(striped) = smith_waterman_striped(&reference, &query, sc) {
+            prop_assert_eq!(striped, scalar);
+        }
+    }
+
+    /// The public dispatching entry points agree with the scalar
+    /// references no matter which kernel is active.
+    #[test]
+    fn dispatchers_match_scalar(
+        text in dna(1..100),
+        pattern in dna(1..80),
+        k in 0u32..10,
+    ) {
+        prop_assert_eq!(
+            landau_vishkin(&text, &pattern, k),
+            landau_vishkin_scalar(&text, &pattern, k)
+        );
+        let sc = Scoring::default();
+        prop_assert_eq!(
+            smith_waterman(&text, &pattern, sc),
+            smith_waterman_scalar(&text, &pattern, sc)
+        );
     }
 }

@@ -8,8 +8,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use persona_agd::chunk::{ChunkData, RecordType};
-use persona_align::edit::landau_vishkin;
-use persona_align::sw::{smith_waterman, Scoring};
+use persona_align::edit::{landau_vishkin, landau_vishkin_bitparallel, landau_vishkin_scalar};
+use persona_align::sw::{smith_waterman, smith_waterman_scalar, smith_waterman_striped, Scoring};
+use persona_align::Kernel;
 use persona_bench::World;
 use persona_compress::codec::Codec;
 use persona_dataflow::{Executor, ObjectPool, QueueHandle};
@@ -38,14 +39,44 @@ fn bench_kernels(c: &mut Criterion) {
     let world = World::build(50_000, 1, 103);
     let text = &world.genome.contig(0).seq[1000..1140];
     let pattern = &world.genome.contig(0).seq[1000..1101];
+    println!(
+        "kernel dispatch: active={} | simd level={}",
+        Kernel::active().name(),
+        Kernel::simd_level()
+    );
     let mut g = c.benchmark_group("kernels");
     g.measurement_time(Duration::from_secs(3));
     g.sample_size(20);
+    // Dispatcher entry points (whatever kernel is active) ...
     g.bench_function("landau_vishkin_101bp", |b| {
         b.iter(|| std::hint::black_box(landau_vishkin(text, pattern, 12)))
     });
     g.bench_function("smith_waterman_101bp", |b| {
         b.iter(|| std::hint::black_box(smith_waterman(text, pattern, Scoring::default())))
+    });
+    // ... and both variants side by side, so `BENCH_kernels.json`
+    // always carries the scalar-vs-SIMD comparison.
+    g.bench_function(BenchmarkId::new("landau_vishkin_101bp", "scalar"), |b| {
+        b.iter(|| std::hint::black_box(landau_vishkin_scalar(text, pattern, 12)))
+    });
+    g.bench_function(BenchmarkId::new("landau_vishkin_101bp", "bitparallel"), |b| {
+        b.iter(|| std::hint::black_box(landau_vishkin_bitparallel(text, pattern, 12)))
+    });
+    g.bench_function(BenchmarkId::new("smith_waterman_101bp", "scalar"), |b| {
+        b.iter(|| std::hint::black_box(smith_waterman_scalar(text, pattern, Scoring::default())))
+    });
+    g.bench_function(BenchmarkId::new("smith_waterman_101bp", "striped"), |b| {
+        b.iter(|| std::hint::black_box(smith_waterman_striped(text, pattern, Scoring::default())))
+    });
+    // Large-k verification of a dissimilar sequence — the regime where
+    // the bit-parallel kernel's flat cost beats the scalar diagonal
+    // DP's O(k²) worst case and the dispatcher picks it.
+    let distant = &world.genome.contig(0).seq[30_000..30_101];
+    g.bench_function(BenchmarkId::new("landau_vishkin_distant_k40", "scalar"), |b| {
+        b.iter(|| std::hint::black_box(landau_vishkin_scalar(text, distant, 40)))
+    });
+    g.bench_function(BenchmarkId::new("landau_vishkin_distant_k40", "bitparallel"), |b| {
+        b.iter(|| std::hint::black_box(landau_vishkin_bitparallel(text, distant, 40)))
     });
     let fm = persona_index::FmIndex::build(&world.genome);
     g.bench_function("fm_index_count_25bp", |b| {

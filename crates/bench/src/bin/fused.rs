@@ -1,17 +1,26 @@
 //! Fused end-to-end runtime benchmark: `run_pipeline` (all five stages
-//! on one shared executor, import‖align and dupmark‖export overlapped)
-//! vs the same five stages run back to back, each on a private runtime.
+//! on one shared executor, with import‖align‖sort fused into one
+//! overlapped triple and dupmark‖export overlapped) vs the same five
+//! stages run back to back, each on a private runtime.
 //!
 //! The paper's Fig. 4 argument is that one executor owning all compute
 //! threads keeps the cores busy across concurrent kernels; the fused
 //! run should therefore match or beat the sequential run while
 //! producing byte-identical output.
 //!
+//! Besides the headline comparison, the bench sweeps the fused
+//! pipeline across `compute_threads` ∈ {1, 2, 4, 8} for both alignment
+//! kernel variants (scalar and SIMD/bit-parallel), so one run yields a
+//! scaling trajectory instead of a single point. Every sweep datapoint
+//! re-asserts SAM byte-identity against the sequential baseline.
+//!
 //! Run: `cargo run -p persona-bench --release --bin fused`
 //!
-//! Besides the human-readable table, the run emits a machine-readable
-//! `BENCH_fused.json` (reads/s plus per-stage busy fractions) in the
-//! working directory, which CI uploads to seed the bench trajectory.
+//! Besides the human-readable tables, the run emits a machine-readable
+//! `BENCH_fused.json` (reads/s, per-stage busy fractions, and the
+//! sweep) into the current directory — or into `--out-dir <dir>` /
+//! `$PERSONA_BENCH_OUT_DIR` — which CI uploads to extend the bench
+//! trajectory.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,49 +34,96 @@ use persona::pipeline::sort::{sort_dataset, SortKey};
 use persona::plan::{Plan, PlanRequest, PlanSource};
 use persona::runtime::{run_pipeline, PersonaRuntime};
 use persona_agd::chunk_io::ChunkStore;
-use persona_bench::{mem_store, print_header, scale, World};
+use persona_align::{Aligner, Kernel};
+use persona_bench::{mem_store, print_header, scale, write_result, BenchError, World};
 use persona_formats::fastq;
 
+/// Thread counts the fused pipeline is swept across.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One fused-pipeline sweep datapoint.
+struct SweepPoint {
+    kernel: Kernel,
+    threads: usize,
+    elapsed_s: f64,
+    reads_per_sec: f64,
+}
+
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fused bench failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Runs the fused pipeline once on `threads` compute threads with the
+/// given kernel variant active and returns (elapsed seconds, SAM).
+fn fused_run(
+    fastq_bytes: &[u8],
+    aligner: &Arc<dyn Aligner>,
+    chunk: usize,
+    reference: &[(String, u64)],
+    kernel: Kernel,
+    threads: usize,
+) -> Result<(f64, Vec<u8>), BenchError> {
+    Kernel::set_active(kernel);
+    let config = PersonaConfig { compute_threads: threads, ..PersonaConfig::default() };
+    let store: Arc<dyn ChunkStore> = mem_store();
+    let rt = PersonaRuntime::new(store, config)?;
+    let mut sam = Vec::new();
+    let t0 = Instant::now();
+    run_pipeline(
+        &rt,
+        std::io::Cursor::new(fastq_bytes.to_vec()),
+        "seq",
+        chunk,
+        aligner.clone(),
+        reference,
+        &mut sam,
+    )?;
+    Ok((t0.elapsed().as_secs_f64(), sam))
+}
+
+fn run() -> Result<(), BenchError> {
     let sc = scale();
     let world = World::build((300_000.0 * sc) as usize, (30_000.0 * sc) as usize, 31);
     let aligner = world.snap_aligner();
     let config = PersonaConfig::default();
+    let default_kernel = Kernel::active();
     let fastq_bytes = fastq::to_bytes(&world.reads);
     let input_mb = fastq_bytes.len() as f64 / 1e6;
     let chunk = 2_000;
     println!(
-        "dataset: {} reads | {:.1} MB FASTQ | {} compute threads",
+        "dataset: {} reads | {:.1} MB FASTQ | {} compute threads | kernel {} (simd level {})",
         world.reads.len(),
         input_mb,
-        config.compute_threads
+        config.compute_threads,
+        default_kernel.name(),
+        Kernel::simd_level()
     );
 
     // Sequential: five stages back to back, each on a private runtime.
     let store = mem_store();
     let t0 = Instant::now();
     let (mut manifest, _) =
-        import_fastq(std::io::Cursor::new(fastq_bytes.clone()), &store, "seq", chunk, &config)
-            .unwrap();
+        import_fastq(std::io::Cursor::new(fastq_bytes.clone()), &store, "seq", chunk, &config)?;
     align_dataset(AlignInputs {
         store: store.clone(),
         manifest: &manifest,
         aligner: aligner.clone(),
         config,
-    })
-    .unwrap();
-    finalize_manifest(store.as_ref(), &mut manifest, &world.reference).unwrap();
-    let (sorted, _) =
-        sort_dataset(&store, &manifest, SortKey::Coordinate, "seq.sorted", &config).unwrap();
-    mark_duplicates(&store, &sorted).unwrap();
+    })?;
+    finalize_manifest(store.as_ref(), &mut manifest, &world.reference)?;
+    let (sorted, _) = sort_dataset(&store, &manifest, SortKey::Coordinate, "seq.sorted", &config)?;
+    mark_duplicates(&store, &sorted)?;
     let mut seq_sam = Vec::new();
-    export_sam(&store, &sorted, &mut seq_sam, &config).unwrap();
+    export_sam(&store, &sorted, &mut seq_sam, &config)?;
     let sequential_s = t0.elapsed().as_secs_f64();
 
-    // Fused: one shared runtime, stages overlapped through bounded
-    // chunk queues.
+    // Fused headline run: one shared runtime at the default thread
+    // count, stages overlapped through bounded chunk queues.
     let fused_store: Arc<dyn ChunkStore> = mem_store();
-    let rt = PersonaRuntime::new(fused_store, config).unwrap();
+    let rt = PersonaRuntime::new(fused_store, config)?;
     let mut fused_sam = Vec::new();
     let t0 = Instant::now();
     let report = run_pipeline(
@@ -78,8 +134,7 @@ fn main() {
         aligner.clone(),
         &world.reference,
         &mut fused_sam,
-    )
-    .unwrap();
+    )?;
     let fused_s = t0.elapsed().as_secs_f64();
     assert_eq!(fused_sam, seq_sam, "fused output must be byte-identical");
 
@@ -100,24 +155,47 @@ fn main() {
         report.import.reads, report.export.records
     );
 
+    // Thread × kernel sweep: the multi-thread trajectory for both
+    // kernel variants, every point checked against the baseline SAM.
+    print_header(
+        "Fused pipeline sweep (kernel x compute threads)",
+        &["kernel", "threads", "elapsed (s)", "reads/s"],
+    );
+    let mut sweep = Vec::new();
+    for kernel in [Kernel::Scalar, Kernel::Simd] {
+        for threads in THREAD_SWEEP {
+            let (elapsed_s, sam) =
+                fused_run(&fastq_bytes, &aligner, chunk, &world.reference, kernel, threads)?;
+            assert_eq!(
+                sam,
+                seq_sam,
+                "fused SAM diverged at kernel={} threads={threads}",
+                kernel.name()
+            );
+            let reads_per_sec =
+                if elapsed_s > 0.0 { world.reads.len() as f64 / elapsed_s } else { 0.0 };
+            println!("{}\t{threads}\t{elapsed_s:.2}\t{reads_per_sec:.0}", kernel.name());
+            sweep.push(SweepPoint { kernel, threads, elapsed_s, reads_per_sec });
+        }
+    }
+    Kernel::set_active(default_kernel);
+
     // Partial-plan datapoint: the skip-dupmark fast path through the
     // composable plan API, so the bench trajectory covers partial
     // pipelines too.
     let nd_store: Arc<dyn ChunkStore> = mem_store();
-    let nd_rt = PersonaRuntime::new(nd_store, config).unwrap();
+    let nd_rt = PersonaRuntime::new(nd_store, config)?;
     let t0 = Instant::now();
-    let nd_report = Plan::no_dupmark()
-        .run(
-            &nd_rt,
-            PlanRequest {
-                name: "nd".into(),
-                source: PlanSource::fastq_bytes(fastq_bytes),
-                chunk_size: chunk,
-                aligner: Some(aligner),
-                reference: world.reference.clone(),
-            },
-        )
-        .unwrap();
+    let nd_report = Plan::no_dupmark().run(
+        &nd_rt,
+        PlanRequest {
+            name: "nd".into(),
+            source: PlanSource::fastq_bytes(fastq_bytes),
+            chunk_size: chunk,
+            aligner: Some(aligner),
+            reference: world.reference.clone(),
+        },
+    )?;
     let no_dupmark_s = t0.elapsed().as_secs_f64();
     let nd_reads = nd_report.reads();
     println!("no-dupmark plan ({}): {no_dupmark_s:.2} s", nd_report.plan.describe());
@@ -136,20 +214,39 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",")
     };
+    let sweep_json = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"kernel\":\"{}\",\"simd_level\":\"{}\",\"threads\":{},\
+                 \"elapsed_s\":{:.6},\"reads_per_sec\":{:.1}}}",
+                p.kernel.name(),
+                Kernel::simd_level(),
+                p.threads,
+                p.elapsed_s,
+                p.reads_per_sec
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let nd_reads_per_sec = if no_dupmark_s > 0.0 { nd_reads as f64 / no_dupmark_s } else { 0.0 };
     let json = format!(
         "{{\"bench\":\"fused\",\"reads\":{},\"input_mb\":{input_mb:.3},\
          \"sequential_s\":{sequential_s:.6},\"fused_s\":{fused_s:.6},\
          \"speedup\":{:.4},\"reads_per_sec\":{reads_per_sec:.1},\
-         \"compute_threads\":{},\"stages\":[{}],\
+         \"compute_threads\":{},\"kernel\":\"{}\",\"simd_level\":\"{}\",\
+         \"stages\":[{}],\"sweep\":[{sweep_json}],\
          \"no_dupmark\":{{\"plan\":\"no-dupmark\",\"elapsed_s\":{no_dupmark_s:.6},\
          \"reads_per_sec\":{nd_reads_per_sec:.1},\"stages\":[{}]}}}}\n",
         report.import.reads,
         if fused_s > 0.0 { sequential_s / fused_s } else { 0.0 },
         config.compute_threads,
+        default_kernel.name(),
+        Kernel::simd_level(),
         stage_json(report.stage_rows()),
         stage_json(nd_report.stage_rows())
     );
-    std::fs::write("BENCH_fused.json", json).expect("write BENCH_fused.json");
-    println!("wrote BENCH_fused.json");
+    let path = write_result("BENCH_fused.json", &json)?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -237,6 +237,22 @@ impl ManifestServer {
         self.inner.fetch()
     }
 
+    /// Non-blocking fetch: returns a task only if one is queued right
+    /// now. `None` means "momentarily empty" *or* end-of-dataset —
+    /// callers that must distinguish the two fall back to the blocking
+    /// [`ManifestServer::fetch`]. The streaming sort uses this to
+    /// opportunistically batch whatever chunks upstream has already
+    /// finished without ever waiting for a full batch.
+    pub fn try_fetch(&self) -> Option<ChunkTask> {
+        let ticket = self.inner.fetch_ticket.fetch_add(1, Ordering::Relaxed);
+        let task = self.inner.try_steal(ticket)?;
+        // `try_steal` is gate-free; the caller owes the not_full notify
+        // (same contract as the sweep inside `fetch`).
+        let _gate = self.inner.gate.lock();
+        self.inner.not_full.notify_one();
+        Some(task)
+    }
+
     /// Chunks queued but not yet dispatched.
     pub fn remaining(&self) -> usize {
         self.inner.len.load(Ordering::SeqCst)
@@ -426,6 +442,28 @@ mod tests {
         assert!(blocked.join().unwrap());
         assert_eq!(server.fetch().unwrap().stem, "b");
         assert_eq!(server.fetch().unwrap().stem, "c");
+    }
+
+    #[test]
+    fn try_fetch_never_blocks_and_frees_capacity() {
+        let (server, feeder) = ManifestServer::streaming(2);
+        // Empty stream: immediately None, no blocking.
+        assert_eq!(server.try_fetch(), None);
+        assert!(feeder.push(ChunkTask { chunk_idx: 0, stem: "a".into(), num_records: 1 }));
+        assert!(feeder.push(ChunkTask { chunk_idx: 1, stem: "b".into(), num_records: 1 }));
+        // A pusher blocked on the full queue is released by try_fetch.
+        let blocked = std::thread::spawn(move || {
+            feeder.push(ChunkTask { chunk_idx: 2, stem: "c".into(), num_records: 1 })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(server.try_fetch().is_some());
+        assert!(blocked.join().unwrap());
+        assert!(server.try_fetch().is_some());
+        assert!(server.try_fetch().is_some());
+        // Drained but closed (feeder moved into the thread and dropped):
+        // try_fetch still reports None without hanging.
+        assert_eq!(server.try_fetch(), None);
+        assert_eq!(server.fetch(), None);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use persona_agd::chunk::{ChunkData, RecordType};
@@ -27,7 +27,7 @@ use persona_compress::deflate::CompressLevel;
 use persona_dataflow::graph::{GraphBuilder, RunReport};
 
 use crate::config::PersonaConfig;
-use crate::manifest_server::{ChunkTask, ManifestServer};
+use crate::manifest_server::{ChunkFeeder, ChunkTask, ManifestServer};
 use crate::pipeline::StageReport;
 use crate::runtime::PersonaRuntime;
 use crate::{Error, Result};
@@ -63,6 +63,9 @@ pub struct AlignReport {
     pub profile: PhaseProfile,
     /// The stage's share of shared-executor worker time.
     pub busy_fraction: f64,
+    /// When the stage finished — paired with `SortReport::first_run_at`
+    /// to assert a fused `align → sort` run actually overlapped.
+    pub finished_at: Instant,
 }
 
 impl AlignReport {
@@ -129,6 +132,22 @@ pub fn align_with_runtime(
     rt: &PersonaRuntime,
     server: &ManifestServer,
     aligner: Arc<dyn Aligner>,
+) -> Result<AlignReport> {
+    align_with_runtime_to(rt, server, aligner, None)
+}
+
+/// [`align_with_runtime`] that additionally announces each chunk
+/// downstream: after a chunk's results column lands in the store, its
+/// task is pushed into `results_out`, which is how the fused
+/// `align → sort` pipeline streams finished chunks into the incremental
+/// sort while later chunks are still aligning. The feeder is dropped —
+/// closing the downstream queue — when the stage completes (the graph
+/// run consumes every node closure before returning).
+pub fn align_with_runtime_to(
+    rt: &PersonaRuntime,
+    server: &ManifestServer,
+    aligner: Arc<dyn Aligner>,
+    results_out: Option<ChunkFeeder>,
 ) -> Result<AlignReport> {
     let cfg = *rt.config();
     let store = rt.store().clone();
@@ -268,7 +287,8 @@ pub fn align_with_runtime(
         });
     }
 
-    // Output subgraph: encode the results column and store it.
+    // Output subgraph: encode the results column, store it, then (when
+    // fused with a downstream sort) announce the finished chunk.
     {
         let qi = q_results.clone();
         let store = store.clone();
@@ -286,6 +306,13 @@ pub fn align_with_runtime(
                 let name = format!("{}.{}", chunk.task.stem, columns::RESULTS);
                 ctx.wait_external(|| store.put(&name, &obj))
                     .map_err(|e| format!("write {name}: {e}"))?;
+                // Push only after the results object is durable: the
+                // sort will read it straight back.
+                if let Some(out) = &results_out {
+                    if !ctx.wait_external(|| out.push(chunk.task.clone())) {
+                        return Err("downstream sort closed the chunk stream".into());
+                    }
+                }
                 chunks_ctr.fetch_add(1, Ordering::Relaxed);
                 ctx.add_items(1);
             }
@@ -308,6 +335,7 @@ pub fn align_with_runtime(
         run,
         profile: merged_profile,
         busy_fraction,
+        finished_at: Instant::now(),
     })
 }
 

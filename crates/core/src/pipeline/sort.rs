@@ -10,12 +10,24 @@
 //! sorting, records never need re-parsing: columns are permuted as
 //! opaque byte slices, with only the key column decoded.
 //!
+//! The sort is **incremental**: [`sort_streaming_rt`] pulls chunk tasks
+//! from a [`ManifestServer`] and folds sorted runs into superchunks as
+//! chunks arrive, so when the server is fed by a live upstream stage
+//! (the fused `align → sort` pipeline), run loading and superchunk
+//! merging overlap alignment instead of waiting behind a barrier.
+//! Chunks may arrive in *any* order: every record carries a
+//! `(key, chunk, position)` composite, so the merged output is the
+//! unique global order whatever the arrival interleaving — byte
+//! identical to sorting the finished dataset in one shot
+//! ([`sort_dataset_rt`], which is now a prefilled-server wrapper).
+//!
 //! Every compute phase — per-chunk load+sort, superchunk merges, output
 //! chunk encode+write — runs as tagged task batches on the runtime's
 //! shared executor; the sort stage owns no threads of its own.
 
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use persona_agd::chunk::{ChunkData, RecordType};
 use persona_agd::chunk_io::ChunkStore;
@@ -26,6 +38,7 @@ use persona_compress::codec::Codec;
 use persona_compress::deflate::CompressLevel;
 
 use crate::config::PersonaConfig;
+use crate::manifest_server::{ChunkTask, ManifestServer};
 use crate::pipeline::StageReport;
 use crate::runtime::PersonaRuntime;
 use crate::{Error, Result};
@@ -48,8 +61,13 @@ pub struct SortReport {
     pub records: u64,
     /// Number of first-phase sorted runs.
     pub runs: usize,
-    /// Number of intermediate superchunks (0 if a single merge sufficed).
+    /// Number of intermediate superchunk merges (0 if the final merge
+    /// alone sufficed).
     pub superchunks: usize,
+    /// When the first sorted run was ready — on a fused `align → sort`
+    /// run this lands while upstream is still aligning, which is how
+    /// tests assert the stages actually overlapped.
+    pub first_run_at: Option<Instant>,
     /// The stage's share of shared-executor worker time.
     pub busy_fraction: f64,
 }
@@ -64,9 +82,38 @@ impl StageReport for SortReport {
     }
 }
 
+/// Where the streaming sort's *source manifest* (column codecs, row
+/// groups, chunk size) comes from when the output dataset is written.
+pub enum SortSource<'a> {
+    /// The source dataset already exists (standalone sort, or the fused
+    /// `align → sort` pair where align only adds a results column to an
+    /// encoded dataset).
+    Ready(&'a Manifest),
+    /// The source manifest is still being built by an upstream import;
+    /// it arrives on this channel when import finishes. The write phase
+    /// cannot start before every chunk has been merged, and the chunk
+    /// stream cannot end before upstream finished, so receiving here
+    /// never deadlocks.
+    Pending(Receiver<Manifest>),
+}
+
+/// The derived error the streaming sort reports when a
+/// [`SortSource::Pending`] channel closes without delivering a manifest
+/// — i.e. the upstream import died. Plan fusion matches on this marker
+/// to surface the upstream root cause instead of this symptom.
+pub(crate) const MISSING_SRC_MANIFEST: &str =
+    "sort write phase: upstream ended without delivering a source manifest";
+
 /// All columns of one loaded (or merged) run, as parallel record arrays.
 struct Run {
-    keys: Vec<Key>,
+    /// `(key, tie)` per record. The tie embeds the record's global
+    /// origin — `(chunk index << 32) | position in chunk` — which makes
+    /// the composite unique across the dataset, so every merge order
+    /// and every arrival order produce the same output: records of
+    /// equal key come out in (chunk, position) order. Both components
+    /// are u32-bounded (chunk counts and `ChunkEntry::num_records` are
+    /// `u32`), so the packing cannot collide.
+    keys: Vec<(Key, u64)>,
     meta: Vec<Vec<u8>>,
     bases: Vec<Vec<u8>>,
     quals: Vec<Vec<u8>>,
@@ -99,57 +146,124 @@ pub fn sort_dataset(
     sort_dataset_rt(&rt, manifest, key, out_name)
 }
 
-/// Sorts a dataset on a shared runtime. Unmapped records (location -1)
-/// sort first, matching the convention that they carry no coordinate.
+/// Sorts a finished dataset on a shared runtime. Unmapped records
+/// (location -1) sort first, matching the convention that they carry no
+/// coordinate. This is [`sort_streaming_rt`] over a prefilled server.
 pub fn sort_dataset_rt(
     rt: &PersonaRuntime,
     manifest: &Manifest,
     key: SortKey,
     out_name: &str,
 ) -> Result<(Manifest, SortReport)> {
-    let timer = rt.stage_timer();
     if key == SortKey::Coordinate && !manifest.has_column(columns::RESULTS) {
         return Err(Error::Pipeline("coordinate sort requires a results column".into()));
     }
     let has_results = manifest.has_column(columns::RESULTS);
+    let server = ManifestServer::new(manifest);
+    sort_streaming_rt(rt, &server, SortSource::Ready(manifest), key, out_name, has_results, None)
+}
+
+/// Sorts the chunk stream dispensed by `server`, merging incrementally:
+/// each batch of arrived chunks is loaded and sorted on the executor,
+/// and full groups of runs fold into superchunks *while upstream is
+/// still producing*. The output dataset is independent of arrival
+/// order: runs merge on globally unique `(key, origin)` composite keys,
+/// where the origin tie-break encodes (chunk index, position in chunk).
+///
+/// `reference` overrides the output manifest's reference contigs; pass
+/// `None` to copy them from the source manifest (a fused `align → sort`
+/// pair must pass `Some`, because the source manifest predates
+/// `finalize_manifest`).
+pub fn sort_streaming_rt(
+    rt: &PersonaRuntime,
+    server: &ManifestServer,
+    src: SortSource<'_>,
+    key: SortKey,
+    out_name: &str,
+    has_results: bool,
+    reference: Option<&[(String, u64)]>,
+) -> Result<(Manifest, SortReport)> {
+    let timer = rt.stage_timer();
     let exec = rt.stage_exec(&timer);
-
-    // Phase 1: sort each chunk into a run (an executor task per chunk).
-    let chunk_count = manifest.records.len();
-    let shared_manifest = Arc::new(manifest.clone());
-    let mut runs: Vec<Run> = {
-        let store = rt.store().clone();
-        let m = shared_manifest.clone();
-        exec.map((0..chunk_count).collect(), move |_, idx| {
-            load_sorted_run(store.as_ref(), &m, idx, key, has_results)
-        })?
-        .into_iter()
-        .collect::<Result<_>>()?
-    };
-    let n_runs = runs.len();
-
-    // Phase 2: merge groups of runs into superchunks until few enough
-    // remain (each group merge is one executor task), then a final
-    // merge produces the output order.
     let fanin = 8usize;
+    let store = rt.store().clone();
+
+    // Chunk-level runs awaiting a superchunk merge, and the superchunk
+    // tier itself (also folded when it grows past the fan-in).
+    let mut pending: Vec<Run> = Vec::new();
+    let mut merged: Vec<Run> = Vec::new();
+    let mut n_runs = 0usize;
     let mut superchunks = 0usize;
-    while runs.len() > fanin {
+    let mut first_run_at: Option<Instant> = None;
+
+    let fold = |exec: &crate::runtime::StageExec, group: Vec<Run>| -> Result<Run> {
+        Ok(exec.map(vec![group], |_, g| merge_runs(g))?.pop().expect("merge result"))
+    };
+
+    loop {
         rt.check_cancelled()?;
-        let mut groups: Vec<Vec<Run>> = Vec::new();
-        while !runs.is_empty() {
-            let take = runs.len().min(fanin);
-            groups.push(runs.drain(..take).collect());
+        // Block for one task, then drain whatever else upstream has
+        // already finished (up to one merge group) without waiting.
+        let Some(first) = server.fetch() else { break };
+        let mut batch = vec![first];
+        while batch.len() < fanin {
+            match server.try_fetch() {
+                Some(task) => batch.push(task),
+                None => break,
+            }
         }
-        superchunks += groups.len();
-        runs = exec.map(groups, |_, group| merge_runs(group))?;
+        n_runs += batch.len();
+        let loaded: Vec<Run> = {
+            let store = store.clone();
+            exec.map(batch, move |_, task| {
+                load_sorted_run(store.as_ref(), &task, key, has_results)
+            })?
+            .into_iter()
+            .collect::<Result<_>>()?
+        };
+        first_run_at.get_or_insert_with(Instant::now);
+        pending.extend(loaded);
+        // Eagerly fold full groups into superchunks while upstream is
+        // still producing — the overlap this stage exists for.
+        while pending.len() >= fanin {
+            let group: Vec<Run> = pending.drain(..fanin).collect();
+            superchunks += 1;
+            merged.push(fold(&exec, group)?);
+            if merged.len() >= fanin {
+                let group: Vec<Run> = merged.drain(..).collect();
+                superchunks += 1;
+                merged.push(fold(&exec, group)?);
+            }
+        }
     }
-    let final_run =
-        exec.map(vec![runs], |_, runs| merge_runs(runs))?.pop().expect("final merge result");
+    rt.check_cancelled()?;
+
+    // Leftover chunk runs: when the superchunk phase engaged at all,
+    // fold them into one more superchunk so the final merge only sees
+    // peers; on a small dataset they go straight to the final merge.
+    if !pending.is_empty() && !merged.is_empty() {
+        superchunks += 1;
+        let group = std::mem::take(&mut pending);
+        merged.push(fold(&exec, group)?);
+    } else {
+        merged.append(&mut pending);
+    }
+    let final_run = fold(&exec, merged)?;
     let records = final_run.len() as u64;
 
-    // Phase 3: encode and write the output dataset chunk by chunk.
+    // The write phase needs the source manifest for codecs and chunk
+    // sizing; a Pending source resolves it now (upstream necessarily
+    // finished before the chunk stream closed).
+    let owned_src: Manifest;
+    let src: &Manifest = match src {
+        SortSource::Ready(m) => m,
+        SortSource::Pending(rx) => {
+            owned_src = rx.recv().map_err(|_| Error::Pipeline(MISSING_SRC_MANIFEST.into()))?;
+            &owned_src
+        }
+    };
     let out_manifest =
-        write_sorted_dataset(rt, &timer, out_name, manifest, final_run, key, has_results)?;
+        write_sorted_dataset(rt, &timer, out_name, src, final_run, key, has_results, reference)?;
 
     let stage = timer.finish();
     Ok((
@@ -159,6 +273,7 @@ pub fn sort_dataset_rt(
             records,
             runs: n_runs,
             superchunks,
+            first_run_at,
             busy_fraction: stage.busy_fraction(),
         },
     ))
@@ -176,17 +291,15 @@ impl Default for Run {
     }
 }
 
-/// Loads one chunk's columns and sorts them by key.
+/// Loads one chunk's columns and sorts them by `(key, origin)`.
 fn load_sorted_run(
     store: &dyn ChunkStore,
-    manifest: &Manifest,
-    chunk_idx: usize,
+    task: &ChunkTask,
     key: SortKey,
     has_results: bool,
 ) -> Result<Run> {
-    let entry = &manifest.records[chunk_idx];
     let load = |col: &str| -> Result<ChunkData> {
-        let raw = store.get(&Manifest::chunk_object_name(&entry.path, col))?;
+        let raw = store.get(&Manifest::chunk_object_name(&task.stem, col))?;
         Ok(ChunkData::decode(&raw)?)
     };
     let meta = load(columns::METADATA)?;
@@ -195,9 +308,16 @@ fn load_sorted_run(
     let results = if has_results { Some(load(columns::RESULTS)?) } else { None };
 
     let n = meta.len();
-    let mut keys: Vec<Key> = Vec::with_capacity(n);
+    if n != task.num_records as usize {
+        return Err(Error::Pipeline(format!(
+            "chunk {}: {} records on disk, {} in manifest",
+            task.stem, n, task.num_records
+        )));
+    }
+    let origin = (task.chunk_idx as u64) << 32;
+    let mut keys: Vec<(Key, u64)> = Vec::with_capacity(n);
     for i in 0..n {
-        keys.push(match key {
+        let k = match key {
             SortKey::Coordinate => {
                 let r = AlignmentResult::decode(
                     results.as_ref().expect("results checked above").record(i),
@@ -205,9 +325,12 @@ fn load_sorted_run(
                 Key::Location(r.location)
             }
             SortKey::QueryName => Key::Name(meta.record(i).to_vec()),
-        });
+        };
+        keys.push((k, origin | i as u64));
     }
     let mut order: Vec<usize> = (0..n).collect();
+    // The tie component is unique, so this is a total order (and equal
+    // keys stay in chunk position order, as the old stable sort did).
     order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
 
     Ok(Run {
@@ -222,8 +345,10 @@ fn load_sorted_run(
     })
 }
 
-/// K-way merges sorted runs into one (stable within equal keys by run
-/// order, then record order).
+/// K-way merges sorted runs into one. Because keys carry a globally
+/// unique `(chunk, position)` tie, the result is the same whatever
+/// grouping or arrival order produced `runs` — records of equal sort
+/// key always come out in chunk order, then position order.
 fn merge_runs(mut runs: Vec<Run>) -> Run {
     runs.retain(|r| r.len() > 0);
     if runs.len() == 1 {
@@ -239,10 +364,12 @@ fn merge_runs(mut runs: Vec<Run>) -> Run {
     };
     let has_results = runs.iter().any(|r| !r.results.is_empty());
     let mut cursors = vec![0usize; runs.len()];
-    // Binary heap of (key, run) — invert ordering for a min-heap.
+    // Binary heap of ((key, tie), run) — invert ordering for a min-heap.
+    // The run index is a deterministic fallback for synthetic runs with
+    // duplicated ties; real ties are unique.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<((Key, u64), usize)>> = BinaryHeap::new();
     for (r, run) in runs.iter().enumerate() {
         if run.len() > 0 {
             heap.push(Reverse((run.keys[0].clone(), r)));
@@ -268,6 +395,7 @@ fn merge_runs(mut runs: Vec<Run>) -> Run {
 
 /// Writes the merged run as a fresh AGD dataset, one executor task per
 /// output chunk.
+#[allow(clippy::too_many_arguments)]
 fn write_sorted_dataset(
     rt: &PersonaRuntime,
     timer: &crate::runtime::StageTimer,
@@ -276,6 +404,7 @@ fn write_sorted_dataset(
     run: Run,
     key: SortKey,
     has_results: bool,
+    reference: Option<&[(String, u64)]>,
 ) -> Result<Manifest> {
     let chunk_size = src
         .records
@@ -291,7 +420,10 @@ fn write_sorted_dataset(
     if has_results {
         manifest.add_column(columns::RESULTS, Codec::Gzip)?;
     }
-    manifest.reference = src.reference.clone();
+    match reference {
+        Some(r) => persona_formats::convert::set_reference(&mut manifest, r),
+        None => manifest.reference = src.reference.clone(),
+    }
     manifest.sort_order = match key {
         SortKey::Coordinate => SortOrder::Coordinate,
         SortKey::QueryName => SortOrder::QueryName,
@@ -413,6 +545,16 @@ mod tests {
         locs
     }
 
+    fn metas_of(store: &Arc<dyn ChunkStore>, m: &Manifest) -> Vec<Vec<u8>> {
+        let ds = Dataset::new(m.clone());
+        let mut out = Vec::new();
+        for c in 0..ds.num_chunks() {
+            let meta = ds.read_column_chunk(store.as_ref(), c, columns::METADATA).unwrap();
+            out.extend(meta.iter().map(|r| r.to_vec()));
+        }
+        out
+    }
+
     #[test]
     fn coordinate_sort_orders_dataset() {
         let (store, manifest) = world(500, 64);
@@ -422,6 +564,7 @@ mod tests {
         assert_eq!(report.records, 500);
         assert_eq!(report.runs, manifest.records.len());
         assert!(report.busy_fraction > 0.0, "sort compute must run on the executor");
+        assert!(report.first_run_at.is_some(), "a non-empty sort loads at least one run");
         assert_eq!(sorted.sort_order, SortOrder::Coordinate);
         assert_eq!(sorted.total_records, 500);
         let locs = locations_of(&store, &sorted);
@@ -492,6 +635,104 @@ mod tests {
         assert!(locs.windows(2).all(|w| w[0] <= w[1]));
     }
 
+    /// Streaming the chunks in *reverse* order through a fed server must
+    /// produce the identical dataset as the one-shot prefilled sort:
+    /// the (key, chunk, position) composite makes the output order
+    /// arrival-independent.
+    #[test]
+    fn streamed_out_of_order_arrival_matches_one_shot_sort() {
+        let (store, manifest) = world(300, 30);
+        let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+        let (oneshot, _) = sort_dataset_rt(&rt, &manifest, SortKey::Coordinate, "ref").unwrap();
+
+        let (server, feeder) = ManifestServer::streaming(4);
+        let tasks: Vec<ChunkTask> = manifest
+            .records
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, e)| ChunkTask {
+                chunk_idx: i,
+                stem: e.path.clone(),
+                num_records: e.num_records,
+            })
+            .collect();
+        let producer = std::thread::spawn(move || {
+            for t in tasks {
+                assert!(feeder.push(t));
+            }
+        });
+        let (streamed, report) = sort_streaming_rt(
+            &rt,
+            &server,
+            SortSource::Ready(&manifest),
+            SortKey::Coordinate,
+            "str",
+            true,
+            None,
+        )
+        .unwrap();
+        producer.join().unwrap();
+        assert_eq!(report.records, 300);
+        assert_eq!(report.runs, 10);
+        assert_eq!(locations_of(&store, &streamed), locations_of(&store, &oneshot));
+        assert_eq!(metas_of(&store, &streamed), metas_of(&store, &oneshot));
+    }
+
+    /// A run of `n` records sharing one location key, with metadata
+    /// identifying `(run, record)` so merge order is observable. Ties
+    /// embed the run index, as real chunk loads embed the chunk index.
+    fn tagged_run(run_idx: usize, n: usize, loc: i64) -> Run {
+        let mut r = Run::default();
+        for i in 0..n {
+            r.keys.push((Key::Location(loc), ((run_idx as u64) << 32) | i as u64));
+            r.meta.push(format!("run{run_idx}-rec{i}").into_bytes());
+            r.bases.push(vec![b'A'; 4]);
+            r.quals.push(vec![b'F'; 4]);
+        }
+        r
+    }
+
+    /// Contract pinned before the incremental-merge rewrite and carried
+    /// through it: within equal sort keys, merged output is in origin
+    /// order — run (chunk) index, then record position — and since the
+    /// tie now encodes the origin, that holds for *any* arrival order
+    /// of the runs.
+    #[test]
+    fn merge_runs_is_stable_within_equal_keys() {
+        // Three runs, all records sharing key Location(7), plus a
+        // smaller key in the last run that must still come out first.
+        let make_late = || {
+            let mut late = tagged_run(2, 3, 7);
+            late.keys.insert(0, (Key::Location(3), (2u64 << 32) | 10));
+            late.meta.insert(0, b"run2-early".to_vec());
+            late.bases.insert(0, vec![b'A'; 4]);
+            late.quals.insert(0, vec![b'F'; 4]);
+            late
+        };
+        let expected = vec![
+            "run2-early",
+            "run0-rec0",
+            "run0-rec1",
+            "run1-rec0",
+            "run1-rec1",
+            "run1-rec2",
+            "run2-rec0",
+            "run2-rec1",
+            "run2-rec2",
+        ];
+        let merged = merge_runs(vec![tagged_run(0, 2, 7), tagged_run(1, 3, 7), make_late()]);
+        let order: Vec<String> =
+            merged.meta.iter().map(|m| String::from_utf8(m.clone()).unwrap()).collect();
+        assert_eq!(order, expected);
+        // Scrambled arrival (the incremental sort's reality): same
+        // output, because the ties carry the origin.
+        let merged = merge_runs(vec![make_late(), tagged_run(1, 3, 7), tagged_run(0, 2, 7)]);
+        let order: Vec<String> =
+            merged.meta.iter().map(|m| String::from_utf8(m.clone()).unwrap()).collect();
+        assert_eq!(order, expected);
+    }
+
     #[test]
     fn coordinate_sort_without_results_errors() {
         let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
@@ -515,6 +756,7 @@ mod tests {
             sort_dataset(&store, &manifest, SortKey::QueryName, "se", &PersonaConfig::small())
                 .unwrap();
         assert_eq!(report.records, 0);
+        assert_eq!(report.first_run_at, None);
         assert_eq!(sorted.total_records, 0);
     }
 }

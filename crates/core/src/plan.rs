@@ -25,8 +25,11 @@
 //! [`PersonaRuntime`] with the same fused streaming overlap and
 //! cooperative cancellation the fixed `run_pipeline` chain has — an
 //! `import` directly followed by `align` streams chunks through a
-//! bounded queue while both stages share the executor, and `dupmark`
-//! directly followed by `export-sam` does the same.
+//! bounded queue while both stages share the executor, an `align`
+//! directly followed by `sort` streams finished chunks into the
+//! incremental merge (a leading `import → align → sort` fuses as a
+//! triple), and `dupmark` directly followed by `export-sam` does the
+//! same.
 //!
 //! Plans serialize to JSON through the vendored serde
 //! (`{"input":"fastq","stages":["import","align",...]}`), and
@@ -47,7 +50,7 @@ use crate::pipeline::align::{self, AlignReport};
 use crate::pipeline::dupmark::{self, DupmarkReport};
 use crate::pipeline::export::{self, ExportReport};
 use crate::pipeline::import::{self, ImportReport};
-use crate::pipeline::sort::{self, SortKey, SortReport};
+use crate::pipeline::sort::{self, SortKey, SortReport, SortSource};
 use crate::pipeline::StageReport;
 use crate::runtime::PersonaRuntime;
 use crate::{Error, Result};
@@ -514,10 +517,14 @@ impl Plan {
     /// priority, cancel token and counters, and a fired token unwinds
     /// the plan as [`Error::Cancelled`] mid-stage.
     ///
-    /// Adjacent `import → align` and `dupmark → export-sam` pairs are
-    /// fused: the stages overlap through a bounded streaming chunk
-    /// queue while sharing the executor, exactly like the classic
-    /// `run_pipeline` chain. Exported SAM/BAM bytes are buffered and
+    /// Adjacent `import → align`, `align → sort` and
+    /// `dupmark → export-sam` runs are fused (an
+    /// `import → align → sort` prefix fuses as a triple): the stages
+    /// overlap through bounded streaming chunk queues while sharing the
+    /// executor — alignment consumes chunks as import encodes them, and
+    /// the incremental sort loads and merges chunks as their results
+    /// land, instead of waiting for the last aligned chunk. Exported
+    /// SAM/BAM bytes are buffered and
     /// only surface in the report once the whole plan has succeeded, so
     /// a mid-plan failure can never leave a plausible-looking truncated
     /// export behind.
@@ -528,11 +535,13 @@ impl Plan {
     /// [`Plan::run`] with a stage-completion observer: `on_stage` is
     /// invoked after each stage that lands durable dataset state in the
     /// runtime's store — `import`, `align`, `sort` and `dupmark` — with
-    /// the manifest that stage landed. A fused pair notifies once, for
-    /// its downstream stage, when both halves have finished (a
-    /// half-done fused pair has landed nothing resumable). Export
-    /// stages buffer bytes in memory rather than landing store state,
-    /// so they never notify.
+    /// the manifest that stage landed. A fused run notifies when all of
+    /// its stages have finished (a half-done fused run has landed
+    /// nothing resumable): `import → align` notifies once for `align`,
+    /// and a fused `align → sort` or `import → align → sort` notifies
+    /// for `align` and then `sort`, both datasets being durable by
+    /// then. Export stages buffer bytes in memory rather than landing
+    /// store state, so they never notify.
     ///
     /// This is the serialization hook a durable job service journals
     /// stage completion through: the `(stage, manifest)` pair is
@@ -581,9 +590,41 @@ impl Plan {
             let stage = self.stages[i];
             let fused_next = self.stages.get(i + 1).copied().filter(|&next| {
                 (stage == Stage::Import && next == Stage::Align)
+                    || (stage == Stage::Align && next == Stage::Sort)
                     || (stage == Stage::Dupmark && next == Stage::ExportSam)
             });
             match (stage, fused_next) {
+                (Stage::Import, Some(Stage::Align))
+                    if self.stages.get(i + 2) == Some(&Stage::Sort) =>
+                {
+                    // The front of the full chain fuses as a triple:
+                    // import feeds chunks to alignment, and alignment
+                    // feeds finished chunks to the incremental sort —
+                    // all three stages overlap on the shared executor.
+                    let input = source.take().expect("fastq source validated above");
+                    let aligner = req.aligner.clone().expect("aligner validated above");
+                    let sorted_name = format!("{}.sorted", req.name);
+                    let (manifest, sorted, import_rep, align_rep, sort_rep) =
+                        fused_import_align_sort(
+                            rt,
+                            input,
+                            &req.name,
+                            req.chunk_size,
+                            aligner,
+                            &req.reference,
+                            &sorted_name,
+                            queue_cap,
+                        )?;
+                    report.stages.push(StageRun::Import(import_rep));
+                    report.stages.push(StageRun::Align(align_rep));
+                    report.stages.push(StageRun::Sort(sort_rep));
+                    report.manifest = Some(manifest);
+                    on_stage(Stage::Align, report.manifest.as_ref().expect("just set"));
+                    report.sorted = Some(sorted.clone());
+                    on_stage(Stage::Sort, report.sorted.as_ref().expect("just set"));
+                    cur = Some(sorted);
+                    i += 3;
+                }
                 (Stage::Import, Some(Stage::Align)) => {
                     let input = source.take().expect("fastq source validated above");
                     let aligner = req.aligner.clone().expect("aligner validated above");
@@ -601,6 +642,27 @@ impl Plan {
                     report.manifest = Some(manifest.clone());
                     on_stage(Stage::Align, report.manifest.as_ref().expect("just set"));
                     cur = Some(manifest);
+                    i += 2;
+                }
+                (Stage::Align, Some(Stage::Sort)) => {
+                    let manifest = cur.take().expect("align has an encoded dataset");
+                    let aligner = req.aligner.clone().expect("aligner validated above");
+                    let sorted_name = format!("{}.sorted", req.name);
+                    let (aligned, sorted, align_rep, sort_rep) = fused_align_sort(
+                        rt,
+                        manifest,
+                        aligner,
+                        &req.reference,
+                        &sorted_name,
+                        queue_cap,
+                    )?;
+                    report.stages.push(StageRun::Align(align_rep));
+                    report.stages.push(StageRun::Sort(sort_rep));
+                    report.manifest = Some(aligned);
+                    on_stage(Stage::Align, report.manifest.as_ref().expect("just set"));
+                    report.sorted = Some(sorted.clone());
+                    on_stage(Stage::Sort, report.sorted.as_ref().expect("just set"));
+                    cur = Some(sorted);
                     i += 2;
                 }
                 (Stage::Import, _) => {
@@ -746,6 +808,152 @@ fn fused_import_align(
     let (mut manifest, import_rep) = import_res?;
     align::finalize_manifest(rt.store().as_ref(), &mut manifest, reference)?;
     Ok((manifest, import_rep, align_rep))
+}
+
+/// Whether `e` is the sort's derived "source manifest never arrived"
+/// error — a symptom of an upstream death, never a root cause.
+fn is_missing_src_manifest(e: &Error) -> bool {
+    matches!(e, Error::Pipeline(m) if m == sort::MISSING_SRC_MANIFEST)
+}
+
+/// Stage 2+3 overlapped: alignment announces each chunk whose results
+/// column has landed, and the incremental sort loads, sorts and merges
+/// those chunks into superchunks while later chunks are still aligning
+/// — the sort no longer starts after the last aligned chunk.
+fn fused_align_sort(
+    rt: &PersonaRuntime,
+    manifest: Manifest,
+    aligner: Arc<dyn Aligner>,
+    reference: &[(String, u64)],
+    sorted_name: &str,
+    queue_cap: usize,
+) -> Result<(Manifest, Manifest, AlignReport, SortReport)> {
+    let align_server = ManifestServer::new(&manifest);
+    let (sort_server, sort_feeder) = ManifestServer::streaming(queue_cap);
+    let (align_res, sort_res) = std::thread::scope(|s| {
+        let sort_handle = {
+            let server = sort_server.clone();
+            let manifest = &manifest;
+            s.spawn(move || {
+                let res = sort::sort_streaming_rt(
+                    rt,
+                    &server,
+                    SortSource::Ready(manifest),
+                    SortKey::Coordinate,
+                    sorted_name,
+                    true,
+                    Some(reference),
+                );
+                if res.is_err() {
+                    // Unblock the align writer if the sort died.
+                    server.close();
+                }
+                res
+            })
+        };
+        let align_res = align::align_with_runtime_to(rt, &align_server, aligner, Some(sort_feeder));
+        if align_res.is_err() {
+            sort_server.close();
+        }
+        (align_res, sort_handle.join().expect("sort stage panicked"))
+    });
+    rt.check_cancelled()?;
+    // A sort failure closes the results stream, which makes the align
+    // writer fail with a derived push error that would mask the root
+    // cause — so the sort error surfaces first. (If align itself dies,
+    // its feeder drops and the sort just finishes early on the partial
+    // stream; its Ok result is discarded by the align `?` below.)
+    let (sorted, sort_rep) = sort_res?;
+    let align_rep = align_res?;
+    let mut aligned = manifest;
+    align::finalize_manifest(rt.store().as_ref(), &mut aligned, reference)?;
+    Ok((aligned, sorted, align_rep, sort_rep))
+}
+
+/// Stages 1+2+3 overlapped: import streams chunk names to alignment,
+/// alignment streams finished chunks to the incremental sort, and all
+/// three stages share the executor. The sort's output dataset needs the
+/// source manifest (codecs, chunk sizing) that import only finishes
+/// building at end-of-input, so it arrives on a channel resolved in the
+/// sort's write phase — by which point import has necessarily finished.
+#[allow(clippy::too_many_arguments)]
+fn fused_import_align_sort(
+    rt: &PersonaRuntime,
+    input: Box<dyn BufRead + Send>,
+    name: &str,
+    chunk_size: usize,
+    aligner: Arc<dyn Aligner>,
+    reference: &[(String, u64)],
+    sorted_name: &str,
+    queue_cap: usize,
+) -> Result<(Manifest, Manifest, ImportReport, AlignReport, SortReport)> {
+    let (chunk_server, chunk_feeder) = ManifestServer::streaming(queue_cap);
+    let (sort_server, sort_feeder) = ManifestServer::streaming(queue_cap);
+    let (manifest_tx, manifest_rx) = std::sync::mpsc::channel::<Manifest>();
+    let (import_res, align_res, sort_res) = std::thread::scope(|s| {
+        let sort_handle = {
+            let server = sort_server.clone();
+            s.spawn(move || {
+                let res = sort::sort_streaming_rt(
+                    rt,
+                    &server,
+                    SortSource::Pending(manifest_rx),
+                    SortKey::Coordinate,
+                    sorted_name,
+                    true,
+                    Some(reference),
+                );
+                if res.is_err() {
+                    // Unblock the align writer if the sort died.
+                    server.close();
+                }
+                res
+            })
+        };
+        let align_handle = {
+            let server = chunk_server.clone();
+            let aligner = aligner.clone();
+            s.spawn(move || {
+                let res = align::align_with_runtime_to(rt, &server, aligner, Some(sort_feeder));
+                if res.is_err() {
+                    // Unblock the import writer if alignment died.
+                    server.close();
+                }
+                res
+            })
+        };
+        let import_res = import::import_fastq_rt(rt, input, name, chunk_size, Some(chunk_feeder));
+        match &import_res {
+            // The sort's write phase needs the manifest import just
+            // built; a send to an already-dead sort is harmlessly lost.
+            Ok((m, _)) => {
+                let _ = manifest_tx.send(m.clone());
+            }
+            Err(_) => chunk_server.close(),
+        }
+        drop(manifest_tx);
+        (
+            import_res,
+            align_handle.join().expect("align stage panicked"),
+            sort_handle.join().expect("sort stage panicked"),
+        )
+    });
+    rt.check_cancelled()?;
+    // Error precedence: deepest *real* failure first. A sort death
+    // closes the results stream and cascades derived push errors up
+    // through align and import. Conversely an upstream death ends the
+    // sort's input streams early, leaving the sort either successful
+    // (result discarded below) or failed with the derived
+    // missing-manifest marker, which must not mask the root cause.
+    let sort_res = match sort_res {
+        Err(e) if !is_missing_src_manifest(&e) => return Err(e),
+        other => other,
+    };
+    let align_rep = align_res?;
+    let (mut manifest, import_rep) = import_res?;
+    let (sorted, sort_rep) = sort_res?;
+    align::finalize_manifest(rt.store().as_ref(), &mut manifest, reference)?;
+    Ok((manifest, sorted, import_rep, align_rep, sort_rep))
 }
 
 /// Stage 4+5 overlapped: duplicate marking streams finished chunks to

@@ -1,0 +1,150 @@
+//! Integration tests for the fused `align → sort` pipeline: the
+//! incremental sort must start merging while alignment is still
+//! running (no sort barrier), and fused plans must produce output
+//! byte-identical to running the stages separately.
+
+use std::sync::Arc;
+
+use persona::config::PersonaConfig;
+use persona::plan::{DataState, Plan, PlanRequest, PlanSource, Stage, StageRun};
+use persona::runtime::PersonaRuntime;
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_align::snap::{SnapAligner, SnapParams};
+use persona_align::Aligner;
+use persona_index::SeedIndex;
+use persona_seq::simulate::{ReadSimulator, SimParams};
+use persona_seq::Genome;
+
+struct World {
+    aligner: Arc<dyn Aligner>,
+    fastq: Vec<u8>,
+    reference: Vec<(String, u64)>,
+}
+
+fn world(n_reads: usize) -> World {
+    let genome = Arc::new(Genome::random_with_seed(7171, &[("chr1", 50_000)]));
+    let mut sim = ReadSimulator::new(
+        &genome,
+        SimParams { error_rate: 0.005, seed: 71, ..SimParams::default() },
+    );
+    let reads = sim.take_single(n_reads);
+    let index = Arc::new(SeedIndex::build(&genome, 16));
+    let aligner: Arc<dyn Aligner> =
+        Arc::new(SnapAligner::new(genome.clone(), index, SnapParams::default()));
+    let reference = genome.contigs().iter().map(|c| (c.name.clone(), c.seq.len() as u64)).collect();
+    World { aligner, fastq: persona_formats::fastq::to_bytes(&reads), reference }
+}
+
+fn request(w: &World, name: &str, source: PlanSource, chunk_size: usize) -> PlanRequest {
+    PlanRequest {
+        name: name.into(),
+        source,
+        chunk_size,
+        aligner: Some(w.aligner.clone()),
+        reference: w.reference.clone(),
+    }
+}
+
+fn runtime() -> Arc<PersonaRuntime> {
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    PersonaRuntime::new(store, PersonaConfig::small()).unwrap()
+}
+
+/// The tentpole assertion: on a fused `align → sort` run over many
+/// chunks, the sort's first run is loaded *before* alignment finishes —
+/// the sort no longer starts after the last aligned chunk.
+#[test]
+fn incremental_sort_overlaps_alignment() {
+    let w = world(300); // chunk_size 25 -> 12 chunks
+    let rt = runtime();
+    let encoded = Plan::import_only()
+        .run(&rt, request(&w, "d", PlanSource::fastq_bytes(w.fastq.clone()), 25))
+        .unwrap()
+        .manifest
+        .unwrap();
+
+    let plan =
+        Plan::builder(DataState::EncodedAgd).then(Stage::Align).then(Stage::Sort).build().unwrap();
+    let report = plan.run(&rt, request(&w, "d", PlanSource::Dataset(encoded), 25)).unwrap();
+
+    let mut align_finished = None;
+    let mut sort_first_run = None;
+    for s in &report.stages {
+        match s {
+            StageRun::Align(r) => align_finished = Some(r.finished_at),
+            StageRun::Sort(r) => sort_first_run = r.first_run_at,
+            _ => {}
+        }
+    }
+    let align_finished = align_finished.expect("plan ran align");
+    let sort_first_run = sort_first_run.expect("a non-empty sort loads runs");
+    assert!(
+        sort_first_run < align_finished,
+        "sort loaded its first run {:?} after align finished — the stages did not overlap",
+        align_finished.duration_since(sort_first_run),
+    );
+
+    // And the fused output is a correctly sorted dataset.
+    let sorted = report.sorted.expect("plan sorted");
+    assert_eq!(sorted.total_records, 300);
+    let ds = persona_agd::dataset::Dataset::new(sorted);
+    let mut locs = Vec::new();
+    for c in 0..ds.num_chunks() {
+        for r in ds.read_results_chunk(rt.store().as_ref(), c).unwrap() {
+            locs.push(r.location);
+        }
+    }
+    assert_eq!(locs.len(), 300);
+    assert!(locs.windows(2).all(|p| p[0] <= p[1]), "fused sort output not sorted");
+}
+
+/// The fused `import → align → sort → export` chain produces SAM bytes
+/// identical to running every stage separately (only the scheduling
+/// differs).
+#[test]
+fn fused_triple_matches_stage_by_stage_output() {
+    let w = world(200);
+
+    // Fused: no_dupmark = import → align → sort → export-sam, where the
+    // first three stages run as one overlapped triple.
+    let fused_rt = runtime();
+    let fused = Plan::no_dupmark()
+        .run(&fused_rt, request(&w, "x", PlanSource::fastq_bytes(w.fastq.clone()), 25))
+        .unwrap();
+    assert_eq!(fused.stages.len(), 4);
+    let fused_sam = fused.sam.clone().expect("plan exports SAM");
+
+    // Unfused: one single-stage plan at a time, so no fusion can engage.
+    let rt = runtime();
+    let encoded = Plan::import_only()
+        .run(&rt, request(&w, "x", PlanSource::fastq_bytes(w.fastq.clone()), 25))
+        .unwrap()
+        .manifest
+        .unwrap();
+    let aligned = Plan::builder(DataState::EncodedAgd)
+        .then(Stage::Align)
+        .build()
+        .unwrap()
+        .run(&rt, request(&w, "x", PlanSource::Dataset(encoded), 25))
+        .unwrap()
+        .manifest
+        .unwrap();
+    let sorted = Plan::builder(DataState::Aligned)
+        .then(Stage::Sort)
+        .build()
+        .unwrap()
+        .run(&rt, request(&w, "x", PlanSource::Dataset(aligned), 25))
+        .unwrap()
+        .sorted
+        .unwrap();
+    let sam = Plan::builder(DataState::Sorted)
+        .then(Stage::ExportSam)
+        .build()
+        .unwrap()
+        .run(&rt, request(&w, "x", PlanSource::Dataset(sorted), 25))
+        .unwrap()
+        .sam
+        .unwrap();
+
+    assert_eq!(fused_sam, sam, "fused and stage-by-stage SAM outputs differ");
+}

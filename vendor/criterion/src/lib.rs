@@ -8,8 +8,16 @@
 //! simple monotonic-clock sampler that reports median time per
 //! iteration plus derived throughput — adequate for relative
 //! comparisons, with none of criterion's statistics machinery.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally record every benchmark
+//! result as one JSON object per line (group, id, median nanoseconds,
+//! optional throughput units and derived rate). The file is truncated
+//! by the first result of a process and appended to afterwards, so one
+//! bench binary run yields one coherent result file regardless of how
+//! many `criterion_group!`s it declares.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Re-exported for bench code that spells `criterion::black_box`.
@@ -172,12 +180,73 @@ impl BenchmarkGroup<'_> {
             }
         }
         println!("{line}");
+        record_json(&self.name, &id.full, median, self.throughput);
         self
     }
 
     /// Ends the group (prints a separator for readability).
     pub fn finish(&mut self) {
         println!();
+    }
+}
+
+/// Whether this process has already truncated the `CRITERION_JSON`
+/// sink file (later results append).
+static JSON_SINK_STARTED: AtomicBool = AtomicBool::new(false);
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one benchmark result to the `CRITERION_JSON` sink, if
+/// configured. Sink failures are reported to stderr but never fail the
+/// benchmark run itself.
+fn record_json(group: &str, id: &str, median: Duration, throughput: Option<Throughput>) {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let mut line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{}",
+        json_escape(group),
+        json_escape(id),
+        median.as_nanos()
+    );
+    if let Some(tp) = throughput {
+        let (key, units) = match tp {
+            Throughput::Elements(n) => ("elements", n),
+            Throughput::Bytes(n) => ("bytes", n),
+        };
+        let _ = write!(line, ",\"{key}\":{units}");
+        if !median.is_zero() {
+            let _ = write!(line, ",\"{key}_per_sec\":{:.1}", units as f64 / median.as_secs_f64());
+        }
+    }
+    line.push('}');
+    let first = !JSON_SINK_STARTED.swap(true, Ordering::Relaxed);
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(first)
+        .append(!first)
+        .open(&path)
+        .and_then(|mut f| {
+            use std::io::Write as _;
+            writeln!(f, "{line}")
+        });
+    if let Err(e) = written {
+        eprintln!("criterion: could not record result in {}: {e}", path.to_string_lossy());
     }
 }
 
@@ -283,6 +352,34 @@ mod tests {
         assert!(count >= b.samples.len() as u64);
         b.iter_with_setup(|| vec![1u8; 64], |v| v.len());
         assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain/name"), "plain/name");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn json_sink_records_results() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-sink-{}.jsonl", std::process::id()));
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("sink");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("alpha", |b| b.iter(|| 1 + 1));
+        g.finish();
+        std::env::remove_var("CRITERION_JSON");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let line =
+            contents.lines().find(|l| l.contains("\"id\":\"alpha\"")).expect("recorded line");
+        assert!(line.contains("\"group\":\"sink\""));
+        assert!(line.contains("\"median_ns\":"));
+        assert!(line.contains("\"elements\":10"));
+        assert!(line.starts_with('{') && line.ends_with('}'));
     }
 
     #[test]
