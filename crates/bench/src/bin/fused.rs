@@ -32,11 +32,13 @@ use persona::pipeline::export::export_sam;
 use persona::pipeline::import::import_fastq;
 use persona::pipeline::sort::{sort_dataset, SortKey};
 use persona::plan::{Plan, PlanRequest, PlanSource};
-use persona::runtime::{run_pipeline, PersonaRuntime};
+use persona::runtime::{run_pipeline, JobContext, PersonaRuntime};
 use persona_agd::chunk_io::ChunkStore;
 use persona_align::{Aligner, Kernel};
-use persona_bench::{mem_store, print_header, scale, write_result, BenchError, World};
+use persona_bench::{mem_store, print_header, scale, write_bench_json, BenchError, World};
+use persona_dataflow::Priority;
 use persona_formats::fastq;
+use persona_telemetry::JobTrace;
 
 /// Thread counts the fused pipeline is swept across.
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -82,6 +84,40 @@ fn fused_run(
         &mut sam,
     )?;
     Ok((t0.elapsed().as_secs_f64(), sam))
+}
+
+/// Runs the fused pipeline once with the shared metrics registry
+/// toggled; when telemetry is on, a job trace is attached too, so the
+/// run pays the full observability price (metric publishes + span
+/// events). Returns elapsed seconds.
+fn telemetry_run(
+    fastq_bytes: &[u8],
+    aligner: &Arc<dyn Aligner>,
+    chunk: usize,
+    reference: &[(String, u64)],
+    config: PersonaConfig,
+    telemetry_on: bool,
+) -> Result<f64, BenchError> {
+    let store: Arc<dyn ChunkStore> = mem_store();
+    let rt = PersonaRuntime::new(store, config)?;
+    rt.telemetry().set_enabled(telemetry_on);
+    let rt = if telemetry_on {
+        rt.for_job(JobContext::new(Priority::Normal).with_trace(JobTrace::real()))
+    } else {
+        rt
+    };
+    let mut sam = Vec::new();
+    let t0 = Instant::now();
+    run_pipeline(
+        &rt,
+        std::io::Cursor::new(fastq_bytes.to_vec()),
+        "seq",
+        chunk,
+        aligner.clone(),
+        reference,
+        &mut sam,
+    )?;
+    Ok(t0.elapsed().as_secs_f64())
 }
 
 fn run() -> Result<(), BenchError> {
@@ -180,6 +216,22 @@ fn run() -> Result<(), BenchError> {
     }
     Kernel::set_active(default_kernel);
 
+    // Telemetry overhead: the same fused run with the metrics registry
+    // disabled vs enabled (trace spans attached). The observability
+    // target is <3% throughput regression with telemetry on; both
+    // datapoints land in BENCH_fused.json so the trajectory tracks it.
+    let reads = report.import.reads;
+    let tele_off_s = telemetry_run(&fastq_bytes, &aligner, chunk, &world.reference, config, false)?;
+    let tele_on_s = telemetry_run(&fastq_bytes, &aligner, chunk, &world.reference, config, true)?;
+    let tele_off_rps = if tele_off_s > 0.0 { reads as f64 / tele_off_s } else { 0.0 };
+    let tele_on_rps = if tele_on_s > 0.0 { reads as f64 / tele_on_s } else { 0.0 };
+    let tele_overhead_pct =
+        if tele_off_s > 0.0 { (tele_on_s / tele_off_s - 1.0) * 100.0 } else { 0.0 };
+    println!(
+        "\ntelemetry off: {tele_off_rps:.0} reads/s | on (metrics + trace): {tele_on_rps:.0} reads/s \
+         ({tele_overhead_pct:+.2}% elapsed overhead)"
+    );
+
     // Partial-plan datapoint: the skip-dupmark fast path through the
     // composable plan API, so the bench trajectory covers partial
     // pipelines too.
@@ -230,14 +282,17 @@ fn run() -> Result<(), BenchError> {
         .collect::<Vec<_>>()
         .join(",");
     let nd_reads_per_sec = if no_dupmark_s > 0.0 { nd_reads as f64 / no_dupmark_s } else { 0.0 };
-    let json = format!(
-        "{{\"bench\":\"fused\",\"reads\":{},\"input_mb\":{input_mb:.3},\
+    let fields = format!(
+        "\"reads\":{},\"input_mb\":{input_mb:.3},\
          \"sequential_s\":{sequential_s:.6},\"fused_s\":{fused_s:.6},\
          \"speedup\":{:.4},\"reads_per_sec\":{reads_per_sec:.1},\
          \"compute_threads\":{},\"kernel\":\"{}\",\"simd_level\":\"{}\",\
          \"stages\":[{}],\"sweep\":[{sweep_json}],\
+         \"telemetry\":{{\"off_s\":{tele_off_s:.6},\"on_s\":{tele_on_s:.6},\
+         \"off_reads_per_sec\":{tele_off_rps:.1},\"on_reads_per_sec\":{tele_on_rps:.1},\
+         \"overhead_pct\":{tele_overhead_pct:.3}}},\
          \"no_dupmark\":{{\"plan\":\"no-dupmark\",\"elapsed_s\":{no_dupmark_s:.6},\
-         \"reads_per_sec\":{nd_reads_per_sec:.1},\"stages\":[{}]}}}}\n",
+         \"reads_per_sec\":{nd_reads_per_sec:.1},\"stages\":[{}]}}",
         report.import.reads,
         if fused_s > 0.0 { sequential_s / fused_s } else { 0.0 },
         config.compute_threads,
@@ -246,7 +301,7 @@ fn run() -> Result<(), BenchError> {
         stage_json(report.stage_rows()),
         stage_json(nd_report.stage_rows())
     );
-    let path = write_result("BENCH_fused.json", &json)?;
+    let path = write_bench_json("BENCH_fused.json", "fused", &fields)?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -23,6 +23,14 @@
 //!                   under each fsync policy (always / batch / never)
 //!                   and write `BENCH_wal.json` — the cost of the
 //!                   durability guarantee, record by record
+//!
+//! Introspection subcommands (both need `--addr ADDR`):
+//!   `stats [--watch]`   fetch and render the server's live metrics
+//!                       registry (counters, gauges, latency
+//!                       histograms); `--watch` repolls every second
+//!   `trace <job-id>`    fetch one job's span trace as
+//!                       Chrome-`trace_event` JSON on stdout (load it
+//!                       in `chrome://tracing` / Perfetto)
 //! Knobs: `PERSONA_BENCH_SCALE` (dataset size).
 
 use std::net::SocketAddr;
@@ -34,7 +42,7 @@ use persona::plan::{DataState, Plan, PlanRequest, PlanSource, Stage, PRESET_NAME
 use persona::runtime::PersonaRuntime;
 use persona::wire::{SubmitInput, WireClient, WireJobStatus, WireSubmit};
 use persona_agd::manifest::Manifest;
-use persona_bench::{mem_store, print_header, scale, World};
+use persona_bench::{mem_store, print_header, scale, write_bench_json, World};
 use persona_dataflow::Priority;
 use persona_formats::fastq;
 use persona_server::journal::{
@@ -44,6 +52,20 @@ use persona_server::{
     JobInput, JobSpec, PersonaService, ServiceConfig, TenantConfig, WireServer, WireServerConfig,
 };
 
+/// A live-introspection subcommand (`stats` / `trace <job-id>`).
+enum Introspect {
+    /// Fetch and render the server's metrics registry.
+    Stats {
+        /// Repoll every second instead of one shot.
+        watch: bool,
+    },
+    /// Fetch one job's span trace as Chrome-`trace_event` JSON.
+    Trace {
+        /// The job whose trace to fetch.
+        job_id: u64,
+    },
+}
+
 struct Args {
     plan_name: String,
     clients: usize,
@@ -51,6 +73,7 @@ struct Args {
     serve: Option<String>,
     addr: Option<String>,
     wal_bench: bool,
+    introspect: Option<Introspect>,
 }
 
 fn parse_args() -> Args {
@@ -61,11 +84,21 @@ fn parse_args() -> Args {
         serve: None,
         addr: None,
         wal_bench: false,
+        introspect: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
         match arg.as_str() {
+            "stats" => parsed.introspect = Some(Introspect::Stats { watch: false }),
+            "trace" => {
+                let id = value("trace").parse().expect("trace needs a numeric job id");
+                parsed.introspect = Some(Introspect::Trace { job_id: id });
+            }
+            "--watch" => match &mut parsed.introspect {
+                Some(Introspect::Stats { watch }) => *watch = true,
+                _ => panic!("--watch only applies to the `stats` subcommand"),
+            },
             "--plan" => parsed.plan_name = value("--plan"),
             "--clients" => parsed.clients = value("--clients").parse().expect("--clients"),
             "--jobs-per-client" => {
@@ -75,12 +108,75 @@ fn parse_args() -> Args {
             "--addr" => parsed.addr = Some(value("--addr")),
             "--wal-bench" => parsed.wal_bench = true,
             other => panic!(
-                "unknown argument `{other}` (try --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR | --wal-bench)",
+                "unknown argument `{other}` (try stats [--watch] | trace JOB_ID | --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR | --wal-bench)",
                 PRESET_NAMES.join("|")
             ),
         }
     }
     parsed
+}
+
+/// Connects to a server, turning an unreachable address into a typed
+/// one-line diagnostic and exit status 2 — never a panic backtrace
+/// over a raw `io::Error`.
+fn connect_checked(addr: impl std::net::ToSocketAddrs + std::fmt::Display) -> WireClient {
+    match WireClient::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("persona-cli: cannot connect to {addr}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `persona-cli stats [--watch] --addr ADDR`: renders the server's
+/// metrics registry. Latency histograms print count/mean/p50/p95/p99.
+fn stats_command(addr: &str, watch: bool) {
+    let mut client = connect_checked(addr);
+    loop {
+        let snapshot = match client.metrics() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("persona-cli: metrics request failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!("=== metrics @ {addr} ===");
+        for (name, v) in &snapshot.counters {
+            println!("counter    {name} = {v}");
+        }
+        for (name, v) in &snapshot.gauges {
+            println!("gauge      {name} = {v}");
+        }
+        for (name, h) in &snapshot.histograms {
+            println!(
+                "histogram  {name}: count={} mean={:.0} p50={} p95={} p99={}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            );
+        }
+        if !watch {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        println!();
+    }
+}
+
+/// `persona-cli trace JOB_ID --addr ADDR`: dumps one job's span trace
+/// as Chrome-`trace_event` JSON on stdout.
+fn trace_command(addr: &str, job_id: u64) {
+    let mut client = connect_checked(addr);
+    match client.trace(job_id) {
+        Ok(json) => print!("{json}"),
+        Err(e) => {
+            eprintln!("persona-cli: trace request failed: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// One synthetic job lifecycle's worth of journal records: what the
@@ -180,17 +276,17 @@ fn wal_bench() {
             0.0
         }
     };
-    let json = format!(
-        "{{\"bench\":\"wal\",\"jobs\":{jobs},\"records\":{},{},{},{},\
-         \"batching_speedup\":{batching_speedup:.3}}}\n",
+    let fields = format!(
+        "\"jobs\":{jobs},\"records\":{},{},{},{},\
+         \"batching_speedup\":{batching_speedup:.3}",
         jobs * 6,
         field("always"),
         field("batch16"),
         field("never"),
     );
-    std::fs::write("BENCH_wal.json", json).expect("write BENCH_wal.json");
+    let path = write_bench_json("BENCH_wal.json", "wal", &fields).expect("write BENCH_wal.json");
     println!("\nfsync batching (16) is {batching_speedup:.1}x the per-record fsync throughput");
-    println!("wrote BENCH_wal.json");
+    println!("wrote {}", path.display());
 }
 
 /// Builds the service + wire server pair over a fresh runtime.
@@ -230,6 +326,17 @@ fn landed_dataset(rt: &Arc<PersonaRuntime>, world: &World, fastq_bytes: &[u8]) -
 
 fn main() {
     let args = parse_args();
+    if let Some(introspect) = &args.introspect {
+        let addr = args.addr.as_deref().unwrap_or_else(|| {
+            eprintln!("persona-cli: stats/trace need --addr ADDR (a running server)");
+            std::process::exit(2);
+        });
+        match introspect {
+            Introspect::Stats { watch } => stats_command(addr, *watch),
+            Introspect::Trace { job_id } => trace_command(addr, *job_id),
+        }
+        return;
+    }
     if args.wal_bench {
         wal_bench();
         return;
@@ -322,7 +429,7 @@ fn main() {
     // A dataset-input plan needs the dataset landed on the *server's*
     // store; do it over the wire with an untimed import-align job.
     let server_dataset = (plan.input() != DataState::Fastq).then(|| {
-        let mut client = WireClient::connect(addr).expect("connect for prep");
+        let mut client = connect_checked(addr);
         let job = client
             .submit(WireSubmit {
                 name: "landed".into(),
@@ -349,7 +456,7 @@ fn main() {
                 let server_dataset = &server_dataset;
                 let jobs = args.jobs_per_client;
                 s.spawn(move || {
-                    let mut client = WireClient::connect(addr).expect("client connect");
+                    let mut client = connect_checked(addr);
                     let mut reads = 0u64;
                     // Submit the client's whole batch first, then wait:
                     // submissions race across clients and the service's
@@ -394,7 +501,7 @@ fn main() {
     assert_eq!(total_reads, (total_jobs * reads_per_job) as u64);
 
     // Tenant accounting over the wire.
-    let mut client = WireClient::connect(addr).expect("report connect");
+    let mut client = connect_checked(addr);
     let report = client.report().expect("report");
     print_header(
         "Wire front end (loopback TCP, fair-share service)",
@@ -415,17 +522,17 @@ fn main() {
                  ({:+.1}% wire overhead) | {reads_per_sec:.0} reads/s aggregate",
                 overhead * 100.0
             );
-            write_bench_json(&args, reads_per_job, total_reads, wire_s, Some(base_s));
+            write_wire_json(&args, reads_per_job, total_reads, wire_s, Some(base_s));
         }
         None => {
             println!("\nover the wire: {wire_s:.2} s | {reads_per_sec:.0} reads/s aggregate");
-            write_bench_json(&args, reads_per_job, total_reads, wire_s, None);
+            write_wire_json(&args, reads_per_job, total_reads, wire_s, None);
         }
     }
 }
 
 /// The machine-readable trajectory point CI uploads.
-fn write_bench_json(
+fn write_wire_json(
     args: &Args,
     reads_per_job: usize,
     total_reads: u64,
@@ -440,13 +547,13 @@ fn write_bench_json(
         ),
         None => ("null".to_string(), "null".to_string()),
     };
-    let json = format!(
-        "{{\"bench\":\"wire\",\"plan\":\"{}\",\"clients\":{},\"jobs_per_client\":{},\
+    let fields = format!(
+        "\"plan\":\"{}\",\"clients\":{},\"jobs_per_client\":{},\
          \"reads_per_job\":{reads_per_job},\"total_reads\":{total_reads},\
          \"wire_s\":{wire_s:.6},\"in_process_s\":{base},\"wire_overhead\":{overhead},\
-         \"reads_per_sec\":{reads_per_sec:.1}}}\n",
+         \"reads_per_sec\":{reads_per_sec:.1}",
         args.plan_name, args.clients, args.jobs_per_client
     );
-    std::fs::write("BENCH_wire.json", json).expect("write BENCH_wire.json");
-    println!("wrote BENCH_wire.json");
+    let path = write_bench_json("BENCH_wire.json", "wire", &fields).expect("write BENCH_wire.json");
+    println!("wrote {}", path.display());
 }

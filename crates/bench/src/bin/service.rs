@@ -19,7 +19,7 @@ use persona::config::PersonaConfig;
 use persona::plan::{Plan, PlanRequest, PlanSource, Stage, PRESET_NAMES};
 use persona::runtime::PersonaRuntime;
 use persona_agd::manifest::Manifest;
-use persona_bench::{mem_store, print_header, scale, World};
+use persona_bench::{mem_store, print_header, scale, write_bench_json, World};
 use persona_dataflow::Priority;
 use persona_formats::fastq;
 use persona_server::{JobInput, JobSpec, PersonaService, ServiceConfig, TenantConfig};
@@ -173,4 +173,32 @@ fn main() {
         serial_s / service_s,
         total_reads / service_s
     );
+
+    // Machine-readable trajectory point, same envelope as every other
+    // BENCH_*.json.
+    let tenant_rows = report
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":\"{}\",\"completed\":{},\"reads_per_sec\":{:.1},\
+                 \"mean_wait_ms\":{:.3}}}",
+                t.tenant,
+                t.completed,
+                t.reads_per_sec(),
+                t.mean_queue_wait().as_secs_f64() * 1e3
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let speedup = if service_s > 0.0 { serial_s / service_s } else { 0.0 };
+    let reads_per_sec = if service_s > 0.0 { total_reads / service_s } else { 0.0 };
+    let fields = format!(
+        "\"plan\":\"{plan_name}\",\"clients\":{clients},\"reads_per_job\":{reads_per_job},\
+         \"serial_s\":{serial_s:.6},\"service_s\":{service_s:.6},\"speedup\":{speedup:.4},\
+         \"reads_per_sec\":{reads_per_sec:.1},\"tenants\":[{tenant_rows}]"
+    );
+    let path =
+        write_bench_json("BENCH_service.json", "service", &fields).expect("write BENCH_service");
+    println!("wrote {}", path.display());
 }

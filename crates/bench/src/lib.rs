@@ -90,6 +90,23 @@ pub fn out_dir() -> PathBuf {
     }
 }
 
+/// Schema version stamped into every machine-readable `BENCH_*.json`
+/// result this harness writes. Bump when a result file's shape changes
+/// incompatibly, so trajectory tooling can tell apart old points.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Writes one machine-readable `BENCH_*.json` trajectory point. Every
+/// result shares the same envelope — a `bench` tag naming the harness
+/// and a [`BENCH_SCHEMA_VERSION`] stamp — wrapped around the
+/// harness-specific `fields` (pre-rendered JSON key/value pairs,
+/// without the outer braces). Returns the path written, honoring
+/// [`out_dir`].
+pub fn write_bench_json(file_name: &str, bench: &str, fields: &str) -> Result<PathBuf, BenchError> {
+    let json =
+        format!("{{\"bench\":\"{bench}\",\"schema_version\":{BENCH_SCHEMA_VERSION},{fields}}}\n");
+    write_result(file_name, &json)
+}
+
 /// Writes a machine-readable result file into [`out_dir`], creating
 /// the directory if needed, and returns the path written.
 pub fn write_result(file_name: &str, contents: &str) -> Result<PathBuf, BenchError> {
@@ -206,6 +223,21 @@ mod tests {
         std::env::remove_var("PERSONA_BENCH_OUT_DIR");
         assert_eq!(path, dir.join("BENCH_test.json"));
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_json_envelope_stamps_schema_version() {
+        let _guard = OUT_DIR_ENV.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("persona-bench-env-{}", std::process::id()));
+        std::env::set_var("PERSONA_BENCH_OUT_DIR", &dir);
+        let path = write_bench_json("BENCH_env.json", "env", "\"x\":1").expect("write");
+        std::env::remove_var("PERSONA_BENCH_OUT_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            format!("{{\"bench\":\"env\",\"schema_version\":{BENCH_SCHEMA_VERSION},\"x\":1}}\n")
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -39,6 +39,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use persona_agd::manifest::Manifest;
+use persona_telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// Default shard count: enough lanes that a handful of concurrent
 /// pipelines rarely collide, without scattering a small dataset too
@@ -54,6 +55,26 @@ pub struct ChunkTask {
     pub stem: String,
     /// Records in the chunk.
     pub num_records: u32,
+}
+
+/// Registry handles published by a metered queue. The steal counter is
+/// this subsystem's work-stealing signal: the executor never steals
+/// (its lanes are priority tiers, not per-worker deques), so cross-
+/// shard task theft here is where "steal counts" live.
+struct QueueMetrics {
+    /// `manifest.queue_occupancy`: queued-but-undispatched chunks.
+    occupancy: Gauge,
+    /// `manifest.steals`: fetches served from a non-preferred shard.
+    steals: Counter,
+}
+
+impl QueueMetrics {
+    fn register(telemetry: &MetricsRegistry) -> QueueMetrics {
+        QueueMetrics {
+            occupancy: telemetry.gauge("manifest.queue_occupancy"),
+            steals: telemetry.counter("manifest.steals"),
+        }
+    }
 }
 
 /// The lock-sharded queue state shared by server handles and feeders.
@@ -80,10 +101,12 @@ struct Sharded {
     gate: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Registry handles, when the owning pipeline is metered.
+    metrics: Option<QueueMetrics>,
 }
 
 impl Sharded {
-    fn new(capacity: usize, shards: usize) -> Arc<Self> {
+    fn new(capacity: usize, shards: usize, telemetry: Option<&MetricsRegistry>) -> Arc<Self> {
         let shards = shards.max(1);
         Arc::new(Sharded {
             shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -97,6 +120,7 @@ impl Sharded {
             gate: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            metrics: telemetry.map(QueueMetrics::register),
         })
     }
 
@@ -126,6 +150,9 @@ impl Sharded {
         let t = self.push_ticket.fetch_add(1, Ordering::Relaxed);
         self.shards[t % self.shards.len()].lock().push_back(task);
         self.total.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.occupancy.add(1);
+        }
         // Notify under the gate: a consumer is either scanning (it will
         // find the task) or about to sleep holding the gate (this lock
         // acquisition serializes after its re-scan, so the notify
@@ -145,6 +172,12 @@ impl Sharded {
             let task = self.shards[(ticket + k) % n].lock().pop_front();
             if let Some(task) = task {
                 self.len.fetch_sub(1, Ordering::SeqCst);
+                if let Some(m) = &self.metrics {
+                    m.occupancy.sub(1);
+                    if k > 0 {
+                        m.steals.inc();
+                    }
+                }
                 return Some(task);
             }
         }
@@ -196,10 +229,23 @@ impl ManifestServer {
         Self::with_shards(manifest, DEFAULT_SHARDS)
     }
 
+    /// [`ManifestServer::new`], publishing queue occupancy
+    /// (`manifest.queue_occupancy`) and cross-shard steal counts
+    /// (`manifest.steals`) into `telemetry` when given. The plan driver
+    /// passes the runtime's registry here so every stage's dispatch
+    /// queue shows up in one snapshot.
+    pub fn new_metered(manifest: &Manifest, telemetry: Option<&MetricsRegistry>) -> Self {
+        Self::build(manifest, DEFAULT_SHARDS, telemetry)
+    }
+
     /// Creates a prefilled server with an explicit shard count.
     pub fn with_shards(manifest: &Manifest, shards: usize) -> Self {
+        Self::build(manifest, shards, None)
+    }
+
+    fn build(manifest: &Manifest, shards: usize, telemetry: Option<&MetricsRegistry>) -> Self {
         let n = manifest.records.len();
-        let inner = Sharded::new(n.max(1), shards);
+        let inner = Sharded::new(n.max(1), shards, telemetry);
         for (i, e) in manifest.records.iter().enumerate() {
             let ok = inner.push(ChunkTask {
                 chunk_idx: i,
@@ -221,9 +267,20 @@ impl ManifestServer {
         Self::streaming_with_shards(capacity, DEFAULT_SHARDS)
     }
 
+    /// [`ManifestServer::streaming`], metered like
+    /// [`ManifestServer::new_metered`].
+    pub fn streaming_metered(
+        capacity: usize,
+        telemetry: Option<&MetricsRegistry>,
+    ) -> (ManifestServer, ChunkFeeder) {
+        let inner = Sharded::new(capacity, DEFAULT_SHARDS, telemetry);
+        inner.producers.fetch_add(1, Ordering::SeqCst);
+        (ManifestServer { inner: inner.clone() }, ChunkFeeder { inner })
+    }
+
     /// [`ManifestServer::streaming`] with an explicit shard count.
     pub fn streaming_with_shards(capacity: usize, shards: usize) -> (ManifestServer, ChunkFeeder) {
-        let inner = Sharded::new(capacity, shards);
+        let inner = Sharded::new(capacity, shards, None);
         inner.producers.fetch_add(1, Ordering::SeqCst);
         (ManifestServer { inner: inner.clone() }, ChunkFeeder { inner })
     }

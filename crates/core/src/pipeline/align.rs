@@ -177,11 +177,18 @@ pub fn align_with_runtime_to(
         let store = store.clone();
         let qr = q_raw.clone();
         let cancel = rt.job().map(|j| j.cancel_token().clone());
+        let trace = rt.trace().cloned();
         g.node("reader", cfg.reader_parallelism, [q_raw.produces()], move |ctx| {
             while let Some(task) = server.fetch() {
                 // Stop pulling new chunks once the job is cancelled.
                 if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                     return Err("job cancelled".into());
+                }
+                // The chunk span opens when the chunk is dispatched off
+                // the manifest server and closes when its results land
+                // (writer node below).
+                if let Some(t) = &trace {
+                    t.chunk_begin("align", task.chunk_idx as u64);
                 }
                 let bases_name = format!("{}.{}", task.stem, columns::BASES);
                 let qual_name = format!("{}.{}", task.stem, columns::QUAL);
@@ -293,6 +300,7 @@ pub fn align_with_runtime_to(
         let qi = q_results.clone();
         let store = store.clone();
         let chunks_ctr = chunks_ctr.clone();
+        let trace = rt.trace().cloned();
         g.node("writer", cfg.writer_parallelism, [], move |ctx| {
             while let Some(chunk) = ctx.pop(&qi) {
                 let encoded: Vec<Vec<u8>> = chunk.results.iter().map(|r| r.encode()).collect();
@@ -314,6 +322,9 @@ pub fn align_with_runtime_to(
                     }
                 }
                 chunks_ctr.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &trace {
+                    t.chunk_end("align", chunk.task.chunk_idx as u64);
+                }
                 ctx.add_items(1);
             }
             Ok(())

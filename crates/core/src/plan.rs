@@ -593,6 +593,21 @@ impl Plan {
                     || (stage == Stage::Align && next == Stage::Sort)
                     || (stage == Stage::Dupmark && next == Stage::ExportSam)
             });
+            // The stages this step runs (1, or 2–3 when fused), for the
+            // job trace: a fused group's spans open together because the
+            // stages genuinely overlap. A step that errors out leaves
+            // its spans open — the dump shows where the run died.
+            let group_len = match (stage, fused_next) {
+                (Stage::Import, Some(Stage::Align))
+                    if self.stages.get(i + 2) == Some(&Stage::Sort) =>
+                {
+                    3
+                }
+                (_, Some(_)) => 2,
+                _ => 1,
+            };
+            let group = &self.stages[i..i + group_len];
+            spans_begin(rt, group);
             match (stage, fused_next) {
                 (Stage::Import, Some(Stage::Align))
                     if self.stages.get(i + 2) == Some(&Stage::Sort) =>
@@ -678,7 +693,7 @@ impl Plan {
                 (Stage::Align, _) => {
                     let mut manifest = cur.take().expect("align has an encoded dataset");
                     let aligner = req.aligner.clone().expect("aligner validated above");
-                    let server = ManifestServer::new(&manifest);
+                    let server = ManifestServer::new_metered(&manifest, Some(rt.telemetry()));
                     let align_rep = align::align_with_runtime(rt, &server, aligner)
                         .map_err(|e| cancelled_or(rt, e))?;
                     align::finalize_manifest(rt.store().as_ref(), &mut manifest, &req.reference)?;
@@ -725,7 +740,7 @@ impl Plan {
                 }
                 (Stage::ExportSam, _) => {
                     let manifest = cur.take().expect("export has an aligned dataset");
-                    let server = ManifestServer::new(&manifest);
+                    let server = ManifestServer::new_metered(&manifest, Some(rt.telemetry()));
                     let mut sam = Vec::new();
                     let export_rep = export::export_sam_rt(rt, &manifest, &server, &mut sam)
                         .map_err(|e| cancelled_or(rt, e))?;
@@ -746,10 +761,33 @@ impl Plan {
                     i += 1;
                 }
             }
+            spans_end(rt, group);
         }
         rt.check_cancelled()?;
         report.elapsed = started.elapsed();
         Ok(report)
+    }
+}
+
+/// Opens a trace span per stage of the group this plan step runs. A
+/// fused step begins all of its stages together — they genuinely
+/// overlap on the executor, and the trace should show that.
+fn spans_begin(rt: &PersonaRuntime, stages: &[Stage]) {
+    if let Some(trace) = rt.trace() {
+        for s in stages {
+            trace.stage_begin(s.name());
+        }
+    }
+}
+
+/// Closes the spans of [`spans_begin`]. Skipped on a failed step: the
+/// dump renders a still-open span as its begin event, so an errored
+/// trace honestly shows where the run died.
+fn spans_end(rt: &PersonaRuntime, stages: &[Stage]) {
+    if let Some(trace) = rt.trace() {
+        for s in stages.iter().rev() {
+            trace.stage_end(s.name());
+        }
     }
 }
 
@@ -776,7 +814,8 @@ fn fused_import_align(
     reference: &[(String, u64)],
     queue_cap: usize,
 ) -> Result<(Manifest, ImportReport, AlignReport)> {
-    let (chunk_server, chunk_feeder) = ManifestServer::streaming(queue_cap);
+    let (chunk_server, chunk_feeder) =
+        ManifestServer::streaming_metered(queue_cap, Some(rt.telemetry()));
     let (import_res, align_res) = std::thread::scope(|s| {
         let align_handle = {
             let server = chunk_server.clone();
@@ -828,8 +867,9 @@ fn fused_align_sort(
     sorted_name: &str,
     queue_cap: usize,
 ) -> Result<(Manifest, Manifest, AlignReport, SortReport)> {
-    let align_server = ManifestServer::new(&manifest);
-    let (sort_server, sort_feeder) = ManifestServer::streaming(queue_cap);
+    let align_server = ManifestServer::new_metered(&manifest, Some(rt.telemetry()));
+    let (sort_server, sort_feeder) =
+        ManifestServer::streaming_metered(queue_cap, Some(rt.telemetry()));
     let (align_res, sort_res) = std::thread::scope(|s| {
         let sort_handle = {
             let server = sort_server.clone();
@@ -887,8 +927,10 @@ fn fused_import_align_sort(
     sorted_name: &str,
     queue_cap: usize,
 ) -> Result<(Manifest, Manifest, ImportReport, AlignReport, SortReport)> {
-    let (chunk_server, chunk_feeder) = ManifestServer::streaming(queue_cap);
-    let (sort_server, sort_feeder) = ManifestServer::streaming(queue_cap);
+    let (chunk_server, chunk_feeder) =
+        ManifestServer::streaming_metered(queue_cap, Some(rt.telemetry()));
+    let (sort_server, sort_feeder) =
+        ManifestServer::streaming_metered(queue_cap, Some(rt.telemetry()));
     let (manifest_tx, manifest_rx) = std::sync::mpsc::channel::<Manifest>();
     let (import_res, align_res, sort_res) = std::thread::scope(|s| {
         let sort_handle = {
@@ -967,7 +1009,8 @@ fn fused_dupmark_export(
     queue_cap: usize,
 ) -> Result<(DupmarkReport, ExportReport, Vec<u8>)> {
     let mut sam_buf: Vec<u8> = Vec::new();
-    let (export_server, export_feeder) = ManifestServer::streaming(queue_cap);
+    let (export_server, export_feeder) =
+        ManifestServer::streaming_metered(queue_cap, Some(rt.telemetry()));
     let (dupmark_res, export_res) = std::thread::scope(|s| {
         let export_handle = {
             let server = export_server.clone();

@@ -29,6 +29,7 @@ use persona_align::Aligner;
 use persona_dataflow::executor::Batch;
 use persona_dataflow::metrics::NodeCounters;
 use persona_dataflow::{CancelToken, Executor, Priority, SubmitOpts};
+use persona_telemetry::{JobTrace, MetricsRegistry};
 
 use crate::config::PersonaConfig;
 use crate::pipeline::align::AlignReport;
@@ -48,18 +49,32 @@ pub struct JobContext {
     cancel: CancelToken,
     priority: Priority,
     counters: Arc<NodeCounters>,
+    trace: Option<Arc<JobTrace>>,
 }
 
 impl JobContext {
     /// A context at the given priority with a fresh cancel token.
     pub fn new(priority: Priority) -> Self {
-        JobContext { cancel: CancelToken::new(), priority, counters: Arc::default() }
+        JobContext { cancel: CancelToken::new(), priority, counters: Arc::default(), trace: None }
     }
 
     /// A context reusing an externally held cancel token (so the owner
     /// can cancel the job after handing the context to a runtime).
     pub fn with_cancel(priority: Priority, cancel: CancelToken) -> Self {
-        JobContext { cancel, priority, counters: Arc::default() }
+        JobContext { cancel, priority, counters: Arc::default(), trace: None }
+    }
+
+    /// Attaches a span recorder: the plan driver records stage spans
+    /// and the chunk loops record chunk spans against it. Tracing is
+    /// opt-in per job; an untraced context records nothing.
+    pub fn with_trace(mut self, trace: Arc<JobTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The job's span recorder, when tracing is on.
+    pub fn trace(&self) -> Option<&Arc<JobTrace>> {
+        self.trace.as_ref()
     }
 
     /// The job's cancellation token.
@@ -134,6 +149,18 @@ impl PersonaRuntime {
     /// The shared compute executor.
     pub fn executor(&self) -> &Arc<Executor> {
         &self.executor
+    }
+
+    /// The process-wide metrics registry (owned by the executor; every
+    /// subsystem this runtime drives publishes into it).
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        self.executor.telemetry()
+    }
+
+    /// The bound job's span recorder, when this view is bound to a
+    /// traced job. Stage and chunk code records through this.
+    pub fn trace(&self) -> Option<&Arc<JobTrace>> {
+        self.job.as_ref().and_then(|j| j.trace())
     }
 
     /// The chunk store all stages read and write.

@@ -49,6 +49,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use persona_agd::manifest::Manifest;
 use persona_dataflow::Priority;
+use persona_telemetry::MetricsSnapshot;
 use serde::{field, DeError, Deserialize, Serialize, Value};
 
 use crate::plan::Plan;
@@ -617,6 +618,39 @@ pub enum Message {
         /// The snapshot.
         report: WireReport,
     },
+    /// Client → server: request a point-in-time snapshot of the
+    /// server's metrics registry (counters, gauges, latency
+    /// histograms from every subsystem).
+    MetricsRequest {
+        /// Correlation id.
+        seq: u64,
+    },
+    /// Server → client: reply to [`Message::MetricsRequest`].
+    MetricsReply {
+        /// Correlation id of the request.
+        seq: u64,
+        /// The registry snapshot.
+        metrics: MetricsSnapshot,
+    },
+    /// Client → server: fetch one job's trace spans as
+    /// Chrome-`trace_event` JSON. Valid (and partial) while the job
+    /// still runs; `unknown-job` for ids never dispatched or whose
+    /// trace has been evicted.
+    TraceRequest {
+        /// Correlation id.
+        seq: u64,
+        /// The job whose trace to fetch.
+        job_id: u64,
+    },
+    /// Server → client: reply to [`Message::TraceRequest`]. The frame
+    /// *body* carries the Chrome-`trace_event` JSON bytes, so a large
+    /// trace never inflates the header.
+    TraceReply {
+        /// Correlation id of the request.
+        seq: u64,
+        /// The traced job.
+        job_id: u64,
+    },
     /// Server → client: a typed error. `seq` echoes the offending
     /// request when attributable, else 0.
     Error {
@@ -647,6 +681,10 @@ impl Message {
             Message::CancelOk { .. } => "cancel-ok",
             Message::Report { .. } => "report",
             Message::ReportReply { .. } => "report-reply",
+            Message::MetricsRequest { .. } => "metrics-request",
+            Message::MetricsReply { .. } => "metrics-reply",
+            Message::TraceRequest { .. } => "trace-request",
+            Message::TraceReply { .. } => "trace-reply",
             Message::Error { .. } => "error",
         }
     }
@@ -668,6 +706,10 @@ impl Message {
             | Message::CancelOk { seq, .. }
             | Message::Report { seq }
             | Message::ReportReply { seq, .. }
+            | Message::MetricsRequest { seq }
+            | Message::MetricsReply { seq, .. }
+            | Message::TraceRequest { seq, .. }
+            | Message::TraceReply { seq, .. }
             | Message::Error { seq, .. } => *seq,
         }
     }
@@ -742,12 +784,20 @@ impl Serialize for Message {
                 fields.push(("stages".into(), stages.serialize()));
                 fields.push(("manifest".into(), manifest.serialize()));
             }
-            Message::Report { seq } => {
+            Message::Report { seq } | Message::MetricsRequest { seq } => {
                 fields.push(("seq".into(), seq.serialize()));
             }
             Message::ReportReply { seq, report } => {
                 fields.push(("seq".into(), seq.serialize()));
                 fields.push(("report".into(), report.serialize()));
+            }
+            Message::MetricsReply { seq, metrics } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("metrics".into(), metrics.serialize()));
+            }
+            Message::TraceRequest { seq, job_id } | Message::TraceReply { seq, job_id } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("job_id".into(), job_id.serialize()));
             }
             Message::Error { seq, code, message } => {
                 fields.push(("seq".into(), seq.serialize()));
@@ -822,6 +872,12 @@ impl Deserialize for Message {
             "report-reply" => {
                 Ok(Message::ReportReply { seq: seq()?, report: field::required(v, "report")? })
             }
+            "metrics-request" => Ok(Message::MetricsRequest { seq: seq()? }),
+            "metrics-reply" => {
+                Ok(Message::MetricsReply { seq: seq()?, metrics: field::required(v, "metrics")? })
+            }
+            "trace-request" => Ok(Message::TraceRequest { seq: seq()?, job_id: job_id()? }),
+            "trace-reply" => Ok(Message::TraceReply { seq: seq()?, job_id: job_id()? }),
             "error" => Ok(Message::Error {
                 seq: seq()?,
                 code: field::required(v, "code")?,
@@ -896,6 +952,9 @@ pub struct RawFrame {
     pub header: Value,
     /// The raw body bytes (often empty).
     pub body: Vec<u8>,
+    /// Total bytes the frame occupied on the wire (length prefix +
+    /// header + body), for ingress accounting.
+    pub wire_len: usize,
 }
 
 impl RawFrame {
@@ -920,7 +979,7 @@ impl RawFrame {
         let text = std::str::from_utf8(&header_bytes)
             .map_err(|e| FrameError::BadJson(format!("header is not UTF-8: {e}")))?;
         match serde_json::parse_value(text) {
-            Ok(header) => Ok(Some(RawFrame { header, body })),
+            Ok(header) => Ok(Some(RawFrame { header, body, wire_len: 8 + header_len + body_len })),
             Err(e) => Err(FrameError::BadJson(e.to_string())),
         }
     }
@@ -1003,7 +1062,8 @@ fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> std::result::Result<(), Fram
 }
 
 /// Writes one frame (header lengths + JSON header + body) and flushes.
-pub fn write_frame(w: &mut impl Write, message: &Message, body: &[u8]) -> io::Result<()> {
+/// Returns the total bytes put on the wire, for egress accounting.
+pub fn write_frame(w: &mut impl Write, message: &Message, body: &[u8]) -> io::Result<usize> {
     let header = serde_json::to_string(message)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let header_bytes = header.as_bytes();
@@ -1021,7 +1081,8 @@ pub fn write_frame(w: &mut impl Write, message: &Message, body: &[u8]) -> io::Re
     prefix.extend_from_slice(header_bytes);
     w.write_all(&prefix)?;
     w.write_all(body)?;
-    w.flush()
+    w.flush()?;
+    Ok(prefix.len() + body.len())
 }
 
 /// Reads and decodes one typed message frame. `Ok(None)` is a clean end
@@ -1314,6 +1375,31 @@ impl WireClient {
         }
     }
 
+    /// Fetches a point-in-time snapshot of the server's metrics
+    /// registry: every subsystem's counters, gauges and latency
+    /// histograms.
+    pub fn metrics(&mut self) -> WireResult<MetricsSnapshot> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::MetricsRequest { seq }, &[])?;
+        match self.read_reply()? {
+            (Message::MetricsReply { seq: s, metrics }, _) if s == seq => Ok(metrics),
+            (other, _) => Err(self.unexpected("metrics-reply", other)),
+        }
+    }
+
+    /// Fetches one job's trace spans as Chrome-`trace_event` JSON —
+    /// partial but well-formed while the job still runs, complete once
+    /// it finishes.
+    pub fn trace(&mut self, job_id: u64) -> WireResult<String> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::TraceRequest { seq, job_id }, &[])?;
+        match self.read_reply()? {
+            (Message::TraceReply { seq: s, .. }, body) if s == seq => String::from_utf8(body)
+                .map_err(|e| WireClientError::Protocol(format!("trace body is not UTF-8: {e}"))),
+            (other, _) => Err(self.unexpected("trace-reply", other)),
+        }
+    }
+
     fn bump_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -1351,6 +1437,13 @@ mod tests {
     #[test]
     fn every_message_variant_round_trips() {
         let manifest = Manifest::new("ds");
+        let metrics = {
+            let registry = persona_telemetry::MetricsRegistry::new();
+            registry.counter("wire.bytes_in").add(42);
+            registry.gauge("executor.queue_depth.normal").set(3);
+            registry.histogram("executor.task_latency_ns").observe(1_000);
+            registry.snapshot()
+        };
         let messages = vec![
             Message::Hello { version: PROTOCOL_VERSION },
             Message::ServerHello { version: PROTOCOL_VERSION },
@@ -1434,12 +1527,18 @@ mod tests {
                     }],
                 },
             },
-            Message::Error { seq: 9, code: ErrorCode::InvalidPlan, message: "nope".into() },
+            Message::MetricsRequest { seq: 8 },
+            Message::MetricsReply { seq: 8, metrics },
+            Message::TraceRequest { seq: 9, job_id: 7 },
+            Message::TraceReply { seq: 9, job_id: 7 },
+            Message::Error { seq: 10, code: ErrorCode::InvalidPlan, message: "nope".into() },
         ];
         for msg in messages {
             let body: &[u8] = if matches!(
                 msg,
-                Message::OutputChunk { .. } | Message::SubmitJob { input: WireInput::Fastq, .. }
+                Message::OutputChunk { .. }
+                    | Message::SubmitJob { input: WireInput::Fastq, .. }
+                    | Message::TraceReply { .. }
             ) {
                 b"PAYLOAD"
             } else {

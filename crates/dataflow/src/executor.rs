@@ -15,6 +15,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use persona_telemetry::{Gauge, Histogram, MetricsRegistry};
 
 use crate::metrics::NodeCounters;
 
@@ -74,6 +75,10 @@ impl Priority {
             Priority::High => 2,
         }
     }
+
+    /// Lane names in level order, as used in metric names
+    /// (`executor.queue_depth.<lane>`).
+    pub const LANE_NAMES: [&'static str; Priority::LEVELS] = ["low", "normal", "high"];
 }
 
 /// Per-batch submission options: counter attribution, dispatch
@@ -206,8 +211,13 @@ impl PrioQueue {
         self.lanes[priority.level()].push_back(t);
     }
 
-    fn pop(&mut self) -> Option<QueuedTask> {
-        self.lanes.iter_mut().rev().find_map(|lane| lane.pop_front())
+    /// Pops the highest-priority queued task, with its lane index.
+    fn pop(&mut self) -> Option<(QueuedTask, usize)> {
+        self.lanes
+            .iter_mut()
+            .enumerate()
+            .rev()
+            .find_map(|(lane, q)| q.pop_front().map(|t| (t, lane)))
     }
 }
 
@@ -216,6 +226,10 @@ struct ExecShared {
     available: Condvar,
     shutdown: AtomicBool,
     counters: Arc<NodeCounters>,
+    /// Published registry metrics: queued tasks per priority lane and
+    /// the per-task run-time distribution (see `docs/OBSERVABILITY.md`).
+    lane_depth: [Gauge; Priority::LEVELS],
+    task_latency: Histogram,
 }
 
 /// Executor counters.
@@ -234,21 +248,38 @@ pub struct Executor {
     shared: Arc<ExecShared>,
     workers: Vec<JoinHandle<()>>,
     started: Instant,
+    telemetry: Arc<MetricsRegistry>,
 }
 
 impl Executor {
-    /// Spawns an executor owning `threads` worker threads.
+    /// Spawns an executor owning `threads` worker threads, publishing
+    /// into a fresh private metrics registry (see
+    /// [`Executor::with_telemetry`] to share one).
     ///
     /// A zero thread count is clamped to one: an executor without
     /// workers would deadlock every batch, so the nearest valid
     /// configuration is used instead.
     pub fn new(threads: usize) -> Self {
+        Executor::with_telemetry(threads, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// [`Executor::new`] publishing into `telemetry`: queue depth per
+    /// priority lane (`executor.queue_depth.<lane>`) and the per-task
+    /// latency distribution (`executor.task_latency_ns`). The runtime
+    /// passes its shared registry here so executor metrics land next
+    /// to every other subsystem's.
+    pub fn with_telemetry(threads: usize, telemetry: Arc<MetricsRegistry>) -> Self {
         let threads = threads.max(1);
+        let lane_depth = std::array::from_fn(|lane| {
+            telemetry.gauge(&format!("executor.queue_depth.{}", Priority::LANE_NAMES[lane]))
+        });
         let shared = Arc::new(ExecShared {
             queue: Mutex::new(PrioQueue::default()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             counters: Arc::new(NodeCounters::default()),
+            lane_depth,
+            task_latency: telemetry.histogram("executor.task_latency_ns"),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -259,7 +290,14 @@ impl Executor {
                     .expect("spawn executor worker")
             })
             .collect();
-        Executor { shared, workers, started: Instant::now() }
+        Executor { shared, workers, started: Instant::now(), telemetry }
+    }
+
+    /// The metrics registry this executor publishes into. The runtime
+    /// hands this same registry to every other subsystem so one
+    /// snapshot covers the whole process.
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry
     }
 
     /// Submits a batch of tasks; returns a handle to await completion.
@@ -300,6 +338,7 @@ impl Executor {
             return Batch { latch };
         }
         if !tasks.is_empty() {
+            let n = tasks.len();
             let mut q = self.shared.queue.lock();
             for t in tasks {
                 q.push(
@@ -314,6 +353,7 @@ impl Executor {
                 );
             }
             drop(q);
+            self.shared.lane_depth[opts.priority.level()].add(n as i64);
             self.shared.available.notify_all();
         }
         Batch { latch }
@@ -400,8 +440,9 @@ impl Executor {
         let mut purged: Vec<Arc<Latch>> = Vec::new();
         {
             let mut q = self.shared.queue.lock();
-            for lane in q.lanes.iter_mut() {
-                lane.retain_mut(|t| {
+            for (lane, tasks) in q.lanes.iter_mut().enumerate() {
+                let before = purged.len();
+                tasks.retain_mut(|t| {
                     if t.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                         purged.push(t.latch.clone());
                         false
@@ -409,6 +450,10 @@ impl Executor {
                         true
                     }
                 });
+                let removed = purged.len() - before;
+                if removed > 0 {
+                    self.shared.lane_depth[lane].sub(removed as i64);
+                }
             }
         }
         for latch in &purged {
@@ -459,7 +504,7 @@ impl Drop for Executor {
 fn worker_loop(shared: Arc<ExecShared>) {
     loop {
         let mut q = shared.queue.lock();
-        let task = loop {
+        let (task, lane) = loop {
             if let Some(t) = q.pop() {
                 break t;
             }
@@ -469,6 +514,7 @@ fn worker_loop(shared: Arc<ExecShared>) {
             shared.available.wait(&mut q);
         };
         drop(q);
+        shared.lane_depth[lane].sub(1);
         let QueuedTask { task, latch, tag, job_tag, cancel } = task;
         // Cooperative cancellation: a queued task whose token fired is
         // dropped without running. The latch still counts down (or its
@@ -491,6 +537,7 @@ fn worker_loop(shared: Arc<ExecShared>) {
             }
         }
         let busy = start.elapsed().as_nanos() as u64;
+        shared.task_latency.observe(busy);
         shared.counters.busy_ns.fetch_add(busy, Ordering::Relaxed);
         shared.counters.items.fetch_add(1, Ordering::Relaxed);
         for t in [&tag, &job_tag].into_iter().flatten() {

@@ -55,6 +55,7 @@ use persona::{Error, Result};
 use persona_agd::manifest::Manifest;
 use persona_compress::crc32::Crc32;
 use persona_dataflow::Priority;
+use persona_telemetry::{Histogram, MetricsRegistry};
 use serde::{field, DeError, Deserialize, Serialize, Value};
 
 /// Header bytes per record are bounded (a manifest-bearing header is
@@ -80,6 +81,18 @@ pub enum FsyncPolicy {
     /// Never fsync explicitly; the OS flushes when it pleases. The
     /// log is still torn-tail-safe, just not crash-durable.
     Never,
+}
+
+impl FsyncPolicy {
+    /// The policy's metric-name suffix (`journal.append_ns.<policy>`,
+    /// `journal.fsync_ns.<policy>`).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch(_) => "batch",
+            FsyncPolicy::Never => "never",
+        }
+    }
 }
 
 /// Journal knobs.
@@ -653,6 +666,19 @@ pub struct Journal {
     /// File length right after the last compaction (or open); auto-
     /// compaction waits for the log to double past the threshold.
     compact_floor: u64,
+    /// Append/fsync latency histograms, when the owning service is
+    /// metered. Named per fsync policy so a policy sweep shows up as
+    /// separate distributions.
+    telemetry: Option<JournalMetrics>,
+}
+
+/// Registry handles a metered journal publishes through.
+struct JournalMetrics {
+    /// `journal.append_ns.<policy>`: full append latency (encode,
+    /// write, and any policy-triggered fsync).
+    append: Histogram,
+    /// `journal.fsync_ns.<policy>`: just the `sync_data` calls.
+    fsync: Histogram,
 }
 
 impl Journal {
@@ -675,8 +701,16 @@ impl Journal {
         // truncated) end of the log.
         let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
         let len = replayed.good_len;
-        let mut journal =
-            Journal { path, file, len, unsynced: 0, config, state, compact_floor: len };
+        let mut journal = Journal {
+            path,
+            file,
+            len,
+            unsynced: 0,
+            config,
+            state,
+            compact_floor: len,
+            telemetry: None,
+        };
         if config.compact_threshold > 0 && len > config.compact_threshold {
             journal.compact()?;
         }
@@ -727,27 +761,51 @@ impl Journal {
         self.len == 0
     }
 
+    /// Publishes append and fsync latency into `registry`, under
+    /// metric names suffixed by the configured fsync policy.
+    pub fn set_telemetry(&mut self, registry: &MetricsRegistry) {
+        let policy = self.config.fsync.metric_name();
+        self.telemetry = Some(JournalMetrics {
+            append: registry.histogram(&format!("journal.append_ns.{policy}")),
+            fsync: registry.histogram(&format!("journal.fsync_ns.{policy}")),
+        });
+    }
+
+    /// Runs `sync_data`, timing it into the fsync histogram.
+    fn timed_sync_data(&mut self) -> Result<()> {
+        let started = std::time::Instant::now();
+        self.file.sync_data()?;
+        if let Some(m) = &self.telemetry {
+            m.fsync.observe(started.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+
     /// Appends one record (write-ahead: call this *before* acting on
     /// the transition), fsyncing per the configured policy, and
     /// compacts if the log has outgrown its threshold.
     pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
+        let started = std::time::Instant::now();
         let frame = record.encode()?;
         self.file.write_all(&frame)?;
         self.len += frame.len() as u64;
         self.state.apply(record);
         match self.config.fsync {
             FsyncPolicy::Always => {
-                self.file.sync_data()?;
+                self.timed_sync_data()?;
                 self.unsynced = 0;
             }
             FsyncPolicy::Batch(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n.max(1) {
-                    self.file.sync_data()?;
+                    self.timed_sync_data()?;
                     self.unsynced = 0;
                 }
             }
             FsyncPolicy::Never => {}
+        }
+        if let Some(m) = &self.telemetry {
+            m.append.observe(started.elapsed().as_nanos() as u64);
         }
         let threshold = self.config.compact_threshold;
         if threshold > 0 && self.len > threshold.max(self.compact_floor.saturating_mul(2)) {
@@ -759,7 +817,7 @@ impl Journal {
     /// Forces any batched appends to disk.
     pub fn sync(&mut self) -> Result<()> {
         if self.unsynced > 0 || matches!(self.config.fsync, FsyncPolicy::Never) {
-            self.file.sync_data()?;
+            self.timed_sync_data()?;
             self.unsynced = 0;
         }
         Ok(())

@@ -21,6 +21,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use persona_dataflow::Priority;
+use persona_telemetry::MetricsRegistry;
 
 use crate::job::Job;
 
@@ -93,6 +94,11 @@ pub(crate) struct FairScheduler {
     /// racing a completion releases the slot exactly once instead of
     /// silently corrupting the `running`/`in_flight` counters.
     in_flight_jobs: HashMap<u64, String>,
+    /// Registry for per-tenant in-flight gauges
+    /// (`scheduler.in_flight.<tenant>`). The scheduler stays clock-free,
+    /// so the companion `scheduler.admission_wait_ns` histogram is
+    /// observed by the service at grant time, not here.
+    telemetry: Option<Arc<MetricsRegistry>>,
 }
 
 /// A point-in-time view of one tenant's queue state.
@@ -113,6 +119,18 @@ impl FairScheduler {
             max_concurrent: max_concurrent.max(1),
             default_config: default_config.clamped(),
             in_flight_jobs: HashMap::new(),
+            telemetry: None,
+        }
+    }
+
+    /// Publishes per-tenant in-flight gauges into `registry`.
+    pub fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        self.telemetry = Some(registry);
+    }
+
+    fn in_flight_gauge(&self, tenant: &str, delta: i64) {
+        if let Some(r) = &self.telemetry {
+            r.gauge(&format!("scheduler.in_flight.{tenant}")).add(delta);
         }
     }
 
@@ -179,6 +197,9 @@ impl FairScheduler {
                 t.in_flight += 1;
                 self.running += 1;
                 self.in_flight_jobs.insert(job.id, name.clone());
+                if let Some(r) = &self.telemetry {
+                    r.gauge(&format!("scheduler.in_flight.{name}")).add(1);
+                }
                 // Spent the last credit: move on so the next tenant
                 // starts the following pick; otherwise keep serving
                 // this tenant its remaining weighted share.
@@ -208,6 +229,7 @@ impl FairScheduler {
             debug_assert!(t.in_flight > 0, "in-flight underflow for {tenant} (job {})", job.id);
             t.in_flight = t.in_flight.saturating_sub(1);
         }
+        self.in_flight_gauge(&tenant, -1);
         true
     }
 

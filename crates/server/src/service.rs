@@ -43,6 +43,7 @@ use persona::{Error, Result};
 use persona_agd::manifest::Manifest;
 use persona_align::Aligner;
 use persona_dataflow::{CancelToken, Priority};
+use persona_telemetry::{JobTrace, MetricsSnapshot};
 
 use crate::job::{Job, JobHandle, JobInput, JobOutcome, JobOutput, JobSpec, JobState, JobStatus};
 use crate::journal::{
@@ -104,7 +105,16 @@ pub(crate) struct Shared {
     /// Dataset catalog: name → manifest. Journaled through the WAL, so
     /// dataset-input submissions survive restarts.
     catalog: Mutex<HashMap<String, Manifest>>,
+    /// Span recorders per dispatched job, kept after completion so a
+    /// client can fetch a finished job's trace. Bounded to
+    /// [`TRACE_RETAIN`] jobs: oldest (smallest id) evicted first.
+    traces: Mutex<HashMap<u64, Arc<JobTrace>>>,
 }
+
+/// How many job traces the service retains (in-memory only; traces are
+/// diagnostics, not durable state, so they neither journal nor
+/// survive recovery).
+pub const TRACE_RETAIN: usize = 64;
 
 impl Shared {
     fn create(
@@ -114,12 +124,15 @@ impl Shared {
         catalog: HashMap<String, Manifest>,
         next_id: u64,
     ) -> Arc<Shared> {
+        let mut sched = FairScheduler::new(config.max_concurrent_jobs, config.default_tenant);
+        sched.set_telemetry(rt.telemetry().clone());
+        let journal = journal.map(|mut j| {
+            j.set_telemetry(rt.telemetry());
+            j
+        });
         Arc::new(Shared {
             rt,
-            sched: Mutex::new(FairScheduler::new(
-                config.max_concurrent_jobs,
-                config.default_tenant,
-            )),
+            sched: Mutex::new(sched),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(next_id),
@@ -128,7 +141,19 @@ impl Shared {
             runners: Mutex::new(Vec::new()),
             journal: journal.map(Mutex::new),
             catalog: Mutex::new(catalog),
+            traces: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Registers a job's span recorder, evicting the oldest trace once
+    /// [`TRACE_RETAIN`] are held.
+    fn retain_trace(&self, job_id: u64, trace: Arc<JobTrace>) {
+        let mut traces = self.traces.lock();
+        traces.insert(job_id, trace);
+        while traces.len() > TRACE_RETAIN {
+            let oldest = *traces.keys().min().expect("non-empty trace map");
+            traces.remove(&oldest);
+        }
     }
 
     /// Resolves a still-queued job as cancelled (called from
@@ -363,6 +388,20 @@ impl PersonaService {
     /// The runtime this service schedules onto.
     pub fn runtime(&self) -> &Arc<PersonaRuntime> {
         &self.shared.rt
+    }
+
+    /// A point-in-time snapshot of the shared metrics registry — every
+    /// subsystem's counters, gauges and latency histograms.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.rt.telemetry().snapshot()
+    }
+
+    /// The Chrome-`trace_event` JSON dump of a job's spans: valid (and
+    /// partial) while the job runs, complete after it finishes. `None`
+    /// for ids never dispatched here or evicted past [`TRACE_RETAIN`].
+    pub fn trace_json(&self, job_id: u64) -> Option<String> {
+        let trace = self.shared.traces.lock().get(&job_id).cloned()?;
+        Some(trace.to_chrome_json(job_id))
     }
 
     /// Jobs queued (admitted, not yet dispatched) across all tenants.
@@ -688,11 +727,23 @@ fn dispatch_loop(shared: Arc<Shared>) {
 /// handle.
 fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
     let payload = job.payload.lock().take().expect("dispatched job has its payload");
-    let ctx = JobContext::with_cancel(job.priority, job.cancel.clone());
+    // Every dispatched job is traced: the plan driver records stage
+    // spans and the chunk loops record chunk spans, fetchable live
+    // (and after completion) via `trace_json` / the wire protocol.
+    let trace = JobTrace::real();
+    shared.retain_trace(job.id, trace.clone());
+    let ctx = JobContext::with_cancel(job.priority, job.cancel.clone()).with_trace(trace);
     let job_counters = ctx.counters().clone();
     let jrt = shared.rt.for_job(ctx);
     let dispatched = job.dispatched.lock().unwrap_or(job.submitted);
     let queue_wait = dispatched.duration_since(job.submitted);
+    // Admission wait, observed at grant on the scheduler's behalf (the
+    // scheduler itself is clock-free).
+    shared
+        .rt
+        .telemetry()
+        .histogram("scheduler.admission_wait_ns")
+        .observe(queue_wait.as_nanos() as u64);
     let started = Instant::now();
 
     let source = match payload.input {

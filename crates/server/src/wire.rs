@@ -25,6 +25,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use persona::plan::Stage;
@@ -33,6 +34,7 @@ use persona::wire::{
     WireStageRow, WireTenant, OUTPUT_CHUNK_LEN, PROTOCOL_VERSION,
 };
 use persona_align::Aligner;
+use persona_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::job::{JobHandle, JobInput, JobOutcome, JobSpec, JobStatus};
 use crate::report::ServiceReport;
@@ -53,8 +55,34 @@ pub struct WireServerConfig {
     pub aligner: Option<Arc<dyn Aligner>>,
 }
 
+/// The front end's own handles into the shared metrics registry
+/// (`wire.*` names; see `docs/OBSERVABILITY.md`).
+struct WireMetrics {
+    /// `wire.frame_decode_ns`: header JSON → typed [`Message`] decode
+    /// time. Measured per decoded frame, never across socket waits.
+    decode_ns: Histogram,
+    /// `wire.bytes_in`: frame bytes read off every connection.
+    bytes_in: Counter,
+    /// `wire.bytes_out`: frame bytes written to every connection.
+    bytes_out: Counter,
+    /// `wire.in_flight_seqs`: `wait` reply streams currently open.
+    in_flight_seqs: Gauge,
+}
+
+impl WireMetrics {
+    fn register(registry: &MetricsRegistry) -> WireMetrics {
+        WireMetrics {
+            decode_ns: registry.histogram("wire.frame_decode_ns"),
+            bytes_in: registry.counter("wire.bytes_in"),
+            bytes_out: registry.counter("wire.bytes_out"),
+            in_flight_seqs: registry.gauge("wire.in_flight_seqs"),
+        }
+    }
+}
+
 struct WireShared {
     service: PersonaService,
+    metrics: WireMetrics,
     /// The bound listener; dropped by [`WireServer::stop`] so the port
     /// actually closes (the accept loop runs on its own clone).
     listener: Mutex<Option<TcpListener>>,
@@ -98,8 +126,10 @@ impl WireServer {
         // recovered handle (terminal ones answer immediately).
         let jobs: HashMap<u64, JobHandle> =
             service.recovered_jobs().into_iter().map(|h| (h.id(), h)).collect();
+        let metrics = WireMetrics::register(service.runtime().telemetry());
         let shared = Arc::new(WireShared {
             service,
+            metrics,
             listener: Mutex::new(Some(listener)),
             local_addr,
             config,
@@ -247,11 +277,19 @@ fn accept_loop(shared: Arc<WireShared>, listener: TcpListener) {
 
 /// One connection's writer half, shared between the reader thread and
 /// its waiter threads. Frames are written whole under the lock, so
-/// interleaved replies never interleave bytes.
-type SharedWriter = Arc<Mutex<TcpStream>>;
+/// interleaved replies never interleave bytes; every frame's size
+/// lands on the shared `wire.bytes_out` counter.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    bytes_out: Counter,
+}
+
+type SharedWriter = Arc<ConnWriter>;
 
 fn send(writer: &SharedWriter, message: &Message, body: &[u8]) -> io::Result<()> {
-    write_frame(&mut *writer.lock(), message, body)
+    let n = write_frame(&mut *writer.stream.lock(), message, body)?;
+    writer.bytes_out.add(n as u64);
+    Ok(())
 }
 
 fn send_error(writer: &SharedWriter, seq: u64, code: ErrorCode, message: impl Into<String>) {
@@ -294,7 +332,10 @@ fn to_wire_report(report: &ServiceReport) -> WireReport {
 fn serve_connection(shared: &Arc<WireShared>, stream: &TcpStream) {
     let _ = stream.set_nodelay(true);
     let writer: SharedWriter = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+            bytes_out: shared.metrics.bytes_out.clone(),
+        }),
         Err(_) => return,
     };
     let mut reader = match stream.try_clone() {
@@ -309,17 +350,19 @@ fn serve_connection(shared: &Arc<WireShared>, stream: &TcpStream) {
     // framing violation gets `bad-frame` and a close.
     loop {
         match RawFrame::read_from(&mut reader) {
-            Ok(Some(raw)) => match raw.message() {
-                Ok(Message::Hello { version }) if version == PROTOCOL_VERSION => {
-                    if send(&writer, &Message::ServerHello { version: PROTOCOL_VERSION }, &[])
-                        .is_err()
-                    {
-                        return;
+            Ok(Some(raw)) => {
+                shared.metrics.bytes_in.add(raw.wire_len as u64);
+                match raw.message() {
+                    Ok(Message::Hello { version }) if version == PROTOCOL_VERSION => {
+                        if send(&writer, &Message::ServerHello { version: PROTOCOL_VERSION }, &[])
+                            .is_err()
+                        {
+                            return;
+                        }
+                        break;
                     }
-                    break;
-                }
-                Ok(Message::Hello { version }) => {
-                    send_error(
+                    Ok(Message::Hello { version }) => {
+                        send_error(
                         &writer,
                         raw.seq(),
                         ErrorCode::UnsupportedVersion,
@@ -327,22 +370,26 @@ fn serve_connection(shared: &Arc<WireShared>, stream: &TcpStream) {
                             "server speaks protocol version {PROTOCOL_VERSION}, client sent {version}"
                         ),
                     );
-                    return;
+                        return;
+                    }
+                    Ok(other) => {
+                        send_error(
+                            &writer,
+                            other.seq(),
+                            ErrorCode::InvalidRequest,
+                            format!(
+                                "expected hello as the first message, got `{}`",
+                                other.type_name()
+                            ),
+                        );
+                        return;
+                    }
+                    Err(e) => {
+                        send_error(&writer, raw.seq(), ErrorCode::BadMessage, e.to_string());
+                        continue;
+                    }
                 }
-                Ok(other) => {
-                    send_error(
-                        &writer,
-                        other.seq(),
-                        ErrorCode::InvalidRequest,
-                        format!("expected hello as the first message, got `{}`", other.type_name()),
-                    );
-                    return;
-                }
-                Err(e) => {
-                    send_error(&writer, raw.seq(), ErrorCode::BadMessage, e.to_string());
-                    continue;
-                }
-            },
+            }
             Ok(None) => return,
             Err(e) if e.is_fatal() => {
                 send_error(&writer, 0, ErrorCode::BadFrame, e.to_string());
@@ -363,7 +410,10 @@ fn serve_connection(shared: &Arc<WireShared>, stream: &TcpStream) {
 
     loop {
         let raw = match RawFrame::read_from(&mut reader) {
-            Ok(Some(raw)) => raw,
+            Ok(Some(raw)) => {
+                shared.metrics.bytes_in.add(raw.wire_len as u64);
+                raw
+            }
             // Clean disconnect.
             Ok(None) => break,
             Err(e) if e.is_fatal() => {
@@ -378,7 +428,10 @@ fn serve_connection(shared: &Arc<WireShared>, stream: &TcpStream) {
                 continue;
             }
         };
-        let message = match raw.message() {
+        let decode_started = Instant::now();
+        let decoded = raw.message();
+        shared.metrics.decode_ns.observe_duration(decode_started.elapsed());
+        let message = match decoded {
             Ok(message) => message,
             Err(e) => {
                 // A submit whose plan failed re-validation is an
@@ -523,16 +576,20 @@ fn handle_message(
                         return true;
                     }
                     waiters.fetch_add(1, Ordering::SeqCst);
+                    shared.metrics.in_flight_seqs.add(1);
                     let writer_clone = writer.clone();
                     let waiters_clone = waiters.clone();
+                    let in_flight = shared.metrics.in_flight_seqs.clone();
                     let spawned = std::thread::Builder::new()
                         .name(format!("persona-wire-wait-{job_id}"))
                         .spawn(move || {
                             stream_outcome(writer_clone, handle, seq, job_id);
                             waiters_clone.fetch_sub(1, Ordering::SeqCst);
+                            in_flight.sub(1);
                         });
                     if let Err(e) = spawned {
                         waiters.fetch_sub(1, Ordering::SeqCst);
+                        shared.metrics.in_flight_seqs.sub(1);
                         send_error(
                             writer,
                             seq,
@@ -562,6 +619,24 @@ fn handle_message(
             let report = to_wire_report(&shared.service.report());
             send(writer, &Message::ReportReply { seq, report }, &[]).is_ok()
         }
+        Message::MetricsRequest { seq } => {
+            let metrics = shared.service.metrics();
+            send(writer, &Message::MetricsReply { seq, metrics }, &[]).is_ok()
+        }
+        Message::TraceRequest { seq, job_id } => match shared.service.trace_json(job_id) {
+            Some(json) => {
+                send(writer, &Message::TraceReply { seq, job_id }, json.as_bytes()).is_ok()
+            }
+            None => {
+                send_error(
+                    writer,
+                    seq,
+                    ErrorCode::UnknownJob,
+                    format!("no trace for job {job_id}"),
+                );
+                true
+            }
+        },
         Message::Hello { .. } => {
             send_error(writer, 0, ErrorCode::InvalidRequest, "hello after the handshake");
             true

@@ -1,0 +1,71 @@
+//! Property-based tests for the metrics registry: concurrent
+//! publishing must lose nothing, and bucketed percentiles must stay
+//! monotone and upper-bound what was observed.
+
+use persona_telemetry::MetricsRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// N threads hammer one shared counter / gauge / histogram; the
+    /// snapshot must equal the per-thread sums exactly — no lost or
+    /// double-counted update under any interleaving.
+    #[test]
+    fn concurrent_updates_sum_exactly(
+        threads in 1usize..8,
+        per_thread in 1usize..200,
+        value in 1u64..1_000,
+    ) {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("prop.counter");
+        let gauge = registry.gauge("prop.gauge");
+        let hist = registry.histogram("prop.hist");
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let counter = counter.clone();
+                let gauge = gauge.clone();
+                let hist = hist.clone();
+                s.spawn(move || {
+                    for k in 0..per_thread {
+                        counter.add(value);
+                        gauge.add(2);
+                        gauge.sub(1);
+                        hist.observe(value + k as u64);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let n = (threads * per_thread) as u64;
+        prop_assert_eq!(snap.counter("prop.counter"), Some(n * value));
+        prop_assert_eq!(snap.gauge("prop.gauge"), Some(n as i64));
+        let h = snap.histogram("prop.hist").expect("histogram registered");
+        prop_assert_eq!(h.count, n);
+        let per_thread_sum: u64 = (0..per_thread as u64).map(|k| value + k).sum();
+        prop_assert_eq!(h.sum, threads as u64 * per_thread_sum);
+    }
+
+    /// Percentiles are monotone in `q` and upper-bound the largest
+    /// observation, for arbitrary observation sets.
+    #[test]
+    fn histogram_percentiles_are_monotone(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        qa in 0u32..=100,
+        qb in 0u32..=100,
+    ) {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("prop.mono");
+        for &v in &values {
+            hist.observe(v);
+        }
+        let snap = registry.snapshot();
+        let h = snap.histogram("prop.mono").expect("snapshot has the histogram");
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(f64::from(lo) / 100.0) <= h.quantile(f64::from(hi) / 100.0));
+        prop_assert!(h.p50() <= h.p95());
+        prop_assert!(h.p95() <= h.p99());
+        let max = *values.iter().max().expect("non-empty");
+        prop_assert!(h.quantile(1.0) >= max, "p100 {} < max {}", h.quantile(1.0), max);
+    }
+}

@@ -1,8 +1,9 @@
 //! The wire protocol end to end on loopback: start a `WireServer`,
 //! connect a `WireClient` over real TCP, submit a composed plan, watch
-//! its lifecycle, stream the outputs back, cancel a second job, and
-//! poke the server with a malformed frame to see the typed error reply
-//! the spec (docs/PROTOCOL.md) promises.
+//! its lifecycle, stream the outputs back, cancel a second job, fetch
+//! the live metrics registry and the job's trace spans, and poke the
+//! server with a malformed frame to see the typed error reply the spec
+//! (docs/PROTOCOL.md) promises.
 //!
 //! Run: `cargo run -p persona-examples --release --example wire_quickstart [n_reads]`
 
@@ -106,7 +107,32 @@ fn main() {
         );
     }
 
-    // 5. Malformed traffic gets a *typed* error, not a dropped
+    // 5. Live introspection (docs/OBSERVABILITY.md): every dispatched
+    //    job records trace spans, and the whole runtime publishes into
+    //    one metrics registry — both fetchable over the wire.
+    let metrics = client.metrics().expect("metrics over the wire");
+    println!(
+        "\n{} counters / {} gauges / {} histograms live; e.g.:",
+        metrics.counters.len(),
+        metrics.gauges.len(),
+        metrics.histograms.len()
+    );
+    if let Some(h) = metrics.histogram("executor.task_latency_ns") {
+        println!(
+            "  executor.task_latency_ns: count={} p50={}ns p99={}ns",
+            h.count,
+            h.p50(),
+            h.p99()
+        );
+    }
+    let trace_json = client.trace(job).expect("trace over the wire");
+    assert!(trace_json.contains("\"traceEvents\""));
+    println!(
+        "  job #{job} trace: {} bytes of Chrome trace_event JSON (chrome://tracing)",
+        trace_json.len()
+    );
+
+    // 6. Malformed traffic gets a *typed* error, not a dropped
     //    connection: speak raw frames and send garbage.
     let mut raw = TcpStream::connect(addr).expect("raw connect");
     let mut reader = BufReader::new(raw.try_clone().expect("clone"));

@@ -359,6 +359,77 @@ fn invalid_plan_over_the_wire_gets_a_typed_rejection() {
     }
 }
 
+/// Live introspection over the wire: a second connection fetches a
+/// running job's metrics and trace mid-flight, the metrics snapshot is
+/// byte-for-byte the in-process registry's, and the post-completion
+/// trace equals `PersonaService::trace_json`.
+#[test]
+fn introspection_over_the_wire_matches_in_process_state() {
+    let fx = Fixture::new(8009, 1_000);
+    let slow: Arc<dyn Aligner> =
+        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(2) });
+    let server = serve(slow, 1);
+    let addr = server.local_addr();
+
+    let mut submitter = WireClient::connect(addr).unwrap();
+    let job = submitter.submit(wire_submit(&fx, "traced", "lab", Plan::full())).unwrap();
+    wait_for(|| submitter.status(job).unwrap() == WireJobStatus::Running, "job to dispatch");
+
+    // Mid-job trace: valid partial timeline — the running stages'
+    // spans are open, so the dump carries bare begins.
+    let mut inspector = WireClient::connect(addr).unwrap();
+    let mut mid = String::new();
+    wait_for(
+        || {
+            mid = inspector.trace(job).expect("mid-job trace over tcp");
+            mid.contains("\"ph\":\"B\"")
+        },
+        "open spans in the mid-job trace",
+    );
+    assert!(mid.contains("\"traceEvents\""), "{mid}");
+    assert!(mid.contains("\"name\":\"align\""), "align span missing mid-job: {mid}");
+
+    // Mid-job metrics: freeze the registry so the job's own progress
+    // (and this very request's wire counters) cannot slip between the
+    // two snapshots, then the TCP-fetched snapshot must equal the
+    // in-process one exactly.
+    let registry = server.service().runtime().telemetry().clone();
+    registry.set_enabled(false);
+    let over_wire = inspector.metrics().expect("metrics over tcp");
+    let in_process = server.service().metrics();
+    assert_eq!(
+        over_wire, in_process,
+        "wire metrics snapshot diverges from the in-process registry"
+    );
+    registry.set_enabled(true);
+    // The server's own wire instrumentation is in the snapshot: this
+    // connection's requests were counted before the freeze.
+    assert!(over_wire.counter("wire.bytes_in").unwrap_or(0) > 0, "{over_wire:?}");
+    assert!(over_wire.counter("wire.bytes_out").unwrap_or(0) > 0, "{over_wire:?}");
+    let decode = over_wire.histogram("wire.frame_decode_ns").expect("decode histogram");
+    assert!(decode.count > 0);
+    // And the job's executor activity shows up too.
+    assert!(over_wire.histogram("executor.task_latency_ns").is_some(), "{over_wire:?}");
+
+    // A job id the server never dispatched gets the typed error.
+    match inspector.trace(999_999) {
+        Err(persona::wire::WireClientError::Remote { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownJob)
+        }
+        other => panic!("expected unknown-job error, got {other:?}"),
+    }
+
+    let outcome = submitter.wait(job).expect("traced job completes");
+    assert_eq!(outcome.status, WireJobStatus::Completed);
+
+    // Post-completion: the wire dump is the in-process dump, and every
+    // span has closed into a complete ("X") event.
+    let done = inspector.trace(job).expect("post-completion trace");
+    assert_eq!(Some(done.clone()), server.service().trace_json(job));
+    assert!(done.contains("\"ph\":\"X\""), "{done}");
+    assert!(!done.contains("\"ph\":\"B\""), "span left open after completion: {done}");
+}
+
 /// A version-mismatched hello is rejected with `unsupported-version`
 /// and the connection closes.
 #[test]

@@ -194,6 +194,10 @@ impl BenchmarkGroup<'_> {
 /// sink file (later results append).
 static JSON_SINK_STARTED: AtomicBool = AtomicBool::new(false);
 
+/// Version stamp on every recorded JSONL line, so downstream tooling
+/// can detect shape changes in the `BENCH_*.json` trajectory files.
+const JSON_SCHEMA_VERSION: u32 = 1;
+
 /// Escapes a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -218,7 +222,7 @@ fn record_json(group: &str, id: &str, median: Duration, throughput: Option<Throu
         return;
     };
     let mut line = format!(
-        "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{}",
+        "{{\"schema_version\":{JSON_SCHEMA_VERSION},\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{}",
         json_escape(group),
         json_escape(id),
         median.as_nanos()
@@ -377,6 +381,7 @@ mod tests {
         let line =
             contents.lines().find(|l| l.contains("\"id\":\"alpha\"")).expect("recorded line");
         assert!(line.contains("\"group\":\"sink\""));
+        assert!(line.contains("\"schema_version\":1"));
         assert!(line.contains("\"median_ns\":"));
         assert!(line.contains("\"elements\":10"));
         assert!(line.starts_with('{') && line.ends_with('}'));
