@@ -23,14 +23,24 @@
 //!                   under each fsync policy (always / batch / never)
 //!                   and write `BENCH_wal.json` — the cost of the
 //!                   durability guarantee, record by record
+//!   `--cache-bench` measure the plan-aware result cache: a cold full
+//!                   run versus a full run whose import+align prefix
+//!                   is already cached, byte-identity checked, and
+//!                   write `BENCH_cache.json`
+//!   `--cache N`     enable the result cache (capacity N entries) on
+//!                   the service this process hosts (`--serve` or the
+//!                   loopback benchmark server)
 //!
-//! Introspection subcommands (both need `--addr ADDR`):
+//! Introspection subcommands (all need `--addr ADDR`):
 //!   `stats [--watch]`   fetch and render the server's live metrics
 //!                       registry (counters, gauges, latency
 //!                       histograms); `--watch` repolls every second
 //!   `trace <job-id>`    fetch one job's span trace as
 //!                       Chrome-`trace_event` JSON on stdout (load it
 //!                       in `chrome://tracing` / Perfetto)
+//!   `cache`             fetch the server's result-cache counters
+//!                       (hits, misses, evictions, entries, saved ns)
+//!                       as greppable `cache <name> = <value>` lines
 //! Knobs: `PERSONA_BENCH_SCALE` (dataset size).
 
 use std::net::SocketAddr;
@@ -64,6 +74,8 @@ enum Introspect {
         /// The job whose trace to fetch.
         job_id: u64,
     },
+    /// Fetch the server's result-cache counters.
+    Cache,
 }
 
 struct Args {
@@ -73,6 +85,8 @@ struct Args {
     serve: Option<String>,
     addr: Option<String>,
     wal_bench: bool,
+    cache_bench: bool,
+    cache_capacity: usize,
     introspect: Option<Introspect>,
 }
 
@@ -84,6 +98,8 @@ fn parse_args() -> Args {
         serve: None,
         addr: None,
         wal_bench: false,
+        cache_bench: false,
+        cache_capacity: 0,
         introspect: None,
     };
     let mut args = std::env::args().skip(1);
@@ -107,8 +123,13 @@ fn parse_args() -> Args {
             "--serve" => parsed.serve = Some(value("--serve")),
             "--addr" => parsed.addr = Some(value("--addr")),
             "--wal-bench" => parsed.wal_bench = true,
+            "--cache-bench" => parsed.cache_bench = true,
+            "cache" => parsed.introspect = Some(Introspect::Cache),
+            "--cache" => {
+                parsed.cache_capacity = value("--cache").parse().expect("--cache")
+            }
             other => panic!(
-                "unknown argument `{other}` (try stats [--watch] | trace JOB_ID | --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR | --wal-bench)",
+                "unknown argument `{other}` (try stats [--watch] | trace JOB_ID | cache | --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR | --wal-bench | --cache-bench | --cache N)",
                 PRESET_NAMES.join("|")
             ),
         }
@@ -177,6 +198,104 @@ fn trace_command(addr: &str, job_id: u64) {
             std::process::exit(2);
         }
     }
+}
+
+/// `persona-cli cache --addr ADDR`: fetches the server's result-cache
+/// counters as greppable `cache <name> = <value>` lines (CI asserts on
+/// them after the cache demo).
+fn cache_command(addr: &str) {
+    let mut client = connect_checked(addr);
+    let stats = match client.cache_stats() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("persona-cli: cache-stats request failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("=== cache @ {addr} ===");
+    println!("cache enabled = {}", stats.enabled);
+    println!("cache hits = {}", stats.hits);
+    println!("cache misses = {}", stats.misses);
+    println!("cache evictions = {}", stats.evictions);
+    println!("cache insertions = {}", stats.insertions);
+    println!("cache entries = {}", stats.entries);
+    println!("cache pinned = {}", stats.pinned);
+    println!("cache capacity = {}", stats.capacity);
+    println!("cache reuse_saved_ns = {}", stats.reuse_saved_ns);
+}
+
+/// The result-cache trajectory: a cold `full` run versus a `full` run
+/// whose import+align prefix is already cached (the ISSUE scenario:
+/// `import-align` first, then the overlapping `full`), byte-identity
+/// checked, written to `BENCH_cache.json`.
+fn cache_bench() {
+    use persona::caching::{Digest, ResultCache};
+
+    let sc = scale();
+    let reads = ((4_000.0 * sc) as usize).max(200);
+    let world = World::build((120_000.0 * sc as f64).max(40_000.0) as usize, reads, 71);
+    let fastq_bytes = fastq::to_bytes(&world.reads);
+    let digest = Digest::of_bytes(&fastq_bytes);
+    let request = |name: &str| PlanRequest {
+        name: name.into(),
+        source: PlanSource::fastq_bytes(fastq_bytes.clone()),
+        chunk_size: 2_000,
+        aligner: Some(world.snap_aligner()),
+        reference: world.reference.clone(),
+    };
+
+    // Cold reference: the full plan on a fresh world, no cache.
+    let rt_cold = PersonaRuntime::new(mem_store(), PersonaConfig::default()).unwrap();
+    let t0 = Instant::now();
+    let cold = Plan::full().run(&rt_cold, request("cold")).expect("cold run");
+    let cold_s = t0.elapsed().as_secs_f64();
+
+    // Warm path: land the import+align prefix, then run the
+    // overlapping full plan against the populated cache.
+    let rt = PersonaRuntime::new(mem_store(), PersonaConfig::default()).unwrap();
+    let cache = ResultCache::new(32);
+    let t0 = Instant::now();
+    let (_, prep_use) = Plan::import_align()
+        .run_cached(&rt, request("prefix"), &cache, digest)
+        .expect("prefix run");
+    let prefix_s = t0.elapsed().as_secs_f64();
+    assert!(!prep_use.hit(), "first run must be cold");
+    let t0 = Instant::now();
+    let (warm, warm_use) =
+        Plan::full().run_cached(&rt, request("warm"), &cache, digest).expect("warm run");
+    let warm_s = t0.elapsed().as_secs_f64();
+
+    assert!(warm_use.hit(), "overlapping plan must reuse the cached prefix");
+    assert_eq!(warm.sam, cold.sam, "cache reuse must be byte-invisible");
+    let stats = cache.stats();
+    let speedup = if warm_s > 0.0 { cold_s / warm_s } else { 0.0 };
+
+    print_header(
+        "Plan-aware result cache (full plan, import+align prefix cached)",
+        &["run", "elapsed", "stages run", "shape"],
+    );
+    println!("cold\t{cold_s:.3} s\t{}\t{}", Plan::full().stages().len(), Plan::full().describe());
+    println!(
+        "warm\t{warm_s:.3} s\t{}\t{}",
+        Plan::full().stages().len() - warm_use.elided,
+        Plan::full().describe_cached(warm_use.elided)
+    );
+    println!(
+        "\nwarm run elides {} stages and is {speedup:.1}x the cold run \
+         ({} cache entries, {} ns of recompute saved)",
+        warm_use.elided, stats.entries, stats.reuse_saved_ns
+    );
+
+    let fields = format!(
+        "\"reads\":{reads},\"cold_s\":{cold_s:.6},\"prefix_s\":{prefix_s:.6},\
+         \"warm_s\":{warm_s:.6},\"warm_speedup\":{speedup:.3},\
+         \"elided_stages\":{},\"hits\":{},\"misses\":{},\"insertions\":{},\
+         \"reuse_saved_ns\":{}",
+        warm_use.elided, stats.hits, stats.misses, stats.insertions, stats.reuse_saved_ns
+    );
+    let path =
+        write_bench_json("BENCH_cache.json", "cache", &fields).expect("write BENCH_cache.json");
+    println!("wrote {}", path.display());
 }
 
 /// One synthetic job lifecycle's worth of journal records: what the
@@ -296,8 +415,14 @@ fn start_server(world: &World, max_jobs: usize) -> WireServer {
         rt,
         ServiceConfig { max_concurrent_jobs: max_jobs, ..ServiceConfig::default() },
     );
-    service.set_tenant("prod", TenantConfig { weight: 2, max_in_flight: 3 });
-    service.set_tenant("batch", TenantConfig { weight: 1, max_in_flight: 3 });
+    service.set_tenant(
+        "prod",
+        TenantConfig { weight: 2, max_in_flight: 3, ..TenantConfig::default() },
+    );
+    service.set_tenant(
+        "batch",
+        TenantConfig { weight: 1, max_in_flight: 3, ..TenantConfig::default() },
+    );
     WireServer::bind(
         "127.0.0.1:0",
         service,
@@ -334,11 +459,16 @@ fn main() {
         match introspect {
             Introspect::Stats { watch } => stats_command(addr, *watch),
             Introspect::Trace { job_id } => trace_command(addr, *job_id),
+            Introspect::Cache => cache_command(addr),
         }
         return;
     }
     if args.wal_bench {
         wal_bench();
+        return;
+    }
+    if args.cache_bench {
+        cache_bench();
         return;
     }
     let sc = scale();
@@ -351,7 +481,13 @@ fn main() {
 
     if let Some(addr) = args.serve {
         let rt = PersonaRuntime::new(mem_store(), PersonaConfig::default()).unwrap();
-        let service = PersonaService::new(rt, ServiceConfig::default());
+        let service = PersonaService::new(
+            rt,
+            ServiceConfig { cache_capacity: args.cache_capacity, ..ServiceConfig::default() },
+        );
+        if args.cache_capacity > 0 {
+            println!("result cache enabled: {} entries", args.cache_capacity);
+        }
         let server = WireServer::bind(
             addr.as_str(),
             service,
@@ -384,8 +520,14 @@ fn main() {
             rt.clone(),
             ServiceConfig { max_concurrent_jobs: 4, ..ServiceConfig::default() },
         );
-        service.set_tenant("prod", TenantConfig { weight: 2, max_in_flight: 3 });
-        service.set_tenant("batch", TenantConfig { weight: 1, max_in_flight: 3 });
+        service.set_tenant(
+            "prod",
+            TenantConfig { weight: 2, max_in_flight: 3, ..TenantConfig::default() },
+        );
+        service.set_tenant(
+            "batch",
+            TenantConfig { weight: 1, max_in_flight: 3, ..TenantConfig::default() },
+        );
         let aligner = world.snap_aligner();
         let aligned =
             (plan.input() != DataState::Fastq).then(|| landed_dataset(&rt, &world, &fastq_bytes));

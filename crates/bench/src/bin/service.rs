@@ -99,8 +99,14 @@ fn main() {
         rt,
         ServiceConfig { max_concurrent_jobs: clients.min(4).max(2), ..ServiceConfig::default() },
     );
-    service.set_tenant("prod", TenantConfig { weight: 2, max_in_flight: 3 });
-    service.set_tenant("batch", TenantConfig { weight: 1, max_in_flight: 3 });
+    service.set_tenant(
+        "prod",
+        TenantConfig { weight: 2, max_in_flight: 3, ..TenantConfig::default() },
+    );
+    service.set_tenant(
+        "batch",
+        TenantConfig { weight: 1, max_in_flight: 3, ..TenantConfig::default() },
+    );
     let t0 = Instant::now();
     let handles: Vec<_> = std::thread::scope(|s| {
         // Spawn every client first, join after: submissions race each

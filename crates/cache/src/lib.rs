@@ -1,0 +1,29 @@
+//! `persona_cache` — the plan-aware, content-addressed result cache.
+//!
+//! Persona's expensive stages (align, sort) should never run twice over
+//! the same data. This crate provides the substrate for that guarantee:
+//!
+//! * [`Digest`] — 128-bit content digests of job inputs (raw FASTQ
+//!   bytes or a dataset [`Manifest`](persona_agd::Manifest)).
+//! * [`CacheKey`] — `(input digest, canonical plan prefix)`, so a
+//!   result is addressed by *what was computed over what*, never by
+//!   job or dataset name.
+//! * [`ResultCache`] — a capacity-bounded LRU map from keys to the
+//!   durable datasets those prefixes produced, with eviction
+//!   [pins](PinGuard) (a dataset a running job depends on is never
+//!   evicted) and mutation [events](CacheEvent) (so a journal can
+//!   mirror the cache across restarts).
+//!
+//! The plan driver in `persona-core` consults the cache before
+//! executing and rewrites a plan to its uncached suffix; the service in
+//! `persona-server` persists entries through its write-ahead journal
+//! and applies per-tenant policy. This crate knows nothing about either
+//! — prefixes are opaque canonical strings here, which keeps the
+//! dependency arrow pointing the right way (`core → cache`, not the
+//! reverse).
+
+mod digest;
+mod store;
+
+pub use digest::Digest;
+pub use store::{CacheEntry, CacheEvent, CacheHit, CacheKey, CacheStats, PinGuard, ResultCache};

@@ -1,0 +1,435 @@
+//! Plan-aware result caching: consult a [`ResultCache`] before
+//! executing, rewrite the plan to its uncached suffix, and register
+//! every durably-landed stage output under its content-addressed
+//! prefix key.
+//!
+//! A cache key is `(input digest, prefix key)`:
+//!
+//! * the **input digest** hashes what the job consumes — the raw FASTQ
+//!   bytes, or the manifest of the dataset it starts from;
+//! * the **prefix key** ([`prefix_key`]) canonically serializes the
+//!   plan prefix *plus every execution parameter that shapes its
+//!   output*: the chunk size (when the prefix imports) and the aligner
+//!   name and reference digest (when the prefix aligns). Two plans
+//!   sharing a prefix produce identical prefix keys regardless of how
+//!   they continue, which is exactly what lets a resubmitted `full`
+//!   plan reuse an earlier `import-align` job's work and run only
+//!   `sort → dupmark → export`.
+//!
+//! Correctness around in-place mutation: `dupmark` rewrites its input
+//! dataset's results chunks under the same names. The driver therefore
+//! (a) never registers a prefix whose next stage is `dupmark` — the
+//! pre-mutation snapshot would go stale the moment the run continues —
+//! and (b) when a cache hit's first uncached stage is `dupmark`,
+//! removes the consumed entry before mutating the shared dataset, then
+//! re-registers it under the longer (post-dupmark) prefix. Duplicate
+//! marking is idempotent, so a dataset that was already marked
+//! re-exports byte-identically.
+
+use std::time::Instant;
+
+use persona_agd::Manifest;
+pub use persona_cache::{CacheEntry, CacheHit, CacheKey, CacheStats, Digest, ResultCache};
+use serde::{Serialize, Value};
+
+use crate::plan::{DataState, Plan, PlanReport, PlanRequest, PlanSource, Stage, StageObserver};
+use crate::runtime::PersonaRuntime;
+use crate::Result;
+
+/// The per-run execution parameters that shape a prefix's output and
+/// therefore belong in its cache key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// Records per imported chunk (affects every downstream dataset's
+    /// chunking; keyed only when the prefix contains `import`).
+    pub chunk_size: usize,
+    /// Aligner kernel name (keyed only when the prefix aligns).
+    pub aligner: Option<String>,
+    /// Digest of the `(contig, length)` reference metadata (keyed only
+    /// when the prefix aligns — it lands in the finalized manifest).
+    pub reference: Digest,
+}
+
+impl RunFingerprint {
+    /// Extracts the fingerprint from a [`PlanRequest`].
+    pub fn of_request(req: &PlanRequest) -> RunFingerprint {
+        RunFingerprint {
+            chunk_size: req.chunk_size,
+            aligner: req.aligner.as_ref().map(|a| a.name().to_string()),
+            reference: digest_reference(&req.reference),
+        }
+    }
+}
+
+/// Digest of reference `(contig, length)` metadata, for
+/// [`RunFingerprint::reference`].
+pub fn digest_reference(reference: &[(String, u64)]) -> Digest {
+    let mut bytes = Vec::new();
+    for (name, len) in reference {
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&len.to_be_bytes());
+    }
+    Digest::of_bytes(&bytes)
+}
+
+/// The canonical prefix-key string for `plan`'s first `len` stages
+/// under `fp` — the second component of a [`CacheKey`].
+///
+/// The encoding is compact JSON with a fixed field order: `input` and
+/// `stages` always (the [`Plan::prefix_json`] canonical form), then
+/// `chunk_size` iff the prefix imports, then `aligner` and `reference`
+/// iff the prefix aligns. Parameters a prefix does not depend on stay
+/// out of its key, so e.g. changing the aligner still reuses a cached
+/// import.
+pub fn prefix_key(plan: &Plan, len: usize, fp: &RunFingerprint) -> String {
+    struct Raw(Value);
+    impl Serialize for Raw {
+        fn serialize(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    let stages = &plan.stages()[..len];
+    let mut fields = vec![
+        ("input".to_string(), plan.input().serialize()),
+        ("stages".to_string(), stages.to_vec().serialize()),
+    ];
+    if stages.contains(&Stage::Import) {
+        fields.push(("chunk_size".to_string(), (fp.chunk_size as u64).serialize()));
+    }
+    if stages.contains(&Stage::Align) {
+        let aligner = fp.aligner.clone().unwrap_or_default();
+        fields.push(("aligner".to_string(), aligner.serialize()));
+        fields.push(("reference".to_string(), fp.reference.serialize()));
+    }
+    serde_json::to_string(&Raw(Value::Object(fields)))
+        .expect("prefix key serialization is infallible")
+}
+
+/// How a cached run used the cache, alongside its [`PlanReport`].
+#[derive(Debug)]
+pub struct CacheUse {
+    /// Leading stages satisfied from the cache (0 on a miss).
+    pub elided: usize,
+    /// Cold-run nanoseconds the hit avoided (the reused prefix's
+    /// recorded cost).
+    pub saved_ns: u64,
+    /// The suffix that actually executed; `None` when every stage was
+    /// cached.
+    pub executed: Option<Plan>,
+}
+
+impl CacheUse {
+    /// Whether the run reused any cached prefix.
+    pub fn hit(&self) -> bool {
+        self.elided > 0
+    }
+}
+
+impl Plan {
+    /// [`Plan::run`] through a result cache: consult `cache` for the
+    /// longest cached prefix of this plan over `input_digest`, rewrite
+    /// the run to the uncached suffix, and register every durably
+    /// landed stage output under its prefix key as the run progresses.
+    /// Output is byte-identical to an uncached [`Plan::run`].
+    ///
+    /// Telemetry: bumps `cache.hits` / `cache.misses` /
+    /// `cache.evictions` / `cache.insertions` / `cache.reuse_saved_ns`
+    /// on the runtime's registry.
+    pub fn run_cached(
+        &self,
+        rt: &PersonaRuntime,
+        req: PlanRequest,
+        cache: &ResultCache,
+        input_digest: Digest,
+    ) -> Result<(PlanReport, CacheUse)> {
+        self.run_cached_observed(rt, req, cache, input_digest, &mut |_, _| {})
+    }
+
+    /// [`Plan::run_cached`] with a stage-completion observer (see
+    /// [`Plan::run_observed`]); the observer fires for the stages that
+    /// actually execute — cache-elided stages land nothing new.
+    pub fn run_cached_observed(
+        &self,
+        rt: &PersonaRuntime,
+        req: PlanRequest,
+        cache: &ResultCache,
+        input_digest: Digest,
+        on_stage: StageObserver<'_>,
+    ) -> Result<(PlanReport, CacheUse)> {
+        let started = Instant::now();
+        let fp = RunFingerprint::of_request(&req);
+        let lens = self.cacheable_prefixes();
+        let keys: Vec<String> = lens.iter().map(|&len| prefix_key(self, len, &fp)).collect();
+        let telemetry = rt.telemetry().clone();
+
+        let Some(hit) = cache.longest_match(input_digest, &keys) else {
+            telemetry.counter("cache.misses").inc();
+            let source_name = match &req.source {
+                PlanSource::Dataset(m) => Some(m.name.clone()),
+                _ => None,
+            };
+            invalidate_written(cache, rt, self.stages(), source_name.as_deref(), &req.name, None);
+            let mut reg = Registrar {
+                cache,
+                rt,
+                plan: self,
+                fp: &fp,
+                input_digest,
+                cursor: 0,
+                base_cost_ns: 0,
+                started,
+            };
+            let report = self.run_observed(rt, req, &mut |stage, manifest| {
+                on_stage(stage, manifest);
+                reg.observe(stage, manifest);
+            })?;
+            return Ok((report, CacheUse { elided: 0, saved_ns: 0, executed: Some(self.clone()) }));
+        };
+
+        let elided = lens[hit.index];
+        let saved_ns = hit.entry.cost_ns;
+        telemetry.counter("cache.hits").inc();
+        telemetry.counter("cache.reuse_saved_ns").add(saved_ns);
+        // The first uncached stage mutates the shared dataset in place:
+        // supersede the consumed entry *before* mutating, so no new run
+        // can match the pre-mutation snapshot mid-rewrite. It comes
+        // back under the longer post-dupmark prefix.
+        if self.stages().get(elided) == Some(&Stage::Dupmark) {
+            cache.remove(&hit.key);
+        }
+
+        let Some(suffix) = self.suffix_plan(elided) else {
+            // Every stage was cached; synthesize the report from the
+            // entry (exports are never durable, so a fully-cached plan
+            // always ends in its final dataset state).
+            let mut report = PlanReport {
+                plan: self.clone(),
+                stages: Vec::new(),
+                manifest: None,
+                sorted: None,
+                sam: None,
+                bam: None,
+                elapsed: started.elapsed(),
+            };
+            place_manifest(&mut report, &hit.entry);
+            return Ok((report, CacheUse { elided, saved_ns, executed: None }));
+        };
+
+        invalidate_written(
+            cache,
+            rt,
+            suffix.stages(),
+            Some(&hit.entry.manifest.name),
+            &req.name,
+            Some(&hit.key),
+        );
+        let suffix_req = PlanRequest {
+            name: req.name,
+            source: PlanSource::Dataset(hit.entry.manifest.clone()),
+            chunk_size: req.chunk_size,
+            aligner: req.aligner,
+            reference: req.reference,
+        };
+        let mut reg = Registrar {
+            cache,
+            rt,
+            plan: self,
+            fp: &fp,
+            input_digest,
+            cursor: elided,
+            base_cost_ns: saved_ns,
+            started,
+        };
+        // The pin keeps the consumed entry unevictable for the whole
+        // suffix run — the dataset it names is live input.
+        let result = suffix.run_observed(rt, suffix_req, &mut |stage, manifest| {
+            on_stage(stage, manifest);
+            reg.observe(stage, manifest);
+        });
+        drop(hit.pin);
+        let mut report = result?;
+        // The report describes the submitted plan; the executed suffix
+        // travels in CacheUse.
+        report.plan = self.clone();
+        report.elapsed = started.elapsed();
+        if report.final_manifest().is_none() {
+            // The suffix landed no dataset (export-only): the plan's
+            // final dataset is the cached one.
+            place_manifest(&mut report, &hit.entry);
+        }
+        Ok((report, CacheUse { elided, saved_ns, executed: Some(suffix) }))
+    }
+}
+
+/// Purges cache entries whose datasets the stages about to execute
+/// will rewrite. Store writes are create-or-replace under names derived
+/// from the job, so a new run over *different* input (or different
+/// align parameters) re-targets the same object names — any entry still
+/// pointing at them would silently serve the new bytes under the old
+/// key:
+///
+/// * `import`/`align` (re)write the base dataset — the run's source
+///   dataset when it starts from one, else the request name;
+/// * `sort` writes `{name}.sorted`;
+/// * `dupmark` rewrites the sorted dataset it consumes in place — the
+///   run's own sort output when it sorted, else the source dataset.
+///
+/// The entry a running hit consumed (`keep`) survives: its prefix
+/// equality is exactly what makes the overlap byte-identical.
+fn invalidate_written(
+    cache: &ResultCache,
+    rt: &PersonaRuntime,
+    stages: &[Stage],
+    source_name: Option<&str>,
+    req_name: &str,
+    keep: Option<&CacheKey>,
+) {
+    let base = source_name.unwrap_or(req_name);
+    let mut names: Vec<String> = Vec::new();
+    if stages.iter().any(|s| matches!(s, Stage::Import | Stage::Align)) {
+        names.push(base.to_string());
+    }
+    if stages.contains(&Stage::Sort) {
+        names.push(format!("{req_name}.sorted"));
+    }
+    if stages.contains(&Stage::Dupmark) && !stages.contains(&Stage::Sort) {
+        names.push(base.to_string());
+    }
+    names.sort();
+    names.dedup();
+    let mut dropped = 0;
+    for name in &names {
+        dropped += cache.invalidate_dataset(name, keep);
+    }
+    if dropped > 0 {
+        rt.telemetry().counter("cache.invalidations").add(dropped as u64);
+    }
+}
+
+/// Slots a cached entry's manifest into the report field a cold run
+/// would have used: `sorted` for sorted/dup-marked state, `manifest`
+/// otherwise (see [`PlanReport::final_manifest`]).
+fn place_manifest(report: &mut PlanReport, entry: &CacheEntry) {
+    match DataState::parse(&entry.state) {
+        Some(DataState::Sorted) | Some(DataState::DupMarked) => {
+            report.sorted = Some(entry.manifest.clone());
+        }
+        _ => report.manifest = Some(entry.manifest.clone()),
+    }
+}
+
+/// Registers each durably-landed stage output under its prefix key as
+/// a run progresses, tracking positions against the *original* plan so
+/// a suffix run registers the deeper prefixes it completes.
+struct Registrar<'a> {
+    cache: &'a ResultCache,
+    rt: &'a PersonaRuntime,
+    plan: &'a Plan,
+    fp: &'a RunFingerprint,
+    input_digest: Digest,
+    /// Next original-plan stage index a notification can refer to.
+    cursor: usize,
+    /// Cost already attributed to the consumed prefix (0 on cold runs).
+    base_cost_ns: u64,
+    /// When this run started (suffix runs accrue on top of base cost).
+    started: Instant,
+}
+
+impl Registrar<'_> {
+    fn observe(&mut self, stage: Stage, manifest: &Manifest) {
+        let stages = self.plan.stages();
+        // Notifications arrive in plan order but fused groups skip
+        // inner stages (import‖align notifies only align), so locate
+        // this stage at or after the cursor.
+        let Some(off) = stages[self.cursor..].iter().position(|&s| s == stage) else {
+            return;
+        };
+        let g = self.cursor + off;
+        self.cursor = g + 1;
+        // A prefix whose next stage rewrites this dataset in place
+        // would be stale before anyone could reuse it: skip it.
+        if stages.get(g + 1) == Some(&Stage::Dupmark) {
+            return;
+        }
+        let len = g + 1;
+        let key = CacheKey::new(self.input_digest, prefix_key(self.plan, len, self.fp));
+        let entry = CacheEntry {
+            manifest: manifest.clone(),
+            state: stage.output().as_str().to_string(),
+            stages: len,
+            cost_ns: self.base_cost_ns + self.started.elapsed().as_nanos() as u64,
+        };
+        let evicted = self.cache.insert(key, entry);
+        let telemetry = self.rt.telemetry();
+        telemetry.counter("cache.insertions").inc();
+        if !evicted.is_empty() {
+            telemetry.counter("cache.evictions").add(evicted.len() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(chunk: usize, aligner: Option<&str>) -> RunFingerprint {
+        RunFingerprint {
+            chunk_size: chunk,
+            aligner: aligner.map(str::to_string),
+            reference: digest_reference(&[("chr1".into(), 1000)]),
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_key_identically_across_plans() {
+        let fp = fp(512, Some("snap"));
+        let a = Plan::import_align();
+        let b = Plan::full();
+        assert_eq!(prefix_key(&a, 1, &fp), prefix_key(&b, 1, &fp));
+        assert_eq!(prefix_key(&a, 2, &fp), prefix_key(&b, 2, &fp));
+        assert_ne!(prefix_key(&b, 2, &fp), prefix_key(&b, 3, &fp));
+    }
+
+    #[test]
+    fn import_prefix_ignores_aligner_but_not_chunking() {
+        let plan = Plan::full();
+        assert_eq!(
+            prefix_key(&plan, 1, &fp(512, Some("snap"))),
+            prefix_key(&plan, 1, &fp(512, Some("bwa")))
+        );
+        assert_ne!(prefix_key(&plan, 1, &fp(512, None)), prefix_key(&plan, 1, &fp(256, None)));
+    }
+
+    #[test]
+    fn align_prefix_keys_on_aligner_and_reference() {
+        let plan = Plan::full();
+        assert_ne!(
+            prefix_key(&plan, 2, &fp(512, Some("snap"))),
+            prefix_key(&plan, 2, &fp(512, Some("bwa")))
+        );
+        let other_ref = RunFingerprint {
+            chunk_size: 512,
+            aligner: Some("snap".into()),
+            reference: digest_reference(&[("chr2".into(), 9)]),
+        };
+        assert_ne!(prefix_key(&plan, 2, &fp(512, Some("snap"))), prefix_key(&plan, 2, &other_ref));
+    }
+
+    #[test]
+    fn cacheable_prefixes_exclude_exports() {
+        assert_eq!(Plan::full().cacheable_prefixes(), vec![4, 3, 2, 1]);
+        assert_eq!(Plan::import_align().cacheable_prefixes(), vec![2, 1]);
+        assert_eq!(Plan::no_dupmark().cacheable_prefixes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn suffix_plan_resumes_from_prefix_output() {
+        let full = Plan::full();
+        let suffix = full.suffix_plan(2).expect("suffix exists");
+        assert_eq!(suffix.input(), DataState::Aligned);
+        assert_eq!(suffix.stages(), &[Stage::Sort, Stage::Dupmark, Stage::ExportSam]);
+        assert!(full.suffix_plan(0).is_none());
+        assert!(full.suffix_plan(5).is_none());
+    }
+}

@@ -41,6 +41,7 @@
 //! accept loop (`WireServer`) lives in the `persona_server` crate; the
 //! protocol itself is specified in `docs/PROTOCOL.md`.
 
+pub mod caching;
 pub mod config;
 pub mod manifest_server;
 pub mod pipeline;

@@ -194,6 +194,14 @@ impl Stage {
             Stage::ExportBam => DataState::Bgzf,
         }
     }
+
+    /// Whether this stage lands durable dataset state in the runtime's
+    /// store (and therefore notifies a [`StageObserver`] and is a
+    /// candidate cache boundary). Export stages buffer bytes in memory
+    /// and land nothing.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, Stage::Import | Stage::Align | Stage::Sort | Stage::Dupmark)
+    }
 }
 
 impl std::fmt::Display for Stage {
@@ -492,14 +500,125 @@ impl Plan {
         Ok(())
     }
 
-    /// A one-line human description of the state chain, e.g.
-    /// `fastq ─import→ encoded-agd ─align→ aligned`.
+    /// The fusion grouping [`Plan::run`] will actually execute: one
+    /// `start..end` range into [`Plan::stages`] per step, where a
+    /// multi-stage range is a fused group whose stages overlap through
+    /// streaming queues (`import‖align`, `align‖sort`,
+    /// `import‖align‖sort`, `dupmark‖export-sam`).
+    pub fn fusion_groups(&self) -> Vec<std::ops::Range<usize>> {
+        Self::fusion_groups_of(&self.stages)
+    }
+
+    /// [`Plan::fusion_groups`] over an arbitrary stage slice — the same
+    /// pairing rules the `run_observed` driver applies, so a cached
+    /// run's suffix can be described exactly as it will execute.
+    fn fusion_groups_of(stages: &[Stage]) -> Vec<std::ops::Range<usize>> {
+        let mut groups = Vec::new();
+        let mut i = 0usize;
+        while i < stages.len() {
+            let stage = stages[i];
+            let fused_next = stages.get(i + 1).copied().filter(|&next| {
+                (stage == Stage::Import && next == Stage::Align)
+                    || (stage == Stage::Align && next == Stage::Sort)
+                    || (stage == Stage::Dupmark && next == Stage::ExportSam)
+            });
+            let len = match (stage, fused_next) {
+                (Stage::Import, Some(Stage::Align)) if stages.get(i + 2) == Some(&Stage::Sort) => 3,
+                (_, Some(_)) => 2,
+                _ => 1,
+            };
+            groups.push(i..i + len);
+            i += len;
+        }
+        groups
+    }
+
+    /// A one-line human description of what will actually execute:
+    /// the state chain with fused groups bracketed, e.g.
+    /// `fastq ─[import‖align]→ aligned` (import and align overlap as
+    /// one step) or `fastq ─import→ encoded-agd` for a lone stage.
     pub fn describe(&self) -> String {
+        self.describe_cached(0)
+    }
+
+    /// [`Plan::describe`] for a run whose first `elided` stages were
+    /// satisfied by the result cache: elided stages render as a dashed
+    /// `┄stage┄` chain ending in `(cached)`, and fusion groups are
+    /// computed over the suffix that actually executes.
+    ///
+    /// `elided` is clamped to the plan length; `describe_cached(0)` is
+    /// exactly [`Plan::describe`].
+    pub fn describe_cached(&self, elided: usize) -> String {
+        let elided = elided.min(self.stages.len());
         let mut out = self.input.as_str().to_string();
-        for stage in &self.stages {
-            out.push_str(&format!(" ─{}→ {}", stage.name(), stage.output().as_str()));
+        if elided > 0 {
+            let names: Vec<&str> = self.stages[..elided].iter().map(|s| s.name()).collect();
+            out.push_str(&format!(
+                " ┄{}┄ {} (cached)",
+                names.join("┄"),
+                self.stages[elided - 1].output().as_str()
+            ));
+        }
+        for group in Self::fusion_groups_of(&self.stages[elided..]) {
+            let stages = &self.stages[elided..][group.clone()];
+            let last = stages.last().expect("fusion groups are non-empty");
+            if stages.len() == 1 {
+                out.push_str(&format!(" ─{}→ {}", last.name(), last.output().as_str()));
+            } else {
+                let names: Vec<&str> = stages.iter().map(|s| s.name()).collect();
+                out.push_str(&format!(" ─[{}]→ {}", names.join("‖"), last.output().as_str()));
+            }
         }
         out
+    }
+
+    /// The prefix lengths that are valid cache boundaries: every `len`
+    /// in `1..=stages.len()` whose last stage lands durable dataset
+    /// state ([`Stage::is_durable`]), longest first. Export stages
+    /// produce in-memory bytes only, so a prefix ending in one has no
+    /// dataset to cache.
+    pub fn cacheable_prefixes(&self) -> Vec<usize> {
+        (1..=self.stages.len()).rev().filter(|&len| self.stages[len - 1].is_durable()).collect()
+    }
+
+    /// The canonical serialization of this plan's first `len` stages —
+    /// the plan-prefix component of a result-cache key. Identical
+    /// prefixes of *different* plans serialize identically (the suffix
+    /// does not leak in), which is exactly what lets an overlapping
+    /// plan reuse another plan's work.
+    ///
+    /// # Panics
+    /// Panics if `len` is `0` or exceeds the stage count.
+    pub fn prefix_json(&self, len: usize) -> String {
+        assert!(len >= 1 && len <= self.stages.len(), "prefix length {len} out of range");
+        // The vendored `to_string` takes a `Serialize`, not a bare
+        // `Value`; a transparent wrapper bridges the gap.
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn serialize(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let v = Value::Object(vec![
+            ("input".into(), self.input.serialize()),
+            ("stages".into(), self.stages[..len].to_vec().serialize()),
+        ]);
+        serde_json::to_string(&Raw(v)).expect("plan prefix serialization is infallible")
+    }
+
+    /// Rebuilds the plan that remains after `skip` stages have been
+    /// satisfied (by the result cache or a recovery replay): a new plan
+    /// whose input is the skipped prefix's output state. Returns `None`
+    /// when nothing remains.
+    pub fn suffix_plan(&self, skip: usize) -> Option<Plan> {
+        if skip == 0 || skip >= self.stages.len() {
+            return None;
+        }
+        let mut builder = Plan::builder(self.stages[skip - 1].output());
+        for stage in &self.stages[skip..] {
+            builder = builder.then(*stage);
+        }
+        Some(builder.build().expect("a valid plan's suffix is a valid plan"))
     }
 
     /// Serializes the plan to compact JSON (the future wire format).
@@ -608,6 +727,7 @@ impl Plan {
             };
             let group = &self.stages[i..i + group_len];
             spans_begin(rt, group);
+            count_stage_runs(rt, group);
             match (stage, fused_next) {
                 (Stage::Import, Some(Stage::Align))
                     if self.stages.get(i + 2) == Some(&Stage::Sort) =>
@@ -766,6 +886,16 @@ impl Plan {
         rt.check_cancelled()?;
         report.elapsed = started.elapsed();
         Ok(report)
+    }
+}
+
+/// Bumps `plan.stage_runs.{stage}` for every stage this step actually
+/// executes. The counters are the ground truth for "did this stage
+/// run": a cache-elided stage never reaches here, which is how tests
+/// (and operators) prove a warm resubmission skipped its shared prefix.
+fn count_stage_runs(rt: &PersonaRuntime, stages: &[Stage]) {
+    for s in stages {
+        rt.telemetry().counter(&format!("plan.stage_runs.{}", s.name())).inc();
     }
 }
 
@@ -1255,7 +1385,16 @@ mod tests {
         assert_eq!(Plan::import_align().output(), DataState::Aligned);
         assert_eq!(Plan::no_dupmark().output(), DataState::Sam);
         assert_eq!(Plan::from_aligned().input(), DataState::Aligned);
-        assert_eq!(Plan::import_align().describe(), "fastq ─import→ encoded-agd ─align→ aligned");
+        assert_eq!(Plan::import_align().describe(), "fastq ─[import‖align]→ aligned");
+        assert_eq!(Plan::import_only().describe(), "fastq ─import→ encoded-agd");
+        assert_eq!(
+            Plan::full().describe(),
+            "fastq ─[import‖align‖sort]→ sorted ─[dupmark‖export-sam]→ sam"
+        );
+        assert_eq!(
+            Plan::full().describe_cached(3),
+            "fastq ┄import┄align┄sort┄ sorted (cached) ─[dupmark‖export-sam]→ sam"
+        );
         for name in PRESET_NAMES {
             assert!(Plan::preset(name).is_some(), "preset `{name}` must resolve");
         }

@@ -48,6 +48,7 @@ use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use persona_agd::manifest::Manifest;
+use persona_cache::CacheStats;
 use persona_dataflow::Priority;
 use persona_telemetry::MetricsSnapshot;
 use serde::{field, DeError, Deserialize, Serialize, Value};
@@ -632,6 +633,21 @@ pub enum Message {
         /// The registry snapshot.
         metrics: MetricsSnapshot,
     },
+    /// Client → server: request the service's result-cache counters
+    /// and occupancy (hits, misses, evictions, reuse savings).
+    CacheStatsRequest {
+        /// Correlation id.
+        seq: u64,
+    },
+    /// Server → client: reply to [`Message::CacheStatsRequest`]. A
+    /// service running without a cache replies with
+    /// `enabled: false` and zeroed counters.
+    CacheStatsReply {
+        /// Correlation id of the request.
+        seq: u64,
+        /// The cache counters snapshot.
+        stats: CacheStats,
+    },
     /// Client → server: fetch one job's trace spans as
     /// Chrome-`trace_event` JSON. Valid (and partial) while the job
     /// still runs; `unknown-job` for ids never dispatched or whose
@@ -683,6 +699,8 @@ impl Message {
             Message::ReportReply { .. } => "report-reply",
             Message::MetricsRequest { .. } => "metrics-request",
             Message::MetricsReply { .. } => "metrics-reply",
+            Message::CacheStatsRequest { .. } => "cache-stats-request",
+            Message::CacheStatsReply { .. } => "cache-stats-reply",
             Message::TraceRequest { .. } => "trace-request",
             Message::TraceReply { .. } => "trace-reply",
             Message::Error { .. } => "error",
@@ -708,6 +726,8 @@ impl Message {
             | Message::ReportReply { seq, .. }
             | Message::MetricsRequest { seq }
             | Message::MetricsReply { seq, .. }
+            | Message::CacheStatsRequest { seq }
+            | Message::CacheStatsReply { seq, .. }
             | Message::TraceRequest { seq, .. }
             | Message::TraceReply { seq, .. }
             | Message::Error { seq, .. } => *seq,
@@ -784,7 +804,9 @@ impl Serialize for Message {
                 fields.push(("stages".into(), stages.serialize()));
                 fields.push(("manifest".into(), manifest.serialize()));
             }
-            Message::Report { seq } | Message::MetricsRequest { seq } => {
+            Message::Report { seq }
+            | Message::MetricsRequest { seq }
+            | Message::CacheStatsRequest { seq } => {
                 fields.push(("seq".into(), seq.serialize()));
             }
             Message::ReportReply { seq, report } => {
@@ -794,6 +816,10 @@ impl Serialize for Message {
             Message::MetricsReply { seq, metrics } => {
                 fields.push(("seq".into(), seq.serialize()));
                 fields.push(("metrics".into(), metrics.serialize()));
+            }
+            Message::CacheStatsReply { seq, stats } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("stats".into(), stats.serialize()));
             }
             Message::TraceRequest { seq, job_id } | Message::TraceReply { seq, job_id } => {
                 fields.push(("seq".into(), seq.serialize()));
@@ -875,6 +901,10 @@ impl Deserialize for Message {
             "metrics-request" => Ok(Message::MetricsRequest { seq: seq()? }),
             "metrics-reply" => {
                 Ok(Message::MetricsReply { seq: seq()?, metrics: field::required(v, "metrics")? })
+            }
+            "cache-stats-request" => Ok(Message::CacheStatsRequest { seq: seq()? }),
+            "cache-stats-reply" => {
+                Ok(Message::CacheStatsReply { seq: seq()?, stats: field::required(v, "stats")? })
             }
             "trace-request" => Ok(Message::TraceRequest { seq: seq()?, job_id: job_id()? }),
             "trace-reply" => Ok(Message::TraceReply { seq: seq()?, job_id: job_id()? }),
@@ -1387,6 +1417,17 @@ impl WireClient {
         }
     }
 
+    /// Fetches the server's result-cache counters. A server running
+    /// without a cache replies `enabled: false` with zeroed counters.
+    pub fn cache_stats(&mut self) -> WireResult<CacheStats> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::CacheStatsRequest { seq }, &[])?;
+        match self.read_reply()? {
+            (Message::CacheStatsReply { seq: s, stats }, _) if s == seq => Ok(stats),
+            (other, _) => Err(self.unexpected("cache-stats-reply", other)),
+        }
+    }
+
     /// Fetches one job's trace spans as Chrome-`trace_event` JSON —
     /// partial but well-formed while the job still runs, complete once
     /// it finishes.
@@ -1529,6 +1570,21 @@ mod tests {
             },
             Message::MetricsRequest { seq: 8 },
             Message::MetricsReply { seq: 8, metrics },
+            Message::CacheStatsRequest { seq: 11 },
+            Message::CacheStatsReply {
+                seq: 11,
+                stats: CacheStats {
+                    enabled: true,
+                    hits: 3,
+                    misses: 2,
+                    evictions: 1,
+                    insertions: 5,
+                    entries: 4,
+                    pinned: 1,
+                    capacity: 64,
+                    reuse_saved_ns: 1_234_567,
+                },
+            },
             Message::TraceRequest { seq: 9, job_id: 7 },
             Message::TraceReply { seq: 9, job_id: 7 },
             Message::Error { seq: 10, code: ErrorCode::InvalidPlan, message: "nope".into() },

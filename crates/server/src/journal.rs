@@ -53,6 +53,7 @@ use persona::plan::{Plan, Stage};
 use persona::wire::{parse_priority, priority_name};
 use persona::{Error, Result};
 use persona_agd::manifest::Manifest;
+use persona_cache::{CacheEntry, CacheKey};
 use persona_compress::crc32::Crc32;
 use persona_dataflow::Priority;
 use persona_telemetry::{Histogram, MetricsRegistry};
@@ -218,6 +219,22 @@ pub enum JournalRecord {
         /// The dataset's manifest.
         manifest: Manifest,
     },
+    /// A result-cache entry landed (or was refreshed): the dataset
+    /// under `key`'s plan prefix is durable in the shared store, so a
+    /// recovered service comes back with a warm cache. Last write per
+    /// key wins.
+    CacheInsert {
+        /// The content-addressed `(input digest, plan prefix)` key.
+        key: CacheKey,
+        /// The cached dataset and its cost accounting.
+        entry: CacheEntry,
+    },
+    /// A result-cache entry was dropped (LRU eviction, or supersession
+    /// by an in-place rewrite); replay removes it.
+    CacheEvict {
+        /// The dropped key.
+        key: CacheKey,
+    },
     /// A compaction checkpoint: preserves the id watermark so job ids
     /// stay unique (and wire-visible ids stable) across restarts even
     /// after terminal jobs are compacted away.
@@ -235,6 +252,8 @@ impl JournalRecord {
             JournalRecord::StageCompleted { .. } => "stage-completed",
             JournalRecord::Finished { .. } => "finished",
             JournalRecord::Dataset { .. } => "dataset",
+            JournalRecord::CacheInsert { .. } => "cache-insert",
+            JournalRecord::CacheEvict { .. } => "cache-evict",
             JournalRecord::Checkpoint { .. } => "checkpoint",
         }
     }
@@ -302,6 +321,13 @@ impl JournalRecord {
             JournalRecord::Dataset { name, manifest } => {
                 fields.push(("name".into(), name.serialize()));
                 fields.push(("manifest".into(), manifest.serialize()));
+            }
+            JournalRecord::CacheInsert { key, entry } => {
+                fields.push(("key".into(), key.serialize()));
+                fields.push(("entry".into(), entry.serialize()));
+            }
+            JournalRecord::CacheEvict { key } => {
+                fields.push(("key".into(), key.serialize()));
             }
             JournalRecord::Checkpoint { next_id } => {
                 fields.push(("next_id".into(), next_id.serialize()));
@@ -379,6 +405,11 @@ impl JournalRecord {
                 name: field::required(v, "name")?,
                 manifest: field::required(v, "manifest")?,
             }),
+            "cache-insert" => Ok(JournalRecord::CacheInsert {
+                key: field::required(v, "key")?,
+                entry: field::required(v, "entry")?,
+            }),
+            "cache-evict" => Ok(JournalRecord::CacheEvict { key: field::required(v, "key")? }),
             "checkpoint" => {
                 Ok(JournalRecord::Checkpoint { next_id: field::required(v, "next_id")? })
             }
@@ -481,6 +512,7 @@ impl JobRecord {
 pub struct JournalState {
     jobs: BTreeMap<u64, JobRecord>,
     datasets: BTreeMap<String, Manifest>,
+    cache: BTreeMap<CacheKey, CacheEntry>,
     next_id: u64,
 }
 
@@ -548,6 +580,12 @@ impl JournalState {
             JournalRecord::Dataset { name, manifest } => {
                 self.datasets.insert(name.clone(), manifest.clone());
             }
+            JournalRecord::CacheInsert { key, entry } => {
+                self.cache.insert(key.clone(), entry.clone());
+            }
+            JournalRecord::CacheEvict { key } => {
+                self.cache.remove(key);
+            }
             JournalRecord::Checkpoint { next_id } => {
                 self.next_id = self.next_id.max(*next_id);
             }
@@ -574,6 +612,12 @@ impl JournalState {
         self.datasets.get(name)
     }
 
+    /// The journaled result-cache entries (key order; last write per
+    /// key won), for rewarming a recovered service's cache.
+    pub fn cache_entries(&self) -> impl Iterator<Item = (&CacheKey, &CacheEntry)> {
+        self.cache.iter()
+    }
+
     /// The smallest id a recovered service may assign next.
     pub fn next_id(&self) -> u64 {
         self.next_id.max(1)
@@ -587,6 +631,9 @@ impl JournalState {
         let mut out = vec![JournalRecord::Checkpoint { next_id: self.next_id() }];
         for (name, manifest) in &self.datasets {
             out.push(JournalRecord::Dataset { name: name.clone(), manifest: manifest.clone() });
+        }
+        for (key, entry) in &self.cache {
+            out.push(JournalRecord::CacheInsert { key: key.clone(), entry: entry.clone() });
         }
         for job in self.jobs.values() {
             if let Some((status, error)) = &job.terminal {
@@ -924,7 +971,22 @@ mod tests {
                 status: TerminalStatus::Completed,
                 error: None,
             },
-            JournalRecord::Dataset { name: "landed".into(), manifest },
+            JournalRecord::Dataset { name: "landed".into(), manifest: manifest.clone() },
+            JournalRecord::CacheInsert {
+                key: CacheKey::new(
+                    persona_cache::Digest::of_bytes(b"@r1\nACGT\n+\nIIII\n"),
+                    r#"{"input":"fastq","stages":["import"],"chunk_size":512}"#,
+                ),
+                entry: CacheEntry {
+                    manifest,
+                    state: "encoded-agd".into(),
+                    stages: 1,
+                    cost_ns: 42_000,
+                },
+            },
+            JournalRecord::CacheEvict {
+                key: CacheKey::new(persona_cache::Digest::of_bytes(b"gone"), "{}"),
+            },
             JournalRecord::Checkpoint { next_id: 7 },
         ]
     }
@@ -949,6 +1011,42 @@ mod tests {
         assert_eq!(state.job(1).unwrap().terminal, Some((TerminalStatus::Completed, None)));
         assert!(state.job(2).unwrap().terminal.is_none());
         assert!(state.dataset("landed").is_some());
+    }
+
+    #[test]
+    fn cache_records_fold_and_survive_compaction() {
+        let manifest = Manifest::new("warm");
+        let key = |tag: &str| {
+            CacheKey::new(
+                persona_cache::Digest::of_bytes(tag.as_bytes()),
+                format!("{{\"p\":\"{tag}\"}}"),
+            )
+        };
+        let entry = |cost: u64| CacheEntry {
+            manifest: manifest.clone(),
+            state: "aligned".into(),
+            stages: 2,
+            cost_ns: cost,
+        };
+        let mut state = JournalState::default();
+        state.apply(&JournalRecord::CacheInsert { key: key("a"), entry: entry(1) });
+        state.apply(&JournalRecord::CacheInsert { key: key("b"), entry: entry(2) });
+        // Refresh wins over the first write; evict removes outright.
+        state.apply(&JournalRecord::CacheInsert { key: key("a"), entry: entry(3) });
+        state.apply(&JournalRecord::CacheEvict { key: key("b") });
+        let entries: Vec<_> = state.cache_entries().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, &key("a"));
+        assert_eq!(entries[0].1.cost_ns, 3);
+        // Compaction re-emits the surviving entry; replaying the
+        // compacted records reproduces the cache state.
+        let mut replayed = JournalState::default();
+        for r in state.compact_records() {
+            replayed.apply(&r);
+        }
+        let entries: Vec<_> = replayed.cache_entries().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].1.cost_ns, 3);
     }
 
     #[test]

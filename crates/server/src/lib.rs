@@ -77,6 +77,9 @@ pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
 // The plan vocabulary, re-exported so service clients need only this
 // crate to compose, serialize and submit plans.
 pub use persona::plan::{DataState, Plan, PlanBuilder, PlanError, PlanReport, Stage};
+// The result-cache vocabulary, for configuring and inspecting the
+// service's plan-aware cache (see `docs/CACHING.md`).
+pub use persona_cache::{CacheEntry, CacheKey, CacheStats, Digest, ResultCache};
 pub use report::{ServiceReport, StageRollup, TenantReport};
 pub use scheduler::TenantConfig;
 pub use service::{PersonaService, RecoverOptions, ServiceConfig};

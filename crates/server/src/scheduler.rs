@@ -32,17 +32,25 @@ pub struct TenantConfig {
     pub weight: u32,
     /// Maximum jobs of this tenant running at once (≥1; 0 clamped).
     pub max_in_flight: usize,
+    /// When `true`, this tenant's jobs neither consult nor populate the
+    /// service's result cache (tenants whose inputs must never share
+    /// derived datasets with other workloads).
+    pub cache_opt_out: bool,
 }
 
 impl Default for TenantConfig {
     fn default() -> Self {
-        TenantConfig { weight: 1, max_in_flight: usize::MAX }
+        TenantConfig { weight: 1, max_in_flight: usize::MAX, cache_opt_out: false }
     }
 }
 
 impl TenantConfig {
     fn clamped(self) -> Self {
-        TenantConfig { weight: self.weight.max(1), max_in_flight: self.max_in_flight.max(1) }
+        TenantConfig {
+            weight: self.weight.max(1),
+            max_in_flight: self.max_in_flight.max(1),
+            cache_opt_out: self.cache_opt_out,
+        }
     }
 }
 
@@ -148,6 +156,12 @@ impl FairScheduler {
                 self.ring.push(name.to_string());
             }
         }
+    }
+
+    /// The effective config for `name` — its registered config, or the
+    /// default for tenants that never registered.
+    pub fn tenant_config(&self, name: &str) -> TenantConfig {
+        self.tenants.get(name).map(|t| t.config).unwrap_or(self.default_config)
     }
 
     fn tenant_mut(&mut self, name: &str) -> &mut TenantState {
@@ -322,8 +336,14 @@ mod tests {
     #[test]
     fn weights_give_proportional_dispatches() {
         let mut s = sched(1);
-        s.set_tenant("big", TenantConfig { weight: 3, max_in_flight: usize::MAX });
-        s.set_tenant("small", TenantConfig { weight: 1, max_in_flight: usize::MAX });
+        s.set_tenant(
+            "big",
+            TenantConfig { weight: 3, max_in_flight: usize::MAX, ..TenantConfig::default() },
+        );
+        s.set_tenant(
+            "small",
+            TenantConfig { weight: 1, max_in_flight: usize::MAX, ..TenantConfig::default() },
+        );
         for i in 0..40 {
             push(&mut s, i, "big", Priority::Normal);
             push(&mut s, 100 + i, "small", Priority::Normal);
@@ -346,7 +366,10 @@ mod tests {
     #[test]
     fn per_tenant_in_flight_bound_is_enforced() {
         let mut s = sched(8);
-        s.set_tenant("capped", TenantConfig { weight: 1, max_in_flight: 2 });
+        s.set_tenant(
+            "capped",
+            TenantConfig { weight: 1, max_in_flight: 2, ..TenantConfig::default() },
+        );
         for i in 0..5 {
             push(&mut s, i, "capped", Priority::Normal);
         }

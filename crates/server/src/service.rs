@@ -42,6 +42,7 @@ use persona::runtime::{JobContext, PersonaRuntime};
 use persona::{Error, Result};
 use persona_agd::manifest::Manifest;
 use persona_align::Aligner;
+use persona_cache::{CacheEvent, CacheStats, Digest, ResultCache};
 use persona_dataflow::{CancelToken, Priority};
 use persona_telemetry::{JobTrace, MetricsSnapshot};
 
@@ -61,11 +62,29 @@ pub struct ServiceConfig {
     pub max_concurrent_jobs: usize,
     /// Config applied to tenants that were not explicitly registered.
     pub default_tenant: TenantConfig,
+    /// Result-cache capacity in entries; `0` disables the cache. When
+    /// enabled, jobs consult the content-addressed result cache before
+    /// executing and register every durably-landed stage output, so a
+    /// resubmitted plan sharing a prefix with earlier work runs only
+    /// its uncached suffix (see `docs/CACHING.md`). Per-tenant opt-out
+    /// via [`TenantConfig::cache_opt_out`].
+    pub cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { max_concurrent_jobs: 4, default_tenant: TenantConfig::default() }
+        ServiceConfig {
+            max_concurrent_jobs: 4,
+            default_tenant: TenantConfig::default(),
+            cache_capacity: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default config with the result cache enabled at `capacity`.
+    pub fn with_cache(capacity: usize) -> ServiceConfig {
+        ServiceConfig { cache_capacity: capacity, ..ServiceConfig::default() }
     }
 }
 
@@ -109,6 +128,11 @@ pub(crate) struct Shared {
     /// client can fetch a finished job's trace. Bounded to
     /// [`TRACE_RETAIN`] jobs: oldest (smallest id) evicted first.
     traces: Mutex<HashMap<u64, Arc<JobTrace>>>,
+    /// The plan-aware result cache, when enabled
+    /// ([`ServiceConfig::cache_capacity`] > 0). Mutations mirror into
+    /// the journal through the cache's listener, so warm entries
+    /// survive [`PersonaService::recover`].
+    cache: Option<Arc<ResultCache>>,
 }
 
 /// How many job traces the service retains (in-memory only; traces are
@@ -130,7 +154,9 @@ impl Shared {
             j.set_telemetry(rt.telemetry());
             j
         });
-        Arc::new(Shared {
+        let cache =
+            (config.cache_capacity > 0).then(|| Arc::new(ResultCache::new(config.cache_capacity)));
+        let shared = Arc::new(Shared {
             rt,
             sched: Mutex::new(sched),
             work_cv: Condvar::new(),
@@ -142,7 +168,39 @@ impl Shared {
             journal: journal.map(Mutex::new),
             catalog: Mutex::new(catalog),
             traces: Mutex::new(HashMap::new()),
-        })
+            cache,
+        });
+        // Mirror every cache mutation into the journal (best-effort,
+        // like other non-write-ahead records): an insert that outlives
+        // the process rewarms on recovery, an evicted or invalidated
+        // key is forgotten there too.
+        if let Some(cache) = &shared.cache {
+            let weak = Arc::downgrade(&shared);
+            cache.set_listener(move |event| {
+                if let Some(shared) = weak.upgrade() {
+                    let record = match event {
+                        CacheEvent::Inserted { key, entry } => {
+                            JournalRecord::CacheInsert { key: key.clone(), entry: entry.clone() }
+                        }
+                        CacheEvent::Evicted { key, .. } => {
+                            JournalRecord::CacheEvict { key: key.clone() }
+                        }
+                    };
+                    shared.journal_note(&record);
+                }
+            });
+        }
+        shared
+    }
+
+    /// The cache a job of `tenant` should use: the service cache,
+    /// unless it is disabled or the tenant opted out.
+    fn cache_for(&self, tenant: &str) -> Option<Arc<ResultCache>> {
+        let cache = self.cache.as_ref()?;
+        if self.sched.lock().tenant_config(tenant).cache_opt_out {
+            return None;
+        }
+        Some(Arc::clone(cache))
     }
 
     /// Registers a job's span recorder, evicting the oldest trace once
@@ -277,6 +335,15 @@ impl PersonaService {
         let state = journal.state().clone();
         let catalog = state.datasets().map(|(name, m)| (name.to_string(), m.clone())).collect();
         let shared = Shared::create(rt, &config, Some(journal), catalog, state.next_id());
+        // Rewarm the result cache from the journaled entries: a hit
+        // that landed before the crash is a hit after it. The rewarm
+        // goes through the normal insert path, so over-capacity
+        // replays LRU-trim themselves and re-journal consistently.
+        if let Some(cache) = &shared.cache {
+            for (key, entry) in state.cache_entries() {
+                cache.insert(key.clone(), entry.clone());
+            }
+        }
         let mut recovered = Vec::new();
         for record in state.jobs() {
             let job = match &record.terminal {
@@ -394,6 +461,18 @@ impl PersonaService {
     /// subsystem's counters, gauges and latency histograms.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.rt.telemetry().snapshot()
+    }
+
+    /// Counters and occupancy of the result cache;
+    /// [`CacheStats::disabled`] (all zeros, `enabled: false`) when the
+    /// service runs without one.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.as_ref().map(|c| c.stats()).unwrap_or_else(CacheStats::disabled)
+    }
+
+    /// The service's result cache, when enabled.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.shared.cache.as_ref()
     }
 
     /// The Chrome-`trace_event` JSON dump of a job's spans: valid (and
@@ -538,8 +617,11 @@ fn recovered_terminal_job(
         TerminalStatus::Completed => {
             // The durable parts of the output survive: the final
             // manifest (via the catalog, or the furthest journaled
-            // stage). Exported bytes and stage timings lived only in
-            // the crashed process and come back empty.
+            // stage). Exported bytes lived only in the crashed process,
+            // but exports are pure functions of the final dataset —
+            // re-run the plan's trailing export stages over it so a
+            // reconnecting client reads the same bytes it would have.
+            // Stage timings did not survive and come back empty.
             let manifest = shared
                 .catalog
                 .lock()
@@ -547,9 +629,10 @@ fn recovered_terminal_job(
                 .cloned()
                 .or_else(|| rec.stages.last().map(|(_, m)| m.clone()));
             let plan = rec.spec.as_ref().map(|s| s.plan.clone()).unwrap_or_else(Plan::full);
+            let (sam, bam, reads) = rematerialize_exports(shared, rec, &plan, manifest.as_ref());
             JobOutcome::Completed(JobOutput {
-                sam: Vec::new(),
-                bam: Vec::new(),
+                sam,
+                bam,
                 manifest,
                 report: PlanReport {
                     plan,
@@ -560,13 +643,60 @@ fn recovered_terminal_job(
                     bam: None,
                     elapsed: Duration::ZERO,
                 },
-                reads: 0,
+                reads,
                 queue_wait: Duration::ZERO,
                 elapsed: Duration::ZERO,
             })
         }
     };
     resolved_job(rec, outcome)
+}
+
+/// Re-runs a recovered completed job's trailing export stages over its
+/// cataloged final dataset, so the recovered handle serves the same
+/// exported bytes the crashed process did. Exports are deterministic
+/// over the dataset and need no aligner, which is what makes this safe
+/// at recovery time. Best-effort: any gap (no spec, no manifest, no
+/// export stages, export error) degrades to empty bytes, never a
+/// failed recovery. Returns `(sam, bam, reads)`.
+fn rematerialize_exports(
+    shared: &Arc<Shared>,
+    rec: &JobRecord,
+    plan: &Plan,
+    manifest: Option<&Manifest>,
+) -> (Vec<u8>, Vec<u8>, u64) {
+    let reads = manifest.map(|m| m.total_records).unwrap_or(0);
+    let (Some(spec), Some(manifest)) = (rec.spec.as_ref(), manifest) else {
+        return (Vec::new(), Vec::new(), reads);
+    };
+    let stages = plan.stages();
+    let Some(last_durable) = stages.iter().rposition(|s| s.is_durable()) else {
+        return (Vec::new(), Vec::new(), reads);
+    };
+    let exports = &stages[last_durable + 1..];
+    if exports.is_empty() {
+        return (Vec::new(), Vec::new(), reads);
+    }
+    let mut suffix = PlanBuilder::new(stages[last_durable].output());
+    for stage in exports {
+        suffix = suffix.then(*stage);
+    }
+    let Ok(suffix) = suffix.build() else {
+        return (Vec::new(), Vec::new(), reads);
+    };
+    let request = PlanRequest {
+        name: rec.name.clone(),
+        source: PlanSource::Dataset(manifest.clone()),
+        chunk_size: spec.chunk_size,
+        aligner: None,
+        reference: spec.reference.clone(),
+    };
+    match suffix.run(&shared.rt, request) {
+        Ok(mut report) => {
+            (report.sam.take().unwrap_or_default(), report.bam.take().unwrap_or_default(), reads)
+        }
+        Err(_) => (Vec::new(), Vec::new(), reads),
+    }
 }
 
 /// Builds an already-finished [`Job`] for a recovered record.
@@ -746,35 +876,54 @@ fn run_job(shared: Arc<Shared>, job: Arc<Job>) {
         .observe(queue_wait.as_nanos() as u64);
     let started = Instant::now();
 
+    // Content digest of the job's input — half of every cache key. The
+    // digest is of what the client submitted (FASTQ bytes or dataset
+    // manifest), computed before the input moves into the plan source.
+    let input_digest = match &payload.input {
+        JobInput::Fastq(bytes) => Digest::of_bytes(bytes),
+        JobInput::Dataset(manifest) => Digest::of_manifest(manifest),
+    };
     let source = match payload.input {
         JobInput::Fastq(bytes) => PlanSource::fastq_bytes(bytes),
         JobInput::Dataset(manifest) => PlanSource::Dataset(manifest),
     };
-    let result = payload.plan.run_observed(
-        &jrt,
-        PlanRequest {
-            name: job.name.clone(),
-            source,
-            chunk_size: payload.chunk_size,
-            aligner: payload.aligner,
-            reference: payload.reference,
-        },
-        // Each stage that lands durable dataset state is journaled
-        // with the manifest it landed — the resume point a recovered
-        // service rebuilds the plan suffix from.
-        &mut |stage, manifest| {
-            shared.journal_note(&JournalRecord::StageCompleted {
-                job_id: job.id,
-                stage,
-                manifest: manifest.clone(),
-            });
-        },
-    );
+    let request = PlanRequest {
+        name: job.name.clone(),
+        source,
+        chunk_size: payload.chunk_size,
+        aligner: payload.aligner,
+        reference: payload.reference,
+    };
+    // Each stage that lands durable dataset state is journaled with
+    // the manifest it landed — the resume point a recovered service
+    // rebuilds the plan suffix from.
+    let mut on_stage = |stage: Stage, manifest: &Manifest| {
+        shared.journal_note(&JournalRecord::StageCompleted {
+            job_id: job.id,
+            stage,
+            manifest: manifest.clone(),
+        });
+    };
+    let result = match shared.cache_for(&job.tenant) {
+        // The cached driver consults the result cache, runs only the
+        // uncached plan suffix, and registers what this run lands; the
+        // observer still fires for exactly the stages that execute.
+        Some(cache) => payload
+            .plan
+            .run_cached_observed(&jrt, request, &cache, input_digest, &mut on_stage)
+            .map(|(report, _)| report),
+        None => payload.plan.run_observed(&jrt, request, &mut on_stage),
+    };
     let elapsed = started.elapsed();
 
     let (outcome, reads, stage_rows) = match result {
         Ok(mut report) => {
-            let reads = report.reads();
+            // Cache-elided stages produced no per-stage rows; a fully
+            // cached plan reports its reads from the final manifest.
+            let reads = match report.reads() {
+                0 => report.final_manifest().map(|m| m.total_records).unwrap_or(0),
+                n => n,
+            };
             let rows = report.stage_rows();
             let sam = report.sam.take().unwrap_or_default();
             let bam = report.bam.take().unwrap_or_default();

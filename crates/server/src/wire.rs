@@ -623,6 +623,10 @@ fn handle_message(
             let metrics = shared.service.metrics();
             send(writer, &Message::MetricsReply { seq, metrics }, &[]).is_ok()
         }
+        Message::CacheStatsRequest { seq } => {
+            let stats = shared.service.cache_stats();
+            send(writer, &Message::CacheStatsReply { seq, stats }, &[]).is_ok()
+        }
         Message::TraceRequest { seq, job_id } => match shared.service.trace_json(job_id) {
             Some(json) => {
                 send(writer, &Message::TraceReply { seq, job_id }, json.as_bytes()).is_ok()

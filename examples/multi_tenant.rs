@@ -29,8 +29,14 @@ fn main() {
         rt.clone(),
         ServiceConfig { max_concurrent_jobs: 2, ..ServiceConfig::default() },
     );
-    service.set_tenant("heavy-lab", TenantConfig { weight: 1, max_in_flight: 1 });
-    service.set_tenant("light-lab", TenantConfig { weight: 1, max_in_flight: 1 });
+    service.set_tenant(
+        "heavy-lab",
+        TenantConfig { weight: 1, max_in_flight: 1, ..TenantConfig::default() },
+    );
+    service.set_tenant(
+        "light-lab",
+        TenantConfig { weight: 1, max_in_flight: 1, ..TenantConfig::default() },
+    );
     println!("service: 2 job slots on one runtime ({} executor threads)", rt.executor().threads());
 
     // The heavy tenant floods five full pipelines; the light tenant

@@ -37,7 +37,8 @@ fn main() {
     let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
     let rt = PersonaRuntime::new(store, PersonaConfig::default()).expect("runtime");
     let service = PersonaService::new(rt, ServiceConfig::default());
-    service.set_tenant("lab", TenantConfig { weight: 2, max_in_flight: 2 });
+    service
+        .set_tenant("lab", TenantConfig { weight: 2, max_in_flight: 2, ..TenantConfig::default() });
     let server = WireServer::bind(
         "127.0.0.1:0",
         service,

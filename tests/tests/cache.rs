@@ -1,0 +1,172 @@
+//! The plan-aware result cache end to end: a resubmitted plan that
+//! shares a prefix with earlier work must skip the shared stages
+//! (provably — the alignment stage-run counter must not move), produce
+//! byte-identical output to a cold run, respect per-tenant opt-out,
+//! survive a dupmark mutation of a cached dataset, and keep its warm
+//! entries across a service restart through the journal.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use persona::config::PersonaConfig;
+use persona::runtime::PersonaRuntime;
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_dataflow::Priority;
+use persona_formats::fastq;
+use persona_integration_tests::common::Fixture;
+use persona_server::journal::{FsyncPolicy, JournalConfig};
+use persona_server::{
+    JobInput, JobOutcome, JobSpec, PersonaService, Plan, RecoverOptions, ServiceConfig,
+    TenantConfig,
+};
+
+fn spec(fx: &Fixture, name: &str, tenant: &str, plan: Plan) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        tenant: tenant.to_string(),
+        priority: Priority::Normal,
+        plan,
+        input: JobInput::Fastq(fastq::to_bytes(&fx.reads)),
+        chunk_size: 64,
+        aligner: Some(fx.aligner.clone()),
+        reference: fx.reference.clone(),
+    }
+}
+
+fn completed_sam(outcome: &Arc<JobOutcome>) -> Vec<u8> {
+    outcome.output().expect("job completes").sam.clone()
+}
+
+/// Align executions since process start, from the ground-truth stage
+/// counter the plan driver bumps for every stage that actually runs.
+fn align_runs(service: &PersonaService) -> u64 {
+    service.metrics().counter("plan.stage_runs.align").unwrap_or(0)
+}
+
+/// The ISSUE's headline scenario: after an `import-align` job, a `full`
+/// plan over the same input must reuse the aligned dataset — align runs
+/// exactly once across both jobs — and still export byte-for-byte what
+/// a cold, uncached `full` run exports. A tenant that opted out runs
+/// cold and provides those reference bytes.
+#[test]
+fn overlapping_plan_skips_shared_prefix_byte_identically() {
+    let fx = Fixture::new(23, 150);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(rt, ServiceConfig::with_cache(32));
+    service.set_tenant("paranoid", TenantConfig { cache_opt_out: true, ..TenantConfig::default() });
+
+    // Cold prefix: import + align, registered under its prefix key.
+    let ia = service.submit(spec(&fx, "ia", "lab", Plan::import_align())).unwrap();
+    assert!(ia.wait().output().is_some());
+    assert_eq!(align_runs(&service), 1);
+
+    // Warm overlap: the full plan's first two stages are cached — only
+    // sort → dupmark → export execute, so the align counter holds.
+    let warm = service.submit(spec(&fx, "full-warm", "lab", Plan::full())).unwrap();
+    let warm_sam = completed_sam(&warm.wait());
+    assert!(!warm_sam.is_empty());
+    assert_eq!(align_runs(&service), 1, "cached align prefix must not re-run");
+
+    // Opted-out tenant: same submission runs fully cold (align moves),
+    // and its bytes are the uncached reference output.
+    let cold = service.submit(spec(&fx, "full-cold", "paranoid", Plan::full())).unwrap();
+    let cold_sam = completed_sam(&cold.wait());
+    assert_eq!(align_runs(&service), 2, "opted-out tenant bypasses the cache");
+    assert_eq!(warm_sam, cold_sam, "cache reuse must be byte-invisible");
+
+    let stats = service.cache_stats();
+    assert!(stats.enabled);
+    assert_eq!(stats.hits, 1, "one warm lookup");
+    assert_eq!(stats.misses, 1, "one cold lookup (opt-out never consults)");
+    assert!(stats.entries >= 2, "align- and dupmark-level entries resident");
+    assert!(stats.reuse_saved_ns > 0);
+}
+
+/// Dupmark rewrites its input dataset in place. A cached sorted prefix
+/// consumed by a dupmark suffix must be invalidated before the
+/// mutation, so a later plan ending at sort never sees dup-marked
+/// bytes: resubmitting the no-dupmark plan after a full plan reused
+/// (and mutated) its sorted dataset must still export the original,
+/// unmarked SAM.
+#[test]
+fn dupmark_mutation_never_leaks_into_cached_sorted_prefix() {
+    let mut fx = Fixture::new(29, 120);
+    // Simulated reads are unique; append copies so dupmark has real
+    // duplicates to flag (otherwise marked and unmarked SAM coincide).
+    let dupes: Vec<_> = fx.reads.iter().take(40).cloned().collect();
+    fx.reads.extend(dupes);
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::new(rt, ServiceConfig::with_cache(32));
+
+    let nd = service.submit(spec(&fx, "nd", "lab", Plan::no_dupmark())).unwrap();
+    let unmarked_sam = completed_sam(&nd.wait());
+    assert!(!unmarked_sam.is_empty());
+
+    // The full plan hits the shared import‖align‖sort prefix; its
+    // dupmark stage mutates the cached sorted dataset in place, which
+    // must drop that entry from the cache.
+    let full = service.submit(spec(&fx, "full", "lab", Plan::full())).unwrap();
+    let marked_sam = completed_sam(&full.wait());
+    assert_ne!(marked_sam, unmarked_sam, "dupmark changes the export");
+
+    // Resubmitting the no-dupmark plan may reuse the (unmutated)
+    // aligned prefix but must re-sort — and must NOT serve dup-marked
+    // data from the superseded sorted entry.
+    let nd2 = service.submit(spec(&fx, "nd2", "lab", Plan::no_dupmark())).unwrap();
+    let replay_sam = completed_sam(&nd2.wait());
+    assert_eq!(replay_sam, unmarked_sam, "mutated dataset must not serve the old key");
+}
+
+/// Warm entries survive a restart: the journal replays cache inserts,
+/// so a recovered service satisfies an overlapping plan without
+/// re-running the shared stages — align never executes in the new
+/// process, and the exported bytes still match a cold run.
+#[test]
+fn cache_hits_survive_restart_through_the_journal() {
+    let fx = Fixture::new(31, 120);
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("persona-cache-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("service.wal");
+    let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+    let opts = || RecoverOptions {
+        aligner: Some(fx.aligner.clone()),
+        journal: JournalConfig { fsync: FsyncPolicy::Always, compact_threshold: 0 },
+    };
+
+    // Incarnation 1: land the aligned prefix, then stop cleanly.
+    {
+        let rt = PersonaRuntime::new(store.clone(), PersonaConfig::small()).unwrap();
+        let service =
+            PersonaService::recover(rt, ServiceConfig::with_cache(32), &wal, opts()).unwrap();
+        let ia = service.submit(spec(&fx, "ia", "lab", Plan::import_align())).unwrap();
+        assert!(ia.wait().output().is_some());
+        assert!(service.cache_stats().entries >= 1);
+    }
+
+    // Cold reference bytes from an uncached, journal-free service over
+    // its own store.
+    let cold_sam = {
+        let cold_store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let rt = PersonaRuntime::new(cold_store, PersonaConfig::small()).unwrap();
+        let service = PersonaService::new(rt, ServiceConfig::default());
+        let job = service.submit(spec(&fx, "cold", "lab", Plan::full())).unwrap();
+        completed_sam(&job.wait())
+    };
+
+    // Incarnation 2: the rewarmed cache satisfies the full plan's
+    // prefix — align never runs in this process.
+    let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+    let service = PersonaService::recover(rt, ServiceConfig::with_cache(32), &wal, opts()).unwrap();
+    assert!(service.cache_stats().entries >= 1, "journal rewarms the cache");
+    let warm = service.submit(spec(&fx, "full-2", "lab", Plan::full())).unwrap();
+    let warm_sam = completed_sam(&warm.wait());
+    assert_eq!(align_runs(&service), 0, "recovered cache elides alignment entirely");
+    assert_eq!(service.cache_stats().hits, 1);
+    assert_eq!(warm_sam, cold_sam, "restart-surviving reuse is byte-invisible");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -130,10 +130,11 @@ fn completed_jobs_stay_done_and_unfinished_jobs_survive() {
     let alpha_outcome = alpha.wait();
     let alpha_recovered = alpha_outcome.output().expect("alpha stays completed");
     assert!(alpha_recovered.manifest.is_some(), "journaled manifest survives");
-    assert!(
-        alpha_recovered.sam.is_empty(),
-        "exported bytes died with the process; only durable state survives"
-    );
+    // Exported bytes died with the process, but exports are pure
+    // functions of the durable final dataset: recovery re-materializes
+    // them from the catalog, byte-identical to the pre-crash output.
+    assert_eq!(alpha_recovered.sam, alpha_sam, "recovered completed job re-exports the same bytes");
+    assert!(alpha_recovered.reads > 0, "reads re-derive from the final manifest");
 
     // Unfinished at the crash ⇒ re-admitted and runs to completion,
     // byte-identical to an uninterrupted run.

@@ -205,8 +205,14 @@ fn fair_share_lets_a_light_tenant_through_a_heavy_backlog() {
         rt,
         ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
     );
-    service.set_tenant("heavy", TenantConfig { weight: 1, max_in_flight: 1 });
-    service.set_tenant("light", TenantConfig { weight: 1, max_in_flight: 1 });
+    service.set_tenant(
+        "heavy",
+        TenantConfig { weight: 1, max_in_flight: 1, ..TenantConfig::default() },
+    );
+    service.set_tenant(
+        "light",
+        TenantConfig { weight: 1, max_in_flight: 1, ..TenantConfig::default() },
+    );
 
     // Heavy floods the service first: 6 jobs × ~(150 reads × 2 ms).
     let slow: Arc<dyn Aligner> =
