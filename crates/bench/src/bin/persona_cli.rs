@@ -30,6 +30,14 @@
 //!   `--cache N`     enable the result cache (capacity N entries) on
 //!                   the service this process hosts (`--serve` or the
 //!                   loopback benchmark server)
+//!   `soak`          drive ≥1024 concurrent *pipelined* v2 connections
+//!                   (`--connections N` to change the count) of mixed
+//!                   submit/status/cancel/attach traffic across two
+//!                   tenants against a loopback server from a bounded
+//!                   worker pool; verifies v1-vs-v2 byte identity,
+//!                   records p50/p95/p99 op latency plus peak-RSS and
+//!                   thread-count proxies from `/proc/self/status`,
+//!                   and writes the point into `BENCH_wire.json`
 //!
 //! Introspection subcommands (all need `--addr ADDR`):
 //!   `stats [--watch]`   fetch and render the server's live metrics
@@ -87,6 +95,8 @@ struct Args {
     wal_bench: bool,
     cache_bench: bool,
     cache_capacity: usize,
+    soak: bool,
+    connections: usize,
     introspect: Option<Introspect>,
 }
 
@@ -100,6 +110,8 @@ fn parse_args() -> Args {
         wal_bench: false,
         cache_bench: false,
         cache_capacity: 0,
+        soak: false,
+        connections: 1024,
         introspect: None,
     };
     let mut args = std::env::args().skip(1);
@@ -128,8 +140,12 @@ fn parse_args() -> Args {
             "--cache" => {
                 parsed.cache_capacity = value("--cache").parse().expect("--cache")
             }
+            "soak" => parsed.soak = true,
+            "--connections" => {
+                parsed.connections = value("--connections").parse().expect("--connections")
+            }
             other => panic!(
-                "unknown argument `{other}` (try stats [--watch] | trace JOB_ID | cache | --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR | --wal-bench | --cache-bench | --cache N)",
+                "unknown argument `{other}` (try stats [--watch] | trace JOB_ID | cache | soak [--connections N] | --plan <{}> | --clients N | --jobs-per-client M | --serve ADDR | --addr ADDR | --wal-bench | --cache-bench | --cache N)",
                 PRESET_NAMES.join("|")
             ),
         }
@@ -408,6 +424,229 @@ fn wal_bench() {
     println!("wrote {}", path.display());
 }
 
+/// Raises the open-file soft limit so thousands of loopback sockets
+/// (client + server end in one process) fit under it. Best effort: a
+/// refusal leaves the limit alone and the soak fails loudly later.
+#[cfg(target_os = "linux")]
+fn raise_nofile_limit(min_fds: u64) {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return;
+        }
+        // Both socket ends plus headroom for stores, logs, and the WAL.
+        let want = min_fds.saturating_mul(3).saturating_add(512);
+        if lim.cur >= want {
+            return;
+        }
+        lim.cur = want.min(lim.max);
+        let _ = setrlimit(RLIMIT_NOFILE, &lim);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn raise_nofile_limit(_min_fds: u64) {}
+
+/// Reads one numeric field (kB counts and bare counts alike) from
+/// `/proc/self/status`, e.g. `VmHWM` (peak RSS) or `Threads`.
+fn proc_self_status(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let digits: String = line.chars().filter(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// The soak trajectory: N concurrent pipelined v2 connections of mixed
+/// submit/status/cancel/attach traffic across two tenants, driven from
+/// a bounded worker pool so the client side cannot hide a
+/// thread-per-connection server. Proves the event loop holds ≥1024
+/// live connections with bounded threads and bounded memory, and that
+/// the pipelined v2 path is byte-identical to the v1 blocking client.
+fn soak_bench(args: &Args) {
+    let n = args.connections;
+    raise_nofile_limit(n as u64);
+    // A small world: the soak stresses the front end, not the aligner.
+    let world = World::build(40_000, 64, 97);
+    let fastq_bytes = fastq::to_bytes(&world.reads);
+    let (server, addr) = match &args.addr {
+        Some(addr) => (None, addr.parse::<SocketAddr>().expect("--addr host:port")),
+        None => {
+            let server = start_server(&world, 8);
+            let addr = server.local_addr();
+            (Some(server), addr)
+        }
+    };
+    let submit = |name: String, tenant: &str| WireSubmit {
+        name,
+        tenant: tenant.to_string(),
+        priority: Priority::Normal,
+        plan: Plan::full(),
+        input: SubmitInput::Fastq(fastq_bytes.clone()),
+        chunk_size: 2_000,
+        reference: world.reference.clone(),
+    };
+
+    // Byte identity first: the same spec through the v1 blocking
+    // dialect and the v2 pipelined one must produce the same bytes.
+    let mut v1 = match WireClient::connect_v1(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("persona-cli: cannot connect v1 to {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let job = v1.submit(submit("probe-v1".into(), "prod")).expect("v1 submit");
+    let v1_outcome = v1.wait(job).expect("v1 wait");
+    assert_eq!(v1_outcome.status, WireJobStatus::Completed, "v1 probe failed");
+    let mut v2 = connect_checked(addr);
+    let job = v2.submit(submit("probe-v2".into(), "prod")).expect("v2 submit");
+    let v2_outcome = v2.wait(job).expect("v2 wait");
+    assert_eq!(v2_outcome.status, WireJobStatus::Completed, "v2 probe failed");
+    assert_eq!(v1_outcome.sam, v2_outcome.sam, "v1 and v2 clients must see identical bytes");
+    drop(v1);
+    drop(v2);
+
+    println!("soak: opening {n} concurrent pipelined connections to {addr} ...");
+    let t0 = Instant::now();
+    let mut clients: Vec<WireClient> = (0..n).map(|_| connect_checked(addr)).collect();
+    let open_s = t0.elapsed().as_secs_f64();
+    if let Some(server) = &server {
+        let connections = server.service().runtime().telemetry().gauge("wire.connections");
+        assert!(
+            connections.value() >= n as i64,
+            "server reports {} live connections, expected at least {n}",
+            connections.value()
+        );
+    }
+    let threads_at_peak = proc_self_status("Threads");
+    if let Some(threads) = threads_at_peak {
+        // The whole process — server loops, executor, service, client
+        // workers — must stay orders of magnitude under one thread per
+        // connection, or the event loop is a lie.
+        assert!(
+            (threads as usize) < n.max(256) / 2,
+            "{threads} threads for {n} connections is not a bounded worker pool"
+        );
+    }
+
+    // Mixed pipelined traffic from a bounded worker pool: every
+    // connection submits (pipelined), polls status, and then either
+    // cancels, attaches to its own job by name, or streams the output.
+    let workers = 32.min(n.max(1));
+    let per_worker = n.div_ceil(workers);
+    let t0 = Instant::now();
+    let mut latencies_ns: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .chunks_mut(per_worker)
+            .enumerate()
+            .map(|(w, chunk)| {
+                let submit = &submit;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(chunk.len() * 3);
+                    for (i, client) in chunk.iter_mut().enumerate() {
+                        let k = w * per_worker + i;
+                        let tenant = if k % 3 == 0 { "batch" } else { "prod" };
+                        let name = format!("soak-{k}");
+                        let t = Instant::now();
+                        let seq = client.submit_pipelined(submit(name.clone(), tenant));
+                        let job = client.take_submit(seq.expect("soak submit")).expect("accepted");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        let t = Instant::now();
+                        client.status(job).expect("soak status");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        match k % 5 {
+                            // A cancel may race completion; both fine.
+                            0 => {
+                                let t = Instant::now();
+                                client.cancel(job).expect("soak cancel");
+                                lat.push(t.elapsed().as_nanos() as u64);
+                            }
+                            1 => {
+                                let t = Instant::now();
+                                let (attached, _) = client.attach(&name).expect("soak attach");
+                                lat.push(t.elapsed().as_nanos() as u64);
+                                assert_eq!(attached, job, "attach resolved the wrong job");
+                            }
+                            _ => {
+                                let t = Instant::now();
+                                let outcome = client.wait(job).expect("soak wait");
+                                lat.push(t.elapsed().as_nanos() as u64);
+                                assert_eq!(
+                                    outcome.status,
+                                    WireJobStatus::Completed,
+                                    "soak job {job}: {:?}",
+                                    outcome.error
+                                );
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("soak worker")).collect()
+    });
+    let soak_s = t0.elapsed().as_secs_f64();
+    let ops = latencies_ns.len();
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| latencies_ns[((ops - 1) as f64 * p) as usize] as f64 / 1_000.0;
+    let (p50_us, p95_us, p99_us) = (pct(0.50), pct(0.95), pct(0.99));
+    let ops_per_sec = if soak_s > 0.0 { ops as f64 / soak_s } else { 0.0 };
+
+    // Peak RSS and stall counters once the traffic has drained.
+    let peak_rss_kb = proc_self_status("VmHWM");
+    let threads = proc_self_status("Threads");
+    let (stalls, pending_writes) = match &server {
+        Some(server) => {
+            let telemetry = server.service().runtime().telemetry().clone();
+            let pending = telemetry.gauge("wire.pending_writes");
+            let deadline = Instant::now() + std::time::Duration::from_secs(10);
+            while pending.value() != 0 && Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            (telemetry.counter("wire.backpressure_stalls").value(), pending.value())
+        }
+        None => (0, 0),
+    };
+    drop(clients);
+
+    print_header(
+        "Wire soak (event-driven front end, pipelined v2 connections)",
+        &["connections", "workers", "ops", "p50", "p95", "p99"],
+    );
+    println!("{n}\t{workers}\t{ops}\t{p50_us:.0} µs\t{p95_us:.0} µs\t{p99_us:.0} µs");
+    println!(
+        "\nopened in {open_s:.2} s | {ops_per_sec:.0} ops/s over {soak_s:.2} s | \
+         {} backpressure stalls | pending writes at drain: {pending_writes}",
+        stalls
+    );
+    if let (Some(kb), Some(t)) = (peak_rss_kb, threads) {
+        println!("peak RSS (VmHWM): {:.1} MiB | process threads: {t}", kb as f64 / 1024.0);
+    }
+
+    let fields = format!(
+        "\"mode\":\"soak\",\"connections\":{n},\"workers\":{workers},\"ops\":{ops},\
+         \"open_s\":{open_s:.6},\"soak_s\":{soak_s:.6},\"ops_per_sec\":{ops_per_sec:.1},\
+         \"p50_us\":{p50_us:.1},\"p95_us\":{p95_us:.1},\"p99_us\":{p99_us:.1},\
+         \"backpressure_stalls\":{stalls},\"pending_writes_after\":{pending_writes},\
+         \"peak_rss_kb\":{},\"threads\":{},\"v1_v2_byte_identical\":true",
+        peak_rss_kb.map_or("null".into(), |v| v.to_string()),
+        threads.map_or("null".into(), |v| v.to_string()),
+    );
+    let path = write_bench_json("BENCH_wire.json", "wire", &fields).expect("write BENCH_wire.json");
+    println!("wrote {}", path.display());
+}
+
 /// Builds the service + wire server pair over a fresh runtime.
 fn start_server(world: &World, max_jobs: usize) -> WireServer {
     let rt = PersonaRuntime::new(mem_store(), PersonaConfig::default()).unwrap();
@@ -469,6 +708,10 @@ fn main() {
     }
     if args.cache_bench {
         cache_bench();
+        return;
+    }
+    if args.soak {
+        soak_bench(&args);
         return;
     }
     let sc = scale();

@@ -31,19 +31,41 @@
 //! # Conversation
 //!
 //! The client opens with [`Message::Hello`] and the server answers with
-//! [`Message::ServerHello`]; both carry [`PROTOCOL_VERSION`], and a
-//! mismatch is rejected with [`ErrorCode::UnsupportedVersion`]. Every
-//! request carries a client-chosen `seq`, echoed on every reply it
-//! produces, so replies (including [`Message::Wait`]'s streamed
-//! [`Message::JobEvent`] / [`Message::OutputChunk`] / [`Message::JobDone`]
-//! sequence) can be demultiplexed even when a client pipelines
-//! requests. Plans travel as their [`Plan`] JSON form and are
-//! re-validated through [`crate::plan::PlanBuilder`] during decoding,
-//! so an invalid plan can never be admitted over the wire.
+//! [`Message::ServerHello`]. The server speaks protocol versions 1 and
+//! 2 ([`PROTOCOL_V1`] / [`PROTOCOL_VERSION`]) and echoes whichever the
+//! client sent; any other version is rejected with
+//! [`ErrorCode::UnsupportedVersion`]. Every request carries a
+//! client-chosen `seq`, echoed on every reply it produces, so replies
+//! (including [`Message::Wait`]'s streamed [`Message::JobEvent`] /
+//! [`Message::OutputChunk`] / [`Message::JobDone`] sequence) can be
+//! demultiplexed even when a client pipelines requests. Plans travel
+//! as their [`Plan`] JSON form and are re-validated through
+//! [`crate::plan::PlanBuilder`] during decoding, so an invalid plan
+//! can never be admitted over the wire.
+//!
+//! # Protocol v2
+//!
+//! Version 2 keeps every v1 frame byte-identical and adds:
+//!
+//! * **Pipelining** — many requests in flight per connection;
+//!   [`WireClient`] exposes `*_pipelined` send halves and `take_*`
+//!   receive halves that demultiplex interleaved reply streams by
+//!   `seq`.
+//! * **Credit-based flow control** — a v2 connection's output-chunk
+//!   window opens at zero; the client advertises its receive window
+//!   with [`Message::Credit`] grants (the pipelined client sends one
+//!   right after its hello and replenishes as it consumes chunks). The
+//!   server *pauses* a job's export stream when the window is
+//!   exhausted instead of buffering unboundedly. v1 connections have
+//!   an unlimited window, preserving blocking-client behavior.
+//! * **Attach-by-name** — [`Message::ListJobs`] / [`Message::Attach`]
+//!   let a reconnecting client rediscover running work and resume
+//!   waiting on it without holding the original job id.
 //!
 //! The full specification — every message with JSON examples, error
 //! codes, and the plan grammar — is in `docs/PROTOCOL.md`.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -55,8 +77,23 @@ use serde::{field, DeError, Deserialize, Serialize, Value};
 
 use crate::plan::Plan;
 
-/// Protocol version carried by [`Message::Hello`] / [`Message::ServerHello`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Newest protocol version, carried by [`Message::Hello`] /
+/// [`Message::ServerHello`] (the pipelined, credit-windowed protocol).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The original blocking protocol version. Servers still speak it:
+/// a v1 hello is echoed back and the connection runs with an
+/// unlimited output-chunk window and no v2 messages.
+pub const PROTOCOL_V1: u32 = 1;
+
+/// Every protocol version the server negotiates.
+pub const SUPPORTED_VERSIONS: [u32; 2] = [PROTOCOL_V1, PROTOCOL_VERSION];
+
+/// The output-chunk window (in chunks) the pipelined [`WireClient`]
+/// advertises right after its hello. Each output chunk is at most
+/// [`OUTPUT_CHUNK_LEN`] bytes, so this bounds per-connection egress
+/// buffering at 16 MiB.
+pub const DEFAULT_CREDIT_WINDOW: u64 = 16;
 
 /// Largest accepted frame header (the JSON part). Headers are control
 /// metadata; bulk bytes belong in the body.
@@ -449,6 +486,42 @@ impl Deserialize for WireReport {
     }
 }
 
+/// One job's identity row inside [`Message::JobList`] — enough for a
+/// reconnecting client to find its work by name and attach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireJobSummary {
+    /// Service-assigned job id (global across connections).
+    pub job_id: u64,
+    /// The job's dataset name.
+    pub name: String,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Lifecycle state at snapshot time.
+    pub status: WireJobStatus,
+}
+
+impl Serialize for WireJobSummary {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("job_id".into(), self.job_id.serialize()),
+            ("name".into(), self.name.serialize()),
+            ("tenant".into(), self.tenant.serialize()),
+            ("status".into(), self.status.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for WireJobSummary {
+    fn deserialize(v: &Value) -> std::result::Result<Self, DeError> {
+        Ok(WireJobSummary {
+            job_id: field::required(v, "job_id")?,
+            name: field::required(v, "name")?,
+            tenant: field::required(v, "tenant")?,
+            status: field::required(v, "status")?,
+        })
+    }
+}
+
 fn reference_to_value(reference: &[(String, u64)]) -> Value {
     Value::Array(
         reference
@@ -667,6 +740,49 @@ pub enum Message {
         /// The traced job.
         job_id: u64,
     },
+    /// Client → server (v2): grant the server permission to send
+    /// `chunks` more [`Message::OutputChunk`] frames on this
+    /// connection. Connection-scoped (no `seq`): the window is shared
+    /// by every `wait` stream the connection has open. A v2
+    /// connection's window opens at zero, so the first grant — sent by
+    /// the pipelined client right after its hello — *advertises* the
+    /// client's receive window.
+    Credit {
+        /// How many more output chunks the server may send.
+        chunks: u64,
+    },
+    /// Client → server (v2): list the jobs the server currently knows
+    /// (its live registry, newest first).
+    ListJobs {
+        /// Correlation id.
+        seq: u64,
+    },
+    /// Server → client: reply to [`Message::ListJobs`].
+    JobList {
+        /// Correlation id of the request.
+        seq: u64,
+        /// One row per registered job, newest first.
+        jobs: Vec<WireJobSummary>,
+    },
+    /// Client → server (v2): resolve a job by its dataset name, so a
+    /// reconnecting client can resume waiting on running work without
+    /// holding the original job id. The returned id feeds an ordinary
+    /// [`Message::Wait`].
+    Attach {
+        /// Correlation id.
+        seq: u64,
+        /// The dataset name the job was submitted under.
+        name: String,
+    },
+    /// Server → client: reply to [`Message::Attach`].
+    Attached {
+        /// Correlation id of the request.
+        seq: u64,
+        /// The resolved job id.
+        job_id: u64,
+        /// The job's lifecycle state at attach time.
+        status: WireJobStatus,
+    },
     /// Server → client: a typed error. `seq` echoes the offending
     /// request when attributable, else 0.
     Error {
@@ -703,15 +819,20 @@ impl Message {
             Message::CacheStatsReply { .. } => "cache-stats-reply",
             Message::TraceRequest { .. } => "trace-request",
             Message::TraceReply { .. } => "trace-reply",
+            Message::Credit { .. } => "credit",
+            Message::ListJobs { .. } => "list-jobs",
+            Message::JobList { .. } => "job-list",
+            Message::Attach { .. } => "attach",
+            Message::Attached { .. } => "attached",
             Message::Error { .. } => "error",
         }
     }
 
-    /// The message's correlation id (0 for the hello pair, which has
-    /// none).
+    /// The message's correlation id (0 for the hello pair and the
+    /// connection-scoped `credit` grant, which have none).
     pub fn seq(&self) -> u64 {
         match self {
-            Message::Hello { .. } | Message::ServerHello { .. } => 0,
+            Message::Hello { .. } | Message::ServerHello { .. } | Message::Credit { .. } => 0,
             Message::SubmitJob { seq, .. }
             | Message::JobAccepted { seq, .. }
             | Message::Status { seq, .. }
@@ -730,6 +851,10 @@ impl Message {
             | Message::CacheStatsReply { seq, .. }
             | Message::TraceRequest { seq, .. }
             | Message::TraceReply { seq, .. }
+            | Message::ListJobs { seq }
+            | Message::JobList { seq, .. }
+            | Message::Attach { seq, .. }
+            | Message::Attached { seq, .. }
             | Message::Error { seq, .. } => *seq,
         }
     }
@@ -825,6 +950,25 @@ impl Serialize for Message {
                 fields.push(("seq".into(), seq.serialize()));
                 fields.push(("job_id".into(), job_id.serialize()));
             }
+            Message::Credit { chunks } => {
+                fields.push(("chunks".into(), chunks.serialize()));
+            }
+            Message::ListJobs { seq } => {
+                fields.push(("seq".into(), seq.serialize()));
+            }
+            Message::JobList { seq, jobs } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("jobs".into(), jobs.serialize()));
+            }
+            Message::Attach { seq, name } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("name".into(), name.serialize()));
+            }
+            Message::Attached { seq, job_id, status } => {
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("job_id".into(), job_id.serialize()));
+                fields.push(("status".into(), status.serialize()));
+            }
             Message::Error { seq, code, message } => {
                 fields.push(("seq".into(), seq.serialize()));
                 fields.push(("code".into(), code.serialize()));
@@ -908,6 +1052,15 @@ impl Deserialize for Message {
             }
             "trace-request" => Ok(Message::TraceRequest { seq: seq()?, job_id: job_id()? }),
             "trace-reply" => Ok(Message::TraceReply { seq: seq()?, job_id: job_id()? }),
+            "credit" => Ok(Message::Credit { chunks: field::required(v, "chunks")? }),
+            "list-jobs" => Ok(Message::ListJobs { seq: seq()? }),
+            "job-list" => Ok(Message::JobList { seq: seq()?, jobs: field::required(v, "jobs")? }),
+            "attach" => Ok(Message::Attach { seq: seq()?, name: field::required(v, "name")? }),
+            "attached" => Ok(Message::Attached {
+                seq: seq()?,
+                job_id: job_id()?,
+                status: field::required(v, "status")?,
+            }),
             "error" => Ok(Message::Error {
                 seq: seq()?,
                 code: field::required(v, "code")?,
@@ -1131,6 +1284,112 @@ pub fn read_message(
     }
 }
 
+/// Encodes one frame (length prefix + JSON header + body) into a byte
+/// buffer, for write queues that cannot block on a socket. The result
+/// is exactly what [`write_frame`] would have put on the wire.
+pub fn encode_frame(message: &Message, body: &[u8]) -> io::Result<Vec<u8>> {
+    let header = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let header_bytes = header.as_bytes();
+    if header_bytes.len() > MAX_HEADER_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame header too large"));
+    }
+    if body.len() > MAX_BODY_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame body too large"));
+    }
+    let mut buf = Vec::with_capacity(8 + header_bytes.len() + body.len());
+    buf.extend_from_slice(&(header_bytes.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(header_bytes);
+    buf.extend_from_slice(body);
+    Ok(buf)
+}
+
+/// An incremental frame decoder for nonblocking streams: bytes go in
+/// as they arrive off the socket, complete frames come out. The
+/// decoder enforces the same limits as [`RawFrame::read_from`] and
+/// reports the same error taxonomy — oversize declarations surface
+/// *before* the payload arrives (so a hostile peer cannot make the
+/// server buffer toward a 256 MiB lie), and a header that is not valid
+/// JSON consumes exactly its declared length, leaving the stream
+/// aligned ([`FrameError::BadJson`] is recoverable).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`, compacted once it outgrows the tail.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read off the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 64 << 10) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Decodes the next complete frame, if the buffer holds one.
+    /// `Ok(None)` means "need more bytes". Fatal errors (oversize)
+    /// leave the decoder poisoned — the connection must close; a
+    /// [`FrameError::BadJson`] consumes the malformed frame and the
+    /// decoder stays usable.
+    pub fn next_frame(&mut self) -> std::result::Result<Option<RawFrame>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let header_len = u32::from_be_bytes(avail[0..4].try_into().unwrap()) as usize;
+        let body_len = u32::from_be_bytes(avail[4..8].try_into().unwrap()) as usize;
+        if header_len > MAX_HEADER_LEN {
+            return Err(FrameError::HeaderOversize(header_len));
+        }
+        if body_len > MAX_BODY_LEN {
+            return Err(FrameError::BodyOversize(body_len));
+        }
+        let total = 8 + header_len + body_len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let header_bytes = &avail[8..8 + header_len];
+        let parsed = std::str::from_utf8(header_bytes)
+            .map_err(|e| FrameError::BadJson(format!("header is not UTF-8: {e}")))
+            .and_then(|text| {
+                serde_json::parse_value(text).map_err(|e| FrameError::BadJson(e.to_string()))
+            });
+        match parsed {
+            Ok(header) => {
+                let body = avail[8 + header_len..total].to_vec();
+                self.start += total;
+                self.compact();
+                Ok(Some(RawFrame { header, body, wire_len: total }))
+            }
+            Err(e) => {
+                // The declared lengths were honored: skip the frame so
+                // the stream stays aligned for the next one.
+                self.start += total;
+                self.compact();
+                Err(e)
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
@@ -1238,10 +1497,19 @@ pub struct WireOutcome {
     pub events: Vec<WireJobStatus>,
 }
 
-/// A blocking client for the Persona wire protocol: one TCP connection,
-/// one outstanding request at a time. [`WireClient::connect`] performs
-/// the hello handshake; every method sends one request and consumes its
-/// reply (for [`WireClient::wait`], the whole streamed reply sequence).
+/// A client for the Persona wire protocol: one TCP connection, with
+/// both a blocking request/reply surface and a pipelined one.
+/// [`WireClient::connect`] performs the hello handshake at protocol
+/// v2 and advertises a [`DEFAULT_CREDIT_WINDOW`]-chunk flow-control
+/// window; [`WireClient::connect_v1`] speaks the v1 lockstep dialect.
+///
+/// Every blocking method (`submit`, `status`, `wait`, …) is sugar for
+/// its pipelined send half (`submit_pipelined`, …) followed by its
+/// receive half (`take_submit`, …). The pipelined halves let many
+/// requests ride the connection concurrently: send halves return the
+/// `seq` they claimed, receive halves demultiplex interleaved reply
+/// frames by `seq`, parking frames for other in-flight requests until
+/// their own receive half runs.
 ///
 /// ```no_run
 /// use persona::plan::Plan;
@@ -1266,20 +1534,40 @@ pub struct WireClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_seq: u64,
+    version: u32,
+    /// Reply frames read off the socket for a `seq` other than the one
+    /// currently being taken — the demultiplexing side of pipelining.
+    parked: HashMap<u64, VecDeque<(Message, Vec<u8>)>>,
 }
 
 impl WireClient {
-    /// Connects and performs the [`Message::Hello`] handshake.
+    /// Connects and performs the [`Message::Hello`] handshake at
+    /// protocol v2, then advertises a [`DEFAULT_CREDIT_WINDOW`]-chunk
+    /// flow-control window with a [`Message::Credit`] grant.
     pub fn connect(addr: impl ToSocketAddrs) -> WireResult<WireClient> {
+        let mut client = Self::handshake(addr, PROTOCOL_VERSION)?;
+        write_frame(&mut client.writer, &Message::Credit { chunks: DEFAULT_CREDIT_WINDOW }, &[])?;
+        Ok(client)
+    }
+
+    /// Connects speaking protocol v1: lockstep request/reply, no flow
+    /// control, unlimited server-side output window — the dialect every
+    /// pre-v2 client uses.
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> WireResult<WireClient> {
+        Self::handshake(addr, PROTOCOL_V1)
+    }
+
+    fn handshake(addr: impl ToSocketAddrs, version: u32) -> WireResult<WireClient> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        let mut client = WireClient { reader, writer, next_seq: 1 };
-        write_frame(&mut client.writer, &Message::Hello { version: PROTOCOL_VERSION }, &[])?;
-        match client.read_reply()? {
-            (Message::ServerHello { version }, _) if version == PROTOCOL_VERSION => Ok(client),
-            (Message::ServerHello { version }, _) => Err(WireClientError::Protocol(format!(
-                "server speaks protocol version {version}, client speaks {PROTOCOL_VERSION}"
+        let mut client =
+            WireClient { reader, writer, next_seq: 1, version, parked: HashMap::new() };
+        write_frame(&mut client.writer, &Message::Hello { version }, &[])?;
+        match client.reply_for(0)? {
+            (Message::ServerHello { version: v }, _) if v == version => Ok(client),
+            (Message::ServerHello { version: v }, _) => Err(WireClientError::Protocol(format!(
+                "server speaks protocol version {v}, client speaks {version}"
             ))),
             (other, _) => Err(WireClientError::Protocol(format!(
                 "expected server-hello, got `{}`",
@@ -1288,8 +1576,20 @@ impl WireClient {
         }
     }
 
+    /// The protocol version this connection negotiated.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
     /// Submits a job; returns the server-assigned job id.
     pub fn submit(&mut self, submit: WireSubmit) -> WireResult<u64> {
+        let seq = self.submit_pipelined(submit)?;
+        self.take_submit(seq)
+    }
+
+    /// Send half of [`WireClient::submit`]: queues the frame and
+    /// returns its `seq` without waiting for the reply.
+    pub fn submit_pipelined(&mut self, submit: WireSubmit) -> WireResult<u64> {
         let seq = self.bump_seq();
         let (input, body) = match submit.input {
             SubmitInput::Fastq(bytes) => (WireInput::Fastq, bytes),
@@ -1306,18 +1606,34 @@ impl WireClient {
             reference: submit.reference,
         };
         write_frame(&mut self.writer, &msg, &body)?;
-        match self.read_reply()? {
-            (Message::JobAccepted { seq: s, job_id }, _) if s == seq => Ok(job_id),
+        Ok(seq)
+    }
+
+    /// Receive half of [`WireClient::submit`].
+    pub fn take_submit(&mut self, seq: u64) -> WireResult<u64> {
+        match self.reply_for(seq)? {
+            (Message::JobAccepted { job_id, .. }, _) => Ok(job_id),
             (other, _) => Err(self.unexpected("job-accepted", other)),
         }
     }
 
     /// Polls a job's lifecycle state.
     pub fn status(&mut self, job_id: u64) -> WireResult<WireJobStatus> {
+        let seq = self.status_pipelined(job_id)?;
+        self.take_status(seq)
+    }
+
+    /// Send half of [`WireClient::status`].
+    pub fn status_pipelined(&mut self, job_id: u64) -> WireResult<u64> {
         let seq = self.bump_seq();
         write_frame(&mut self.writer, &Message::Status { seq, job_id }, &[])?;
-        match self.read_reply()? {
-            (Message::JobStatus { seq: s, status, .. }, _) if s == seq => Ok(status),
+        Ok(seq)
+    }
+
+    /// Receive half of [`WireClient::status`].
+    pub fn take_status(&mut self, seq: u64) -> WireResult<WireJobStatus> {
+        match self.reply_for(seq)? {
+            (Message::JobStatus { status, .. }, _) => Ok(status),
             (other, _) => Err(self.unexpected("job-status", other)),
         }
     }
@@ -1326,8 +1642,23 @@ impl WireClient {
     /// `job-event` / `output-chunk` / `job-done` reply sequence, and
     /// returns the reassembled outcome.
     pub fn wait(&mut self, job_id: u64) -> WireResult<WireOutcome> {
+        let seq = self.wait_pipelined(job_id)?;
+        self.take_wait(seq)
+    }
+
+    /// Send half of [`WireClient::wait`]: registers interest in the
+    /// job's terminal stream and returns the `seq` the stream will
+    /// arrive under. Several waits can ride the connection at once;
+    /// their streams interleave and [`WireClient::take_wait`] separates
+    /// them by `seq`.
+    pub fn wait_pipelined(&mut self, job_id: u64) -> WireResult<u64> {
         let seq = self.bump_seq();
         write_frame(&mut self.writer, &Message::Wait { seq, job_id }, &[])?;
+        Ok(seq)
+    }
+
+    /// Receive half of [`WireClient::wait`].
+    pub fn take_wait(&mut self, seq: u64) -> WireResult<WireOutcome> {
         let mut sam = Vec::new();
         let mut bam = Vec::new();
         // Next expected chunk index per stream: a duplicate, skipped or
@@ -1336,9 +1667,9 @@ impl WireClient {
         let mut next_index = [0u64; 2];
         let mut events = Vec::new();
         loop {
-            match self.read_reply()? {
-                (Message::JobEvent { seq: s, status, .. }, _) if s == seq => events.push(status),
-                (Message::OutputChunk { seq: s, stream, index, .. }, body) if s == seq => {
+            match self.reply_for(seq)? {
+                (Message::JobEvent { status, .. }, _) => events.push(status),
+                (Message::OutputChunk { stream, index, .. }, body) => {
                     let (buf, next) = match stream {
                         OutputStream::Sam => (&mut sam, &mut next_index[0]),
                         OutputStream::Bam => (&mut bam, &mut next_index[1]),
@@ -1355,7 +1686,6 @@ impl WireClient {
                 }
                 (
                     Message::JobDone {
-                        seq: s,
                         status,
                         error,
                         reads,
@@ -1366,7 +1696,7 @@ impl WireClient {
                         ..
                     },
                     _,
-                ) if s == seq => {
+                ) => {
                     return Ok(WireOutcome {
                         status,
                         error,
@@ -1387,11 +1717,45 @@ impl WireClient {
 
     /// Requests cooperative cancellation of a job.
     pub fn cancel(&mut self, job_id: u64) -> WireResult<()> {
+        let seq = self.cancel_pipelined(job_id)?;
+        self.take_cancel(seq)
+    }
+
+    /// Send half of [`WireClient::cancel`].
+    pub fn cancel_pipelined(&mut self, job_id: u64) -> WireResult<u64> {
         let seq = self.bump_seq();
         write_frame(&mut self.writer, &Message::Cancel { seq, job_id }, &[])?;
-        match self.read_reply()? {
-            (Message::CancelOk { seq: s, .. }, _) if s == seq => Ok(()),
+        Ok(seq)
+    }
+
+    /// Receive half of [`WireClient::cancel`].
+    pub fn take_cancel(&mut self, seq: u64) -> WireResult<()> {
+        match self.reply_for(seq)? {
+            (Message::CancelOk { .. }, _) => Ok(()),
             (other, _) => Err(self.unexpected("cancel-ok", other)),
+        }
+    }
+
+    /// Lists the jobs the server currently tracks (v2 servers only).
+    pub fn list_jobs(&mut self) -> WireResult<Vec<WireJobSummary>> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::ListJobs { seq }, &[])?;
+        match self.reply_for(seq)? {
+            (Message::JobList { jobs, .. }, _) => Ok(jobs),
+            (other, _) => Err(self.unexpected("job-list", other)),
+        }
+    }
+
+    /// Resolves a job by dataset name so a reconnecting client can
+    /// resume waiting on running work (v2 servers only). Returns the
+    /// job id and its current status; follow with
+    /// [`WireClient::wait`] to stream the outcome.
+    pub fn attach(&mut self, name: &str) -> WireResult<(u64, WireJobStatus)> {
+        let seq = self.bump_seq();
+        write_frame(&mut self.writer, &Message::Attach { seq, name: name.into() }, &[])?;
+        match self.reply_for(seq)? {
+            (Message::Attached { job_id, status, .. }, _) => Ok((job_id, status)),
+            (other, _) => Err(self.unexpected("attached", other)),
         }
     }
 
@@ -1399,8 +1763,8 @@ impl WireClient {
     pub fn report(&mut self) -> WireResult<WireReport> {
         let seq = self.bump_seq();
         write_frame(&mut self.writer, &Message::Report { seq }, &[])?;
-        match self.read_reply()? {
-            (Message::ReportReply { seq: s, report }, _) if s == seq => Ok(report),
+        match self.reply_for(seq)? {
+            (Message::ReportReply { report, .. }, _) => Ok(report),
             (other, _) => Err(self.unexpected("report-reply", other)),
         }
     }
@@ -1411,8 +1775,8 @@ impl WireClient {
     pub fn metrics(&mut self) -> WireResult<MetricsSnapshot> {
         let seq = self.bump_seq();
         write_frame(&mut self.writer, &Message::MetricsRequest { seq }, &[])?;
-        match self.read_reply()? {
-            (Message::MetricsReply { seq: s, metrics }, _) if s == seq => Ok(metrics),
+        match self.reply_for(seq)? {
+            (Message::MetricsReply { metrics, .. }, _) => Ok(metrics),
             (other, _) => Err(self.unexpected("metrics-reply", other)),
         }
     }
@@ -1422,8 +1786,8 @@ impl WireClient {
     pub fn cache_stats(&mut self) -> WireResult<CacheStats> {
         let seq = self.bump_seq();
         write_frame(&mut self.writer, &Message::CacheStatsRequest { seq }, &[])?;
-        match self.read_reply()? {
-            (Message::CacheStatsReply { seq: s, stats }, _) if s == seq => Ok(stats),
+        match self.reply_for(seq)? {
+            (Message::CacheStatsReply { stats, .. }, _) => Ok(stats),
             (other, _) => Err(self.unexpected("cache-stats-reply", other)),
         }
     }
@@ -1434,8 +1798,8 @@ impl WireClient {
     pub fn trace(&mut self, job_id: u64) -> WireResult<String> {
         let seq = self.bump_seq();
         write_frame(&mut self.writer, &Message::TraceRequest { seq, job_id }, &[])?;
-        match self.read_reply()? {
-            (Message::TraceReply { seq: s, .. }, body) if s == seq => String::from_utf8(body)
+        match self.reply_for(seq)? {
+            (Message::TraceReply { .. }, body) => String::from_utf8(body)
                 .map_err(|e| WireClientError::Protocol(format!("trace body is not UTF-8: {e}"))),
             (other, _) => Err(self.unexpected("trace-reply", other)),
         }
@@ -1447,15 +1811,49 @@ impl WireClient {
         seq
     }
 
-    /// Reads one reply frame, turning server `error` messages into
-    /// [`WireClientError::Remote`] and EOF into a protocol error.
-    fn read_reply(&mut self) -> WireResult<(Message, Vec<u8>)> {
-        match read_message(&mut self.reader)? {
-            Some((Message::Error { code, message, .. }, _)) => {
+    /// Reads the next reply frame destined for `seq`, turning server
+    /// `error` messages for that seq into [`WireClientError::Remote`]
+    /// and EOF into a protocol error. Frames for other in-flight seqs
+    /// are parked for their own receive halves; output chunks pulled
+    /// off the socket replenish the flow-control window (v2) so a
+    /// pipelined reader never deadlocks a shared window against a
+    /// stream it has not started taking yet.
+    fn reply_for(&mut self, seq: u64) -> WireResult<(Message, Vec<u8>)> {
+        match self.recv_for(seq)? {
+            (Message::Error { code, message, .. }, _) => {
                 Err(WireClientError::Remote { code, message })
             }
-            Some(reply) => Ok(reply),
-            None => Err(WireClientError::Protocol("server closed the connection".into())),
+            reply => Ok(reply),
+        }
+    }
+
+    fn recv_for(&mut self, seq: u64) -> WireResult<(Message, Vec<u8>)> {
+        if let Some(queue) = self.parked.get_mut(&seq) {
+            if let Some(frame) = queue.pop_front() {
+                if queue.is_empty() {
+                    self.parked.remove(&seq);
+                }
+                return Ok(frame);
+            }
+        }
+        loop {
+            match read_message(&mut self.reader)? {
+                None => {
+                    return Err(WireClientError::Protocol("server closed the connection".into()))
+                }
+                Some((msg, body)) => {
+                    if self.version >= PROTOCOL_VERSION
+                        && matches!(msg, Message::OutputChunk { .. })
+                    {
+                        write_frame(&mut self.writer, &Message::Credit { chunks: 1 }, &[])?;
+                    }
+                    let got = msg.seq();
+                    if got == seq {
+                        return Ok((msg, body));
+                    }
+                    self.parked.entry(got).or_default().push_back((msg, body));
+                }
+            }
         }
     }
 
@@ -1587,6 +1985,19 @@ mod tests {
             },
             Message::TraceRequest { seq: 9, job_id: 7 },
             Message::TraceReply { seq: 9, job_id: 7 },
+            Message::Credit { chunks: 16 },
+            Message::ListJobs { seq: 12 },
+            Message::JobList {
+                seq: 12,
+                jobs: vec![WireJobSummary {
+                    job_id: 7,
+                    name: "sample".into(),
+                    tenant: "lab".into(),
+                    status: WireJobStatus::Running,
+                }],
+            },
+            Message::Attach { seq: 13, name: "sample".into() },
+            Message::Attached { seq: 13, job_id: 7, status: WireJobStatus::Running },
             Message::Error { seq: 10, code: ErrorCode::InvalidPlan, message: "nope".into() },
         ];
         for msg in messages {
@@ -1693,6 +2104,79 @@ mod tests {
         let v = serde_json::parse_value(header).unwrap();
         let err = Message::deserialize(&v).unwrap_err();
         assert!(err.to_string().contains("invalid plan"), "{err}");
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_byte_dribbles() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Message::Report { seq: 5 }, &[]).unwrap();
+        write_frame(
+            &mut wire,
+            &Message::OutputChunk {
+                seq: 6,
+                job_id: 1,
+                stream: OutputStream::Sam,
+                index: 0,
+                last: true,
+            },
+            b"SAMSAM",
+        )
+        .unwrap();
+
+        // Push the stream one byte at a time: frames must pop out
+        // exactly at their boundaries, never early, never mangled.
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b));
+            while let Some(frame) = dec.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].message().unwrap(), Message::Report { seq: 5 });
+        assert_eq!(frames[1].body, b"SAMSAM");
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_matches_blocking_reader_error_taxonomy() {
+        // Oversize declarations are fatal before any payload arrives.
+        let mut dec = FrameDecoder::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        dec.push(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::HeaderOversize(_))));
+
+        // Bad JSON consumes its declared length and the stream resyncs.
+        let mut dec = FrameDecoder::new();
+        let mut wire = Vec::new();
+        let garbage = b"not json";
+        wire.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        wire.extend_from_slice(garbage);
+        write_frame(&mut wire, &Message::Report { seq: 9 }, &[]).unwrap();
+        dec.push(&wire);
+        let err = dec.next_frame().unwrap_err();
+        assert!(matches!(err, FrameError::BadJson(_)), "{err}");
+        assert!(!err.is_fatal());
+        let next = dec.next_frame().unwrap().unwrap();
+        assert_eq!(next.message().unwrap(), Message::Report { seq: 9 });
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame_bytes() {
+        let msg = Message::OutputChunk {
+            seq: 3,
+            job_id: 2,
+            stream: OutputStream::Bam,
+            index: 1,
+            last: false,
+        };
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, &msg, b"BODY").unwrap();
+        assert_eq!(encode_frame(&msg, b"BODY").unwrap(), streamed);
     }
 
     #[test]

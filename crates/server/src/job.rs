@@ -175,6 +175,9 @@ pub(crate) enum JobState {
     Done(Arc<JobOutcome>),
 }
 
+/// A one-shot completion callback (see [`JobHandle::on_done`]).
+type Watcher = Box<dyn FnOnce(Arc<JobOutcome>) + Send>;
+
 /// One admitted job, shared between the handle, the scheduler and the
 /// runner.
 pub(crate) struct Job {
@@ -189,6 +192,8 @@ pub(crate) struct Job {
     pub state: Mutex<JobState>,
     pub done_cv: Condvar,
     pub payload: Mutex<Option<JobPayload>>,
+    /// Completion callbacks, fired exactly once by [`Job::finish`].
+    pub watchers: Mutex<Vec<Watcher>>,
 }
 
 impl Job {
@@ -210,6 +215,7 @@ impl Job {
                 aligner: spec.aligner,
                 reference: spec.reference,
             })),
+            watchers: Mutex::new(Vec::new()),
         })
     }
 
@@ -227,6 +233,7 @@ impl Job {
             state: Mutex::new(JobState::Queued),
             done_cv: Condvar::new(),
             payload: Mutex::new(None),
+            watchers: Mutex::new(Vec::new()),
         })
     }
 
@@ -238,17 +245,44 @@ impl Job {
         }
     }
 
-    /// Moves the job to its terminal state and wakes every waiter.
-    /// Returns `false` if it was already finished.
+    /// Moves the job to its terminal state, wakes every waiter and
+    /// fires every registered completion watcher. Returns `false` if
+    /// it was already finished.
     pub fn finish(&self, outcome: JobOutcome) -> bool {
+        let outcome = Arc::new(outcome);
         let mut state = self.state.lock();
         if matches!(*state, JobState::Done(_)) {
             return false;
         }
-        *state = JobState::Done(Arc::new(outcome));
+        *state = JobState::Done(outcome.clone());
         drop(state);
         self.done_cv.notify_all();
+        // Watchers registered after this drain saw `Done` under the
+        // state lock and fired immediately (see `add_watcher`), so
+        // every watcher runs exactly once.
+        let watchers = std::mem::take(&mut *self.watchers.lock());
+        for watcher in watchers {
+            watcher(outcome.clone());
+        }
         true
+    }
+
+    /// Registers a completion callback. If the job is already
+    /// terminal the callback fires immediately on the calling thread;
+    /// otherwise it fires on whichever thread calls [`Job::finish`].
+    /// The watcher list is pushed under the state lock so a
+    /// concurrently finishing job cannot miss the registration.
+    pub fn add_watcher(&self, watcher: impl FnOnce(Arc<JobOutcome>) + Send + 'static) {
+        let state = self.state.lock();
+        if let JobState::Done(outcome) = &*state {
+            let outcome = outcome.clone();
+            drop(state);
+            watcher(outcome);
+            return;
+        }
+        // Still holding the state lock: `finish` cannot have swapped
+        // the state yet, so it has not drained the watcher list.
+        self.watchers.lock().push(Box::new(watcher));
     }
 
     pub fn wait(&self) -> Arc<JobOutcome> {
@@ -293,6 +327,15 @@ impl JobHandle {
     /// Blocks until the job reaches a terminal state.
     pub fn wait(&self) -> Arc<JobOutcome> {
         self.job.wait()
+    }
+
+    /// Registers a completion callback instead of blocking: fires
+    /// immediately (on this thread) if the job is already terminal,
+    /// otherwise exactly once from the thread that finishes the job.
+    /// This is how event-driven callers (the wire front end's
+    /// readiness loop) follow jobs without parking a thread per wait.
+    pub fn on_done(&self, watcher: impl FnOnce(Arc<JobOutcome>) + Send + 'static) {
+        self.job.add_watcher(watcher);
     }
 
     /// Requests cancellation. A queued job resolves to

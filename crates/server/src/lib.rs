@@ -63,8 +63,11 @@
 //! let outcome = handle.wait();
 //! ```
 
+pub(crate) mod conn;
+pub(crate) mod event_loop;
 pub mod job;
 pub mod journal;
+pub mod poll;
 pub mod report;
 pub mod scheduler;
 pub mod service;

@@ -712,6 +712,7 @@ fn resolved_job(rec: &JobRecord, outcome: JobOutcome) -> Arc<Job> {
         state: Mutex::new(JobState::Done(Arc::new(outcome))),
         done_cv: Condvar::new(),
         payload: Mutex::new(None),
+        watchers: Mutex::new(Vec::new()),
     })
 }
 

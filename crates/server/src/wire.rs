@@ -2,17 +2,35 @@
 //! [`persona::wire`] protocol and schedules everything it admits onto
 //! the one shared [`PersonaService`].
 //!
-//! Threading model: one accept loop, **one reader thread per
-//! connection**, and a short-lived waiter thread per `wait` request
-//! (so a reader blocked on a long job would not stop the same
-//! connection's `status` / `cancel` traffic — or its disconnect — from
-//! being seen). All pipeline compute still happens on the shared
+//! Threading model: a **fixed pool of event-loop threads** (default
+//! `min(4, available_parallelism)`, overridable with the
+//! `PERSONA_WIRE_THREADS` environment variable) over nonblocking
+//! sockets — no thread per connection, no thread per wait, no external
+//! runtime. Loop 0 owns the listener and deals accepted connections
+//! across the pool round-robin; each loop multiplexes its connections
+//! through a [`crate::poll::Poller`] (epoll on Linux, portable
+//! `poll(2)` elsewhere). A connection is a pure state machine
+//! (`Conn` in `conn.rs`): an incremental frame decoder feeds request
+//! dispatch, replies queue on a buffered writer, and `wait` reply
+//! streams ride job-completion watchers ([`crate::job::JobHandle::on_done`])
+//! that post back to the owning loop — so thousands of idle or
+//! pipelined connections cost file descriptors, not threads. All
+//! pipeline compute still happens on the shared
 //! [`persona::runtime::PersonaRuntime`] behind the service's
 //! fair-share scheduler; the front end only moves frames.
 //!
+//! Protocol v2 connections (see `docs/PROTOCOL.md`) may pipeline many
+//! requests and carry a credit-based flow-control window: the server
+//! pauses a job's output-chunk stream when the window is exhausted
+//! (`wire.backpressure_stalls`) and resumes on the next `credit`
+//! grant. v1 connections get the exact blocking request/reply behavior
+//! of the previous front end — same replies, same error taxonomy, same
+//! close semantics — negotiated per connection at the handshake.
+//!
 //! Error handling follows the spec (`docs/PROTOCOL.md`): a frame whose
 //! lengths are intact but whose header does not decode gets a typed
-//! [`Message::Error`] reply and the connection continues; a frame that
+//! [`persona::wire::Message::Error`] reply and the connection
+//! continues; a frame that
 //! breaks the framing itself (oversize or truncated) gets a
 //! best-effort `bad-frame` reply and the connection closes. A client
 //! that disconnects — cleanly or not — has its still-unfinished jobs
@@ -20,29 +38,26 @@
 //! never pin fair-share slots.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use parking_lot::Mutex;
-use persona::plan::Stage;
-use persona::wire::{
-    write_frame, ErrorCode, Message, OutputStream, RawFrame, WireInput, WireJobStatus, WireReport,
-    WireStageRow, WireTenant, OUTPUT_CHUNK_LEN, PROTOCOL_VERSION,
-};
+use persona::wire::{WireJobStatus, WireReport, WireTenant};
 use persona_align::Aligner;
 use persona_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
-use crate::job::{JobHandle, JobInput, JobOutcome, JobSpec, JobStatus};
+use crate::event_loop::{EventLoop, LoopCmd, LoopHandle};
+use crate::job::{JobHandle, JobStatus};
 use crate::report::ServiceReport;
 use crate::service::PersonaService;
 
-/// Concurrent `wait` waiter threads allowed per connection; further
-/// waits are refused with `invalid-request` until one resolves.
-const MAX_WAITERS_PER_CONN: usize = 64;
+/// Concurrent open `wait` reply streams allowed per connection;
+/// further waits are refused with `invalid-request` until one
+/// resolves.
+pub(crate) const MAX_WAITERS_PER_CONN: usize = 64;
 
 /// Server-side resources for wire submissions. Kernel resources cannot
 /// travel over the wire, so plans that align use the server's
@@ -57,16 +72,25 @@ pub struct WireServerConfig {
 
 /// The front end's own handles into the shared metrics registry
 /// (`wire.*` names; see `docs/OBSERVABILITY.md`).
-struct WireMetrics {
+pub(crate) struct WireMetrics {
     /// `wire.frame_decode_ns`: header JSON → typed [`Message`] decode
     /// time. Measured per decoded frame, never across socket waits.
-    decode_ns: Histogram,
-    /// `wire.bytes_in`: frame bytes read off every connection.
-    bytes_in: Counter,
-    /// `wire.bytes_out`: frame bytes written to every connection.
-    bytes_out: Counter,
+    pub(crate) decode_ns: Histogram,
+    /// `wire.bytes_in`: bytes read off every connection's socket.
+    pub(crate) bytes_in: Counter,
+    /// `wire.bytes_out`: bytes written to every connection's socket.
+    pub(crate) bytes_out: Counter,
     /// `wire.in_flight_seqs`: `wait` reply streams currently open.
-    in_flight_seqs: Gauge,
+    pub(crate) in_flight_seqs: Gauge,
+    /// `wire.connections`: connections currently registered with the
+    /// event loops.
+    pub(crate) connections: Gauge,
+    /// `wire.pending_writes`: reply bytes queued but not yet written
+    /// to any socket.
+    pub(crate) pending_writes: Gauge,
+    /// `wire.backpressure_stalls`: output streams paused on an
+    /// exhausted credit window (counts pause *transitions*, not ticks).
+    pub(crate) backpressure_stalls: Counter,
 }
 
 impl WireMetrics {
@@ -76,37 +100,47 @@ impl WireMetrics {
             bytes_in: registry.counter("wire.bytes_in"),
             bytes_out: registry.counter("wire.bytes_out"),
             in_flight_seqs: registry.gauge("wire.in_flight_seqs"),
+            connections: registry.gauge("wire.connections"),
+            pending_writes: registry.gauge("wire.pending_writes"),
+            backpressure_stalls: registry.counter("wire.backpressure_stalls"),
         }
     }
 }
 
-struct WireShared {
-    service: PersonaService,
-    metrics: WireMetrics,
-    /// The bound listener; dropped by [`WireServer::stop`] so the port
-    /// actually closes (the accept loop runs on its own clone).
-    listener: Mutex<Option<TcpListener>>,
-    local_addr: SocketAddr,
-    config: WireServerConfig,
-    shutdown: AtomicBool,
+/// Server-wide state shared by every event loop and connection.
+pub(crate) struct WireShared {
+    pub(crate) service: PersonaService,
+    pub(crate) metrics: WireMetrics,
+    pub(crate) config: WireServerConfig,
+    pub(crate) shutdown: AtomicBool,
     /// Every job admitted over the wire, by service job id — global, so
-    /// one connection can watch or cancel a job another submitted.
-    jobs: Mutex<HashMap<u64, JobHandle>>,
-    next_conn_id: AtomicU64,
-    /// One stream clone per live connection (keyed by connection id),
-    /// for unblocking blocked readers at shutdown.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// one connection can watch, attach to, or cancel a job another
+    /// submitted.
+    pub(crate) jobs: Mutex<HashMap<u64, JobHandle>>,
 }
 
 /// A TCP front end over one [`PersonaService`]. Binding spawns the
-/// accept loop; dropping the server (or calling
+/// event-loop pool; dropping the server (or calling
 /// [`WireServer::stop`]) stops accepting, cancels every wire-submitted
 /// job that is still in flight, disconnects clients, and shuts the
 /// service down.
 pub struct WireServer {
     shared: Arc<WireShared>,
-    accept: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+    loops: Vec<Arc<LoopHandle>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Event-loop threads to run: `PERSONA_WIRE_THREADS` when set and
+/// parseable, else `min(4, available_parallelism)`, always at least 1.
+fn loop_count() -> usize {
+    if let Ok(v) = std::env::var("PERSONA_WIRE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cores.min(4).max(1)
 }
 
 impl WireServer {
@@ -119,7 +153,6 @@ impl WireServer {
     ) -> io::Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let accept_listener = listener.try_clone()?;
         // A recovered service keeps its journaled job ids, so a client
         // reconnecting after a restart can `status`/`wait`/`cancel` the
         // ids it already holds: pre-populate the registry with every
@@ -130,30 +163,45 @@ impl WireServer {
         let shared = Arc::new(WireShared {
             service,
             metrics,
-            listener: Mutex::new(Some(listener)),
-            local_addr,
             config,
             shutdown: AtomicBool::new(false),
             jobs: Mutex::new(jobs),
-            next_conn_id: AtomicU64::new(1),
-            conns: Mutex::new(HashMap::new()),
-            conn_threads: Mutex::new(Vec::new()),
         });
-        // A spawn failure here (thread exhaustion at bind time) is an
-        // ordinary bind error for the caller, not a panic; the service
-        // moved into `shared` shuts down cleanly on drop.
-        let accept = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("persona-wire-accept".into())
-                .spawn(move || accept_loop(shared, accept_listener))?
-        };
-        Ok(WireServer { shared, accept: Some(accept) })
+        let n = loop_count();
+        let mut loops = Vec::with_capacity(n);
+        let mut bodies = Vec::with_capacity(n);
+        for index in 0..n {
+            let listener = if index == 0 { Some(listener.try_clone()?) } else { None };
+            let (event_loop, handle) = EventLoop::new(shared.clone(), listener, index)?;
+            loops.push(handle);
+            bodies.push(event_loop);
+        }
+        let mut threads = Vec::with_capacity(n);
+        for (index, mut body) in bodies.into_iter().enumerate() {
+            body.set_peers(loops.clone());
+            // A spawn failure here (thread exhaustion at bind time) is
+            // an ordinary bind error for the caller, not a panic; loops
+            // already spawned are torn down by the partial server's
+            // Drop, and the service moved into `shared` shuts down
+            // cleanly with it.
+            let spawned = std::thread::Builder::new()
+                .name(format!("persona-wire-loop-{index}"))
+                .spawn(move || body.run());
+            match spawned {
+                Ok(t) => threads.push(t),
+                Err(e) => {
+                    let mut partial = WireServer { shared, local_addr, loops, threads };
+                    partial.stop();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(WireServer { shared, local_addr, loops, threads })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.local_addr
+        self.local_addr
     }
 
     /// The service this front end feeds (for in-process inspection —
@@ -162,33 +210,24 @@ impl WireServer {
         &self.shared.service
     }
 
-    /// Stops the front end: the listening port closes, in-flight wire
-    /// jobs are cancelled, clients are disconnected, reader threads
-    /// joined, and the underlying service stops admitting (queued jobs
-    /// resolve as cancelled, runners are joined). Idempotent; also
-    /// invoked by `Drop`.
+    /// Stops the front end: in-flight wire jobs are cancelled, every
+    /// event loop drops its connections and exits (closing the
+    /// listening port), and the underlying service stops admitting
+    /// (queued jobs resolve as cancelled, runners are joined).
+    /// Idempotent; also invoked by `Drop`.
     pub fn stop(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Cancel outstanding jobs first so waiter threads (and the
-        // service shutdown below) resolve quickly.
+        // Cancel outstanding jobs first so completion watchers (and
+        // the service shutdown below) resolve quickly.
         for handle in self.shared.jobs.lock().values() {
             handle.cancel();
         }
-        // The accept loop polls the shutdown flag, so the join returns
-        // within one poll tick.
-        if let Some(a) = self.accept.take() {
-            let _ = a.join();
+        for handle in &self.loops {
+            handle.post(LoopCmd::Shutdown);
         }
-        // Both listener handles are gone now (the accept loop's clone
-        // died with its thread), so the port is actually closed.
-        drop(self.shared.listener.lock().take());
-        for (_, conn) in self.shared.conns.lock().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        let threads = std::mem::take(&mut *self.shared.conn_threads.lock());
-        for t in threads {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
         self.shared.service.stop();
@@ -201,102 +240,7 @@ impl Drop for WireServer {
     }
 }
 
-fn accept_loop(shared: Arc<WireShared>, listener: TcpListener) {
-    // Nonblocking accept + poll: shutdown is observed within one poll
-    // tick. (A blocking accept would need the "connect to yourself"
-    // wake hack, which cannot work when bound to an unspecified
-    // address like 0.0.0.0 and hangs stop() if the wake connect
-    // fails.)
-    if listener.set_nonblocking(true).is_err() {
-        return;
-    }
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                continue;
-            }
-            Err(_) => {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                continue;
-            }
-        };
-        // The accepted socket must be blocking regardless of what it
-        // inherited from the listener.
-        if stream.set_nonblocking(false).is_err() {
-            continue;
-        }
-        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().insert(conn_id, clone);
-        }
-        let spawned = {
-            let shared = shared.clone();
-            std::thread::Builder::new().name("persona-wire-conn".into()).spawn(move || {
-                serve_connection(&shared, &stream);
-                // Half-open state is useless to a frame protocol:
-                // make the peer see EOF even while other clones of
-                // this socket (the writer, the shutdown registry)
-                // are still alive, then deregister.
-                let _ = stream.shutdown(Shutdown::Both);
-                shared.conns.lock().remove(&conn_id);
-            })
-        };
-        let handle = match spawned {
-            Ok(handle) => handle,
-            Err(e) => {
-                // Reader spawn failed (thread exhaustion under load):
-                // reject *this* connection with a typed error on the
-                // registry's clone of the socket — the accepted stream
-                // died with the closure — and keep accepting. One
-                // refused client must not panic the whole server.
-                if let Some(mut conn) = shared.conns.lock().remove(&conn_id) {
-                    let _ = write_frame(
-                        &mut conn,
-                        &Message::Error {
-                            seq: 0,
-                            code: ErrorCode::Internal,
-                            message: format!("server cannot start a connection reader: {e}"),
-                        },
-                        &[],
-                    );
-                    let _ = conn.shutdown(Shutdown::Both);
-                }
-                continue;
-            }
-        };
-        let mut threads = shared.conn_threads.lock();
-        threads.retain(|t| !t.is_finished());
-        threads.push(handle);
-    }
-}
-
-/// One connection's writer half, shared between the reader thread and
-/// its waiter threads. Frames are written whole under the lock, so
-/// interleaved replies never interleave bytes; every frame's size
-/// lands on the shared `wire.bytes_out` counter.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
-    bytes_out: Counter,
-}
-
-type SharedWriter = Arc<ConnWriter>;
-
-fn send(writer: &SharedWriter, message: &Message, body: &[u8]) -> io::Result<()> {
-    let n = write_frame(&mut *writer.stream.lock(), message, body)?;
-    writer.bytes_out.add(n as u64);
-    Ok(())
-}
-
-fn send_error(writer: &SharedWriter, seq: u64, code: ErrorCode, message: impl Into<String>) {
-    let _ = send(writer, &Message::Error { seq, code, message: message.into() }, &[]);
-}
-
-fn to_wire_status(status: JobStatus) -> WireJobStatus {
+pub(crate) fn to_wire_status(status: JobStatus) -> WireJobStatus {
     match status {
         JobStatus::Queued => WireJobStatus::Queued,
         JobStatus::Running => WireJobStatus::Running,
@@ -306,7 +250,7 @@ fn to_wire_status(status: JobStatus) -> WireJobStatus {
     }
 }
 
-fn to_wire_report(report: &ServiceReport) -> WireReport {
+pub(crate) fn to_wire_report(report: &ServiceReport) -> WireReport {
     WireReport {
         elapsed_s: report.elapsed.as_secs_f64(),
         workers: report.workers as u64,
@@ -326,426 +270,5 @@ fn to_wire_report(report: &ServiceReport) -> WireReport {
                 reads_per_sec: t.reads_per_sec(),
             })
             .collect(),
-    }
-}
-
-fn serve_connection(shared: &Arc<WireShared>, stream: &TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let writer: SharedWriter = match stream.try_clone() {
-        Ok(w) => Arc::new(ConnWriter {
-            stream: Mutex::new(w),
-            bytes_out: shared.metrics.bytes_out.clone(),
-        }),
-        Err(_) => return,
-    };
-    let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-
-    // Handshake: the first decodable message must be a
-    // version-compatible hello. The recoverable/fatal frame rules
-    // apply here exactly as after the handshake: an intact frame with
-    // a garbage header gets `bad-message` and another chance, while a
-    // framing violation gets `bad-frame` and a close.
-    loop {
-        match RawFrame::read_from(&mut reader) {
-            Ok(Some(raw)) => {
-                shared.metrics.bytes_in.add(raw.wire_len as u64);
-                match raw.message() {
-                    Ok(Message::Hello { version }) if version == PROTOCOL_VERSION => {
-                        if send(&writer, &Message::ServerHello { version: PROTOCOL_VERSION }, &[])
-                            .is_err()
-                        {
-                            return;
-                        }
-                        break;
-                    }
-                    Ok(Message::Hello { version }) => {
-                        send_error(
-                        &writer,
-                        raw.seq(),
-                        ErrorCode::UnsupportedVersion,
-                        format!(
-                            "server speaks protocol version {PROTOCOL_VERSION}, client sent {version}"
-                        ),
-                    );
-                        return;
-                    }
-                    Ok(other) => {
-                        send_error(
-                            &writer,
-                            other.seq(),
-                            ErrorCode::InvalidRequest,
-                            format!(
-                                "expected hello as the first message, got `{}`",
-                                other.type_name()
-                            ),
-                        );
-                        return;
-                    }
-                    Err(e) => {
-                        send_error(&writer, raw.seq(), ErrorCode::BadMessage, e.to_string());
-                        continue;
-                    }
-                }
-            }
-            Ok(None) => return,
-            Err(e) if e.is_fatal() => {
-                send_error(&writer, 0, ErrorCode::BadFrame, e.to_string());
-                return;
-            }
-            Err(e) => {
-                send_error(&writer, 0, ErrorCode::BadMessage, e.to_string());
-                continue;
-            }
-        }
-    }
-
-    // Jobs this connection submitted, for cancel-on-disconnect.
-    let mut my_jobs: Vec<u64> = Vec::new();
-    // Concurrent waiter threads spawned for this connection, bounded
-    // by MAX_WAITERS_PER_CONN.
-    let waiters = Arc::new(AtomicUsize::new(0));
-
-    loop {
-        let raw = match RawFrame::read_from(&mut reader) {
-            Ok(Some(raw)) => {
-                shared.metrics.bytes_in.add(raw.wire_len as u64);
-                raw
-            }
-            // Clean disconnect.
-            Ok(None) => break,
-            Err(e) if e.is_fatal() => {
-                // Byte alignment is lost: typed reply, then close.
-                send_error(&writer, 0, ErrorCode::BadFrame, e.to_string());
-                break;
-            }
-            Err(e) => {
-                // Lengths were honored, so the stream stays aligned:
-                // typed reply, keep serving.
-                send_error(&writer, 0, ErrorCode::BadMessage, e.to_string());
-                continue;
-            }
-        };
-        let decode_started = Instant::now();
-        let decoded = raw.message();
-        shared.metrics.decode_ns.observe_duration(decode_started.elapsed());
-        let message = match decoded {
-            Ok(message) => message,
-            Err(e) => {
-                // A submit whose plan failed re-validation is an
-                // `invalid-plan`, not a generic decode failure; the
-                // plan's errors surface as `field `plan`: ...`.
-                let detail = e.to_string();
-                let code =
-                    if raw.msg_type() == Some("submit-job") && detail.contains("field `plan`") {
-                        ErrorCode::InvalidPlan
-                    } else {
-                        ErrorCode::BadMessage
-                    };
-                send_error(&writer, raw.seq(), code, detail);
-                continue;
-            }
-        };
-        if !handle_message(&shared, &writer, &waiters, &mut my_jobs, message, raw.body) {
-            break;
-        }
-    }
-
-    // Cancel-on-disconnect: whatever this connection submitted and
-    // never saw finish is cancelled so it cannot pin fair-share slots
-    // for a client that is gone.
-    let jobs = shared.jobs.lock();
-    for id in my_jobs {
-        if let Some(handle) = jobs.get(&id) {
-            if !to_wire_status(handle.status()).is_terminal() {
-                handle.cancel();
-            }
-        }
-    }
-}
-
-/// Handles one decoded message. Returns `false` when the connection
-/// should close (write failures — the client is gone).
-fn handle_message(
-    shared: &Arc<WireShared>,
-    writer: &SharedWriter,
-    waiters: &Arc<AtomicUsize>,
-    my_jobs: &mut Vec<u64>,
-    message: Message,
-    body: Vec<u8>,
-) -> bool {
-    match message {
-        Message::SubmitJob { seq, name, tenant, priority, plan, input, chunk_size, reference } => {
-            let input = match input {
-                WireInput::Fastq => JobInput::Fastq(body),
-                WireInput::Dataset(manifest) => {
-                    if !body.is_empty() {
-                        send_error(
-                            writer,
-                            seq,
-                            ErrorCode::InvalidRequest,
-                            "dataset submissions must have an empty frame body",
-                        );
-                        return true;
-                    }
-                    if let Err(e) = manifest.validate() {
-                        send_error(
-                            writer,
-                            seq,
-                            ErrorCode::InvalidRequest,
-                            format!("manifest failed validation: {e}"),
-                        );
-                        return true;
-                    }
-                    JobInput::Dataset(manifest)
-                }
-            };
-            let aligner =
-                if plan.contains(Stage::Align) { shared.config.aligner.clone() } else { None };
-            let spec = JobSpec {
-                name,
-                tenant,
-                priority,
-                plan,
-                input,
-                chunk_size: chunk_size as usize,
-                aligner,
-                reference,
-            };
-            match shared.service.submit(spec) {
-                Ok(handle) => {
-                    let job_id = handle.id();
-                    let mut jobs = shared.jobs.lock();
-                    // Bound the registry: drop handles of finished jobs
-                    // once it grows past any plausible live set. The
-                    // spec documents this eviction (§2): a terminal job
-                    // whose output was never collected can stop
-                    // answering once 4096 newer handles pile up.
-                    if jobs.len() >= 4096 {
-                        jobs.retain(|_, h| !to_wire_status(h.status()).is_terminal());
-                    }
-                    jobs.insert(job_id, handle);
-                    drop(jobs);
-                    my_jobs.push(job_id);
-                    send(writer, &Message::JobAccepted { seq, job_id }, &[]).is_ok()
-                }
-                Err(e) => {
-                    let detail = e.to_string();
-                    let code = if detail.contains("shut down") {
-                        ErrorCode::Shutdown
-                    } else {
-                        ErrorCode::InvalidRequest
-                    };
-                    send_error(writer, seq, code, detail);
-                    true
-                }
-            }
-        }
-        // Registry lookups clone the handle and release the global
-        // lock *before* any socket write: a send can block on a slow
-        // peer (the per-connection writer lock is held across whole
-        // frames), and holding `shared.jobs` through it would let one
-        // stalled client freeze every connection's lookups.
-        Message::Status { seq, job_id } => match shared.jobs.lock().get(&job_id).cloned() {
-            Some(handle) => {
-                let status = to_wire_status(handle.status());
-                send(writer, &Message::JobStatus { seq, job_id, status }, &[]).is_ok()
-            }
-            None => {
-                send_error(writer, seq, ErrorCode::UnknownJob, format!("no job {job_id}"));
-                true
-            }
-        },
-        Message::Wait { seq, job_id } => {
-            let handle = shared.jobs.lock().get(&job_id).cloned();
-            match handle {
-                Some(handle) => {
-                    // A waiter thread keeps this reader free to see
-                    // cancel/status traffic — and disconnects. Bounded
-                    // per connection so a wait-spamming client cannot
-                    // exhaust threads.
-                    if waiters.load(Ordering::SeqCst) >= MAX_WAITERS_PER_CONN {
-                        send_error(
-                            writer,
-                            seq,
-                            ErrorCode::InvalidRequest,
-                            format!("more than {MAX_WAITERS_PER_CONN} concurrent waits"),
-                        );
-                        return true;
-                    }
-                    waiters.fetch_add(1, Ordering::SeqCst);
-                    shared.metrics.in_flight_seqs.add(1);
-                    let writer_clone = writer.clone();
-                    let waiters_clone = waiters.clone();
-                    let in_flight = shared.metrics.in_flight_seqs.clone();
-                    let spawned = std::thread::Builder::new()
-                        .name(format!("persona-wire-wait-{job_id}"))
-                        .spawn(move || {
-                            stream_outcome(writer_clone, handle, seq, job_id);
-                            waiters_clone.fetch_sub(1, Ordering::SeqCst);
-                            in_flight.sub(1);
-                        });
-                    if let Err(e) = spawned {
-                        waiters.fetch_sub(1, Ordering::SeqCst);
-                        shared.metrics.in_flight_seqs.sub(1);
-                        send_error(
-                            writer,
-                            seq,
-                            ErrorCode::Internal,
-                            format!("cannot spawn waiter: {e}"),
-                        );
-                    }
-                    true
-                }
-                None => {
-                    send_error(writer, seq, ErrorCode::UnknownJob, format!("no job {job_id}"));
-                    true
-                }
-            }
-        }
-        Message::Cancel { seq, job_id } => match shared.jobs.lock().get(&job_id).cloned() {
-            Some(handle) => {
-                handle.cancel();
-                send(writer, &Message::CancelOk { seq, job_id }, &[]).is_ok()
-            }
-            None => {
-                send_error(writer, seq, ErrorCode::UnknownJob, format!("no job {job_id}"));
-                true
-            }
-        },
-        Message::Report { seq } => {
-            let report = to_wire_report(&shared.service.report());
-            send(writer, &Message::ReportReply { seq, report }, &[]).is_ok()
-        }
-        Message::MetricsRequest { seq } => {
-            let metrics = shared.service.metrics();
-            send(writer, &Message::MetricsReply { seq, metrics }, &[]).is_ok()
-        }
-        Message::CacheStatsRequest { seq } => {
-            let stats = shared.service.cache_stats();
-            send(writer, &Message::CacheStatsReply { seq, stats }, &[]).is_ok()
-        }
-        Message::TraceRequest { seq, job_id } => match shared.service.trace_json(job_id) {
-            Some(json) => {
-                send(writer, &Message::TraceReply { seq, job_id }, json.as_bytes()).is_ok()
-            }
-            None => {
-                send_error(
-                    writer,
-                    seq,
-                    ErrorCode::UnknownJob,
-                    format!("no trace for job {job_id}"),
-                );
-                true
-            }
-        },
-        Message::Hello { .. } => {
-            send_error(writer, 0, ErrorCode::InvalidRequest, "hello after the handshake");
-            true
-        }
-        other => {
-            // Server→client message types are not requests.
-            send_error(
-                writer,
-                other.seq(),
-                ErrorCode::InvalidRequest,
-                format!("`{}` is not a client request", other.type_name()),
-            );
-            true
-        }
-    }
-}
-
-/// Streams one job's `wait` reply sequence: lifecycle events, then the
-/// output chunks, then the terminal `job-done`.
-fn stream_outcome(writer: SharedWriter, handle: JobHandle, seq: u64, job_id: u64) {
-    let status = to_wire_status(handle.status());
-    if send(&writer, &Message::JobEvent { seq, job_id, status }, &[]).is_err() {
-        return;
-    }
-    let outcome = handle.wait();
-    let status = to_wire_status(outcome.status());
-    if !status.is_terminal() {
-        // Unreachable by construction; keep the stream well-formed
-        // anyway.
-        return;
-    }
-    if send(&writer, &Message::JobEvent { seq, job_id, status }, &[]).is_err() {
-        return;
-    }
-    match &*outcome {
-        JobOutcome::Completed(out) => {
-            for (stream, bytes) in [(OutputStream::Sam, &out.sam), (OutputStream::Bam, &out.bam)] {
-                if bytes.is_empty() {
-                    continue;
-                }
-                let chunks: Vec<&[u8]> = bytes.chunks(OUTPUT_CHUNK_LEN).collect();
-                let total = chunks.len();
-                for (index, chunk) in chunks.into_iter().enumerate() {
-                    let msg = Message::OutputChunk {
-                        seq,
-                        job_id,
-                        stream,
-                        index: index as u64,
-                        last: index + 1 == total,
-                    };
-                    if send(&writer, &msg, chunk).is_err() {
-                        return;
-                    }
-                }
-            }
-            let stages = out
-                .report
-                .stage_rows()
-                .into_iter()
-                .map(|(stage, elapsed, busy_fraction)| WireStageRow {
-                    stage: stage.to_string(),
-                    elapsed_s: elapsed.as_secs_f64(),
-                    busy_fraction,
-                })
-                .collect();
-            let done = Message::JobDone {
-                seq,
-                job_id,
-                status,
-                error: None,
-                reads: out.reads,
-                queue_wait_s: out.queue_wait.as_secs_f64(),
-                elapsed_s: out.elapsed.as_secs_f64(),
-                stages,
-                manifest: out.manifest.clone(),
-            };
-            let _ = send(&writer, &done, &[]);
-        }
-        JobOutcome::Failed(message) => {
-            let done = Message::JobDone {
-                seq,
-                job_id,
-                status,
-                error: Some(message.clone()),
-                reads: 0,
-                queue_wait_s: 0.0,
-                elapsed_s: 0.0,
-                stages: Vec::new(),
-                manifest: None,
-            };
-            let _ = send(&writer, &done, &[]);
-        }
-        JobOutcome::Cancelled => {
-            let done = Message::JobDone {
-                seq,
-                job_id,
-                status,
-                error: None,
-                reads: 0,
-                queue_wait_s: 0.0,
-                elapsed_s: 0.0,
-                stages: Vec::new(),
-                manifest: None,
-            };
-            let _ = send(&writer, &done, &[]);
-        }
     }
 }

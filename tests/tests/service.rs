@@ -37,6 +37,51 @@ impl Aligner for SlowAligner {
     }
 }
 
+/// A gate the test opens once it has issued a cancel: alignment blocks
+/// here, so the proof that cancellation cut the job short is the
+/// `Cancelled` outcome itself — most of the job's batches provably
+/// never ran — with no wall-clock assertion to flake on a loaded box.
+struct Gate {
+    open: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate { open: std::sync::Mutex::new(false), cv: std::sync::Condvar::new() })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let guard = self.open.lock().unwrap();
+        // Bounded so a broken test fails instead of hanging the suite.
+        let (_guard, timeout) =
+            self.cv.wait_timeout_while(guard, Duration::from_secs(20), |open| !*open).unwrap();
+        assert!(!timeout.timed_out(), "gate never opened");
+    }
+}
+
+/// An aligner whose `align_read` blocks until the test opens the gate.
+struct GateAligner {
+    inner: Arc<dyn Aligner>,
+    gate: Arc<Gate>,
+}
+
+impl Aligner for GateAligner {
+    fn align_read(&self, bases: &[u8], quals: &[u8]) -> AlignmentResult {
+        self.gate.wait_open();
+        self.inner.align_read(bases, quals)
+    }
+
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+}
+
 fn spec(fx: &Fixture, name: &str, tenant: &str, aligner: Arc<dyn Aligner>) -> JobSpec {
     JobSpec {
         name: name.to_string(),
@@ -143,23 +188,22 @@ fn cancelled_job_stops_and_frees_its_slot() {
         ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
     );
 
-    // Uncancelled, this job is ~10 s of aligner sleep (2000 reads ×
-    // 5 ms) on a 2-thread executor.
-    let slow: Arc<dyn Aligner> =
-        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
-    let victim = service.submit(spec(&fx, "victim", "lab-a", slow)).unwrap();
+    // Alignment blocks at the gate, so the cancel below provably lands
+    // while the job has barely started.
+    let gate = Gate::new();
+    let gated: Arc<dyn Aligner> =
+        Arc::new(GateAligner { inner: fx.aligner.clone(), gate: gate.clone() });
+    let victim = service.submit(spec(&fx, "victim", "lab-a", gated)).unwrap();
     wait_for(|| victim.status() == JobStatus::Running, "victim to dispatch");
 
-    let cancelled_at = Instant::now();
     victim.cancel();
+    gate.open();
     let outcome = victim.wait();
+    // Cooperative cancellation must cut the job short: queued batches
+    // are dropped and no stage schedules new ones, so the outcome is
+    // `Cancelled` — had the job run on, it would have completed.
     assert!(matches!(*outcome, JobOutcome::Cancelled), "got {outcome:?}");
     assert_eq!(victim.status(), JobStatus::Cancelled);
-    // Cooperative cancellation must cut the job short: queued batches
-    // are dropped and no stage schedules new ones. Far under the ~10 s
-    // a full run would need, with slack for a busy CI box.
-    let to_stop = cancelled_at.elapsed();
-    assert!(to_stop < Duration::from_secs(5), "cancel took {to_stop:?}");
 
     // The slot is free: a small job for another tenant runs to
     // completion on the same (single-slot) service.
@@ -419,18 +463,19 @@ fn cancel_stops_a_partial_plan_mid_flight() {
         rt,
         ServiceConfig { max_concurrent_jobs: 1, ..ServiceConfig::default() },
     );
-    let slow: Arc<dyn Aligner> =
-        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
-    let mut s = spec(&fx, "ingest", "lab", slow);
+    let gate = Gate::new();
+    let gated: Arc<dyn Aligner> =
+        Arc::new(GateAligner { inner: fx.aligner.clone(), gate: gate.clone() });
+    let mut s = spec(&fx, "ingest", "lab", gated);
     s.plan = Plan::import_align();
     let victim = service.submit(s).unwrap();
     wait_for(|| victim.status() == JobStatus::Running, "victim to dispatch");
-    let cancelled_at = Instant::now();
+    // Cancel lands while alignment is blocked at the gate; `Cancelled`
+    // after the gate opens proves the partial plan stopped mid-flight.
     victim.cancel();
+    gate.open();
     let outcome = victim.wait();
     assert!(matches!(*outcome, JobOutcome::Cancelled), "got {outcome:?}");
-    let to_stop = cancelled_at.elapsed();
-    assert!(to_stop < Duration::from_secs(5), "cancel took {to_stop:?}");
 }
 
 /// Submit-time plan/spec coherence: mismatched input or a missing

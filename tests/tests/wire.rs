@@ -46,6 +46,51 @@ impl Aligner for SlowAligner {
     }
 }
 
+/// A gate the test opens once it has issued a cancel: alignment blocks
+/// here, so the proof that cancellation cut the job short is the
+/// `Cancelled` outcome itself — most of the job's batches provably
+/// never ran — with no wall-clock assertion to flake on a loaded box.
+struct Gate {
+    open: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate { open: std::sync::Mutex::new(false), cv: std::sync::Condvar::new() })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let guard = self.open.lock().unwrap();
+        // Bounded so a broken test fails instead of hanging the suite.
+        let (_guard, timeout) =
+            self.cv.wait_timeout_while(guard, Duration::from_secs(20), |open| !*open).unwrap();
+        assert!(!timeout.timed_out(), "gate never opened");
+    }
+}
+
+/// An aligner whose `align_read` blocks until the test opens the gate.
+struct GateAligner {
+    inner: Arc<dyn Aligner>,
+    gate: Arc<Gate>,
+}
+
+impl Aligner for GateAligner {
+    fn align_read(&self, bases: &[u8], quals: &[u8]) -> AlignmentResult {
+        self.gate.wait_open();
+        self.inner.align_read(bases, quals)
+    }
+
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+}
+
 fn serve(aligner: Arc<dyn Aligner>, max_jobs: usize) -> WireServer {
     let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
     let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
@@ -186,26 +231,27 @@ fn partial_plan_over_the_wire_lands_a_dataset() {
 #[test]
 fn disconnect_cancels_the_clients_running_job() {
     let fx = Fixture::new(8004, 2_000);
-    let slow: Arc<dyn Aligner> =
-        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
-    let server = serve(slow, 1);
+    let gate = Gate::new();
+    let gated: Arc<dyn Aligner> =
+        Arc::new(GateAligner { inner: fx.aligner.clone(), gate: gate.clone() });
+    let server = serve(gated, 1);
 
     let mut client = WireClient::connect(server.local_addr()).unwrap();
     let job = client.submit(wire_submit(&fx, "victim", "lab", Plan::full())).unwrap();
     wait_for(|| client.status(job).unwrap() == WireJobStatus::Running, "job to dispatch");
 
-    // Uncancelled this is ~10 s of aligner sleep; dropping the client
-    // must cut it short.
-    let dropped_at = Instant::now();
+    // The job is dispatched and blocked at the gate. Drop the client
+    // and wait for the server to reap the connection — the same step
+    // that issues cancel-on-disconnect — *before* letting alignment
+    // proceed. The job resolving `Cancelled` then proves the
+    // disconnect cut it short: its remaining batches never ran.
     drop(client);
+    let connections = server.service().runtime().telemetry().gauge("wire.connections");
+    wait_for(|| connections.value() == 0, "server to reap the dropped connection");
+    gate.open();
     wait_for(
         || server.service().report().tenant("lab").map(|t| t.cancelled) == Some(1),
         "disconnect to cancel the job",
-    );
-    assert!(
-        dropped_at.elapsed() < Duration::from_secs(5),
-        "cancel-on-disconnect took {:?}",
-        dropped_at.elapsed()
     );
 }
 
@@ -214,25 +260,24 @@ fn disconnect_cancels_the_clients_running_job() {
 #[test]
 fn wire_cancel_stops_a_running_job() {
     let fx = Fixture::new(8005, 2_000);
-    let slow: Arc<dyn Aligner> =
-        Arc::new(SlowAligner { inner: fx.aligner.clone(), delay: Duration::from_millis(5) });
-    let server = serve(slow, 1);
+    let gate = Gate::new();
+    let gated: Arc<dyn Aligner> =
+        Arc::new(GateAligner { inner: fx.aligner.clone(), gate: gate.clone() });
+    let server = serve(gated, 1);
     let addr = server.local_addr();
 
     let mut submitter = WireClient::connect(addr).unwrap();
     let job = submitter.submit(wire_submit(&fx, "victim", "lab", Plan::full())).unwrap();
     wait_for(|| submitter.status(job).unwrap() == WireJobStatus::Running, "job to dispatch");
 
-    let cancelled_at = Instant::now();
+    // Cancel lands while alignment is still blocked at the gate, so
+    // the `Cancelled` outcome after the gate opens proves the cancel
+    // (not job completion) resolved the wait — clock-free.
     let mut canceller = WireClient::connect(addr).unwrap();
     canceller.cancel(job).expect("cancel over a second connection");
+    gate.open();
     let outcome = submitter.wait(job).expect("wait resolves after cancel");
     assert_eq!(outcome.status, WireJobStatus::Cancelled);
-    assert!(
-        cancelled_at.elapsed() < Duration::from_secs(5),
-        "wire cancel took {:?}",
-        cancelled_at.elapsed()
-    );
 }
 
 /// Malformed traffic gets typed error replies. Garbage *JSON* in an

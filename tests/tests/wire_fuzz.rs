@@ -1,0 +1,246 @@
+//! Wire conformance fuzzing: mutated frames — bit flips, truncations,
+//! duplications, spliced bytes — thrown at a live server connection.
+//! Whatever arrives, the server must never panic or wedge: it replies
+//! with the *typed* error taxonomy (`bad-frame` closes, `bad-message`
+//! recovers), keeps unrelated pipelined seqs progressing, and stays
+//! able to accept fresh connections afterwards.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use persona::config::PersonaConfig;
+use persona::plan::Plan;
+use persona::runtime::PersonaRuntime;
+use persona::wire::{
+    encode_frame, read_message, write_frame, ErrorCode, FrameError, Message, SubmitInput,
+    WireClient, WireSubmit, PROTOCOL_VERSION,
+};
+use persona_agd::chunk_io::{ChunkStore, MemStore};
+use persona_dataflow::Priority;
+use persona_formats::fastq;
+use persona_integration_tests::common::Fixture;
+use persona_server::{PersonaService, ServiceConfig, WireServer, WireServerConfig};
+use proptest::prelude::*;
+
+/// One server shared by every fuzz case (leaked for process lifetime),
+/// plus the id of a completed job its connections can poke at.
+static SERVER: OnceLock<(SocketAddr, u64)> = OnceLock::new();
+
+fn server() -> (SocketAddr, u64) {
+    *SERVER.get_or_init(|| {
+        let fx = Fixture::new(8201, 150);
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let rt = PersonaRuntime::new(store, PersonaConfig::small()).unwrap();
+        let service = PersonaService::new(
+            rt,
+            ServiceConfig { max_concurrent_jobs: 2, ..ServiceConfig::default() },
+        );
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            service,
+            WireServerConfig { aligner: Some(fx.aligner.clone()) },
+        )
+        .expect("bind loopback wire server");
+        let addr = server.local_addr();
+        let mut client = WireClient::connect(addr).unwrap();
+        let job_id = client
+            .submit(WireSubmit {
+                name: "fuzz-target".into(),
+                tenant: "lab".into(),
+                priority: Priority::Normal,
+                plan: Plan::full(),
+                input: SubmitInput::Fastq(fastq::to_bytes(&fx.reads)),
+                chunk_size: 100,
+                reference: fx.reference.clone(),
+            })
+            .unwrap();
+        client.wait(job_id).unwrap();
+        // The server must outlive every test in the binary.
+        std::mem::forget(server);
+        (addr, job_id)
+    })
+}
+
+/// Raw v2 handshake on a fresh socket with a bounded read timeout, so
+/// a wedged server fails the test instead of hanging it.
+fn handshake(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_millis(750))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut w = stream.try_clone().unwrap();
+    write_frame(&mut w, &Message::Hello { version: PROTOCOL_VERSION }, &[]).unwrap();
+    let (hello, _) = read_message(&mut reader).expect("handshake reply").expect("open stream");
+    assert_eq!(hello, Message::ServerHello { version: PROTOCOL_VERSION });
+    (stream, reader)
+}
+
+/// Applies one mutation to an encoded frame.
+fn mutate(mut frame: Vec<u8>, kind: u8, offset: usize, salt: u8) -> Vec<u8> {
+    match kind % 4 {
+        // Bit flip: anywhere, including the length prefix.
+        0 => {
+            let i = offset % frame.len();
+            frame[i] ^= 1 << (salt % 8);
+            frame
+        }
+        // Truncate: the declared lengths outlive the bytes.
+        1 => {
+            let keep = offset % frame.len().max(1);
+            frame.truncate(keep);
+            frame
+        }
+        // Duplicate: the same well-formed frame twice back to back.
+        2 => {
+            let copy = frame.clone();
+            frame.extend_from_slice(&copy);
+            frame
+        }
+        // Splice: a foreign byte shoved into the stream.
+        _ => {
+            let i = offset % (frame.len() + 1);
+            frame.insert(i, salt);
+            frame
+        }
+    }
+}
+
+/// Error codes a mutated status request may legitimately earn. Any
+/// other code (or a non-protocol reply) is a conformance bug.
+fn allowed_error(code: &ErrorCode) -> bool {
+    matches!(
+        code,
+        ErrorCode::BadFrame
+            | ErrorCode::BadMessage
+            | ErrorCode::InvalidRequest
+            | ErrorCode::UnknownJob
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever single mutation hits the stream, the server never
+    /// panics: every reply frame it does send is a known reply or a
+    /// typed error from the allowed taxonomy, and the listener still
+    /// accepts a clean handshake afterwards.
+    #[test]
+    fn mutated_frames_never_panic_the_server(
+        kind in 0u8..4,
+        offset in 0usize..4096,
+        salt in 0u8..=255u8,
+    ) {
+        let (addr, job_id) = server();
+        let (stream, mut reader) = handshake(addr);
+        let mut w = stream.try_clone().unwrap();
+
+        let base = encode_frame(&Message::Status { seq: 11, job_id }, &[]).unwrap();
+        let mutated = mutate(base, kind, offset, salt);
+        // The server may already have closed on us mid-write; that is
+        // a legitimate outcome, not a test failure.
+        let _ = w.write_all(&mutated);
+        let _ = write_frame(&mut w, &Message::Status { seq: 12, job_id }, &[]);
+
+        // Drain replies until the healthy request resolves, the server
+        // closes, or nothing more arrives (a partial frame left the
+        // server legitimately waiting for bytes that never come).
+        let mut saw_healthy_reply = false;
+        for _ in 0..16 {
+            match read_message(&mut reader) {
+                Ok(None) => break,
+                Ok(Some((Message::JobStatus { seq, .. }, _))) => {
+                    if seq == 12 {
+                        saw_healthy_reply = true;
+                        break;
+                    }
+                }
+                Ok(Some((Message::Error { code, .. }, _))) => {
+                    prop_assert!(
+                        allowed_error(&code),
+                        "error code {code:?} is outside the mutation taxonomy"
+                    );
+                }
+                Ok(Some((other, _))) => {
+                    prop_assert!(false, "unsolicited reply {:?}", other.type_name());
+                }
+                // Timeout or mid-frame cut: the connection is spent.
+                Err(_) => break,
+            }
+        }
+        // `saw_healthy_reply` is circumstantial (framing may be lost);
+        // the hard invariant is that the server survived the bytes.
+        let _ = saw_healthy_reply;
+        drop(reader);
+        drop(stream);
+        let (fresh, _) = handshake(addr);
+        drop(fresh);
+    }
+}
+
+/// The recoverable half of the taxonomy, deterministically: a frame
+/// with honest lengths but a garbage JSON header earns `bad-message`
+/// and the connection lives on — a request pipelined *behind* the
+/// garbage still completes.
+#[test]
+fn recoverable_garbage_does_not_disturb_pipelined_seqs() {
+    let (addr, job_id) = server();
+    let (stream, mut reader) = handshake(addr);
+    let mut w = stream.try_clone().unwrap();
+
+    // A healthy request, then garbage, then another healthy request —
+    // all written before any reply is read.
+    write_frame(&mut w, &Message::Status { seq: 21, job_id }, &[]).unwrap();
+    let garbage = b"this is not json {{{";
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&0u32.to_be_bytes());
+    frame.extend_from_slice(garbage);
+    w.write_all(&frame).unwrap();
+    write_frame(&mut w, &Message::Status { seq: 22, job_id }, &[]).unwrap();
+
+    let (first, _) = read_message(&mut reader).unwrap().unwrap();
+    assert!(
+        matches!(first, Message::JobStatus { seq: 21, .. }),
+        "request before the garbage must resolve, got {first:?}"
+    );
+    let (second, _) = read_message(&mut reader).unwrap().unwrap();
+    match second {
+        Message::Error { code, seq, .. } => {
+            assert_eq!(code, ErrorCode::BadMessage);
+            assert_eq!(seq, 0, "undecodable headers cannot echo a seq");
+        }
+        other => panic!("garbage must earn a typed bad-message, got {other:?}"),
+    }
+    let (third, _) = read_message(&mut reader).unwrap().unwrap();
+    assert!(
+        matches!(third, Message::JobStatus { seq: 22, .. }),
+        "request after the garbage must resolve, got {third:?}"
+    );
+}
+
+/// The fatal half of the taxonomy, deterministically: a declared
+/// header length past the limit earns `bad-frame` and then the server
+/// closes, because byte alignment is unrecoverable.
+#[test]
+fn oversize_frame_is_a_typed_bad_frame_then_close() {
+    let (addr, _) = server();
+    let (stream, mut reader) = handshake(addr);
+    let mut w = stream.try_clone().unwrap();
+
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&u32::MAX.to_be_bytes());
+    frame.extend_from_slice(&0u32.to_be_bytes());
+    w.write_all(&frame).unwrap();
+
+    let (reply, _) = read_message(&mut reader).unwrap().expect("typed reply before close");
+    match reply {
+        Message::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected bad-frame, got {other:?}"),
+    }
+    match read_message(&mut reader) {
+        Ok(None) => {}
+        Err(FrameError::Io(_)) | Err(FrameError::Truncated) => {}
+        other => panic!("connection must close after bad-frame, got {other:?}"),
+    }
+}

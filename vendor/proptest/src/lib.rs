@@ -5,8 +5,15 @@
 //! strategies, `ProptestConfig::with_cases`, `prop_assert*!` macros,
 //! and the [`proptest!`] harness macro. Cases are generated from a
 //! deterministic per-test RNG (test-name hash + case index), so runs
-//! are reproducible. There is no shrinking: a failing case reports its
-//! full inputs instead.
+//! are reproducible.
+//!
+//! Failing cases **shrink**: the harness greedily re-runs the property
+//! on [`Strategy::shrink`] candidates (integers step toward the range
+//! start, vectors truncate and shrink elements, tuples shrink one slot
+//! at a time) and reports the smallest inputs that still fail,
+//! alongside the originally generated ones. Shrinking is bounded
+//! (256 re-runs) and silent — candidate runs do not spam panic
+//! backtraces.
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -50,6 +57,14 @@ pub trait Strategy {
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of a failing value, most
+    /// aggressive first. The default — no candidates — is correct for
+    /// any strategy; it just means failures of that strategy's values
+    /// are reported as generated.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -57,12 +72,18 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -101,15 +122,54 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rand::SampleRange::sample_from(self.clone(), rng)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, self.start)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rand::SampleRange::sample_from(self.clone(), rng)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*value, *self.start())
+            }
+        }
+        impl ShrinkInt for $t {
+            fn shrink_toward(self, start: $t) -> Vec<$t> {
+                if self <= start {
+                    return Vec::new();
+                }
+                let mut out = vec![start];
+                // Midpoint via checked_sub: the span can overflow a
+                // signed type (e.g. -128..=127), in which case the
+                // bisection step is skipped and shrinking walks down.
+                if let Some(span) = self.checked_sub(start) {
+                    let mid = start + span / 2;
+                    if mid != start && mid != self {
+                        out.push(mid);
+                    }
+                }
+                let prev = self - 1;
+                if prev != start && !out.contains(&prev) {
+                    out.push(prev);
+                }
+                out
+            }
         }
     )*};
 }
+
+/// Integer shrinking: candidates strictly between the range start and
+/// the failing value, most aggressive (the start itself) first.
+trait ShrinkInt: Sized {
+    fn shrink_toward(self, start: Self) -> Vec<Self>;
+}
+
+fn shrink_int<T: ShrinkInt>(value: T, start: T) -> Vec<T> {
+    value.shrink_toward(start)
+}
+
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for std::ops::Range<f64> {
@@ -121,15 +181,33 @@ impl Strategy for std::ops::Range<f64> {
 
 macro_rules! impl_tuple_strategy {
     ($(($($S:ident . $idx:tt),+))*) => {$(
-        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
             type Value = ($($S::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
-impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(A.0, B.1, C.2, D.3, E.4));
+impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(A.0, B.1, C.2, D.3, E.4)(
+    A.0, B.1, C.2, D.3, E.4, F.5
+)(A.0, B.1, C.2, D.3, E.4, F.5, G.6)(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)(
+    A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8
+)(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9));
 
 /// Uniform choice among boxed alternatives (see [`prop_oneof!`]).
 pub struct Union<T> {
@@ -196,12 +274,41 @@ pub mod collection {
         VecStrategy { elem, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64 + 1;
             let len = self.size.min + (rng.next_u64() % span) as usize;
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.min;
+            // Structural shrinks first (shorter vectors), most
+            // aggressive first, all respecting the minimum length.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = (value.len() / 2).max(min);
+                if half != min && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != min && value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Then element shrinks: one candidate per position, so the
+            // list stays linear in the vector's length.
+            for (i, v) in value.iter().enumerate() {
+                if let Some(cand) = self.elem.shrink(v).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -274,6 +381,31 @@ pub fn run_case(body: impl FnOnce() -> Result<(), TestCaseError>) -> Result<(), 
             Err(TestCaseError::fail(format!("panicked: {msg}")))
         }
     }
+}
+
+/// Bound on property re-runs during shrinking (per failing case).
+pub const MAX_SHRINK_RUNS: usize = 256;
+
+/// Pins a re-runnable property closure's parameter type to a witness
+/// value, so the closure body type-checks before its first call (plain
+/// `|tuple: &_|` inference cannot see through the harness macro).
+pub fn property_fn<V, F>(_witness: &V, f: F) -> F
+where
+    F: Fn(&V) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Runs `f` with panic output suppressed, so the bounded shrink loop's
+/// candidate re-runs (each of which is *expected* to panic) do not
+/// spam backtraces. The previous hook is restored afterwards.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(prev);
+    result
 }
 
 /// Asserts a condition inside a property, failing the case (not the
@@ -365,30 +497,79 @@ macro_rules! proptest {
                 let __config: $crate::ProptestConfig = $cfg;
                 let __hash = $crate::name_hash(concat!(module_path!(), "::", stringify!($name)));
                 $(let $arg = $strat;)+
+                // One tuple strategy over all arguments, so shrinking
+                // can replace one slot at a time.
+                let __strat = ($($arg,)+);
                 for __case in 0..__config.cases as u64 {
                     let mut __rng = $crate::TestRng::for_case(__hash, __case);
-                    $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
-                    let __arg_dump: Vec<(&'static str, String)> = vec![
-                        $((stringify!($arg), format!("{:?}", &$arg))),+
-                    ];
-                    let __result = $crate::run_case(move || {
-                        #[allow(unreachable_code)]
-                        {
-                            $body
-                            ::std::result::Result::Ok(())
-                        }
+                    let __vals = $crate::Strategy::generate(&__strat, &mut __rng);
+                    // Re-runnable property: clones the inputs so the
+                    // shrink loop can replay candidates.
+                    let __run = $crate::property_fn(&__vals, |__tuple| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(__tuple);
+                        $crate::run_case(move || {
+                            #[allow(unreachable_code)]
+                            {
+                                $body
+                                ::std::result::Result::Ok(())
+                            }
+                        })
                     });
-                    match __result {
+                    match __run(&__vals) {
                         Ok(()) => {}
                         Err($crate::TestCaseError::Reject(_)) => {}
-                        Err($crate::TestCaseError::Fail(msg)) => {
+                        Err($crate::TestCaseError::Fail(__msg)) => {
+                            let __orig_dump: Vec<(&'static str, String)> = {
+                                let ($($arg,)+) = &__vals;
+                                vec![$((stringify!($arg), format!("{:?}", $arg))),+]
+                            };
+                            // Greedy bounded shrink: take the first
+                            // candidate that still fails, repeat from
+                            // there until no candidate fails or the
+                            // run budget is spent.
+                            let mut __best = __vals;
+                            let mut __best_msg = __msg;
+                            let mut __runs = 0usize;
+                            let mut __shrunk = false;
+                            $crate::with_quiet_panics(|| loop {
+                                let mut __improved = false;
+                                for __cand in $crate::Strategy::shrink(&__strat, &__best) {
+                                    if __runs >= $crate::MAX_SHRINK_RUNS {
+                                        break;
+                                    }
+                                    __runs += 1;
+                                    if let Err($crate::TestCaseError::Fail(m)) = __run(&__cand) {
+                                        __best = __cand;
+                                        __best_msg = m;
+                                        __improved = true;
+                                        __shrunk = true;
+                                        break;
+                                    }
+                                }
+                                if !__improved || __runs >= $crate::MAX_SHRINK_RUNS {
+                                    break;
+                                }
+                            });
+                            let __best_dump: Vec<(&'static str, String)> = {
+                                let ($($arg,)+) = &__best;
+                                vec![$((stringify!($arg), format!("{:?}", $arg))),+]
+                            };
                             let mut __report = format!(
                                 "property `{}` failed at case {}/{}:\n{}\ninputs:\n",
-                                stringify!($name), __case + 1, __config.cases, msg
+                                stringify!($name), __case + 1, __config.cases, __best_msg
                             );
-                            for (name, value) in &__arg_dump {
+                            for (name, value) in &__best_dump {
                                 let shown: &str = if value.len() > 4_096 { &value[..4_096] } else { value };
                                 __report.push_str(&format!("  {name} = {shown}\n"));
+                            }
+                            if __shrunk {
+                                __report.push_str(&format!(
+                                    "shrunk from (after {} runs):\n", __runs
+                                ));
+                                for (name, value) in &__orig_dump {
+                                    let shown: &str = if value.len() > 4_096 { &value[..4_096] } else { value };
+                                    __report.push_str(&format!("  {name} = {shown}\n"));
+                                }
                             }
                             panic!("{}", __report);
                         }
@@ -479,6 +660,53 @@ mod tests {
         };
         assert!(msg.contains("always_fails"), "got: {msg}");
         assert!(msg.contains("x ="), "got: {msg}");
+    }
+
+    #[test]
+    fn integer_and_vec_shrink_toward_minimal() {
+        // Integer candidates stay inside the range and below the value,
+        // with the range start (the minimal value) offered first.
+        let cands = (10u32..100).shrink(&87);
+        assert_eq!(cands[0], 10);
+        assert!(cands.iter().all(|&c| (10..87).contains(&c)), "got: {cands:?}");
+        assert!(cands.contains(&86));
+        // A value already at the start has nowhere to go.
+        assert!((10u32..100).shrink(&10).is_empty());
+        assert!((5i8..=7).shrink(&5).is_empty());
+        // The full signed domain must not overflow the midpoint step.
+        let cands = (i8::MIN..=i8::MAX).shrink(&i8::MAX);
+        assert_eq!(cands[0], i8::MIN);
+        assert!(cands.iter().all(|&c| c < i8::MAX));
+        // Vectors truncate to the minimum length first and never below.
+        let strat = collection::vec(0u8..10, 2..6);
+        let cands = strat.shrink(&vec![5, 9, 7, 3]);
+        assert_eq!(cands[0], vec![5, 9]);
+        assert!(cands.iter().all(|c| c.len() >= 2));
+        // Element shrinks keep the length but shrink one slot.
+        assert!(cands.iter().any(|c| c.len() == 4 && c[0] == 0));
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(64))]
+                fn fails_at_fifty(xs in collection::vec(0u32..100, 0..10), k in 0u32..100) {
+                    let _ = &xs;
+                    prop_assert!(k < 50, "k was {k}");
+                }
+            }
+            fails_at_fifty();
+        });
+        let msg = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap_or_default(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // Greedy shrinking lands exactly on the boundary (k = 50, the
+        // smallest failing value) and empties the irrelevant vector.
+        assert!(msg.contains("k = 50"), "got: {msg}");
+        assert!(msg.contains("xs = []"), "got: {msg}");
+        assert!(msg.contains("shrunk from"), "got: {msg}");
     }
 
     #[test]
